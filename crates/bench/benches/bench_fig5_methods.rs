@@ -1,0 +1,49 @@
+//! Criterion micro-benchmark behind Figure 5(a)–(c): per-query response
+//! time of each community-search method on the facebook-like stand-in.
+//!
+//! The `experiments fig5` binary regenerates the full multi-dataset table;
+//! this bench gives statistically rigorous per-method timings on the
+//! smallest dataset so regressions in any method's hot path are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csag_bench::config::{sea_params, QUERY_SEED, SEA_SEED};
+use csag_bench::runner::{run_acq, run_exact, run_loc_atc, run_sea, run_vac, Budgets};
+use csag_core::distance::DistanceParams;
+use csag_core::CommunityModel;
+use csag_datasets::{random_queries, standins};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_methods(c: &mut Criterion) {
+    let d = standins::facebook_like();
+    let k = d.default_k;
+    let q = random_queries(&d.graph, 1, k, QUERY_SEED)[0];
+    let dp = DistanceParams::default();
+    let model = CommunityModel::KCore;
+    let budgets = Budgets {
+        exact_time: Duration::from_millis(300),
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("fig5_methods");
+    group.sample_size(10);
+    group.bench_function("sea", |b| {
+        b.iter(|| black_box(run_sea(&d.graph, q, &sea_params(k), dp, SEA_SEED)))
+    });
+    group.bench_function("acq", |b| {
+        b.iter(|| black_box(run_acq(&d.graph, q, k, model, dp, false)))
+    });
+    group.bench_function("loc_atc", |b| {
+        b.iter(|| black_box(run_loc_atc(&d.graph, q, k, model, dp)))
+    });
+    group.bench_function("vac", |b| {
+        b.iter(|| black_box(run_vac(&d.graph, q, k, model, dp, &budgets)))
+    });
+    group.bench_function("exact_budgeted", |b| {
+        b.iter(|| black_box(run_exact(&d.graph, q, k, model, dp, &budgets)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmark behind Table V: SEA on a heterogeneous graph
+//! ((k,P)-core and (k,P)-truss), plus the meta-path machinery it rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csag_bench::config::{sea_params, sea_params_truss, QUERY_SEED, SEA_SEED};
+use csag_core::distance::DistanceParams;
+use csag_core::hetero_cs::SeaHetero;
+use csag_datasets::{hetero_queries, standins};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_hetero(c: &mut Criterion) {
+    let d = standins::dblp_like();
+    let k = d.default_k;
+    let q = hetero_queries(&d, 1, k, QUERY_SEED)[0];
+    let dp = DistanceParams::default();
+
+    let mut group = c.benchmark_group("tab5_hetero");
+    group.sample_size(10);
+    group.bench_function("p_neighbors", |b| {
+        b.iter(|| black_box(d.graph.p_neighbors(q, &d.meta_path)))
+    });
+    group.bench_function("sea_kp_core", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(SEA_SEED);
+            let sea = SeaHetero::new(&d.graph, d.meta_path.clone(), dp);
+            black_box(sea.run(q, &sea_params(k), &mut rng))
+        })
+    });
+    group.bench_function("sea_kp_truss", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(SEA_SEED);
+            let sea = SeaHetero::new(&d.graph, d.meta_path.clone(), dp);
+            black_box(sea.run(q, &sea_params_truss(k), &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hetero);
+criterion_main!(benches);

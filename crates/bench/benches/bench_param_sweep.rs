@@ -1,0 +1,60 @@
+//! Criterion micro-benchmark behind Figure 8: SEA response time as the
+//! user-facing parameters vary (λ, error bound e, k).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csag_bench::config::{sea_params, QUERY_SEED, SEA_SEED};
+use csag_core::distance::DistanceParams;
+use csag_core::sea::Sea;
+use csag_datasets::{random_queries, standins};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_param_sweep(c: &mut Criterion) {
+    let d = standins::github_like();
+    let k = d.default_k;
+    let q = random_queries(&d.graph, 1, k, QUERY_SEED)[0];
+    let dp = DistanceParams::default();
+
+    let mut group = c.benchmark_group("fig8_params");
+    group.sample_size(10);
+    for lambda in [0.1, 0.2, 0.5] {
+        let params = sea_params(k).with_lambda(lambda);
+        group.bench_with_input(
+            BenchmarkId::new("lambda", format!("{lambda}")),
+            &params,
+            |b, p| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(SEA_SEED);
+                    black_box(Sea::new(&d.graph, dp).run(q, p, &mut rng))
+                })
+            },
+        );
+    }
+    for e in [0.01, 0.02, 0.05] {
+        let params = sea_params(k).with_error_bound(e);
+        group.bench_with_input(
+            BenchmarkId::new("error_bound", format!("{e}")),
+            &params,
+            |b, p| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(SEA_SEED);
+                    black_box(Sea::new(&d.graph, dp).run(q, p, &mut rng))
+                })
+            },
+        );
+    }
+    for kk in [k, k + 2] {
+        let params = sea_params(kk);
+        group.bench_with_input(BenchmarkId::new("k", format!("{kk}")), &params, |b, p| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(SEA_SEED);
+                black_box(Sea::new(&d.graph, dp).run(q, p, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_param_sweep);
+criterion_main!(benches);

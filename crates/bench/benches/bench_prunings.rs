@@ -1,0 +1,39 @@
+//! Criterion micro-benchmark behind Table IV: exact search under each
+//! pruning configuration on an ablation mini graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csag_bench::config::QUERY_SEED;
+use csag_core::distance::DistanceParams;
+use csag_core::exact::{Exact, ExactParams, PruningConfig};
+use csag_datasets::{random_queries, standins};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_prunings(c: &mut Criterion) {
+    let d = &standins::ablation_minis()[0];
+    let k = d.default_k;
+    let q = random_queries(&d.graph, 1, k, QUERY_SEED)[0];
+    let dp = DistanceParams::default();
+
+    let mut group = c.benchmark_group("tab4_prunings");
+    group.sample_size(10);
+    for (name, pruning) in [
+        ("all", PruningConfig::ALL),
+        ("no_p3", PruningConfig::NO_P3),
+        ("p1_only", PruningConfig::P1_ONLY),
+        ("none", PruningConfig::NONE),
+    ] {
+        let params = ExactParams::default()
+            .with_k(k)
+            .with_pruning(pruning)
+            .with_state_budget(50_000)
+            .with_time_budget(Duration::from_secs(2));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &params, |b, p| {
+            b.iter(|| black_box(Exact::new(&d.graph, dp).run(q, p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prunings);
+criterion_main!(benches);

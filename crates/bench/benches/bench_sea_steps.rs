@@ -1,0 +1,43 @@
+//! Criterion micro-benchmark behind Figure 5(d): SEA's pipeline steps in
+//! isolation — neighborhood growth (S1), BLB estimation (S2) — plus the
+//! end-to-end query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csag_bench::config::{sea_params, QUERY_SEED, SEA_SEED};
+use csag_core::distance::{DistanceParams, QueryDistances};
+use csag_core::sea::{grow_neighborhood, Sea};
+use csag_datasets::{random_queries, standins};
+use csag_stats::Blb;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_steps(c: &mut Criterion) {
+    let d = standins::facebook_like();
+    let k = d.default_k;
+    let q = random_queries(&d.graph, 1, k, QUERY_SEED)[0];
+    let dp = DistanceParams::default();
+
+    let mut group = c.benchmark_group("sea_steps");
+    group.bench_function("s1_grow_neighborhood", |b| {
+        b.iter(|| {
+            let mut dist = QueryDistances::new(q, d.graph.n(), dp);
+            black_box(grow_neighborhood(&d.graph, q, 800, &mut dist))
+        })
+    });
+    group.bench_function("s2_blb_estimate_100", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<f64> = (0..100).map(|i| 0.1 + (i % 13) as f64 * 0.003).collect();
+        b.iter(|| black_box(Blb::default().estimate(&data, 1.96, &mut rng)))
+    });
+    group.bench_function("end_to_end", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(SEA_SEED);
+            black_box(Sea::new(&d.graph, dp).run(q, &sea_params(k), &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the substrate layers: core/truss
+//! decomposition, restricted peeling, distance evaluation, Hoeffding
+//! sizing, and weighted sampling. These underpin every table and figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csag_bench::config::QUERY_SEED;
+use csag_core::distance::{DistanceParams, QueryDistances};
+use csag_core::CommunityModel;
+use csag_datasets::{random_queries, standins};
+use csag_decomp::{core_decomposition, truss_decomposition, Maintainer};
+use csag_stats::{min_population_size, weighted_sample_without_replacement};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_substrates(c: &mut Criterion) {
+    let d = standins::facebook_like();
+    let g = &d.graph;
+    let k = d.default_k;
+    let q = random_queries(g, 1, k, QUERY_SEED)[0];
+
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10);
+    group.bench_function("core_decomposition", |b| {
+        b.iter(|| black_box(core_decomposition(g)))
+    });
+    group.bench_function("truss_decomposition", |b| {
+        b.iter(|| black_box(truss_decomposition(g)))
+    });
+    group.bench_function("maximal_kcore", |b| {
+        let mut m = Maintainer::new(g, CommunityModel::KCore, k);
+        b.iter(|| black_box(m.maximal(q)))
+    });
+    group.bench_function("maximal_ktruss", |b| {
+        let mut m = Maintainer::new(g, CommunityModel::KTruss, k);
+        b.iter(|| black_box(m.maximal(q)))
+    });
+    group.bench_function("distance_cache_warm_1000", |b| {
+        let nodes: Vec<u32> = (0..1000).collect();
+        b.iter(|| {
+            let mut dist = QueryDistances::new(q, g.n(), DistanceParams::default());
+            dist.warm(g, &nodes);
+            black_box(dist.delta(g, &nodes))
+        })
+    });
+    group.bench_function("hoeffding_min_population", |b| {
+        b.iter(|| black_box(min_population_size(5, 4_000, 0.18, 0.05)))
+    });
+    group.bench_function("weighted_sample_800_of_4000", |b| {
+        let weights: Vec<f64> = (0..4000).map(|i| 0.2 + (i % 10) as f64 * 0.08).collect();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(weighted_sample_without_replacement(&weights, 800, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

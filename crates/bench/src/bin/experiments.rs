@@ -1,0 +1,70 @@
+//! Experiment driver: regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--quick] [--threads N] <id>... | all | list
+//! ```
+//!
+//! Ids: fig5 tab2 tab3 fig6 tab4 tab5 fig7 fig8 fig9 fig10.
+//! Output is github-flavored markdown on stdout (tee it into
+//! EXPERIMENTS.md sections).
+
+use csag_bench::config::Scale;
+use csag_bench::{all_ids, run_experiment};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::full();
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => scale.quick = true,
+            "--threads" => {
+                let n = iter
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or_else(|| die("--threads needs a number"));
+                scale.threads = n.max(1);
+            }
+            "list" => {
+                for id in all_ids() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(all_ids().iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        die("no experiments requested; try `experiments list` or `experiments all`");
+    }
+    ids.dedup();
+
+    println!(
+        "# SEA reproduction experiments ({} mode, {} threads)\n",
+        if scale.quick { "quick" } else { "full" },
+        scale.threads
+    );
+    for id in &ids {
+        let t = Instant::now();
+        eprintln!("[experiments] running {id} ...");
+        match run_experiment(id, &scale) {
+            Some(md) => {
+                println!("## {id}\n");
+                println!("{md}");
+                eprintln!("[experiments] {id} done in {:.1}s", t.elapsed().as_secs_f64());
+            }
+            None => die(&format!("unknown experiment id `{id}`")),
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,180 @@
+//! Figure 5: effectiveness and efficiency on homogeneous graphs.
+//!
+//! (a) attribute distance δ per method, (b) relative error of δ w.r.t. the
+//! exact ground truth, (c) response time, (d) SEA's per-step time
+//! breakdown (S1 sampling / S2 estimation / S3 incremental sampling).
+
+use crate::config::{Scale, QUERY_SEED, SEA_SEED};
+use crate::runner::{
+    mean, parallel_map, run_acq, run_e_vac, run_exact, run_loc_atc, run_sea, run_vac, Budgets,
+    MethodRun,
+};
+use crate::table::{fmt_ms, fmt_pct, Table};
+use csag_core::distance::DistanceParams;
+use csag_core::sea::SeaTiming;
+use csag_core::CommunityModel;
+use csag_datasets::standins;
+use csag_datasets::{random_queries, Dataset};
+use csag_eval::relative_error;
+
+struct QueryOutcome {
+    exact: Option<MethodRun>,
+    sea: Option<(MethodRun, SeaTiming)>,
+    loc_atc: Option<MethodRun>,
+    acq: Option<MethodRun>,
+    vac: Option<MethodRun>,
+    e_vac: Option<MethodRun>,
+}
+
+const METHODS: [&str; 6] = ["Exact", "SEA (ours)", "LocATC-Core", "ACQ-Core", "VAC-Core", "E-VAC-Core"];
+
+fn datasets(scale: &Scale) -> Vec<Dataset> {
+    if scale.quick {
+        vec![standins::facebook_like()]
+    } else {
+        standins::all_homogeneous()
+    }
+}
+
+/// Runs the Figure-5 suite and renders tables (a)–(d).
+pub fn run(scale: &Scale) -> String {
+    let dp = DistanceParams::default();
+    let model = CommunityModel::KCore;
+    let budgets = Budgets { exact_time: scale.exact_budget(), evac_states: scale.evac_budget(), ..Default::default() };
+
+    let mut tab_a = Table::new(
+        "Figure 5(a): attribute distance δ (mean over queries; lower is better)",
+        &["dataset", "queries", "k", METHODS[0], METHODS[1], METHODS[2], METHODS[3], METHODS[4], METHODS[5]],
+    );
+    let mut tab_b = Table::new(
+        "Figure 5(b): relative error of δ w.r.t. Exact (mean %)",
+        &["dataset", METHODS[1], METHODS[2], METHODS[3], METHODS[4], METHODS[5]],
+    );
+    let mut tab_c = Table::new(
+        "Figure 5(c): response time (mean per query)",
+        &["dataset", METHODS[0], METHODS[1], METHODS[2], METHODS[3], METHODS[4], METHODS[5], "SEA speedup (min)"],
+    );
+    let mut tab_d = Table::new(
+        "Figure 5(d): SEA per-step time (mean per query)",
+        &["dataset", "S1 sampling", "S2 estimation", "S3 incremental"],
+    );
+
+    for d in datasets(scale) {
+        let k = d.default_k;
+        let n_queries = scale.queries_for(d.graph.n());
+        let queries = random_queries(&d.graph, n_queries, k, QUERY_SEED);
+        let sea_params = crate::config::sea_params(k);
+        let allow_evac = scale.evac_allowed(d.graph.n());
+
+        let outcomes: Vec<QueryOutcome> = parallel_map(&queries, scale.threads, |q| {
+            QueryOutcome {
+                exact: run_exact(&d.graph, q, k, model, dp, &budgets),
+                sea: run_sea(&d.graph, q, &sea_params, dp, SEA_SEED)
+                    .map(|(run, res)| (run, res.timing)),
+                loc_atc: run_loc_atc(&d.graph, q, k, model, dp),
+                acq: run_acq(&d.graph, q, k, model, dp, false),
+                vac: run_vac(&d.graph, q, k, model, dp, &budgets),
+                e_vac: allow_evac.then(|| run_e_vac(&d.graph, q, k, model, dp, &budgets)).flatten(),
+            }
+        });
+
+        // --- (a): mean δ per method.
+        let delta_of = |sel: &dyn Fn(&QueryOutcome) -> Option<f64>| -> String {
+            let vals: Vec<f64> = outcomes.iter().filter_map(|o| sel(o)).collect();
+            if vals.is_empty() {
+                "-".into()
+            } else {
+                format!("{:.4}", mean(vals.iter().copied()))
+            }
+        };
+        tab_a.add_row(vec![
+            d.name.clone(),
+            queries.len().to_string(),
+            k.to_string(),
+            delta_of(&|o| o.exact.as_ref().map(|r| r.delta)),
+            delta_of(&|o| o.sea.as_ref().map(|(r, _)| r.delta)),
+            delta_of(&|o| o.loc_atc.as_ref().map(|r| r.delta)),
+            delta_of(&|o| o.acq.as_ref().map(|r| r.delta)),
+            delta_of(&|o| o.vac.as_ref().map(|r| r.delta)),
+            delta_of(&|o| o.e_vac.as_ref().map(|r| r.delta)),
+        ]);
+
+        // --- (b): relative error vs Exact (only where both exist).
+        let rel_of = |sel: &dyn Fn(&QueryOutcome) -> Option<f64>| -> String {
+            let vals: Vec<f64> = outcomes
+                .iter()
+                .filter_map(|o| {
+                    let exact = o.exact.as_ref()?.delta;
+                    sel(o).map(|d| relative_error(d, exact))
+                })
+                .filter(|e| e.is_finite())
+                .collect();
+            if vals.is_empty() {
+                "-".into()
+            } else {
+                fmt_pct(mean(vals.iter().copied()))
+            }
+        };
+        tab_b.add_row(vec![
+            d.name.clone(),
+            rel_of(&|o| o.sea.as_ref().map(|(r, _)| r.delta)),
+            rel_of(&|o| o.loc_atc.as_ref().map(|r| r.delta)),
+            rel_of(&|o| o.acq.as_ref().map(|r| r.delta)),
+            rel_of(&|o| o.vac.as_ref().map(|r| r.delta)),
+            rel_of(&|o| o.e_vac.as_ref().map(|r| r.delta)),
+        ]);
+
+        // --- (c): mean time per method + SEA's minimum speedup.
+        let ms_of = |sel: &dyn Fn(&QueryOutcome) -> Option<f64>| -> Option<f64> {
+            let vals: Vec<f64> = outcomes.iter().filter_map(|o| sel(o)).collect();
+            (!vals.is_empty()).then(|| mean(vals.iter().copied()))
+        };
+        let sea_ms = ms_of(&|o| o.sea.as_ref().map(|(r, _)| r.millis));
+        let others_ms: Vec<Option<f64>> = vec![
+            ms_of(&|o| o.exact.as_ref().map(|r| r.millis)),
+            ms_of(&|o| o.loc_atc.as_ref().map(|r| r.millis)),
+            ms_of(&|o| o.acq.as_ref().map(|r| r.millis)),
+            ms_of(&|o| o.vac.as_ref().map(|r| r.millis)),
+            ms_of(&|o| o.e_vac.as_ref().map(|r| r.millis)),
+        ];
+        let speedup = match (sea_ms, others_ms.iter().flatten().copied().reduce(f64::min)) {
+            (Some(s), Some(fastest_other)) if s > 0.0 => {
+                format!("{:.2}x", fastest_other / s)
+            }
+            _ => "-".into(),
+        };
+        let fmt_opt = |v: Option<f64>| v.map(fmt_ms).unwrap_or_else(|| "-".into());
+        tab_c.add_row(vec![
+            d.name.clone(),
+            fmt_opt(others_ms[0]),
+            fmt_opt(sea_ms),
+            fmt_opt(others_ms[1]),
+            fmt_opt(others_ms[2]),
+            fmt_opt(others_ms[3]),
+            fmt_opt(others_ms[4]),
+            speedup,
+        ]);
+
+        // --- (d): SEA step breakdown.
+        let step = |sel: &dyn Fn(&SeaTiming) -> f64| -> f64 {
+            mean(
+                outcomes
+                    .iter()
+                    .filter_map(|o| o.sea.as_ref().map(|(_, t)| sel(t) * 1000.0)),
+            )
+        };
+        tab_d.add_row(vec![
+            d.name.clone(),
+            fmt_ms(step(&|t| t.sampling.as_secs_f64())),
+            fmt_ms(step(&|t| t.estimation.as_secs_f64())),
+            fmt_ms(step(&|t| t.incremental.as_secs_f64())),
+        ]);
+    }
+
+    let mut out = String::new();
+    out.push_str(&tab_a.to_markdown());
+    out.push_str(&tab_b.to_markdown());
+    out.push_str(&tab_c.to_markdown());
+    out.push_str(&tab_d.to_markdown());
+    out
+}

@@ -1,0 +1,165 @@
+//! Figure 8: parameter sensitivity of SEA (panels a–l).
+//!
+//! Sweeps λ, Hoeffding ϵ, Hoeffding confidence 1−β, error bound e, CI
+//! confidence 1−α, and k — on the dblp-like projection and the
+//! twitter-like graph (the paper's DBLP/Twitter pair). Efficiency (mean
+//! response time) and effectiveness (mean δ, or mean relative error for
+//! the e/α panels) per sweep point.
+
+use crate::config::{Scale, QUERY_SEED, SEA_SEED};
+use crate::runner::{mean, parallel_map, run_exact, Budgets};
+use crate::table::{fmt_ms, fmt_pct, Table};
+use csag_core::distance::DistanceParams;
+use csag_core::sea::{Sea, SeaParams};
+use csag_core::CommunityModel;
+use csag_datasets::{random_queries, standins};
+use csag_eval::relative_error;
+use csag_graph::{AttributedGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which quantity a panel reports alongside time.
+enum Effect {
+    Delta,
+    RelativeError,
+}
+
+fn sweep(
+    table: &mut Table,
+    dataset: &str,
+    panel: &str,
+    g: &AttributedGraph,
+    queries: &[NodeId],
+    scale: &Scale,
+    points: &[(String, SeaParams)],
+    effect: Effect,
+) {
+    let dp = DistanceParams::default();
+    // Exact ground truth per query, shared by relative-error panels.
+    let budgets = Budgets { exact_time: scale.exact_budget(), ..Default::default() };
+    let exact: Vec<Option<f64>> = match effect {
+        Effect::RelativeError => parallel_map(queries, scale.threads, |q| {
+            run_exact(g, q, points[0].1.k, CommunityModel::KCore, dp, &budgets)
+                .map(|r| r.delta)
+        }),
+        Effect::Delta => vec![None; queries.len()],
+    };
+
+    for (label, params) in points {
+        let runs: Vec<Option<(f64, f64)>> = parallel_map(queries, scale.threads, |q| {
+            let mut rng = StdRng::seed_from_u64(SEA_SEED ^ (q as u64) << 16);
+            let t = std::time::Instant::now();
+            let res = Sea::new(g, dp).run(q, params, &mut rng)?;
+            Some((t.elapsed().as_secs_f64() * 1000.0, res.delta_star))
+        });
+        let mut ms = Vec::new();
+        let mut eff = Vec::new();
+        for (i, r) in runs.iter().enumerate() {
+            if let Some((m, delta)) = r {
+                ms.push(*m);
+                match effect {
+                    Effect::Delta => eff.push(*delta),
+                    Effect::RelativeError => {
+                        if let Some(Some(e)) = exact.get(i) {
+                            let rel = relative_error(*delta, *e);
+                            if rel.is_finite() {
+                                eff.push(rel);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let eff_str = if eff.is_empty() {
+            "-".to_string()
+        } else {
+            match effect {
+                Effect::Delta => format!("{:.4}", mean(eff.iter().copied())),
+                Effect::RelativeError => fmt_pct(mean(eff.iter().copied())),
+            }
+        };
+        table.add_row(vec![
+            dataset.into(),
+            panel.into(),
+            label.clone(),
+            if ms.is_empty() { "-".into() } else { fmt_ms(mean(ms.iter().copied())) },
+            eff_str,
+        ]);
+    }
+}
+
+/// Runs the full parameter-sensitivity suite.
+pub fn run(scale: &Scale) -> String {
+    let mut table = Table::new(
+        "Figure 8: parameter sensitivity (mean response time; δ or relative error)",
+        &["dataset", "panel", "value", "time", "δ / rel.err"],
+    );
+
+    let dblp = standins::dblp_like();
+    let dblp_proj = dblp.graph.project(&dblp.meta_path).graph;
+    let twitter = if scale.quick { None } else { Some(standins::twitter_like()) };
+
+    let mut graphs: Vec<(&str, &AttributedGraph, u32)> =
+        vec![("dblp-like (projected)", &dblp_proj, dblp.default_k)];
+    if let Some(t) = &twitter {
+        graphs.push(("twitter-like", &t.graph, t.default_k));
+    }
+
+    let n_queries = if scale.quick { 3 } else { 8 };
+    for (name, g, k) in graphs {
+        let queries = random_queries(g, n_queries, k, QUERY_SEED);
+        let base = crate::config::sea_params(k);
+
+        // (a)/(b): λ sweep.
+        let lambdas = if scale.quick { vec![0.2, 0.8] } else { vec![0.05, 0.2, 0.4, 0.6, 0.8, 1.0] };
+        let points: Vec<(String, SeaParams)> = lambdas
+            .iter()
+            .map(|&l| (format!("λ={l}"), base.clone().with_lambda(l)))
+            .collect();
+        sweep(&mut table, name, "lambda", g, &queries, scale, &points, Effect::Delta);
+
+        // (c)/(d): Hoeffding ϵ sweep.
+        // ϵ rescaled to the stand-in regime (see config::sea_params).
+        let eps = if scale.quick { vec![0.30, 0.14] } else { vec![0.30, 0.22, 0.18, 0.14, 0.10] };
+        let points: Vec<(String, SeaParams)> = eps
+            .iter()
+            .map(|&e| (format!("ϵ={e}"), base.clone().with_hoeffding(e, 0.95)))
+            .collect();
+        sweep(&mut table, name, "hoeffding-eps", g, &queries, scale, &points, Effect::Delta);
+
+        // (e)/(f): Hoeffding confidence sweep.
+        let betas = if scale.quick { vec![0.90, 0.98] } else { vec![0.86, 0.90, 0.94, 0.98] };
+        let points: Vec<(String, SeaParams)> = betas
+            .iter()
+            .map(|&c| (format!("1-β={c}"), base.clone().with_hoeffding(0.18, c)))
+            .collect();
+        sweep(&mut table, name, "hoeffding-conf", g, &queries, scale, &points, Effect::Delta);
+
+        // (g)/(h): error bound e sweep (relative error panel).
+        let errs = if scale.quick { vec![0.02, 0.05] } else { vec![0.01, 0.02, 0.03, 0.04, 0.05] };
+        let points: Vec<(String, SeaParams)> = errs
+            .iter()
+            .map(|&e| (format!("e={}%", e * 100.0), base.clone().with_error_bound(e)))
+            .collect();
+        sweep(&mut table, name, "error-bound", g, &queries, scale, &points, Effect::RelativeError);
+
+        // (i)/(j): CI confidence sweep (relative error panel).
+        let alphas = if scale.quick { vec![0.90, 0.98] } else { vec![0.86, 0.90, 0.94, 0.98] };
+        let points: Vec<(String, SeaParams)> = alphas
+            .iter()
+            .map(|&c| (format!("1-α={c}"), base.clone().with_confidence(c)))
+            .collect();
+        sweep(&mut table, name, "ci-conf", g, &queries, scale, &points, Effect::RelativeError);
+
+        // (k)/(l): k sweep.
+        let ks: Vec<u32> = if scale.quick {
+            vec![k, k + 1]
+        } else {
+            (k..k + 5).collect()
+        };
+        let points: Vec<(String, SeaParams)> =
+            ks.iter().map(|&kk| (format!("k={kk}"), base.clone().with_k(kk))).collect();
+        sweep(&mut table, name, "k", g, &queries, scale, &points, Effect::Delta);
+    }
+    table.to_markdown()
+}

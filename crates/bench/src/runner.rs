@@ -1,0 +1,300 @@
+//! Shared per-query method runners and parallel query evaluation.
+//!
+//! Every experiment compares methods on the same footing: each method
+//! returns its community, the community's q-centric attribute distance δ
+//! (the paper's Figure-5(a) metric, evaluated identically for everyone),
+//! and the wall-clock time.
+
+use csag_baselines::{acq, e_vac, loc_atc, vac, EVacLimits};
+use csag_core::distance::{DistanceParams, QueryDistances};
+use csag_core::exact::{Exact, ExactParams, ExactStatus};
+use csag_core::sea::{Sea, SeaParams, SeaResult};
+use csag_core::CommunityModel;
+use csag_graph::{AttributedGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// One method's outcome on one query.
+#[derive(Clone, Debug)]
+pub struct MethodRun {
+    /// Community (sorted, contains q).
+    pub community: Vec<NodeId>,
+    /// q-centric attribute distance δ of the community.
+    pub delta: f64,
+    /// Wall-clock milliseconds.
+    pub millis: f64,
+    /// True when the method self-reported optimality (Exact only).
+    pub optimal: bool,
+}
+
+/// Budgets that keep exponential methods bounded (the paper reports
+/// `> 4h` / `-` in the same situations).
+#[derive(Clone, Copy, Debug)]
+pub struct Budgets {
+    /// Time budget per exact query.
+    pub exact_time: Duration,
+    /// State budget for E-VAC.
+    pub evac_states: u64,
+    /// E-VAC refuses roots larger than this (returns `-`).
+    pub evac_max_root: usize,
+    /// Peeling-iteration cap for approximate VAC.
+    pub vac_max_iters: usize,
+}
+
+impl Default for Budgets {
+    fn default() -> Self {
+        Budgets {
+            exact_time: Duration::from_secs(10),
+            evac_states: 3_000,
+            evac_max_root: 320,
+            vac_max_iters: 1_500,
+        }
+    }
+}
+
+fn delta_of(g: &AttributedGraph, q: NodeId, comm: &[NodeId], dp: DistanceParams) -> f64 {
+    QueryDistances::new(q, g.n(), dp).delta(g, comm)
+}
+
+/// Runs the exact algorithm (all prunings, warm start) under a time budget.
+pub fn run_exact(
+    g: &AttributedGraph,
+    q: NodeId,
+    k: u32,
+    model: CommunityModel,
+    dp: DistanceParams,
+    budgets: &Budgets,
+) -> Option<MethodRun> {
+    let params = ExactParams::default()
+        .with_k(k)
+        .with_model(model)
+        .with_time_budget(budgets.exact_time);
+    let res = Exact::new(g, dp).run(q, &params)?;
+    Some(MethodRun {
+        community: res.community,
+        delta: res.delta,
+        millis: res.elapsed.as_secs_f64() * 1000.0,
+        optimal: res.status == ExactStatus::Optimal,
+    })
+}
+
+/// Runs SEA with a query-derived RNG seed; also returns the full
+/// [`SeaResult`] for timing breakdowns and round logs.
+pub fn run_sea(
+    g: &AttributedGraph,
+    q: NodeId,
+    params: &SeaParams,
+    dp: DistanceParams,
+    seed: u64,
+) -> Option<(MethodRun, SeaResult)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (q as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let t = std::time::Instant::now();
+    let res = Sea::new(g, dp).run(q, params, &mut rng)?;
+    let millis = t.elapsed().as_secs_f64() * 1000.0;
+    Some((
+        MethodRun { community: res.community.clone(), delta: res.delta_star, millis, optimal: false },
+        res,
+    ))
+}
+
+/// Runs LocATC and scores its community under δ.
+pub fn run_loc_atc(
+    g: &AttributedGraph,
+    q: NodeId,
+    k: u32,
+    model: CommunityModel,
+    dp: DistanceParams,
+) -> Option<MethodRun> {
+    let res = loc_atc(g, q, k, model)?;
+    Some(MethodRun {
+        delta: delta_of(g, q, &res.community, dp),
+        millis: res.elapsed.as_secs_f64() * 1000.0,
+        community: res.community,
+        optimal: false,
+    })
+}
+
+/// Runs ACQ and scores its community under δ. `None` additionally when the
+/// graph has no textual attributes at all (the Table-V knowledge-graph
+/// situation where equality matching cannot return a shared community).
+pub fn run_acq(
+    g: &AttributedGraph,
+    q: NodeId,
+    k: u32,
+    model: CommunityModel,
+    dp: DistanceParams,
+    numeric_only: bool,
+) -> Option<MethodRun> {
+    if numeric_only {
+        return None;
+    }
+    let res = acq(g, q, k, model)?;
+    Some(MethodRun {
+        delta: delta_of(g, q, &res.community, dp),
+        millis: res.elapsed.as_secs_f64() * 1000.0,
+        community: res.community,
+        optimal: false,
+    })
+}
+
+/// Runs approximate VAC (iteration-capped) and scores its community
+/// under δ.
+pub fn run_vac(
+    g: &AttributedGraph,
+    q: NodeId,
+    k: u32,
+    model: CommunityModel,
+    dp: DistanceParams,
+    budgets: &Budgets,
+) -> Option<MethodRun> {
+    let res = vac(g, q, k, model, dp, Some(budgets.vac_max_iters))?;
+    Some(MethodRun {
+        delta: delta_of(g, q, &res.community, dp),
+        millis: res.elapsed.as_secs_f64() * 1000.0,
+        community: res.community,
+        optimal: false,
+    })
+}
+
+/// Runs exact VAC under state/time/root budgets and scores its community
+/// under δ.
+pub fn run_e_vac(
+    g: &AttributedGraph,
+    q: NodeId,
+    k: u32,
+    model: CommunityModel,
+    dp: DistanceParams,
+    budgets: &Budgets,
+) -> Option<MethodRun> {
+    let limits = EVacLimits {
+        state_budget: Some(budgets.evac_states),
+        max_root: Some(budgets.evac_max_root),
+        time_budget: Some(budgets.exact_time),
+    };
+    let res = e_vac(g, q, k, model, dp, &limits)?;
+    Some(MethodRun {
+        delta: delta_of(g, q, &res.community, dp),
+        millis: res.elapsed.as_secs_f64() * 1000.0,
+        community: res.community,
+        optimal: false,
+    })
+}
+
+/// Evaluates `f` over all queries in parallel (one crossbeam scope,
+/// `threads` workers), preserving query order in the output.
+pub fn parallel_map<T, F>(queries: &[NodeId], threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(NodeId) -> T + Sync,
+{
+    let threads = threads.max(1).min(queries.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, T)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= queries.len() {
+                            break;
+                        }
+                        local.push((i, f(queries[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope failed");
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Mean of an iterator of f64 values; 0 when empty.
+pub fn mean<I: IntoIterator<Item = f64>>(xs: I) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for x in xs {
+        sum += x;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csag_datasets::generator::{generate, SyntheticConfig};
+    use csag_datasets::random_queries;
+
+    fn small() -> AttributedGraph {
+        generate(&SyntheticConfig { nodes: 200, communities: 5, ..Default::default() }, 1).0
+    }
+
+    #[test]
+    fn all_methods_return_valid_communities() {
+        let g = small();
+        let q = random_queries(&g, 1, 3, 42)[0];
+        let dp = DistanceParams::default();
+        let budgets = Budgets {
+            exact_time: Duration::from_secs(5),
+            evac_states: 2_000,
+            ..Default::default()
+        };
+        let model = CommunityModel::KCore;
+        let sea_params = SeaParams::default().with_k(3).with_error_bound(0.1);
+
+        let mut runs: Vec<(&str, MethodRun)> = Vec::new();
+        runs.push(("Exact", run_exact(&g, q, 3, model, dp, &budgets).unwrap()));
+        runs.push(("SEA", run_sea(&g, q, &sea_params, dp, 7).unwrap().0));
+        runs.push(("LocATC", run_loc_atc(&g, q, 3, model, dp).unwrap()));
+        runs.push(("ACQ", run_acq(&g, q, 3, model, dp, false).unwrap()));
+        runs.push(("VAC", run_vac(&g, q, 3, model, dp, &budgets).unwrap()));
+        runs.push(("E-VAC", run_e_vac(&g, q, 3, model, dp, &budgets).unwrap()));
+        for (name, run) in &runs {
+            assert!(run.community.binary_search(&q).is_ok(), "{name} lost q");
+            assert!(run.delta >= 0.0 && run.delta <= 1.0, "{name} delta {}", run.delta);
+            assert!(run.millis >= 0.0);
+        }
+        // Exact is never worse than anyone on δ.
+        let exact_delta = runs[0].1.delta;
+        for (name, run) in &runs[1..] {
+            assert!(
+                exact_delta <= run.delta + 1e-9,
+                "{name} beat Exact: {} < {exact_delta}",
+                run.delta
+            );
+        }
+    }
+
+    #[test]
+    fn acq_skipped_on_numeric_only() {
+        let g = small();
+        let q = random_queries(&g, 1, 3, 42)[0];
+        assert!(run_acq(&g, q, 3, CommunityModel::KCore, DistanceParams::default(), true)
+            .is_none());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let queries: Vec<u32> = (0..37).collect();
+        let out = parallel_map(&queries, 4, |q| q * 2);
+        assert_eq!(out, (0..37).map(|q| q * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(std::iter::empty::<f64>()), 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Table II: each method's community scored under *every* attribute
+//! cohesiveness metric (facebook-like), with competition ranks and the
+//! total rank.
+
+use crate::config::{Scale, QUERY_SEED, SEA_SEED};
+use crate::runner::{
+    parallel_map, run_acq, run_e_vac, run_exact, run_loc_atc, run_sea, run_vac, Budgets,
+};
+use crate::table::Table;
+use csag_core::distance::DistanceParams;
+use csag_core::CommunityModel;
+use csag_datasets::{random_queries, standins};
+use csag_eval::{atc_score, max_pairwise_distance, ranks, shared_attributes, Direction};
+use csag_graph::{AttributedGraph, NodeId};
+
+const METHODS: [&str; 6] =
+    ["SEA (ours)", "LocATC-Core", "ACQ-Core", "VAC-Core", "Exact (ours)", "E-VAC-Core"];
+
+/// Per-method mean scores under the four metrics.
+#[derive(Clone, Copy, Default)]
+struct Scores {
+    minmax: f64,
+    coverage: f64,
+    shared: f64,
+    delta: f64,
+    count: usize,
+}
+
+fn score_community(
+    g: &AttributedGraph,
+    q: NodeId,
+    comm: &[NodeId],
+    delta: f64,
+    dp: DistanceParams,
+) -> (f64, f64, f64, f64) {
+    let (minmax, _) = max_pairwise_distance(g, comm, dp);
+    let coverage = atc_score(g, q, comm);
+    let shared = shared_attributes(g, q, comm) as f64;
+    (minmax, coverage, shared, delta)
+}
+
+/// Runs the Table-II study.
+pub fn run(scale: &Scale) -> String {
+    let d = standins::facebook_like();
+    let dp = DistanceParams::default();
+    let model = CommunityModel::KCore;
+    let k = d.default_k;
+    let budgets = Budgets { exact_time: scale.exact_budget(), evac_states: scale.evac_budget(), ..Default::default() };
+    let queries = random_queries(&d.graph, scale.queries_for(d.graph.n()), k, QUERY_SEED);
+    let sea_params = crate::config::sea_params(k);
+
+    let per_query: Vec<Vec<Option<(f64, f64, f64, f64)>>> =
+        parallel_map(&queries, scale.threads, |q| {
+            let mut row = Vec::with_capacity(METHODS.len());
+            let mut push = |r: Option<(Vec<NodeId>, f64)>| {
+                row.push(r.map(|(c, delta)| score_community(&d.graph, q, &c, delta, dp)));
+            };
+            push(run_sea(&d.graph, q, &sea_params, dp, SEA_SEED)
+                .map(|(r, _)| (r.community, r.delta)));
+            push(run_loc_atc(&d.graph, q, k, model, dp).map(|r| (r.community, r.delta)));
+            push(run_acq(&d.graph, q, k, model, dp, false).map(|r| (r.community, r.delta)));
+            push(run_vac(&d.graph, q, k, model, dp, &budgets).map(|r| (r.community, r.delta)));
+            push(run_exact(&d.graph, q, k, model, dp, &budgets).map(|r| (r.community, r.delta)));
+            push(run_e_vac(&d.graph, q, k, model, dp, &budgets).map(|r| (r.community, r.delta)));
+            row
+        });
+
+    // Aggregate means per method.
+    let mut scores = [Scores::default(); 6];
+    for row in &per_query {
+        for (m, cell) in row.iter().enumerate() {
+            if let Some((minmax, coverage, shared, delta)) = cell {
+                scores[m].minmax += minmax;
+                scores[m].coverage += coverage;
+                scores[m].shared += shared;
+                scores[m].delta += delta;
+                scores[m].count += 1;
+            }
+        }
+    }
+    for s in &mut scores {
+        if s.count > 0 {
+            let n = s.count as f64;
+            s.minmax /= n;
+            s.coverage /= n;
+            s.shared /= n;
+            s.delta /= n;
+        } else {
+            // Methods that never ran (e.g. E-VAC refusing large roots)
+            // must rank last, not first; NaN sorts last in `ranks`.
+            s.minmax = f64::NAN;
+            s.coverage = f64::NAN;
+            s.shared = f64::NAN;
+            s.delta = f64::NAN;
+        }
+    }
+
+    let minmax_ranks = ranks(&scores.map(|s| s.minmax), Direction::LowerBetter);
+    let coverage_ranks = ranks(&scores.map(|s| s.coverage), Direction::HigherBetter);
+    let shared_ranks = ranks(&scores.map(|s| s.shared), Direction::HigherBetter);
+    let delta_ranks = ranks(&scores.map(|s| s.delta), Direction::LowerBetter);
+
+    let mut table = Table::new(
+        &format!(
+            "Table II: attribute cohesiveness under each method's own metric \
+             (facebook-like, {} queries, k={k}; rank in parentheses)",
+            queries.len()
+        ),
+        &["method", "min-max (VAC)", "coverage (ATC)", "#shared (ACQ)", "δ (ours)", "total rank"],
+    );
+    for (m, name) in METHODS.iter().enumerate() {
+        if scores[m].count == 0 {
+            table.add_row(vec![name.to_string(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        }
+        let total = minmax_ranks[m] + coverage_ranks[m] + shared_ranks[m] + delta_ranks[m];
+        table.add_row(vec![
+            name.to_string(),
+            format!("{:.4} ({})", scores[m].minmax, minmax_ranks[m]),
+            format!("{:.2} ({})", scores[m].coverage, coverage_ranks[m]),
+            format!("{:.3} ({})", scores[m].shared, shared_ranks[m]),
+            format!("{:.4} ({})", scores[m].delta, delta_ranks[m]),
+            total.to_string(),
+        ]);
+    }
+    table.to_markdown()
+}

@@ -1,0 +1,146 @@
+//! Table V: heterogeneous graphs — response time and relative error of δ
+//! for core- and truss-based methods.
+//!
+//! SEA runs natively on the heterogeneous graph (§VI-A: P-neighbor BFS +
+//! projection of the sampled neighborhood). The comparison methods only
+//! understand homogeneous graphs, so — exactly as the paper does — the
+//! graph is converted (projected under the meta-path) first and the
+//! baselines run on the conversion. The exact ground truth for relative
+//! error comes from the exact algorithm on the projection (time-budgeted).
+//! ACQ rows are `-` on the numerical-only knowledge graphs where equality
+//! matching cannot share any attribute.
+
+use crate::config::{Scale, QUERY_SEED, SEA_SEED};
+use crate::runner::{mean, parallel_map, run_acq, run_exact, run_loc_atc, run_vac, Budgets};
+use crate::table::{fmt_ms, fmt_pct, Table};
+use csag_core::distance::DistanceParams;
+use csag_core::hetero_cs::SeaHetero;
+use csag_core::CommunityModel;
+use csag_datasets::{hetero_queries, standins, HeteroDataset};
+use csag_eval::relative_error;
+use csag_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn datasets(scale: &Scale) -> Vec<HeteroDataset> {
+    if scale.quick {
+        vec![standins::dblp_like()]
+    } else {
+        standins::all_heterogeneous()
+    }
+}
+
+struct Cell {
+    ms: Vec<f64>,
+    rel: Vec<f64>,
+}
+
+impl Cell {
+    fn new() -> Self {
+        Cell { ms: Vec::new(), rel: Vec::new() }
+    }
+
+    fn render(&self) -> String {
+        if self.ms.is_empty() {
+            return "-".into();
+        }
+        let ms = mean(self.ms.iter().copied());
+        let rel: Vec<f64> = self.rel.iter().copied().filter(|r| r.is_finite()).collect();
+        if rel.is_empty() {
+            format!("{} / -", fmt_ms(ms))
+        } else {
+            format!("{} / {}", fmt_ms(ms), fmt_pct(mean(rel.into_iter())))
+        }
+    }
+}
+
+/// Runs the Table-V study. Each cell is `mean time / mean relative error`.
+pub fn run(scale: &Scale) -> String {
+    let dp = DistanceParams::default();
+    let mut table = Table::new(
+        "Table V: heterogeneous graphs — response time / relative error of δ \
+         (core methods above, truss methods below; baselines run on the meta-path projection)",
+        &["dataset", "SEA (ours)", "ACQ-Core", "LocATC-Core", "VAC-Core", "SEA-Truss", "LocATC-Truss", "VAC-Truss"],
+    );
+
+    for d in datasets(scale) {
+        let k = d.default_k;
+        let n_queries = if scale.quick { 3 } else { 8 };
+        let queries = hetero_queries(&d, n_queries, k, QUERY_SEED);
+        // One full projection per dataset (offline conversion, not timed).
+        let projection = d.graph.project(&d.meta_path);
+        let budgets = Budgets { exact_time: scale.exact_budget(), ..Default::default() };
+
+        // Column order matches the table header.
+        let mut cells: Vec<Cell> = (0..7).map(|_| Cell::new()).collect();
+        let outcomes = parallel_map(&queries, scale.threads, |q| {
+            let lq: NodeId = match projection.local(q) {
+                Some(l) => l,
+                None => return Vec::new(),
+            };
+            let pg = &projection.graph;
+            // Ground truths from the projection (core + truss).
+            let exact_core = run_exact(pg, lq, k, CommunityModel::KCore, dp, &budgets);
+            let exact_truss = run_exact(pg, lq, k, CommunityModel::KTruss, dp, &budgets);
+
+            let mut row: Vec<Option<(f64, f64)>> = Vec::with_capacity(7); // (ms, rel)
+            let rel = |delta: f64, exact: &Option<crate::runner::MethodRun>| -> f64 {
+                exact.as_ref().map(|e| relative_error(delta, e.delta)).unwrap_or(f64::NAN)
+            };
+
+            // SEA on the native heterogeneous graph.
+            let sea = {
+                let mut rng = StdRng::seed_from_u64(SEA_SEED ^ q as u64);
+                let t = std::time::Instant::now();
+                let params = crate::config::sea_params(k);
+                SeaHetero::new(&d.graph, d.meta_path.clone(), dp)
+                    .run(q, &params, &mut rng)
+                    .map(|r| (t.elapsed().as_secs_f64() * 1000.0, r.delta_star))
+            };
+            row.push(sea.map(|(ms, delta)| (ms, rel(delta, &exact_core))));
+            row.push(
+                run_acq(pg, lq, k, CommunityModel::KCore, dp, d.numeric_only)
+                    .map(|r| (r.millis, rel(r.delta, &exact_core))),
+            );
+            row.push(
+                run_loc_atc(pg, lq, k, CommunityModel::KCore, dp)
+                    .map(|r| (r.millis, rel(r.delta, &exact_core))),
+            );
+            row.push(
+                run_vac(pg, lq, k, CommunityModel::KCore, dp, &budgets)
+                    .map(|r| (r.millis, rel(r.delta, &exact_core))),
+            );
+            // Truss methods.
+            let sea_truss = {
+                let mut rng = StdRng::seed_from_u64(SEA_SEED ^ q as u64 ^ 0x7055);
+                let t = std::time::Instant::now();
+                let params = crate::config::sea_params_truss(k);
+                SeaHetero::new(&d.graph, d.meta_path.clone(), dp)
+                    .run(q, &params, &mut rng)
+                    .map(|r| (t.elapsed().as_secs_f64() * 1000.0, r.delta_star))
+            };
+            row.push(sea_truss.map(|(ms, delta)| (ms, rel(delta, &exact_truss))));
+            row.push(
+                run_loc_atc(pg, lq, k, CommunityModel::KTruss, dp)
+                    .map(|r| (r.millis, rel(r.delta, &exact_truss))),
+            );
+            row.push(
+                run_vac(pg, lq, k, CommunityModel::KTruss, dp, &budgets)
+                    .map(|r| (r.millis, rel(r.delta, &exact_truss))),
+            );
+            row
+        });
+        for row in outcomes {
+            for (c, cell) in row.into_iter().enumerate() {
+                if let Some((ms, rel)) = cell {
+                    cells[c].ms.push(ms);
+                    cells[c].rel.push(rel);
+                }
+            }
+        }
+        let mut out_row = vec![d.name.clone()];
+        out_row.extend(cells.iter().map(Cell::render));
+        table.add_row(out_row);
+    }
+    table.to_markdown()
+}

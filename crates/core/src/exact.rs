@@ -1,0 +1,583 @@
+//! The exact CS-AG algorithm (paper §IV, Algorithm 1).
+//!
+//! Starting from the maximal connected k-core of `q`, enumerate sub-states
+//! by deleting nodes in descending composite-distance order (*priority
+//! enumeration*), with three pruning strategies:
+//!
+//! * **P1 — duplicate states** (Theorems 3–4): a substate reached by
+//!   deleting `v` whose cascade removed a node `v_m` with
+//!   `f(v_m,q) > f(u,q)` (`u` = the node whose deletion created the current
+//!   state) was already visited along another branch.
+//! * **P2 — unnecessary states** (Theorem 5): only delete nodes with
+//!   `f(·,q) > δ(current state)`.
+//! * **P3 — unpromising states** (Theorem 6): prune a state whose
+//!   lower-bound distance (mean of the smallest `min_size − 1` distances,
+//!   Eqs. 3–4) is no better than the best δ found so far.
+//!
+//! Each strategy can be toggled independently ([`PruningConfig`]) to
+//! reproduce the paper's Table IV ablation, and a state/time budget turns
+//! runaway configurations into explicit `ExactStatus::BudgetExhausted`
+//! results the way the paper reports `> 8 days`.
+
+use crate::distance::{DistanceParams, QueryDistances};
+use csag_decomp::{CommunityModel, Maintainer};
+use csag_graph::{AttributedGraph, NodeId};
+use std::time::{Duration, Instant};
+
+/// Which pruning strategies are active (Table IV ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PruningConfig {
+    /// P1: prune duplicate states (Theorems 3–4).
+    pub duplicate: bool,
+    /// P2: prune unnecessary states (Theorem 5).
+    pub unnecessary: bool,
+    /// P3: prune unpromising states (Theorem 6).
+    pub unpromising: bool,
+}
+
+impl Default for PruningConfig {
+    fn default() -> Self {
+        PruningConfig { duplicate: true, unnecessary: true, unpromising: true }
+    }
+}
+
+impl PruningConfig {
+    /// All prunings on (the paper's `Exact`).
+    pub const ALL: PruningConfig =
+        PruningConfig { duplicate: true, unnecessary: true, unpromising: true };
+    /// P1+P2 (the paper's `Exact\P3`).
+    pub const NO_P3: PruningConfig =
+        PruningConfig { duplicate: true, unnecessary: true, unpromising: false };
+    /// P1 only (the paper's `Exact\P3+P2`).
+    pub const P1_ONLY: PruningConfig =
+        PruningConfig { duplicate: true, unnecessary: false, unpromising: false };
+    /// No prunings (the paper's `Exact w/o P`).
+    pub const NONE: PruningConfig =
+        PruningConfig { duplicate: false, unnecessary: false, unpromising: false };
+}
+
+/// Parameters of an exact search.
+#[derive(Clone, Debug)]
+pub struct ExactParams {
+    /// Structure cohesion parameter k.
+    pub k: u32,
+    /// Community model (k-core by default; k-truss per §VI-C).
+    pub model: CommunityModel,
+    /// Active pruning strategies.
+    pub pruning: PruningConfig,
+    /// Abort after visiting this many states (`None` = unlimited).
+    pub state_budget: Option<u64>,
+    /// Abort after this much wall-clock time (`None` = unlimited).
+    pub time_budget: Option<Duration>,
+    /// Seed the incumbent with a greedy farthest-node descent before
+    /// enumerating. Never changes the optimum — it only tightens the
+    /// Theorem-6 bound from the first state, which shrinks the search
+    /// tree by orders of magnitude on homogeneous-attribute communities.
+    pub warm_start: bool,
+}
+
+impl Default for ExactParams {
+    fn default() -> Self {
+        ExactParams {
+            k: 4,
+            model: CommunityModel::KCore,
+            pruning: PruningConfig::default(),
+            state_budget: None,
+            time_budget: None,
+            warm_start: true,
+        }
+    }
+}
+
+impl ExactParams {
+    /// Sets `k`.
+    pub fn with_k(mut self, k: u32) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the community model.
+    pub fn with_model(mut self, model: CommunityModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the pruning configuration.
+    pub fn with_pruning(mut self, pruning: PruningConfig) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
+    /// Sets a state budget.
+    pub fn with_state_budget(mut self, states: u64) -> Self {
+        self.state_budget = Some(states);
+        self
+    }
+
+    /// Sets a time budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Disables the greedy warm start (e.g. to reproduce raw state counts).
+    pub fn without_warm_start(mut self) -> Self {
+        self.warm_start = false;
+        self
+    }
+}
+
+/// How the search finished.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExactStatus {
+    /// The full (pruned) search tree was exhausted: the result is optimal.
+    Optimal,
+    /// The state or time budget ran out: the result is the best so far.
+    BudgetExhausted,
+}
+
+/// Result of an exact CS-AG search.
+#[derive(Clone, Debug)]
+pub struct ExactResult {
+    /// The best community found (sorted node ids, contains `q`).
+    pub community: Vec<NodeId>,
+    /// Its attribute distance δ.
+    pub delta: f64,
+    /// Number of states visited in the search tree (root included).
+    pub states_explored: u64,
+    /// Termination status.
+    pub status: ExactStatus,
+    /// Wall-clock time of the whole search.
+    pub elapsed: Duration,
+}
+
+/// The exact CS-AG solver.
+pub struct Exact<'g> {
+    g: &'g AttributedGraph,
+    dparams: DistanceParams,
+}
+
+struct SearchCtx<'g> {
+    g: &'g AttributedGraph,
+    q: NodeId,
+    pruning: PruningConfig,
+    min_size: usize,
+    best: Vec<NodeId>,
+    best_delta: f64,
+    states: u64,
+    state_budget: u64,
+    deadline: Option<Instant>,
+    out_of_budget: bool,
+}
+
+impl<'g> Exact<'g> {
+    /// Creates a solver over `g` with the given distance parameters.
+    pub fn new(g: &'g AttributedGraph, dparams: DistanceParams) -> Self {
+        Exact { g, dparams }
+    }
+
+    /// Runs the exact search from query node `q`. Returns `None` when `q`
+    /// has no community under the chosen model/k (e.g. no k-core).
+    pub fn run(&self, q: NodeId, params: &ExactParams) -> Option<ExactResult> {
+        let start = Instant::now();
+        let mut maintainer = Maintainer::new(self.g, params.model, params.k);
+        let root = maintainer.maximal(q)?;
+
+        let mut dist = QueryDistances::new(q, self.g.n(), self.dparams);
+        dist.warm(self.g, &root);
+        let root_delta = dist.delta(self.g, &root);
+
+        // Optional warm start, two phases. Phase 1: *prefix peeling* — sort
+        // members by f(·,q) and peel geometrically spaced prefixes of the
+        // closest nodes; the δ-optimum is close to "the nearest nodes that
+        // still hold a community", so some prefix lands near it at a cost
+        // of O(#prefixes · |E_root|). Phase 2: greedy farthest-node descent
+        // from the best prefix, refining the incumbent one deletion at a
+        // time. Neither phase affects optimality — they only tighten the
+        // Theorem-6 bound before enumeration starts.
+        let deadline = params.time_budget.map(|b| start + b);
+        let mut incumbent = (root.clone(), root_delta);
+        if params.warm_start {
+            let mut by_f: Vec<(f64, NodeId)> = root
+                .iter()
+                .filter(|&&v| v != q)
+                .map(|&v| (dist.get(self.g, v), v))
+                .collect();
+            by_f.sort_unstable_by(|a, b| {
+                a.0.partial_cmp(&b.0).expect("no NaN").then(a.1.cmp(&b.1))
+            });
+            let min_others = params.model.min_size(params.k).saturating_sub(1).max(1);
+            let mut size = min_others;
+            let mut prefix: Vec<NodeId> = Vec::with_capacity(root.len());
+            while size < by_f.len() {
+                prefix.clear();
+                prefix.push(q);
+                prefix.extend(by_f[..size].iter().map(|&(_, v)| v));
+                if let Some(cand) = maintainer.maximal_within(q, &prefix) {
+                    let d = dist.delta(self.g, &cand);
+                    if d < incumbent.1 {
+                        incumbent = (cand, d);
+                    }
+                }
+                size = (size * 5 / 4).max(size + 1);
+                if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                    break;
+                }
+            }
+
+            let mut cur = incumbent.0.clone();
+            loop {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    break;
+                }
+                let Some((_, worst)) = cur
+                    .iter()
+                    .filter(|&&v| v != q)
+                    .map(|&v| (dist.get(self.g, v), v))
+                    .max_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN").then(a.1.cmp(&b.1)))
+                else {
+                    break;
+                };
+                let shrunk: Vec<NodeId> =
+                    cur.iter().copied().filter(|&x| x != worst).collect();
+                match maintainer.maximal_within(q, &shrunk) {
+                    Some(next) => {
+                        let d = dist.delta(self.g, &next);
+                        if d < incumbent.1 {
+                            incumbent = (next.clone(), d);
+                        }
+                        cur = next;
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        let mut ctx = SearchCtx {
+            g: self.g,
+            q,
+            pruning: params.pruning,
+            min_size: params.model.min_size(params.k),
+            best: incumbent.0,
+            best_delta: incumbent.1,
+            states: 0,
+            state_budget: params.state_budget.unwrap_or(u64::MAX),
+            deadline: params.time_budget.map(|b| start + b),
+            out_of_budget: false,
+        };
+        enumerate(&mut ctx, &mut maintainer, &mut dist, &root, root_delta, f64::INFINITY);
+
+        Some(ExactResult {
+            delta: ctx.best_delta,
+            community: ctx.best,
+            states_explored: ctx.states,
+            status: if ctx.out_of_budget {
+                ExactStatus::BudgetExhausted
+            } else {
+                ExactStatus::Optimal
+            },
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+/// Lower bound on δ over all substates (Eqs. 3–4): the mean of the
+/// `need` smallest `f(·,q)` values among the state's members (q excluded,
+/// since δ never averages over q).
+fn lower_bound(
+    ctx: &mut SearchCtx<'_>,
+    dist: &mut QueryDistances,
+    state: &[NodeId],
+    need: usize,
+) -> f64 {
+    if need == 0 {
+        return 0.0;
+    }
+    let mut smallest: Vec<f64> = state
+        .iter()
+        .filter(|&&v| v != ctx.q)
+        .map(|&v| dist.get(ctx.g, v))
+        .collect();
+    if smallest.len() <= need {
+        return if smallest.is_empty() {
+            0.0
+        } else {
+            smallest.iter().sum::<f64>() / smallest.len() as f64
+        };
+    }
+    smallest.select_nth_unstable_by(need - 1, |a, b| a.partial_cmp(b).expect("no NaN"));
+    let head = &smallest[..need];
+    head.iter().sum::<f64>() / need as f64
+}
+
+fn enumerate(
+    ctx: &mut SearchCtx<'_>,
+    maintainer: &mut Maintainer<'_>,
+    dist: &mut QueryDistances,
+    state: &[NodeId],
+    state_delta: f64,
+    f_u: f64,
+) {
+    ctx.states += 1;
+    if ctx.states >= ctx.state_budget
+        || ctx.deadline.is_some_and(|d| Instant::now() >= d)
+    {
+        ctx.out_of_budget = true;
+        return;
+    }
+
+    // P3: prune unpromising states (Theorem 6).
+    if ctx.pruning.unpromising {
+        let lb = lower_bound(ctx, dist, state, ctx.min_size - 1);
+        if lb >= ctx.best_delta {
+            return;
+        }
+    }
+
+    // Candidate deletions: by Theorem 5 only nodes with f(·,q) > δ(state)
+    // can improve δ (P2); otherwise every non-q node is a candidate.
+    let mut candidates: Vec<(f64, NodeId)> = state
+        .iter()
+        .filter(|&&v| v != ctx.q)
+        .map(|&v| (dist.get(ctx.g, v), v))
+        .filter(|&(f, _)| !ctx.pruning.unnecessary || f > state_delta)
+        .collect();
+    // Priority enumeration: descending f(·,q) (Lemma 1). Ties broken by id
+    // for determinism.
+    candidates.sort_unstable_by(|a, b| {
+        b.0.partial_cmp(&a.0).expect("no NaN").then(a.1.cmp(&b.1))
+    });
+
+    let mut scratch: Vec<NodeId> = Vec::with_capacity(state.len());
+    for (f_v, v) in candidates {
+        if ctx.out_of_budget {
+            return;
+        }
+        scratch.clear();
+        scratch.extend(state.iter().copied().filter(|&x| x != v));
+        let Some(substate) = maintainer.maximal_within(ctx.q, &scratch) else {
+            // Deleting v collapses q's community; no substate to visit.
+            continue;
+        };
+
+        // P1: duplicate-state pruning (Theorem 4). v_m is the deleted node
+        // with the largest f(·,q) among everything the cascade removed.
+        if ctx.pruning.duplicate {
+            let mut f_vm = f_v;
+            // `state` and `substate` are sorted; walk both to find removals.
+            let (mut i, mut j) = (0, 0);
+            while i < state.len() {
+                if j < substate.len() && state[i] == substate[j] {
+                    i += 1;
+                    j += 1;
+                } else {
+                    let removed = state[i];
+                    if removed != v {
+                        f_vm = f_vm.max(dist.get(ctx.g, removed));
+                    }
+                    i += 1;
+                }
+            }
+            if f_vm > f_u {
+                continue;
+            }
+        }
+
+        let sub_delta = dist.delta(ctx.g, &substate);
+        if sub_delta < ctx.best_delta {
+            ctx.best_delta = sub_delta;
+            ctx.best = substate.clone();
+        }
+        enumerate(ctx, maintainer, dist, &substate, sub_delta, f_v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csag_graph::GraphBuilder;
+
+    /// The paper's Figure 2(c)/Figure 3 example: the connected 2-core on
+    /// {v1..v6} with q = v5 and the composite distances printed above
+    /// Figure 3: f(v1,q)=0.7, f(v2,q)=0.6, f(v3,q)=0.6, f(v4,q)=0.5,
+    /// f(v6,q)=0.3.
+    ///
+    /// We realize these distances with a single numerical attribute and
+    /// γ = 0 (node value = desired distance, q = 0, range [0,1] via two
+    /// anchor values).
+    fn figure3_graph() -> (AttributedGraph, NodeId) {
+        let mut b = GraphBuilder::new(1);
+        // Index 0 unused anchor at 1.0 to pin normalization to [0,1].
+        // Nodes: v1..v6 at indices 1..=6; q = v5 (index 5, value 0).
+        let values = [1.0, 0.7, 0.6, 0.6, 0.5, 0.0, 0.3];
+        for &x in &values {
+            b.add_node(&[], &[x]);
+        }
+        // Edges of the 2-core in Fig 2(c): v1-v2, v1-v3, v2-v3, v2-v4,
+        // v3-v6, v4-v5, v5-v6, v4-v6, v1-v5.
+        // Chosen so every node has degree >= 2 and the search tree of
+        // Fig 3 makes sense (v1's deletion keeps a 2-core, etc.).
+        for (u, v) in [(1, 2), (1, 3), (2, 3), (2, 4), (3, 6), (4, 5), (5, 6), (4, 6), (1, 5)] {
+            b.add_edge(u, v).unwrap();
+        }
+        (b.build().unwrap(), 5)
+    }
+
+    fn exact_params() -> ExactParams {
+        ExactParams::default().with_k(2)
+    }
+
+    #[test]
+    fn distances_match_figure3() {
+        let (g, q) = figure3_graph();
+        let mut dist = QueryDistances::new(q, g.n(), DistanceParams::with_gamma(0.0));
+        let expect = [(1, 0.7), (2, 0.6), (3, 0.6), (4, 0.5), (6, 0.3)];
+        for (v, f) in expect {
+            assert!((dist.get(&g, v) - f).abs() < 1e-12, "f(v{v},q)");
+        }
+        // δ(H̃₂) = (0.7+0.6+0.6+0.5+0.3)/5 = 0.54 (paper Example 2).
+        let root = csag_decomp::max_connected_kcore(&g, q, 2).unwrap();
+        assert_eq!(root, vec![1, 2, 3, 4, 5, 6]);
+        assert!((dist.delta(&g, &root) - 0.54).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_finds_optimum_on_figure3() {
+        let (g, q) = figure3_graph();
+        let exact = Exact::new(&g, DistanceParams::with_gamma(0.0));
+        let res = exact.run(q, &exact_params()).unwrap();
+        assert_eq!(res.status, ExactStatus::Optimal);
+        assert!(res.community.contains(&q));
+        // Brute-force reference: try every subset containing q that is a
+        // connected 2-core.
+        let (best_delta, best) = brute_force(&g, q, 2);
+        assert!(
+            (res.delta - best_delta).abs() < 1e-12,
+            "exact delta {} vs brute {}",
+            res.delta,
+            best_delta
+        );
+        assert_eq!(res.community, best);
+    }
+
+    /// Brute force over all subsets (graph is tiny).
+    fn brute_force(g: &AttributedGraph, q: NodeId, k: u32) -> (f64, Vec<NodeId>) {
+        let n = g.n();
+        let mut dist = QueryDistances::new(q, n, DistanceParams::with_gamma(0.0));
+        let mut best = (f64::INFINITY, Vec::new());
+        for mask in 1u32..(1 << n) {
+            if mask & (1 << q) == 0 {
+                continue;
+            }
+            let nodes: Vec<NodeId> =
+                (0..n as NodeId).filter(|&v| mask & (1 << v) != 0).collect();
+            // Is it a connected k-core by itself?
+            let ok_deg = nodes.iter().all(|&v| {
+                g.neighbors(v).iter().filter(|w| nodes.binary_search(w).is_ok()).count()
+                    >= k as usize
+            });
+            if !ok_deg || !csag_graph::traversal::is_connected_subset(g, &nodes) {
+                continue;
+            }
+            let d = dist.delta(g, &nodes);
+            if d < best.0 - 1e-15 {
+                best = (d, nodes);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn pruning_preserves_optimality() {
+        let (g, q) = figure3_graph();
+        let exact = Exact::new(&g, DistanceParams::with_gamma(0.0));
+        let reference = exact.run(q, &exact_params()).unwrap();
+        for pruning in [
+            PruningConfig::NO_P3,
+            PruningConfig::P1_ONLY,
+            PruningConfig::NONE,
+        ] {
+            let res = exact
+                .run(q, &exact_params().with_pruning(pruning))
+                .unwrap();
+            assert!(
+                (res.delta - reference.delta).abs() < 1e-12,
+                "pruning {pruning:?} changed the optimum"
+            );
+            assert_eq!(res.community, reference.community, "pruning {pruning:?}");
+        }
+    }
+
+    #[test]
+    fn more_pruning_visits_fewer_states() {
+        let (g, q) = figure3_graph();
+        let exact = Exact::new(&g, DistanceParams::with_gamma(0.0));
+        let full = exact.run(q, &exact_params()).unwrap();
+        let no_p3 = exact
+            .run(q, &exact_params().with_pruning(PruningConfig::NO_P3))
+            .unwrap();
+        let p1 = exact
+            .run(q, &exact_params().with_pruning(PruningConfig::P1_ONLY))
+            .unwrap();
+        let none = exact
+            .run(q, &exact_params().with_pruning(PruningConfig::NONE))
+            .unwrap();
+        assert!(full.states_explored <= no_p3.states_explored);
+        assert!(no_p3.states_explored <= p1.states_explored);
+        assert!(p1.states_explored <= none.states_explored);
+        assert!(
+            none.states_explored > full.states_explored,
+            "prunings must bite: {} vs {}",
+            none.states_explored,
+            full.states_explored
+        );
+    }
+
+    #[test]
+    fn no_community_returns_none() {
+        let (g, _q) = figure3_graph();
+        let exact = Exact::new(&g, DistanceParams::default());
+        // Node 0 is isolated: no 2-core.
+        assert!(exact.run(0, &exact_params()).is_none());
+        // k too large for anyone.
+        assert!(exact.run(5, &exact_params().with_k(10)).is_none());
+    }
+
+    #[test]
+    fn state_budget_reports_exhaustion() {
+        let (g, q) = figure3_graph();
+        let exact = Exact::new(&g, DistanceParams::with_gamma(0.0));
+        let res = exact
+            .run(
+                q,
+                &exact_params()
+                    .with_pruning(PruningConfig::NONE)
+                    .with_state_budget(2),
+            )
+            .unwrap();
+        assert_eq!(res.status, ExactStatus::BudgetExhausted);
+        assert!(res.states_explored <= 3);
+        // Still returns a valid community (the root).
+        assert!(res.community.contains(&q));
+    }
+
+    #[test]
+    fn truss_model_runs() {
+        // 4-clique plus a pendant triangle; k-truss(4) = the clique.
+        let mut b = GraphBuilder::new(1);
+        for x in [0.0, 0.2, 0.4, 0.6, 0.9, 1.0] {
+            b.add_node(&[], &[x]);
+        }
+        for (u, v) in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 5)] {
+            b.add_edge(u, v).unwrap();
+        }
+        let g = b.build().unwrap();
+        let exact = Exact::new(&g, DistanceParams::with_gamma(0.0));
+        let params = ExactParams::default()
+            .with_k(4)
+            .with_model(CommunityModel::KTruss);
+        let res = exact.run(0, &params).unwrap();
+        assert_eq!(res.community, vec![0, 1, 2, 3]);
+        assert_eq!(res.status, ExactStatus::Optimal);
+    }
+}

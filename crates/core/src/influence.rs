@@ -1,0 +1,147 @@
+//! Influential-community building blocks (the paper's §VI-A HIC
+//! extension).
+//!
+//! Heterogeneous influential community search (Zhou et al., PVLDB'23)
+//! scores a community by an *influence vector* and keeps communities whose
+//! vector is not skyline-dominated. The paper sketches how SEA supports
+//! it: run the same sampling pipeline but estimate the MAX of each
+//! influence element with Extreme Value Theory instead of a mean with
+//! BLB. This module provides those pieces:
+//!
+//! * [`influence_vector`] — the community's per-dimension influence
+//!   (classic influential-community semantics: the minimum member value,
+//!   i.e. every member "has at least this much influence");
+//! * [`dominates`] / [`skyline`] — skyline dominance over vectors;
+//! * [`estimate_influence_ceiling`] — the EVT-based estimate of the
+//!   per-dimension maximum attainable over a sampled population, used to
+//!   judge how close a candidate community's influence is to the best
+//!   possible.
+
+use csag_graph::{AttributedGraph, NodeId};
+use csag_stats::evt::estimate_population_max;
+
+/// The influence vector of a community: per numeric dimension, the
+/// minimum raw attribute value over the members (each member guarantees
+/// at least this influence). Empty communities yield an empty vector.
+pub fn influence_vector(g: &AttributedGraph, community: &[NodeId]) -> Vec<f64> {
+    let dims = g.attrs().dims();
+    let mut out = vec![f64::INFINITY; dims];
+    if community.is_empty() {
+        return Vec::new();
+    }
+    for &v in community {
+        for (d, &x) in g.numeric_raw(v).iter().enumerate() {
+            out[d] = out[d].min(x);
+        }
+    }
+    out
+}
+
+/// Skyline dominance: `a` dominates `b` when `a` is at least as large in
+/// every component and strictly larger in at least one. Vectors of
+/// different lengths never dominate each other.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    if a.len() != b.len() || a.is_empty() {
+        return false;
+    }
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Indices of the skyline (non-dominated) vectors among `vectors`.
+/// Duplicated vectors all survive (none strictly dominates its equal).
+pub fn skyline(vectors: &[Vec<f64>]) -> Vec<usize> {
+    (0..vectors.len())
+        .filter(|&i| {
+            !vectors
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && dominates(other, &vectors[i]))
+        })
+        .collect()
+}
+
+/// EVT estimate of the highest influence any community drawn from
+/// `population_nodes` could reach per dimension: the expected
+/// per-dimension maximum over the whole population, extrapolated from the
+/// sampled nodes (paper §VI-A: "EVT-based MAX value estimation for each
+/// element in the influence vector").
+pub fn estimate_influence_ceiling(
+    g: &AttributedGraph,
+    sampled_nodes: &[NodeId],
+    population_size: usize,
+) -> Vec<f64> {
+    let dims = g.attrs().dims();
+    (0..dims)
+        .map(|d| {
+            let data: Vec<f64> =
+                sampled_nodes.iter().map(|&v| g.numeric_raw(v)[d]).collect();
+            let block = (data.len() as f64).sqrt().max(2.0) as usize;
+            estimate_population_max(&data, block, population_size)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csag_graph::GraphBuilder;
+
+    fn graph() -> AttributedGraph {
+        let mut b = GraphBuilder::new(2);
+        b.add_node(&[], &[5.0, 1.0]);
+        b.add_node(&[], &[3.0, 4.0]);
+        b.add_node(&[], &[8.0, 2.0]);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn influence_is_componentwise_min() {
+        let g = graph();
+        assert_eq!(influence_vector(&g, &[0, 1, 2]), vec![3.0, 1.0]);
+        assert_eq!(influence_vector(&g, &[2]), vec![8.0, 2.0]);
+        assert_eq!(influence_vector(&g, &[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn dominance_rules() {
+        assert!(dominates(&[2.0, 3.0], &[1.0, 3.0]));
+        assert!(!dominates(&[2.0, 3.0], &[2.0, 3.0]), "equal does not dominate");
+        assert!(!dominates(&[2.0, 1.0], &[1.0, 2.0]), "incomparable");
+        assert!(!dominates(&[2.0], &[1.0, 1.0]), "length mismatch");
+    }
+
+    #[test]
+    fn skyline_filters_dominated() {
+        let vectors = vec![
+            vec![1.0, 5.0], // skyline
+            vec![3.0, 3.0], // skyline
+            vec![1.0, 3.0], // dominated by both
+            vec![5.0, 1.0], // skyline
+        ];
+        assert_eq!(skyline(&vectors), vec![0, 1, 3]);
+        assert!(skyline(&[]).is_empty());
+        // Duplicates survive together.
+        let dup = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert_eq!(skyline(&dup), vec![0, 1]);
+    }
+
+    #[test]
+    fn ceiling_bounds_witnessed_values() {
+        let g = graph();
+        let ceil = estimate_influence_ceiling(&g, &[0, 1, 2], 100);
+        assert_eq!(ceil.len(), 2);
+        assert!(ceil[0] >= 8.0, "never below the sampled max");
+        assert!(ceil[1] >= 4.0);
+    }
+}

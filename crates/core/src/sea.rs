@@ -1,0 +1,689 @@
+//! SEA: the sampling-estimation approximate CS-AG algorithm (paper §V).
+//!
+//! The pipeline (Figure 4):
+//!
+//! 1. **Sampling-based maximal H̃ₖ finding (§V-A)** — determine the minimum
+//!    neighborhood size |Gq| from the Hoeffding bound (Theorem 10), grow
+//!    `Gq` around `q` by best-first search on `f(·,q)`, draw
+//!    `|S| = λ·|V_Gq|` samples with probability ∝ `1 − f(v,q)` (Eq. 5),
+//!    and peel the induced graph `Gq[S]` to the maximal connected
+//!    community of `q`.
+//! 2. **Estimation with accuracy guarantee (§V-B)** — estimate δ⋆ of each
+//!    candidate with a Bag-of-Little-Bootstraps confidence interval
+//!    `δ⋆ ± ε` at level `1 − α`; stop as soon as `ε ≤ δ⋆·e/(1+e)`
+//!    (Theorem 11). Candidates are the fixed points of the paper's
+//!    most-dissimilar-node greedy walk, generated directly as peeled
+//!    prefixes of the closest members (see the prefix-ladder comment in
+//!    [`sea_on_population`]).
+//! 3. **Error-based incremental sampling (§V-C)** — if no candidate
+//!    certifies, enlarge the sample by `|ΔS|` (Eq. 12) and repeat.
+//!
+//! Size-bounded search (§VI-B) plugs in through
+//! [`SeaParams::size_bound`]; the k-truss model (§VI-C) through
+//! [`SeaParams::model`]; heterogeneous graphs (§VI-A) through
+//! [`crate::hetero_cs`], which reuses [`sea_on_population`] on a meta-path
+//! projection.
+
+use crate::distance::{DistanceParams, QueryDistances};
+use csag_decomp::{CommunityModel, Maintainer};
+use csag_graph::{AttributedGraph, FixedBitSet, NodeId};
+use csag_stats::{
+    incremental_sample_size, min_population_size, satisfies_error_bound,
+    weighted_sample_without_replacement, z_for_confidence, Blb, ConfidenceInterval,
+};
+use rand::Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Parameters of a SEA query. Defaults match the paper's §VII-A setup.
+#[derive(Clone, Debug)]
+pub struct SeaParams {
+    /// Structure cohesion parameter k.
+    pub k: u32,
+    /// Community model (k-core default, k-truss per §VI-C).
+    pub model: CommunityModel,
+    /// User error bound `e` on the relative error of δ⋆ (default 2%).
+    pub error_bound: f64,
+    /// Confidence level `1 − α` of the CI (default 95%).
+    pub confidence: f64,
+    /// Hoeffding estimation error ϵ (default 0.05).
+    pub hoeffding_epsilon: f64,
+    /// Hoeffding confidence `1 − β` (default 95%).
+    pub hoeffding_confidence: f64,
+    /// Initial sampling fraction λ of |V_Gq| (default 0.2).
+    pub lambda: f64,
+    /// Bag-of-Little-Bootstraps configuration.
+    pub blb: Blb,
+    /// Maximum sampling/estimation rounds before giving up and returning
+    /// the best uncertified candidate (paper: `N_e ≤ 5` in practice).
+    pub max_rounds: usize,
+    /// Maximum greedy candidate deletions examined per round. Bounds the
+    /// estimation step on giant sampled communities; certification
+    /// normally terminates long before the cap.
+    pub max_candidates_per_round: usize,
+    /// Optional size bound `[l, h]` (§VI-B).
+    pub size_bound: Option<(usize, usize)>,
+}
+
+impl Default for SeaParams {
+    fn default() -> Self {
+        SeaParams {
+            k: 4,
+            model: CommunityModel::KCore,
+            error_bound: 0.02,
+            confidence: 0.95,
+            hoeffding_epsilon: 0.05,
+            hoeffding_confidence: 0.95,
+            lambda: 0.2,
+            blb: Blb::default(),
+            max_rounds: 5,
+            max_candidates_per_round: 128,
+            size_bound: None,
+        }
+    }
+}
+
+impl SeaParams {
+    /// Sets `k`.
+    pub fn with_k(mut self, k: u32) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the community model.
+    pub fn with_model(mut self, model: CommunityModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the user error bound `e`.
+    pub fn with_error_bound(mut self, e: f64) -> Self {
+        self.error_bound = e;
+        self
+    }
+
+    /// Sets the CI confidence level `1 − α`.
+    pub fn with_confidence(mut self, c: f64) -> Self {
+        self.confidence = c;
+        self
+    }
+
+    /// Sets the Hoeffding pair `(ϵ, 1 − β)`.
+    pub fn with_hoeffding(mut self, epsilon: f64, confidence: f64) -> Self {
+        self.hoeffding_epsilon = epsilon;
+        self.hoeffding_confidence = confidence;
+        self
+    }
+
+    /// Sets the initial sampling fraction λ.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets a size bound `[l, h]` (§VI-B).
+    pub fn with_size_bound(mut self, l: usize, h: usize) -> Self {
+        assert!(l >= 1 && l <= h, "size bound requires 1 <= l <= h");
+        self.size_bound = Some((l, h));
+        self
+    }
+
+    /// The minimum community size used by the Hoeffding bound: `l` when
+    /// size-bounded, else the model minimum (`k+1` core / `k` truss).
+    pub fn min_members(&self) -> usize {
+        match self.size_bound {
+            Some((l, _)) => l,
+            None => self.model.min_size(self.k),
+        }
+    }
+}
+
+/// One sampling/estimation round of the pipeline (Table VI rows).
+#[derive(Clone, Debug)]
+pub struct SeaRound {
+    /// Point estimate δ⋆ of the round's final candidate.
+    pub delta_star: f64,
+    /// Margin of error ε of that candidate.
+    pub moe: f64,
+    /// Samples added *before* this round (0 for the first).
+    pub added_samples: usize,
+    /// Candidates examined during greedy search this round.
+    pub candidates_examined: usize,
+    /// Wall-clock time of the round.
+    pub elapsed: Duration,
+}
+
+/// Wall-clock breakdown over the three pipeline steps (Figure 5(d)).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SeaTiming {
+    /// S1: neighborhood construction + sampling + peeling.
+    pub sampling: Duration,
+    /// S2: BLB estimation + greedy candidate search.
+    pub estimation: Duration,
+    /// S3: error-based incremental sampling.
+    pub incremental: Duration,
+}
+
+/// Result of a SEA query.
+#[derive(Clone, Debug)]
+pub struct SeaResult {
+    /// The approximate community (sorted node ids of the *input graph*,
+    /// contains `q`).
+    pub community: Vec<NodeId>,
+    /// Point estimate δ⋆ (the exact attribute distance of `community`).
+    pub delta_star: f64,
+    /// Confidence interval δ⋆ ± ε at the requested level.
+    pub ci: ConfidenceInterval,
+    /// Whether Theorem 11 certified the error bound (`false` only when
+    /// `max_rounds` ran out; the result is then best-effort).
+    pub certified: bool,
+    /// Round-by-round log (Table VI).
+    pub rounds: Vec<SeaRound>,
+    /// Per-step timing (Figure 5(d)).
+    pub timing: SeaTiming,
+    /// Size of the sampling population |V_Gq|.
+    pub population_size: usize,
+    /// Final sample size |S|.
+    pub sample_size: usize,
+}
+
+/// The SEA solver for homogeneous attributed graphs.
+pub struct Sea<'g> {
+    g: &'g AttributedGraph,
+    dparams: DistanceParams,
+}
+
+impl<'g> Sea<'g> {
+    /// Creates a solver over `g` with the given distance parameters.
+    pub fn new(g: &'g AttributedGraph, dparams: DistanceParams) -> Self {
+        Sea { g, dparams }
+    }
+
+    /// Runs the full SEA pipeline for query `q`. Returns `None` if no
+    /// community of the requested model/k containing `q` exists within the
+    /// sampled neighborhood even at full population.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        q: NodeId,
+        params: &SeaParams,
+        rng: &mut R,
+    ) -> Option<SeaResult> {
+        let t0 = Instant::now();
+        let mut dist = QueryDistances::new(q, self.g.n(), self.dparams);
+
+        // §V-A: minimum |Gq| by Theorem 10, then best-first growth.
+        let min_gq = min_population_size(
+            params.min_members(),
+            self.g.n(),
+            params.hoeffding_epsilon,
+            1.0 - params.hoeffding_confidence,
+        );
+        let gq_nodes = grow_neighborhood(self.g, q, min_gq, &mut dist);
+        let population = self.g.induced(&gq_nodes);
+        let q_local = population.local(q).expect("q is in its own neighborhood");
+        let sampling_setup = t0.elapsed();
+
+        let mut result = sea_on_population(&population.graph, q_local, self.dparams, params, rng)?;
+        result.timing.sampling += sampling_setup;
+
+        // Map the community back to original ids.
+        result.community = population.originals(&result.community);
+        Some(result)
+    }
+}
+
+/// Best-first (smallest `f(·,q)` first) neighborhood growth from `q` until
+/// `min_size` nodes are collected or the component is exhausted (§V-A).
+/// Returns the collected nodes (sorted); always contains `q`.
+pub fn grow_neighborhood(
+    g: &AttributedGraph,
+    q: NodeId,
+    min_size: usize,
+    dist: &mut QueryDistances,
+) -> Vec<NodeId> {
+    struct Item {
+        f: f64,
+        v: NodeId,
+    }
+    impl PartialEq for Item {
+        fn eq(&self, other: &Self) -> bool {
+            self.f == other.f && self.v == other.v
+        }
+    }
+    impl Eq for Item {}
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Min-heap on f: reverse, tie-break on id for determinism.
+            other
+                .f
+                .partial_cmp(&self.f)
+                .unwrap_or(Ordering::Equal)
+                .then(other.v.cmp(&self.v))
+        }
+    }
+
+    let mut taken = FixedBitSet::new(g.n());
+    let mut queued = FixedBitSet::new(g.n());
+    let mut heap = BinaryHeap::new();
+    queued.insert(q);
+    heap.push(Item { f: 0.0, v: q });
+    let mut out = Vec::with_capacity(min_size.max(1));
+    while let Some(Item { v, .. }) = heap.pop() {
+        if !taken.insert(v) {
+            continue;
+        }
+        out.push(v);
+        if out.len() >= min_size.max(1) {
+            break;
+        }
+        for &w in g.neighbors(v) {
+            if !taken.contains(w) && queued.insert(w) {
+                heap.push(Item { f: dist.get(g, w), v: w });
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Runs sampling + estimation + incremental sampling on a *population
+/// graph* (the induced neighborhood `Gq`, or a meta-path projection of it
+/// for heterogeneous graphs). Node ids in the result are population-local.
+pub fn sea_on_population<R: Rng + ?Sized>(
+    pop: &AttributedGraph,
+    q: NodeId,
+    dparams: DistanceParams,
+    params: &SeaParams,
+    rng: &mut R,
+) -> Option<SeaResult> {
+    let n = pop.n();
+    let mut dist = QueryDistances::new(q, n, dparams);
+    let mut maintainer = Maintainer::new(pop, params.model, params.k);
+    let z = z_for_confidence(params.confidence);
+    let mut timing = SeaTiming::default();
+    let mut rounds: Vec<SeaRound> = Vec::new();
+
+    // Attribute-aware sampling weights Ps(v) ∝ 1 − f(v,q) (Eq. 5).
+    let t_weights = Instant::now();
+    let weights: Vec<f64> = (0..n as NodeId).map(|v| 1.0 - dist.get(pop, v)).collect();
+    let mut in_sample = FixedBitSet::new(n);
+    in_sample.insert(q);
+    let initial = ((params.lambda * n as f64).ceil() as usize)
+        .clamp(params.min_members().min(n), n);
+    add_samples(&weights, &mut in_sample, initial.saturating_sub(1), rng);
+    timing.sampling += t_weights.elapsed();
+
+    let mut best: Option<(Vec<NodeId>, f64, f64)> = None; // (community, δ⋆, ε)
+    let mut certified = false;
+    let mut added_this_round = 0usize;
+
+    for _round in 0..params.max_rounds {
+        let round_start = Instant::now();
+
+        // S1: peel the induced sample to the maximal community of q.
+        let t1 = Instant::now();
+        let sample_nodes = in_sample.to_vec();
+        let candidate = maintainer.maximal_within(q, &sample_nodes);
+        timing.sampling += t1.elapsed();
+
+        if candidate.is_none() {
+            // No community in the sample: enlarge (double) and retry, or
+            // fail definitively once the whole population is sampled.
+            if in_sample.count() == n {
+                return None;
+            }
+            let t3 = Instant::now();
+            let add = in_sample.count().max(1);
+            let added = add_samples(&weights, &mut in_sample, add, rng);
+            added_this_round += added;
+            timing.incremental += t3.elapsed();
+            continue;
+        }
+
+        // S2: BLB estimation over a prefix-candidate ladder.
+        //
+        // The paper walks candidates by deleting the single most dissimilar
+        // node from the sampled root. On sampled graphs whose root spans
+        // several attribute scales that walk can collapse the community
+        // before reaching the attribute-tight core, so we generate the
+        // same family of candidates directly: sort the root's members by
+        // f(·,q) and peel geometrically spaced *prefixes of the closest
+        // nodes* (the greedy walk's fixed points are exactly such
+        // prefixes). Candidates are estimated in ascending size order —
+        // ascending δ⋆ — and the first one that certifies (Theorem 11)
+        // wins, which realizes the paper's "terminate at the first
+        // accurate-enough candidate" semantics at the best achievable δ.
+        let t2 = Instant::now();
+        let mut candidates_examined = 0usize;
+        let mut last_est: Option<(f64, f64, usize)> = None; // (δ⋆, ε, |S_blb|)
+        if let Some(root) = &candidate {
+            let mut by_f: Vec<(f64, NodeId)> = root
+                .iter()
+                .filter(|&&v| v != q)
+                .map(|&v| (dist.get(pop, v), v))
+                .collect();
+            by_f.sort_unstable_by(|a, b| {
+                a.0.partial_cmp(&b.0).expect("no NaN").then(a.1.cmp(&b.1))
+            });
+
+            // Prefix sizes: every size inside a size-bound window, else a
+            // geometric ladder from the model minimum to the full root.
+            let mut sizes: Vec<usize> = Vec::new();
+            match params.size_bound {
+                Some((l, h)) => {
+                    let lo = l.saturating_sub(1).max(1);
+                    let hi = (2 * h).min(by_f.len());
+                    sizes.extend(lo..=hi);
+                }
+                None => {
+                    let mut sz = params.min_members().saturating_sub(1).max(1);
+                    while sz < by_f.len() {
+                        sizes.push(sz);
+                        sz = (sz * 5 / 4).max(sz + 1);
+                    }
+                    sizes.push(by_f.len());
+                }
+            }
+
+            let mut prefix: Vec<NodeId> = Vec::with_capacity(by_f.len() + 1);
+            let mut last_len = 0usize;
+            for size in sizes {
+                if candidates_examined >= params.max_candidates_per_round {
+                    break;
+                }
+                if size > by_f.len() {
+                    break;
+                }
+                prefix.clear();
+                prefix.push(q);
+                prefix.extend(by_f[..size].iter().map(|&(_, v)| v));
+                let Some(cand) = maintainer.maximal_within(q, &prefix) else {
+                    continue;
+                };
+                if cand.len() == last_len {
+                    continue; // same fixed point as the previous prefix
+                }
+                last_len = cand.len();
+                let size_ok = match params.size_bound {
+                    Some((l, h)) => cand.len() >= l && cand.len() <= h,
+                    None => true,
+                };
+                if !size_ok {
+                    continue;
+                }
+                candidates_examined += 1;
+                let data: Vec<f64> =
+                    cand.iter().filter(|&&v| v != q).map(|v| dist.get(pop, *v)).collect();
+                let est = params.blb.estimate(&data, z, rng);
+                last_est = Some((est.point, est.moe, est.blb_sample_size));
+                let pass = satisfies_error_bound(est.moe, est.point, params.error_bound);
+                let better = best.as_ref().is_none_or(|(_, d, _)| est.point < *d);
+                if better {
+                    best = Some((cand.clone(), est.point, est.moe));
+                }
+                if pass {
+                    certified = true;
+                    best = Some((cand, est.point, est.moe));
+                    break;
+                }
+            }
+        }
+        timing.estimation += t2.elapsed();
+
+        let (ds, moe, sblb) = last_est.unwrap_or((0.0, f64::INFINITY, in_sample.count()));
+        rounds.push(SeaRound {
+            delta_star: ds,
+            moe,
+            added_samples: added_this_round,
+            candidates_examined,
+            elapsed: round_start.elapsed(),
+        });
+        added_this_round = 0;
+
+        if certified {
+            break;
+        }
+
+        // S3: error-based incremental sampling (Eq. 12).
+        if in_sample.count() == n {
+            break; // Nothing left to add; return best effort.
+        }
+        let t3 = Instant::now();
+        let want = incremental_sample_size(
+            sblb.max(1),
+            moe.min(1e6),
+            ds,
+            params.error_bound,
+            params.blb.scale_exponent,
+        )
+        .max(1);
+        let added = add_samples(&weights, &mut in_sample, want, rng);
+        added_this_round += added;
+        timing.incremental += t3.elapsed();
+        if added == 0 {
+            break;
+        }
+    }
+
+    let (community, delta_star, moe) = best?;
+    Some(SeaResult {
+        ci: ConfidenceInterval { center: delta_star, moe, confidence: params.confidence },
+        delta_star,
+        certified,
+        rounds,
+        timing,
+        population_size: n,
+        sample_size: in_sample.count(),
+        community,
+    })
+}
+
+/// Draws up to `want` *new* samples (indices not yet in `in_sample`) by
+/// weighted sampling without replacement; returns how many were added.
+fn add_samples<R: Rng + ?Sized>(
+    weights: &[f64],
+    in_sample: &mut FixedBitSet,
+    want: usize,
+    rng: &mut R,
+) -> usize {
+    if want == 0 {
+        return 0;
+    }
+    // Restrict weights to the complement of the current sample.
+    let remaining: Vec<usize> =
+        (0..weights.len()).filter(|&i| !in_sample.contains(i as u32)).collect();
+    if remaining.is_empty() {
+        return 0;
+    }
+    let sub_weights: Vec<f64> = remaining.iter().map(|&i| weights[i]).collect();
+    let picks = weighted_sample_without_replacement(&sub_weights, want, rng);
+    let mut added = 0;
+    for p in picks {
+        if in_sample.insert(remaining[p] as u32) {
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{Exact, ExactParams};
+    use csag_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two planted communities of 12 nodes each, bridged by a few edges.
+    /// Community A (containing q=0) has attribute value ~0.1, community B
+    /// ~0.9, so A is attribute-cohesive around q.
+    fn planted(seed: u64) -> AttributedGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(1);
+        for i in 0..24 {
+            let base = if i < 12 { 0.1 } else { 0.9 };
+            let jitter = rng.gen_range(-0.05..0.05);
+            let topic = if i < 12 { "alpha" } else { "beta" };
+            b.add_node(&[topic], &[base + jitter]);
+        }
+        // Dense intra-community edges.
+        for block in [0u32, 12] {
+            for u in block..block + 12 {
+                for v in (u + 1)..block + 12 {
+                    if rng.gen_bool(0.7) {
+                        b.add_edge(u, v).unwrap();
+                    }
+                }
+            }
+        }
+        // Sparse bridges.
+        for _ in 0..6 {
+            let u = rng.gen_range(0..12);
+            let v = rng.gen_range(12..24);
+            b.add_edge(u, v).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sea_returns_valid_community() {
+        let g = planted(1);
+        let sea = Sea::new(&g, DistanceParams::default());
+        let params = SeaParams::default().with_k(3).with_error_bound(0.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let res = sea.run(0, &params, &mut rng).expect("community exists");
+        assert!(res.community.contains(&0));
+        assert!(res.community.len() >= 4, "at least k+1 nodes");
+        // Structural validity: every member has >= k in-community neighbors.
+        for &v in &res.community {
+            let d = g
+                .neighbors(v)
+                .iter()
+                .filter(|w| res.community.binary_search(w).is_ok())
+                .count();
+            assert!(d >= 3, "node {v} has degree {d} in community");
+        }
+        assert!(csag_graph::traversal::is_connected_subset(&g, &res.community));
+        assert!(!res.rounds.is_empty());
+        assert!(res.population_size >= res.sample_size);
+    }
+
+    #[test]
+    fn sea_prefers_attribute_cohesive_side() {
+        let g = planted(2);
+        let sea = Sea::new(&g, DistanceParams::default());
+        let params = SeaParams::default().with_k(3).with_error_bound(0.05);
+        let mut rng = StdRng::seed_from_u64(3);
+        let res = sea.run(0, &params, &mut rng).unwrap();
+        // Community should stay mostly within the first block.
+        let outsiders = res.community.iter().filter(|&&v| v >= 12).count();
+        assert!(
+            outsiders * 3 <= res.community.len(),
+            "too many dissimilar members: {outsiders}/{}",
+            res.community.len()
+        );
+    }
+
+    #[test]
+    fn sea_delta_close_to_exact_when_certified() {
+        let g = planted(3);
+        let dp = DistanceParams::default();
+        let exact = Exact::new(&g, dp)
+            .run(0, &ExactParams::default().with_k(3))
+            .unwrap();
+        let sea = Sea::new(&g, dp);
+        let params = SeaParams::default().with_k(3).with_error_bound(0.05);
+        let mut rng = StdRng::seed_from_u64(11);
+        let res = sea.run(0, &params, &mut rng).unwrap();
+        if res.certified {
+            let rel = (res.delta_star - exact.delta).abs() / exact.delta;
+            // Certification promises e with confidence 1-α; allow 3x slack
+            // for the single-draw test.
+            assert!(rel < 0.15, "relative error {rel}");
+        }
+    }
+
+    #[test]
+    fn sea_is_deterministic_under_seed() {
+        let g = planted(4);
+        let sea = Sea::new(&g, DistanceParams::default());
+        let params = SeaParams::default().with_k(3);
+        let a = sea.run(0, &params, &mut StdRng::seed_from_u64(5)).unwrap();
+        let b = sea.run(0, &params, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(a.community, b.community);
+        assert_eq!(a.delta_star, b.delta_star);
+    }
+
+    #[test]
+    fn sea_none_when_no_kcore() {
+        let mut b = GraphBuilder::new(1);
+        b.add_node(&["x"], &[0.0]);
+        b.add_node(&["x"], &[1.0]);
+        b.add_edge(0, 1).unwrap();
+        let g = b.build().unwrap();
+        let sea = Sea::new(&g, DistanceParams::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sea.run(0, &SeaParams::default().with_k(3), &mut rng).is_none());
+    }
+
+    #[test]
+    fn size_bound_is_respected() {
+        let g = planted(6);
+        let sea = Sea::new(&g, DistanceParams::default());
+        let params = SeaParams::default()
+            .with_k(2)
+            .with_error_bound(0.25)
+            .with_size_bound(3, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        if let Some(res) = sea.run(0, &params, &mut rng) {
+            assert!(
+                res.community.len() <= 8,
+                "size bound violated: {}",
+                res.community.len()
+            );
+            assert!(res.community.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn grow_neighborhood_prefers_similar_nodes() {
+        let g = planted(7);
+        let mut dist = QueryDistances::new(0, g.n(), DistanceParams::default());
+        let nb = grow_neighborhood(&g, 0, 12, &mut dist);
+        assert_eq!(nb.len(), 12);
+        assert!(nb.contains(&0));
+        // Most collected nodes should be from the similar block 0..12.
+        let similar = nb.iter().filter(|&&v| v < 12).count();
+        assert!(similar >= 9, "best-first should stay local: {similar}/12");
+    }
+
+    #[test]
+    fn grow_neighborhood_exhausts_component() {
+        let g = planted(8);
+        let mut dist = QueryDistances::new(0, g.n(), DistanceParams::default());
+        let nb = grow_neighborhood(&g, 0, 10_000, &mut dist);
+        assert_eq!(nb.len(), 24, "whole connected component");
+    }
+
+    #[test]
+    fn params_builder_and_min_members() {
+        let p = SeaParams::default().with_k(5);
+        assert_eq!(p.min_members(), 6);
+        let p = p.with_model(CommunityModel::KTruss);
+        assert_eq!(p.min_members(), 5);
+        let p = p.with_size_bound(9, 20);
+        assert_eq!(p.min_members(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "size bound")]
+    fn bad_size_bound_panics() {
+        let _ = SeaParams::default().with_size_bound(5, 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests: the exact algorithm against brute force, and SEA
+//! structural validity, on random attributed graphs.
+
+use csag_core::distance::{DistanceParams, QueryDistances};
+use csag_core::exact::{Exact, ExactParams, ExactStatus, PruningConfig};
+use csag_core::sea::{Sea, SeaParams};
+use csag_graph::{AttributedGraph, GraphBuilder};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random attributed graph: n in 4..12 so subsets are enumerable.
+fn arb_graph() -> impl Strategy<Value = (AttributedGraph, u32)> {
+    (4usize..12)
+        .prop_flat_map(|n| {
+            let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..40);
+            let values = prop::collection::vec(0.0f64..1.0, n);
+            let topics = prop::collection::vec(0usize..3, n);
+            (Just(n), edges, values, topics, 0..n as u32)
+        })
+        .prop_map(|(n, edges, values, topics, q)| {
+            let names = ["alpha", "beta", "gamma"];
+            let mut b = GraphBuilder::new(1);
+            for i in 0..n {
+                b.add_node(&[names[topics[i]]], &[values[i]]);
+            }
+            for (u, v) in edges {
+                b.add_edge(u, v).unwrap();
+            }
+            (b.build().unwrap(), q)
+        })
+}
+
+/// Brute force optimal connected k-core by subset enumeration.
+fn brute_force(g: &AttributedGraph, q: u32, k: u32) -> Option<(f64, Vec<u32>)> {
+    let n = g.n();
+    let mut dist = QueryDistances::new(q, n, DistanceParams::default());
+    let mut best: Option<(f64, Vec<u32>)> = None;
+    for mask in 1u32..(1 << n) {
+        if mask & (1 << q) == 0 {
+            continue;
+        }
+        let nodes: Vec<u32> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+        let ok_deg = nodes.iter().all(|&v| {
+            g.neighbors(v).iter().filter(|w| nodes.binary_search(w).is_ok()).count()
+                >= k as usize
+        });
+        if !ok_deg || !csag_graph::traversal::is_connected_subset(g, &nodes) {
+            continue;
+        }
+        let d = dist.delta(g, &nodes);
+        match &best {
+            Some((bd, _)) if d >= *bd - 1e-15 => {}
+            _ => best = Some((d, nodes)),
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact (all prunings) equals brute force in δ.
+    #[test]
+    fn exact_matches_brute_force((g, q) in arb_graph(), k in 1u32..4) {
+        let exact = Exact::new(&g, DistanceParams::default());
+        let res = exact.run(q, &ExactParams::default().with_k(k));
+        let brute = brute_force(&g, q, k);
+        match (res, brute) {
+            (None, None) => {}
+            (Some(r), Some((bd, _))) => {
+                prop_assert_eq!(r.status, ExactStatus::Optimal);
+                prop_assert!(
+                    (r.delta - bd).abs() < 1e-9,
+                    "exact {} vs brute {}", r.delta, bd
+                );
+            }
+            (r, b) => prop_assert!(
+                false,
+                "existence mismatch: exact={:?} brute={:?}",
+                r.map(|x| x.community),
+                b.map(|x| x.1)
+            ),
+        }
+    }
+
+    /// Every pruning configuration returns the same optimum.
+    #[test]
+    fn pruning_configs_agree((g, q) in arb_graph(), k in 1u32..4) {
+        let exact = Exact::new(&g, DistanceParams::default());
+        let full = exact.run(q, &ExactParams::default().with_k(k));
+        for pruning in [PruningConfig::NO_P3, PruningConfig::P1_ONLY, PruningConfig::NONE] {
+            let other = exact.run(
+                q,
+                &ExactParams::default().with_k(k).with_pruning(pruning),
+            );
+            match (&full, &other) {
+                (None, None) => {}
+                (Some(a), Some(b)) => prop_assert!(
+                    (a.delta - b.delta).abs() < 1e-9,
+                    "{:?}: {} vs {}", pruning, a.delta, b.delta
+                ),
+                _ => prop_assert!(false, "existence mismatch under {:?}", pruning),
+            }
+        }
+    }
+
+    /// SEA always returns a structurally valid community containing q, and
+    /// its δ is never better than the exact optimum (it is a restriction).
+    #[test]
+    fn sea_returns_valid_connected_kcore((g, q) in arb_graph(), k in 1u32..4, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sea = Sea::new(&g, DistanceParams::default());
+        let params = SeaParams::default().with_k(k).with_error_bound(0.2);
+        if let Some(res) = sea.run(q, &params, &mut rng) {
+            prop_assert!(res.community.binary_search(&q).is_ok());
+            for &v in &res.community {
+                let d = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|w| res.community.binary_search(w).is_ok())
+                    .count();
+                prop_assert!(d >= k as usize);
+            }
+            prop_assert!(csag_graph::traversal::is_connected_subset(&g, &res.community));
+            // δ⋆ is the true attribute distance of the returned community.
+            let mut dist = QueryDistances::new(q, g.n(), DistanceParams::default());
+            let actual = dist.delta(&g, &res.community);
+            prop_assert!((actual - res.delta_star).abs() < 1e-9);
+            // And it cannot beat the optimum.
+            if let Some((bd, _)) = brute_force(&g, q, k) {
+                prop_assert!(res.delta_star >= bd - 1e-9);
+            }
+        }
+    }
+
+    /// If the exact search finds a community, SEA (given enough rounds and
+    /// the full population) must find one too — sampling cannot invent
+    /// non-existence.
+    #[test]
+    fn sea_existence_matches_exact((g, q) in arb_graph(), k in 1u32..4) {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let exact_exists = Exact::new(&g, DistanceParams::default())
+            .run(q, &ExactParams::default().with_k(k))
+            .is_some();
+        let sea_exists = Sea::new(&g, DistanceParams::default())
+            .run(q, &SeaParams::default().with_k(k).with_error_bound(0.3), &mut rng)
+            .is_some();
+        prop_assert_eq!(sea_exists, exact_exists);
+    }
+}

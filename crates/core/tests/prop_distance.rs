@@ -1,0 +1,107 @@
+//! Property tests: metric axioms of the composite attribute distance.
+//!
+//! Jaccard distance is a metric (Kosub 2019 — the paper's [24] uses this
+//! for VAC's triangle-inequality 2-approximation), the normalized
+//! Manhattan distance is a metric, and any convex combination of metrics
+//! is a metric; these tests check all three axioms on random token sets
+//! and vectors.
+
+use csag_core::distance::{
+    composite_distance, jaccard_distance, manhattan_distance, DistanceParams,
+};
+use csag_graph::GraphBuilder;
+use proptest::prelude::*;
+
+fn tokens_of(mask: u16) -> Vec<u32> {
+    (0..16).filter(|t| mask & (1 << t) != 0).collect()
+}
+
+proptest! {
+    #[test]
+    fn jaccard_is_a_metric(a in any::<u16>(), b in any::<u16>(), c in any::<u16>()) {
+        let (ta, tb, tc) = (tokens_of(a), tokens_of(b), tokens_of(c));
+        let dab = jaccard_distance(&ta, &tb);
+        let dba = jaccard_distance(&tb, &ta);
+        prop_assert_eq!(dab, dba, "symmetry");
+        prop_assert!((0.0..=1.0).contains(&dab));
+        prop_assert_eq!(jaccard_distance(&ta, &ta), 0.0, "identity");
+        // Identity of indiscernibles: distance 0 iff equal sets.
+        if dab == 0.0 {
+            prop_assert_eq!(&ta, &tb);
+        }
+        let dac = jaccard_distance(&ta, &tc);
+        let dcb = jaccard_distance(&tc, &tb);
+        prop_assert!(dab <= dac + dcb + 1e-12, "triangle: {dab} > {dac} + {dcb}");
+    }
+
+    #[test]
+    fn manhattan_is_a_metric(
+        a in prop::collection::vec(0.0f64..1.0, 3),
+        b in prop::collection::vec(0.0f64..1.0, 3),
+        c in prop::collection::vec(0.0f64..1.0, 3),
+    ) {
+        let dab = manhattan_distance(&a, &b);
+        prop_assert_eq!(dab, manhattan_distance(&b, &a));
+        prop_assert!((0.0..=1.0).contains(&dab));
+        prop_assert_eq!(manhattan_distance(&a, &a), 0.0);
+        let dac = manhattan_distance(&a, &c);
+        let dcb = manhattan_distance(&c, &b);
+        prop_assert!(dab <= dac + dcb + 1e-12);
+    }
+
+    /// The composite distance inherits the triangle inequality for every γ
+    /// — the property VAC's 2-approximation rests on.
+    #[test]
+    fn composite_triangle_inequality(
+        masks in prop::collection::vec(any::<u16>(), 3),
+        vals in prop::collection::vec(0.0f64..1.0, 3),
+        gamma in 0.0f64..1.0,
+    ) {
+        let names: Vec<String> = (0..16).map(|t| format!("t{t}")).collect();
+        let mut b = GraphBuilder::new(1);
+        for i in 0..3 {
+            let toks: Vec<&str> = (0..16)
+                .filter(|t| masks[i] & (1 << t) != 0)
+                .map(|t| names[t as usize].as_str())
+                .collect();
+            b.add_node(&toks, &[vals[i]]);
+        }
+        let g = b.build().unwrap();
+        let dp = DistanceParams::with_gamma(gamma);
+        let d01 = composite_distance(&g, 0, 1, dp);
+        let d02 = composite_distance(&g, 0, 2, dp);
+        let d21 = composite_distance(&g, 2, 1, dp);
+        prop_assert!(d01 <= d02 + d21 + 1e-12, "triangle at γ={gamma}");
+        prop_assert!((0.0..=1.0).contains(&d01), "bounded");
+        prop_assert_eq!(composite_distance(&g, 1, 0, dp), d01, "symmetric");
+    }
+
+    /// δ of a community is invariant under member order and lies between
+    /// the min and max member distance.
+    #[test]
+    fn delta_is_an_average(
+        vals in prop::collection::vec(0.0f64..1.0, 2..10),
+    ) {
+        use csag_core::distance::QueryDistances;
+        let mut b = GraphBuilder::new(1);
+        b.add_node(&["q"], &[0.0]);
+        for &x in &vals {
+            b.add_node(&["q"], &[x]);
+        }
+        // Normalization anchor so raw values map to themselves.
+        b.add_node(&["q"], &[1.0]);
+        let g = b.build().unwrap();
+        let dp = DistanceParams::with_gamma(0.0);
+        let mut dist = QueryDistances::new(0, g.n(), dp);
+        let members: Vec<u32> = (0..=vals.len() as u32).collect();
+        let delta = dist.delta(&g, &members);
+        let dmin = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let dmax = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(delta >= dmin - 1e-9 && delta <= dmax + 1e-9);
+        // Shuffled order gives the same δ.
+        let mut rev = members.clone();
+        rev.reverse();
+        let mut dist2 = QueryDistances::new(0, g.n(), dp);
+        prop_assert!((dist2.delta(&g, &rev) - delta).abs() < 1e-12);
+    }
+}

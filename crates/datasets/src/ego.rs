@@ -1,0 +1,131 @@
+//! Ego-network extraction (Figure 6: F1 per Facebook ego-network).
+//!
+//! The original study evaluates on the ten ego-networks shipped with the
+//! SNAP Facebook dataset (f0, f107, …, f3980). We extract ego-networks
+//! from the facebook-like stand-in the same way: a center node, its
+//! neighbors, and the induced edges, with the planted communities
+//! restricted to the ego as the "social circles" ground truth.
+
+use crate::standins::Dataset;
+use csag_graph::{AttributedGraph, NodeId};
+
+/// An extracted ego-network.
+#[derive(Clone, Debug)]
+pub struct EgoNet {
+    /// Name like "ego0".
+    pub name: String,
+    /// The induced subgraph (local ids).
+    pub graph: AttributedGraph,
+    /// The ego center, in local ids.
+    pub center: NodeId,
+    /// Ground-truth circles restricted to the ego (local ids, circles with
+    /// fewer than `MIN_CIRCLE` members dropped).
+    pub circles: Vec<Vec<NodeId>>,
+}
+
+const MIN_CIRCLE: usize = 4;
+
+/// Extracts the `count` largest-degree ego-networks from a dataset.
+/// Centers are chosen by descending degree with at least 2 hops of
+/// separation between successive picks, so the egos do not all overlap.
+pub fn ego_networks(dataset: &Dataset, count: usize) -> Vec<EgoNet> {
+    let g = &dataset.graph;
+    let mut by_degree: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    by_degree.sort_unstable_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+
+    let mut used = csag_graph::FixedBitSet::new(g.n());
+    let mut egos = Vec::with_capacity(count);
+    for &center in &by_degree {
+        if egos.len() >= count {
+            break;
+        }
+        if used.contains(center) {
+            continue;
+        }
+        // Reserve this center and its neighbors against reuse.
+        used.insert(center);
+        let mut members: Vec<NodeId> = vec![center];
+        for &w in g.neighbors(center) {
+            members.push(w);
+            used.insert(w);
+        }
+        members.sort_unstable();
+        members.dedup();
+        let sub = g.induced(&members);
+        let center_local = sub.local(center).expect("center in ego");
+        let circles: Vec<Vec<NodeId>> = dataset
+            .ground_truth
+            .iter()
+            .filter_map(|circle| {
+                let local: Vec<NodeId> =
+                    circle.iter().filter_map(|&v| sub.local(v)).collect();
+                (local.len() >= MIN_CIRCLE).then(|| {
+                    let mut l = local;
+                    l.sort_unstable();
+                    l
+                })
+            })
+            .collect();
+        egos.push(EgoNet {
+            name: format!("ego{}", egos.len()),
+            graph: sub.graph,
+            center: center_local,
+            circles,
+        });
+    }
+    egos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, SyntheticConfig};
+
+    fn small_dataset() -> Dataset {
+        let cfg = SyntheticConfig {
+            nodes: 600,
+            communities: 12,
+            intra_degree: 8,
+            ..Default::default()
+        };
+        let (graph, ground_truth) = generate(&cfg, 5);
+        Dataset { name: "test".into(), graph, ground_truth, default_k: 4 }
+    }
+
+    #[test]
+    fn extracts_requested_count() {
+        let d = small_dataset();
+        let egos = ego_networks(&d, 5);
+        assert_eq!(egos.len(), 5);
+        for (i, ego) in egos.iter().enumerate() {
+            assert_eq!(ego.name, format!("ego{i}"));
+            assert!(ego.graph.n() > 1, "ego has members");
+            assert!((ego.center as usize) < ego.graph.n());
+        }
+    }
+
+    #[test]
+    fn ego_contains_center_neighborhood() {
+        let d = small_dataset();
+        let egos = ego_networks(&d, 1);
+        let ego = &egos[0];
+        // The center's ego-degree equals its original degree (all its
+        // neighbors came along).
+        let deg = ego.graph.degree(ego.center);
+        let orig_max = d.graph.max_degree();
+        assert_eq!(deg, orig_max, "highest-degree node selected first");
+    }
+
+    #[test]
+    fn circles_are_within_ego() {
+        let d = small_dataset();
+        for ego in ego_networks(&d, 4) {
+            for circle in &ego.circles {
+                assert!(circle.len() >= MIN_CIRCLE);
+                for &v in circle {
+                    assert!((v as usize) < ego.graph.n());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Planted-community heterogeneous graph generator (DBLP/IMDB-style).
+//!
+//! Target-type nodes (authors, movies, entities, …) are partitioned into
+//! communities; *hub* nodes of a second type (papers, actors, links)
+//! connect small groups of same-community targets, so the meta-path
+//! `T-hub-T` projects each community onto a dense homogeneous block — the
+//! (k,P)-core regime of §VI-A. A few cross-community hubs provide the
+//! sparse background.
+
+use csag_graph::{HeteroGraph, HeteroGraphBuilder, MetaPath, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated heterogeneous dataset.
+#[derive(Clone, Debug)]
+pub struct HeteroDataset {
+    /// Short dataset name (e.g. "dblp-like").
+    pub name: String,
+    /// The heterogeneous graph.
+    pub graph: HeteroGraph,
+    /// The canonical symmetric meta-path (target-hub-target).
+    pub meta_path: MetaPath,
+    /// Planted ground-truth communities over *target* nodes.
+    pub ground_truth: Vec<Vec<NodeId>>,
+    /// Default k used by the experiments.
+    pub default_k: u32,
+    /// Whether the dataset carries only numerical attributes (the
+    /// DBpedia/YAGO/Freebase situation that defeats equality matching).
+    pub numeric_only: bool,
+}
+
+/// Configuration of the heterogeneous generator.
+#[derive(Clone, Debug)]
+pub struct HeteroConfig {
+    /// Number of target-type nodes.
+    pub targets: usize,
+    /// Number of planted communities over targets.
+    pub communities: usize,
+    /// Hubs created per community.
+    pub hubs_per_community: usize,
+    /// Targets attached to each hub (same community).
+    pub targets_per_hub: usize,
+    /// Cross-community hubs (background noise).
+    pub cross_hubs: usize,
+    /// Numerical attribute dimensions on targets.
+    pub numeric_dims: usize,
+    /// Numeric scatter around the community center.
+    pub numeric_noise: f64,
+    /// Whether targets also carry textual topic tokens.
+    pub textual: bool,
+    /// Topic tokens shared by all targets of a community (textual mode).
+    pub community_tokens: usize,
+    /// Personal tokens per target, drawn from a per-community pool of
+    /// `personal_pool` tags (textual mode).
+    pub personal_tokens: usize,
+    /// Size of the per-community personal-token pool (textual mode).
+    pub personal_pool: usize,
+    /// Fraction of each community forming an attribute-tight inner core
+    /// (extra shared subtopic tokens, halved numeric noise) — see the
+    /// homogeneous generator for the rationale.
+    pub inner_fraction: f64,
+    /// Extra subtopic tokens shared by the inner core (textual mode).
+    pub inner_tokens: usize,
+    /// Extra hubs wired exclusively among inner-core targets (the inner
+    /// core is denser, keeping it recoverable under sampling).
+    pub inner_hubs_per_community: usize,
+    /// Name of the target node type (e.g. "author").
+    pub target_type: String,
+    /// Name of the hub node type (e.g. "paper").
+    pub hub_type: String,
+    /// Name of the connecting edge type (e.g. "writes").
+    pub edge_type: String,
+}
+
+impl Default for HeteroConfig {
+    fn default() -> Self {
+        HeteroConfig {
+            targets: 1000,
+            communities: 20,
+            hubs_per_community: 60,
+            targets_per_hub: 4,
+            cross_hubs: 40,
+            numeric_dims: 2,
+            numeric_noise: 0.02,
+            textual: true,
+            community_tokens: 6,
+            personal_tokens: 1,
+            personal_pool: 400,
+            inner_fraction: 0.3,
+            inner_tokens: 3,
+            inner_hubs_per_community: 30,
+            target_type: "author".into(),
+            hub_type: "paper".into(),
+            edge_type: "writes".into(),
+        }
+    }
+}
+
+/// Generates a heterogeneous graph with planted target communities and
+/// its canonical `T-hub-T` meta-path.
+pub fn generate_hetero(config: &HeteroConfig, seed: u64) -> HeteroDataset {
+    assert!(config.communities >= 1 && config.targets >= config.communities);
+    assert!(config.targets_per_hub >= 2, "hubs must connect at least two targets");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = HeteroGraphBuilder::new(config.numeric_dims);
+    let target_ty = b.node_type(&config.target_type);
+    let hub_ty = b.node_type(&config.hub_type);
+    let edge_ty = b.edge_type(&config.edge_type);
+
+    // Partition targets into communities (uniform-ish sizes).
+    let mut communities: Vec<Vec<NodeId>> = Vec::with_capacity(config.communities);
+    let centers: Vec<Vec<f64>> = (0..config.communities)
+        .map(|_| (0..config.numeric_dims).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let base = config.targets / config.communities;
+    let mut extra = config.targets % config.communities;
+    for c in 0..config.communities {
+        let mut size = base;
+        if extra > 0 {
+            size += 1;
+            extra -= 1;
+        }
+        let inner_cut = ((size as f64) * config.inner_fraction).ceil() as usize;
+        let mut members = Vec::with_capacity(size);
+        for i in 0..size {
+            let is_inner = i < inner_cut;
+            let noise =
+                if is_inner { config.numeric_noise * 0.5 } else { config.numeric_noise };
+            let numeric: Vec<f64> = centers[c]
+                .iter()
+                .map(|&center| {
+                    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let gauss =
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    (center + gauss * noise).clamp(0.0, 1.0)
+                })
+                .collect();
+            let id = if config.textual {
+                // Community topic set (+ inner subtopics) + personal tags;
+                // see the homogeneous generator for the rationale.
+                let mut tokens: Vec<String> = (0..config.community_tokens)
+                    .map(|t| format!("area_{c}_{t}"))
+                    .collect();
+                if is_inner {
+                    for t in 0..config.inner_tokens {
+                        tokens.push(format!("sub_{c}_{t}"));
+                    }
+                }
+                for p in 0..config.personal_tokens {
+                    let tag = rng.gen_range(0..config.personal_pool.max(1));
+                    tokens.push(format!("tag_{c}_{tag}_{p}"));
+                }
+                let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
+                b.add_node(target_ty, &refs, &numeric)
+            } else {
+                b.add_node(target_ty, &[], &numeric)
+            };
+            members.push(id);
+        }
+        communities.push(members);
+    }
+
+    // Intra-community hubs.
+    for members in communities.iter() {
+        let s = members.len();
+        if s < 2 {
+            continue;
+        }
+        for h in 0..config.hubs_per_community {
+            let hub = b.add_node(hub_ty, &[], &vec![0.0; config.numeric_dims]);
+            let group = config.targets_per_hub.min(s);
+            // Pick a contiguous-ish window with a random start so hubs
+            // overlap and the projection becomes dense.
+            let start = rng.gen_range(0..s);
+            for i in 0..group {
+                let t = members[(start + i * (1 + h % 3)) % s];
+                b.add_edge(t, hub, edge_ty).expect("nodes exist");
+            }
+        }
+    }
+    // Inner-core hubs.
+    for members in communities.iter() {
+        let cut = ((members.len() as f64) * config.inner_fraction).ceil() as usize;
+        if cut < 2 {
+            continue;
+        }
+        for h in 0..config.inner_hubs_per_community {
+            let hub = b.add_node(hub_ty, &[], &vec![0.0; config.numeric_dims]);
+            let group = config.targets_per_hub.min(cut);
+            let start = rng.gen_range(0..cut);
+            for i in 0..group {
+                let t = members[(start + i * (1 + h % 3)) % cut];
+                b.add_edge(t, hub, edge_ty).expect("nodes exist");
+            }
+        }
+    }
+    // Cross-community hubs.
+    for _ in 0..config.cross_hubs {
+        let hub = b.add_node(hub_ty, &[], &vec![0.0; config.numeric_dims]);
+        for _ in 0..config.targets_per_hub {
+            let c = rng.gen_range(0..config.communities);
+            let m = &communities[c];
+            b.add_edge(m[rng.gen_range(0..m.len())], hub, edge_ty).expect("nodes exist");
+        }
+    }
+
+    let graph = b.build();
+    let meta_path = MetaPath::new(vec![target_ty, hub_ty, target_ty], vec![edge_ty, edge_ty]);
+    HeteroDataset {
+        name: String::new(),
+        graph,
+        meta_path,
+        ground_truth: communities,
+        default_k: 4,
+        numeric_only: !config.textual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csag_decomp::core_decomposition;
+
+    #[test]
+    fn shape_and_determinism() {
+        let cfg = HeteroConfig { targets: 200, communities: 5, ..Default::default() };
+        let d1 = generate_hetero(&cfg, 1);
+        let d2 = generate_hetero(&cfg, 1);
+        assert_eq!(d1.graph.n(), d2.graph.n());
+        assert_eq!(d1.graph.m(), d2.graph.m());
+        assert_eq!(d1.ground_truth, d2.ground_truth);
+        let target_ty = d1.graph.node_type_id("author").unwrap();
+        assert_eq!(d1.graph.count_of_type(target_ty), 200);
+        let total: usize = d1.ground_truth.iter().map(Vec::len).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn projection_contains_dense_cores() {
+        let cfg = HeteroConfig { targets: 200, communities: 5, ..Default::default() };
+        let d = generate_hetero(&cfg, 2);
+        let proj = d.graph.project(&d.meta_path);
+        assert_eq!(proj.graph.n(), 200);
+        assert!(proj.graph.m() > 200, "projection should be dense");
+        let coreness = core_decomposition(&proj.graph);
+        let deep = coreness.iter().filter(|&&c| c >= 4).count();
+        assert!(deep * 2 > 200, "most targets in a (4,P)-core: {deep}/200");
+    }
+
+    #[test]
+    fn numeric_only_mode_has_no_tokens() {
+        let cfg = HeteroConfig {
+            targets: 100,
+            communities: 4,
+            textual: false,
+            ..Default::default()
+        };
+        let d = generate_hetero(&cfg, 3);
+        assert!(d.numeric_only);
+        let target_ty = d.graph.node_type_id("author").unwrap();
+        for v in d.graph.nodes_of_type(target_ty) {
+            assert!(d.graph.attrs().tokens(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn meta_path_is_symmetric() {
+        let d = generate_hetero(&HeteroConfig { targets: 50, communities: 2, ..Default::default() }, 4);
+        assert!(d.meta_path.is_symmetric_typed());
+        assert_eq!(d.meta_path.len(), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! The paper's worked examples as concrete graphs.
+//!
+//! * [`figure1_imdb`] — the 15-node IMDB snapshot of Figure 1, with the
+//!   exact attribute table from the paper (titles, `⟨type,{genres}⟩`,
+//!   `⟨average rating, #ratings⟩`). The figure does not print its edge
+//!   list, so we lay out edges consistent with the narrative: all fifteen
+//!   works form one connected 3-core; the two TV series (v13, v14) and the
+//!   low-rated action movies (v11, v12) are structurally embedded but
+//!   attribute-dissimilar, so attribute-aware methods must actively peel
+//!   them.
+//! * [`figure2_graph`] — the k-core illustration of Figure 2.
+//! * [`figure3_graph`] — the connected 2-core of Figure 2(c) with the
+//!   composite distances printed above Figure 3 (f(v1,q)=0.7 …
+//!   f(v6,q)=0.3, q = v5), realized through a single numerical attribute
+//!   with γ = 0.
+
+use csag_graph::{AttributedGraph, GraphBuilder, NodeId};
+
+/// Movie titles of Figure 1, index = node id (v1 is node 0).
+pub const FIGURE1_TITLES: [&str; 15] = [
+    "The Godfather",
+    "The Godfather Part II",
+    "Goodfellas",
+    "Once Upon a Time in America",
+    "...And Justice for All",
+    "The Godfather Part III",
+    "The Untouchables",
+    "Scarface",
+    "Heat",
+    "Running Scared",
+    "Gleaming the Cube",
+    "Body Double",
+    "Red Shoe Diaries",
+    "Walker, Texas Ranger",
+    "Jackie Brown",
+];
+
+/// Builds the Figure-1 IMDB snapshot. Returns `(graph, q)` with
+/// `q = v1` (The Godfather, node 0).
+///
+/// Node `i` is the paper's `v(i+1)`; attributes follow the table at the
+/// bottom of Figure 1. Numerical attributes are `[average rating,
+/// #ratings]` (raw; the graph normalizes them internally).
+pub fn figure1_imdb() -> (AttributedGraph, NodeId) {
+    let mut b = GraphBuilder::new(2);
+    let rows: [(&[&str], [f64; 2]); 15] = [
+        (&["movie", "crime", "drama"], [9.2, 1_600_000.0]), // v1
+        (&["movie", "crime", "drama"], [9.0, 1_100_000.0]), // v2
+        (&["movie", "crime", "drama"], [8.3, 839_000.0]),   // v3
+        (&["movie", "crime", "drama"], [7.4, 329_000.0]),   // v4
+        (&["movie", "crime", "drama"], [7.2, 38_000.0]),    // v5
+        (&["movie", "crime", "drama"], [8.2, 629_000.0]),   // v6
+        (&["movie", "crime", "drama"], [8.3, 321_000.0]),   // v7
+        (&["movie", "crime", "drama"], [7.5, 366_000.0]),   // v8
+        (&["movie", "crime", "drama"], [7.7, 309_000.0]),   // v9
+        (&["movie", "crime", "drama"], [6.8, 37_000.0]),    // v10
+        (&["movie", "action", "drama"], [6.2, 6_700.0]),    // v11
+        (&["movie", "action", "crime"], [6.5, 9_000.0]),    // v12
+        (&["tvseries", "romance", "drama"], [5.7, 800.0]),  // v13
+        (&["tvseries", "action", "adventure"], [5.5, 12_000.0]), // v14
+        (&["movie", "crime", "drama"], [8.6, 1_000_000.0]), // v15
+    ];
+    for (tokens, numeric) in rows {
+        b.add_node(tokens, &numeric);
+    }
+    // Edges (paper indices, 1-based): a connected 3-core over all 15
+    // works. High-rated crime dramas form the dense center; v11–v14 hang
+    // off the periphery with degree exactly 3.
+    let edges_1based = [
+        (1, 2),
+        (1, 3),
+        (1, 15),
+        (2, 3),
+        (2, 15),
+        (3, 15),
+        (6, 1),
+        (6, 2),
+        (6, 15),
+        (6, 7),
+        (6, 9),
+        (7, 1),
+        (7, 3),
+        (7, 9),
+        (9, 8),
+        (9, 1),
+        (4, 2),
+        (4, 3),
+        (4, 5),
+        (4, 8),
+        (4, 10),
+        (5, 10),
+        (5, 8),
+        (5, 1),
+        (5, 11),
+        (8, 12),
+        (10, 11),
+        (10, 12),
+        (10, 13),
+        (11, 12),
+        (11, 14),
+        (12, 14),
+        (13, 14),
+        (13, 11),
+    ];
+    for (u, v) in edges_1based {
+        b.add_edge(u - 1, v - 1).expect("nodes exist");
+    }
+    (b.build().expect("consistent dims"), 0)
+}
+
+/// Builds the Figure-2 graph (k-core illustration): H3 has two components,
+/// {v1..v6} and {v7..v11}; v12 is degree-1. Node 0 is unused padding so
+/// node `i` is the paper's `vᵢ`.
+pub fn figure2_graph() -> AttributedGraph {
+    let mut b = GraphBuilder::new(0);
+    for _ in 0..13 {
+        b.add_node(&[], &[]);
+    }
+    let edges = [
+        (1, 2),
+        (1, 3),
+        (1, 5),
+        (2, 3),
+        (2, 4),
+        (2, 6),
+        (3, 4),
+        (3, 6),
+        (4, 5),
+        (4, 6),
+        (5, 6),
+        (1, 4),
+        (7, 8),
+        (7, 9),
+        (7, 10),
+        (8, 9),
+        (8, 10),
+        (9, 10),
+        (9, 11),
+        (10, 11),
+        (8, 11),
+        (12, 7),
+    ];
+    for (u, v) in edges {
+        b.add_edge(u, v).expect("nodes exist");
+    }
+    b.build().expect("no attrs")
+}
+
+/// Builds the Figure-3 search-tree example: the connected 2-core on
+/// {v1..v6} with q = v5 and composite distances f(v1,q)=0.7, f(v2,q)=0.6,
+/// f(v3,q)=0.6, f(v4,q)=0.5, f(v6,q)=0.3 (use γ = 0, i.e.
+/// `DistanceParams::with_gamma(0.0)`).
+///
+/// Returns `(graph, q)`; node 0 is a normalization anchor.
+pub fn figure3_graph() -> (AttributedGraph, NodeId) {
+    let mut b = GraphBuilder::new(1);
+    let values = [1.0, 0.7, 0.6, 0.6, 0.5, 0.0, 0.3];
+    for &x in &values {
+        b.add_node(&[], &[x]);
+    }
+    for (u, v) in [(1, 2), (1, 3), (2, 3), (2, 4), (3, 6), (4, 5), (5, 6), (4, 6), (1, 5)] {
+        b.add_edge(u, v).expect("nodes exist");
+    }
+    (b.build().expect("consistent dims"), 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csag_decomp::max_connected_kcore;
+
+    #[test]
+    fn figure1_is_a_connected_3core_of_15_works() {
+        let (g, q) = figure1_imdb();
+        assert_eq!(g.n(), 15);
+        let core = max_connected_kcore(&g, q, 3).expect("3-core exists");
+        assert_eq!(core.len(), 15, "all fifteen works are in the 3-core");
+        // Attribute sanity from the table.
+        let movie = g.interner().get("movie").unwrap();
+        assert!(g.tokens(0).contains(&movie));
+        let tv = g.interner().get("tvseries").unwrap();
+        assert!(g.tokens(12).contains(&tv), "v13 is a TV series");
+        assert_eq!(g.numeric_raw(0), &[9.2, 1_600_000.0]);
+        assert_eq!(g.numeric_raw(14), &[8.6, 1_000_000.0]);
+    }
+
+    #[test]
+    fn figure1_tv_series_are_peelable() {
+        let (g, q) = figure1_imdb();
+        // Removing v13 (node 12) must not collapse v1's 3-core.
+        let rest: Vec<u32> = (0..15).filter(|&v| v != 12).collect();
+        let sub = g.induced(&rest);
+        let lq = sub.local(q).unwrap();
+        assert!(max_connected_kcore(&sub.graph, lq, 3).is_some());
+    }
+
+    #[test]
+    fn figure2_matches_paper() {
+        let g = figure2_graph();
+        assert_eq!(max_connected_kcore(&g, 5, 3).unwrap(), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(max_connected_kcore(&g, 9, 3).unwrap(), vec![7, 8, 9, 10, 11]);
+        assert_eq!(max_connected_kcore(&g, 12, 2), None);
+    }
+
+    #[test]
+    fn figure3_distances() {
+        let (g, q) = figure3_graph();
+        assert_eq!(q, 5);
+        let core = max_connected_kcore(&g, q, 2).unwrap();
+        assert_eq!(core, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn titles_align() {
+        assert_eq!(FIGURE1_TITLES.len(), 15);
+        assert_eq!(FIGURE1_TITLES[0], "The Godfather");
+        assert_eq!(FIGURE1_TITLES[14], "Jackie Brown");
+    }
+}

@@ -1,0 +1,114 @@
+//! Query-node generation (§VII-A).
+//!
+//! Homogeneous queries follow the ACQ protocol: uniformly random nodes
+//! that actually have a k-core (so every method returns something).
+//! Heterogeneous queries follow the (k,P)-core protocol: random target
+//! nodes with at least `k` P-neighbors.
+
+use crate::hetero_gen::HeteroDataset;
+use csag_decomp::core_decomposition;
+use csag_graph::{AttributedGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws up to `count` distinct query nodes with coreness ≥ `k`,
+/// uniformly at random under `seed`. Returns fewer if the graph does not
+/// have enough eligible nodes.
+pub fn random_queries(g: &AttributedGraph, count: usize, k: u32, seed: u64) -> Vec<NodeId> {
+    let coreness = core_decomposition(g);
+    let eligible: Vec<NodeId> =
+        (0..g.n() as NodeId).filter(|&v| coreness[v as usize] >= k).collect();
+    sample_distinct(&eligible, count, seed)
+}
+
+/// Draws up to `count` distinct target-type query nodes with at least `k`
+/// P-neighbors.
+pub fn hetero_queries(d: &HeteroDataset, count: usize, k: u32, seed: u64) -> Vec<NodeId> {
+    let targets = d.graph.nodes_of_type(d.meta_path.source_type());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picked = Vec::with_capacity(count);
+    let mut tried = std::collections::HashSet::new();
+    let mut attempts = 0usize;
+    while picked.len() < count && attempts < targets.len() * 4 {
+        attempts += 1;
+        let v = targets[rng.gen_range(0..targets.len())];
+        if !tried.insert(v) {
+            continue;
+        }
+        if d.graph.p_neighbors(v, &d.meta_path).len() >= k as usize {
+            picked.push(v);
+        }
+    }
+    picked.sort_unstable();
+    picked
+}
+
+fn sample_distinct(pool: &[NodeId], count: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool = pool.to_vec();
+    let take = count.min(pool.len());
+    for i in 0..take {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    let mut out = pool[..take].to_vec();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, SyntheticConfig};
+    use crate::hetero_gen::{generate_hetero, HeteroConfig};
+
+    #[test]
+    fn homogeneous_queries_have_kcores() {
+        let (g, _) = generate(
+            &SyntheticConfig { nodes: 400, communities: 8, ..Default::default() },
+            1,
+        );
+        let qs = random_queries(&g, 20, 4, 99);
+        assert_eq!(qs.len(), 20);
+        assert!(qs.windows(2).all(|w| w[0] < w[1]), "distinct & sorted");
+        for &q in &qs {
+            assert!(
+                csag_decomp::max_connected_kcore(&g, q, 4).is_some(),
+                "query {q} must have a 4-core"
+            );
+        }
+    }
+
+    #[test]
+    fn queries_are_deterministic() {
+        let (g, _) = generate(
+            &SyntheticConfig { nodes: 300, communities: 6, ..Default::default() },
+            2,
+        );
+        assert_eq!(random_queries(&g, 10, 4, 7), random_queries(&g, 10, 4, 7));
+        assert_ne!(random_queries(&g, 10, 4, 7), random_queries(&g, 10, 4, 8));
+    }
+
+    #[test]
+    fn impossible_k_returns_empty() {
+        let (g, _) = generate(
+            &SyntheticConfig { nodes: 100, communities: 4, ..Default::default() },
+            3,
+        );
+        assert!(random_queries(&g, 10, 200, 1).is_empty());
+    }
+
+    #[test]
+    fn hetero_queries_have_p_degree() {
+        let d = generate_hetero(
+            &HeteroConfig { targets: 200, communities: 5, ..Default::default() },
+            4,
+        );
+        let qs = hetero_queries(&d, 10, 4, 11);
+        assert!(!qs.is_empty());
+        for &q in &qs {
+            assert!(d.graph.p_neighbors(q, &d.meta_path).len() >= 4);
+            assert_eq!(d.graph.node_type(q), d.meta_path.source_type());
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! k-core and k-truss decomposition and maintenance.
+//!
+//! Community search needs two structural operations over and over:
+//!
+//! 1. *Global decomposition* — coreness of every node
+//!    ([`kcore::core_decomposition`], Batagelj–Zaversnik peeling) and
+//!    trussness of every edge ([`ktruss::truss_decomposition`]).
+//! 2. *Restricted maximality* — "the maximal connected k-core (or k-truss)
+//!    containing `q` inside this node subset". The exact enumeration of
+//!    §IV and the SEA candidate search of §V both peel thousands of node
+//!    subsets per query, so [`Maintainer`] keeps versioned scratch arrays
+//!    (epoch-stamped, never cleared) to make each restricted peel cost
+//!    O(|subset| + internal edges) with zero allocation in the steady
+//!    state.
+//!
+//! The [`CommunityModel`] enum abstracts over the two cohesion models so
+//! the search algorithms in `csag-core` are written once (paper §VI-C).
+
+pub mod kcore;
+pub mod ktruss;
+pub mod maintainer;
+
+pub use kcore::{core_decomposition, max_connected_kcore};
+pub use ktruss::{max_connected_ktruss, truss_decomposition, EdgeIndex};
+pub use maintainer::{CommunityModel, Maintainer};

@@ -1,0 +1,176 @@
+//! A reusable, model-generic "maximal community within a node subset"
+//! operation.
+//!
+//! The paper's algorithms are written against the k-core model and then
+//! extended to k-truss by swapping the maintenance step (§VI-C). The
+//! [`Maintainer`] realizes that swap point: `csag-core`'s exact enumeration
+//! and SEA pipeline call [`Maintainer::maximal_within`] without knowing
+//! which model is active.
+
+use crate::kcore::{peel_to_kcore_scratch, PeelScratch};
+use crate::ktruss::{peel_to_ktruss_scratch, EdgeIndex, TrussScratch};
+use csag_graph::{AttributedGraph, NodeId};
+
+/// Structure cohesiveness model (paper §II-A and §VI-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CommunityModel {
+    /// Connected k-core: every member has ≥ k neighbors in the community.
+    KCore,
+    /// Connected k-truss: every community edge closes ≥ k−2 triangles.
+    KTruss,
+}
+
+impl CommunityModel {
+    /// Smallest possible community size for the model at a given `k`
+    /// (a (k+1)-clique is the smallest k-core; a k-clique the smallest
+    /// k-truss) — used by Theorem 10 and its §VI-C variant.
+    pub fn min_size(&self, k: u32) -> usize {
+        match self {
+            CommunityModel::KCore => k as usize + 1,
+            CommunityModel::KTruss => k as usize,
+        }
+    }
+}
+
+impl std::fmt::Display for CommunityModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommunityModel::KCore => write!(f, "k-core"),
+            CommunityModel::KTruss => write!(f, "k-truss"),
+        }
+    }
+}
+
+enum Scratch {
+    Core(PeelScratch),
+    Truss(Box<TrussWork>),
+}
+
+struct TrussWork {
+    eidx: EdgeIndex,
+    scratch: TrussScratch,
+}
+
+/// Repeatedly computes maximal connected communities within node subsets of
+/// one graph, amortizing scratch allocations across calls.
+pub struct Maintainer<'g> {
+    g: &'g AttributedGraph,
+    model: CommunityModel,
+    k: u32,
+    scratch: Scratch,
+}
+
+impl<'g> Maintainer<'g> {
+    /// Creates a maintainer for `(model, k)` queries on `g`. For the truss
+    /// model this builds an edge index once (O(m log d_max)).
+    pub fn new(g: &'g AttributedGraph, model: CommunityModel, k: u32) -> Self {
+        let scratch = match model {
+            CommunityModel::KCore => Scratch::Core(PeelScratch::new(g.n())),
+            CommunityModel::KTruss => Scratch::Truss(Box::new(TrussWork {
+                eidx: EdgeIndex::new(g),
+                scratch: TrussScratch::new(g.n(), g.m()),
+            })),
+        };
+        Maintainer { g, model, k, scratch }
+    }
+
+    /// The graph this maintainer operates on.
+    pub fn graph(&self) -> &'g AttributedGraph {
+        self.g
+    }
+
+    /// The structure model in use.
+    pub fn model(&self) -> CommunityModel {
+        self.model
+    }
+
+    /// The cohesion parameter `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Smallest possible community size under this model/k.
+    pub fn min_size(&self) -> usize {
+        self.model.min_size(self.k)
+    }
+
+    /// Maximal connected community containing `q` within the node subset
+    /// `nodes` (sorted member list), or `None` if `q` does not survive.
+    pub fn maximal_within(&mut self, q: NodeId, nodes: &[NodeId]) -> Option<Vec<NodeId>> {
+        match &mut self.scratch {
+            Scratch::Core(s) => peel_to_kcore_scratch(self.g, q, self.k, nodes, s),
+            Scratch::Truss(w) => {
+                peel_to_ktruss_scratch(self.g, &w.eidx, q, self.k, nodes, &mut w.scratch)
+            }
+        }
+    }
+
+    /// Maximal connected community containing `q` in the whole graph
+    /// (paper §IV-A for k-core).
+    pub fn maximal(&mut self, q: NodeId) -> Option<Vec<NodeId>> {
+        let all: Vec<NodeId> = (0..self.g.n() as NodeId).collect();
+        self.maximal_within(q, &all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csag_graph::GraphBuilder;
+
+    /// 5-clique {0..4} with a tail 4-5-6.
+    fn clique_with_tail() -> AttributedGraph {
+        let mut b = GraphBuilder::new(0);
+        for _ in 0..7 {
+            b.add_node(&[], &[]);
+        }
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        b.add_edge(4, 5).unwrap();
+        b.add_edge(5, 6).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn core_model_matches_direct_function() {
+        let g = clique_with_tail();
+        let mut m = Maintainer::new(&g, CommunityModel::KCore, 4);
+        assert_eq!(m.maximal(0).unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(m.maximal(6), None);
+        assert_eq!(m.maximal_within(0, &[0, 1, 2, 3]), None, "only 3 neighbors inside");
+        assert_eq!(m.model(), CommunityModel::KCore);
+        assert_eq!(m.k(), 4);
+        assert_eq!(m.min_size(), 5);
+    }
+
+    #[test]
+    fn truss_model_peels_edges() {
+        let g = clique_with_tail();
+        let mut m = Maintainer::new(&g, CommunityModel::KTruss, 5);
+        assert_eq!(m.maximal(0).unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(m.maximal(5), None, "tail edges have no triangles");
+        assert_eq!(m.min_size(), 5);
+        assert_eq!(CommunityModel::KTruss.min_size(5), 5);
+    }
+
+    #[test]
+    fn repeated_calls_are_stable() {
+        let g = clique_with_tail();
+        for model in [CommunityModel::KCore, CommunityModel::KTruss] {
+            let mut m = Maintainer::new(&g, model, 3);
+            let first = m.maximal(2).unwrap();
+            for _ in 0..20 {
+                assert_eq!(m.maximal(2).unwrap(), first);
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CommunityModel::KCore.to_string(), "k-core");
+        assert_eq!(CommunityModel::KTruss.to_string(), "k-truss");
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests: k-core and k-truss invariants on random graphs.
+
+use csag_decomp::{core_decomposition, max_connected_kcore, max_connected_ktruss};
+use csag_decomp::{truss_decomposition, CommunityModel, Maintainer};
+use csag_graph::GraphBuilder;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..30).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..100);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> csag_graph::AttributedGraph {
+    let mut b = GraphBuilder::new(0);
+    for _ in 0..n {
+        b.add_node(&[], &[]);
+    }
+    for &(u, v) in edges {
+        b.add_edge(u, v).unwrap();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    /// Coreness is consistent with brute-force peeling at every k.
+    #[test]
+    fn coreness_matches_naive_peel((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let coreness = core_decomposition(&g);
+        let kmax = coreness.iter().copied().max().unwrap_or(0);
+        for k in 0..=kmax + 1 {
+            // Naive k-core: repeatedly remove nodes with degree < k.
+            let mut alive: Vec<bool> = vec![true; g.n()];
+            loop {
+                let mut changed = false;
+                for v in 0..g.n() as u32 {
+                    if !alive[v as usize] {
+                        continue;
+                    }
+                    let d = g
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&w| alive[w as usize])
+                        .count() as u32;
+                    if d < k {
+                        alive[v as usize] = false;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for v in 0..g.n() {
+                prop_assert_eq!(
+                    alive[v],
+                    coreness[v] >= k,
+                    "node {} at k={}: coreness {}",
+                    v,
+                    k,
+                    coreness[v]
+                );
+            }
+        }
+    }
+
+    /// The maximal connected k-core really is a connected k-core containing
+    /// q, and it is maximal (it equals q's component of the global k-core).
+    #[test]
+    fn connected_kcore_invariants((n, edges) in arb_graph(), q in 0u32..30, k in 0u32..6) {
+        let g = build(n, &edges);
+        let q = q % g.n() as u32;
+        if let Some(comm) = max_connected_kcore(&g, q, k) {
+            prop_assert!(comm.binary_search(&q).is_ok());
+            // Degree bound inside the community.
+            for &v in &comm {
+                let d = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|w| comm.binary_search(w).is_ok())
+                    .count() as u32;
+                prop_assert!(d >= k, "node {} has in-community degree {} < {}", v, d, k);
+            }
+            prop_assert!(csag_graph::traversal::is_connected_subset(&g, &comm));
+            // Maximality: every node of coreness >= k connected to q inside
+            // the global k-core belongs to the community.
+            let coreness = core_decomposition(&g);
+            let in_core: Vec<u32> =
+                (0..g.n() as u32).filter(|&v| coreness[v as usize] >= k).collect();
+            let mut mask = csag_graph::FixedBitSet::new(g.n());
+            for &v in &in_core {
+                mask.insert(v);
+            }
+            let comp = csag_graph::traversal::component_of(&g, q, Some(&mask));
+            prop_assert_eq!(comm, comp);
+        } else {
+            // q must not have coreness >= k.
+            let coreness = core_decomposition(&g);
+            prop_assert!(coreness[q as usize] < k || k == 0);
+        }
+    }
+
+    /// Every edge inside a connected k-truss closes >= k-2 triangles within
+    /// the *edge-surviving* subgraph; we check the weaker node-level
+    /// invariant: the community is connected and each member has an edge.
+    #[test]
+    fn connected_ktruss_invariants((n, edges) in arb_graph(), q in 0u32..30, k in 2u32..6) {
+        let g = build(n, &edges);
+        let q = q % g.n() as u32;
+        if let Some(comm) = max_connected_ktruss(&g, q, k) {
+            prop_assert!(comm.binary_search(&q).is_ok());
+            prop_assert!(comm.len() >= 2);
+            prop_assert!(csag_graph::traversal::is_connected_subset(&g, &comm));
+            // The k-truss community induced on its own nodes must again
+            // contain a k-truss with q: re-peeling within is a fixed point.
+            let mut m = Maintainer::new(&g, CommunityModel::KTruss, k);
+            let again = m.maximal_within(q, &comm).unwrap();
+            prop_assert_eq!(again, comm);
+        }
+    }
+
+    /// Trussness from the global decomposition agrees with peel
+    /// reachability: an edge with trussness t survives the t-truss peel of
+    /// its component.
+    #[test]
+    fn trussness_agrees_with_peel((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let (eidx, trussness) = truss_decomposition(&g);
+        for (u, v) in g.edges() {
+            let id = eidx.id(&g, u, v).unwrap() as usize;
+            let t = trussness[id];
+            prop_assert!(t >= 2);
+            // The edge survives at k = t: u's t-truss community contains v
+            // with the edge intact. (Survival at t+1 must fail for at least
+            // one endpoint pair globally, but per-edge we check membership.)
+            if let Some(comm) = max_connected_ktruss(&g, u, t) {
+                prop_assert!(
+                    comm.binary_search(&v).is_ok(),
+                    "edge ({},{}) trussness {} but v missing from u's {}-truss",
+                    u, v, t, t
+                );
+            } else {
+                prop_assert!(false, "u has no {}-truss but edge ({},{}) has trussness {}", t, u, v, t);
+            }
+        }
+    }
+
+    /// Core and truss models agree on the containment k-truss ⊆ (k-1)-core.
+    #[test]
+    fn truss_is_inside_core((n, edges) in arb_graph(), q in 0u32..30, k in 2u32..6) {
+        let g = build(n, &edges);
+        let q = q % g.n() as u32;
+        if let Some(truss) = max_connected_ktruss(&g, q, k) {
+            let core = max_connected_kcore(&g, q, k - 1)
+                .expect("a k-truss member is in the (k-1)-core");
+            for v in &truss {
+                prop_assert!(core.binary_search(v).is_ok());
+            }
+        }
+    }
+}

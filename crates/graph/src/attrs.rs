@@ -1,0 +1,290 @@
+//! Attribute storage: textual token interning and numerical normalization.
+//!
+//! The paper's metric (§II-A) treats the two attribute kinds differently:
+//! textual attributes are compared by Jaccard distance over *sets* of
+//! tokens, numerical attributes by Manhattan distance over *min-max
+//! normalized* (`Z(·)`) coordinates. This module stores both compactly:
+//!
+//! * tokens are interned to dense `u32` ids by a [`TokenInterner`] and each
+//!   node's token set is a sorted slice in one flat arena, so Jaccard is a
+//!   linear merge with no hashing at query time;
+//! * numerical vectors have a fixed per-graph dimensionality and are
+//!   normalized once at build time.
+
+use std::collections::HashMap;
+
+/// Interns textual attribute tokens (e.g. `"movie"`, `"crime"`) to dense
+/// `u32` ids, bidirectionally.
+#[derive(Clone, Debug, Default)]
+pub struct TokenInterner {
+    map: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl TokenInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, interning it if new.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned token.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.map.get(name).copied()
+    }
+
+    /// Returns the token string for `id`, if in range.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned tokens.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no token has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Flat per-node attribute storage shared by homogeneous and heterogeneous
+/// graphs.
+///
+/// Invariants (enforced by [`crate::GraphBuilder`]):
+/// * `token_offsets.len() == n + 1` and each node's token slice is sorted
+///   and deduplicated;
+/// * `numeric.len() == n * dims`; `normalized` mirrors `numeric` with every
+///   dimension min-max scaled into `[0, 1]`.
+#[derive(Clone, Debug)]
+pub struct NodeAttributes {
+    pub(crate) interner: TokenInterner,
+    pub(crate) token_offsets: Vec<usize>,
+    pub(crate) tokens: Vec<u32>,
+    pub(crate) dims: usize,
+    pub(crate) numeric: Vec<f64>,
+    pub(crate) normalized: Vec<f64>,
+    pub(crate) dim_min: Vec<f64>,
+    pub(crate) dim_max: Vec<f64>,
+}
+
+impl NodeAttributes {
+    /// Number of nodes covered.
+    pub fn n(&self) -> usize {
+        self.token_offsets.len() - 1
+    }
+
+    /// Numerical dimensionality shared by every node.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Sorted token ids of node `v`.
+    #[inline]
+    pub fn tokens(&self, v: u32) -> &[u32] {
+        let v = v as usize;
+        &self.tokens[self.token_offsets[v]..self.token_offsets[v + 1]]
+    }
+
+    /// Raw (unnormalized) numerical attributes of node `v`.
+    #[inline]
+    pub fn numeric_raw(&self, v: u32) -> &[f64] {
+        let v = v as usize;
+        &self.numeric[v * self.dims..(v + 1) * self.dims]
+    }
+
+    /// Min-max normalized numerical attributes of node `v`, each in `[0,1]`.
+    #[inline]
+    pub fn numeric_normalized(&self, v: u32) -> &[f64] {
+        let v = v as usize;
+        &self.normalized[v * self.dims..(v + 1) * self.dims]
+    }
+
+    /// The interner mapping token ids back to strings.
+    pub fn interner(&self) -> &TokenInterner {
+        &self.interner
+    }
+
+    /// Observed `[min, max]` of dimension `d` before normalization.
+    pub fn dim_range(&self, d: usize) -> (f64, f64) {
+        (self.dim_min[d], self.dim_max[d])
+    }
+
+    /// Builds attribute storage from per-node token-id lists and numeric
+    /// rows. Token lists are sorted and deduplicated; numeric rows are
+    /// min-max normalized per dimension (constant dimensions normalize
+    /// to 0).
+    pub(crate) fn from_rows(
+        interner: TokenInterner,
+        token_rows: Vec<Vec<u32>>,
+        dims: usize,
+        numeric: Vec<f64>,
+    ) -> Self {
+        let n = token_rows.len();
+        debug_assert_eq!(numeric.len(), n * dims);
+        let mut token_offsets = Vec::with_capacity(n + 1);
+        token_offsets.push(0usize);
+        let mut tokens = Vec::new();
+        for mut row in token_rows {
+            row.sort_unstable();
+            row.dedup();
+            tokens.extend_from_slice(&row);
+            token_offsets.push(tokens.len());
+        }
+
+        let mut dim_min = vec![f64::INFINITY; dims];
+        let mut dim_max = vec![f64::NEG_INFINITY; dims];
+        for row in numeric.chunks_exact(dims.max(1)) {
+            for (d, &x) in row.iter().enumerate() {
+                dim_min[d] = dim_min[d].min(x);
+                dim_max[d] = dim_max[d].max(x);
+            }
+        }
+        if n == 0 {
+            dim_min.fill(0.0);
+            dim_max.fill(0.0);
+        }
+        let mut normalized = Vec::with_capacity(numeric.len());
+        for row in numeric.chunks_exact(dims.max(1)) {
+            for (d, &x) in row.iter().enumerate() {
+                let range = dim_max[d] - dim_min[d];
+                normalized.push(if range > 0.0 { (x - dim_min[d]) / range } else { 0.0 });
+            }
+        }
+
+        NodeAttributes {
+            interner,
+            token_offsets,
+            tokens,
+            dims,
+            numeric,
+            normalized,
+            dim_min,
+            dim_max,
+        }
+    }
+
+    /// Restriction of the attributes to `nodes` (new ids are positions in
+    /// `nodes`). Normalization ranges are inherited from the parent graph so
+    /// that distances computed in a subgraph match the parent's (this is
+    /// what the sampling pipeline requires: `Gq[S]` must score nodes exactly
+    /// as `G` does).
+    pub(crate) fn restrict(&self, nodes: &[u32]) -> Self {
+        let mut token_offsets = Vec::with_capacity(nodes.len() + 1);
+        token_offsets.push(0usize);
+        let mut tokens = Vec::new();
+        let mut numeric = Vec::with_capacity(nodes.len() * self.dims);
+        let mut normalized = Vec::with_capacity(nodes.len() * self.dims);
+        for &v in nodes {
+            tokens.extend_from_slice(self.tokens(v));
+            token_offsets.push(tokens.len());
+            numeric.extend_from_slice(self.numeric_raw(v));
+            normalized.extend_from_slice(self.numeric_normalized(v));
+        }
+        NodeAttributes {
+            interner: self.interner.clone(),
+            token_offsets,
+            tokens,
+            dims: self.dims,
+            numeric,
+            normalized,
+            dim_min: self.dim_min.clone(),
+            dim_max: self.dim_max.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_round_trips() {
+        let mut i = TokenInterner::new();
+        let movie = i.intern("movie");
+        let crime = i.intern("crime");
+        assert_ne!(movie, crime);
+        assert_eq!(i.intern("movie"), movie, "re-interning is stable");
+        assert_eq!(i.get("crime"), Some(crime));
+        assert_eq!(i.get("absent"), None);
+        assert_eq!(i.name(movie), Some("movie"));
+        assert_eq!(i.name(99), None);
+        assert_eq!(i.len(), 2);
+    }
+
+    fn sample_attrs() -> NodeAttributes {
+        let mut i = TokenInterner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        let c = i.intern("c");
+        NodeAttributes::from_rows(
+            i,
+            vec![vec![b, a, b], vec![c], vec![]],
+            2,
+            vec![0.0, 10.0, 5.0, 20.0, 10.0, 30.0],
+        )
+    }
+
+    #[test]
+    fn token_rows_are_sorted_and_deduped() {
+        let attrs = sample_attrs();
+        assert_eq!(attrs.tokens(0), &[0, 1], "sorted, deduped");
+        assert_eq!(attrs.tokens(1), &[2]);
+        assert_eq!(attrs.tokens(2), &[] as &[u32]);
+    }
+
+    #[test]
+    fn normalization_is_min_max_per_dimension() {
+        let attrs = sample_attrs();
+        assert_eq!(attrs.numeric_normalized(0), &[0.0, 0.0]);
+        assert_eq!(attrs.numeric_normalized(1), &[0.5, 0.5]);
+        assert_eq!(attrs.numeric_normalized(2), &[1.0, 1.0]);
+        assert_eq!(attrs.dim_range(0), (0.0, 10.0));
+        assert_eq!(attrs.dim_range(1), (10.0, 30.0));
+    }
+
+    #[test]
+    fn constant_dimension_normalizes_to_zero() {
+        let attrs = NodeAttributes::from_rows(
+            TokenInterner::new(),
+            vec![vec![], vec![]],
+            1,
+            vec![7.0, 7.0],
+        );
+        assert_eq!(attrs.numeric_normalized(0), &[0.0]);
+        assert_eq!(attrs.numeric_normalized(1), &[0.0]);
+    }
+
+    #[test]
+    fn restriction_preserves_parent_normalization() {
+        let attrs = sample_attrs();
+        let sub = attrs.restrict(&[2, 0]);
+        assert_eq!(sub.n(), 2);
+        // Node 2's normalized value stays 1.0 even though it is the only
+        // large value left in the restriction.
+        assert_eq!(sub.numeric_normalized(0), &[1.0, 1.0]);
+        assert_eq!(sub.numeric_normalized(1), &[0.0, 0.0]);
+        assert_eq!(sub.tokens(0), &[] as &[u32]);
+        assert_eq!(sub.tokens(1), &[0, 1]);
+        assert_eq!(sub.numeric_raw(0), &[10.0, 30.0]);
+    }
+
+    #[test]
+    fn zero_dims_supported() {
+        let attrs =
+            NodeAttributes::from_rows(TokenInterner::new(), vec![vec![], vec![]], 0, vec![]);
+        assert_eq!(attrs.dims(), 0);
+        assert_eq!(attrs.numeric_normalized(0), &[] as &[f64]);
+    }
+}

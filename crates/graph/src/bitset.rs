@@ -1,0 +1,230 @@
+//! A dense fixed-capacity bitset used as a node mask.
+//!
+//! Every search algorithm in the workspace tracks "alive" node subsets of a
+//! fixed universe `0..n`. A `Vec<u64>`-backed bitset gives O(1)
+//! insert/remove/contains with 1 bit per node, which matters when the exact
+//! enumeration visits millions of states.
+
+/// A fixed-capacity set of `u32` values in `0..len`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixedBitSet {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl FixedBitSet {
+    /// Creates an empty set over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        FixedBitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            ones: 0,
+        }
+    }
+
+    /// Creates a full set containing every value in `0..len`.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::new(len);
+        for (i, w) in s.words.iter_mut().enumerate() {
+            let lo = i * 64;
+            let bits = (len - lo).min(64);
+            *w = if bits == 64 { !0 } else { (1u64 << bits) - 1 };
+        }
+        s.ones = len;
+        s
+    }
+
+    /// Capacity of the universe (`0..len`).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Number of elements currently in the set.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.ones
+    }
+
+    /// Returns `true` if the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ones == 0
+    }
+
+    /// Returns `true` if `v` is in the set.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        let v = v as usize;
+        debug_assert!(v < self.len, "bitset index {v} out of range {}", self.len);
+        (self.words[v / 64] >> (v % 64)) & 1 == 1
+    }
+
+    /// Inserts `v`; returns `true` if it was not already present.
+    ///
+    /// Implementation note: written as an explicit load/branch/store
+    /// rather than `self.ones += fresh as usize` next to a live `&mut`
+    /// word borrow — the terser form is miscompiled (counter update
+    /// elided) by the current toolchain at opt-level 3.
+    #[inline]
+    pub fn insert(&mut self, v: u32) -> bool {
+        let v = v as usize;
+        debug_assert!(v < self.len, "bitset index {v} out of range {}", self.len);
+        let idx = v / 64;
+        let mask = 1u64 << (v % 64);
+        let old = self.words[idx];
+        if old & mask == 0 {
+            self.words[idx] = old | mask;
+            self.ones += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: u32) -> bool {
+        let v = v as usize;
+        debug_assert!(v < self.len, "bitset index {v} out of range {}", self.len);
+        let idx = v / 64;
+        let mask = 1u64 << (v % 64);
+        let old = self.words[idx];
+        if old & mask != 0 {
+            self.words[idx] = old & !mask;
+            self.ones -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.ones = 0;
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            let base = (i * 64) as u32;
+            BitIter { word: w, base }
+        })
+    }
+
+    /// Collects the elements into a sorted `Vec`.
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut v = Vec::with_capacity(self.ones);
+        v.extend(self.iter());
+        v
+    }
+}
+
+impl FromIterator<u32> for FixedBitSet {
+    /// Builds a set sized to hold the maximum element of the iterator.
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let items: Vec<u32> = iter.into_iter().collect();
+        let len = items.iter().max().map_or(0, |&m| m as usize + 1);
+        let mut s = FixedBitSet::new(len);
+        for v in items {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_elements() {
+        let s = FixedBitSet::new(100);
+        assert_eq!(s.count(), 0);
+        assert!(s.is_empty());
+        assert!(!s.contains(0));
+        assert!(!s.contains(99));
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn full_set_contains_everything() {
+        let s = FixedBitSet::full(130);
+        assert_eq!(s.count(), 130);
+        assert!((0..130).all(|v| s.contains(v)));
+        assert_eq!(s.to_vec(), (0..130).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_set_of_word_multiple() {
+        let s = FixedBitSet::full(128);
+        assert_eq!(s.count(), 128);
+        assert!(s.contains(127));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = FixedBitSet::new(200);
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(!s.insert(64), "double insert reports absent");
+        assert_eq!(s.count(), 2);
+        assert!(s.contains(63));
+        assert!(s.remove(63));
+        assert!(!s.remove(63), "double remove reports absent");
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.to_vec(), vec![64]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = FixedBitSet::full(10);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.to_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn iter_is_sorted_across_words() {
+        let mut s = FixedBitSet::new(300);
+        for v in [5, 250, 63, 64, 128, 65] {
+            s.insert(v);
+        }
+        assert_eq!(s.to_vec(), vec![5, 63, 64, 65, 128, 250]);
+    }
+
+    #[test]
+    fn from_iterator_sizes_universe() {
+        let s: FixedBitSet = [3u32, 7, 1].into_iter().collect();
+        assert_eq!(s.capacity(), 8);
+        assert_eq!(s.to_vec(), vec![1, 3, 7]);
+    }
+
+    #[test]
+    fn zero_capacity_is_fine() {
+        let s = FixedBitSet::new(0);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Builder for [`AttributedGraph`].
+
+use crate::attrs::{NodeAttributes, TokenInterner};
+use crate::graph::AttributedGraph;
+use crate::NodeId;
+
+/// Errors raised while assembling a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint does not refer to an added node.
+    NodeOutOfRange { node: NodeId, n: usize },
+    /// A node was added with the wrong numerical dimensionality.
+    DimMismatch { node: NodeId, expected: usize, got: usize },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range (graph has {n} nodes)")
+            }
+            GraphError::DimMismatch { node, expected, got } => {
+                write!(f, "node {node} has {got} numerical attributes, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Incrementally assembles an [`AttributedGraph`].
+///
+/// Self-loops are dropped and parallel edges deduplicated at
+/// [`build`](GraphBuilder::build) time. All nodes must share the numerical
+/// dimensionality given to [`new`](GraphBuilder::new).
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    interner: TokenInterner,
+    token_rows: Vec<Vec<u32>>,
+    dims: usize,
+    numeric: Vec<f64>,
+    edges: Vec<(NodeId, NodeId)>,
+    deferred_error: Option<GraphError>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for graphs whose nodes carry `dims` numerical
+    /// attributes each.
+    pub fn new(dims: usize) -> Self {
+        GraphBuilder {
+            interner: TokenInterner::new(),
+            token_rows: Vec::new(),
+            dims,
+            numeric: Vec::new(),
+            edges: Vec::new(),
+            deferred_error: None,
+        }
+    }
+
+    /// Pre-allocates for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(dims: usize, nodes: usize, edges: usize) -> Self {
+        let mut b = Self::new(dims);
+        b.token_rows.reserve(nodes);
+        b.numeric.reserve(nodes * dims);
+        b.edges.reserve(edges);
+        b
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.token_rows.len()
+    }
+
+    /// Adds a node with the given textual tokens and numerical attributes,
+    /// returning its id. A dimensionality mismatch is reported by
+    /// [`build`](GraphBuilder::build) (so bulk loading code does not need a
+    /// `?` on every row).
+    pub fn add_node(&mut self, textual: &[&str], numerical: &[f64]) -> NodeId {
+        let id = self.token_rows.len() as NodeId;
+        if numerical.len() != self.dims && self.deferred_error.is_none() {
+            self.deferred_error = Some(GraphError::DimMismatch {
+                node: id,
+                expected: self.dims,
+                got: numerical.len(),
+            });
+        }
+        let row = textual.iter().map(|t| self.interner.intern(t)).collect();
+        self.token_rows.push(row);
+        let mut fixed = numerical.to_vec();
+        fixed.resize(self.dims, 0.0);
+        self.numeric.extend_from_slice(&fixed);
+        id
+    }
+
+    /// Adds a node whose tokens are already interned ids (used by the
+    /// dataset generators, which intern topics up front).
+    pub fn add_node_interned(&mut self, tokens: Vec<u32>, numerical: &[f64]) -> NodeId {
+        let id = self.token_rows.len() as NodeId;
+        if numerical.len() != self.dims && self.deferred_error.is_none() {
+            self.deferred_error = Some(GraphError::DimMismatch {
+                node: id,
+                expected: self.dims,
+                got: numerical.len(),
+            });
+        }
+        self.token_rows.push(tokens);
+        let mut fixed = numerical.to_vec();
+        fixed.resize(self.dims, 0.0);
+        self.numeric.extend_from_slice(&fixed);
+        id
+    }
+
+    /// Interns a token without attaching it to a node (lets generators
+    /// pre-intern vocabulary).
+    pub fn intern(&mut self, token: &str) -> u32 {
+        self.interner.intern(token)
+    }
+
+    /// Adds an undirected edge. Endpoints must already exist.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        let n = self.token_rows.len();
+        for node in [u, v] {
+            if node as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node, n });
+            }
+        }
+        if u != v {
+            self.edges.push((u, v));
+        }
+        Ok(())
+    }
+
+    /// Finalizes the graph: sorts and deduplicates adjacency, normalizes
+    /// numerical attributes.
+    pub fn build(self) -> Result<AttributedGraph, GraphError> {
+        if let Some(err) = self.deferred_error {
+            return Err(err);
+        }
+        let n = self.token_rows.len();
+
+        // Counting sort of edge endpoints into CSR.
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in 0..n {
+            offsets.push(offsets[v] + degree[v]);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as NodeId; self.edges.len() * 2];
+        for &(u, v) in &self.edges {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+
+        // Sort + dedup each adjacency list in place, then compact.
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        out_offsets.push(0usize);
+        let mut out_targets = Vec::with_capacity(targets.len());
+        for v in 0..n {
+            let list = &mut targets[offsets[v]..offsets[v + 1]];
+            list.sort_unstable();
+            let mut prev: Option<NodeId> = None;
+            for &w in list.iter() {
+                if prev != Some(w) {
+                    out_targets.push(w);
+                    prev = Some(w);
+                }
+            }
+            out_offsets.push(out_targets.len());
+        }
+
+        let attrs =
+            NodeAttributes::from_rows(self.interner, self.token_rows, self.dims, self.numeric);
+        Ok(AttributedGraph { offsets: out_offsets, targets: out_targets, attrs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_edges_and_self_loops_are_dropped() {
+        let mut b = GraphBuilder::new(0);
+        let a = b.add_node(&[], &[]);
+        let c = b.add_node(&[], &[]);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(c, a).unwrap();
+        b.add_edge(a, a).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.neighbors(a), &[c]);
+        assert_eq!(g.neighbors(c), &[a]);
+    }
+
+    #[test]
+    fn edge_to_missing_node_is_rejected() {
+        let mut b = GraphBuilder::new(0);
+        let a = b.add_node(&[], &[]);
+        let err = b.add_edge(a, 7).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 7, n: 1 });
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn dim_mismatch_is_reported_at_build() {
+        let mut b = GraphBuilder::new(2);
+        b.add_node(&[], &[1.0, 2.0]);
+        b.add_node(&[], &[1.0]); // wrong
+        let err = b.build().unwrap_err();
+        assert_eq!(err, GraphError::DimMismatch { node: 1, expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_neighborhoods() {
+        let mut b = GraphBuilder::new(0);
+        b.add_node(&["x"], &[]);
+        b.add_node(&["y"], &[]);
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbors(0), &[] as &[u32]);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    fn interned_node_path_matches_string_path() {
+        let mut b = GraphBuilder::new(1);
+        let tok = b.intern("movie");
+        let v0 = b.add_node_interned(vec![tok], &[1.0]);
+        let v1 = b.add_node(&["movie"], &[2.0]);
+        let g = b.build().unwrap();
+        assert_eq!(g.tokens(v0), g.tokens(v1));
+    }
+}

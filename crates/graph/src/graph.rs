@@ -1,0 +1,265 @@
+//! The undirected attributed graph in CSR layout.
+
+use crate::attrs::{NodeAttributes, TokenInterner};
+use crate::NodeId;
+use std::collections::HashMap;
+
+/// An undirected homogeneous graph with node attributes (paper Def. 1).
+///
+/// Stored as a compressed sparse row structure: `offsets[v]..offsets[v+1]`
+/// indexes the sorted neighbor list of `v` inside `targets`. Every edge
+/// appears in both endpoints' lists; self-loops and parallel edges are
+/// removed at build time.
+#[derive(Clone, Debug)]
+pub struct AttributedGraph {
+    pub(crate) offsets: Vec<usize>,
+    pub(crate) targets: Vec<NodeId>,
+    pub(crate) attrs: NodeAttributes,
+}
+
+impl AttributedGraph {
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v` in the full graph.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// CSR position range of `v`'s neighbor row within the flat adjacency
+    /// array; used by edge-indexed algorithms (e.g. truss peeling) to align
+    /// per-adjacency-entry side tables.
+    #[inline]
+    pub fn row_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        let v = v as usize;
+        self.offsets[v]..self.offsets[v + 1]
+    }
+
+    /// Returns `true` if the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        // Search the shorter adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterates all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n() as NodeId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Node attribute storage.
+    #[inline]
+    pub fn attrs(&self) -> &NodeAttributes {
+        &self.attrs
+    }
+
+    /// Sorted textual token ids of `v`.
+    #[inline]
+    pub fn tokens(&self, v: NodeId) -> &[u32] {
+        self.attrs.tokens(v)
+    }
+
+    /// Min-max normalized numerical attributes of `v`.
+    #[inline]
+    pub fn numeric(&self, v: NodeId) -> &[f64] {
+        self.attrs.numeric_normalized(v)
+    }
+
+    /// Raw numerical attributes of `v` as supplied to the builder.
+    #[inline]
+    pub fn numeric_raw(&self, v: NodeId) -> &[f64] {
+        self.attrs.numeric_raw(v)
+    }
+
+    /// The token interner, for mapping ids back to attribute strings.
+    pub fn interner(&self) -> &TokenInterner {
+        self.attrs.interner()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n() as NodeId).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average degree (`2m/n`, 0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.targets.len() as f64 / self.n() as f64
+        }
+    }
+
+    /// Materializes the subgraph induced by `nodes` (need not be sorted;
+    /// duplicates are an error in debug builds). Attribute normalization is
+    /// inherited from `self`, so distances computed in the induced graph
+    /// equal those in the parent.
+    pub fn induced(&self, nodes: &[NodeId]) -> InducedSubgraph {
+        let mut sorted: Vec<NodeId> = nodes.to_vec();
+        sorted.sort_unstable();
+        debug_assert!(sorted.windows(2).all(|w| w[0] != w[1]), "duplicate node in induced()");
+        let mut from_original: HashMap<NodeId, NodeId> = HashMap::with_capacity(sorted.len());
+        for (new_id, &orig) in sorted.iter().enumerate() {
+            from_original.insert(orig, new_id as NodeId);
+        }
+
+        let mut offsets = Vec::with_capacity(sorted.len() + 1);
+        offsets.push(0usize);
+        let mut targets = Vec::new();
+        for &orig in &sorted {
+            for &w in self.neighbors(orig) {
+                if let Some(&new_w) = from_original.get(&w) {
+                    targets.push(new_w);
+                }
+            }
+            // Neighbor lists of the parent are sorted by original id; the
+            // remapping is monotone, so the new lists stay sorted.
+            offsets.push(targets.len());
+        }
+
+        let attrs = self.attrs.restrict(&sorted);
+        InducedSubgraph {
+            graph: AttributedGraph { offsets, targets, attrs },
+            to_original: sorted,
+            from_original,
+        }
+    }
+}
+
+/// A materialized induced subgraph along with its id mappings.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The subgraph, with dense ids `0..to_original.len()`.
+    pub graph: AttributedGraph,
+    /// `to_original[new_id] = original_id` (sorted ascending).
+    pub to_original: Vec<NodeId>,
+    /// Inverse of `to_original`.
+    pub from_original: HashMap<NodeId, NodeId>,
+}
+
+impl InducedSubgraph {
+    /// Maps an original-graph node id into the subgraph, if present.
+    pub fn local(&self, original: NodeId) -> Option<NodeId> {
+        self.from_original.get(&original).copied()
+    }
+
+    /// Maps a subgraph node id back to the original graph.
+    pub fn original(&self, local: NodeId) -> NodeId {
+        self.to_original[local as usize]
+    }
+
+    /// Maps a set of subgraph ids back to sorted original ids.
+    pub fn originals(&self, locals: &[NodeId]) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = locals.iter().map(|&l| self.original(l)).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    /// Builds the 5-cycle 0-1-2-3-4-0 with a chord 1-3.
+    fn cycle_with_chord() -> crate::AttributedGraph {
+        let mut b = GraphBuilder::new(1);
+        for i in 0..5 {
+            b.add_node(&["t"], &[i as f64]);
+        }
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)] {
+            b.add_edge(u, v).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn csr_basics() {
+        let g = cycle_with_chord();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(4), 2);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.avg_degree() - 12.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = cycle_with_chord();
+        assert!(g.has_edge(1, 3));
+        assert!(g.has_edge(3, 1));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = cycle_with_chord();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 6);
+        assert!(edges.contains(&(1, 3)));
+        assert!(edges.iter().all(|&(u, v)| u < v));
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_ids_and_keeps_edges() {
+        let g = cycle_with_chord();
+        let sub = g.induced(&[3, 1, 2]); // sorted to [1,2,3]
+        assert_eq!(sub.to_original, vec![1, 2, 3]);
+        assert_eq!(sub.graph.n(), 3);
+        // Edges inside {1,2,3}: (1,2), (2,3), (1,3).
+        assert_eq!(sub.graph.m(), 3);
+        let l1 = sub.local(1).unwrap();
+        let l3 = sub.local(3).unwrap();
+        assert!(sub.graph.has_edge(l1, l3));
+        assert_eq!(sub.original(l1), 1);
+        assert_eq!(sub.local(0), None);
+        assert_eq!(sub.originals(&[l3, l1]), vec![1, 3]);
+    }
+
+    #[test]
+    fn induced_subgraph_inherits_normalization() {
+        let g = cycle_with_chord();
+        let sub = g.induced(&[0, 4]);
+        // Node 4 had the max raw value 4.0 -> normalized 1.0 in the parent;
+        // the restriction must keep that value rather than renormalize.
+        let l4 = sub.local(4).unwrap();
+        assert_eq!(sub.graph.numeric(l4), &[1.0]);
+        assert_eq!(sub.graph.numeric_raw(l4), &[4.0]);
+    }
+
+    #[test]
+    fn induced_neighbor_lists_are_sorted() {
+        let g = cycle_with_chord();
+        let sub = g.induced(&[0, 1, 2, 3, 4]);
+        for v in 0..5 {
+            let nb = sub.graph.neighbors(v);
+            assert!(nb.windows(2).all(|w| w[0] < w[1]), "sorted: {nb:?}");
+        }
+    }
+}

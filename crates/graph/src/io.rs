@@ -1,0 +1,475 @@
+//! Plain-text serialization of attributed graphs.
+//!
+//! Format (line-oriented, `#`-comments allowed):
+//!
+//! ```text
+//! csag-graph v1
+//! dims 2
+//! node 0 movie,crime,drama 9.2 1600000
+//! node 1 movie,crime 9.0 1100000
+//! edge 0 1
+//! ```
+//!
+//! Token lists are comma-separated (empty list written as `-`); numerical
+//! attributes follow as whitespace-separated floats. This is meant for
+//! examples and fixtures, not bulk storage.
+
+use crate::builder::GraphBuilder;
+use crate::graph::AttributedGraph;
+use crate::hetero::{HeteroGraph, HeteroGraphBuilder};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Writes `g` in the v1 text format.
+pub fn write_graph<W: Write>(g: &AttributedGraph, out: W) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "csag-graph v1")?;
+    writeln!(w, "dims {}", g.attrs().dims())?;
+    for v in 0..g.n() as u32 {
+        let toks = g.tokens(v);
+        let token_str = if toks.is_empty() {
+            "-".to_string()
+        } else {
+            toks.iter()
+                .map(|&t| g.interner().name(t).unwrap_or("?"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        write!(w, "node {v} {token_str}")?;
+        for x in g.numeric_raw(v) {
+            write!(w, " {x}")?;
+        }
+        writeln!(w)?;
+    }
+    for (u, v) in g.edges() {
+        writeln!(w, "edge {u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Saves `g` to `path` in the v1 text format.
+pub fn save_graph<P: AsRef<Path>>(g: &AttributedGraph, path: P) -> io::Result<()> {
+    write_graph(g, std::fs::File::create(path)?)
+}
+
+fn parse_err(line_no: usize, msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("line {line_no}: {msg}"))
+}
+
+/// Reads a graph in the v1 text format.
+///
+/// Nodes must be declared with consecutive ids starting at 0, before any
+/// edge that references them.
+pub fn read_graph<R: Read>(input: R) -> io::Result<AttributedGraph> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines().enumerate();
+
+    let header = loop {
+        match lines.next() {
+            Some((no, line)) => {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('#') {
+                    continue;
+                }
+                break (no + 1, t.to_string());
+            }
+            None => return Err(parse_err(0, "empty input")),
+        }
+    };
+    if header.1 != "csag-graph v1" {
+        return Err(parse_err(header.0, "expected header `csag-graph v1`"));
+    }
+
+    let mut builder: Option<GraphBuilder> = None;
+    for (no, line) in lines {
+        let line = line?;
+        let no = no + 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        match parts.next() {
+            Some("dims") => {
+                let d: usize = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "dims needs a value"))?
+                    .parse()
+                    .map_err(|_| parse_err(no, "bad dims value"))?;
+                builder = Some(GraphBuilder::new(d));
+            }
+            Some("node") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_err(no, "`dims` must precede nodes"))?;
+                let id: u32 = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "node needs an id"))?
+                    .parse()
+                    .map_err(|_| parse_err(no, "bad node id"))?;
+                if id as usize != b.node_count() {
+                    return Err(parse_err(no, "node ids must be consecutive from 0"));
+                }
+                let token_field =
+                    parts.next().ok_or_else(|| parse_err(no, "node needs a token field"))?;
+                let tokens: Vec<&str> = if token_field == "-" {
+                    Vec::new()
+                } else {
+                    token_field.split(',').collect()
+                };
+                let numeric: Vec<f64> = parts
+                    .map(|p| p.parse().map_err(|_| parse_err(no, "bad numeric attribute")))
+                    .collect::<io::Result<_>>()?;
+                b.add_node(&tokens, &numeric);
+            }
+            Some("edge") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_err(no, "`dims` must precede edges"))?;
+                let u: u32 = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "edge needs two endpoints"))?
+                    .parse()
+                    .map_err(|_| parse_err(no, "bad edge endpoint"))?;
+                let v: u32 = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "edge needs two endpoints"))?
+                    .parse()
+                    .map_err(|_| parse_err(no, "bad edge endpoint"))?;
+                b.add_edge(u, v)
+                    .map_err(|e| parse_err(no, &e.to_string()))?;
+            }
+            Some(other) => return Err(parse_err(no, &format!("unknown record `{other}`"))),
+            None => unreachable!("non-empty line"),
+        }
+    }
+    let b = builder.ok_or_else(|| parse_err(0, "missing `dims` record"))?;
+    b.build().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Loads a graph from `path` in the v1 text format.
+pub fn load_graph<P: AsRef<Path>>(path: P) -> io::Result<AttributedGraph> {
+    read_graph(std::fs::File::open(path)?)
+}
+
+/// Writes a heterogeneous graph in the `csag-hetero v1` text format:
+///
+/// ```text
+/// csag-hetero v1
+/// dims 2
+/// ntype 0 author
+/// etype 0 writes
+/// node 0 author ml,nlp 30 2
+/// edge 0 1 writes
+/// ```
+pub fn write_hetero_graph<W: Write>(g: &HeteroGraph, out: W) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "csag-hetero v1")?;
+    writeln!(w, "dims {}", g.attrs().dims())?;
+    for t in 0..g.node_type_count() as u32 {
+        writeln!(w, "ntype {t} {}", g.node_type_name(t).unwrap_or("?"))?;
+    }
+    for t in 0..g.edge_type_count() as u32 {
+        writeln!(w, "etype {t} {}", g.edge_type_name(t).unwrap_or("?"))?;
+    }
+    for v in 0..g.n() as u32 {
+        let toks = g.attrs().tokens(v);
+        let token_str = if toks.is_empty() {
+            "-".to_string()
+        } else {
+            toks.iter()
+                .map(|&t| g.attrs().interner().name(t).unwrap_or("?"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        write!(w, "node {v} {} {token_str}", g.node_type(v))?;
+        for x in g.attrs().numeric_raw(v) {
+            write!(w, " {x}")?;
+        }
+        writeln!(w)?;
+    }
+    for u in 0..g.n() as u32 {
+        let nbrs = g.neighbors(u);
+        let etys = g.neighbor_edge_types(u);
+        for (&v, &et) in nbrs.iter().zip(etys) {
+            if u < v {
+                writeln!(w, "edge {u} {v} {et}")?;
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Saves a heterogeneous graph to `path` in the `csag-hetero v1` format.
+pub fn save_hetero_graph<P: AsRef<Path>>(g: &HeteroGraph, path: P) -> io::Result<()> {
+    write_hetero_graph(g, std::fs::File::create(path)?)
+}
+
+/// Reads a heterogeneous graph in the `csag-hetero v1` text format.
+pub fn read_hetero_graph<R: Read>(input: R) -> io::Result<HeteroGraph> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines().enumerate();
+    let header = loop {
+        match lines.next() {
+            Some((no, line)) => {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('#') {
+                    continue;
+                }
+                break (no + 1, t.to_string());
+            }
+            None => return Err(parse_err(0, "empty input")),
+        }
+    };
+    if header.1 != "csag-hetero v1" {
+        return Err(parse_err(header.0, "expected header `csag-hetero v1`"));
+    }
+
+    let mut builder: Option<HeteroGraphBuilder> = None;
+    let mut ntype_names: Vec<String> = Vec::new();
+    let mut etype_names: Vec<String> = Vec::new();
+    let mut node_count = 0u32;
+    for (no, line) in lines {
+        let line = line?;
+        let no = no + 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        match parts.next() {
+            Some("dims") => {
+                let d: usize = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "dims needs a value"))?
+                    .parse()
+                    .map_err(|_| parse_err(no, "bad dims value"))?;
+                builder = Some(HeteroGraphBuilder::new(d));
+            }
+            Some("ntype") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_err(no, "`dims` must precede ntype"))?;
+                let id: usize = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "ntype needs an id"))?
+                    .parse()
+                    .map_err(|_| parse_err(no, "bad ntype id"))?;
+                let name =
+                    parts.next().ok_or_else(|| parse_err(no, "ntype needs a name"))?;
+                if id != ntype_names.len() {
+                    return Err(parse_err(no, "ntype ids must be consecutive from 0"));
+                }
+                ntype_names.push(name.to_string());
+                b.node_type(name);
+            }
+            Some("etype") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_err(no, "`dims` must precede etype"))?;
+                let id: usize = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "etype needs an id"))?
+                    .parse()
+                    .map_err(|_| parse_err(no, "bad etype id"))?;
+                let name =
+                    parts.next().ok_or_else(|| parse_err(no, "etype needs a name"))?;
+                if id != etype_names.len() {
+                    return Err(parse_err(no, "etype ids must be consecutive from 0"));
+                }
+                etype_names.push(name.to_string());
+                b.edge_type(name);
+            }
+            Some("node") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_err(no, "`dims` must precede nodes"))?;
+                let id: u32 = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "node needs an id"))?
+                    .parse()
+                    .map_err(|_| parse_err(no, "bad node id"))?;
+                if id != node_count {
+                    return Err(parse_err(no, "node ids must be consecutive from 0"));
+                }
+                node_count += 1;
+                let ty: u32 = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "node needs a type id"))?
+                    .parse()
+                    .map_err(|_| parse_err(no, "bad node type"))?;
+                if ty as usize >= ntype_names.len() {
+                    return Err(parse_err(no, "node type id out of range"));
+                }
+                let token_field =
+                    parts.next().ok_or_else(|| parse_err(no, "node needs a token field"))?;
+                let tokens: Vec<&str> = if token_field == "-" {
+                    Vec::new()
+                } else {
+                    token_field.split(',').collect()
+                };
+                let numeric: Vec<f64> = parts
+                    .map(|p| p.parse().map_err(|_| parse_err(no, "bad numeric attribute")))
+                    .collect::<io::Result<_>>()?;
+                b.add_node(ty, &tokens, &numeric);
+            }
+            Some("edge") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_err(no, "`dims` must precede edges"))?;
+                let u: u32 = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "edge needs endpoints"))?
+                    .parse()
+                    .map_err(|_| parse_err(no, "bad edge endpoint"))?;
+                let v: u32 = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "edge needs endpoints"))?
+                    .parse()
+                    .map_err(|_| parse_err(no, "bad edge endpoint"))?;
+                let et: u32 = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "edge needs a type id"))?
+                    .parse()
+                    .map_err(|_| parse_err(no, "bad edge type"))?;
+                if et as usize >= etype_names.len() {
+                    return Err(parse_err(no, "edge type id out of range"));
+                }
+                b.add_edge(u, v, et).map_err(|e| parse_err(no, &e.to_string()))?;
+            }
+            Some(other) => return Err(parse_err(no, &format!("unknown record `{other}`"))),
+            None => unreachable!("non-empty line"),
+        }
+    }
+    let b = builder.ok_or_else(|| parse_err(0, "missing `dims` record"))?;
+    Ok(b.build())
+}
+
+/// Loads a heterogeneous graph from `path`.
+pub fn load_hetero_graph<P: AsRef<Path>>(path: P) -> io::Result<HeteroGraph> {
+    read_hetero_graph(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> AttributedGraph {
+        let mut b = GraphBuilder::new(2);
+        b.add_node(&["movie", "crime"], &[9.2, 1.6e6]);
+        b.add_node(&["movie", "drama"], &[9.0, 1.1e6]);
+        b.add_node(&[], &[5.0, 100.0]);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_attrs() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(&buf[..]).unwrap();
+        assert_eq!(g2.n(), g.n());
+        assert_eq!(g2.m(), g.m());
+        assert!(g2.has_edge(0, 1));
+        assert!(g2.has_edge(1, 2));
+        assert!(!g2.has_edge(0, 2));
+        for v in 0..3 {
+            assert_eq!(g2.numeric_raw(v), g.numeric_raw(v));
+            let names = |g: &AttributedGraph, v: u32| {
+                let mut ns: Vec<String> = g
+                    .tokens(v)
+                    .iter()
+                    .map(|&t| g.interner().name(t).unwrap().to_string())
+                    .collect();
+                ns.sort();
+                ns
+            };
+            assert_eq!(names(&g2, v), names(&g, v));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# a fixture\n\ncsag-graph v1\ndims 1\n# nodes\nnode 0 a 1\nnode 1 - 2\nedge 0 1\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.m(), 1);
+        assert!(g.tokens(1).is_empty());
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let err = read_graph("nope v2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn non_consecutive_node_ids_are_rejected() {
+        let text = "csag-graph v1\ndims 0\nnode 5 -\n";
+        assert!(read_graph(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn edge_before_dims_is_rejected() {
+        let text = "csag-graph v1\nedge 0 1\n";
+        assert!(read_graph(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn hetero_round_trip() {
+        use crate::HeteroGraphBuilder;
+        let mut b = HeteroGraphBuilder::new(1);
+        let a = b.node_type("author");
+        let p = b.node_type("paper");
+        let w = b.edge_type("writes");
+        let c = b.edge_type("cites");
+        let a0 = b.add_node(a, &["ml"], &[3.0]);
+        let a1 = b.add_node(a, &["db", "ml"], &[5.0]);
+        let p0 = b.add_node(p, &[], &[0.0]);
+        b.add_edge(a0, p0, w).unwrap();
+        b.add_edge(a1, p0, w).unwrap();
+        b.add_edge(p0, a1, c).unwrap(); // second type on the same pair
+        let g = b.build();
+
+        let mut buf = Vec::new();
+        write_hetero_graph(&g, &mut buf).unwrap();
+        let g2 = read_hetero_graph(&buf[..]).unwrap();
+        assert_eq!(g2.n(), g.n());
+        assert_eq!(g2.m(), g.m());
+        assert_eq!(g2.node_type_count(), 2);
+        assert_eq!(g2.edge_type_count(), 2);
+        assert_eq!(g2.node_type(a0), g.node_type(a0));
+        assert_eq!(g2.node_type_name(a), Some("author"));
+        assert_eq!(g2.edge_type_name(c), Some("cites"));
+        // Typed adjacency preserved.
+        assert_eq!(g2.neighbors(p0), g.neighbors(p0));
+        assert_eq!(g2.neighbor_edge_types(p0), g.neighbor_edge_types(p0));
+        assert_eq!(g2.attrs().numeric_raw(a1), &[5.0]);
+    }
+
+    #[test]
+    fn hetero_bad_inputs_rejected() {
+        assert!(read_hetero_graph("nope\n".as_bytes()).is_err());
+        let missing_type = "csag-hetero v1\ndims 0\nnode 0 3 -\n";
+        assert!(read_hetero_graph(missing_type.as_bytes()).is_err());
+        let bad_edge_type = "csag-hetero v1\ndims 0\nntype 0 a\nnode 0 0 -\nnode 1 0 -\nedge 0 1 5\n";
+        assert!(read_hetero_graph(bad_edge_type.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("csag_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        save_graph(&g, &path).unwrap();
+        let g2 = load_graph(&path).unwrap();
+        assert_eq!(g2.n(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,92 @@
+//! Whole-graph statistics (the paper's Table I columns).
+
+use crate::graph::AttributedGraph;
+use crate::hetero::HeteroGraph;
+use crate::NodeId;
+
+/// Summary statistics of a graph (Table I: #nodes, #edges, node/edge type
+/// counts, max/avg degree; coreness columns live in `csag-decomp`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Number of node types (1 for homogeneous graphs).
+    pub node_types: usize,
+    /// Number of edge types (1 for homogeneous graphs).
+    pub edge_types: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Average degree `2m/n`.
+    pub avg_degree: f64,
+}
+
+/// Computes Table-I statistics for a homogeneous graph.
+pub fn graph_stats(g: &AttributedGraph) -> GraphStats {
+    GraphStats {
+        nodes: g.n(),
+        edges: g.m(),
+        node_types: 1,
+        edge_types: 1,
+        max_degree: g.max_degree(),
+        avg_degree: g.avg_degree(),
+    }
+}
+
+/// Computes Table-I statistics for a heterogeneous graph.
+pub fn hetero_stats(g: &HeteroGraph) -> GraphStats {
+    let max_degree =
+        (0..g.n() as NodeId).map(|v| g.neighbors(v).len()).max().unwrap_or(0);
+    let avg_degree = if g.n() == 0 { 0.0 } else { 2.0 * g.m() as f64 / g.n() as f64 };
+    GraphStats {
+        nodes: g.n(),
+        edges: g.m(),
+        node_types: g.node_type_count(),
+        edge_types: g.edge_type_count(),
+        max_degree,
+        avg_degree,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, HeteroGraphBuilder};
+
+    #[test]
+    fn homogeneous_stats() {
+        let mut b = GraphBuilder::new(0);
+        for _ in 0..4 {
+            b.add_node(&[], &[]);
+        }
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (1, 3)] {
+            b.add_edge(u, v).unwrap();
+        }
+        let s = graph_stats(&b.build().unwrap());
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.max_degree, 3);
+        assert!((s.avg_degree - 2.0).abs() < 1e-12);
+        assert_eq!(s.node_types, 1);
+    }
+
+    #[test]
+    fn heterogeneous_stats() {
+        let mut b = HeteroGraphBuilder::new(0);
+        let a = b.node_type("a");
+        let p = b.node_type("p");
+        let e = b.edge_type("w");
+        let n0 = b.add_node(a, &[], &[]);
+        let n1 = b.add_node(p, &[], &[]);
+        let n2 = b.add_node(a, &[], &[]);
+        b.add_edge(n0, n1, e).unwrap();
+        b.add_edge(n2, n1, e).unwrap();
+        let s = hetero_stats(&b.build());
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.node_types, 2);
+        assert_eq!(s.edge_types, 1);
+        assert_eq!(s.max_degree, 2);
+    }
+}

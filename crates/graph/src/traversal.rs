@@ -1,0 +1,183 @@
+//! BFS and connectivity primitives, optionally restricted to a node mask.
+//!
+//! The community-search algorithms repeatedly need "the connected component
+//! of `q` inside the currently alive node set"; these helpers implement that
+//! without materializing subgraphs.
+
+use crate::bitset::FixedBitSet;
+use crate::graph::AttributedGraph;
+use crate::NodeId;
+use std::collections::VecDeque;
+
+/// Returns the connected component containing `start`, restricted to nodes
+/// for which `alive` is set (`None` means all nodes). The result is sorted.
+///
+/// Returns an empty vector if `start` itself is not alive.
+pub fn component_of(
+    g: &AttributedGraph,
+    start: NodeId,
+    alive: Option<&FixedBitSet>,
+) -> Vec<NodeId> {
+    let is_alive = |v: NodeId| alive.is_none_or(|a| a.contains(v));
+    if !is_alive(start) {
+        return Vec::new();
+    }
+    let mut seen = FixedBitSet::new(g.n());
+    let mut queue = VecDeque::new();
+    seen.insert(start);
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        for &w in g.neighbors(v) {
+            if is_alive(w) && seen.insert(w) {
+                queue.push_back(w);
+            }
+        }
+    }
+    seen.to_vec()
+}
+
+/// Returns `true` if the subgraph induced by the (sorted or unsorted)
+/// `nodes` slice is connected. The empty set counts as connected.
+pub fn is_connected_subset(g: &AttributedGraph, nodes: &[NodeId]) -> bool {
+    let Some(&start) = nodes.first() else { return true };
+    let mut mask = FixedBitSet::new(g.n());
+    for &v in nodes {
+        mask.insert(v);
+    }
+    component_of(g, start, Some(&mask)).len() == nodes.len()
+}
+
+/// Breadth-first order from `start` over the whole graph (visited nodes
+/// only).
+pub fn bfs_order(g: &AttributedGraph, start: NodeId) -> Vec<NodeId> {
+    let mut seen = FixedBitSet::new(g.n());
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen.insert(start);
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in g.neighbors(v) {
+            if seen.insert(w) {
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// All connected components of the graph, each sorted, ordered by their
+/// smallest node.
+pub fn connected_components(g: &AttributedGraph) -> Vec<Vec<NodeId>> {
+    let mut seen = FixedBitSet::new(g.n());
+    let mut comps = Vec::new();
+    for v in 0..g.n() as NodeId {
+        if seen.contains(v) {
+            continue;
+        }
+        let comp = component_of(g, v, None);
+        for &u in &comp {
+            seen.insert(u);
+        }
+        comps.push(comp);
+    }
+    comps
+}
+
+/// Hop distance (unweighted shortest path length) from `start` to every
+/// node; `usize::MAX` marks unreachable nodes.
+pub fn hop_distances(g: &AttributedGraph, start: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.n()];
+    dist[start as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == usize::MAX {
+                dist[w as usize] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Two triangles {0,1,2} and {3,4,5} joined by edge 2-3, plus isolated 6.
+    fn two_triangles() -> AttributedGraph {
+        let mut b = GraphBuilder::new(0);
+        for _ in 0..7 {
+            b.add_node(&[], &[]);
+        }
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            b.add_edge(u, v).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn component_of_unmasked_reaches_everything_connected() {
+        let g = two_triangles();
+        assert_eq!(component_of(&g, 0, None), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(component_of(&g, 6, None), vec![6]);
+    }
+
+    #[test]
+    fn component_of_respects_mask() {
+        let g = two_triangles();
+        let mut mask = FixedBitSet::full(7);
+        mask.remove(2); // cut the bridge endpoint
+        assert_eq!(component_of(&g, 0, Some(&mask)), vec![0, 1]);
+        assert_eq!(component_of(&g, 4, Some(&mask)), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn component_of_dead_start_is_empty() {
+        let g = two_triangles();
+        let mut mask = FixedBitSet::full(7);
+        mask.remove(0);
+        assert!(component_of(&g, 0, Some(&mask)).is_empty());
+    }
+
+    #[test]
+    fn connected_subset_checks() {
+        let g = two_triangles();
+        assert!(is_connected_subset(&g, &[0, 1, 2]));
+        assert!(is_connected_subset(&g, &[0, 1, 2, 3]));
+        assert!(!is_connected_subset(&g, &[0, 1, 4]));
+        assert!(is_connected_subset(&g, &[]));
+        assert!(is_connected_subset(&g, &[6]));
+    }
+
+    #[test]
+    fn bfs_starts_at_root_and_visits_component() {
+        let g = two_triangles();
+        let order = bfs_order(&g, 0);
+        assert_eq!(order[0], 0);
+        assert_eq!(order.len(), 6);
+        assert!(!order.contains(&6));
+    }
+
+    #[test]
+    fn components_partition_the_graph() {
+        let g = two_triangles();
+        let comps = connected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1, 2, 3, 4, 5], vec![6]]);
+    }
+
+    #[test]
+    fn hop_distances_count_edges() {
+        let g = two_triangles();
+        let d = hop_distances(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[2], 1);
+        assert_eq!(d[3], 2);
+        assert_eq!(d[5], 3);
+        assert_eq!(d[6], usize::MAX);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the graph substrate.
+
+use csag_graph::traversal::{component_of, connected_components};
+use csag_graph::{FixedBitSet, GraphBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a random undirected graph as (n, edge list) with n in 1..40.
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (1usize..40).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..120);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> csag_graph::AttributedGraph {
+    let mut b = GraphBuilder::new(1);
+    for i in 0..n {
+        b.add_node(&["t"], &[i as f64]);
+    }
+    for &(u, v) in edges {
+        b.add_edge(u, v).unwrap();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #[test]
+    fn adjacency_is_symmetric_sorted_and_loop_free((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        for v in 0..g.n() as u32 {
+            let nb = g.neighbors(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "sorted+dedup");
+            prop_assert!(!nb.contains(&v), "no self loop");
+            for &w in nb {
+                prop_assert!(g.neighbors(w).binary_search(&v).is_ok(), "symmetric");
+            }
+        }
+        // Handshake lemma.
+        let degsum: usize = (0..g.n() as u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degsum, 2 * g.m());
+    }
+
+    #[test]
+    fn has_edge_matches_neighbor_lists((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        for u in 0..g.n() as u32 {
+            for v in 0..g.n() as u32 {
+                let expect = g.neighbors(u).contains(&v);
+                prop_assert_eq!(g.has_edge(u, v), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_nodes((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let comps = connected_components(&g);
+        let mut all: Vec<u32> = comps.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n as u32).collect::<Vec<_>>());
+        // Every node's component query agrees with the partition.
+        for comp in &comps {
+            for &v in comp {
+                prop_assert_eq!(&component_of(&g, v, None), comp);
+            }
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_edges_are_exactly_internal_edges((n, edges) in arb_graph(), keep_mask in prop::collection::vec(any::<bool>(), 40)) {
+        let g = build(n, &edges);
+        let keep: Vec<u32> =
+            (0..g.n() as u32).filter(|&v| keep_mask[v as usize]).collect();
+        let sub = g.induced(&keep);
+        prop_assert_eq!(sub.graph.n(), keep.len());
+        // Internal edge count matches.
+        let mut mask = FixedBitSet::new(g.n());
+        for &v in &keep {
+            mask.insert(v);
+        }
+        let internal = g
+            .edges()
+            .filter(|&(u, v)| mask.contains(u) && mask.contains(v))
+            .count();
+        prop_assert_eq!(sub.graph.m(), internal);
+        // Round-trip ids.
+        for (local, &orig) in sub.to_original.iter().enumerate() {
+            prop_assert_eq!(sub.local(orig), Some(local as u32));
+            prop_assert_eq!(sub.graph.numeric_raw(local as u32), g.numeric_raw(orig));
+        }
+    }
+
+    #[test]
+    fn bitset_behaves_like_reference_set(ops in prop::collection::vec((0u32..200, any::<bool>()), 0..400)) {
+        let mut bs = FixedBitSet::new(200);
+        let mut reference = std::collections::BTreeSet::new();
+        for (v, insert) in ops {
+            if insert {
+                prop_assert_eq!(bs.insert(v), reference.insert(v));
+            } else {
+                prop_assert_eq!(bs.remove(v), reference.remove(&v));
+            }
+        }
+        prop_assert_eq!(bs.count(), reference.len());
+        prop_assert_eq!(bs.to_vec(), reference.into_iter().collect::<Vec<_>>());
+    }
+}

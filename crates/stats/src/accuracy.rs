@@ -1,0 +1,159 @@
+//! The runtime accuracy guarantee (Theorem 11) and error-based incremental
+//! sampling (Eq. 12).
+
+/// A two-sided confidence interval `center ± moe` at level `confidence`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (δ⋆ in the paper).
+    pub center: f64,
+    /// Margin of Error ε (half-width).
+    pub moe: f64,
+    /// Confidence level `1 − α`.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Returns `true` if `x` lies inside the interval.
+    pub fn covers(&self, x: f64) -> bool {
+        (x - self.center).abs() <= self.moe + f64::EPSILON
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.center - self.moe
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.center + self.moe
+    }
+
+    /// Whether this interval certifies the user-supplied relative error
+    /// bound `e` (Theorem 11).
+    pub fn certifies(&self, e: f64) -> bool {
+        satisfies_error_bound(self.moe, self.center, e)
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6} ± {:.2e} @ {:.0}%", self.center, self.moe, self.confidence * 100.0)
+    }
+}
+
+/// The largest Margin of Error that still certifies relative error `e` for
+/// a point estimate `delta_star` (Theorem 11): `ε ≤ δ⋆·e/(1+e)`.
+pub fn required_moe(delta_star: f64, e: f64) -> f64 {
+    delta_star * e / (1.0 + e)
+}
+
+/// Theorem 11: if `ε ≤ δ⋆·e/(1+e)` then `|δ⋆ − δ|/δ ≤ e` holds for every
+/// exact δ inside the interval `δ⋆ ± ε` — i.e. with probability `1 − α`.
+pub fn satisfies_error_bound(moe: f64, delta_star: f64, e: f64) -> bool {
+    moe <= required_moe(delta_star, e)
+}
+
+/// Error-based incremental sampling (Eq. 12): the number of additional
+/// samples `|ΔS|` needed to shrink `ε` below the Theorem-11 threshold,
+/// given the BLB sample size `|S_blb|` and scale exponent `m`:
+///
+/// `|ΔS| = |S_blb| · ((ε / (δ⋆·e/(1+e)))^{2m} − 1)`
+///
+/// Returns at least 1 whenever the bound is not yet satisfied (so progress
+/// is always made), and 0 when it already is.
+pub fn incremental_sample_size(
+    blb_sample_size: usize,
+    moe: f64,
+    delta_star: f64,
+    e: f64,
+    scale_exponent: f64,
+) -> usize {
+    let target = required_moe(delta_star, e);
+    if target <= 0.0 {
+        // δ⋆ = 0 can never be certified by shrinking ε; ask for a doubling.
+        return blb_sample_size.max(1);
+    }
+    if moe <= target {
+        return 0;
+    }
+    let ratio = moe / target;
+    let grow = ratio.powf(2.0 * scale_exponent) - 1.0;
+    ((blb_sample_size as f64 * grow).ceil() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Example 6 (second case, which is numerically consistent):
+    /// δ⋆ = 0.3, ε = 8e-3, |S_blb| = 1000, m = 0.6, e = 0.01 → |ΔS| ≈ 2284.
+    #[test]
+    fn example6_large_moe() {
+        let ds = incremental_sample_size(1000, 8e-3, 0.3, 0.01, 0.6);
+        assert_eq!(ds, 2284);
+    }
+
+    /// Paper Example 6 (first case). The text reports ≈253, but evaluating
+    /// Eq. 12 exactly gives 1000·((3.5e-3 / (0.3·0.01/1.01))^1.2 − 1) ≈ 218;
+    /// we match the formula, not the typo.
+    #[test]
+    fn example6_small_moe_formula() {
+        let ds = incremental_sample_size(1000, 3.5e-3, 0.3, 0.01, 0.6);
+        assert_eq!(ds, 218);
+    }
+
+    #[test]
+    fn zero_when_already_satisfied() {
+        assert_eq!(incremental_sample_size(1000, 1e-5, 0.3, 0.01, 0.6), 0);
+    }
+
+    #[test]
+    fn progress_guaranteed_when_close() {
+        // Ratio barely above 1 must still request at least one sample.
+        let target = required_moe(0.3, 0.01);
+        let ds = incremental_sample_size(10, target * 1.000001, 0.3, 0.01, 0.6);
+        assert!(ds >= 1);
+    }
+
+    #[test]
+    fn zero_delta_star_requests_doubling() {
+        assert_eq!(incremental_sample_size(500, 1e-3, 0.0, 0.01, 0.6), 500);
+    }
+
+    #[test]
+    fn theorem11_algebra_certifies_relative_error() {
+        // For every δ covered by the interval, |δ⋆ − δ|/δ ≤ e.
+        let delta_star = 0.42;
+        let e = 0.05;
+        let moe = required_moe(delta_star, e); // boundary case
+        let ci = ConfidenceInterval { center: delta_star, moe, confidence: 0.95 };
+        assert!(ci.certifies(e));
+        for i in 0..=100 {
+            let delta = ci.lo() + (ci.hi() - ci.lo()) * (i as f64 / 100.0);
+            let rel = (delta_star - delta).abs() / delta;
+            assert!(
+                rel <= e + 1e-12,
+                "relative error {rel} exceeds {e} at delta {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn looser_bound_is_easier() {
+        assert!(required_moe(0.3, 0.10) > required_moe(0.3, 0.01));
+        assert!(satisfies_error_bound(0.002, 0.3, 0.01));
+        assert!(!satisfies_error_bound(0.004, 0.3, 0.01));
+    }
+
+    #[test]
+    fn interval_endpoints_and_coverage() {
+        let ci = ConfidenceInterval { center: 0.5, moe: 0.1, confidence: 0.95 };
+        assert!(ci.covers(0.45));
+        assert!(ci.covers(0.6));
+        assert!(!ci.covers(0.39));
+        assert_eq!(ci.lo(), 0.4);
+        assert_eq!(ci.hi(), 0.6);
+        let s = ci.to_string();
+        assert!(s.contains("95%"), "{s}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Hoeffding-inequality population bounds (paper Theorems 7–10).
+//!
+//! SEA samples from a neighborhood `Gq` of the query node rather than from
+//! the whole graph. These bounds determine how large `Gq` must be so that,
+//! with probability at least `1 − β`, the estimated node-existence
+//! probabilities rank every ground-truth community member above the
+//! irrelevant nodes.
+
+/// Minimum number of possible worlds `t` needed to order `m·(n−m)` node
+/// pairs with failure probability at most `β` and estimation error `ϵ`
+/// (Theorem 9): `t ≥ (2/ϵ²)·ln(m(n−m)/β)`.
+///
+/// Returns 0 when there is nothing to order (`m == 0` or `m >= n`).
+///
+/// # Panics
+/// If `epsilon <= 0` or `beta` is not in `(0, 1)`.
+pub fn min_possible_worlds(m: usize, n: usize, epsilon: f64, beta: f64) -> usize {
+    assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
+    assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1), got {beta}");
+    if m == 0 || m >= n {
+        return 0;
+    }
+    let pairs = (m as f64) * ((n - m) as f64);
+    let t = (2.0 / (epsilon * epsilon)) * (pairs / beta).ln();
+    t.max(0.0).ceil() as usize
+}
+
+/// Minimum size of the sampling population `Gq` (Theorem 10 and its
+/// §VI-B/§VI-C variants): with `m_members` the minimum possible community
+/// size (`k+1` for k-core, `k` for k-truss, `l` for size-bounded search),
+/// `Gq` needs `(2/ϵ²)·ln(m(n−m)/β) + 1` nodes, capped at `n`.
+///
+/// `n` is the number of candidate nodes in the graph (all nodes for
+/// homogeneous graphs, target-type nodes for heterogeneous ones, §VI-A).
+pub fn min_population_size(m_members: usize, n: usize, epsilon: f64, beta: f64) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let m = m_members.min(n.saturating_sub(1)).max(1);
+    let t = min_possible_worlds(m, n, epsilon, beta);
+    (t + 1).min(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Example 5: DBLP with n = 682,819 nodes, k = 30 (so m = 31),
+    /// ϵ = 0.05, 1−β = 98% requires ≈ 16,625 nodes.
+    #[test]
+    fn example5_dblp() {
+        let size = min_population_size(31, 682_819, 0.05, 0.02);
+        assert!(
+            (16_600..=16_650).contains(&size),
+            "Example 5 expects about 16,625 nodes, got {size}"
+        );
+    }
+
+    #[test]
+    fn tighter_epsilon_needs_more_nodes() {
+        let loose = min_population_size(11, 100_000, 0.05, 0.05);
+        let tight = min_population_size(11, 100_000, 0.01, 0.05);
+        assert!(tight > loose, "{tight} vs {loose}");
+    }
+
+    #[test]
+    fn higher_confidence_needs_more_nodes() {
+        let lo = min_population_size(11, 100_000, 0.05, 0.10);
+        let hi = min_population_size(11, 100_000, 0.05, 0.01);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn capped_at_population() {
+        // Small graphs: the bound exceeds n, so the whole graph is used.
+        assert_eq!(min_population_size(5, 100, 0.05, 0.05), 100);
+        assert_eq!(min_population_size(5, 0, 0.05, 0.05), 0);
+    }
+
+    #[test]
+    fn larger_community_floor_needs_more_worlds() {
+        let small = min_possible_worlds(5, 1_000_000, 0.05, 0.05);
+        let large = min_possible_worlds(500, 1_000_000, 0.05, 0.05);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn degenerate_m_values() {
+        assert_eq!(min_possible_worlds(0, 100, 0.05, 0.05), 0);
+        assert_eq!(min_possible_worlds(100, 100, 0.05, 0.05), 0);
+        // min_population_size clamps m into 1..n.
+        assert!(min_population_size(0, 1_000_000, 0.05, 0.05) > 1);
+        assert!(min_population_size(2_000_000, 1_000_000, 0.05, 0.05) <= 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn rejects_bad_epsilon() {
+        min_possible_worlds(5, 100, 0.0, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in (0,1)")]
+    fn rejects_bad_beta() {
+        min_possible_worlds(5, 100, 0.05, 0.0);
+    }
+}

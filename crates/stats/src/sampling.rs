@@ -1,0 +1,185 @@
+//! Weighted sampling without replacement (attribute-aware sampling, §V-A).
+//!
+//! SEA samples `|S| = λ·|V_Gq|` distinct nodes from the neighborhood `Gq`,
+//! with probability proportional to `1 − f(v, q)` (Eq. 5). We use the
+//! Efraimidis–Spirakis A-Res scheme: draw `key(v) = u_v^{1/w_v}` with
+//! `u_v ~ U(0,1)` and keep the `k` largest keys, which realizes weighted
+//! sampling without replacement in one pass.
+
+use rand::Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq)]
+struct HeapItem {
+    key: f64,
+    index: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on key via reversed comparison.
+        other.key.partial_cmp(&self.key).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Draws `k` distinct indices from `0..weights.len()` with probability
+/// proportional to `weights[i]`, without replacement.
+///
+/// * Zero/negative/NaN weights are treated as "never sample" unless fewer
+///   than `k` positive weights exist, in which case the positive-weight
+///   items are exhausted first and the remainder is filled uniformly from
+///   the zero-weight items (so the requested sample size is always honored
+///   when possible).
+/// * Returns fewer than `k` indices only if `weights.len() < k`.
+///
+/// Runs in O(n log k).
+pub fn weighted_sample_without_replacement<R: Rng + ?Sized>(
+    weights: &[f64],
+    k: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let n = weights.len();
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+
+    // A-Res over positive weights.
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+    let mut zero_weight: Vec<usize> = Vec::new();
+    for (i, &w) in weights.iter().enumerate() {
+        if w > 0.0 && w.is_finite() {
+            let u: f64 = rng.gen_range(0.0..1.0f64);
+            // key = u^(1/w); compute in log-space for numerical stability.
+            let key = (u.max(f64::MIN_POSITIVE).ln() / w).exp();
+            if heap.len() < k {
+                heap.push(HeapItem { key, index: i });
+            } else if let Some(top) = heap.peek() {
+                if key > top.key {
+                    heap.pop();
+                    heap.push(HeapItem { key, index: i });
+                }
+            }
+        } else {
+            zero_weight.push(i);
+        }
+    }
+    let mut chosen: Vec<usize> = heap.into_iter().map(|h| h.index).collect();
+
+    // Top up from zero-weight items uniformly if needed.
+    if chosen.len() < k && !zero_weight.is_empty() {
+        let need = k - chosen.len();
+        // Partial Fisher-Yates over the zero-weight pool.
+        let m = zero_weight.len();
+        for i in 0..need.min(m) {
+            let j = rng.gen_range(i..m);
+            zero_weight.swap(i, j);
+            chosen.push(zero_weight[i]);
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_is_distinct_and_right_sized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let weights: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let s = weighted_sample_without_replacement(&weights, 20, &mut rng);
+        assert_eq!(s.len(), 20);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted & distinct");
+        assert!(s.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn oversampling_returns_everything() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let weights = [1.0, 2.0, 3.0];
+        let s = weighted_sample_without_replacement(&weights, 10, &mut rng);
+        assert_eq!(s, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_k_is_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(weighted_sample_without_replacement(&[1.0, 2.0], 0, &mut rng).is_empty());
+        assert!(weighted_sample_without_replacement(&[], 5, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn heavier_items_are_sampled_more_often() {
+        // Item 9 has weight 10, item 0 has weight 1; over many draws of a
+        // single item, item 9 must appear far more often.
+        let weights: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 10];
+        for _ in 0..4000 {
+            let s = weighted_sample_without_replacement(&weights, 1, &mut rng);
+            counts[s[0]] += 1;
+        }
+        // Expected ratio 10:1; allow generous slack.
+        assert!(
+            counts[9] > counts[0] * 4,
+            "heavy item drawn {} vs light {}",
+            counts[9],
+            counts[0]
+        );
+        // Expected frequency of item 9 is 10/55 ≈ 18%; check within ±6%.
+        let f9 = counts[9] as f64 / 4000.0;
+        assert!((f9 - 10.0 / 55.0).abs() < 0.06, "frequency {f9}");
+    }
+
+    #[test]
+    fn zero_weights_fill_only_when_needed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let weights = [0.0, 5.0, 0.0, 5.0];
+        // k=2: both positive items must be chosen (they're the only
+        // positively-weighted ones and k equals their count)... note A-Res
+        // picks among positive first.
+        let s = weighted_sample_without_replacement(&weights, 2, &mut rng);
+        assert_eq!(s, vec![1, 3]);
+        // k=3: one zero-weight item joins.
+        let s = weighted_sample_without_replacement(&weights, 3, &mut rng);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(&1) && s.contains(&3));
+    }
+
+    #[test]
+    fn nan_and_negative_weights_are_never_preferred() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let weights = [f64::NAN, -3.0, 2.0];
+        let s = weighted_sample_without_replacement(&weights, 1, &mut rng);
+        assert_eq!(s, vec![2]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let weights: Vec<f64> = (1..=30).map(|i| (i % 7 + 1) as f64).collect();
+        let a = weighted_sample_without_replacement(
+            &weights,
+            10,
+            &mut StdRng::seed_from_u64(42),
+        );
+        let b = weighted_sample_without_replacement(
+            &weights,
+            10,
+            &mut StdRng::seed_from_u64(42),
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the statistical substrate.
+
+use csag_stats::{
+    incremental_sample_size, min_population_size, normal_cdf, normal_quantile, required_moe,
+    satisfies_error_bound, weighted_sample_without_replacement, Blb, ConfidenceInterval,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Φ and Φ⁻¹ are inverse over a wide range of p.
+    #[test]
+    fn quantile_cdf_roundtrip(p in 0.0005f64..0.9995) {
+        let q = normal_quantile(p);
+        let back = normal_cdf(q);
+        prop_assert!((back - p).abs() < 1e-6, "p={p} q={q} back={back}");
+    }
+
+    /// Theorem 11, as an algebraic property: whenever the gate passes, every
+    /// δ inside the interval has relative error ≤ e.
+    #[test]
+    fn theorem11_gate_implies_bounded_error(
+        delta_star in 0.01f64..2.0,
+        e in 0.001f64..0.5,
+        frac in 0.0f64..1.0,
+        slack in 0.0f64..1.0,
+    ) {
+        // Choose an ε at or below the Theorem-11 threshold.
+        let moe = required_moe(delta_star, e) * slack;
+        prop_assert!(satisfies_error_bound(moe, delta_star, e));
+        // Any δ the CI covers:
+        let delta = (delta_star - moe) + 2.0 * moe * frac;
+        let rel = (delta_star - delta).abs() / delta;
+        prop_assert!(rel <= e + 1e-9, "rel={rel} e={e}");
+    }
+
+    /// The incremental sample size is 0 iff the gate already passes, and
+    /// monotone in the MoE.
+    #[test]
+    fn incremental_sampling_monotone(
+        delta_star in 0.01f64..1.0,
+        e in 0.005f64..0.2,
+        moe1 in 1e-6f64..0.5,
+        bump in 1.0f64..4.0,
+    ) {
+        let s1 = incremental_sample_size(1000, moe1, delta_star, e, 0.6);
+        let s2 = incremental_sample_size(1000, moe1 * bump, delta_star, e, 0.6);
+        prop_assert!(s2 >= s1, "ΔS must grow with ε: {s1} vs {s2}");
+        prop_assert_eq!(s1 == 0, satisfies_error_bound(moe1, delta_star, e));
+    }
+
+    /// Hoeffding bound is monotone: more confidence or less tolerance needs
+    /// a larger population, and the bound is capped by n.
+    #[test]
+    fn hoeffding_monotonicity(
+        m in 1usize..100,
+        n in 1000usize..2_000_000,
+        eps_idx in 1usize..10,
+        beta_idx in 1usize..10,
+    ) {
+        let eps = eps_idx as f64 * 0.01;
+        let beta = beta_idx as f64 * 0.02;
+        let base = min_population_size(m, n, eps, beta);
+        prop_assert!(base <= n);
+        let tighter_eps = min_population_size(m, n, eps * 0.5, beta);
+        prop_assert!(tighter_eps >= base);
+        let tighter_beta = min_population_size(m, n, eps, beta * 0.5);
+        prop_assert!(tighter_beta >= base);
+    }
+
+    /// Weighted sampling returns sorted distinct indices of the right size.
+    #[test]
+    fn sampling_shape(
+        weights in prop::collection::vec(0.0f64..10.0, 1..200),
+        k in 0usize..250,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = weighted_sample_without_replacement(&weights, k, &mut rng);
+        prop_assert_eq!(s.len(), k.min(weights.len()));
+        prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(s.iter().all(|&i| i < weights.len()));
+    }
+
+    /// BLB MoE is nonnegative and finite; the point estimate equals the
+    /// data mean exactly.
+    #[test]
+    fn blb_sanity(data in prop::collection::vec(0.0f64..1.0, 0..300), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let est = Blb::default().estimate(&data, 1.96, &mut rng);
+        prop_assert!(est.moe >= 0.0 && est.moe.is_finite());
+        let mean = if data.is_empty() { 0.0 } else { data.iter().sum::<f64>() / data.len() as f64 };
+        prop_assert!((est.point - mean).abs() < 1e-9);
+        prop_assert!(est.blb_sample_size <= data.len().max(1));
+    }
+
+    /// ConfidenceInterval::covers agrees with endpoint arithmetic.
+    #[test]
+    fn ci_covers(center in -5.0f64..5.0, moe in 0.0f64..2.0, x in -8.0f64..8.0) {
+        let ci = ConfidenceInterval { center, moe, confidence: 0.95 };
+        prop_assert_eq!(ci.covers(x), x >= ci.lo() - 1e-12 && x <= ci.hi() + 1e-12);
+    }
+}

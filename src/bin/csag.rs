@@ -1,0 +1,340 @@
+//! `csag` — command-line community search on attributed graphs.
+//!
+//! ```text
+//! csag stats    <graph.txt>
+//! csag exact    <graph.txt> --query <id> --k <k> [--gamma G] [--truss] [--budget-ms MS]
+//! csag sea      <graph.txt> --query <id> --k <k> [--gamma G] [--truss] [--error E]
+//!                           [--confidence C] [--lambda L] [--seed S] [--size L H]
+//! csag baseline <graph.txt> --method acq|atc|vac --query <id> --k <k> [--gamma G]
+//! csag generate --nodes N --communities C --seed S --out <graph.txt>
+//! csag demo
+//! ```
+//!
+//! Graph files use the `csag-graph v1` text format (see `csag::graph::io`).
+
+use csag::baselines;
+use csag::core::distance::DistanceParams;
+use csag::core::exact::{Exact, ExactParams, ExactStatus};
+use csag::core::sea::{Sea, SeaParams};
+use csag::core::CommunityModel;
+use csag::datasets::generator::{generate, SyntheticConfig};
+use csag::datasets::paper_examples::{figure1_imdb, FIGURE1_TITLES};
+use csag::graph::io::{load_graph, save_graph};
+use csag::graph::stats::graph_stats;
+use csag::graph::AttributedGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::exit;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let result = match cmd.as_str() {
+        "stats" => cmd_stats(&args[1..]),
+        "exact" => cmd_exact(&args[1..]),
+        "sea" => cmd_sea(&args[1..]),
+        "baseline" => cmd_baseline(&args[1..]),
+        "generate" => cmd_generate(&args[1..]),
+        "demo" => cmd_demo(),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    if let Err(msg) = result {
+        eprintln!("error: {msg}");
+        exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "csag — community search on attributed graphs\n\
+         \n\
+         commands:\n\
+         \x20 stats    <graph.txt>                      graph statistics\n\
+         \x20 exact    <graph.txt> --query Q --k K      exact CS-AG (δ-optimal community)\n\
+         \x20 sea      <graph.txt> --query Q --k K      approximate CS-AG with accuracy guarantee\n\
+         \x20 baseline <graph.txt> --method M ...       run acq | atc | vac\n\
+         \x20 generate --nodes N --communities C ...    write a synthetic attributed graph\n\
+         \x20 demo                                       the paper's Figure-1 IMDB example\n\
+         \n\
+         common flags: --gamma G (0..1, default 0.5)  --truss  --seed S\n\
+         sea flags:    --error E (default 0.02)  --confidence C (default 0.95)\n\
+         \x20             --lambda L (default 0.2)  --size L H (size-bounded search)"
+    );
+}
+
+/// Parses `--flag value` pairs and positional arguments.
+struct Flags {
+    positional: Vec<String>,
+    named: HashMap<String, Vec<String>>,
+}
+
+fn parse_flags(args: &[String], arity: &HashMap<&str, usize>) -> Result<Flags, String> {
+    let mut positional = Vec::new();
+    let mut named: HashMap<String, Vec<String>> = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let n = *arity.get(name).ok_or_else(|| format!("unknown flag --{name}"))?;
+            let mut vals = Vec::with_capacity(n);
+            for _ in 0..n {
+                vals.push(
+                    it.next()
+                        .ok_or_else(|| format!("--{name} expects {n} value(s)"))?
+                        .clone(),
+                );
+            }
+            named.insert(name.to_string(), vals);
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Flags { positional, named })
+}
+
+impl Flags {
+    fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.named.get(name) {
+            None => Ok(None),
+            Some(vals) => vals[0]
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name}: cannot parse `{}`", vals[0])),
+        }
+    }
+
+    fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        self.get(name)?.ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.named.contains_key(name)
+    }
+}
+
+fn common_arity() -> HashMap<&'static str, usize> {
+    HashMap::from([
+        ("query", 1),
+        ("k", 1),
+        ("gamma", 1),
+        ("truss", 0),
+        ("budget-ms", 1),
+        ("error", 1),
+        ("confidence", 1),
+        ("lambda", 1),
+        ("seed", 1),
+        ("size", 2),
+        ("method", 1),
+        ("nodes", 1),
+        ("communities", 1),
+        ("out", 1),
+    ])
+}
+
+fn load(flags: &Flags) -> Result<AttributedGraph, String> {
+    let path = flags
+        .positional
+        .first()
+        .ok_or("a graph file is required (csag-graph v1 format)")?;
+    load_graph(path).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn model_of(flags: &Flags) -> CommunityModel {
+    if flags.has("truss") {
+        CommunityModel::KTruss
+    } else {
+        CommunityModel::KCore
+    }
+}
+
+fn dparams_of(flags: &Flags) -> Result<DistanceParams, String> {
+    Ok(match flags.get::<f64>("gamma")? {
+        Some(g) => DistanceParams::with_gamma(g),
+        None => DistanceParams::default(),
+    })
+}
+
+fn print_community(g: &AttributedGraph, comm: &[u32]) {
+    for &v in comm {
+        let tokens: Vec<&str> =
+            g.tokens(v).iter().filter_map(|&t| g.interner().name(t)).collect();
+        println!(
+            "  node {v:>6}  [{}]  {:?}",
+            tokens.join(","),
+            g.numeric_raw(v)
+        );
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &common_arity())?;
+    let g = load(&flags)?;
+    let s = graph_stats(&g);
+    let coreness = csag::decomp::core_decomposition(&g);
+    let kmax = coreness.iter().copied().max().unwrap_or(0);
+    let kavg = coreness.iter().map(|&c| c as f64).sum::<f64>() / coreness.len().max(1) as f64;
+    println!("nodes      {}", s.nodes);
+    println!("edges      {}", s.edges);
+    println!("d_max      {}", s.max_degree);
+    println!("d_avg      {:.2}", s.avg_degree);
+    println!("k_max      {kmax}");
+    println!("k_avg      {kavg:.2}");
+    println!("numeric dims {}", g.attrs().dims());
+    Ok(())
+}
+
+fn cmd_exact(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &common_arity())?;
+    let g = load(&flags)?;
+    let q: u32 = flags.require("query")?;
+    let k: u32 = flags.require("k")?;
+    if q as usize >= g.n() {
+        return Err(format!("query {q} out of range (graph has {} nodes)", g.n()));
+    }
+    let mut params = ExactParams::default().with_k(k).with_model(model_of(&flags));
+    if let Some(ms) = flags.get::<u64>("budget-ms")? {
+        params = params.with_time_budget(Duration::from_millis(ms));
+    }
+    let dp = dparams_of(&flags)?;
+    match Exact::new(&g, dp).run(q, &params) {
+        Some(res) => {
+            println!(
+                "community of {} nodes, δ = {:.6} ({} states explored{})",
+                res.community.len(),
+                res.delta,
+                res.states_explored,
+                if res.status == ExactStatus::BudgetExhausted {
+                    ", budget exhausted — best found so far"
+                } else {
+                    ""
+                }
+            );
+            print_community(&g, &res.community);
+            Ok(())
+        }
+        None => Err(format!("node {q} has no {} at k={k}", model_of(&flags))),
+    }
+}
+
+fn cmd_sea(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &common_arity())?;
+    let g = load(&flags)?;
+    let q: u32 = flags.require("query")?;
+    let k: u32 = flags.require("k")?;
+    if q as usize >= g.n() {
+        return Err(format!("query {q} out of range (graph has {} nodes)", g.n()));
+    }
+    let mut params = SeaParams::default().with_k(k).with_model(model_of(&flags));
+    if let Some(e) = flags.get::<f64>("error")? {
+        params = params.with_error_bound(e);
+    }
+    if let Some(c) = flags.get::<f64>("confidence")? {
+        params = params.with_confidence(c);
+    }
+    if let Some(l) = flags.get::<f64>("lambda")? {
+        params = params.with_lambda(l);
+    }
+    if let Some(vals) = flags.named.get("size") {
+        let l: usize = vals[0].parse().map_err(|_| "bad --size lower bound")?;
+        let h: usize = vals[1].parse().map_err(|_| "bad --size upper bound")?;
+        params = params.with_size_bound(l, h);
+    }
+    let seed = flags.get::<u64>("seed")?.unwrap_or(42);
+    let dp = dparams_of(&flags)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = std::time::Instant::now();
+    match Sea::new(&g, dp).run(q, &params, &mut rng) {
+        Some(res) => {
+            println!(
+                "community of {} nodes in {:.1} ms, δ* = {:.6}, CI = {}, certified = {}",
+                res.community.len(),
+                t.elapsed().as_secs_f64() * 1000.0,
+                res.delta_star,
+                res.ci,
+                res.certified
+            );
+            for (i, round) in res.rounds.iter().enumerate() {
+                println!(
+                    "  round {}: δ* = {:.4e}, ε = {:.4e}, ΔS = {}, candidates = {}",
+                    i + 1,
+                    round.delta_star,
+                    round.moe,
+                    round.added_samples,
+                    round.candidates_examined
+                );
+            }
+            print_community(&g, &res.community);
+            Ok(())
+        }
+        None => Err(format!("node {q} has no {} at k={k}", model_of(&flags))),
+    }
+}
+
+fn cmd_baseline(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &common_arity())?;
+    let g = load(&flags)?;
+    let q: u32 = flags.require("query")?;
+    let k: u32 = flags.require("k")?;
+    let method: String = flags.require("method")?;
+    let model = model_of(&flags);
+    let dp = dparams_of(&flags)?;
+    let res = match method.as_str() {
+        "acq" => baselines::acq(&g, q, k, model),
+        "atc" => baselines::loc_atc(&g, q, k, model),
+        "vac" => baselines::vac(&g, q, k, model, dp, Some(5_000)),
+        other => return Err(format!("unknown method `{other}` (use acq|atc|vac)")),
+    };
+    match res {
+        Some(r) => {
+            println!(
+                "{} community of {} nodes (objective {:.4}) in {:.1} ms",
+                method,
+                r.community.len(),
+                r.objective,
+                r.elapsed.as_secs_f64() * 1000.0
+            );
+            print_community(&g, &r.community);
+            Ok(())
+        }
+        None => Err(format!("node {q} has no community at k={k}")),
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &common_arity())?;
+    let nodes: usize = flags.require("nodes")?;
+    let communities: usize = flags.require("communities")?;
+    let seed = flags.get::<u64>("seed")?.unwrap_or(0);
+    let out: String = flags.require("out")?;
+    let cfg = SyntheticConfig { nodes, communities, ..Default::default() };
+    let (g, truth) = generate(&cfg, seed);
+    save_graph(&g, &out).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} nodes, {} edges, {} planted communities",
+        g.n(),
+        g.m(),
+        truth.len()
+    );
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    let (g, q) = figure1_imdb();
+    println!("Figure 1: IMDB snapshot, query = {}", FIGURE1_TITLES[q as usize]);
+    let exact = Exact::new(&g, DistanceParams::default())
+        .run(q, &ExactParams::default().with_k(3))
+        .expect("3-core exists");
+    println!("δ-optimal 3-core community (δ = {:.4}):", exact.delta);
+    for &v in &exact.community {
+        println!("  {}", FIGURE1_TITLES[v as usize]);
+    }
+    Ok(())
+}

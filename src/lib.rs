@@ -1,0 +1,40 @@
+//! # csag — Community Search on Attributed Graphs with Accuracy Guarantees
+//!
+//! A from-scratch Rust reproduction of *"Scalable Community Search with
+//! Accuracy Guarantee on Attributed Graphs"* (ICDE 2024). The facade crate
+//! re-exports the whole workspace:
+//!
+//! * [`graph`] — attributed homogeneous & heterogeneous graph storage,
+//! * [`decomp`] — k-core / k-truss decomposition and maintenance,
+//! * [`stats`] — Hoeffding bounds, bootstrap, Bag of Little Bootstraps,
+//! * [`core`] — the paper's contribution: the q-centric metric, the exact
+//!   algorithm with three pruning strategies, and the SEA
+//!   sampling-estimation pipeline with its extensions,
+//! * [`baselines`] — ACQ / ATC(LocATC) / VAC / E-VAC comparators,
+//! * [`datasets`] — seeded synthetic stand-ins for the paper's datasets,
+//! * [`eval`] — cross-method cohesiveness metrics and F1 scoring.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use csag::datasets::paper_examples::figure1_imdb;
+//! use csag::core::distance::DistanceParams;
+//! use csag::core::sea::{Sea, SeaParams};
+//! use rand::SeedableRng;
+//!
+//! let (graph, q) = figure1_imdb();
+//! let params = SeaParams::default().with_k(3);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let result = Sea::new(&graph, DistanceParams::default())
+//!     .run(q, &params, &mut rng)
+//!     .expect("a 3-core containing The Godfather exists");
+//! assert!(result.community.contains(&q));
+//! ```
+
+pub use csag_baselines as baselines;
+pub use csag_core as core;
+pub use csag_datasets as datasets;
+pub use csag_decomp as decomp;
+pub use csag_eval as eval;
+pub use csag_graph as graph;
+pub use csag_stats as stats;

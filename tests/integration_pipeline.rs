@@ -1,0 +1,194 @@
+//! Cross-crate integration tests: datasets → decomposition → exact/SEA →
+//! evaluation, end to end.
+
+use csag::core::distance::{DistanceParams, QueryDistances};
+use csag::core::exact::{Exact, ExactParams, ExactStatus};
+use csag::core::sea::{Sea, SeaParams};
+use csag::core::CommunityModel;
+use csag::datasets::generator::{generate, SyntheticConfig};
+use csag::datasets::{hetero_queries, random_queries};
+use csag::eval::{best_f1, relative_error};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn small_config() -> SyntheticConfig {
+    SyntheticConfig {
+        nodes: 600,
+        communities: 8,
+        intra_degree: 7,
+        inter_degree: 1.0,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn sea_tracks_exact_on_planted_graphs() {
+    let (g, _) = generate(&small_config(), 11);
+    let dp = DistanceParams::default();
+    let queries = random_queries(&g, 6, 4, 21);
+    assert!(!queries.is_empty());
+
+    let mut errors = Vec::new();
+    for &q in &queries {
+        let exact = Exact::new(&g, dp)
+            .run(q, &ExactParams::default().with_k(4).with_time_budget(Duration::from_secs(5)))
+            .expect("query guaranteed to have a 4-core");
+        let params = SeaParams::default().with_k(4).with_hoeffding(0.3, 0.95);
+        let mut rng = StdRng::seed_from_u64(1000 + q as u64);
+        let sea = Sea::new(&g, dp).run(q, &params, &mut rng).expect("same 4-core exists");
+
+        assert!(sea.community.binary_search(&q).is_ok());
+        assert!(exact.community.binary_search(&q).is_ok());
+        assert!(
+            sea.delta_star >= exact.delta - 1e-9,
+            "SEA cannot beat the exact optimum: {} vs {}",
+            sea.delta_star,
+            exact.delta
+        );
+        errors.push(relative_error(sea.delta_star, exact.delta));
+    }
+    // Average quality: SEA stays close to the optimum on planted graphs.
+    let avg = errors.iter().sum::<f64>() / errors.len() as f64;
+    assert!(avg < 0.25, "mean relative error too large: {avg}");
+}
+
+#[test]
+fn certification_implies_small_error_most_of_the_time() {
+    let (g, _) = generate(&small_config(), 12);
+    let dp = DistanceParams::default();
+    let queries = random_queries(&g, 8, 4, 22);
+
+    let mut certified_errors = Vec::new();
+    for &q in &queries {
+        let params = SeaParams::default()
+            .with_k(4)
+            .with_hoeffding(0.3, 0.95)
+            .with_error_bound(0.05);
+        let mut rng = StdRng::seed_from_u64(2000 + q as u64);
+        let Some(sea) = Sea::new(&g, dp).run(q, &params, &mut rng) else { continue };
+        if !sea.certified {
+            continue;
+        }
+        let exact = Exact::new(&g, dp)
+            .run(q, &ExactParams::default().with_k(4).with_time_budget(Duration::from_secs(5)))
+            .expect("4-core exists");
+        if exact.status == ExactStatus::Optimal {
+            certified_errors.push(relative_error(sea.delta_star, exact.delta));
+        }
+    }
+    // The guarantee holds at confidence 1-α per query; demand that the
+    // *majority* of certified queries meet 3x the bound (loose, seed-stable).
+    if certified_errors.len() >= 3 {
+        let ok = certified_errors.iter().filter(|&&e| e <= 0.15).count();
+        assert!(
+            ok * 2 >= certified_errors.len(),
+            "too many certified outliers: {certified_errors:?}"
+        );
+    }
+}
+
+#[test]
+fn truss_communities_are_tighter_than_core_communities() {
+    let (g, _) = generate(&small_config(), 13);
+    let dp = DistanceParams::default();
+    let queries = random_queries(&g, 4, 5, 23);
+    for &q in &queries {
+        let core = Exact::new(&g, dp)
+            .run(q, &ExactParams::default().with_k(5).with_time_budget(Duration::from_secs(3)))
+            .expect("5-core exists");
+        let truss = Exact::new(&g, dp).run(
+            q,
+            &ExactParams::default()
+                .with_k(5)
+                .with_model(CommunityModel::KTruss)
+                .with_time_budget(Duration::from_secs(3)),
+        );
+        // A 5-truss is contained in some 4-core; structurally it is the
+        // stricter model, so when it exists it is no larger than the
+        // maximal core at the same k... the *optimal* communities need not
+        // nest, but both must contain q and be valid.
+        if let Some(truss) = truss {
+            assert!(truss.community.binary_search(&q).is_ok());
+        }
+        assert!(core.community.binary_search(&q).is_ok());
+    }
+}
+
+#[test]
+fn f1_against_planted_truth_is_meaningful() {
+    let (g, truth) = generate(&small_config(), 14);
+    let dp = DistanceParams::default();
+    let q = random_queries(&g, 1, 4, 24)[0];
+    let params = SeaParams::default().with_k(4).with_hoeffding(0.3, 0.95);
+    let mut rng = StdRng::seed_from_u64(3000);
+    let sea = Sea::new(&g, dp).run(q, &params, &mut rng).unwrap();
+    let f1 = best_f1(&sea.community, &truth);
+    // The community lives inside q's planted block, so precision is high
+    // and F1 is clearly above chance (block ≈ 1/8 of the graph).
+    assert!(f1 > 0.2, "F1 {f1} too low for a planted-community search");
+}
+
+#[test]
+fn heterogeneous_pipeline_end_to_end() {
+    use csag::core::hetero_cs::SeaHetero;
+    use csag::datasets::hetero_gen::{generate_hetero, HeteroConfig};
+
+    let d = generate_hetero(
+        &HeteroConfig { targets: 400, communities: 8, ..Default::default() },
+        5,
+    );
+    let queries = hetero_queries(&d, 3, 4, 31);
+    assert!(!queries.is_empty());
+    let sea = SeaHetero::new(&d.graph, d.meta_path.clone(), DistanceParams::default());
+    for &q in &queries {
+        let params = SeaParams::default().with_k(4).with_hoeffding(0.3, 0.95);
+        let mut rng = StdRng::seed_from_u64(4000 + q as u64);
+        let res = sea.run(q, &params, &mut rng).expect("(k,P)-core exists");
+        assert!(res.community.binary_search(&q).is_ok());
+        // Validate the (k,P)-core property on the full projection.
+        let proj = d.graph.project(&d.meta_path);
+        let local: Vec<u32> =
+            res.community.iter().filter_map(|&v| proj.local(v)).collect();
+        assert_eq!(local.len(), res.community.len());
+        for &lv in &local {
+            let mut sorted = local.clone();
+            sorted.sort_unstable();
+            let deg = proj
+                .graph
+                .neighbors(lv)
+                .iter()
+                .filter(|w| sorted.binary_search(w).is_ok())
+                .count();
+            assert!(deg >= 4, "member {lv} has only {deg} P-neighbors inside");
+        }
+    }
+}
+
+#[test]
+fn size_bounded_pipeline_respects_window() {
+    let (g, _) = generate(&small_config(), 15);
+    let q = random_queries(&g, 1, 4, 25)[0];
+    let params = SeaParams::default()
+        .with_k(4)
+        .with_hoeffding(0.3, 0.95)
+        .with_size_bound(8, 20);
+    let mut rng = StdRng::seed_from_u64(5000);
+    if let Some(res) = Sea::new(&g, DistanceParams::default()).run(q, &params, &mut rng) {
+        assert!(res.community.len() >= 8 && res.community.len() <= 20);
+        assert!(res.community.binary_search(&q).is_ok());
+    }
+}
+
+#[test]
+fn delta_star_is_exactly_the_returned_communitys_distance() {
+    let (g, _) = generate(&small_config(), 16);
+    let q = random_queries(&g, 1, 4, 26)[0];
+    let dp = DistanceParams::default();
+    let params = SeaParams::default().with_k(4).with_hoeffding(0.3, 0.95);
+    let mut rng = StdRng::seed_from_u64(6000);
+    let res = Sea::new(&g, dp).run(q, &params, &mut rng).unwrap();
+    let mut dist = QueryDistances::new(q, g.n(), dp);
+    let actual = dist.delta(&g, &res.community);
+    assert!((actual - res.delta_star).abs() < 1e-9);
+}
