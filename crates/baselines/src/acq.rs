@@ -113,7 +113,11 @@ pub fn acq(
     }
 
     let (shared, community) = best.unwrap_or((0, root));
-    Some(BaselineResult { community, elapsed: start.elapsed(), objective: shared as f64 })
+    Some(BaselineResult {
+        community,
+        elapsed: start.elapsed(),
+        objective: shared as f64,
+    })
 }
 
 /// `true` if the sorted token list `have` contains every token of `want`.
@@ -187,7 +191,11 @@ mod tests {
         let g = b.build().unwrap();
         let res = acq(&g, 0, 2, CommunityModel::KCore).unwrap();
         assert_eq!(res.objective, 0.0, "no attribute shared by all");
-        assert_eq!(res.community, vec![0, 1, 2, 3], "falls back to plain k-core");
+        assert_eq!(
+            res.community,
+            vec![0, 1, 2, 3],
+            "falls back to plain k-core"
+        );
     }
 
     #[test]

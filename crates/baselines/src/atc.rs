@@ -109,13 +109,10 @@ pub fn loc_atc(
 
         let mut best_step: Option<(f64, Vec<NodeId>)> = None;
         for &(_, v) in candidates.iter().take(PROBE_LIMIT) {
-            let without: Vec<NodeId> =
-                current.iter().copied().filter(|&x| x != v).collect();
+            let without: Vec<NodeId> = current.iter().copied().filter(|&x| x != v).collect();
             if let Some(next) = maintainer.maximal_within(q, &without) {
                 let s = atc_score(g, q, &next);
-                if s > current_score + 1e-12
-                    && best_step.as_ref().is_none_or(|(bs, _)| s > *bs)
-                {
+                if s > current_score + 1e-12 && best_step.as_ref().is_none_or(|(bs, _)| s > *bs) {
                     best_step = Some((s, next));
                 }
             }

@@ -108,8 +108,7 @@ pub fn vac(
         if f_worst == 0.0 {
             break; // worst case cannot improve below zero
         }
-        let without: Vec<NodeId> =
-            current.iter().copied().filter(|&x| x != worst).collect();
+        let without: Vec<NodeId> = current.iter().copied().filter(|&x| x != worst).collect();
         match maintainer.maximal_within(q, &without) {
             Some(next) => current = next,
             None => break, // would collapse the community: halt (Fig 1(d))
@@ -117,7 +116,11 @@ pub fn vac(
     }
 
     let (objective, _) = max_pairwise_distance(g, &current, dparams);
-    Some(BaselineResult { community: current, elapsed: start.elapsed(), objective })
+    Some(BaselineResult {
+        community: current,
+        elapsed: start.elapsed(),
+        objective,
+    })
 }
 
 /// Resource limits for [`e_vac`]. Unset fields mean "unlimited".
@@ -184,8 +187,7 @@ pub fn e_vac(
             if victim == q {
                 continue;
             }
-            let without: Vec<NodeId> =
-                state.iter().copied().filter(|&x| x != victim).collect();
+            let without: Vec<NodeId> = state.iter().copied().filter(|&x| x != victim).collect();
             if let Some(next) = maintainer.maximal_within(q, &without) {
                 if !seen.contains(&next) {
                     stack.push(next);
@@ -197,7 +199,11 @@ pub fn e_vac(
     if best.is_empty() {
         return None;
     }
-    Some(BaselineResult { community: best, elapsed: start.elapsed(), objective: best_obj })
+    Some(BaselineResult {
+        community: best,
+        elapsed: start.elapsed(),
+        objective: best_obj,
+    })
 }
 
 #[cfg(test)]
@@ -233,8 +239,15 @@ mod tests {
     #[test]
     fn vac_peels_outlier() {
         let g = clique_with_outlier();
-        let res =
-            vac(&g, 0, 3, CommunityModel::KCore, DistanceParams::default(), None).unwrap();
+        let res = vac(
+            &g,
+            0,
+            3,
+            CommunityModel::KCore,
+            DistanceParams::default(),
+            None,
+        )
+        .unwrap();
         assert_eq!(res.community, vec![0, 1, 2, 3], "outlier removed");
         assert!(res.objective < 0.08);
     }
@@ -243,8 +256,15 @@ mod tests {
     fn vac_halts_when_deletion_would_collapse() {
         let g = clique_with_outlier();
         // k=4 forces the full 5-clique: deleting any node collapses it.
-        let res =
-            vac(&g, 0, 4, CommunityModel::KCore, DistanceParams::default(), None).unwrap();
+        let res = vac(
+            &g,
+            0,
+            4,
+            CommunityModel::KCore,
+            DistanceParams::default(),
+            None,
+        )
+        .unwrap();
         assert_eq!(res.community, vec![0, 1, 2, 3, 4]);
         assert!((res.objective - 0.5).abs() < 1e-12);
     }
@@ -253,8 +273,15 @@ mod tests {
     fn vac_iteration_cap_is_honored() {
         let g = clique_with_outlier();
         // Zero iterations: the root itself is returned.
-        let res =
-            vac(&g, 0, 2, CommunityModel::KCore, DistanceParams::default(), Some(0)).unwrap();
+        let res = vac(
+            &g,
+            0,
+            2,
+            CommunityModel::KCore,
+            DistanceParams::default(),
+            Some(0),
+        )
+        .unwrap();
         assert_eq!(res.community, vec![0, 1, 2, 3, 4]);
     }
 
@@ -262,8 +289,15 @@ mod tests {
     fn e_vac_matches_or_beats_vac() {
         let g = clique_with_outlier();
         for k in [2u32, 3] {
-            let a =
-                vac(&g, 0, k, CommunityModel::KCore, DistanceParams::default(), None).unwrap();
+            let a = vac(
+                &g,
+                0,
+                k,
+                CommunityModel::KCore,
+                DistanceParams::default(),
+                None,
+            )
+            .unwrap();
             let e = e_vac(
                 &g,
                 0,
@@ -291,7 +325,10 @@ mod tests {
             2,
             CommunityModel::KCore,
             DistanceParams::default(),
-            &EVacLimits { state_budget: Some(1), ..Default::default() },
+            &EVacLimits {
+                state_budget: Some(1),
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(res.community.contains(&0));
@@ -302,7 +339,10 @@ mod tests {
             2,
             CommunityModel::KCore,
             DistanceParams::default(),
-            &EVacLimits { max_root: Some(3), ..Default::default() },
+            &EVacLimits {
+                max_root: Some(3),
+                ..Default::default()
+            },
         )
         .is_none());
     }
@@ -320,8 +360,15 @@ mod tests {
             }
         }
         let g = b.build().unwrap();
-        let res =
-            vac(&g, 0, 2, CommunityModel::KCore, DistanceParams::default(), None).unwrap();
+        let res = vac(
+            &g,
+            0,
+            2,
+            CommunityModel::KCore,
+            DistanceParams::default(),
+            None,
+        )
+        .unwrap();
         assert!(res.community.contains(&0));
     }
 
@@ -332,9 +379,15 @@ mod tests {
         b.add_node(&["t"], &[1.0]);
         b.add_edge(0, 1).unwrap();
         let g = b.build().unwrap();
-        assert!(
-            vac(&g, 0, 2, CommunityModel::KCore, DistanceParams::default(), None).is_none()
-        );
+        assert!(vac(
+            &g,
+            0,
+            2,
+            CommunityModel::KCore,
+            DistanceParams::default(),
+            None
+        )
+        .is_none());
         assert!(e_vac(
             &g,
             0,
@@ -353,7 +406,13 @@ mod tests {
         let n = EXACT_PAIRWISE_LIMIT + 10;
         let mut b = GraphBuilder::new(1);
         for i in 0..n {
-            let x = if i == 0 { 0.0 } else if i == 1 { 1.0 } else { 0.5 };
+            let x = if i == 0 {
+                0.0
+            } else if i == 1 {
+                1.0
+            } else {
+                0.5
+            };
             b.add_node(&["t"], &[x]);
         }
         // A long path suffices; structure is irrelevant to the metric.

@@ -41,7 +41,10 @@ fn all_communities(g: &AttributedGraph, q: u32, k: u32) -> Vec<Vec<u32>> {
         }
         let nodes: Vec<u32> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
         let ok = nodes.iter().all(|&v| {
-            g.neighbors(v).iter().filter(|w| nodes.binary_search(w).is_ok()).count()
+            g.neighbors(v)
+                .iter()
+                .filter(|w| nodes.binary_search(w).is_ok())
+                .count()
                 >= k as usize
         });
         if ok && csag_graph::traversal::is_connected_subset(g, &nodes) {

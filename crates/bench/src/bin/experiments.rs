@@ -21,6 +21,10 @@ fn main() {
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
             "--quick" => scale.quick = true,
             "--threads" => {
                 let n = iter
@@ -57,11 +61,32 @@ fn main() {
             Some(md) => {
                 println!("## {id}\n");
                 println!("{md}");
-                eprintln!("[experiments] {id} done in {:.1}s", t.elapsed().as_secs_f64());
+                eprintln!(
+                    "[experiments] {id} done in {:.1}s",
+                    t.elapsed().as_secs_f64()
+                );
             }
             None => die(&format!("unknown experiment id `{id}`")),
         }
     }
+}
+
+fn print_help() {
+    println!("experiments — regenerate the paper's tables and figures");
+    println!();
+    println!("Usage: experiments [--quick] [--threads N] <id>... | all | list");
+    println!();
+    println!("  --quick      smaller query sets / budgets (CI-friendly)");
+    println!("  --threads N  worker threads for per-query parallelism");
+    println!("  list         print every experiment id and exit");
+    println!("  all          run every experiment");
+    println!();
+    println!("Ids:");
+    for id in all_ids() {
+        println!("  {id}");
+    }
+    println!();
+    println!("Output is github-flavored markdown on stdout.");
 }
 
 fn die(msg: &str) -> ! {

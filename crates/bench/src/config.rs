@@ -21,12 +21,18 @@ pub struct Scale {
 impl Scale {
     /// Full (default) scale.
     pub fn full() -> Self {
-        Scale { quick: false, threads: available_threads() }
+        Scale {
+            quick: false,
+            threads: available_threads(),
+        }
     }
 
     /// Quick smoke-test scale.
     pub fn quick() -> Self {
-        Scale { quick: true, threads: available_threads() }
+        Scale {
+            quick: true,
+            threads: available_threads(),
+        }
     }
 
     /// Queries per dataset, shrinking with dataset size (the exact ground
@@ -72,7 +78,9 @@ impl Scale {
 }
 
 fn available_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
 }
 
 /// Harness-wide SEA parameters.
@@ -91,7 +99,9 @@ pub fn sea_params(k: u32) -> SeaParams {
 /// SEA parameters for the k-truss model: triangles survive node sampling
 /// with probability ~λ³, so the truss pipeline samples at λ = 0.5.
 pub fn sea_params_truss(k: u32) -> SeaParams {
-    sea_params(k).with_model(CommunityModel::KTruss).with_lambda(0.5)
+    sea_params(k)
+        .with_model(CommunityModel::KTruss)
+        .with_lambda(0.5)
 }
 
 /// Fixed seed shared by all experiments so reruns are identical.

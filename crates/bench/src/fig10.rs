@@ -20,7 +20,11 @@ use rand::SeedableRng;
 fn run_graph(name: &str, g: &AttributedGraph, k: u32, scale: &Scale, table: &mut Table) {
     let n_queries = if scale.quick { 3 } else { 8 };
     let queries = random_queries(g, n_queries, k, QUERY_SEED);
-    let gammas = if scale.quick { vec![0.0, 0.5, 1.0] } else { vec![0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 1.0] };
+    let gammas = if scale.quick {
+        vec![0.0, 0.5, 1.0]
+    } else {
+        vec![0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 1.0]
+    };
     for gamma in gammas {
         let dp = DistanceParams::with_gamma(gamma);
         let params = crate::config::sea_params(k);
@@ -43,7 +47,12 @@ fn run_graph(name: &str, g: &AttributedGraph, k: u32, scale: &Scale, table: &mut
         });
         let done: Vec<&(f64, f64)> = per_query.iter().flatten().collect();
         if done.is_empty() {
-            table.add_row(vec![name.into(), format!("{gamma:.1}"), "-".into(), "-".into()]);
+            table.add_row(vec![
+                name.into(),
+                format!("{gamma:.1}"),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         table.add_row(vec![
@@ -64,7 +73,13 @@ pub fn run(scale: &Scale) -> String {
     );
     let dblp = standins::dblp_like();
     let proj = dblp.graph.project(&dblp.meta_path).graph;
-    run_graph("dblp-like (projected)", &proj, dblp.default_k, scale, &mut table);
+    run_graph(
+        "dblp-like (projected)",
+        &proj,
+        dblp.default_k,
+        scale,
+        &mut table,
+    );
     if !scale.quick {
         let tw = standins::twitter_like();
         run_graph("twitter-like", &tw.graph, tw.default_k, scale, &mut table);

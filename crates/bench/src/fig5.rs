@@ -26,7 +26,14 @@ struct QueryOutcome {
     e_vac: Option<MethodRun>,
 }
 
-const METHODS: [&str; 6] = ["Exact", "SEA (ours)", "LocATC-Core", "ACQ-Core", "VAC-Core", "E-VAC-Core"];
+const METHODS: [&str; 6] = [
+    "Exact",
+    "SEA (ours)",
+    "LocATC-Core",
+    "ACQ-Core",
+    "VAC-Core",
+    "E-VAC-Core",
+];
 
 fn datasets(scale: &Scale) -> Vec<Dataset> {
     if scale.quick {
@@ -40,19 +47,37 @@ fn datasets(scale: &Scale) -> Vec<Dataset> {
 pub fn run(scale: &Scale) -> String {
     let dp = DistanceParams::default();
     let model = CommunityModel::KCore;
-    let budgets = Budgets { exact_time: scale.exact_budget(), evac_states: scale.evac_budget(), ..Default::default() };
+    let budgets = Budgets {
+        exact_time: scale.exact_budget(),
+        evac_states: scale.evac_budget(),
+        ..Default::default()
+    };
 
     let mut tab_a = Table::new(
         "Figure 5(a): attribute distance δ (mean over queries; lower is better)",
-        &["dataset", "queries", "k", METHODS[0], METHODS[1], METHODS[2], METHODS[3], METHODS[4], METHODS[5]],
+        &[
+            "dataset", "queries", "k", METHODS[0], METHODS[1], METHODS[2], METHODS[3], METHODS[4],
+            METHODS[5],
+        ],
     );
     let mut tab_b = Table::new(
         "Figure 5(b): relative error of δ w.r.t. Exact (mean %)",
-        &["dataset", METHODS[1], METHODS[2], METHODS[3], METHODS[4], METHODS[5]],
+        &[
+            "dataset", METHODS[1], METHODS[2], METHODS[3], METHODS[4], METHODS[5],
+        ],
     );
     let mut tab_c = Table::new(
         "Figure 5(c): response time (mean per query)",
-        &["dataset", METHODS[0], METHODS[1], METHODS[2], METHODS[3], METHODS[4], METHODS[5], "SEA speedup (min)"],
+        &[
+            "dataset",
+            METHODS[0],
+            METHODS[1],
+            METHODS[2],
+            METHODS[3],
+            METHODS[4],
+            METHODS[5],
+            "SEA speedup (min)",
+        ],
     );
     let mut tab_d = Table::new(
         "Figure 5(d): SEA per-step time (mean per query)",
@@ -66,21 +91,21 @@ pub fn run(scale: &Scale) -> String {
         let sea_params = crate::config::sea_params(k);
         let allow_evac = scale.evac_allowed(d.graph.n());
 
-        let outcomes: Vec<QueryOutcome> = parallel_map(&queries, scale.threads, |q| {
-            QueryOutcome {
-                exact: run_exact(&d.graph, q, k, model, dp, &budgets),
-                sea: run_sea(&d.graph, q, &sea_params, dp, SEA_SEED)
-                    .map(|(run, res)| (run, res.timing)),
-                loc_atc: run_loc_atc(&d.graph, q, k, model, dp),
-                acq: run_acq(&d.graph, q, k, model, dp, false),
-                vac: run_vac(&d.graph, q, k, model, dp, &budgets),
-                e_vac: allow_evac.then(|| run_e_vac(&d.graph, q, k, model, dp, &budgets)).flatten(),
-            }
+        let outcomes: Vec<QueryOutcome> = parallel_map(&queries, scale.threads, |q| QueryOutcome {
+            exact: run_exact(&d.graph, q, k, model, dp, &budgets),
+            sea: run_sea(&d.graph, q, &sea_params, dp, SEA_SEED)
+                .map(|(run, res)| (run, res.timing)),
+            loc_atc: run_loc_atc(&d.graph, q, k, model, dp),
+            acq: run_acq(&d.graph, q, k, model, dp, false),
+            vac: run_vac(&d.graph, q, k, model, dp, &budgets),
+            e_vac: allow_evac
+                .then(|| run_e_vac(&d.graph, q, k, model, dp, &budgets))
+                .flatten(),
         });
 
         // --- (a): mean δ per method.
         let delta_of = |sel: &dyn Fn(&QueryOutcome) -> Option<f64>| -> String {
-            let vals: Vec<f64> = outcomes.iter().filter_map(|o| sel(o)).collect();
+            let vals: Vec<f64> = outcomes.iter().filter_map(sel).collect();
             if vals.is_empty() {
                 "-".into()
             } else {
@@ -126,7 +151,7 @@ pub fn run(scale: &Scale) -> String {
 
         // --- (c): mean time per method + SEA's minimum speedup.
         let ms_of = |sel: &dyn Fn(&QueryOutcome) -> Option<f64>| -> Option<f64> {
-            let vals: Vec<f64> = outcomes.iter().filter_map(|o| sel(o)).collect();
+            let vals: Vec<f64> = outcomes.iter().filter_map(sel).collect();
             (!vals.is_empty()).then(|| mean(vals.iter().copied()))
         };
         let sea_ms = ms_of(&|o| o.sea.as_ref().map(|(r, _)| r.millis));

@@ -114,7 +114,13 @@ pub fn run(scale: &Scale) -> String {
     );
     let dblp = standins::dblp_like();
     let projection = dblp.graph.project(&dblp.meta_path);
-    run_graph("dblp-like (projected)", &projection.graph, dblp.default_k, scale, &mut table);
+    run_graph(
+        "dblp-like (projected)",
+        &projection.graph,
+        dblp.default_k,
+        scale,
+        &mut table,
+    );
     if !scale.quick {
         let gh = standins::github_like();
         run_graph("github-like", &gh.graph, gh.default_k, scale, &mut table);

@@ -24,6 +24,7 @@ enum Effect {
     RelativeError,
 }
 
+#[allow(clippy::too_many_arguments)] // internal experiment plumbing, one call site per panel
 fn sweep(
     table: &mut Table,
     dataset: &str,
@@ -36,11 +37,13 @@ fn sweep(
 ) {
     let dp = DistanceParams::default();
     // Exact ground truth per query, shared by relative-error panels.
-    let budgets = Budgets { exact_time: scale.exact_budget(), ..Default::default() };
+    let budgets = Budgets {
+        exact_time: scale.exact_budget(),
+        ..Default::default()
+    };
     let exact: Vec<Option<f64>> = match effect {
         Effect::RelativeError => parallel_map(queries, scale.threads, |q| {
-            run_exact(g, q, points[0].1.k, CommunityModel::KCore, dp, &budgets)
-                .map(|r| r.delta)
+            run_exact(g, q, points[0].1.k, CommunityModel::KCore, dp, &budgets).map(|r| r.delta)
         }),
         Effect::Delta => vec![None; queries.len()],
     };
@@ -82,7 +85,11 @@ fn sweep(
             dataset.into(),
             panel.into(),
             label.clone(),
-            if ms.is_empty() { "-".into() } else { fmt_ms(mean(ms.iter().copied())) },
+            if ms.is_empty() {
+                "-".into()
+            } else {
+                fmt_ms(mean(ms.iter().copied()))
+            },
             eff_str,
         ]);
     }
@@ -97,7 +104,11 @@ pub fn run(scale: &Scale) -> String {
 
     let dblp = standins::dblp_like();
     let dblp_proj = dblp.graph.project(&dblp.meta_path).graph;
-    let twitter = if scale.quick { None } else { Some(standins::twitter_like()) };
+    let twitter = if scale.quick {
+        None
+    } else {
+        Some(standins::twitter_like())
+    };
 
     let mut graphs: Vec<(&str, &AttributedGraph, u32)> =
         vec![("dblp-like (projected)", &dblp_proj, dblp.default_k)];
@@ -111,45 +122,115 @@ pub fn run(scale: &Scale) -> String {
         let base = crate::config::sea_params(k);
 
         // (a)/(b): λ sweep.
-        let lambdas = if scale.quick { vec![0.2, 0.8] } else { vec![0.05, 0.2, 0.4, 0.6, 0.8, 1.0] };
+        let lambdas = if scale.quick {
+            vec![0.2, 0.8]
+        } else {
+            vec![0.05, 0.2, 0.4, 0.6, 0.8, 1.0]
+        };
         let points: Vec<(String, SeaParams)> = lambdas
             .iter()
             .map(|&l| (format!("λ={l}"), base.clone().with_lambda(l)))
             .collect();
-        sweep(&mut table, name, "lambda", g, &queries, scale, &points, Effect::Delta);
+        sweep(
+            &mut table,
+            name,
+            "lambda",
+            g,
+            &queries,
+            scale,
+            &points,
+            Effect::Delta,
+        );
 
         // (c)/(d): Hoeffding ϵ sweep.
         // ϵ rescaled to the stand-in regime (see config::sea_params).
-        let eps = if scale.quick { vec![0.30, 0.14] } else { vec![0.30, 0.22, 0.18, 0.14, 0.10] };
+        let eps = if scale.quick {
+            vec![0.30, 0.14]
+        } else {
+            vec![0.30, 0.22, 0.18, 0.14, 0.10]
+        };
         let points: Vec<(String, SeaParams)> = eps
             .iter()
             .map(|&e| (format!("ϵ={e}"), base.clone().with_hoeffding(e, 0.95)))
             .collect();
-        sweep(&mut table, name, "hoeffding-eps", g, &queries, scale, &points, Effect::Delta);
+        sweep(
+            &mut table,
+            name,
+            "hoeffding-eps",
+            g,
+            &queries,
+            scale,
+            &points,
+            Effect::Delta,
+        );
 
         // (e)/(f): Hoeffding confidence sweep.
-        let betas = if scale.quick { vec![0.90, 0.98] } else { vec![0.86, 0.90, 0.94, 0.98] };
+        let betas = if scale.quick {
+            vec![0.90, 0.98]
+        } else {
+            vec![0.86, 0.90, 0.94, 0.98]
+        };
         let points: Vec<(String, SeaParams)> = betas
             .iter()
             .map(|&c| (format!("1-β={c}"), base.clone().with_hoeffding(0.18, c)))
             .collect();
-        sweep(&mut table, name, "hoeffding-conf", g, &queries, scale, &points, Effect::Delta);
+        sweep(
+            &mut table,
+            name,
+            "hoeffding-conf",
+            g,
+            &queries,
+            scale,
+            &points,
+            Effect::Delta,
+        );
 
         // (g)/(h): error bound e sweep (relative error panel).
-        let errs = if scale.quick { vec![0.02, 0.05] } else { vec![0.01, 0.02, 0.03, 0.04, 0.05] };
+        let errs = if scale.quick {
+            vec![0.02, 0.05]
+        } else {
+            vec![0.01, 0.02, 0.03, 0.04, 0.05]
+        };
         let points: Vec<(String, SeaParams)> = errs
             .iter()
-            .map(|&e| (format!("e={}%", e * 100.0), base.clone().with_error_bound(e)))
+            .map(|&e| {
+                (
+                    format!("e={}%", e * 100.0),
+                    base.clone().with_error_bound(e),
+                )
+            })
             .collect();
-        sweep(&mut table, name, "error-bound", g, &queries, scale, &points, Effect::RelativeError);
+        sweep(
+            &mut table,
+            name,
+            "error-bound",
+            g,
+            &queries,
+            scale,
+            &points,
+            Effect::RelativeError,
+        );
 
         // (i)/(j): CI confidence sweep (relative error panel).
-        let alphas = if scale.quick { vec![0.90, 0.98] } else { vec![0.86, 0.90, 0.94, 0.98] };
+        let alphas = if scale.quick {
+            vec![0.90, 0.98]
+        } else {
+            vec![0.86, 0.90, 0.94, 0.98]
+        };
         let points: Vec<(String, SeaParams)> = alphas
             .iter()
             .map(|&c| (format!("1-α={c}"), base.clone().with_confidence(c)))
             .collect();
-        sweep(&mut table, name, "ci-conf", g, &queries, scale, &points, Effect::RelativeError);
+        sweep(
+            &mut table,
+            name,
+            "ci-conf",
+            g,
+            &queries,
+            scale,
+            &points,
+            Effect::RelativeError,
+        );
 
         // (k)/(l): k sweep.
         let ks: Vec<u32> = if scale.quick {
@@ -157,9 +238,20 @@ pub fn run(scale: &Scale) -> String {
         } else {
             (k..k + 5).collect()
         };
-        let points: Vec<(String, SeaParams)> =
-            ks.iter().map(|&kk| (format!("k={kk}"), base.clone().with_k(kk))).collect();
-        sweep(&mut table, name, "k", g, &queries, scale, &points, Effect::Delta);
+        let points: Vec<(String, SeaParams)> = ks
+            .iter()
+            .map(|&kk| (format!("k={kk}"), base.clone().with_k(kk)))
+            .collect();
+        sweep(
+            &mut table,
+            name,
+            "k",
+            g,
+            &queries,
+            scale,
+            &points,
+            Effect::Delta,
+        );
     }
     table.to_markdown()
 }

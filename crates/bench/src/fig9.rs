@@ -31,7 +31,15 @@ pub fn run(_scale: &Scale) -> String {
     let mut out = String::new();
     let mut tab6 = Table::new(
         "Table VI: case study — round-by-round refinement (imdb-like, star query)",
-        &["size bound", "round", "δ*", "MoE ε", "ΔS (added)", "time", "candidates"],
+        &[
+            "size bound",
+            "round",
+            "δ*",
+            "MoE ε",
+            "ΔS (added)",
+            "time",
+            "candidates",
+        ],
     );
 
     for (l, h) in BOUNDS {

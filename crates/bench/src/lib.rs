@@ -28,8 +28,9 @@ pub mod table;
 use config::Scale;
 
 /// All experiment ids, in paper order.
-pub const EXPERIMENT_IDS: [&str; 10] =
-    ["tab1", "fig5", "tab2", "tab3", "fig6", "tab4", "tab5", "fig7", "fig8", "fig9"];
+pub const EXPERIMENT_IDS: [&str; 10] = [
+    "tab1", "fig5", "tab2", "tab3", "fig6", "tab4", "tab5", "fig7", "fig8", "fig9",
+];
 
 /// Runs one experiment by id (`fig10` and `fig9` included although fig10
 /// is not in [`EXPERIMENT_IDS`]' paper-order list twice). Returns the

@@ -93,7 +93,12 @@ pub fn run_sea(
     let res = Sea::new(g, dp).run(q, params, &mut rng)?;
     let millis = t.elapsed().as_secs_f64() * 1000.0;
     Some((
-        MethodRun { community: res.community.clone(), delta: res.delta_star, millis, optimal: false },
+        MethodRun {
+            community: res.community.clone(),
+            delta: res.delta_star,
+            millis,
+            optimal: false,
+        },
         res,
     ))
 }
@@ -181,7 +186,7 @@ pub fn run_e_vac(
     })
 }
 
-/// Evaluates `f` over all queries in parallel (one crossbeam scope,
+/// Evaluates `f` over all queries in parallel (one `std::thread::scope`,
 /// `threads` workers), preserving query order in the output.
 pub fn parallel_map<T, F>(queries: &[NodeId], threads: usize, f: F) -> Vec<T>
 where
@@ -190,10 +195,10 @@ where
 {
     let threads = threads.max(1).min(queries.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, T)> = crossbeam::thread::scope(|scope| {
+    let mut indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -210,8 +215,7 @@ where
             .into_iter()
             .flat_map(|h| h.join().expect("worker panicked"))
             .collect()
-    })
-    .expect("scope failed");
+    });
     indexed.sort_by_key(|(i, _)| *i);
     indexed.into_iter().map(|(_, v)| v).collect()
 }
@@ -238,7 +242,15 @@ mod tests {
     use csag_datasets::random_queries;
 
     fn small() -> AttributedGraph {
-        generate(&SyntheticConfig { nodes: 200, communities: 5, ..Default::default() }, 1).0
+        generate(
+            &SyntheticConfig {
+                nodes: 200,
+                communities: 5,
+                ..Default::default()
+            },
+            1,
+        )
+        .0
     }
 
     #[test]
@@ -254,16 +266,21 @@ mod tests {
         let model = CommunityModel::KCore;
         let sea_params = SeaParams::default().with_k(3).with_error_bound(0.1);
 
-        let mut runs: Vec<(&str, MethodRun)> = Vec::new();
-        runs.push(("Exact", run_exact(&g, q, 3, model, dp, &budgets).unwrap()));
-        runs.push(("SEA", run_sea(&g, q, &sea_params, dp, 7).unwrap().0));
-        runs.push(("LocATC", run_loc_atc(&g, q, 3, model, dp).unwrap()));
-        runs.push(("ACQ", run_acq(&g, q, 3, model, dp, false).unwrap()));
-        runs.push(("VAC", run_vac(&g, q, 3, model, dp, &budgets).unwrap()));
-        runs.push(("E-VAC", run_e_vac(&g, q, 3, model, dp, &budgets).unwrap()));
+        let runs: Vec<(&str, MethodRun)> = vec![
+            ("Exact", run_exact(&g, q, 3, model, dp, &budgets).unwrap()),
+            ("SEA", run_sea(&g, q, &sea_params, dp, 7).unwrap().0),
+            ("LocATC", run_loc_atc(&g, q, 3, model, dp).unwrap()),
+            ("ACQ", run_acq(&g, q, 3, model, dp, false).unwrap()),
+            ("VAC", run_vac(&g, q, 3, model, dp, &budgets).unwrap()),
+            ("E-VAC", run_e_vac(&g, q, 3, model, dp, &budgets).unwrap()),
+        ];
         for (name, run) in &runs {
             assert!(run.community.binary_search(&q).is_ok(), "{name} lost q");
-            assert!(run.delta >= 0.0 && run.delta <= 1.0, "{name} delta {}", run.delta);
+            assert!(
+                run.delta >= 0.0 && run.delta <= 1.0,
+                "{name} delta {}",
+                run.delta
+            );
             assert!(run.millis >= 0.0);
         }
         // Exact is never worse than anyone on δ.
@@ -281,8 +298,15 @@ mod tests {
     fn acq_skipped_on_numeric_only() {
         let g = small();
         let q = random_queries(&g, 1, 3, 42)[0];
-        assert!(run_acq(&g, q, 3, CommunityModel::KCore, DistanceParams::default(), true)
-            .is_none());
+        assert!(run_acq(
+            &g,
+            q,
+            3,
+            CommunityModel::KCore,
+            DistanceParams::default(),
+            true
+        )
+        .is_none());
     }
 
     #[test]

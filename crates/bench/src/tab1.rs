@@ -13,7 +13,10 @@ use csag_graph::stats::{graph_stats, hetero_stats};
 pub fn run(scale: &Scale) -> String {
     let mut table = Table::new(
         "Table I: statistics of the dataset stand-ins",
-        &["dataset", "#nodes", "#edges", "#n-types", "#e-types", "d_max", "d_avg", "k_max", "k_avg"],
+        &[
+            "dataset", "#nodes", "#edges", "#n-types", "#e-types", "d_max", "d_avg", "k_max",
+            "k_avg",
+        ],
     );
 
     let homos = if scale.quick {
@@ -25,8 +28,7 @@ pub fn run(scale: &Scale) -> String {
         let s = graph_stats(&d.graph);
         let coreness = core_decomposition(&d.graph);
         let kmax = coreness.iter().copied().max().unwrap_or(0);
-        let kavg =
-            coreness.iter().map(|&c| c as f64).sum::<f64>() / coreness.len().max(1) as f64;
+        let kavg = coreness.iter().map(|&c| c as f64).sum::<f64>() / coreness.len().max(1) as f64;
         table.add_row(vec![
             d.name.clone(),
             s.nodes.to_string(),
@@ -40,8 +42,11 @@ pub fn run(scale: &Scale) -> String {
         ]);
     }
 
-    let heteros =
-        if scale.quick { vec![standins::dblp_like()] } else { standins::all_heterogeneous() };
+    let heteros = if scale.quick {
+        vec![standins::dblp_like()]
+    } else {
+        standins::all_heterogeneous()
+    };
     for d in heteros {
         let s = hetero_stats(&d.graph);
         // Coreness columns of the paper's heterogeneous rows refer to the
@@ -49,8 +54,7 @@ pub fn run(scale: &Scale) -> String {
         let proj = d.graph.project(&d.meta_path);
         let coreness = core_decomposition(&proj.graph);
         let kmax = coreness.iter().copied().max().unwrap_or(0);
-        let kavg =
-            coreness.iter().map(|&c| c as f64).sum::<f64>() / coreness.len().max(1) as f64;
+        let kavg = coreness.iter().map(|&c| c as f64).sum::<f64>() / coreness.len().max(1) as f64;
         table.add_row(vec![
             d.name.clone(),
             s.nodes.to_string(),

@@ -13,8 +13,14 @@ use csag_datasets::{random_queries, standins};
 use csag_eval::{atc_score, max_pairwise_distance, ranks, shared_attributes, Direction};
 use csag_graph::{AttributedGraph, NodeId};
 
-const METHODS: [&str; 6] =
-    ["SEA (ours)", "LocATC-Core", "ACQ-Core", "VAC-Core", "Exact (ours)", "E-VAC-Core"];
+const METHODS: [&str; 6] = [
+    "SEA (ours)",
+    "LocATC-Core",
+    "ACQ-Core",
+    "VAC-Core",
+    "Exact (ours)",
+    "E-VAC-Core",
+];
 
 /// Per-method mean scores under the four metrics.
 #[derive(Clone, Copy, Default)]
@@ -26,13 +32,16 @@ struct Scores {
     count: usize,
 }
 
+/// (minmax, coverage, shared, delta) for one community.
+type MetricTuple = (f64, f64, f64, f64);
+
 fn score_community(
     g: &AttributedGraph,
     q: NodeId,
     comm: &[NodeId],
     delta: f64,
     dp: DistanceParams,
-) -> (f64, f64, f64, f64) {
+) -> MetricTuple {
     let (minmax, _) = max_pairwise_distance(g, comm, dp);
     let coverage = atc_score(g, q, comm);
     let shared = shared_attributes(g, q, comm) as f64;
@@ -45,25 +54,27 @@ pub fn run(scale: &Scale) -> String {
     let dp = DistanceParams::default();
     let model = CommunityModel::KCore;
     let k = d.default_k;
-    let budgets = Budgets { exact_time: scale.exact_budget(), evac_states: scale.evac_budget(), ..Default::default() };
+    let budgets = Budgets {
+        exact_time: scale.exact_budget(),
+        evac_states: scale.evac_budget(),
+        ..Default::default()
+    };
     let queries = random_queries(&d.graph, scale.queries_for(d.graph.n()), k, QUERY_SEED);
     let sea_params = crate::config::sea_params(k);
 
-    let per_query: Vec<Vec<Option<(f64, f64, f64, f64)>>> =
-        parallel_map(&queries, scale.threads, |q| {
-            let mut row = Vec::with_capacity(METHODS.len());
-            let mut push = |r: Option<(Vec<NodeId>, f64)>| {
-                row.push(r.map(|(c, delta)| score_community(&d.graph, q, &c, delta, dp)));
-            };
-            push(run_sea(&d.graph, q, &sea_params, dp, SEA_SEED)
-                .map(|(r, _)| (r.community, r.delta)));
-            push(run_loc_atc(&d.graph, q, k, model, dp).map(|r| (r.community, r.delta)));
-            push(run_acq(&d.graph, q, k, model, dp, false).map(|r| (r.community, r.delta)));
-            push(run_vac(&d.graph, q, k, model, dp, &budgets).map(|r| (r.community, r.delta)));
-            push(run_exact(&d.graph, q, k, model, dp, &budgets).map(|r| (r.community, r.delta)));
-            push(run_e_vac(&d.graph, q, k, model, dp, &budgets).map(|r| (r.community, r.delta)));
-            row
-        });
+    let per_query: Vec<Vec<Option<MetricTuple>>> = parallel_map(&queries, scale.threads, |q| {
+        let mut row = Vec::with_capacity(METHODS.len());
+        let mut push = |r: Option<(Vec<NodeId>, f64)>| {
+            row.push(r.map(|(c, delta)| score_community(&d.graph, q, &c, delta, dp)));
+        };
+        push(run_sea(&d.graph, q, &sea_params, dp, SEA_SEED).map(|(r, _)| (r.community, r.delta)));
+        push(run_loc_atc(&d.graph, q, k, model, dp).map(|r| (r.community, r.delta)));
+        push(run_acq(&d.graph, q, k, model, dp, false).map(|r| (r.community, r.delta)));
+        push(run_vac(&d.graph, q, k, model, dp, &budgets).map(|r| (r.community, r.delta)));
+        push(run_exact(&d.graph, q, k, model, dp, &budgets).map(|r| (r.community, r.delta)));
+        push(run_e_vac(&d.graph, q, k, model, dp, &budgets).map(|r| (r.community, r.delta)));
+        row
+    });
 
     // Aggregate means per method.
     let mut scores = [Scores::default(); 6];
@@ -106,11 +117,25 @@ pub fn run(scale: &Scale) -> String {
              (facebook-like, {} queries, k={k}; rank in parentheses)",
             queries.len()
         ),
-        &["method", "min-max (VAC)", "coverage (ATC)", "#shared (ACQ)", "δ (ours)", "total rank"],
+        &[
+            "method",
+            "min-max (VAC)",
+            "coverage (ATC)",
+            "#shared (ACQ)",
+            "δ (ours)",
+            "total rank",
+        ],
     );
     for (m, name) in METHODS.iter().enumerate() {
         if scores[m].count == 0 {
-            table.add_row(vec![name.to_string(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            table.add_row(vec![
+                name.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         let total = minmax_ranks[m] + coverage_ranks[m] + shared_ranks[m] + delta_ranks[m];

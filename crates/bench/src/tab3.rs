@@ -16,14 +16,24 @@ use csag_datasets::{random_queries, standins, Dataset};
 use csag_eval::best_f1;
 use csag_graph::NodeId;
 
-const METHODS: [&str; 6] =
-    ["SEA (ours)", "LocATC-Core", "ACQ-Core", "VAC-Core", "Exact (ours)", "E-VAC-Core"];
+const METHODS: [&str; 6] = [
+    "SEA (ours)",
+    "LocATC-Core",
+    "ACQ-Core",
+    "VAC-Core",
+    "Exact (ours)",
+    "E-VAC-Core",
+];
 
 fn f1_for_dataset(d: &Dataset, scale: &Scale) -> Vec<Option<f64>> {
     let dp = DistanceParams::default();
     let model = CommunityModel::KCore;
     let k = d.default_k;
-    let budgets = Budgets { exact_time: scale.exact_budget(), evac_states: scale.evac_budget(), ..Default::default() };
+    let budgets = Budgets {
+        exact_time: scale.exact_budget(),
+        evac_states: scale.evac_budget(),
+        ..Default::default()
+    };
     let queries = random_queries(&d.graph, scale.queries_for(d.graph.n()), k, QUERY_SEED);
     let sea_params = crate::config::sea_params(k);
     let allow_evac = scale.evac_allowed(d.graph.n());
@@ -71,14 +81,24 @@ pub fn run(scale: &Scale) -> String {
     };
     let mut table = Table::new(
         "Table III: F1-score w.r.t. ground-truth communities (higher is better; '-' = not run)",
-        &["method", "facebook-noisy", "livejournal-noisy", "orkut-noisy", "amazon-noisy"],
+        &[
+            "method",
+            "facebook-noisy",
+            "livejournal-noisy",
+            "orkut-noisy",
+            "amazon-noisy",
+        ],
     );
     let per_dataset: Vec<Vec<Option<f64>>> =
         datasets.iter().map(|d| f1_for_dataset(d, scale)).collect();
     for (m, name) in METHODS.iter().enumerate() {
         let mut row = vec![name.to_string()];
         for col in &per_dataset {
-            row.push(col[m].map(|f| format!("{f:.2}")).unwrap_or_else(|| "-".into()));
+            row.push(
+                col[m]
+                    .map(|f| format!("{f:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+            );
         }
         for _ in per_dataset.len()..4 {
             row.push("-".into());
@@ -95,11 +115,17 @@ pub fn run_fig6(scale: &Scale) -> String {
     let egos = ego_networks(&d, count);
     let dp = DistanceParams::default();
     let model = CommunityModel::KCore;
-    let budgets = Budgets { exact_time: scale.exact_budget(), evac_states: scale.evac_budget(), ..Default::default() };
+    let budgets = Budgets {
+        exact_time: scale.exact_budget(),
+        evac_states: scale.evac_budget(),
+        ..Default::default()
+    };
 
     let mut table = Table::new(
         "Figure 6: F1-score per facebook-like ego-network (query = ego center, k=3)",
-        &["ego", "nodes", METHODS[0], METHODS[1], METHODS[2], METHODS[3], METHODS[4], METHODS[5]],
+        &[
+            "ego", "nodes", METHODS[0], METHODS[1], METHODS[2], METHODS[3], METHODS[4], METHODS[5],
+        ],
     );
     for ego in &egos {
         let g = &ego.graph;

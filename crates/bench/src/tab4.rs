@@ -53,19 +53,24 @@ pub fn run(scale: &Scale) -> String {
                 .with_pruning(pruning)
                 .with_state_budget(state_budget)
                 .with_time_budget(scale.exact_budget());
-            let runs: Vec<Option<(f64, u64, bool)>> =
-                parallel_map(&queries, scale.threads, |q| {
-                    Exact::new(&d.graph, dp).run(q, &params).map(|r| {
-                        (
-                            r.elapsed.as_secs_f64() * 1000.0,
-                            r.states_explored,
-                            r.status == ExactStatus::BudgetExhausted,
-                        )
-                    })
-                });
+            let runs: Vec<Option<(f64, u64, bool)>> = parallel_map(&queries, scale.threads, |q| {
+                Exact::new(&d.graph, dp).run(q, &params).map(|r| {
+                    (
+                        r.elapsed.as_secs_f64() * 1000.0,
+                        r.states_explored,
+                        r.status == ExactStatus::BudgetExhausted,
+                    )
+                })
+            });
             let done: Vec<&(f64, u64, bool)> = runs.iter().flatten().collect();
             if done.is_empty() {
-                table.add_row(vec![d.name.clone(), name.into(), "-".into(), "-".into(), "-".into()]);
+                table.add_row(vec![
+                    d.name.clone(),
+                    name.into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
                 continue;
             }
             let ms = done.iter().map(|r| r.0).sum::<f64>() / done.len() as f64;

@@ -37,7 +37,10 @@ struct Cell {
 
 impl Cell {
     fn new() -> Self {
-        Cell { ms: Vec::new(), rel: Vec::new() }
+        Cell {
+            ms: Vec::new(),
+            rel: Vec::new(),
+        }
     }
 
     fn render(&self) -> String {
@@ -60,7 +63,16 @@ pub fn run(scale: &Scale) -> String {
     let mut table = Table::new(
         "Table V: heterogeneous graphs — response time / relative error of δ \
          (core methods above, truss methods below; baselines run on the meta-path projection)",
-        &["dataset", "SEA (ours)", "ACQ-Core", "LocATC-Core", "VAC-Core", "SEA-Truss", "LocATC-Truss", "VAC-Truss"],
+        &[
+            "dataset",
+            "SEA (ours)",
+            "ACQ-Core",
+            "LocATC-Core",
+            "VAC-Core",
+            "SEA-Truss",
+            "LocATC-Truss",
+            "VAC-Truss",
+        ],
     );
 
     for d in datasets(scale) {
@@ -69,7 +81,10 @@ pub fn run(scale: &Scale) -> String {
         let queries = hetero_queries(&d, n_queries, k, QUERY_SEED);
         // One full projection per dataset (offline conversion, not timed).
         let projection = d.graph.project(&d.meta_path);
-        let budgets = Budgets { exact_time: scale.exact_budget(), ..Default::default() };
+        let budgets = Budgets {
+            exact_time: scale.exact_budget(),
+            ..Default::default()
+        };
 
         // Column order matches the table header.
         let mut cells: Vec<Cell> = (0..7).map(|_| Cell::new()).collect();
@@ -85,7 +100,10 @@ pub fn run(scale: &Scale) -> String {
 
             let mut row: Vec<Option<(f64, f64)>> = Vec::with_capacity(7); // (ms, rel)
             let rel = |delta: f64, exact: &Option<crate::runner::MethodRun>| -> f64 {
-                exact.as_ref().map(|e| relative_error(delta, e.delta)).unwrap_or(f64::NAN)
+                exact
+                    .as_ref()
+                    .map(|e| relative_error(delta, e.delta))
+                    .unwrap_or(f64::NAN)
             };
 
             // SEA on the native heterogeneous graph.

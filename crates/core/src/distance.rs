@@ -33,7 +33,9 @@ impl Default for DistanceParams {
 impl DistanceParams {
     /// Creates parameters with the given γ (clamped into `[0,1]`).
     pub fn with_gamma(gamma: f64) -> Self {
-        DistanceParams { gamma: gamma.clamp(0.0, 1.0) }
+        DistanceParams {
+            gamma: gamma.clamp(0.0, 1.0),
+        }
     }
 }
 
@@ -107,7 +109,11 @@ impl QueryDistances {
     /// Creates an empty cache for query node `q` over a graph with `n`
     /// nodes. NaN marks "not computed yet".
     pub fn new(q: NodeId, n: usize, params: DistanceParams) -> Self {
-        QueryDistances { q, params, vals: vec![f64::NAN; n] }
+        QueryDistances {
+            q,
+            params,
+            vals: vec![f64::NAN; n],
+        }
     }
 
     /// The query node.
@@ -199,12 +205,19 @@ mod tests {
         let pure_text = composite_distance(&g, 0, 2, DistanceParams::with_gamma(1.0));
         assert_eq!(pure_text, 1.0, "no shared tokens");
         let pure_num = composite_distance(&g, 0, 2, DistanceParams::with_gamma(0.0));
-        assert!((pure_num - 1.0).abs() < 1e-12, "extremes of both normalized dims");
+        assert!(
+            (pure_num - 1.0).abs() < 1e-12,
+            "extremes of both normalized dims"
+        );
         let blended = composite_distance(&g, 0, 1, DistanceParams::default());
         // Same tokens; numeric: rating (9.2 vs 9.0 over range 3.7) and
         // count (1.6M vs 1.1M over range ~1.588M).
         let num = ((9.2f64 - 9.0) / 3.7 + (1.6e6 - 1.1e6) / (1.6e6 - 1.2e4)) / 2.0;
-        assert!((blended - 0.5 * num).abs() < 1e-9, "{blended} vs {}", 0.5 * num);
+        assert!(
+            (blended - 0.5 * num).abs() < 1e-9,
+            "{blended} vs {}",
+            0.5 * num
+        );
     }
 
     #[test]

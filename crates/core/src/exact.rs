@@ -37,23 +37,39 @@ pub struct PruningConfig {
 
 impl Default for PruningConfig {
     fn default() -> Self {
-        PruningConfig { duplicate: true, unnecessary: true, unpromising: true }
+        PruningConfig {
+            duplicate: true,
+            unnecessary: true,
+            unpromising: true,
+        }
     }
 }
 
 impl PruningConfig {
     /// All prunings on (the paper's `Exact`).
-    pub const ALL: PruningConfig =
-        PruningConfig { duplicate: true, unnecessary: true, unpromising: true };
+    pub const ALL: PruningConfig = PruningConfig {
+        duplicate: true,
+        unnecessary: true,
+        unpromising: true,
+    };
     /// P1+P2 (the paper's `Exact\P3`).
-    pub const NO_P3: PruningConfig =
-        PruningConfig { duplicate: true, unnecessary: true, unpromising: false };
+    pub const NO_P3: PruningConfig = PruningConfig {
+        duplicate: true,
+        unnecessary: true,
+        unpromising: false,
+    };
     /// P1 only (the paper's `Exact\P3+P2`).
-    pub const P1_ONLY: PruningConfig =
-        PruningConfig { duplicate: true, unnecessary: false, unpromising: false };
+    pub const P1_ONLY: PruningConfig = PruningConfig {
+        duplicate: true,
+        unnecessary: false,
+        unpromising: false,
+    };
     /// No prunings (the paper's `Exact w/o P`).
-    pub const NONE: PruningConfig =
-        PruningConfig { duplicate: false, unnecessary: false, unpromising: false };
+    pub const NONE: PruningConfig = PruningConfig {
+        duplicate: false,
+        unnecessary: false,
+        unpromising: false,
+    };
 }
 
 /// Parameters of an exact search.
@@ -238,8 +254,7 @@ impl<'g> Exact<'g> {
                 else {
                     break;
                 };
-                let shrunk: Vec<NodeId> =
-                    cur.iter().copied().filter(|&x| x != worst).collect();
+                let shrunk: Vec<NodeId> = cur.iter().copied().filter(|&x| x != worst).collect();
                 match maintainer.maximal_within(q, &shrunk) {
                     Some(next) => {
                         let d = dist.delta(self.g, &next);
@@ -265,7 +280,14 @@ impl<'g> Exact<'g> {
             deadline: params.time_budget.map(|b| start + b),
             out_of_budget: false,
         };
-        enumerate(&mut ctx, &mut maintainer, &mut dist, &root, root_delta, f64::INFINITY);
+        enumerate(
+            &mut ctx,
+            &mut maintainer,
+            &mut dist,
+            &root,
+            root_delta,
+            f64::INFINITY,
+        );
 
         Some(ExactResult {
             delta: ctx.best_delta,
@@ -319,9 +341,7 @@ fn enumerate(
     f_u: f64,
 ) {
     ctx.states += 1;
-    if ctx.states >= ctx.state_budget
-        || ctx.deadline.is_some_and(|d| Instant::now() >= d)
-    {
+    if ctx.states >= ctx.state_budget || ctx.deadline.is_some_and(|d| Instant::now() >= d) {
         ctx.out_of_budget = true;
         return;
     }
@@ -344,9 +364,7 @@ fn enumerate(
         .collect();
     // Priority enumeration: descending f(·,q) (Lemma 1). Ties broken by id
     // for determinism.
-    candidates.sort_unstable_by(|a, b| {
-        b.0.partial_cmp(&a.0).expect("no NaN").then(a.1.cmp(&b.1))
-    });
+    candidates.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN").then(a.1.cmp(&b.1)));
 
     let mut scratch: Vec<NodeId> = Vec::with_capacity(state.len());
     for (f_v, v) in candidates {
@@ -417,7 +435,17 @@ mod tests {
         // v3-v6, v4-v5, v5-v6, v4-v6, v1-v5.
         // Chosen so every node has degree >= 2 and the search tree of
         // Fig 3 makes sense (v1's deletion keeps a 2-core, etc.).
-        for (u, v) in [(1, 2), (1, 3), (2, 3), (2, 4), (3, 6), (4, 5), (5, 6), (4, 6), (1, 5)] {
+        for (u, v) in [
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (2, 4),
+            (3, 6),
+            (4, 5),
+            (5, 6),
+            (4, 6),
+            (1, 5),
+        ] {
             b.add_edge(u, v).unwrap();
         }
         (b.build().unwrap(), 5)
@@ -469,11 +497,13 @@ mod tests {
             if mask & (1 << q) == 0 {
                 continue;
             }
-            let nodes: Vec<NodeId> =
-                (0..n as NodeId).filter(|&v| mask & (1 << v) != 0).collect();
+            let nodes: Vec<NodeId> = (0..n as NodeId).filter(|&v| mask & (1 << v) != 0).collect();
             // Is it a connected k-core by itself?
             let ok_deg = nodes.iter().all(|&v| {
-                g.neighbors(v).iter().filter(|w| nodes.binary_search(w).is_ok()).count()
+                g.neighbors(v)
+                    .iter()
+                    .filter(|w| nodes.binary_search(w).is_ok())
+                    .count()
                     >= k as usize
             });
             if !ok_deg || !csag_graph::traversal::is_connected_subset(g, &nodes) {
@@ -497,9 +527,7 @@ mod tests {
             PruningConfig::P1_ONLY,
             PruningConfig::NONE,
         ] {
-            let res = exact
-                .run(q, &exact_params().with_pruning(pruning))
-                .unwrap();
+            let res = exact.run(q, &exact_params().with_pruning(pruning)).unwrap();
             assert!(
                 (res.delta - reference.delta).abs() < 1e-12,
                 "pruning {pruning:?} changed the optimum"
@@ -568,7 +596,17 @@ mod tests {
         for x in [0.0, 0.2, 0.4, 0.6, 0.9, 1.0] {
             b.add_node(&[], &[x]);
         }
-        for (u, v) in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 5)] {
+        for (u, v) in [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (3, 5),
+            (4, 5),
+        ] {
             b.add_edge(u, v).unwrap();
         }
         let g = b.build().unwrap();

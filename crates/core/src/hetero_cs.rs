@@ -165,7 +165,11 @@ mod tests {
         let writes = b.edge_type("writes");
         let mut authors = Vec::new();
         for i in 0..12 {
-            let (topic, h) = if i < 6 { ("ml", 30.0 + i as f64) } else { ("db", 5.0 + i as f64) };
+            let (topic, h) = if i < 6 {
+                ("ml", 30.0 + i as f64)
+            } else {
+                ("db", 5.0 + i as f64)
+            };
             authors.push(b.add_node(author, &[topic], &[h]));
         }
         let add_paper = |b: &mut HeteroGraphBuilder, coauthors: &[usize]| {
@@ -199,7 +203,9 @@ mod tests {
         let sea = SeaHetero::new(&g, apa, DistanceParams::default());
         let params = SeaParams::default().with_k(3).with_error_bound(0.1);
         let mut rng = StdRng::seed_from_u64(1);
-        let res = sea.run(authors[0], &params, &mut rng).expect("community exists");
+        let res = sea
+            .run(authors[0], &params, &mut rng)
+            .expect("community exists");
         assert!(res.community.contains(&authors[0]));
         // All members are authors.
         let author_ty = g.node_type_id("author").unwrap();
@@ -208,7 +214,11 @@ mod tests {
         }
         // Mostly ML cluster.
         let ml = res.community.iter().filter(|&&v| v < authors[6]).count();
-        assert!(ml * 2 > res.community.len(), "ML share: {ml}/{}", res.community.len());
+        assert!(
+            ml * 2 > res.community.len(),
+            "ML share: {ml}/{}",
+            res.community.len()
+        );
     }
 
     #[test]
@@ -217,7 +227,9 @@ mod tests {
         let paper_node = g.nodes_of_type(g.node_type_id("paper").unwrap())[0];
         let sea = SeaHetero::new(&g, apa, DistanceParams::default());
         let mut rng = StdRng::seed_from_u64(2);
-        assert!(sea.run(paper_node, &SeaParams::default().with_k(2), &mut rng).is_none());
+        assert!(sea
+            .run(paper_node, &SeaParams::default().with_k(2), &mut rng)
+            .is_none());
     }
 
     #[test]

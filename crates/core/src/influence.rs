@@ -82,8 +82,7 @@ pub fn estimate_influence_ceiling(
     let dims = g.attrs().dims();
     (0..dims)
         .map(|d| {
-            let data: Vec<f64> =
-                sampled_nodes.iter().map(|&v| g.numeric_raw(v)[d]).collect();
+            let data: Vec<f64> = sampled_nodes.iter().map(|&v| g.numeric_raw(v)[d]).collect();
             let block = (data.len() as f64).sqrt().max(2.0) as usize;
             estimate_population_max(&data, block, population_size)
         })
@@ -116,7 +115,10 @@ mod tests {
     #[test]
     fn dominance_rules() {
         assert!(dominates(&[2.0, 3.0], &[1.0, 3.0]));
-        assert!(!dominates(&[2.0, 3.0], &[2.0, 3.0]), "equal does not dominate");
+        assert!(
+            !dominates(&[2.0, 3.0], &[2.0, 3.0]),
+            "equal does not dominate"
+        );
         assert!(!dominates(&[2.0, 1.0], &[1.0, 2.0]), "incomparable");
         assert!(!dominates(&[2.0], &[1.0, 1.0]), "length mismatch");
     }

@@ -284,7 +284,10 @@ pub fn grow_neighborhood(
         }
         for &w in g.neighbors(v) {
             if !taken.contains(w) && queued.insert(w) {
-                heap.push(Item { f: dist.get(g, w), v: w });
+                heap.push(Item {
+                    f: dist.get(g, w),
+                    v: w,
+                });
             }
         }
     }
@@ -314,8 +317,8 @@ pub fn sea_on_population<R: Rng + ?Sized>(
     let weights: Vec<f64> = (0..n as NodeId).map(|v| 1.0 - dist.get(pop, v)).collect();
     let mut in_sample = FixedBitSet::new(n);
     in_sample.insert(q);
-    let initial = ((params.lambda * n as f64).ceil() as usize)
-        .clamp(params.min_members().min(n), n);
+    let initial =
+        ((params.lambda * n as f64).ceil() as usize).clamp(params.min_members().min(n), n);
     add_samples(&weights, &mut in_sample, initial.saturating_sub(1), rng);
     timing.sampling += t_weights.elapsed();
 
@@ -418,8 +421,11 @@ pub fn sea_on_population<R: Rng + ?Sized>(
                     continue;
                 }
                 candidates_examined += 1;
-                let data: Vec<f64> =
-                    cand.iter().filter(|&&v| v != q).map(|v| dist.get(pop, *v)).collect();
+                let data: Vec<f64> = cand
+                    .iter()
+                    .filter(|&&v| v != q)
+                    .map(|v| dist.get(pop, *v))
+                    .collect();
                 let est = params.blb.estimate(&data, z, rng);
                 last_est = Some((est.point, est.moe, est.blb_sample_size));
                 let pass = satisfies_error_bound(est.moe, est.point, params.error_bound);
@@ -473,7 +479,11 @@ pub fn sea_on_population<R: Rng + ?Sized>(
 
     let (community, delta_star, moe) = best?;
     Some(SeaResult {
-        ci: ConfidenceInterval { center: delta_star, moe, confidence: params.confidence },
+        ci: ConfidenceInterval {
+            center: delta_star,
+            moe,
+            confidence: params.confidence,
+        },
         delta_star,
         certified,
         rounds,
@@ -496,8 +506,9 @@ fn add_samples<R: Rng + ?Sized>(
         return 0;
     }
     // Restrict weights to the complement of the current sample.
-    let remaining: Vec<usize> =
-        (0..weights.len()).filter(|&i| !in_sample.contains(i as u32)).collect();
+    let remaining: Vec<usize> = (0..weights.len())
+        .filter(|&i| !in_sample.contains(i as u32))
+        .collect();
     if remaining.is_empty() {
         return 0;
     }
@@ -569,7 +580,10 @@ mod tests {
                 .count();
             assert!(d >= 3, "node {v} has degree {d} in community");
         }
-        assert!(csag_graph::traversal::is_connected_subset(&g, &res.community));
+        assert!(csag_graph::traversal::is_connected_subset(
+            &g,
+            &res.community
+        ));
         assert!(!res.rounds.is_empty());
         assert!(res.population_size >= res.sample_size);
     }
@@ -629,7 +643,9 @@ mod tests {
         let g = b.build().unwrap();
         let sea = Sea::new(&g, DistanceParams::default());
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(sea.run(0, &SeaParams::default().with_k(3), &mut rng).is_none());
+        assert!(sea
+            .run(0, &SeaParams::default().with_k(3), &mut rng)
+            .is_none());
     }
 
     #[test]

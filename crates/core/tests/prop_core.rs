@@ -42,7 +42,10 @@ fn brute_force(g: &AttributedGraph, q: u32, k: u32) -> Option<(f64, Vec<u32>)> {
         }
         let nodes: Vec<u32> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
         let ok_deg = nodes.iter().all(|&v| {
-            g.neighbors(v).iter().filter(|w| nodes.binary_search(w).is_ok()).count()
+            g.neighbors(v)
+                .iter()
+                .filter(|w| nodes.binary_search(w).is_ok())
+                .count()
                 >= k as usize
         });
         if !ok_deg || !csag_graph::traversal::is_connected_subset(g, &nodes) {

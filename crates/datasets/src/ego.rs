@@ -57,8 +57,7 @@ pub fn ego_networks(dataset: &Dataset, count: usize) -> Vec<EgoNet> {
             .ground_truth
             .iter()
             .filter_map(|circle| {
-                let local: Vec<NodeId> =
-                    circle.iter().filter_map(|&v| sub.local(v)).collect();
+                let local: Vec<NodeId> = circle.iter().filter_map(|&v| sub.local(v)).collect();
                 (local.len() >= MIN_CIRCLE).then(|| {
                     let mut l = local;
                     l.sort_unstable();
@@ -89,7 +88,12 @@ mod tests {
             ..Default::default()
         };
         let (graph, ground_truth) = generate(&cfg, 5);
-        Dataset { name: "test".into(), graph, ground_truth, default_k: 4 }
+        Dataset {
+            name: "test".into(),
+            graph,
+            ground_truth,
+            default_k: 4,
+        }
     }
 
     #[test]

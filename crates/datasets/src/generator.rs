@@ -97,7 +97,10 @@ impl Default for SyntheticConfig {
 /// truth for F1 evaluation (Table III / Figure 6).
 pub fn generate(config: &SyntheticConfig, seed: u64) -> (AttributedGraph, Vec<Vec<NodeId>>) {
     assert!(config.communities >= 1, "need at least one community");
-    assert!(config.nodes >= config.communities, "more communities than nodes");
+    assert!(
+        config.nodes >= config.communities,
+        "more communities than nodes"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Partition nodes into communities with varied sizes.
@@ -173,7 +176,11 @@ pub fn generate(config: &SyntheticConfig, seed: u64) -> (AttributedGraph, Vec<Ve
         .map(|m| ((m.len() as f64) * config.inner_fraction).ceil() as usize)
         .collect();
     let centers: Vec<Vec<f64>> = (0..config.communities)
-        .map(|_| (0..config.numeric_dims).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .map(|_| {
+            (0..config.numeric_dims)
+                .map(|_| rng.gen_range(0.0..1.0))
+                .collect()
+        })
         .collect();
 
     for v in 0..config.nodes {
@@ -193,15 +200,18 @@ pub fn generate(config: &SyntheticConfig, seed: u64) -> (AttributedGraph, Vec<Ve
                 tokens.push(pool[rng.gen_range(0..pool.len())]);
             }
         }
-        let noise = if is_inner { config.numeric_noise * 0.5 } else { config.numeric_noise };
+        let noise = if is_inner {
+            config.numeric_noise * 0.5
+        } else {
+            config.numeric_noise
+        };
         let numeric: Vec<f64> = centers[c]
             .iter()
             .map(|&center| {
                 // Box-Muller normal around the center, clipped to [0,1].
                 let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
                 let u2: f64 = rng.gen_range(0.0..1.0);
-                let gauss =
-                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                 (center + gauss * noise).clamp(0.0, 1.0)
             })
             .collect();
@@ -260,7 +270,11 @@ mod tests {
 
     #[test]
     fn generates_requested_shape() {
-        let cfg = SyntheticConfig { nodes: 500, communities: 10, ..Default::default() };
+        let cfg = SyntheticConfig {
+            nodes: 500,
+            communities: 10,
+            ..Default::default()
+        };
         let (g, truth) = generate(&cfg, 42);
         assert_eq!(g.n(), 500);
         assert_eq!(truth.len(), 10);
@@ -278,7 +292,11 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let cfg = SyntheticConfig { nodes: 300, communities: 6, ..Default::default() };
+        let cfg = SyntheticConfig {
+            nodes: 300,
+            communities: 6,
+            ..Default::default()
+        };
         let (g1, t1) = generate(&cfg, 7);
         let (g2, t2) = generate(&cfg, 7);
         assert_eq!(g1.n(), g2.n());
@@ -308,13 +326,21 @@ mod tests {
         let coreness = core_decomposition(&g);
         // Most nodes should be in a 4-core (intra degree ~12).
         let in_core = (0..g.n()).filter(|&v| coreness[v] >= 4).count();
-        assert!(in_core * 10 >= g.n() * 8, "only {in_core}/{} in 4-core", g.n());
+        assert!(
+            in_core * 10 >= g.n() * 8,
+            "only {in_core}/{} in 4-core",
+            g.n()
+        );
         let _ = truth;
     }
 
     #[test]
     fn members_share_their_community_topics() {
-        let cfg = SyntheticConfig { nodes: 200, communities: 4, ..Default::default() };
+        let cfg = SyntheticConfig {
+            nodes: 200,
+            communities: 4,
+            ..Default::default()
+        };
         let (g, truth) = generate(&cfg, 2);
         for comm in &truth {
             // Intersection of all members' token sets has at least the
@@ -333,7 +359,11 @@ mod tests {
 
     #[test]
     fn attributes_are_community_correlated() {
-        let cfg = SyntheticConfig { nodes: 300, communities: 6, ..Default::default() };
+        let cfg = SyntheticConfig {
+            nodes: 300,
+            communities: 6,
+            ..Default::default()
+        };
         let (g, truth) = generate(&cfg, 3);
         // Mean intra-community numeric distance must be well below the
         // cross-community one.
@@ -367,7 +397,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "more communities than nodes")]
     fn rejects_bad_config() {
-        let cfg = SyntheticConfig { nodes: 3, communities: 10, ..Default::default() };
+        let cfg = SyntheticConfig {
+            nodes: 3,
+            communities: 10,
+            ..Default::default()
+        };
         let _ = generate(&cfg, 0);
     }
 }

@@ -100,7 +100,10 @@ impl Default for HeteroConfig {
 /// its canonical `T-hub-T` meta-path.
 pub fn generate_hetero(config: &HeteroConfig, seed: u64) -> HeteroDataset {
     assert!(config.communities >= 1 && config.targets >= config.communities);
-    assert!(config.targets_per_hub >= 2, "hubs must connect at least two targets");
+    assert!(
+        config.targets_per_hub >= 2,
+        "hubs must connect at least two targets"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = HeteroGraphBuilder::new(config.numeric_dims);
     let target_ty = b.node_type(&config.target_type);
@@ -110,7 +113,11 @@ pub fn generate_hetero(config: &HeteroConfig, seed: u64) -> HeteroDataset {
     // Partition targets into communities (uniform-ish sizes).
     let mut communities: Vec<Vec<NodeId>> = Vec::with_capacity(config.communities);
     let centers: Vec<Vec<f64>> = (0..config.communities)
-        .map(|_| (0..config.numeric_dims).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .map(|_| {
+            (0..config.numeric_dims)
+                .map(|_| rng.gen_range(0.0..1.0))
+                .collect()
+        })
         .collect();
     let base = config.targets / config.communities;
     let mut extra = config.targets % config.communities;
@@ -124,15 +131,17 @@ pub fn generate_hetero(config: &HeteroConfig, seed: u64) -> HeteroDataset {
         let mut members = Vec::with_capacity(size);
         for i in 0..size {
             let is_inner = i < inner_cut;
-            let noise =
-                if is_inner { config.numeric_noise * 0.5 } else { config.numeric_noise };
+            let noise = if is_inner {
+                config.numeric_noise * 0.5
+            } else {
+                config.numeric_noise
+            };
             let numeric: Vec<f64> = centers[c]
                 .iter()
                 .map(|&center| {
                     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
                     let u2: f64 = rng.gen_range(0.0..1.0);
-                    let gauss =
-                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                     (center + gauss * noise).clamp(0.0, 1.0)
                 })
                 .collect();
@@ -201,7 +210,8 @@ pub fn generate_hetero(config: &HeteroConfig, seed: u64) -> HeteroDataset {
         for _ in 0..config.targets_per_hub {
             let c = rng.gen_range(0..config.communities);
             let m = &communities[c];
-            b.add_edge(m[rng.gen_range(0..m.len())], hub, edge_ty).expect("nodes exist");
+            b.add_edge(m[rng.gen_range(0..m.len())], hub, edge_ty)
+                .expect("nodes exist");
         }
     }
 
@@ -224,7 +234,11 @@ mod tests {
 
     #[test]
     fn shape_and_determinism() {
-        let cfg = HeteroConfig { targets: 200, communities: 5, ..Default::default() };
+        let cfg = HeteroConfig {
+            targets: 200,
+            communities: 5,
+            ..Default::default()
+        };
         let d1 = generate_hetero(&cfg, 1);
         let d2 = generate_hetero(&cfg, 1);
         assert_eq!(d1.graph.n(), d2.graph.n());
@@ -238,7 +252,11 @@ mod tests {
 
     #[test]
     fn projection_contains_dense_cores() {
-        let cfg = HeteroConfig { targets: 200, communities: 5, ..Default::default() };
+        let cfg = HeteroConfig {
+            targets: 200,
+            communities: 5,
+            ..Default::default()
+        };
         let d = generate_hetero(&cfg, 2);
         let proj = d.graph.project(&d.meta_path);
         assert_eq!(proj.graph.n(), 200);
@@ -266,7 +284,14 @@ mod tests {
 
     #[test]
     fn meta_path_is_symmetric() {
-        let d = generate_hetero(&HeteroConfig { targets: 50, communities: 2, ..Default::default() }, 4);
+        let d = generate_hetero(
+            &HeteroConfig {
+                targets: 50,
+                communities: 2,
+                ..Default::default()
+            },
+            4,
+        );
         assert!(d.meta_path.is_symmetric_typed());
         assert_eq!(d.meta_path.len(), 2);
     }

@@ -158,7 +158,17 @@ pub fn figure3_graph() -> (AttributedGraph, NodeId) {
     for &x in &values {
         b.add_node(&[], &[x]);
     }
-    for (u, v) in [(1, 2), (1, 3), (2, 3), (2, 4), (3, 6), (4, 5), (5, 6), (4, 6), (1, 5)] {
+    for (u, v) in [
+        (1, 2),
+        (1, 3),
+        (2, 3),
+        (2, 4),
+        (3, 6),
+        (4, 5),
+        (5, 6),
+        (4, 6),
+        (1, 5),
+    ] {
         b.add_edge(u, v).expect("nodes exist");
     }
     (b.build().expect("consistent dims"), 5)
@@ -197,8 +207,14 @@ mod tests {
     #[test]
     fn figure2_matches_paper() {
         let g = figure2_graph();
-        assert_eq!(max_connected_kcore(&g, 5, 3).unwrap(), vec![1, 2, 3, 4, 5, 6]);
-        assert_eq!(max_connected_kcore(&g, 9, 3).unwrap(), vec![7, 8, 9, 10, 11]);
+        assert_eq!(
+            max_connected_kcore(&g, 5, 3).unwrap(),
+            vec![1, 2, 3, 4, 5, 6]
+        );
+        assert_eq!(
+            max_connected_kcore(&g, 9, 3).unwrap(),
+            vec![7, 8, 9, 10, 11]
+        );
         assert_eq!(max_connected_kcore(&g, 12, 2), None);
     }
 

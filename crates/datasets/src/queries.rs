@@ -16,8 +16,9 @@ use rand::{Rng, SeedableRng};
 /// have enough eligible nodes.
 pub fn random_queries(g: &AttributedGraph, count: usize, k: u32, seed: u64) -> Vec<NodeId> {
     let coreness = core_decomposition(g);
-    let eligible: Vec<NodeId> =
-        (0..g.n() as NodeId).filter(|&v| coreness[v as usize] >= k).collect();
+    let eligible: Vec<NodeId> = (0..g.n() as NodeId)
+        .filter(|&v| coreness[v as usize] >= k)
+        .collect();
     sample_distinct(&eligible, count, seed)
 }
 
@@ -65,7 +66,11 @@ mod tests {
     #[test]
     fn homogeneous_queries_have_kcores() {
         let (g, _) = generate(
-            &SyntheticConfig { nodes: 400, communities: 8, ..Default::default() },
+            &SyntheticConfig {
+                nodes: 400,
+                communities: 8,
+                ..Default::default()
+            },
             1,
         );
         let qs = random_queries(&g, 20, 4, 99);
@@ -82,7 +87,11 @@ mod tests {
     #[test]
     fn queries_are_deterministic() {
         let (g, _) = generate(
-            &SyntheticConfig { nodes: 300, communities: 6, ..Default::default() },
+            &SyntheticConfig {
+                nodes: 300,
+                communities: 6,
+                ..Default::default()
+            },
             2,
         );
         assert_eq!(random_queries(&g, 10, 4, 7), random_queries(&g, 10, 4, 7));
@@ -92,7 +101,11 @@ mod tests {
     #[test]
     fn impossible_k_returns_empty() {
         let (g, _) = generate(
-            &SyntheticConfig { nodes: 100, communities: 4, ..Default::default() },
+            &SyntheticConfig {
+                nodes: 100,
+                communities: 4,
+                ..Default::default()
+            },
             3,
         );
         assert!(random_queries(&g, 10, 200, 1).is_empty());
@@ -101,7 +114,11 @@ mod tests {
     #[test]
     fn hetero_queries_have_p_degree() {
         let d = generate_hetero(
-            &HeteroConfig { targets: 200, communities: 5, ..Default::default() },
+            &HeteroConfig {
+                targets: 200,
+                communities: 5,
+                ..Default::default()
+            },
             4,
         );
         let qs = hetero_queries(&d, 10, 4, 11);

@@ -168,9 +168,8 @@ pub(crate) fn peel_to_kcore_scratch(
     }
 
     // Connected component of q among the survivors.
-    let alive = |s: &PeelScratch, v: NodeId| {
-        s.in_epoch[v as usize] == e && s.rm_epoch[v as usize] != e
-    };
+    let alive =
+        |s: &PeelScratch, v: NodeId| s.in_epoch[v as usize] == e && s.rm_epoch[v as usize] != e;
     let mut comp = Vec::new();
     scratch.vis_epoch[q as usize] = e;
     let mut queue = std::collections::VecDeque::new();
@@ -305,9 +304,15 @@ mod tests {
         let got = peel_to_kcore_scratch(&g, 1, 3, &[1, 2, 3, 4], &mut scratch).unwrap();
         assert_eq!(got, vec![1, 2, 3, 4]);
         // Same subset at k=4 collapses.
-        assert_eq!(peel_to_kcore_scratch(&g, 1, 4, &[1, 2, 3, 4], &mut scratch), None);
+        assert_eq!(
+            peel_to_kcore_scratch(&g, 1, 4, &[1, 2, 3, 4], &mut scratch),
+            None
+        );
         // q outside the subset.
-        assert_eq!(peel_to_kcore_scratch(&g, 9, 1, &[1, 2, 3], &mut scratch), None);
+        assert_eq!(
+            peel_to_kcore_scratch(&g, 9, 1, &[1, 2, 3], &mut scratch),
+            None
+        );
     }
 
     #[test]

@@ -34,12 +34,18 @@ impl EdgeIndex {
                 } else {
                     // (v, u) was assigned earlier; look it up in v's row.
                     let vbase = g.row_range(v).start;
-                    let j = g.neighbors(v).binary_search(&u).expect("symmetric adjacency");
+                    let j = g
+                        .neighbors(v)
+                        .binary_search(&u)
+                        .expect("symmetric adjacency");
                     ids[base + i] = ids[vbase + j];
                 }
             }
         }
-        EdgeIndex { ids, m: next as usize }
+        EdgeIndex {
+            ids,
+            m: next as usize,
+        }
     }
 
     /// Number of undirected edges.
@@ -133,7 +139,12 @@ pub(crate) fn peel_to_ktruss_scratch(
     let need = k.saturating_sub(2);
 
     // Split-borrow the scratch so node and edge tables can be used together.
-    let TrussScratch { node, edge_in, edge_rm, support } = scratch;
+    let TrussScratch {
+        node,
+        edge_in,
+        edge_rm,
+        support,
+    } = scratch;
     let in_epoch = &node.in_epoch;
     let vis = &mut node.vis_epoch;
 
@@ -417,10 +428,7 @@ mod tests {
                                 // were peeled away may not. Only assert for
                                 // k<=2 or clique edges where equality holds.
                                 if k >= 3 {
-                                    assert!(
-                                        trussness[id as usize] >= 2,
-                                        "sanity only"
-                                    );
+                                    assert!(trussness[id as usize] >= 2, "sanity only");
                                 } else {
                                     assert!(trussness[id as usize] >= 2);
                                 }
@@ -437,11 +445,13 @@ mod tests {
         let g = two_cliques();
         let eidx = EdgeIndex::new(&g);
         let mut scratch = TrussScratch::new(g.n(), g.m());
-        let t =
-            peel_to_ktruss_scratch(&g, &eidx, 0, 4, &[0, 1, 2, 3], &mut scratch).unwrap();
+        let t = peel_to_ktruss_scratch(&g, &eidx, 0, 4, &[0, 1, 2, 3], &mut scratch).unwrap();
         assert_eq!(t, vec![0, 1, 2, 3]);
         // Removing one clique node drops it to a triangle = 3-truss.
-        assert_eq!(peel_to_ktruss_scratch(&g, &eidx, 0, 4, &[0, 1, 2], &mut scratch), None);
+        assert_eq!(
+            peel_to_ktruss_scratch(&g, &eidx, 0, 4, &[0, 1, 2], &mut scratch),
+            None
+        );
         let t3 = peel_to_ktruss_scratch(&g, &eidx, 0, 3, &[0, 1, 2], &mut scratch).unwrap();
         assert_eq!(t3, vec![0, 1, 2]);
     }
@@ -452,11 +462,9 @@ mod tests {
         let eidx = EdgeIndex::new(&g);
         let mut scratch = TrussScratch::new(g.n(), g.m());
         for _ in 0..50 {
-            let a = peel_to_ktruss_scratch(&g, &eidx, 0, 4, &[0, 1, 2, 3], &mut scratch)
-                .unwrap();
+            let a = peel_to_ktruss_scratch(&g, &eidx, 0, 4, &[0, 1, 2, 3], &mut scratch).unwrap();
             assert_eq!(a, vec![0, 1, 2, 3]);
-            let b = peel_to_ktruss_scratch(&g, &eidx, 8, 2, &[7, 8, 9], &mut scratch)
-                .unwrap();
+            let b = peel_to_ktruss_scratch(&g, &eidx, 8, 2, &[7, 8, 9], &mut scratch).unwrap();
             assert_eq!(b, vec![7, 8, 9]);
         }
     }

@@ -71,7 +71,12 @@ impl<'g> Maintainer<'g> {
                 scratch: TrussScratch::new(g.n(), g.m()),
             })),
         };
-        Maintainer { g, model, k, scratch }
+        Maintainer {
+            g,
+            model,
+            k,
+            scratch,
+        }
     }
 
     /// The graph this maintainer operates on.
@@ -140,7 +145,11 @@ mod tests {
         let mut m = Maintainer::new(&g, CommunityModel::KCore, 4);
         assert_eq!(m.maximal(0).unwrap(), vec![0, 1, 2, 3, 4]);
         assert_eq!(m.maximal(6), None);
-        assert_eq!(m.maximal_within(0, &[0, 1, 2, 3]), None, "only 3 neighbors inside");
+        assert_eq!(
+            m.maximal_within(0, &[0, 1, 2, 3]),
+            None,
+            "only 3 neighbors inside"
+        );
         assert_eq!(m.model(), CommunityModel::KCore);
         assert_eq!(m.k(), 4);
         assert_eq!(m.min_size(), 5);

@@ -64,7 +64,10 @@ pub fn f1_score(found: &[NodeId], truth: &[NodeId]) -> f64 {
 /// Best F1 of `found` against any of the ground-truth communities — the
 /// standard protocol when a node belongs to several circles.
 pub fn best_f1(found: &[NodeId], truths: &[Vec<NodeId>]) -> f64 {
-    truths.iter().map(|t| f1_score(found, t)).fold(0.0, f64::max)
+    truths
+        .iter()
+        .map(|t| f1_score(found, t))
+        .fold(0.0, f64::max)
 }
 
 /// ACQ's metric: the number of the query's textual attributes carried by
@@ -76,7 +79,9 @@ pub fn shared_attributes(g: &AttributedGraph, q: NodeId, community: &[NodeId]) -
     g.tokens(q)
         .iter()
         .filter(|&&a| {
-            community.iter().all(|&v| g.tokens(v).binary_search(&a).is_ok())
+            community
+                .iter()
+                .all(|&v| g.tokens(v).binary_search(&a).is_ok())
         })
         .count()
 }
@@ -91,7 +96,10 @@ pub fn shared_attributes(g: &AttributedGraph, q: NodeId, community: &[NodeId]) -
 /// [`best_f1`] with an information-theoretic view (common in the
 /// community-detection literature).
 pub fn best_nmi(found: &[NodeId], truths: &[Vec<NodeId>], n: usize) -> f64 {
-    truths.iter().map(|t| binary_nmi(found, t, n)).fold(0.0, f64::max)
+    truths
+        .iter()
+        .map(|t| binary_nmi(found, t, n))
+        .fold(0.0, f64::max)
 }
 
 fn binary_nmi(a: &[NodeId], b: &[NodeId], n: usize) -> f64 {
@@ -121,7 +129,13 @@ fn binary_nmi(a: &[NodeId], b: &[NodeId], n: usize) -> f64 {
     let n00 = n_f - n11 - n10 - n01;
     let pa = a.len() as f64 / n_f;
     let pb = b.len() as f64 / n_f;
-    let h = |p: f64| if p <= 0.0 || p >= 1.0 { 0.0 } else { -p * p.log2() - (1.0 - p) * (1.0 - p).log2() };
+    let h = |p: f64| {
+        if p <= 0.0 || p >= 1.0 {
+            0.0
+        } else {
+            -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
+        }
+    };
     let (ha, hb) = (h(pa), h(pb));
     if ha == 0.0 || hb == 0.0 {
         return 0.0;

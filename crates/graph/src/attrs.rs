@@ -159,7 +159,11 @@ impl NodeAttributes {
         for row in numeric.chunks_exact(dims.max(1)) {
             for (d, &x) in row.iter().enumerate() {
                 let range = dim_max[d] - dim_min[d];
-                normalized.push(if range > 0.0 { (x - dim_min[d]) / range } else { 0.0 });
+                normalized.push(if range > 0.0 {
+                    (x - dim_min[d]) / range
+                } else {
+                    0.0
+                });
             }
         }
 

@@ -10,7 +10,11 @@ pub enum GraphError {
     /// An edge endpoint does not refer to an added node.
     NodeOutOfRange { node: NodeId, n: usize },
     /// A node was added with the wrong numerical dimensionality.
-    DimMismatch { node: NodeId, expected: usize, got: usize },
+    DimMismatch {
+        node: NodeId,
+        expected: usize,
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -19,8 +23,15 @@ impl std::fmt::Display for GraphError {
             GraphError::NodeOutOfRange { node, n } => {
                 write!(f, "edge endpoint {node} out of range (graph has {n} nodes)")
             }
-            GraphError::DimMismatch { node, expected, got } => {
-                write!(f, "node {node} has {got} numerical attributes, expected {expected}")
+            GraphError::DimMismatch {
+                node,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "node {node} has {got} numerical attributes, expected {expected}"
+                )
             }
         }
     }
@@ -177,7 +188,11 @@ impl GraphBuilder {
 
         let attrs =
             NodeAttributes::from_rows(self.interner, self.token_rows, self.dims, self.numeric);
-        Ok(AttributedGraph { offsets: out_offsets, targets: out_targets, attrs })
+        Ok(AttributedGraph {
+            offsets: out_offsets,
+            targets: out_targets,
+            attrs,
+        })
     }
 }
 
@@ -214,7 +229,14 @@ mod tests {
         b.add_node(&[], &[1.0, 2.0]);
         b.add_node(&[], &[1.0]); // wrong
         let err = b.build().unwrap_err();
-        assert_eq!(err, GraphError::DimMismatch { node: 1, expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            GraphError::DimMismatch {
+                node: 1,
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]

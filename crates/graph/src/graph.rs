@@ -56,7 +56,11 @@ impl AttributedGraph {
     /// Returns `true` if the undirected edge `{u, v}` exists.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         // Search the shorter adjacency list.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
@@ -102,7 +106,10 @@ impl AttributedGraph {
 
     /// Maximum degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n() as NodeId).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n() as NodeId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average degree (`2m/n`, 0 for the empty graph).
@@ -121,7 +128,10 @@ impl AttributedGraph {
     pub fn induced(&self, nodes: &[NodeId]) -> InducedSubgraph {
         let mut sorted: Vec<NodeId> = nodes.to_vec();
         sorted.sort_unstable();
-        debug_assert!(sorted.windows(2).all(|w| w[0] != w[1]), "duplicate node in induced()");
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] != w[1]),
+            "duplicate node in induced()"
+        );
         let mut from_original: HashMap<NodeId, NodeId> = HashMap::with_capacity(sorted.len());
         for (new_id, &orig) in sorted.iter().enumerate() {
             from_original.insert(orig, new_id as NodeId);
@@ -143,7 +153,11 @@ impl AttributedGraph {
 
         let attrs = self.attrs.restrict(&sorted);
         InducedSubgraph {
-            graph: AttributedGraph { offsets, targets, attrs },
+            graph: AttributedGraph {
+                offsets,
+                targets,
+                attrs,
+            },
             to_original: sorted,
             from_original,
         }

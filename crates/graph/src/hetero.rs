@@ -33,13 +33,19 @@ impl MetaPath {
     /// # Panics
     /// If `node_types.len() != edge_types.len() + 1` or the path is empty.
     pub fn new(node_types: Vec<NodeTypeId>, edge_types: Vec<EdgeTypeId>) -> Self {
-        assert!(!node_types.is_empty(), "meta-path needs at least one node type");
+        assert!(
+            !node_types.is_empty(),
+            "meta-path needs at least one node type"
+        );
         assert_eq!(
             node_types.len(),
             edge_types.len() + 1,
             "meta-path arity: |node_types| must be |edge_types| + 1"
         );
-        MetaPath { node_types, edge_types }
+        MetaPath {
+            node_types,
+            edge_types,
+        }
     }
 
     /// The type of nodes the path starts and ends on must match for a
@@ -150,7 +156,9 @@ impl HeteroGraph {
 
     /// All node ids of the given type, ascending.
     pub fn nodes_of_type(&self, t: NodeTypeId) -> Vec<NodeId> {
-        (0..self.n() as NodeId).filter(|&v| self.node_types[v as usize] == t).collect()
+        (0..self.n() as NodeId)
+            .filter(|&v| self.node_types[v as usize] == t)
+            .collect()
     }
 
     /// Count of nodes of the given type.
@@ -227,15 +235,26 @@ impl HeteroGraph {
         }
 
         let attrs = self.attrs.restrict(&targets_of_type);
-        let graph = AttributedGraph { offsets, targets: adj, attrs };
-        ProjectedGraph { graph, to_original: targets_of_type, from_original }
+        let graph = AttributedGraph {
+            offsets,
+            targets: adj,
+            attrs,
+        };
+        ProjectedGraph {
+            graph,
+            to_original: targets_of_type,
+            from_original,
+        }
     }
 
     /// Like [`project`](HeteroGraph::project) but restricted to the target
     /// nodes in `subset` (original ids). Used by the SEA pipeline, which
     /// only projects the sampled neighborhood instead of the whole graph.
     pub fn project_subset(&self, path: &MetaPath, subset: &[NodeId]) -> ProjectedGraph {
-        assert!(path.is_symmetric_typed(), "projection requires a symmetric meta-path");
+        assert!(
+            path.is_symmetric_typed(),
+            "projection requires a symmetric meta-path"
+        );
         let mut nodes: Vec<NodeId> = subset
             .iter()
             .copied()
@@ -259,8 +278,16 @@ impl HeteroGraph {
             offsets.push(adj.len());
         }
         let attrs = self.attrs.restrict(&nodes);
-        let graph = AttributedGraph { offsets, targets: adj, attrs };
-        ProjectedGraph { graph, to_original: nodes, from_original }
+        let graph = AttributedGraph {
+            offsets,
+            targets: adj,
+            attrs,
+        };
+        ProjectedGraph {
+            graph,
+            to_original: nodes,
+            from_original,
+        }
     }
 }
 
@@ -339,7 +366,12 @@ impl HeteroGraphBuilder {
     }
 
     /// Adds an undirected typed edge.
-    pub fn add_edge(&mut self, u: NodeId, v: NodeId, ty: EdgeTypeId) -> Result<(), crate::GraphError> {
+    pub fn add_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        ty: EdgeTypeId,
+    ) -> Result<(), crate::GraphError> {
         let n = self.node_types.len();
         for node in [u, v] {
             if node as usize >= n {
@@ -366,8 +398,7 @@ impl HeteroGraphBuilder {
             offsets.push(offsets[v] + degree[v]);
         }
         let mut cursor = offsets.clone();
-        let mut pairs: Vec<(NodeId, EdgeTypeId)> =
-            vec![(0, 0); self.edges.len() * 2];
+        let mut pairs: Vec<(NodeId, EdgeTypeId)> = vec![(0, 0); self.edges.len() * 2];
         for &(u, v, t) in &self.edges {
             pairs[cursor[u as usize]] = (v, t);
             cursor[u as usize] += 1;
@@ -418,10 +449,12 @@ mod tests {
         let author = b.node_type("author");
         let paper = b.node_type("paper");
         let writes = b.edge_type("writes");
-        let authors: Vec<NodeId> =
-            (0..4).map(|i| b.add_node(author, &["ml"], &[i as f64])).collect();
-        let papers: Vec<NodeId> =
-            (0..3).map(|i| b.add_node(paper, &["paper"], &[i as f64])).collect();
+        let authors: Vec<NodeId> = (0..4)
+            .map(|i| b.add_node(author, &["ml"], &[i as f64]))
+            .collect();
+        let papers: Vec<NodeId> = (0..3)
+            .map(|i| b.add_node(paper, &["paper"], &[i as f64]))
+            .collect();
         for (a, p) in [(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2)] {
             b.add_edge(authors[a], papers[p], writes).unwrap();
         }
@@ -440,8 +473,14 @@ mod tests {
     fn p_neighbors_follow_apa() {
         let (g, apa, authors) = dblp_toy();
         assert_eq!(g.p_neighbors(authors[0], &apa), vec![authors[1]]);
-        assert_eq!(g.p_neighbors(authors[1], &apa), vec![authors[0], authors[2]]);
-        assert_eq!(g.p_neighbors(authors[2], &apa), vec![authors[1], authors[3]]);
+        assert_eq!(
+            g.p_neighbors(authors[1], &apa),
+            vec![authors[0], authors[2]]
+        );
+        assert_eq!(
+            g.p_neighbors(authors[2], &apa),
+            vec![authors[1], authors[3]]
+        );
     }
 
     #[test]

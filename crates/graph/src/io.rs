@@ -111,15 +111,19 @@ pub fn read_graph<R: Read>(input: R) -> io::Result<AttributedGraph> {
                 if id as usize != b.node_count() {
                     return Err(parse_err(no, "node ids must be consecutive from 0"));
                 }
-                let token_field =
-                    parts.next().ok_or_else(|| parse_err(no, "node needs a token field"))?;
+                let token_field = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "node needs a token field"))?;
                 let tokens: Vec<&str> = if token_field == "-" {
                     Vec::new()
                 } else {
                     token_field.split(',').collect()
                 };
                 let numeric: Vec<f64> = parts
-                    .map(|p| p.parse().map_err(|_| parse_err(no, "bad numeric attribute")))
+                    .map(|p| {
+                        p.parse()
+                            .map_err(|_| parse_err(no, "bad numeric attribute"))
+                    })
                     .collect::<io::Result<_>>()?;
                 b.add_node(&tokens, &numeric);
             }
@@ -145,7 +149,8 @@ pub fn read_graph<R: Read>(input: R) -> io::Result<AttributedGraph> {
         }
     }
     let b = builder.ok_or_else(|| parse_err(0, "missing `dims` record"))?;
-    b.build().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    b.build()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
 /// Loads a graph from `path` in the v1 text format.
@@ -257,8 +262,9 @@ pub fn read_hetero_graph<R: Read>(input: R) -> io::Result<HeteroGraph> {
                     .ok_or_else(|| parse_err(no, "ntype needs an id"))?
                     .parse()
                     .map_err(|_| parse_err(no, "bad ntype id"))?;
-                let name =
-                    parts.next().ok_or_else(|| parse_err(no, "ntype needs a name"))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "ntype needs a name"))?;
                 if id != ntype_names.len() {
                     return Err(parse_err(no, "ntype ids must be consecutive from 0"));
                 }
@@ -274,8 +280,9 @@ pub fn read_hetero_graph<R: Read>(input: R) -> io::Result<HeteroGraph> {
                     .ok_or_else(|| parse_err(no, "etype needs an id"))?
                     .parse()
                     .map_err(|_| parse_err(no, "bad etype id"))?;
-                let name =
-                    parts.next().ok_or_else(|| parse_err(no, "etype needs a name"))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "etype needs a name"))?;
                 if id != etype_names.len() {
                     return Err(parse_err(no, "etype ids must be consecutive from 0"));
                 }
@@ -303,15 +310,19 @@ pub fn read_hetero_graph<R: Read>(input: R) -> io::Result<HeteroGraph> {
                 if ty as usize >= ntype_names.len() {
                     return Err(parse_err(no, "node type id out of range"));
                 }
-                let token_field =
-                    parts.next().ok_or_else(|| parse_err(no, "node needs a token field"))?;
+                let token_field = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "node needs a token field"))?;
                 let tokens: Vec<&str> = if token_field == "-" {
                     Vec::new()
                 } else {
                     token_field.split(',').collect()
                 };
                 let numeric: Vec<f64> = parts
-                    .map(|p| p.parse().map_err(|_| parse_err(no, "bad numeric attribute")))
+                    .map(|p| {
+                        p.parse()
+                            .map_err(|_| parse_err(no, "bad numeric attribute"))
+                    })
                     .collect::<io::Result<_>>()?;
                 b.add_node(ty, &tokens, &numeric);
             }
@@ -337,7 +348,8 @@ pub fn read_hetero_graph<R: Read>(input: R) -> io::Result<HeteroGraph> {
                 if et as usize >= etype_names.len() {
                     return Err(parse_err(no, "edge type id out of range"));
                 }
-                b.add_edge(u, v, et).map_err(|e| parse_err(no, &e.to_string()))?;
+                b.add_edge(u, v, et)
+                    .map_err(|e| parse_err(no, &e.to_string()))?;
             }
             Some(other) => return Err(parse_err(no, &format!("unknown record `{other}`"))),
             None => unreachable!("non-empty line"),
@@ -395,7 +407,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_skipped() {
-        let text = "# a fixture\n\ncsag-graph v1\ndims 1\n# nodes\nnode 0 a 1\nnode 1 - 2\nedge 0 1\n";
+        let text =
+            "# a fixture\n\ncsag-graph v1\ndims 1\n# nodes\nnode 0 a 1\nnode 1 - 2\nedge 0 1\n";
         let g = read_graph(text.as_bytes()).unwrap();
         assert_eq!(g.n(), 2);
         assert_eq!(g.m(), 1);
@@ -457,7 +470,8 @@ mod tests {
         assert!(read_hetero_graph("nope\n".as_bytes()).is_err());
         let missing_type = "csag-hetero v1\ndims 0\nnode 0 3 -\n";
         assert!(read_hetero_graph(missing_type.as_bytes()).is_err());
-        let bad_edge_type = "csag-hetero v1\ndims 0\nntype 0 a\nnode 0 0 -\nnode 1 0 -\nedge 0 1 5\n";
+        let bad_edge_type =
+            "csag-hetero v1\ndims 0\nntype 0 a\nnode 0 0 -\nnode 1 0 -\nedge 0 1 5\n";
         assert!(read_hetero_graph(bad_edge_type.as_bytes()).is_err());
     }
 

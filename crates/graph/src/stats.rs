@@ -36,9 +36,15 @@ pub fn graph_stats(g: &AttributedGraph) -> GraphStats {
 
 /// Computes Table-I statistics for a heterogeneous graph.
 pub fn hetero_stats(g: &HeteroGraph) -> GraphStats {
-    let max_degree =
-        (0..g.n() as NodeId).map(|v| g.neighbors(v).len()).max().unwrap_or(0);
-    let avg_degree = if g.n() == 0 { 0.0 } else { 2.0 * g.m() as f64 / g.n() as f64 };
+    let max_degree = (0..g.n() as NodeId)
+        .map(|v| g.neighbors(v).len())
+        .max()
+        .unwrap_or(0);
+    let avg_degree = if g.n() == 0 {
+        0.0
+    } else {
+        2.0 * g.m() as f64 / g.n() as f64
+    };
     GraphStats {
         nodes: g.n(),
         edges: g.m(),

@@ -39,7 +39,9 @@ pub fn component_of(
 /// Returns `true` if the subgraph induced by the (sorted or unsorted)
 /// `nodes` slice is connected. The empty set counts as connected.
 pub fn is_connected_subset(g: &AttributedGraph, nodes: &[NodeId]) -> bool {
-    let Some(&start) = nodes.first() else { return true };
+    let Some(&start) = nodes.first() else {
+        return true;
+    };
     let mut mask = FixedBitSet::new(g.n());
     for &v in nodes {
         mask.insert(v);

@@ -5,9 +5,7 @@ use csag_graph::{HeteroGraphBuilder, MetaPath};
 use proptest::prelude::*;
 
 /// Random target/hub graph: `t` targets, `h` hubs, random typed edges.
-fn arb_hetero() -> impl Strategy<
-    Value = (csag_graph::HeteroGraph, MetaPath, usize),
-> {
+fn arb_hetero() -> impl Strategy<Value = (csag_graph::HeteroGraph, MetaPath, usize)> {
     (2usize..10, 1usize..8)
         .prop_flat_map(|(t, h)| {
             let edges = prop::collection::vec((0..t as u32, 0..h as u32), 0..40);
@@ -18,12 +16,13 @@ fn arb_hetero() -> impl Strategy<
             let target = b.node_type("target");
             let hub = b.node_type("hub");
             let link = b.edge_type("link");
-            let targets: Vec<u32> =
-                (0..t).map(|i| b.add_node(target, &["x"], &[i as f64])).collect();
-            let hubs: Vec<u32> =
-                (0..h).map(|i| b.add_node(hub, &[], &[i as f64])).collect();
+            let targets: Vec<u32> = (0..t)
+                .map(|i| b.add_node(target, &["x"], &[i as f64]))
+                .collect();
+            let hubs: Vec<u32> = (0..h).map(|i| b.add_node(hub, &[], &[i as f64])).collect();
             for (ti, hi) in edges {
-                b.add_edge(targets[ti as usize], hubs[hi as usize], link).unwrap();
+                b.add_edge(targets[ti as usize], hubs[hi as usize], link)
+                    .unwrap();
             }
             let g = b.build();
             let path = MetaPath::new(vec![target, hub, target], vec![link, link]);

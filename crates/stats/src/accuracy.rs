@@ -37,7 +37,13 @@ impl ConfidenceInterval {
 
 impl std::fmt::Display for ConfidenceInterval {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.6} ± {:.2e} @ {:.0}%", self.center, self.moe, self.confidence * 100.0)
+        write!(
+            f,
+            "{:.6} ± {:.2e} @ {:.0}%",
+            self.center,
+            self.moe,
+            self.confidence * 100.0
+        )
     }
 }
 
@@ -126,7 +132,11 @@ mod tests {
         let delta_star = 0.42;
         let e = 0.05;
         let moe = required_moe(delta_star, e); // boundary case
-        let ci = ConfidenceInterval { center: delta_star, moe, confidence: 0.95 };
+        let ci = ConfidenceInterval {
+            center: delta_star,
+            moe,
+            confidence: 0.95,
+        };
         assert!(ci.certifies(e));
         for i in 0..=100 {
             let delta = ci.lo() + (ci.hi() - ci.lo()) * (i as f64 / 100.0);
@@ -147,7 +157,11 @@ mod tests {
 
     #[test]
     fn interval_endpoints_and_coverage() {
-        let ci = ConfidenceInterval { center: 0.5, moe: 0.1, confidence: 0.95 };
+        let ci = ConfidenceInterval {
+            center: 0.5,
+            moe: 0.1,
+            confidence: 0.95,
+        };
         assert!(ci.covers(0.45));
         assert!(ci.covers(0.6));
         assert!(!ci.covers(0.39));

@@ -69,7 +69,11 @@ pub struct Blb {
 
 impl Default for Blb {
     fn default() -> Self {
-        Blb { subsamples: 20, scale_exponent: 0.6, resamples: 100 }
+        Blb {
+            subsamples: 20,
+            scale_exponent: 0.6,
+            resamples: 100,
+        }
     }
 }
 
@@ -120,7 +124,12 @@ impl Blb {
         let n = data.len();
         let point = mean(data);
         if n < 2 {
-            return BlbEstimate { point, moe: 0.0, sigma: 0.0, blb_sample_size: n };
+            return BlbEstimate {
+                point,
+                moe: 0.0,
+                sigma: 0.0,
+                blb_sample_size: n,
+            };
         }
         let b = self.subsample_size(n);
         // Honor s·b <= n when the data is large enough to afford disjointish
@@ -144,7 +153,12 @@ impl Blb {
             moes.push(z * sigma_i);
         }
         let moe = mean(&moes);
-        BlbEstimate { point, moe, sigma: if z > 0.0 { moe / z } else { 0.0 }, blb_sample_size: s * b }
+        BlbEstimate {
+            point,
+            moe,
+            sigma: if z > 0.0 { moe / z } else { 0.0 },
+            blb_sample_size: s * b,
+        }
     }
 }
 
@@ -216,7 +230,10 @@ mod tests {
                 covered += 1;
             }
         }
-        assert!(covered >= 30, "only {covered}/40 intervals covered the mean");
+        assert!(
+            covered >= 30,
+            "only {covered}/40 intervals covered the mean"
+        );
     }
 
     #[test]

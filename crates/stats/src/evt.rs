@@ -41,7 +41,10 @@ impl Gumbel {
     /// The distribution of the maximum of `k` iid draws is again Gumbel
     /// with `μ' = μ + β·ln k` (max-stability).
     pub fn max_of(&self, k: usize) -> Gumbel {
-        Gumbel { mu: self.mu + self.beta * (k.max(1) as f64).ln(), beta: self.beta }
+        Gumbel {
+            mu: self.mu + self.beta * (k.max(1) as f64).ln(),
+            beta: self.beta,
+        }
     }
 }
 
@@ -114,8 +117,9 @@ mod tests {
         // Sample from a known Gumbel via inverse CDF.
         let truth = Gumbel { mu: 5.0, beta: 2.0 };
         let mut rng = StdRng::seed_from_u64(42);
-        let data: Vec<f64> =
-            (0..20_000).map(|_| truth.quantile(rng.gen_range(1e-9..1.0 - 1e-9))).collect();
+        let data: Vec<f64> = (0..20_000)
+            .map(|_| truth.quantile(rng.gen_range(1e-9..1.0 - 1e-9)))
+            .collect();
         // Block size 1: the maxima are the data themselves.
         let fit = fit_block_maxima(&data, 1).unwrap();
         assert!((fit.mu - truth.mu).abs() < 0.15, "mu {}", fit.mu);

@@ -16,7 +16,10 @@
 /// If `epsilon <= 0` or `beta` is not in `(0, 1)`.
 pub fn min_possible_worlds(m: usize, n: usize, epsilon: f64, beta: f64) -> usize {
     assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
-    assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1), got {beta}");
+    assert!(
+        beta > 0.0 && beta < 1.0,
+        "beta must be in (0,1), got {beta}"
+    );
     if m == 0 || m >= n {
         return 0;
     }

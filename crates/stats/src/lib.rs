@@ -23,7 +23,9 @@ pub mod hoeffding;
 pub mod normal;
 pub mod sampling;
 
-pub use accuracy::{incremental_sample_size, required_moe, satisfies_error_bound, ConfidenceInterval};
+pub use accuracy::{
+    incremental_sample_size, required_moe, satisfies_error_bound, ConfidenceInterval,
+};
 pub use bootstrap::{bootstrap_std, bootstrap_std_sized, Blb, BlbEstimate};
 pub use hoeffding::{min_population_size, min_possible_worlds};
 pub use normal::{normal_cdf, normal_quantile, z_for_confidence};

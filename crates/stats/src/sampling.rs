@@ -170,16 +170,8 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let weights: Vec<f64> = (1..=30).map(|i| (i % 7 + 1) as f64).collect();
-        let a = weighted_sample_without_replacement(
-            &weights,
-            10,
-            &mut StdRng::seed_from_u64(42),
-        );
-        let b = weighted_sample_without_replacement(
-            &weights,
-            10,
-            &mut StdRng::seed_from_u64(42),
-        );
+        let a = weighted_sample_without_replacement(&weights, 10, &mut StdRng::seed_from_u64(42));
+        let b = weighted_sample_without_replacement(&weights, 10, &mut StdRng::seed_from_u64(42));
         assert_eq!(a, b);
     }
 }

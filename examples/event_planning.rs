@@ -8,8 +8,8 @@
 
 use csag::core::distance::DistanceParams;
 use csag::core::sea::{Sea, SeaParams};
-use csag::datasets::standins::github_like;
 use csag::datasets::random_queries;
+use csag::datasets::standins::github_like;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -9,8 +9,8 @@
 use csag::core::distance::DistanceParams;
 use csag::core::hetero_cs::SeaHetero;
 use csag::core::sea::SeaParams;
-use csag::datasets::standins::dblp_like;
 use csag::datasets::hetero_queries;
+use csag::datasets::standins::dblp_like;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -35,7 +35,9 @@ fn main() {
     for &q in &queries {
         let mut rng = StdRng::seed_from_u64(0xE47E + q as u64);
         let t = std::time::Instant::now();
-        let res = sea.run(q, &params, &mut rng).expect("author has a (k,P)-core");
+        let res = sea
+            .run(q, &params, &mut rng)
+            .expect("author has a (k,P)-core");
         let ms = t.elapsed().as_secs_f64() * 1000.0;
 
         // How much of the community shares the query's research area?
@@ -62,7 +64,11 @@ fn main() {
         );
         assert!(res.community.contains(&q));
         for &v in &res.community {
-            assert_eq!(d.graph.node_type(v), author_ty, "only authors in the community");
+            assert_eq!(
+                d.graph.node_type(v),
+                author_ty,
+                "only authors in the community"
+            );
         }
     }
 }

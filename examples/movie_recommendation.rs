@@ -40,7 +40,11 @@ fn main() {
     println!("LocATC (coverage):  {}", names(&atc.community));
 
     let acq_res = acq(&g, q, k, CommunityModel::KCore).expect("3-core exists");
-    println!("ACQ (#shared = {}): {}", acq_res.objective, names(&acq_res.community));
+    println!(
+        "ACQ (#shared = {}): {}",
+        acq_res.objective,
+        names(&acq_res.community)
+    );
 
     let vac_res = vac(&g, q, k, CommunityModel::KCore, dp, None).expect("3-core exists");
     println!("VAC (min-max):      {}", names(&vac_res.community));
@@ -48,12 +52,18 @@ fn main() {
     let exact = Exact::new(&g, dp)
         .run(q, &ExactParams::default().with_k(k))
         .expect("3-core exists");
-    println!("\nExact (δ = {:.4}): {}", exact.delta, names(&exact.community));
+    println!(
+        "\nExact (δ = {:.4}): {}",
+        exact.delta,
+        names(&exact.community)
+    );
 
     for e in [0.01, 0.10, 0.25] {
         let params = SeaParams::default().with_k(k).with_error_bound(e);
         let mut rng = StdRng::seed_from_u64(1);
-        let sea = Sea::new(&g, dp).run(q, &params, &mut rng).expect("3-core exists");
+        let sea = Sea::new(&g, dp)
+            .run(q, &params, &mut rng)
+            .expect("3-core exists");
         println!(
             "SEA e = {:>4.0}% (δ* = {:.4}, CI {}): {}",
             e * 100.0,

@@ -66,6 +66,7 @@ fn usage() {
          \x20 demo                                       the paper's Figure-1 IMDB example\n\
          \n\
          common flags: --gamma G (0..1, default 0.5)  --truss  --seed S\n\
+         exact flags:  --budget-ms MS (stop early, report best found; unbounded by default)\n\
          sea flags:    --error E (default 0.02)  --confidence C (default 0.95)\n\
          \x20             --lambda L (default 0.2)  --size L H (size-bounded search)"
     );
@@ -83,7 +84,9 @@ fn parse_flags(args: &[String], arity: &HashMap<&str, usize>) -> Result<Flags, S
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            let n = *arity.get(name).ok_or_else(|| format!("unknown flag --{name}"))?;
+            let n = *arity
+                .get(name)
+                .ok_or_else(|| format!("unknown flag --{name}"))?;
             let mut vals = Vec::with_capacity(n);
             for _ in 0..n {
                 vals.push(
@@ -112,7 +115,8 @@ impl Flags {
     }
 
     fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
-        self.get(name)?.ok_or_else(|| format!("--{name} is required"))
+        self.get(name)?
+            .ok_or_else(|| format!("--{name} is required"))
     }
 
     fn has(&self, name: &str) -> bool {
@@ -164,8 +168,11 @@ fn dparams_of(flags: &Flags) -> Result<DistanceParams, String> {
 
 fn print_community(g: &AttributedGraph, comm: &[u32]) {
     for &v in comm {
-        let tokens: Vec<&str> =
-            g.tokens(v).iter().filter_map(|&t| g.interner().name(t)).collect();
+        let tokens: Vec<&str> = g
+            .tokens(v)
+            .iter()
+            .filter_map(|&t| g.interner().name(t))
+            .collect();
         println!(
             "  node {v:>6}  [{}]  {:?}",
             tokens.join(","),
@@ -197,9 +204,14 @@ fn cmd_exact(args: &[String]) -> Result<(), String> {
     let q: u32 = flags.require("query")?;
     let k: u32 = flags.require("k")?;
     if q as usize >= g.n() {
-        return Err(format!("query {q} out of range (graph has {} nodes)", g.n()));
+        return Err(format!(
+            "query {q} out of range (graph has {} nodes)",
+            g.n()
+        ));
     }
-    let mut params = ExactParams::default().with_k(k).with_model(model_of(&flags));
+    let mut params = ExactParams::default()
+        .with_k(k)
+        .with_model(model_of(&flags));
     if let Some(ms) = flags.get::<u64>("budget-ms")? {
         params = params.with_time_budget(Duration::from_millis(ms));
     }
@@ -230,7 +242,10 @@ fn cmd_sea(args: &[String]) -> Result<(), String> {
     let q: u32 = flags.require("query")?;
     let k: u32 = flags.require("k")?;
     if q as usize >= g.n() {
-        return Err(format!("query {q} out of range (graph has {} nodes)", g.n()));
+        return Err(format!(
+            "query {q} out of range (graph has {} nodes)",
+            g.n()
+        ));
     }
     let mut params = SeaParams::default().with_k(k).with_model(model_of(&flags));
     if let Some(e) = flags.get::<f64>("error")? {
@@ -314,7 +329,11 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let communities: usize = flags.require("communities")?;
     let seed = flags.get::<u64>("seed")?.unwrap_or(0);
     let out: String = flags.require("out")?;
-    let cfg = SyntheticConfig { nodes, communities, ..Default::default() };
+    let cfg = SyntheticConfig {
+        nodes,
+        communities,
+        ..Default::default()
+    };
     let (g, truth) = generate(&cfg, seed);
     save_graph(&g, &out).map_err(|e| format!("writing {out}: {e}"))?;
     println!(
@@ -328,7 +347,10 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 
 fn cmd_demo() -> Result<(), String> {
     let (g, q) = figure1_imdb();
-    println!("Figure 1: IMDB snapshot, query = {}", FIGURE1_TITLES[q as usize]);
+    println!(
+        "Figure 1: IMDB snapshot, query = {}",
+        FIGURE1_TITLES[q as usize]
+    );
     let exact = Exact::new(&g, DistanceParams::default())
         .run(q, &ExactParams::default().with_k(3))
         .expect("3-core exists");

@@ -34,7 +34,12 @@ fn each_method_wins_its_own_metric() {
     let model = CommunityModel::KCore;
 
     let exact = Exact::new(&g, dp)
-        .run(q, &ExactParams::default().with_k(k).with_time_budget(Duration::from_secs(5)))
+        .run(
+            q,
+            &ExactParams::default()
+                .with_k(k)
+                .with_time_budget(Duration::from_secs(5)),
+        )
         .unwrap();
     let acq_r = acq(&g, q, k, model).unwrap();
     let atc_r = loc_atc(&g, q, k, model).unwrap();
@@ -69,7 +74,10 @@ fn each_method_wins_its_own_metric() {
     // objective must equal the community's coverage score and be positive
     // (the query's community tokens are covered).
     let atc_cov = atc_score(&g, q, &atc_r.community);
-    assert!((atc_cov - atc_r.objective).abs() < 1e-9, "LocATC misreports its score");
+    assert!(
+        (atc_cov - atc_r.objective).abs() < 1e-9,
+        "LocATC misreports its score"
+    );
     assert!(atc_cov > 0.0);
 
     // min-max: VAC's peeling must improve (or match) the unoptimized
@@ -80,7 +88,10 @@ fn each_method_wins_its_own_metric() {
     let root = maintainer.maximal(q).unwrap();
     let (vac_mm, _) = max_pairwise_distance(&g, &vac_r.community, dp);
     let (root_mm, _) = max_pairwise_distance(&g, &root, dp);
-    assert!(vac_mm <= root_mm + 1e-9, "VAC worse than its own root: {vac_mm} > {root_mm}");
+    assert!(
+        vac_mm <= root_mm + 1e-9,
+        "VAC worse than its own root: {vac_mm} > {root_mm}"
+    );
 }
 
 #[test]
@@ -90,13 +101,17 @@ fn e_vac_dominates_vac_on_minmax() {
     let k = 3;
     for seed in [78u64, 79] {
         let q = random_queries(&g, 1, k, seed)[0];
-        let Some(v) = vac(&g, q, k, CommunityModel::KCore, dp, Some(2_000)) else { continue };
+        let Some(v) = vac(&g, q, k, CommunityModel::KCore, dp, Some(2_000)) else {
+            continue;
+        };
         let limits = EVacLimits {
             state_budget: Some(5_000),
             max_root: Some(400),
             time_budget: Some(Duration::from_secs(5)),
         };
-        let Some(ev) = e_vac(&g, q, k, CommunityModel::KCore, dp, &limits) else { continue };
+        let Some(ev) = e_vac(&g, q, k, CommunityModel::KCore, dp, &limits) else {
+            continue;
+        };
         assert!(
             ev.objective <= v.objective + 1e-9,
             "E-VAC ({}) worse than VAC ({})",

@@ -32,11 +32,18 @@ fn sea_tracks_exact_on_planted_graphs() {
     let mut errors = Vec::new();
     for &q in &queries {
         let exact = Exact::new(&g, dp)
-            .run(q, &ExactParams::default().with_k(4).with_time_budget(Duration::from_secs(5)))
+            .run(
+                q,
+                &ExactParams::default()
+                    .with_k(4)
+                    .with_time_budget(Duration::from_secs(5)),
+            )
             .expect("query guaranteed to have a 4-core");
         let params = SeaParams::default().with_k(4).with_hoeffding(0.3, 0.95);
         let mut rng = StdRng::seed_from_u64(1000 + q as u64);
-        let sea = Sea::new(&g, dp).run(q, &params, &mut rng).expect("same 4-core exists");
+        let sea = Sea::new(&g, dp)
+            .run(q, &params, &mut rng)
+            .expect("same 4-core exists");
 
         assert!(sea.community.binary_search(&q).is_ok());
         assert!(exact.community.binary_search(&q).is_ok());
@@ -66,12 +73,19 @@ fn certification_implies_small_error_most_of_the_time() {
             .with_hoeffding(0.3, 0.95)
             .with_error_bound(0.05);
         let mut rng = StdRng::seed_from_u64(2000 + q as u64);
-        let Some(sea) = Sea::new(&g, dp).run(q, &params, &mut rng) else { continue };
+        let Some(sea) = Sea::new(&g, dp).run(q, &params, &mut rng) else {
+            continue;
+        };
         if !sea.certified {
             continue;
         }
         let exact = Exact::new(&g, dp)
-            .run(q, &ExactParams::default().with_k(4).with_time_budget(Duration::from_secs(5)))
+            .run(
+                q,
+                &ExactParams::default()
+                    .with_k(4)
+                    .with_time_budget(Duration::from_secs(5)),
+            )
             .expect("4-core exists");
         if exact.status == ExactStatus::Optimal {
             certified_errors.push(relative_error(sea.delta_star, exact.delta));
@@ -95,7 +109,12 @@ fn truss_communities_are_tighter_than_core_communities() {
     let queries = random_queries(&g, 4, 5, 23);
     for &q in &queries {
         let core = Exact::new(&g, dp)
-            .run(q, &ExactParams::default().with_k(5).with_time_budget(Duration::from_secs(3)))
+            .run(
+                q,
+                &ExactParams::default()
+                    .with_k(5)
+                    .with_time_budget(Duration::from_secs(3)),
+            )
             .expect("5-core exists");
         let truss = Exact::new(&g, dp).run(
             q,
@@ -135,7 +154,11 @@ fn heterogeneous_pipeline_end_to_end() {
     use csag::datasets::hetero_gen::{generate_hetero, HeteroConfig};
 
     let d = generate_hetero(
-        &HeteroConfig { targets: 400, communities: 8, ..Default::default() },
+        &HeteroConfig {
+            targets: 400,
+            communities: 8,
+            ..Default::default()
+        },
         5,
     );
     let queries = hetero_queries(&d, 3, 4, 31);
@@ -148,8 +171,11 @@ fn heterogeneous_pipeline_end_to_end() {
         assert!(res.community.binary_search(&q).is_ok());
         // Validate the (k,P)-core property on the full projection.
         let proj = d.graph.project(&d.meta_path);
-        let local: Vec<u32> =
-            res.community.iter().filter_map(|&v| proj.local(v)).collect();
+        let local: Vec<u32> = res
+            .community
+            .iter()
+            .filter_map(|&v| proj.local(v))
+            .collect();
         assert_eq!(local.len(), res.community.len());
         for &lv in &local {
             let mut sorted = local.clone();
@@ -177,6 +203,43 @@ fn size_bounded_pipeline_respects_window() {
     if let Some(res) = Sea::new(&g, DistanceParams::default()).run(q, &params, &mut rng) {
         assert!(res.community.len() >= 8 && res.community.len() <= 20);
         assert!(res.community.binary_search(&q).is_ok());
+    }
+}
+
+#[test]
+fn sea_community_contains_query_and_respects_k() {
+    // The SEA contract, checked across several graphs / seeds / k values:
+    // the returned community always contains the query node and is a
+    // connected k-core (every member keeps >= k neighbors inside).
+    for (graph_seed, k) in [(41u64, 3u32), (42, 4), (43, 5)] {
+        let (g, _) = generate(&small_config(), graph_seed);
+        let dp = DistanceParams::default();
+        for &q in &random_queries(&g, 5, k, 100 + graph_seed) {
+            let params = SeaParams::default().with_k(k).with_hoeffding(0.3, 0.95);
+            let mut rng = StdRng::seed_from_u64(7000 + graph_seed * 31 + q as u64);
+            let res = Sea::new(&g, dp)
+                .run(q, &params, &mut rng)
+                .expect("random_queries only returns nodes with a k-core");
+            assert!(
+                res.community.binary_search(&q).is_ok(),
+                "community must contain the query node {q} (k={k})"
+            );
+            for &v in &res.community {
+                let deg_inside = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|w| res.community.binary_search(w).is_ok())
+                    .count();
+                assert!(
+                    deg_inside >= k as usize,
+                    "member {v} has only {deg_inside} in-community neighbors, need k={k}"
+                );
+            }
+            // Determinism: the same seed reproduces the same community.
+            let mut rng2 = StdRng::seed_from_u64(7000 + graph_seed * 31 + q as u64);
+            let res2 = Sea::new(&g, dp).run(q, &params, &mut rng2).unwrap();
+            assert_eq!(res.community, res2.community, "seeded runs must agree");
+        }
     }
 }
 

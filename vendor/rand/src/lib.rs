@@ -1,0 +1,185 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible surface).
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the tiny slice of `rand` it actually uses: [`Rng::gen_range`] /
+//! [`Rng::gen_bool`] over integer and float ranges, and
+//! [`SeedableRng::seed_from_u64`] for the deterministic [`rngs::StdRng`].
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — statistically
+//! solid for simulations and property tests. Streams do NOT bit-match the
+//! real `rand::rngs::StdRng` (ChaCha12); all csag code treats seeds as
+//! opaque determinism handles, so only self-consistency matters.
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (mirroring `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    ///
+    /// Panics if the range is empty, like the real `rand`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Map a raw `u64` to a double in `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+pub mod distributions {
+    pub mod uniform {
+        use crate::{unit_f64, RngCore};
+
+        /// Range types accepted by [`crate::Rng::gen_range`].
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! impl_int_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for ::core::ops::Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end as u128).wrapping_sub(self.start as u128);
+                        self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                    }
+                }
+                impl SampleRange<$t> for ::core::ops::RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span = (hi as u128).wrapping_sub(lo as u128) + 1;
+                        lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                    }
+                }
+            )*};
+        }
+        impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleRange<f64> for ::core::ops::Range<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "gen_range: empty range");
+                self.start + (self.end - self.start) * unit_f64(rng.next_u64())
+            }
+        }
+
+        impl SampleRange<f32> for ::core::ops::Range<f32> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+                assert!(self.start < self.end, "gen_range: empty range");
+                self.start + (self.end - self.start) * unit_f64(rng.next_u64()) as f32
+            }
+        }
+    }
+}
+
+pub mod rngs {
+    use crate::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for `rand`'s StdRng).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding routine.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Rng;
+
+        #[test]
+        fn deterministic_per_seed() {
+            let mut a = StdRng::seed_from_u64(7);
+            let mut b = StdRng::seed_from_u64(7);
+            let mut c = StdRng::seed_from_u64(8);
+            let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+            let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+            let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+            assert_eq!(xs, ys);
+            assert_ne!(xs, zs);
+        }
+
+        #[test]
+        fn gen_range_respects_bounds() {
+            let mut rng = StdRng::seed_from_u64(1);
+            for _ in 0..10_000 {
+                let v = rng.gen_range(3u32..17);
+                assert!((3..17).contains(&v));
+                let f = rng.gen_range(-0.5f64..0.5);
+                assert!((-0.5..0.5).contains(&f));
+                let w = rng.gen_range(2usize..=5);
+                assert!((2..=5).contains(&w));
+            }
+        }
+
+        #[test]
+        fn gen_bool_tracks_probability() {
+            let mut rng = StdRng::seed_from_u64(2);
+            let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+            let frac = hits as f64 / 20_000.0;
+            assert!((frac - 0.3).abs() < 0.02, "frac={frac}");
+        }
+    }
+}
