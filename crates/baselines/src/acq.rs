@@ -9,6 +9,7 @@
 //! nothing, Table V).
 
 use crate::BaselineResult;
+use csag_core::error::{check_query_node, CsagError};
 use csag_decomp::{CommunityModel, Maintainer};
 use csag_graph::{AttributedGraph, NodeId};
 use std::time::Instant;
@@ -23,18 +24,24 @@ const EXHAUSTIVE_ATTR_LIMIT: usize = 16;
 /// (the largest one over ties in `|S|`).
 ///
 /// Falls back to the plain maximal connected community when no attribute
-/// can be shared by any community (`objective = 0`), and returns `None`
-/// when `q` has no community at all.
+/// can be shared by any community (`objective = 0`).
+///
+/// # Errors
+/// [`CsagError::QueryNodeNotFound`] for an out-of-range `q`;
+/// [`CsagError::NoCommunity`] when `q` has no community at all.
 pub fn acq(
     g: &AttributedGraph,
     q: NodeId,
     k: u32,
     model: CommunityModel,
-) -> Option<BaselineResult> {
+) -> Result<BaselineResult, CsagError> {
+    check_query_node(q, g.n())?;
     let start = Instant::now();
     let mut maintainer = Maintainer::new(g, model, k);
     // The search space is always inside q's maximal community.
-    let root = maintainer.maximal(q)?;
+    let root = maintainer.maximal(q).ok_or_else(|| {
+        CsagError::no_community(format!("node {q} is in no connected {model} at k = {k}"))
+    })?;
 
     let q_tokens: Vec<u32> = g.tokens(q).to_vec();
     let t = q_tokens.len();
@@ -113,7 +120,7 @@ pub fn acq(
     }
 
     let (shared, community) = best.unwrap_or((0, root));
-    Some(BaselineResult {
+    Ok(BaselineResult {
         community,
         elapsed: start.elapsed(),
         objective: shared as f64,
@@ -199,13 +206,20 @@ mod tests {
     }
 
     #[test]
-    fn acq_none_without_kcore() {
+    fn acq_errors_without_kcore() {
         let mut b = GraphBuilder::new(0);
         b.add_node(&["a"], &[]);
         b.add_node(&["a"], &[]);
         b.add_edge(0, 1).unwrap();
         let g = b.build().unwrap();
-        assert!(acq(&g, 0, 2, CommunityModel::KCore).is_none());
+        assert!(matches!(
+            acq(&g, 0, 2, CommunityModel::KCore),
+            Err(CsagError::NoCommunity { .. })
+        ));
+        assert!(matches!(
+            acq(&g, 9, 2, CommunityModel::KCore),
+            Err(CsagError::QueryNodeNotFound { q: 9, .. })
+        ));
     }
 
     #[test]

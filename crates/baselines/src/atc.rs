@@ -16,6 +16,7 @@
 //! single-node deletion helps.
 
 use crate::BaselineResult;
+use csag_core::error::{check_query_node, CsagError};
 use csag_decomp::{CommunityModel, Maintainer};
 use csag_graph::{AttributedGraph, FixedBitSet, NodeId};
 use std::collections::VecDeque;
@@ -76,17 +77,27 @@ pub fn atc_score(g: &AttributedGraph, q: NodeId, community: &[NodeId]) -> f64 {
 }
 
 /// Runs LocATC: greedy score-improving deletions from the maximal
-/// connected community of `q`. Returns `None` when `q` has no community.
+/// connected community of `q`.
+///
+/// # Errors
+/// [`CsagError::QueryNodeNotFound`] for an out-of-range `q`;
+/// [`CsagError::NoCommunity`] when `q` has no community in its local
+/// neighborhood.
 pub fn loc_atc(
     g: &AttributedGraph,
     q: NodeId,
     k: u32,
     model: CommunityModel,
-) -> Option<BaselineResult> {
+) -> Result<BaselineResult, CsagError> {
+    check_query_node(q, g.n())?;
     let start = Instant::now();
     let mut maintainer = Maintainer::new(g, model, k);
     let seed = local_seed(g, q);
-    let mut current = maintainer.maximal_within(q, &seed)?;
+    let mut current = maintainer.maximal_within(q, &seed).ok_or_else(|| {
+        CsagError::no_community(format!(
+            "node {q} is in no connected {model} at k = {k} within its local neighborhood"
+        ))
+    })?;
     let mut current_score = atc_score(g, q, &current);
 
     for _ in 0..MAX_STEPS {
@@ -126,7 +137,7 @@ pub fn loc_atc(
         }
     }
 
-    Some(BaselineResult {
+    Ok(BaselineResult {
         community: current,
         elapsed: start.elapsed(),
         objective: current_score,
@@ -184,9 +195,12 @@ mod tests {
     }
 
     #[test]
-    fn loc_atc_none_without_community() {
+    fn loc_atc_errors_without_community() {
         let g = graph();
-        assert!(loc_atc(&g, 0, 4, CommunityModel::KCore).is_none());
+        assert!(matches!(
+            loc_atc(&g, 0, 4, CommunityModel::KCore),
+            Err(CsagError::NoCommunity { .. })
+        ));
     }
 
     #[test]

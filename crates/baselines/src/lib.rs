@@ -5,12 +5,12 @@
 //! same structural model (connected k-core by default, k-truss variants via
 //! [`csag_core::CommunityModel`]):
 //!
-//! * [`acq`] — ACQ (Fang et al., PVLDB'16): maximize the number of the
+//! * [`mod@acq`] — ACQ (Fang et al., PVLDB'16): maximize the number of the
 //!   query's textual attributes shared by *every* community member.
 //! * [`atc`] — ATC/LocATC (Huang & Lakshmanan, PVLDB'17): maximize the
 //!   attribute coverage score `Σ_{a ∈ A(q)} |V_a ∩ V_H|² / |V_H|` by local
 //!   search.
-//! * [`vac`] — VAC (Liu et al., ICDE'20): minimize the maximum pairwise
+//! * [`mod@vac`] — VAC (Liu et al., ICDE'20): minimize the maximum pairwise
 //!   attribute distance; the approximate peeling variant and the exact
 //!   branch-and-bound (`E-VAC`, feasible only on small graphs — exactly as
 //!   reported in the paper).
@@ -30,6 +30,11 @@ use std::time::Duration;
 pub use acq::acq;
 pub use atc::loc_atc;
 pub use vac::{e_vac, vac, EVacLimits};
+
+// Every baseline returns `Result<BaselineResult, CsagError>`; re-export
+// the workspace error so downstream crates need not import `csag-core`
+// just to match on failures.
+pub use csag_core::error::CsagError;
 
 /// Output of a baseline method.
 #[derive(Clone, Debug)]

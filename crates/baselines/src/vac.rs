@@ -20,6 +20,7 @@
 
 use crate::BaselineResult;
 use csag_core::distance::{composite_distance, DistanceParams, QueryDistances};
+use csag_core::error::{check_query_node, CsagError, PartialSearch};
 use csag_decomp::{CommunityModel, Maintainer};
 use csag_graph::{AttributedGraph, NodeId};
 use std::collections::HashSet;
@@ -82,6 +83,10 @@ pub fn max_pairwise_distance(
 /// or after `max_iters` rounds (`None` = unbounded). The returned
 /// objective is the (possibly approximated) min-max distance of the final
 /// community.
+///
+/// # Errors
+/// [`CsagError::QueryNodeNotFound`] for an out-of-range `q`;
+/// [`CsagError::NoCommunity`] when `q` has no community.
 pub fn vac(
     g: &AttributedGraph,
     q: NodeId,
@@ -89,11 +94,14 @@ pub fn vac(
     model: CommunityModel,
     dparams: DistanceParams,
     max_iters: Option<usize>,
-) -> Option<BaselineResult> {
+) -> Result<BaselineResult, CsagError> {
+    check_query_node(q, g.n())?;
     let start = Instant::now();
     let mut maintainer = Maintainer::new(g, model, k);
     let mut dist = QueryDistances::new(q, g.n(), dparams);
-    let mut current = maintainer.maximal(q)?;
+    let mut current = maintainer.maximal(q).ok_or_else(|| {
+        CsagError::no_community(format!("node {q} is in no connected {model} at k = {k}"))
+    })?;
     let cap = max_iters.unwrap_or(usize::MAX);
 
     for _ in 0..cap {
@@ -116,7 +124,7 @@ pub fn vac(
     }
 
     let (objective, _) = max_pairwise_distance(g, &current, dparams);
-    Some(BaselineResult {
+    Ok(BaselineResult {
         community: current,
         elapsed: start.elapsed(),
         objective,
@@ -142,7 +150,16 @@ pub struct EVacLimits {
 /// pair realizing a distance above the optimum, so branching on the two
 /// endpoints of the current worst pair explores every optimum. States are
 /// deduplicated by their node sets; [`EVacLimits`] bounds the exponential
-/// worst case, returning the best community found so far.
+/// worst case.
+///
+/// # Errors
+/// [`CsagError::QueryNodeNotFound`] for an out-of-range `q`;
+/// [`CsagError::NoCommunity`] when `q` has no community;
+/// [`CsagError::BudgetExhausted`] when a limit cut the search short —
+/// `partial: None` when the root exceeded [`EVacLimits::max_root`]
+/// (refused outright) or nothing was scored, otherwise the best
+/// community found so far. An `Ok` therefore certifies the min-max
+/// optimum over the branch-and-bound space, exactly like `Exact`.
 pub fn e_vac(
     g: &AttributedGraph,
     q: NodeId,
@@ -150,13 +167,18 @@ pub fn e_vac(
     model: CommunityModel,
     dparams: DistanceParams,
     limits: &EVacLimits,
-) -> Option<BaselineResult> {
+) -> Result<BaselineResult, CsagError> {
+    check_query_node(q, g.n())?;
     let start = Instant::now();
     let deadline = limits.time_budget.map(|b| start + b);
     let mut maintainer = Maintainer::new(g, model, k);
-    let root = maintainer.maximal(q)?;
+    let root = maintainer.maximal(q).ok_or_else(|| {
+        CsagError::no_community(format!("node {q} is in no connected {model} at k = {k}"))
+    })?;
     if limits.max_root.is_some_and(|m| root.len() > m) {
-        return None;
+        // The paper refuses E-VAC on large roots outright (its `-` rows);
+        // no search happened, so there is no partial to report.
+        return Err(CsagError::BudgetExhausted { partial: None });
     }
 
     let mut best_obj = f64::INFINITY;
@@ -166,8 +188,10 @@ pub fn e_vac(
     let mut states: u64 = 0;
     let budget = limits.state_budget.unwrap_or(u64::MAX);
 
+    let mut truncated = false;
     while let Some(state) = stack.pop() {
         if states >= budget || deadline.is_some_and(|d| Instant::now() >= d) {
+            truncated = true;
             break;
         }
         if !seen.insert(state.clone()) {
@@ -197,9 +221,23 @@ pub fn e_vac(
     }
 
     if best.is_empty() {
-        return None;
+        // The budget ran out before even the root state was scored.
+        return Err(CsagError::BudgetExhausted { partial: None });
     }
-    Some(BaselineResult {
+    if truncated {
+        // Unexplored states remain: the incumbent is best-so-far, not a
+        // certified optimum — same contract as the exact CS-AG search.
+        let delta = QueryDistances::new(q, g.n(), dparams).delta(g, &best);
+        return Err(CsagError::BudgetExhausted {
+            partial: Some(PartialSearch {
+                community: best,
+                delta,
+                states_explored: states,
+                elapsed: start.elapsed(),
+            }),
+        });
+    }
+    Ok(BaselineResult {
         community: best,
         elapsed: start.elapsed(),
         objective: best_obj,
@@ -319,7 +357,9 @@ mod tests {
     #[test]
     fn e_vac_respects_limits() {
         let g = clique_with_outlier();
-        let res = e_vac(
+        // A 1-state budget scores the root, then truncates: best-so-far
+        // arrives as the BudgetExhausted partial, never as a certified Ok.
+        let err = e_vac(
             &g,
             0,
             2,
@@ -330,21 +370,27 @@ mod tests {
                 ..Default::default()
             },
         )
-        .unwrap();
-        assert!(res.community.contains(&0));
-        // Root-size guard refuses outright.
-        assert!(e_vac(
-            &g,
-            0,
-            2,
-            CommunityModel::KCore,
-            DistanceParams::default(),
-            &EVacLimits {
-                max_root: Some(3),
-                ..Default::default()
-            },
-        )
-        .is_none());
+        .unwrap_err();
+        let CsagError::BudgetExhausted { partial: Some(p) } = err else {
+            panic!("expected a best-so-far partial, got {err:?}");
+        };
+        assert!(p.community.contains(&0));
+        assert_eq!(p.states_explored, 1);
+        // Root-size guard refuses outright, with no partial to report.
+        assert!(matches!(
+            e_vac(
+                &g,
+                0,
+                2,
+                CommunityModel::KCore,
+                DistanceParams::default(),
+                &EVacLimits {
+                    max_root: Some(3),
+                    ..Default::default()
+                },
+            ),
+            Err(CsagError::BudgetExhausted { partial: None })
+        ));
     }
 
     #[test]
@@ -373,30 +419,34 @@ mod tests {
     }
 
     #[test]
-    fn none_without_community() {
+    fn typed_error_without_community() {
         let mut b = GraphBuilder::new(1);
         b.add_node(&["t"], &[0.0]);
         b.add_node(&["t"], &[1.0]);
         b.add_edge(0, 1).unwrap();
         let g = b.build().unwrap();
-        assert!(vac(
-            &g,
-            0,
-            2,
-            CommunityModel::KCore,
-            DistanceParams::default(),
-            None
-        )
-        .is_none());
-        assert!(e_vac(
-            &g,
-            0,
-            2,
-            CommunityModel::KCore,
-            DistanceParams::default(),
-            &EVacLimits::default()
-        )
-        .is_none());
+        assert!(matches!(
+            vac(
+                &g,
+                0,
+                2,
+                CommunityModel::KCore,
+                DistanceParams::default(),
+                None
+            ),
+            Err(CsagError::NoCommunity { .. })
+        ));
+        assert!(matches!(
+            e_vac(
+                &g,
+                0,
+                2,
+                CommunityModel::KCore,
+                DistanceParams::default(),
+                &EVacLimits::default()
+            ),
+            Err(CsagError::NoCommunity { .. })
+        ));
     }
 
     #[test]

@@ -71,8 +71,8 @@ proptest! {
         let communities = all_communities(&g, q, k);
         let res = acq(&g, q, k, CommunityModel::KCore);
         match (communities.is_empty(), res) {
-            (true, None) => {}
-            (false, Some(r)) => {
+            (true, Err(e)) if e.is_no_community() => {}
+            (false, Ok(r)) => {
                 let best = communities
                     .iter()
                     .map(|c| shared_count(&g, q, c))
@@ -130,8 +130,8 @@ proptest! {
             vac(&g, q, k, CommunityModel::KCore, dp, None).map(|r| r.community),
         ];
         for comm in results.iter() {
-            prop_assert_eq!(comm.is_some(), exists);
-            if let Some(comm) = comm {
+            prop_assert_eq!(comm.is_ok(), exists);
+            if let Ok(comm) = comm {
                 prop_assert!(comm.binary_search(&q).is_ok());
                 prop_assert!(csag_graph::traversal::is_connected_subset(&g, comm));
                 for &v in comm {

@@ -6,7 +6,8 @@
 //! smallest dataset so regressions in any method's hot path are caught.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use csag_bench::config::{sea_params, QUERY_SEED, SEA_SEED};
+use csag::engine::Engine;
+use csag_bench::config::{sea_query, QUERY_SEED, SEA_SEED};
 use csag_bench::runner::{run_acq, run_exact, run_loc_atc, run_sea, run_vac, Budgets};
 use csag_core::distance::DistanceParams;
 use csag_core::CommunityModel;
@@ -18,6 +19,7 @@ fn bench_methods(c: &mut Criterion) {
     let d = standins::facebook_like();
     let k = d.default_k;
     let q = random_queries(&d.graph, 1, k, QUERY_SEED)[0];
+    let engine = Engine::new(d.graph.clone());
     let dp = DistanceParams::default();
     let model = CommunityModel::KCore;
     let budgets = Budgets {
@@ -28,19 +30,19 @@ fn bench_methods(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_methods");
     group.sample_size(10);
     group.bench_function("sea", |b| {
-        b.iter(|| black_box(run_sea(&d.graph, q, &sea_params(k), dp, SEA_SEED)))
+        b.iter(|| black_box(run_sea(&engine, q, &sea_query(k), dp, SEA_SEED)))
     });
     group.bench_function("acq", |b| {
-        b.iter(|| black_box(run_acq(&d.graph, q, k, model, dp, false)))
+        b.iter(|| black_box(run_acq(&engine, q, k, model, dp, false)))
     });
     group.bench_function("loc_atc", |b| {
-        b.iter(|| black_box(run_loc_atc(&d.graph, q, k, model, dp)))
+        b.iter(|| black_box(run_loc_atc(&engine, q, k, model, dp)))
     });
     group.bench_function("vac", |b| {
-        b.iter(|| black_box(run_vac(&d.graph, q, k, model, dp, &budgets)))
+        b.iter(|| black_box(run_vac(&engine, q, k, model, dp, &budgets)))
     });
     group.bench_function("exact_budgeted", |b| {
-        b.iter(|| black_box(run_exact(&d.graph, q, k, model, dp, &budgets)))
+        b.iter(|| black_box(run_exact(&engine, q, k, model, dp, &budgets)))
     });
     group.finish();
 }

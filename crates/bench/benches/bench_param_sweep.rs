@@ -2,55 +2,45 @@
 //! user-facing parameters vary (λ, error bound e, k).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use csag_bench::config::{sea_params, QUERY_SEED, SEA_SEED};
-use csag_core::distance::DistanceParams;
-use csag_core::sea::Sea;
+use csag::engine::Engine;
+use csag_bench::config::{sea_query, QUERY_SEED, SEA_SEED};
 use csag_datasets::{random_queries, standins};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_param_sweep(c: &mut Criterion) {
     let d = standins::github_like();
     let k = d.default_k;
     let q = random_queries(&d.graph, 1, k, QUERY_SEED)[0];
-    let dp = DistanceParams::default();
+    let engine = Engine::new(d.graph.clone());
 
     let mut group = c.benchmark_group("fig8_params");
     group.sample_size(10);
     for lambda in [0.1, 0.2, 0.5] {
-        let params = sea_params(k).with_lambda(lambda);
+        let params = sea_query(k)
+            .with_query(q)
+            .with_seed(SEA_SEED)
+            .with_lambda(lambda);
         group.bench_with_input(
             BenchmarkId::new("lambda", format!("{lambda}")),
             &params,
-            |b, p| {
-                b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(SEA_SEED);
-                    black_box(Sea::new(&d.graph, dp).run(q, p, &mut rng))
-                })
-            },
+            |b, p| b.iter(|| black_box(engine.run(p))),
         );
     }
     for e in [0.01, 0.02, 0.05] {
-        let params = sea_params(k).with_error_bound(e);
+        let params = sea_query(k)
+            .with_query(q)
+            .with_seed(SEA_SEED)
+            .with_error_bound(e);
         group.bench_with_input(
             BenchmarkId::new("error_bound", format!("{e}")),
             &params,
-            |b, p| {
-                b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(SEA_SEED);
-                    black_box(Sea::new(&d.graph, dp).run(q, p, &mut rng))
-                })
-            },
+            |b, p| b.iter(|| black_box(engine.run(p))),
         );
     }
     for kk in [k, k + 2] {
-        let params = sea_params(kk);
+        let params = sea_query(kk).with_query(q).with_seed(SEA_SEED);
         group.bench_with_input(BenchmarkId::new("k", format!("{kk}")), &params, |b, p| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(SEA_SEED);
-                black_box(Sea::new(&d.graph, dp).run(q, p, &mut rng))
-            })
+            b.iter(|| black_box(engine.run(p)))
         });
     }
     group.finish();

@@ -2,9 +2,9 @@
 //! pruning configuration on an ablation mini graph.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csag::engine::{CommunityQuery, Engine, Method};
 use csag_bench::config::QUERY_SEED;
-use csag_core::distance::DistanceParams;
-use csag_core::exact::{Exact, ExactParams, PruningConfig};
+use csag_core::exact::PruningConfig;
 use csag_datasets::{random_queries, standins};
 use std::hint::black_box;
 use std::time::Duration;
@@ -13,7 +13,7 @@ fn bench_prunings(c: &mut Criterion) {
     let d = &standins::ablation_minis()[0];
     let k = d.default_k;
     let q = random_queries(&d.graph, 1, k, QUERY_SEED)[0];
-    let dp = DistanceParams::default();
+    let engine = Engine::new(d.graph.clone());
 
     let mut group = c.benchmark_group("tab4_prunings");
     group.sample_size(10);
@@ -23,13 +23,13 @@ fn bench_prunings(c: &mut Criterion) {
         ("p1_only", PruningConfig::P1_ONLY),
         ("none", PruningConfig::NONE),
     ] {
-        let params = ExactParams::default()
+        let params = CommunityQuery::new(Method::Exact, q)
             .with_k(k)
             .with_pruning(pruning)
             .with_state_budget(50_000)
             .with_time_budget(Duration::from_secs(2));
         group.bench_with_input(BenchmarkId::from_parameter(name), &params, |b, p| {
-            b.iter(|| black_box(Exact::new(&d.graph, dp).run(q, p)))
+            b.iter(|| black_box(engine.run(p)))
         });
     }
     group.finish();

@@ -3,9 +3,10 @@
 //! end-to-end query.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use csag_bench::config::{sea_params, QUERY_SEED, SEA_SEED};
+use csag::engine::Engine;
+use csag_bench::config::{sea_query, QUERY_SEED, SEA_SEED};
 use csag_core::distance::{DistanceParams, QueryDistances};
-use csag_core::sea::{grow_neighborhood, Sea};
+use csag_core::sea::grow_neighborhood;
 use csag_datasets::{random_queries, standins};
 use csag_stats::Blb;
 use rand::rngs::StdRng;
@@ -31,10 +32,9 @@ fn bench_steps(c: &mut Criterion) {
         b.iter(|| black_box(Blb::default().estimate(&data, 1.96, &mut rng)))
     });
     group.bench_function("end_to_end", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(SEA_SEED);
-            black_box(Sea::new(&d.graph, dp).run(q, &sea_params(k), &mut rng))
-        })
+        let engine = Engine::new(d.graph.clone());
+        let query = sea_query(k).with_query(q).with_seed(SEA_SEED);
+        b.iter(|| black_box(engine.run(&query)))
     });
     group.finish();
 }

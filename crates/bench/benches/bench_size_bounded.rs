@@ -2,33 +2,29 @@
 //! the paper's size windows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use csag_bench::config::{sea_params, QUERY_SEED, SEA_SEED};
-use csag_core::distance::DistanceParams;
-use csag_core::sea::Sea;
+use csag::engine::{Engine, Method};
+use csag_bench::config::{sea_query, QUERY_SEED, SEA_SEED};
 use csag_datasets::{random_queries, standins};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_size_bounded(c: &mut Criterion) {
     let d = standins::github_like();
     let k = d.default_k;
     let q = random_queries(&d.graph, 1, k, QUERY_SEED)[0];
-    let dp = DistanceParams::default();
+    let engine = Engine::new(d.graph.clone());
 
     let mut group = c.benchmark_group("fig7_size_bounded");
     group.sample_size(10);
     for (l, h) in [(30usize, 35usize), (35, 40), (40, 45), (45, 50)] {
-        let params = sea_params(k).with_size_bound(l, h);
+        let params = sea_query(k)
+            .with_method(Method::SeaSizeBounded)
+            .with_size_bound(l, h)
+            .with_query(q)
+            .with_seed(SEA_SEED);
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{l}_{h}")),
             &params,
-            |b, p| {
-                b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(SEA_SEED);
-                    black_box(Sea::new(&d.graph, dp).run(q, p, &mut rng))
-                })
-            },
+            |b, p| b.iter(|| black_box(engine.run(p))),
         );
     }
     group.finish();

@@ -5,6 +5,7 @@
 //! exact searches) and provides `--quick` for smoke runs. Every experiment
 //! prints the scale it actually used.
 
+use csag::engine::{CommunityQuery, Method};
 use csag_core::sea::SeaParams;
 use csag_core::CommunityModel;
 use std::time::Duration;
@@ -100,6 +101,22 @@ pub fn sea_params(k: u32) -> SeaParams {
 /// with probability ~λ³, so the truss pipeline samples at λ = 0.5.
 pub fn sea_params_truss(k: u32) -> SeaParams {
     sea_params(k)
+        .with_model(CommunityModel::KTruss)
+        .with_lambda(0.5)
+}
+
+/// The engine-facing twin of [`sea_params`]: a SEA `CommunityQuery`
+/// template (query node and seed filled in per run) for the homogeneous
+/// experiments, with the same harness-wide Hoeffding rescaling.
+pub fn sea_query(k: u32) -> CommunityQuery {
+    CommunityQuery::new(Method::Sea, 0)
+        .with_k(k)
+        .with_hoeffding(0.18, 0.95)
+}
+
+/// Engine-facing twin of [`sea_params_truss`].
+pub fn sea_query_truss(k: u32) -> CommunityQuery {
+    sea_query(k)
         .with_model(CommunityModel::KTruss)
         .with_lambda(0.5)
 }

@@ -10,27 +10,30 @@
 use crate::config::{Scale, QUERY_SEED, SEA_SEED};
 use crate::runner::{mean, parallel_map};
 use crate::table::Table;
-use csag_core::distance::{jaccard_distance, manhattan_distance, DistanceParams};
-use csag_core::sea::Sea;
+use csag::engine::Engine;
+use csag_core::distance::{jaccard_distance, manhattan_distance};
 use csag_datasets::{random_queries, standins};
 use csag_graph::AttributedGraph;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn run_graph(name: &str, g: &AttributedGraph, k: u32, scale: &Scale, table: &mut Table) {
     let n_queries = if scale.quick { 3 } else { 8 };
     let queries = random_queries(g, n_queries, k, QUERY_SEED);
+    // One engine across the whole γ sweep: the distance cache keys on
+    // (q, γ), so each sweep point warms its own tables.
+    let engine = Engine::new(g.clone());
     let gammas = if scale.quick {
         vec![0.0, 0.5, 1.0]
     } else {
         vec![0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 1.0]
     };
     for gamma in gammas {
-        let dp = DistanceParams::with_gamma(gamma);
-        let params = crate::config::sea_params(k);
+        let template = crate::config::sea_query(k).with_gamma(gamma);
         let per_query: Vec<Option<(f64, f64)>> = parallel_map(&queries, scale.threads, |q| {
-            let mut rng = StdRng::seed_from_u64(SEA_SEED ^ (q as u64) << 24);
-            let res = Sea::new(g, dp).run(q, &params, &mut rng)?;
+            let query = template
+                .clone()
+                .with_query(q)
+                .with_seed(SEA_SEED ^ (q as u64) << 24);
+            let res = engine.run(&query).ok()?;
             let jac = mean(
                 res.community
                     .iter()

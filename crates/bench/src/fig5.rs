@@ -10,8 +10,8 @@ use crate::runner::{
     MethodRun,
 };
 use crate::table::{fmt_ms, fmt_pct, Table};
+use csag::engine::{Engine, PhaseTimings};
 use csag_core::distance::DistanceParams;
-use csag_core::sea::SeaTiming;
 use csag_core::CommunityModel;
 use csag_datasets::standins;
 use csag_datasets::{random_queries, Dataset};
@@ -19,7 +19,7 @@ use csag_eval::relative_error;
 
 struct QueryOutcome {
     exact: Option<MethodRun>,
-    sea: Option<(MethodRun, SeaTiming)>,
+    sea: Option<(MethodRun, PhaseTimings)>,
     loc_atc: Option<MethodRun>,
     acq: Option<MethodRun>,
     vac: Option<MethodRun>,
@@ -88,18 +88,20 @@ pub fn run(scale: &Scale) -> String {
         let k = d.default_k;
         let n_queries = scale.queries_for(d.graph.n());
         let queries = random_queries(&d.graph, n_queries, k, QUERY_SEED);
-        let sea_params = crate::config::sea_params(k);
+        let sea_query = crate::config::sea_query(k);
         let allow_evac = scale.evac_allowed(d.graph.n());
+        // One engine per dataset: every method and query shares the
+        // cached decomposition and distance tables.
+        let engine = Engine::new(d.graph.clone());
 
         let outcomes: Vec<QueryOutcome> = parallel_map(&queries, scale.threads, |q| QueryOutcome {
-            exact: run_exact(&d.graph, q, k, model, dp, &budgets),
-            sea: run_sea(&d.graph, q, &sea_params, dp, SEA_SEED)
-                .map(|(run, res)| (run, res.timing)),
-            loc_atc: run_loc_atc(&d.graph, q, k, model, dp),
-            acq: run_acq(&d.graph, q, k, model, dp, false),
-            vac: run_vac(&d.graph, q, k, model, dp, &budgets),
+            exact: run_exact(&engine, q, k, model, dp, &budgets),
+            sea: run_sea(&engine, q, &sea_query, dp, SEA_SEED).map(|(run, res)| (run, res.timings)),
+            loc_atc: run_loc_atc(&engine, q, k, model, dp),
+            acq: run_acq(&engine, q, k, model, dp, false),
+            vac: run_vac(&engine, q, k, model, dp, &budgets),
             e_vac: allow_evac
-                .then(|| run_e_vac(&d.graph, q, k, model, dp, &budgets))
+                .then(|| run_e_vac(&engine, q, k, model, dp, &budgets))
                 .flatten(),
         });
 
@@ -181,7 +183,7 @@ pub fn run(scale: &Scale) -> String {
         ]);
 
         // --- (d): SEA step breakdown.
-        let step = |sel: &dyn Fn(&SeaTiming) -> f64| -> f64 {
+        let step = |sel: &dyn Fn(&PhaseTimings) -> f64| -> f64 {
             mean(
                 outcomes
                     .iter()

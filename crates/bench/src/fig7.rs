@@ -1,7 +1,7 @@
 //! Figure 7: size-bounded community search (§VI-B).
 //!
 //! Response time and relative error of SEA under size bounds
-//! [30,35] … [45,50], on dblp-like (projected) and github-like — the
+//! \[30,35\] … \[45,50\], on dblp-like (projected) and github-like — the
 //! paper's DBLP and GitHub panels. The reference δ for the relative error
 //! is a full-population greedy descent restricted to the same size window
 //! (no sampling, λ=1, exhaustive candidate walk), which upper-bounds the
@@ -10,15 +10,13 @@
 use crate::config::{Scale, QUERY_SEED, SEA_SEED};
 use crate::runner::{mean, parallel_map};
 use crate::table::{fmt_ms, fmt_pct, Table};
+use csag::engine::{Engine, Method};
 use csag_core::distance::{DistanceParams, QueryDistances};
-use csag_core::sea::Sea;
 use csag_core::CommunityModel;
 use csag_datasets::{random_queries, standins};
 use csag_decomp::Maintainer;
 use csag_eval::relative_error;
 use csag_graph::{AttributedGraph, NodeId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const BOUNDS: [(usize, usize); 4] = [(30, 35), (35, 40), (40, 45), (45, 50)];
 
@@ -68,20 +66,25 @@ fn run_graph(name: &str, g: &AttributedGraph, k: u32, scale: &Scale, table: &mut
     let n_queries = if scale.quick { 3 } else { 10 };
     // Queries must sit in large-enough communities: require a k-core.
     let queries = random_queries(g, n_queries, k, QUERY_SEED);
+    let engine = Engine::new(g.clone());
     for (l, h) in BOUNDS {
+        let template = crate::config::sea_query(k)
+            .with_method(Method::SeaSizeBounded)
+            .with_size_bound(l, h);
         let outcomes: Vec<Option<(f64, f64)>> = parallel_map(&queries, scale.threads, |q| {
-            let mut rng = StdRng::seed_from_u64(SEA_SEED ^ (q as u64) << 8);
-            let params = crate::config::sea_params(k).with_size_bound(l, h);
-            let t = std::time::Instant::now();
-            let res = Sea::new(g, dp).run(q, &params, &mut rng)?;
-            let ms = t.elapsed().as_secs_f64() * 1000.0;
+            let query = template
+                .clone()
+                .with_query(q)
+                .with_seed(SEA_SEED ^ (q as u64) << 8);
+            let res = engine.run(&query).ok()?;
+            let ms = res.timings.total.as_secs_f64() * 1000.0;
             if res.community.len() < l || res.community.len() > h {
                 // Size window unreachable for this query (community too
                 // small); skip it like the paper's query filter does.
                 return None;
             }
             let reference = greedy_size_bounded_delta(g, q, k, l, h, dp)?;
-            Some((ms, relative_error(res.delta_star, reference)))
+            Some((ms, relative_error(res.delta, reference)))
         });
         let done: Vec<&(f64, f64)> = outcomes.iter().flatten().collect();
         if done.is_empty() {

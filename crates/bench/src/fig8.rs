@@ -9,14 +9,12 @@
 use crate::config::{Scale, QUERY_SEED, SEA_SEED};
 use crate::runner::{mean, parallel_map, run_exact, Budgets};
 use crate::table::{fmt_ms, fmt_pct, Table};
+use csag::engine::{CommunityQuery, Engine};
 use csag_core::distance::DistanceParams;
-use csag_core::sea::{Sea, SeaParams};
 use csag_core::CommunityModel;
 use csag_datasets::{random_queries, standins};
 use csag_eval::relative_error;
 use csag_graph::{AttributedGraph, NodeId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Which quantity a panel reports alongside time.
 enum Effect {
@@ -29,10 +27,10 @@ fn sweep(
     table: &mut Table,
     dataset: &str,
     panel: &str,
-    g: &AttributedGraph,
+    engine: &Engine,
     queries: &[NodeId],
     scale: &Scale,
-    points: &[(String, SeaParams)],
+    points: &[(String, CommunityQuery)],
     effect: Effect,
 ) {
     let dp = DistanceParams::default();
@@ -43,17 +41,27 @@ fn sweep(
     };
     let exact: Vec<Option<f64>> = match effect {
         Effect::RelativeError => parallel_map(queries, scale.threads, |q| {
-            run_exact(g, q, points[0].1.k, CommunityModel::KCore, dp, &budgets).map(|r| r.delta)
+            run_exact(
+                engine,
+                q,
+                points[0].1.k,
+                CommunityModel::KCore,
+                dp,
+                &budgets,
+            )
+            .map(|r| r.delta)
         }),
         Effect::Delta => vec![None; queries.len()],
     };
 
-    for (label, params) in points {
+    for (label, template) in points {
         let runs: Vec<Option<(f64, f64)>> = parallel_map(queries, scale.threads, |q| {
-            let mut rng = StdRng::seed_from_u64(SEA_SEED ^ (q as u64) << 16);
-            let t = std::time::Instant::now();
-            let res = Sea::new(g, dp).run(q, params, &mut rng)?;
-            Some((t.elapsed().as_secs_f64() * 1000.0, res.delta_star))
+            let query = template
+                .clone()
+                .with_query(q)
+                .with_seed(SEA_SEED ^ (q as u64) << 16);
+            let res = engine.run(&query).ok()?;
+            Some((res.timings.total.as_secs_f64() * 1000.0, res.delta))
         });
         let mut ms = Vec::new();
         let mut eff = Vec::new();
@@ -119,7 +127,8 @@ pub fn run(scale: &Scale) -> String {
     let n_queries = if scale.quick { 3 } else { 8 };
     for (name, g, k) in graphs {
         let queries = random_queries(g, n_queries, k, QUERY_SEED);
-        let base = crate::config::sea_params(k);
+        let engine = Engine::new(g.clone());
+        let base = crate::config::sea_query(k);
 
         // (a)/(b): λ sweep.
         let lambdas = if scale.quick {
@@ -127,7 +136,7 @@ pub fn run(scale: &Scale) -> String {
         } else {
             vec![0.05, 0.2, 0.4, 0.6, 0.8, 1.0]
         };
-        let points: Vec<(String, SeaParams)> = lambdas
+        let points: Vec<(String, CommunityQuery)> = lambdas
             .iter()
             .map(|&l| (format!("λ={l}"), base.clone().with_lambda(l)))
             .collect();
@@ -135,7 +144,7 @@ pub fn run(scale: &Scale) -> String {
             &mut table,
             name,
             "lambda",
-            g,
+            &engine,
             &queries,
             scale,
             &points,
@@ -149,7 +158,7 @@ pub fn run(scale: &Scale) -> String {
         } else {
             vec![0.30, 0.22, 0.18, 0.14, 0.10]
         };
-        let points: Vec<(String, SeaParams)> = eps
+        let points: Vec<(String, CommunityQuery)> = eps
             .iter()
             .map(|&e| (format!("ϵ={e}"), base.clone().with_hoeffding(e, 0.95)))
             .collect();
@@ -157,7 +166,7 @@ pub fn run(scale: &Scale) -> String {
             &mut table,
             name,
             "hoeffding-eps",
-            g,
+            &engine,
             &queries,
             scale,
             &points,
@@ -170,7 +179,7 @@ pub fn run(scale: &Scale) -> String {
         } else {
             vec![0.86, 0.90, 0.94, 0.98]
         };
-        let points: Vec<(String, SeaParams)> = betas
+        let points: Vec<(String, CommunityQuery)> = betas
             .iter()
             .map(|&c| (format!("1-β={c}"), base.clone().with_hoeffding(0.18, c)))
             .collect();
@@ -178,7 +187,7 @@ pub fn run(scale: &Scale) -> String {
             &mut table,
             name,
             "hoeffding-conf",
-            g,
+            &engine,
             &queries,
             scale,
             &points,
@@ -191,7 +200,7 @@ pub fn run(scale: &Scale) -> String {
         } else {
             vec![0.01, 0.02, 0.03, 0.04, 0.05]
         };
-        let points: Vec<(String, SeaParams)> = errs
+        let points: Vec<(String, CommunityQuery)> = errs
             .iter()
             .map(|&e| {
                 (
@@ -204,7 +213,7 @@ pub fn run(scale: &Scale) -> String {
             &mut table,
             name,
             "error-bound",
-            g,
+            &engine,
             &queries,
             scale,
             &points,
@@ -217,7 +226,7 @@ pub fn run(scale: &Scale) -> String {
         } else {
             vec![0.86, 0.90, 0.94, 0.98]
         };
-        let points: Vec<(String, SeaParams)> = alphas
+        let points: Vec<(String, CommunityQuery)> = alphas
             .iter()
             .map(|&c| (format!("1-α={c}"), base.clone().with_confidence(c)))
             .collect();
@@ -225,7 +234,7 @@ pub fn run(scale: &Scale) -> String {
             &mut table,
             name,
             "ci-conf",
-            g,
+            &engine,
             &queries,
             scale,
             &points,
@@ -238,7 +247,7 @@ pub fn run(scale: &Scale) -> String {
         } else {
             (k..k + 5).collect()
         };
-        let points: Vec<(String, SeaParams)> = ks
+        let points: Vec<(String, CommunityQuery)> = ks
             .iter()
             .map(|&kk| (format!("k={kk}"), base.clone().with_k(kk)))
             .collect();
@@ -246,7 +255,7 @@ pub fn run(scale: &Scale) -> String {
             &mut table,
             name,
             "k",
-            g,
+            &engine,
             &queries,
             scale,
             &points,

@@ -1,8 +1,8 @@
 //! Figure 9 + Table VI: case study — size-bounded SEA on the imdb-like
 //! graph, with the round-by-round refinement log.
 //!
-//! The paper queries Robert De Niro on IMDB with size bounds [10,30] and
-//! [30,50] and shows (a) the two communities and (b) the per-round
+//! The paper queries Robert De Niro on IMDB with size bounds \[10,30\] and
+//! \[30,50\] and shows (a) the two communities and (b) the per-round
 //! δ⋆ / MoE ε / ΔS / time table. We reproduce the protocol with the
 //! highest-P-degree movie of the imdb-like stand-in as the star query.
 
@@ -47,7 +47,7 @@ pub fn run(_scale: &Scale) -> String {
         let mut rng = StdRng::seed_from_u64(SEA_SEED ^ 0xF19);
         let sea = SeaHetero::new(&d.graph, d.meta_path.clone(), dp);
         match sea.run(star, &params, &mut rng) {
-            Some(res) => {
+            Ok(res) => {
                 out.push_str(&format!(
                     "Size bound [{l},{h}]: community of {} movies, δ* = {:.4} (CI {}), certified = {}\n",
                     res.community.len(),
@@ -67,7 +67,7 @@ pub fn run(_scale: &Scale) -> String {
                     ]);
                 }
             }
-            None => {
+            Err(_) => {
                 out.push_str(&format!(
                     "Size bound [{l},{h}]: no community within the window for this query\n"
                 ));

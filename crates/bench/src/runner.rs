@@ -1,18 +1,21 @@
-//! Shared per-query method runners and parallel query evaluation.
+//! Shared per-query method runners and parallel query evaluation, built
+//! entirely on the unified [`csag::engine`] entry point.
 //!
 //! Every experiment compares methods on the same footing: each method
-//! returns its community, the community's q-centric attribute distance δ
-//! (the paper's Figure-5(a) metric, evaluated identically for everyone),
-//! and the wall-clock time.
+//! runs through the same [`Engine`] (sharing its cached decomposition and
+//! per-query distance tables), returns its community, the community's
+//! q-centric attribute distance δ (the paper's Figure-5(a) metric, which
+//! the engine evaluates identically for everyone), and the wall-clock
+//! time. Budget-exhausted exact runs surface the engine's typed
+//! [`CsagError::BudgetExhausted`] partial as a non-optimal
+//! [`MethodRun`] — the paper's "best found within the limit" rows.
 
-use csag_baselines::{acq, e_vac, loc_atc, vac, EVacLimits};
-use csag_core::distance::{DistanceParams, QueryDistances};
-use csag_core::exact::{Exact, ExactParams, ExactStatus};
-use csag_core::sea::{Sea, SeaParams, SeaResult};
+use csag::engine::{
+    parallel_map as engine_parallel_map, CommunityQuery, CommunityResult, CsagError, Engine, Method,
+};
+use csag_core::distance::DistanceParams;
 use csag_core::CommunityModel;
-use csag_graph::{AttributedGraph, NodeId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use csag_graph::NodeId;
 use std::time::Duration;
 
 /// One method's outcome on one query.
@@ -53,78 +56,96 @@ impl Default for Budgets {
     }
 }
 
-fn delta_of(g: &AttributedGraph, q: NodeId, comm: &[NodeId], dp: DistanceParams) -> f64 {
-    QueryDistances::new(q, g.n(), dp).delta(g, comm)
+fn method_run(res: &CommunityResult, optimal: bool) -> MethodRun {
+    MethodRun {
+        community: res.community.clone(),
+        delta: res.delta,
+        // Search-phase time only: the engine's one-time shared
+        // preparation (core decomposition, distance-cache checkout) must
+        // not be billed to whichever queries happen to run first.
+        millis: res.timings.search.as_secs_f64() * 1000.0,
+        optimal,
+    }
 }
 
-/// Runs the exact algorithm (all prunings, warm start) under a time budget.
+/// Runs one engine query the way the experiment tables consume outcomes:
+/// `Some` for answers (including the best-so-far partial of a
+/// budget-exhausted exact run, flagged non-optimal), `None` for "this
+/// method has no community / refused" cells.
+pub fn run_query(engine: &Engine, query: &CommunityQuery) -> Option<MethodRun> {
+    match engine.run(query) {
+        Ok(res) => {
+            let optimal = query.method == Method::Exact;
+            Some(method_run(&res, optimal))
+        }
+        Err(CsagError::BudgetExhausted { partial: Some(p) }) => Some(MethodRun {
+            community: p.community,
+            delta: p.delta,
+            millis: p.elapsed.as_secs_f64() * 1000.0,
+            optimal: false,
+        }),
+        Err(_) => None,
+    }
+}
+
+/// Runs the exact algorithm (all prunings, warm start) under a time
+/// budget.
 pub fn run_exact(
-    g: &AttributedGraph,
+    engine: &Engine,
     q: NodeId,
     k: u32,
     model: CommunityModel,
     dp: DistanceParams,
     budgets: &Budgets,
 ) -> Option<MethodRun> {
-    let params = ExactParams::default()
+    let query = CommunityQuery::new(Method::Exact, q)
         .with_k(k)
         .with_model(model)
+        .with_gamma(dp.gamma)
         .with_time_budget(budgets.exact_time);
-    let res = Exact::new(g, dp).run(q, &params)?;
-    Some(MethodRun {
-        community: res.community,
-        delta: res.delta,
-        millis: res.elapsed.as_secs_f64() * 1000.0,
-        optimal: res.status == ExactStatus::Optimal,
-    })
+    run_query(engine, &query)
 }
 
-/// Runs SEA with a query-derived RNG seed; also returns the full
-/// [`SeaResult`] for timing breakdowns and round logs.
+/// Runs SEA from a configured query template (see
+/// [`crate::config::sea_query`]) with a query-derived RNG seed; also
+/// returns the full [`CommunityResult`] for timing breakdowns.
 pub fn run_sea(
-    g: &AttributedGraph,
+    engine: &Engine,
     q: NodeId,
-    params: &SeaParams,
+    template: &CommunityQuery,
     dp: DistanceParams,
     seed: u64,
-) -> Option<(MethodRun, SeaResult)> {
-    let mut rng = StdRng::seed_from_u64(seed ^ (q as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let t = std::time::Instant::now();
-    let res = Sea::new(g, dp).run(q, params, &mut rng)?;
-    let millis = t.elapsed().as_secs_f64() * 1000.0;
-    Some((
-        MethodRun {
-            community: res.community.clone(),
-            delta: res.delta_star,
-            millis,
-            optimal: false,
-        },
-        res,
-    ))
+) -> Option<(MethodRun, CommunityResult)> {
+    let query = template
+        .clone()
+        .with_query(q)
+        .with_gamma(dp.gamma)
+        .with_seed(seed ^ (q as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let res = engine.run(&query).ok()?;
+    Some((method_run(&res, false), res))
 }
 
-/// Runs LocATC and scores its community under δ.
+/// Runs LocATC; the engine scores its community under δ.
 pub fn run_loc_atc(
-    g: &AttributedGraph,
+    engine: &Engine,
     q: NodeId,
     k: u32,
     model: CommunityModel,
     dp: DistanceParams,
 ) -> Option<MethodRun> {
-    let res = loc_atc(g, q, k, model)?;
-    Some(MethodRun {
-        delta: delta_of(g, q, &res.community, dp),
-        millis: res.elapsed.as_secs_f64() * 1000.0,
-        community: res.community,
-        optimal: false,
-    })
+    let query = CommunityQuery::new(Method::Atc, q)
+        .with_k(k)
+        .with_model(model)
+        .with_gamma(dp.gamma);
+    run_query(engine, &query)
 }
 
-/// Runs ACQ and scores its community under δ. `None` additionally when the
-/// graph has no textual attributes at all (the Table-V knowledge-graph
-/// situation where equality matching cannot return a shared community).
+/// Runs ACQ; the engine scores its community under δ. `None` additionally
+/// when the graph has no textual attributes at all (the Table-V
+/// knowledge-graph situation where equality matching cannot return a
+/// shared community).
 pub fn run_acq(
-    g: &AttributedGraph,
+    engine: &Engine,
     q: NodeId,
     k: u32,
     model: CommunityModel,
@@ -134,90 +155,61 @@ pub fn run_acq(
     if numeric_only {
         return None;
     }
-    let res = acq(g, q, k, model)?;
-    Some(MethodRun {
-        delta: delta_of(g, q, &res.community, dp),
-        millis: res.elapsed.as_secs_f64() * 1000.0,
-        community: res.community,
-        optimal: false,
-    })
+    let query = CommunityQuery::new(Method::Acq, q)
+        .with_k(k)
+        .with_model(model)
+        .with_gamma(dp.gamma);
+    run_query(engine, &query)
 }
 
-/// Runs approximate VAC (iteration-capped) and scores its community
-/// under δ.
+/// Runs approximate VAC (iteration-capped); the engine scores its
+/// community under δ.
 pub fn run_vac(
-    g: &AttributedGraph,
+    engine: &Engine,
     q: NodeId,
     k: u32,
     model: CommunityModel,
     dp: DistanceParams,
     budgets: &Budgets,
 ) -> Option<MethodRun> {
-    let res = vac(g, q, k, model, dp, Some(budgets.vac_max_iters))?;
-    Some(MethodRun {
-        delta: delta_of(g, q, &res.community, dp),
-        millis: res.elapsed.as_secs_f64() * 1000.0,
-        community: res.community,
-        optimal: false,
-    })
+    let query = CommunityQuery::new(Method::Vac, q)
+        .with_k(k)
+        .with_model(model)
+        .with_gamma(dp.gamma)
+        .with_vac_iteration_cap(Some(budgets.vac_max_iters));
+    run_query(engine, &query)
 }
 
-/// Runs exact VAC under state/time/root budgets and scores its community
-/// under δ.
+/// Runs exact VAC under state/time/root budgets; the engine scores its
+/// community under δ.
 pub fn run_e_vac(
-    g: &AttributedGraph,
+    engine: &Engine,
     q: NodeId,
     k: u32,
     model: CommunityModel,
     dp: DistanceParams,
     budgets: &Budgets,
 ) -> Option<MethodRun> {
-    let limits = EVacLimits {
-        state_budget: Some(budgets.evac_states),
-        max_root: Some(budgets.evac_max_root),
-        time_budget: Some(budgets.exact_time),
-    };
-    let res = e_vac(g, q, k, model, dp, &limits)?;
-    Some(MethodRun {
-        delta: delta_of(g, q, &res.community, dp),
-        millis: res.elapsed.as_secs_f64() * 1000.0,
-        community: res.community,
-        optimal: false,
-    })
+    let query = CommunityQuery::new(Method::EVac, q)
+        .with_k(k)
+        .with_model(model)
+        .with_gamma(dp.gamma)
+        .with_state_budget(budgets.evac_states)
+        .with_time_budget(budgets.exact_time)
+        .with_evac_max_root(Some(budgets.evac_max_root));
+    run_query(engine, &query)
 }
 
-/// Evaluates `f` over all queries in parallel (one `std::thread::scope`,
-/// `threads` workers), preserving query order in the output.
+/// Evaluates `f` over all queries in parallel, preserving query order in
+/// the output. A thin node-id adapter over the engine's generalized
+/// [`csag::engine::parallel_map`] executor — the same code path
+/// [`Engine::run_batch`] uses.
 pub fn parallel_map<T, F>(queries: &[NodeId], threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(NodeId) -> T + Sync,
 {
-    let threads = threads.max(1).min(queries.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= queries.len() {
-                            break;
-                        }
-                        local.push((i, f(queries[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, v)| v).collect()
+    engine_parallel_map(queries, threads, |&q| f(q))
 }
 
 /// Mean of an iterator of f64 values; 0 when empty.
@@ -241,8 +233,8 @@ mod tests {
     use csag_datasets::generator::{generate, SyntheticConfig};
     use csag_datasets::random_queries;
 
-    fn small() -> AttributedGraph {
-        generate(
+    fn small_engine() -> Engine {
+        let g = generate(
             &SyntheticConfig {
                 nodes: 200,
                 communities: 5,
@@ -250,13 +242,14 @@ mod tests {
             },
             1,
         )
-        .0
+        .0;
+        Engine::new(g)
     }
 
     #[test]
     fn all_methods_return_valid_communities() {
-        let g = small();
-        let q = random_queries(&g, 1, 3, 42)[0];
+        let engine = small_engine();
+        let q = random_queries(engine.graph(), 1, 3, 42)[0];
         let dp = DistanceParams::default();
         let budgets = Budgets {
             exact_time: Duration::from_secs(5),
@@ -264,15 +257,21 @@ mod tests {
             ..Default::default()
         };
         let model = CommunityModel::KCore;
-        let sea_params = SeaParams::default().with_k(3).with_error_bound(0.1);
+        let sea_q = crate::config::sea_query(3).with_error_bound(0.1);
 
         let runs: Vec<(&str, MethodRun)> = vec![
-            ("Exact", run_exact(&g, q, 3, model, dp, &budgets).unwrap()),
-            ("SEA", run_sea(&g, q, &sea_params, dp, 7).unwrap().0),
-            ("LocATC", run_loc_atc(&g, q, 3, model, dp).unwrap()),
-            ("ACQ", run_acq(&g, q, 3, model, dp, false).unwrap()),
-            ("VAC", run_vac(&g, q, 3, model, dp, &budgets).unwrap()),
-            ("E-VAC", run_e_vac(&g, q, 3, model, dp, &budgets).unwrap()),
+            (
+                "Exact",
+                run_exact(&engine, q, 3, model, dp, &budgets).unwrap(),
+            ),
+            ("SEA", run_sea(&engine, q, &sea_q, dp, 7).unwrap().0),
+            ("LocATC", run_loc_atc(&engine, q, 3, model, dp).unwrap()),
+            ("ACQ", run_acq(&engine, q, 3, model, dp, false).unwrap()),
+            ("VAC", run_vac(&engine, q, 3, model, dp, &budgets).unwrap()),
+            (
+                "E-VAC",
+                run_e_vac(&engine, q, 3, model, dp, &budgets).unwrap(),
+            ),
         ];
         for (name, run) in &runs {
             assert!(run.community.binary_search(&q).is_ok(), "{name} lost q");
@@ -283,7 +282,8 @@ mod tests {
             );
             assert!(run.millis >= 0.0);
         }
-        // Exact is never worse than anyone on δ.
+        // Exact is never worse than anyone on δ (its budget-exhausted
+        // incumbent included).
         let exact_delta = runs[0].1.delta;
         for (name, run) in &runs[1..] {
             assert!(
@@ -292,14 +292,18 @@ mod tests {
                 run.delta
             );
         }
+        // The whole comparison shared one engine: one decomposition, one
+        // distance table for q.
+        assert_eq!(engine.decomp_computations(), 1);
+        assert_eq!(engine.cached_query_nodes(), 1);
     }
 
     #[test]
     fn acq_skipped_on_numeric_only() {
-        let g = small();
-        let q = random_queries(&g, 1, 3, 42)[0];
+        let engine = small_engine();
+        let q = random_queries(engine.graph(), 1, 3, 42)[0];
         assert!(run_acq(
-            &g,
+            &engine,
             q,
             3,
             CommunityModel::KCore,

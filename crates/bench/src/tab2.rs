@@ -7,6 +7,7 @@ use crate::runner::{
     parallel_map, run_acq, run_e_vac, run_exact, run_loc_atc, run_sea, run_vac, Budgets,
 };
 use crate::table::Table;
+use csag::engine::Engine;
 use csag_core::distance::DistanceParams;
 use csag_core::CommunityModel;
 use csag_datasets::{random_queries, standins};
@@ -60,19 +61,20 @@ pub fn run(scale: &Scale) -> String {
         ..Default::default()
     };
     let queries = random_queries(&d.graph, scale.queries_for(d.graph.n()), k, QUERY_SEED);
-    let sea_params = crate::config::sea_params(k);
+    let sea_query = crate::config::sea_query(k);
+    let engine = Engine::new(d.graph.clone());
 
     let per_query: Vec<Vec<Option<MetricTuple>>> = parallel_map(&queries, scale.threads, |q| {
         let mut row = Vec::with_capacity(METHODS.len());
         let mut push = |r: Option<(Vec<NodeId>, f64)>| {
             row.push(r.map(|(c, delta)| score_community(&d.graph, q, &c, delta, dp)));
         };
-        push(run_sea(&d.graph, q, &sea_params, dp, SEA_SEED).map(|(r, _)| (r.community, r.delta)));
-        push(run_loc_atc(&d.graph, q, k, model, dp).map(|r| (r.community, r.delta)));
-        push(run_acq(&d.graph, q, k, model, dp, false).map(|r| (r.community, r.delta)));
-        push(run_vac(&d.graph, q, k, model, dp, &budgets).map(|r| (r.community, r.delta)));
-        push(run_exact(&d.graph, q, k, model, dp, &budgets).map(|r| (r.community, r.delta)));
-        push(run_e_vac(&d.graph, q, k, model, dp, &budgets).map(|r| (r.community, r.delta)));
+        push(run_sea(&engine, q, &sea_query, dp, SEA_SEED).map(|(r, _)| (r.community, r.delta)));
+        push(run_loc_atc(&engine, q, k, model, dp).map(|r| (r.community, r.delta)));
+        push(run_acq(&engine, q, k, model, dp, false).map(|r| (r.community, r.delta)));
+        push(run_vac(&engine, q, k, model, dp, &budgets).map(|r| (r.community, r.delta)));
+        push(run_exact(&engine, q, k, model, dp, &budgets).map(|r| (r.community, r.delta)));
+        push(run_e_vac(&engine, q, k, model, dp, &budgets).map(|r| (r.community, r.delta)));
         row
     });
 

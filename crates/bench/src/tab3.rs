@@ -9,6 +9,7 @@ use crate::runner::{
     mean, parallel_map, run_acq, run_e_vac, run_exact, run_loc_atc, run_sea, run_vac, Budgets,
 };
 use crate::table::Table;
+use csag::engine::Engine;
 use csag_core::distance::DistanceParams;
 use csag_core::CommunityModel;
 use csag_datasets::ego::ego_networks;
@@ -35,21 +36,22 @@ fn f1_for_dataset(d: &Dataset, scale: &Scale) -> Vec<Option<f64>> {
         ..Default::default()
     };
     let queries = random_queries(&d.graph, scale.queries_for(d.graph.n()), k, QUERY_SEED);
-    let sea_params = crate::config::sea_params(k);
+    let sea_query = crate::config::sea_query(k);
     let allow_evac = scale.evac_allowed(d.graph.n());
+    let engine = Engine::new(d.graph.clone());
 
     let per_query: Vec<Vec<Option<f64>>> = parallel_map(&queries, scale.threads, |q| {
         let f1 = |comm: &Option<Vec<NodeId>>| -> Option<f64> {
             comm.as_ref().map(|c| best_f1(c, &d.ground_truth))
         };
         vec![
-            f1(&run_sea(&d.graph, q, &sea_params, dp, SEA_SEED).map(|(r, _)| r.community)),
-            f1(&run_loc_atc(&d.graph, q, k, model, dp).map(|r| r.community)),
-            f1(&run_acq(&d.graph, q, k, model, dp, false).map(|r| r.community)),
-            f1(&run_vac(&d.graph, q, k, model, dp, &budgets).map(|r| r.community)),
-            f1(&run_exact(&d.graph, q, k, model, dp, &budgets).map(|r| r.community)),
+            f1(&run_sea(&engine, q, &sea_query, dp, SEA_SEED).map(|(r, _)| r.community)),
+            f1(&run_loc_atc(&engine, q, k, model, dp).map(|r| r.community)),
+            f1(&run_acq(&engine, q, k, model, dp, false).map(|r| r.community)),
+            f1(&run_vac(&engine, q, k, model, dp, &budgets).map(|r| r.community)),
+            f1(&run_exact(&engine, q, k, model, dp, &budgets).map(|r| r.community)),
             if allow_evac {
-                f1(&run_e_vac(&d.graph, q, k, model, dp, &budgets).map(|r| r.community))
+                f1(&run_e_vac(&engine, q, k, model, dp, &budgets).map(|r| r.community))
             } else {
                 None
             },
@@ -128,23 +130,23 @@ pub fn run_fig6(scale: &Scale) -> String {
         ],
     );
     for ego in &egos {
-        let g = &ego.graph;
         let q = ego.center;
         let k = 3u32;
-        let sea_params = crate::config::sea_params(k);
+        let sea_query = crate::config::sea_query(k);
+        let engine = Engine::new(ego.graph.clone());
         let f1 = |comm: Option<Vec<NodeId>>| -> String {
             comm.map(|c| format!("{:.2}", best_f1(&c, &ego.circles)))
                 .unwrap_or_else(|| "-".into())
         };
         table.add_row(vec![
             ego.name.clone(),
-            g.n().to_string(),
-            f1(run_sea(g, q, &sea_params, dp, SEA_SEED).map(|(r, _)| r.community)),
-            f1(run_loc_atc(g, q, k, model, dp).map(|r| r.community)),
-            f1(run_acq(g, q, k, model, dp, false).map(|r| r.community)),
-            f1(run_vac(g, q, k, model, dp, &budgets).map(|r| r.community)),
-            f1(run_exact(g, q, k, model, dp, &budgets).map(|r| r.community)),
-            f1(run_e_vac(g, q, k, model, dp, &budgets).map(|r| r.community)),
+            engine.graph().n().to_string(),
+            f1(run_sea(&engine, q, &sea_query, dp, SEA_SEED).map(|(r, _)| r.community)),
+            f1(run_loc_atc(&engine, q, k, model, dp).map(|r| r.community)),
+            f1(run_acq(&engine, q, k, model, dp, false).map(|r| r.community)),
+            f1(run_vac(&engine, q, k, model, dp, &budgets).map(|r| r.community)),
+            f1(run_exact(&engine, q, k, model, dp, &budgets).map(|r| r.community)),
+            f1(run_e_vac(&engine, q, k, model, dp, &budgets).map(|r| r.community)),
         ]);
     }
     table.to_markdown()

@@ -9,8 +9,8 @@
 use crate::config::{Scale, QUERY_SEED};
 use crate::runner::parallel_map;
 use crate::table::{fmt_ms, Table};
-use csag_core::distance::DistanceParams;
-use csag_core::exact::{Exact, ExactParams, ExactStatus, PruningConfig};
+use csag::engine::{CommunityQuery, CsagError, Engine, Method};
+use csag_core::exact::PruningConfig;
 use csag_datasets::{random_queries, standins, Dataset};
 
 const CONFIGS: [(&str, PruningConfig); 4] = [
@@ -34,7 +34,6 @@ fn datasets(scale: &Scale) -> Vec<Dataset> {
 
 /// Runs the pruning ablation.
 pub fn run(scale: &Scale) -> String {
-    let dp = DistanceParams::default();
     let state_budget: u64 = if scale.quick { 20_000 } else { 200_000 };
     let mut table = Table::new(
         &format!(
@@ -47,20 +46,25 @@ pub fn run(scale: &Scale) -> String {
         let k = d.default_k;
         let n_queries = if scale.quick { 2 } else { 6 };
         let queries = random_queries(&d.graph, n_queries, k, QUERY_SEED);
+        let engine = Engine::new(d.graph.clone());
         for (name, pruning) in CONFIGS {
-            let params = ExactParams::default()
+            let template = CommunityQuery::new(Method::Exact, 0)
                 .with_k(k)
                 .with_pruning(pruning)
                 .with_state_budget(state_budget)
                 .with_time_budget(scale.exact_budget());
             let runs: Vec<Option<(f64, u64, bool)>> = parallel_map(&queries, scale.threads, |q| {
-                Exact::new(&d.graph, dp).run(q, &params).map(|r| {
-                    (
-                        r.elapsed.as_secs_f64() * 1000.0,
-                        r.states_explored,
-                        r.status == ExactStatus::BudgetExhausted,
-                    )
-                })
+                match engine.run(&template.clone().with_query(q)) {
+                    Ok(r) => Some((
+                        r.timings.search.as_secs_f64() * 1000.0,
+                        r.provenance.states_explored,
+                        false,
+                    )),
+                    Err(CsagError::BudgetExhausted { partial: Some(p) }) => {
+                        Some((p.elapsed.as_secs_f64() * 1000.0, p.states_explored, true))
+                    }
+                    Err(_) => None,
+                }
             });
             let done: Vec<&(f64, u64, bool)> = runs.iter().flatten().collect();
             if done.is_empty() {

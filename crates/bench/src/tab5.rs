@@ -13,6 +13,7 @@
 use crate::config::{Scale, QUERY_SEED, SEA_SEED};
 use crate::runner::{mean, parallel_map, run_acq, run_exact, run_loc_atc, run_vac, Budgets};
 use crate::table::{fmt_ms, fmt_pct, Table};
+use csag::engine::Engine;
 use csag_core::distance::DistanceParams;
 use csag_core::hetero_cs::SeaHetero;
 use csag_core::CommunityModel;
@@ -79,8 +80,10 @@ pub fn run(scale: &Scale) -> String {
         let k = d.default_k;
         let n_queries = if scale.quick { 3 } else { 8 };
         let queries = hetero_queries(&d, n_queries, k, QUERY_SEED);
-        // One full projection per dataset (offline conversion, not timed).
+        // One full projection per dataset (offline conversion, not timed),
+        // and one engine over it for every projected method.
         let projection = d.graph.project(&d.meta_path);
+        let engine = Engine::new(projection.graph.clone());
         let budgets = Budgets {
             exact_time: scale.exact_budget(),
             ..Default::default()
@@ -93,10 +96,9 @@ pub fn run(scale: &Scale) -> String {
                 Some(l) => l,
                 None => return Vec::new(),
             };
-            let pg = &projection.graph;
             // Ground truths from the projection (core + truss).
-            let exact_core = run_exact(pg, lq, k, CommunityModel::KCore, dp, &budgets);
-            let exact_truss = run_exact(pg, lq, k, CommunityModel::KTruss, dp, &budgets);
+            let exact_core = run_exact(&engine, lq, k, CommunityModel::KCore, dp, &budgets);
+            let exact_truss = run_exact(&engine, lq, k, CommunityModel::KTruss, dp, &budgets);
 
             let mut row: Vec<Option<(f64, f64)>> = Vec::with_capacity(7); // (ms, rel)
             let rel = |delta: f64, exact: &Option<crate::runner::MethodRun>| -> f64 {
@@ -113,19 +115,20 @@ pub fn run(scale: &Scale) -> String {
                 let params = crate::config::sea_params(k);
                 SeaHetero::new(&d.graph, d.meta_path.clone(), dp)
                     .run(q, &params, &mut rng)
+                    .ok()
                     .map(|r| (t.elapsed().as_secs_f64() * 1000.0, r.delta_star))
             };
             row.push(sea.map(|(ms, delta)| (ms, rel(delta, &exact_core))));
             row.push(
-                run_acq(pg, lq, k, CommunityModel::KCore, dp, d.numeric_only)
+                run_acq(&engine, lq, k, CommunityModel::KCore, dp, d.numeric_only)
                     .map(|r| (r.millis, rel(r.delta, &exact_core))),
             );
             row.push(
-                run_loc_atc(pg, lq, k, CommunityModel::KCore, dp)
+                run_loc_atc(&engine, lq, k, CommunityModel::KCore, dp)
                     .map(|r| (r.millis, rel(r.delta, &exact_core))),
             );
             row.push(
-                run_vac(pg, lq, k, CommunityModel::KCore, dp, &budgets)
+                run_vac(&engine, lq, k, CommunityModel::KCore, dp, &budgets)
                     .map(|r| (r.millis, rel(r.delta, &exact_core))),
             );
             // Truss methods.
@@ -135,15 +138,16 @@ pub fn run(scale: &Scale) -> String {
                 let params = crate::config::sea_params_truss(k);
                 SeaHetero::new(&d.graph, d.meta_path.clone(), dp)
                     .run(q, &params, &mut rng)
+                    .ok()
                     .map(|r| (t.elapsed().as_secs_f64() * 1000.0, r.delta_star))
             };
             row.push(sea_truss.map(|(ms, delta)| (ms, rel(delta, &exact_truss))));
             row.push(
-                run_loc_atc(pg, lq, k, CommunityModel::KTruss, dp)
+                run_loc_atc(&engine, lq, k, CommunityModel::KTruss, dp)
                     .map(|r| (r.millis, rel(r.delta, &exact_truss))),
             );
             row.push(
-                run_vac(pg, lq, k, CommunityModel::KTruss, dp, &budgets)
+                run_vac(&engine, lq, k, CommunityModel::KTruss, dp, &budgets)
                     .map(|r| (r.millis, rel(r.delta, &exact_truss))),
             );
             row

@@ -1,0 +1,157 @@
+//! The workspace-wide typed error for community-search runs.
+//!
+//! Every public run API in `csag-core` and `csag-baselines` returns
+//! `Result<_, CsagError>` so callers can tell apart the four failure
+//! modes that `Option` used to conflate:
+//!
+//! * the parameters were never runnable ([`CsagError::InvalidParams`]),
+//! * the query node does not exist ([`CsagError::QueryNodeNotFound`]),
+//! * no community satisfies the model — a definitive, correct "no"
+//!   ([`CsagError::NoCommunity`]),
+//! * the search ran out of state/time budget before it could finish —
+//!   the best community found so far rides along in
+//!   [`CsagError::BudgetExhausted`] as a [`PartialSearch`].
+
+use csag_graph::NodeId;
+use std::fmt;
+use std::time::Duration;
+
+/// Best-so-far outcome of a search that hit its state or time budget.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartialSearch {
+    /// The best community found before the budget ran out (sorted node
+    /// ids, contains the query node).
+    pub community: Vec<NodeId>,
+    /// The q-centric attribute distance δ of that community.
+    pub delta: f64,
+    /// States visited before the budget ran out (0 when the notion of a
+    /// search-tree state does not apply to the method).
+    pub states_explored: u64,
+    /// Wall-clock time spent before giving up.
+    pub elapsed: Duration,
+}
+
+/// Typed failure of a community-search run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CsagError {
+    /// The parameters can never produce a meaningful run (e.g. an error
+    /// bound outside `(0, 1)`, a size bound with `l > h`, `k < 2` at the
+    /// engine level).
+    InvalidParams {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+    /// The query node id is outside the graph.
+    QueryNodeNotFound {
+        /// The requested query node.
+        q: NodeId,
+        /// Number of nodes in the graph (valid ids are `0..nodes`).
+        nodes: usize,
+    },
+    /// No community containing the query node satisfies the structural
+    /// model — a definitive negative, not a resource limit.
+    NoCommunity {
+        /// Why no community exists (model, k, locality).
+        reason: String,
+    },
+    /// A state or time budget ran out before the search finished.
+    BudgetExhausted {
+        /// The best community found so far, when one was reached before
+        /// the budget ran out.
+        partial: Option<PartialSearch>,
+    },
+}
+
+impl fmt::Display for CsagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsagError::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
+            CsagError::QueryNodeNotFound { q, nodes } => {
+                write!(f, "query node {q} not found (graph has {nodes} nodes)")
+            }
+            CsagError::NoCommunity { reason } => write!(f, "no community: {reason}"),
+            CsagError::BudgetExhausted { partial: Some(p) } => write!(
+                f,
+                "budget exhausted after {} states; best so far: {} nodes at δ = {:.6}",
+                p.states_explored,
+                p.community.len(),
+                p.delta
+            ),
+            CsagError::BudgetExhausted { partial: None } => {
+                write!(f, "budget exhausted before any community was found")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsagError {}
+
+impl CsagError {
+    /// Convenience constructor for [`CsagError::InvalidParams`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        CsagError::InvalidParams {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`CsagError::NoCommunity`].
+    pub fn no_community(reason: impl Into<String>) -> Self {
+        CsagError::NoCommunity {
+            reason: reason.into(),
+        }
+    }
+
+    /// `true` for [`CsagError::NoCommunity`] — the only variant that is a
+    /// definitive "the answer is empty" rather than a caller mistake or a
+    /// resource limit.
+    pub fn is_no_community(&self) -> bool {
+        matches!(self, CsagError::NoCommunity { .. })
+    }
+}
+
+/// Checks that `q` indexes a node of a graph with `nodes` nodes.
+pub fn check_query_node(q: NodeId, nodes: usize) -> Result<(), CsagError> {
+    if (q as usize) < nodes {
+        Ok(())
+    } else {
+        Err(CsagError::QueryNodeNotFound { q, nodes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let e = CsagError::invalid("k must be >= 2");
+        assert!(e.to_string().contains("k must be >= 2"));
+        let e = CsagError::QueryNodeNotFound { q: 7, nodes: 5 };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("5"));
+        let e = CsagError::no_community("no 3-core contains node 0");
+        assert!(e.is_no_community());
+        assert!(e.to_string().contains("3-core"));
+        let e = CsagError::BudgetExhausted {
+            partial: Some(PartialSearch {
+                community: vec![0, 1, 2],
+                delta: 0.25,
+                states_explored: 10,
+                elapsed: Duration::from_millis(5),
+            }),
+        };
+        assert!(e.to_string().contains("best so far"));
+        assert!(!e.is_no_community());
+        let e = CsagError::BudgetExhausted { partial: None };
+        assert!(e.to_string().contains("before any community"));
+    }
+
+    #[test]
+    fn query_node_check() {
+        assert!(check_query_node(0, 1).is_ok());
+        assert_eq!(
+            check_query_node(3, 3),
+            Err(CsagError::QueryNodeNotFound { q: 3, nodes: 3 })
+        );
+    }
+}

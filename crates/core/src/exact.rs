@@ -16,10 +16,12 @@
 //!
 //! Each strategy can be toggled independently ([`PruningConfig`]) to
 //! reproduce the paper's Table IV ablation, and a state/time budget turns
-//! runaway configurations into explicit `ExactStatus::BudgetExhausted`
-//! results the way the paper reports `> 8 days`.
+//! runaway configurations into explicit
+//! [`CsagError::BudgetExhausted`] errors carrying the best community
+//! found so far — the way the paper reports `> 8 days`.
 
 use crate::distance::{DistanceParams, QueryDistances};
+use crate::error::{check_query_node, CsagError, PartialSearch};
 use csag_decomp::{CommunityModel, Maintainer};
 use csag_graph::{AttributedGraph, NodeId};
 use std::time::{Duration, Instant};
@@ -143,26 +145,17 @@ impl ExactParams {
     }
 }
 
-/// How the search finished.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ExactStatus {
-    /// The full (pruned) search tree was exhausted: the result is optimal.
-    Optimal,
-    /// The state or time budget ran out: the result is the best so far.
-    BudgetExhausted,
-}
-
-/// Result of an exact CS-AG search.
+/// Result of a *completed* exact CS-AG search: the community is δ-optimal
+/// under the chosen model. Runs cut short by a budget return
+/// [`CsagError::BudgetExhausted`] with the best community so far instead.
 #[derive(Clone, Debug)]
 pub struct ExactResult {
-    /// The best community found (sorted node ids, contains `q`).
+    /// The optimal community (sorted node ids, contains `q`).
     pub community: Vec<NodeId>,
     /// Its attribute distance δ.
     pub delta: f64,
     /// Number of states visited in the search tree (root included).
     pub states_explored: u64,
-    /// Termination status.
-    pub status: ExactStatus,
     /// Wall-clock time of the whole search.
     pub elapsed: Duration,
 }
@@ -192,14 +185,49 @@ impl<'g> Exact<'g> {
         Exact { g, dparams }
     }
 
-    /// Runs the exact search from query node `q`. Returns `None` when `q`
-    /// has no community under the chosen model/k (e.g. no k-core).
-    pub fn run(&self, q: NodeId, params: &ExactParams) -> Option<ExactResult> {
+    /// Runs the exact search from query node `q`.
+    ///
+    /// # Errors
+    /// * [`CsagError::QueryNodeNotFound`] — `q` is outside the graph.
+    /// * [`CsagError::NoCommunity`] — `q` has no community under the
+    ///   chosen model/k (e.g. no k-core contains it).
+    /// * [`CsagError::BudgetExhausted`] — the state or time budget ran
+    ///   out; the best community found so far rides along as the partial.
+    pub fn run(&self, q: NodeId, params: &ExactParams) -> Result<ExactResult, CsagError> {
+        check_query_node(q, self.g.n())?;
+        let mut dist = QueryDistances::new(q, self.g.n(), self.dparams);
+        self.run_with_distances(q, params, &mut dist)
+    }
+
+    /// Like [`Exact::run`], but reuses a caller-provided per-query
+    /// distance cache (the seam the `csag::engine` facade uses to share
+    /// `f(·,q)` evaluations across methods and repeated queries).
+    ///
+    /// # Errors
+    /// In addition to the [`Exact::run`] errors,
+    /// [`CsagError::InvalidParams`] when `dist` was built for a different
+    /// query node or different distance parameters.
+    pub fn run_with_distances(
+        &self,
+        q: NodeId,
+        params: &ExactParams,
+        dist: &mut QueryDistances,
+    ) -> Result<ExactResult, CsagError> {
+        check_query_node(q, self.g.n())?;
+        if dist.q() != q || dist.params() != self.dparams {
+            return Err(CsagError::invalid(
+                "distance cache was built for a different query or γ",
+            ));
+        }
         let start = Instant::now();
         let mut maintainer = Maintainer::new(self.g, params.model, params.k);
-        let root = maintainer.maximal(q)?;
+        let root = maintainer.maximal(q).ok_or_else(|| {
+            CsagError::no_community(format!(
+                "node {q} is in no connected {} at k = {}",
+                params.model, params.k
+            ))
+        })?;
 
-        let mut dist = QueryDistances::new(q, self.g.n(), self.dparams);
         dist.warm(self.g, &root);
         let root_delta = dist.delta(self.g, &root);
 
@@ -283,21 +311,26 @@ impl<'g> Exact<'g> {
         enumerate(
             &mut ctx,
             &mut maintainer,
-            &mut dist,
+            dist,
             &root,
             root_delta,
             f64::INFINITY,
         );
 
-        Some(ExactResult {
+        if ctx.out_of_budget {
+            return Err(CsagError::BudgetExhausted {
+                partial: Some(PartialSearch {
+                    community: ctx.best,
+                    delta: ctx.best_delta,
+                    states_explored: ctx.states,
+                    elapsed: start.elapsed(),
+                }),
+            });
+        }
+        Ok(ExactResult {
             delta: ctx.best_delta,
             community: ctx.best,
             states_explored: ctx.states,
-            status: if ctx.out_of_budget {
-                ExactStatus::BudgetExhausted
-            } else {
-                ExactStatus::Optimal
-            },
             elapsed: start.elapsed(),
         })
     }
@@ -474,7 +507,6 @@ mod tests {
         let (g, q) = figure3_graph();
         let exact = Exact::new(&g, DistanceParams::with_gamma(0.0));
         let res = exact.run(q, &exact_params()).unwrap();
-        assert_eq!(res.status, ExactStatus::Optimal);
         assert!(res.community.contains(&q));
         // Brute-force reference: try every subset containing q that is a
         // connected 2-core.
@@ -562,31 +594,61 @@ mod tests {
     }
 
     #[test]
-    fn no_community_returns_none() {
+    fn no_community_is_a_typed_error() {
         let (g, _q) = figure3_graph();
         let exact = Exact::new(&g, DistanceParams::default());
         // Node 0 is isolated: no 2-core.
-        assert!(exact.run(0, &exact_params()).is_none());
+        assert!(matches!(
+            exact.run(0, &exact_params()),
+            Err(CsagError::NoCommunity { .. })
+        ));
         // k too large for anyone.
-        assert!(exact.run(5, &exact_params().with_k(10)).is_none());
+        assert!(matches!(
+            exact.run(5, &exact_params().with_k(10)),
+            Err(CsagError::NoCommunity { .. })
+        ));
+        // Out-of-range query node is a distinct error.
+        assert!(matches!(
+            exact.run(99, &exact_params()),
+            Err(CsagError::QueryNodeNotFound { q: 99, .. })
+        ));
     }
 
     #[test]
-    fn state_budget_reports_exhaustion() {
+    fn state_budget_surfaces_best_so_far() {
         let (g, q) = figure3_graph();
         let exact = Exact::new(&g, DistanceParams::with_gamma(0.0));
-        let res = exact
+        let err = exact
             .run(
                 q,
                 &exact_params()
                     .with_pruning(PruningConfig::NONE)
                     .with_state_budget(2),
             )
-            .unwrap();
-        assert_eq!(res.status, ExactStatus::BudgetExhausted);
-        assert!(res.states_explored <= 3);
-        // Still returns a valid community (the root).
-        assert!(res.community.contains(&q));
+            .unwrap_err();
+        let CsagError::BudgetExhausted { partial: Some(p) } = err else {
+            panic!("expected BudgetExhausted with a partial, got {err:?}");
+        };
+        assert!(p.states_explored <= 3);
+        // The partial still carries a valid community (the root).
+        assert!(p.community.contains(&q));
+        assert!(p.delta.is_finite());
+    }
+
+    #[test]
+    fn mismatched_distance_cache_is_rejected() {
+        let (g, q) = figure3_graph();
+        let exact = Exact::new(&g, DistanceParams::with_gamma(0.0));
+        let mut wrong_q = QueryDistances::new(1, g.n(), DistanceParams::with_gamma(0.0));
+        assert!(matches!(
+            exact.run_with_distances(q, &exact_params(), &mut wrong_q),
+            Err(CsagError::InvalidParams { .. })
+        ));
+        let mut wrong_gamma = QueryDistances::new(q, g.n(), DistanceParams::with_gamma(0.7));
+        assert!(matches!(
+            exact.run_with_distances(q, &exact_params(), &mut wrong_gamma),
+            Err(CsagError::InvalidParams { .. })
+        ));
     }
 
     #[test]
@@ -616,6 +678,5 @@ mod tests {
             .with_model(CommunityModel::KTruss);
         let res = exact.run(0, &params).unwrap();
         assert_eq!(res.community, vec![0, 1, 2, 3]);
-        assert_eq!(res.status, ExactStatus::Optimal);
     }
 }

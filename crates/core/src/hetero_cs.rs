@@ -16,6 +16,7 @@
 //! heterogeneous graph is exactly a k-core of the projection.
 
 use crate::distance::{composite_distance_attrs, DistanceParams};
+use crate::error::{check_query_node, CsagError};
 use crate::sea::{sea_on_population, SeaParams, SeaResult};
 use csag_graph::{FixedBitSet, HeteroGraph, MetaPath, NodeId};
 use csag_stats::min_population_size;
@@ -51,16 +52,26 @@ impl<'g> SeaHetero<'g> {
     }
 
     /// Runs approximate (k,P)-core / (k,P)-truss search from target node
-    /// `q`. Returns `None` if `q` is not of the target type or has no
-    /// community in the sampled neighborhood.
+    /// `q`.
+    ///
+    /// # Errors
+    /// * [`CsagError::InvalidParams`] — `params` fail validation, or `q`
+    ///   is not of the meta-path's source (target) type.
+    /// * [`CsagError::QueryNodeNotFound`] — `q` is outside the graph.
+    /// * [`CsagError::NoCommunity`] — `q` has no (k,P)-community in the
+    ///   sampled neighborhood.
     pub fn run<R: Rng + ?Sized>(
         &self,
         q: NodeId,
         params: &SeaParams,
         rng: &mut R,
-    ) -> Option<SeaResult> {
+    ) -> Result<SeaResult, CsagError> {
+        params.validate()?;
+        check_query_node(q, self.g.n())?;
         if self.g.node_type(q) != self.path.source_type() {
-            return None;
+            return Err(CsagError::invalid(format!(
+                "query node {q} is not of the meta-path's source type"
+            )));
         }
         let t0 = Instant::now();
         // Modification 1: n = #target nodes.
@@ -75,12 +86,25 @@ impl<'g> SeaHetero<'g> {
         let gq_targets = self.grow_p_neighborhood(q, min_gq);
         // Project the neighborhood to a homogeneous graph of target nodes.
         let projection = self.g.project_subset(&self.path, &gq_targets);
-        let q_local = projection.local(q)?;
+        let q_local = projection.local(q).ok_or_else(|| {
+            CsagError::no_community(format!(
+                "target node {q} has no P-neighborhood under the meta-path"
+            ))
+        })?;
         let setup = t0.elapsed();
 
         // Modification 3: estimation happens over target nodes; distances
         // are inherited through the projection's restricted attributes.
-        let mut result = sea_on_population(&projection.graph, q_local, self.dparams, params, rng)?;
+        // Restate population-local "no community" answers in terms of the
+        // heterogeneous node id the caller asked about.
+        let mut result = sea_on_population(&projection.graph, q_local, self.dparams, params, rng)
+            .map_err(|e| match e {
+            CsagError::NoCommunity { .. } => CsagError::no_community(format!(
+                "target node {q} has no (k,P)-community at k = {} in its sampled neighborhood",
+                params.k
+            )),
+            other => other,
+        })?;
         result.timing.sampling += setup;
         result.community = result
             .community
@@ -88,7 +112,7 @@ impl<'g> SeaHetero<'g> {
             .map(|&l| projection.original(l))
             .collect();
         result.community.sort_unstable();
-        Some(result)
+        Ok(result)
     }
 
     /// Best-first expansion over P-neighbors, smallest `f(·,q)` first,
@@ -222,14 +246,15 @@ mod tests {
     }
 
     #[test]
-    fn query_of_wrong_type_returns_none() {
+    fn query_of_wrong_type_is_rejected() {
         let (g, apa, _) = dblp_like();
         let paper_node = g.nodes_of_type(g.node_type_id("paper").unwrap())[0];
         let sea = SeaHetero::new(&g, apa, DistanceParams::default());
         let mut rng = StdRng::seed_from_u64(2);
-        assert!(sea
-            .run(paper_node, &SeaParams::default().with_k(2), &mut rng)
-            .is_none());
+        assert!(matches!(
+            sea.run(paper_node, &SeaParams::default().with_k(2), &mut rng),
+            Err(CsagError::InvalidParams { .. })
+        ));
     }
 
     #[test]
@@ -242,7 +267,7 @@ mod tests {
             .with_error_bound(0.2);
         let mut rng = StdRng::seed_from_u64(3);
         let res = sea.run(authors[1], &params, &mut rng);
-        if let Some(res) = res {
+        if let Ok(res) = res {
             assert!(res.community.contains(&authors[1]));
             assert!(res.community.len() >= 3);
         }

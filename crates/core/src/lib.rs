@@ -38,6 +38,7 @@
 //! ```
 
 pub mod distance;
+pub mod error;
 pub mod exact;
 pub mod hetero_cs;
 pub mod influence;
@@ -47,7 +48,8 @@ pub use distance::{
     composite_distance, composite_distance_attrs, jaccard_distance, manhattan_distance,
     DistanceParams, QueryDistances,
 };
-pub use exact::{Exact, ExactParams, ExactResult, ExactStatus, PruningConfig};
+pub use error::{CsagError, PartialSearch};
+pub use exact::{Exact, ExactParams, ExactResult, PruningConfig};
 pub use hetero_cs::SeaHetero;
 pub use sea::{Sea, SeaParams, SeaResult, SeaRound, SeaTiming};
 

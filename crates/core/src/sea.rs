@@ -25,6 +25,7 @@
 //! projection.
 
 use crate::distance::{DistanceParams, QueryDistances};
+use crate::error::{check_query_node, CsagError};
 use csag_decomp::{CommunityModel, Maintainer};
 use csag_graph::{AttributedGraph, FixedBitSet, NodeId};
 use csag_stats::{
@@ -122,11 +123,70 @@ impl SeaParams {
         self
     }
 
-    /// Sets a size bound `[l, h]` (§VI-B).
+    /// Sets a size bound `[l, h]` (§VI-B). Degenerate bounds (`l = 0` or
+    /// `l > h`) are reported by [`SeaParams::validate`] at run time.
     pub fn with_size_bound(mut self, l: usize, h: usize) -> Self {
-        assert!(l >= 1 && l <= h, "size bound requires 1 <= l <= h");
         self.size_bound = Some((l, h));
         self
+    }
+
+    /// Checks every parameter for runnability. Called by [`Sea::run`]
+    /// before any work happens, and by the `csag::engine` query builder
+    /// at build time.
+    ///
+    /// # Errors
+    /// [`CsagError::InvalidParams`] naming the offending parameter:
+    /// `k ≥ 2`, `error_bound ∈ (0,1)`, `confidence ∈ (0,1)`, the
+    /// Hoeffding pair in `(0,1)`, `lambda ∈ (0,1]`, `1 ≤ l ≤ h` for size
+    /// bounds, and at least one round.
+    pub fn validate(&self) -> Result<(), CsagError> {
+        if self.k < 2 {
+            return Err(CsagError::invalid(format!(
+                "k must be >= 2 (got {}); a 1-core is any connected subgraph",
+                self.k
+            )));
+        }
+        if !(self.error_bound > 0.0 && self.error_bound < 1.0) {
+            return Err(CsagError::invalid(format!(
+                "error_bound must lie in (0, 1) (got {})",
+                self.error_bound
+            )));
+        }
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return Err(CsagError::invalid(format!(
+                "confidence must lie in (0, 1) (got {})",
+                self.confidence
+            )));
+        }
+        if !(self.hoeffding_epsilon > 0.0 && self.hoeffding_epsilon < 1.0) {
+            return Err(CsagError::invalid(format!(
+                "hoeffding_epsilon must lie in (0, 1) (got {})",
+                self.hoeffding_epsilon
+            )));
+        }
+        if !(self.hoeffding_confidence > 0.0 && self.hoeffding_confidence < 1.0) {
+            return Err(CsagError::invalid(format!(
+                "hoeffding_confidence must lie in (0, 1) (got {})",
+                self.hoeffding_confidence
+            )));
+        }
+        if !(self.lambda > 0.0 && self.lambda <= 1.0) {
+            return Err(CsagError::invalid(format!(
+                "lambda must lie in (0, 1] (got {})",
+                self.lambda
+            )));
+        }
+        if let Some((l, h)) = self.size_bound {
+            if l < 1 || l > h {
+                return Err(CsagError::invalid(format!(
+                    "size bound requires 1 <= l <= h (got [{l}, {h}])"
+                )));
+            }
+        }
+        if self.max_rounds == 0 {
+            return Err(CsagError::invalid("max_rounds must be at least 1"));
+        }
+        Ok(())
     }
 
     /// The minimum community size used by the Hoeffding bound: `l` when
@@ -200,17 +260,50 @@ impl<'g> Sea<'g> {
         Sea { g, dparams }
     }
 
-    /// Runs the full SEA pipeline for query `q`. Returns `None` if no
-    /// community of the requested model/k containing `q` exists within the
-    /// sampled neighborhood even at full population.
+    /// Runs the full SEA pipeline for query `q`.
+    ///
+    /// # Errors
+    /// * [`CsagError::InvalidParams`] — `params` fail
+    ///   [`SeaParams::validate`].
+    /// * [`CsagError::QueryNodeNotFound`] — `q` is outside the graph.
+    /// * [`CsagError::NoCommunity`] — no community of the requested
+    ///   model/k containing `q` exists within the sampled neighborhood
+    ///   even at full population.
     pub fn run<R: Rng + ?Sized>(
         &self,
         q: NodeId,
         params: &SeaParams,
         rng: &mut R,
-    ) -> Option<SeaResult> {
-        let t0 = Instant::now();
+    ) -> Result<SeaResult, CsagError> {
+        check_query_node(q, self.g.n())?;
         let mut dist = QueryDistances::new(q, self.g.n(), self.dparams);
+        self.run_with_distances(q, params, rng, &mut dist)
+    }
+
+    /// Like [`Sea::run`], but reuses a caller-provided distance cache for
+    /// the neighborhood-growth phase (the `csag::engine` seam; the
+    /// population-local estimation keeps its own cache because its node
+    /// ids are remapped).
+    ///
+    /// # Errors
+    /// In addition to the [`Sea::run`] errors,
+    /// [`CsagError::InvalidParams`] when `dist` was built for a different
+    /// query node or different distance parameters.
+    pub fn run_with_distances<R: Rng + ?Sized>(
+        &self,
+        q: NodeId,
+        params: &SeaParams,
+        rng: &mut R,
+        dist: &mut QueryDistances,
+    ) -> Result<SeaResult, CsagError> {
+        params.validate()?;
+        check_query_node(q, self.g.n())?;
+        if dist.q() != q || dist.params() != self.dparams {
+            return Err(CsagError::invalid(
+                "distance cache was built for a different query or γ",
+            ));
+        }
+        let t0 = Instant::now();
 
         // §V-A: minimum |Gq| by Theorem 10, then best-first growth.
         let min_gq = min_population_size(
@@ -219,17 +312,32 @@ impl<'g> Sea<'g> {
             params.hoeffding_epsilon,
             1.0 - params.hoeffding_confidence,
         );
-        let gq_nodes = grow_neighborhood(self.g, q, min_gq, &mut dist);
+        let gq_nodes = grow_neighborhood(self.g, q, min_gq, dist);
         let population = self.g.induced(&gq_nodes);
         let q_local = population.local(q).expect("q is in its own neighborhood");
         let sampling_setup = t0.elapsed();
 
-        let mut result = sea_on_population(&population.graph, q_local, self.dparams, params, rng)?;
+        // `sea_on_population` speaks in population-local ids; restate its
+        // definitive "no" in terms of the node the caller actually asked
+        // about.
+        let mut result = sea_on_population(&population.graph, q_local, self.dparams, params, rng)
+            .map_err(|e| match e {
+            CsagError::NoCommunity { .. } => CsagError::no_community(format!(
+                "even the full sampled neighborhood holds no {} of node {q} at k = {}{}",
+                params.model,
+                params.k,
+                match params.size_bound {
+                    Some((l, h)) => format!(" within the size bound [{l}, {h}]"),
+                    None => String::new(),
+                }
+            )),
+            other => other,
+        })?;
         result.timing.sampling += sampling_setup;
 
         // Map the community back to original ids.
         result.community = population.originals(&result.community);
-        Some(result)
+        Ok(result)
     }
 }
 
@@ -298,13 +406,21 @@ pub fn grow_neighborhood(
 /// Runs sampling + estimation + incremental sampling on a *population
 /// graph* (the induced neighborhood `Gq`, or a meta-path projection of it
 /// for heterogeneous graphs). Node ids in the result are population-local.
+///
+/// # Errors
+/// [`CsagError::NoCommunity`] when even the full population holds no
+/// community of the requested model/k containing `q` (or none inside the
+/// requested size window); [`CsagError::InvalidParams`] for parameters
+/// that fail [`SeaParams::validate`].
 pub fn sea_on_population<R: Rng + ?Sized>(
     pop: &AttributedGraph,
     q: NodeId,
     dparams: DistanceParams,
     params: &SeaParams,
     rng: &mut R,
-) -> Option<SeaResult> {
+) -> Result<SeaResult, CsagError> {
+    params.validate()?;
+    check_query_node(q, pop.n())?;
     let n = pop.n();
     let mut dist = QueryDistances::new(q, n, dparams);
     let mut maintainer = Maintainer::new(pop, params.model, params.k);
@@ -339,7 +455,10 @@ pub fn sea_on_population<R: Rng + ?Sized>(
             // No community in the sample: enlarge (double) and retry, or
             // fail definitively once the whole population is sampled.
             if in_sample.count() == n {
-                return None;
+                return Err(CsagError::no_community(format!(
+                    "even the full population holds no connected {} containing node {q} at k = {}",
+                    params.model, params.k
+                )));
             }
             let t3 = Instant::now();
             let add = in_sample.count().max(1);
@@ -477,8 +596,19 @@ pub fn sea_on_population<R: Rng + ?Sized>(
         }
     }
 
-    let (community, delta_star, moe) = best?;
-    Some(SeaResult {
+    let (community, delta_star, moe) = best.ok_or_else(|| {
+        CsagError::no_community(match params.size_bound {
+            Some((l, h)) => format!(
+                "no candidate community of node {q} fits the size bound [{l}, {h}] at k = {}",
+                params.k
+            ),
+            None => format!(
+                "sampling found no estimable community of node {q} at k = {}",
+                params.k
+            ),
+        })
+    })?;
+    Ok(SeaResult {
         ci: ConfidenceInterval {
             center: delta_star,
             moe,
@@ -635,7 +765,7 @@ mod tests {
     }
 
     #[test]
-    fn sea_none_when_no_kcore() {
+    fn sea_no_kcore_is_a_typed_error() {
         let mut b = GraphBuilder::new(1);
         b.add_node(&["x"], &[0.0]);
         b.add_node(&["x"], &[1.0]);
@@ -643,9 +773,16 @@ mod tests {
         let g = b.build().unwrap();
         let sea = Sea::new(&g, DistanceParams::default());
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(sea
-            .run(0, &SeaParams::default().with_k(3), &mut rng)
-            .is_none());
+        assert!(matches!(
+            sea.run(0, &SeaParams::default().with_k(3), &mut rng),
+            Err(CsagError::NoCommunity { .. })
+        ));
+        // Out-of-range query nodes are reported as such, not as "no
+        // community".
+        assert!(matches!(
+            sea.run(17, &SeaParams::default().with_k(3), &mut rng),
+            Err(CsagError::QueryNodeNotFound { q: 17, .. })
+        ));
     }
 
     #[test]
@@ -657,7 +794,7 @@ mod tests {
             .with_error_bound(0.25)
             .with_size_bound(3, 8);
         let mut rng = StdRng::seed_from_u64(9);
-        if let Some(res) = sea.run(0, &params, &mut rng) {
+        if let Ok(res) = sea.run(0, &params, &mut rng) {
             assert!(
                 res.community.len() <= 8,
                 "size bound violated: {}",
@@ -698,8 +835,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "size bound")]
-    fn bad_size_bound_panics() {
-        let _ = SeaParams::default().with_size_bound(5, 3);
+    fn validate_rejects_degenerate_params() {
+        let bad = [
+            SeaParams::default().with_k(1),
+            SeaParams::default().with_error_bound(0.0),
+            SeaParams::default().with_error_bound(1.0),
+            SeaParams::default().with_confidence(0.0),
+            SeaParams::default().with_confidence(1.5),
+            SeaParams::default().with_hoeffding(0.0, 0.95),
+            SeaParams::default().with_hoeffding(0.05, 1.0),
+            SeaParams::default().with_lambda(0.0),
+            SeaParams::default().with_lambda(1.2),
+            SeaParams::default().with_size_bound(5, 3),
+            SeaParams::default().with_size_bound(0, 3),
+        ];
+        for p in bad {
+            assert!(
+                matches!(p.validate(), Err(CsagError::InvalidParams { .. })),
+                "{p:?} should be rejected"
+            );
+        }
+        assert!(SeaParams::default().validate().is_ok());
+        assert!(SeaParams::default()
+            .with_size_bound(3, 3)
+            .validate()
+            .is_ok());
+        // Degenerate runs are refused before any sampling happens.
+        let g = planted(1);
+        let sea = Sea::new(&g, DistanceParams::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            sea.run(0, &SeaParams::default().with_k(1), &mut rng),
+            Err(CsagError::InvalidParams { .. })
+        ));
     }
 }

@@ -40,7 +40,7 @@ pub struct SyntheticConfig {
     /// Numerical attribute dimensions.
     pub numeric_dims: usize,
     /// Standard deviation of a member around its community center (in the
-    /// unit cube; centers are spread over [0,1] per dimension).
+    /// unit cube; centers are spread over \[0,1\] per dimension).
     pub numeric_noise: f64,
     /// Topic tokens shared by *all* members of a community.
     pub community_tokens: usize,

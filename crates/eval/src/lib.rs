@@ -6,9 +6,9 @@
 //! * `δ(·)` — the paper's q-centric composite distance (lower is better),
 //!   from [`csag_core::distance`];
 //! * min-max pairwise distance — VAC's objective (lower is better), from
-//!   [`csag_baselines::vac`];
+//!   [`mod@csag_baselines::vac`];
 //! * attribute coverage — ATC's objective (higher is better), from
-//!   [`csag_baselines::atc`];
+//!   [`mod@csag_baselines::atc`];
 //! * `#shared attributes` — ACQ's objective (higher is better),
 //!   implemented here.
 //!

@@ -1,46 +1,42 @@
 //! Size-bounded community search (§VI-B): the cocktail-party / workshop
 //! scenario — invite between `l` and `h` mutually connected, like-minded
-//! attendees around a host.
+//! attendees around a host — through the unified query engine.
 //!
 //! ```text
 //! cargo run --release --example event_planning
 //! ```
 
-use csag::core::distance::DistanceParams;
-use csag::core::sea::{Sea, SeaParams};
 use csag::datasets::random_queries;
 use csag::datasets::standins::github_like;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use csag::engine::{CommunityQuery, CsagError, Engine, Method};
 
 fn main() {
     let d = github_like();
-    let g = &d.graph;
     let k = d.default_k;
-    let host = random_queries(g, 1, k, 99)[0];
+    let host = random_queries(&d.graph, 1, k, 99)[0];
+    let engine = Engine::new(d.graph);
     println!(
         "github-like: {} nodes, {} edges; host = node {host}, k = {k}\n",
-        g.n(),
-        g.m()
+        engine.graph().n(),
+        engine.graph().m()
     );
 
     for (l, h) in [(10usize, 20usize), (20, 35), (35, 50)] {
-        let params = SeaParams::default()
+        let query = CommunityQuery::new(Method::SeaSizeBounded, host)
             .with_k(k)
             .with_hoeffding(0.18, 0.95)
             .with_size_bound(l, h)
-            .with_error_bound(0.02);
-        let mut rng = StdRng::seed_from_u64(0xEC0 + l as u64);
-        let t = std::time::Instant::now();
-        match Sea::new(g, DistanceParams::default()).run(host, &params, &mut rng) {
-            Some(res) => {
-                let ms = t.elapsed().as_secs_f64() * 1000.0;
+            .with_error_bound(0.02)
+            .with_seed(0xEC0 + l as u64);
+        match engine.run(&query) {
+            Ok(res) => {
                 println!(
-                    "guest list [{l:2},{h:2}]: {:2} attendees in {ms:6.1} ms, \
+                    "guest list [{l:2},{h:2}]: {:2} attendees in {:6.1} ms, \
                      δ* = {:.4}, certified = {}",
                     res.community.len(),
-                    res.delta_star,
-                    res.certified
+                    res.timings.total.as_secs_f64() * 1000.0,
+                    res.delta,
+                    res.certificate.is_some_and(|c| c.certified)
                 );
                 assert!(res.community.contains(&host));
                 assert!(
@@ -49,7 +45,8 @@ fn main() {
                 );
                 // Everyone knows at least k other guests.
                 for &v in &res.community {
-                    let known = g
+                    let known = engine
+                        .graph()
                         .neighbors(v)
                         .iter()
                         .filter(|w| res.community.binary_search(w).is_ok())
@@ -57,7 +54,10 @@ fn main() {
                     assert!(known >= k as usize);
                 }
             }
-            None => println!("guest list [{l:2},{h:2}]: no feasible party around this host"),
+            Err(CsagError::NoCommunity { .. }) => {
+                println!("guest list [{l:2},{h:2}]: no feasible party around this host")
+            }
+            Err(e) => panic!("unexpected engine failure: {e}"),
         }
     }
 }

@@ -1,18 +1,21 @@
 //! Expert finding on a heterogeneous collaboration network (§VI-A):
-//! approximate (k,P)-core community search over the `author-paper-author`
-//! meta-path of a DBLP-like graph.
+//! (k,P)-core community search over the `author-paper-author` meta-path
+//! of a DBLP-like graph, served by the unified query engine.
+//!
+//! A (k,P)-core of the heterogeneous graph is exactly a k-core of the
+//! meta-path projection, so the engine serves expert queries from the
+//! projected author graph: project once (the reusable per-graph
+//! preparation), then answer every query through `Engine::run` — here as
+//! one parallel batch. (`csag::core::hetero_cs::SeaHetero` remains the
+//! native index-free pipeline that samples *before* projecting.)
 //!
 //! ```text
 //! cargo run --release --example expert_finding
 //! ```
 
-use csag::core::distance::DistanceParams;
-use csag::core::hetero_cs::SeaHetero;
-use csag::core::sea::SeaParams;
 use csag::datasets::hetero_queries;
 use csag::datasets::standins::dblp_like;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use csag::engine::{CommunityQuery, Engine, Method};
 
 fn main() {
     let d = dblp_like();
@@ -26,24 +29,34 @@ fn main() {
 
     let k = d.default_k;
     let queries = hetero_queries(&d, 3, k, 7);
-    let sea = SeaHetero::new(&d.graph, d.meta_path.clone(), DistanceParams::default());
-    let params = SeaParams::default()
-        .with_k(k)
-        .with_hoeffding(0.18, 0.95) // |Gq| regime matched to the 8k-author scale
-        .with_error_bound(0.02);
+    // Reusable per-graph preparation: one projection, one engine.
+    let projection = d.graph.project(&d.meta_path);
+    let engine = Engine::new(projection.graph.clone());
 
-    for &q in &queries {
-        let mut rng = StdRng::seed_from_u64(0xE47E + q as u64);
-        let t = std::time::Instant::now();
-        let res = sea
-            .run(q, &params, &mut rng)
-            .expect("author has a (k,P)-core");
-        let ms = t.elapsed().as_secs_f64() * 1000.0;
+    let batch: Vec<CommunityQuery> = queries
+        .iter()
+        .map(|&q| {
+            let local = projection.local(q).expect("authors project");
+            CommunityQuery::new(Method::Sea, local)
+                .with_k(k)
+                .with_hoeffding(0.18, 0.95) // |Gq| regime matched to the 8k-author scale
+                .with_error_bound(0.02)
+                .with_seed(0xE47E + q as u64)
+        })
+        .collect();
+
+    for (res, &q) in engine.run_batch(&batch).iter().zip(&queries) {
+        let res = res.as_ref().expect("author has a (k,P)-core");
+        // Back to heterogeneous node ids.
+        let experts: Vec<u32> = res
+            .community
+            .iter()
+            .map(|&l| projection.original(l))
+            .collect();
 
         // How much of the community shares the query's research area?
         let area_tokens = d.graph.attrs().tokens(q);
-        let on_topic = res
-            .community
+        let on_topic = experts
             .iter()
             .filter(|&&v| {
                 d.graph
@@ -54,16 +67,17 @@ fn main() {
             })
             .count();
         println!(
-            "author {q}: community of {:3} experts in {ms:6.1} ms, δ* = {:.4} \
+            "author {q}: community of {:3} experts in {:6.1} ms, δ* = {:.4} \
              (certified: {}), {}/{} share the query's research area",
-            res.community.len(),
-            res.delta_star,
-            res.certified,
+            experts.len(),
+            res.timings.total.as_secs_f64() * 1000.0,
+            res.delta,
+            res.certificate.is_some_and(|c| c.certified),
             on_topic,
-            res.community.len()
+            experts.len()
         );
-        assert!(res.community.contains(&q));
-        for &v in &res.community {
+        assert!(experts.contains(&q));
+        for &v in &experts {
             assert_eq!(
                 d.graph.node_type(v),
                 author_ty,

@@ -1,23 +1,19 @@
 //! The paper's running example (Figure 1): given *The Godfather* on the
 //! IMDB snapshot, find a high-quality community of similar movies.
 //!
-//! Reproduces the comparison of Figure 1(b)–(e): ATC/ACQ/VAC each optimize
-//! their own metric and keep attribute-dissimilar works; the q-centric
-//! metric excludes the low-rated action movies (v11, v12) and the TV
-//! series (v13, v14).
+//! Reproduces the comparison of Figure 1(b)–(e) through the unified
+//! engine: ATC/ACQ/VAC each optimize their own metric and keep
+//! attribute-dissimilar works; the q-centric metric excludes the
+//! low-rated action movies (v11, v12) and the TV series (v13, v14).
+//! Every method runs through the *same* `Engine` and `CommunityQuery`
+//! shape — only `Method` changes.
 //!
 //! ```text
 //! cargo run --release --example movie_recommendation
 //! ```
 
-use csag::baselines::{acq, loc_atc, vac};
-use csag::core::distance::DistanceParams;
-use csag::core::exact::{Exact, ExactParams};
-use csag::core::sea::{Sea, SeaParams};
-use csag::core::CommunityModel;
 use csag::datasets::paper_examples::{figure1_imdb, FIGURE1_TITLES};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use csag::engine::{CommunityQuery, Engine, Method};
 
 fn names(community: &[u32]) -> String {
     community
@@ -29,28 +25,31 @@ fn names(community: &[u32]) -> String {
 
 fn main() {
     let (g, q) = figure1_imdb();
-    let dp = DistanceParams::default();
+    let engine = Engine::new(g);
     let k = 3;
     println!(
         "query: {} — looking for a connected {k}-core of similar works\n",
         FIGURE1_TITLES[q as usize]
     );
 
-    let atc = loc_atc(&g, q, k, CommunityModel::KCore).expect("3-core exists");
-    println!("LocATC (coverage):  {}", names(&atc.community));
+    // The three baselines, each judged by its own objective.
+    for (label, method) in [
+        ("LocATC (coverage)", Method::Atc),
+        ("ACQ (#shared)", Method::Acq),
+        ("VAC (min-max)", Method::Vac),
+    ] {
+        let res = engine
+            .run(&CommunityQuery::new(method, q).with_k(k))
+            .expect("3-core exists");
+        println!(
+            "{label:18} objective {:6.3}: {}",
+            res.provenance.objective.unwrap_or(f64::NAN),
+            names(&res.community)
+        );
+    }
 
-    let acq_res = acq(&g, q, k, CommunityModel::KCore).expect("3-core exists");
-    println!(
-        "ACQ (#shared = {}): {}",
-        acq_res.objective,
-        names(&acq_res.community)
-    );
-
-    let vac_res = vac(&g, q, k, CommunityModel::KCore, dp, None).expect("3-core exists");
-    println!("VAC (min-max):      {}", names(&vac_res.community));
-
-    let exact = Exact::new(&g, dp)
-        .run(q, &ExactParams::default().with_k(k))
+    let exact = engine
+        .run(&CommunityQuery::new(Method::Exact, q).with_k(k))
         .expect("3-core exists");
     println!(
         "\nExact (δ = {:.4}): {}",
@@ -59,16 +58,20 @@ fn main() {
     );
 
     for e in [0.01, 0.10, 0.25] {
-        let params = SeaParams::default().with_k(k).with_error_bound(e);
-        let mut rng = StdRng::seed_from_u64(1);
-        let sea = Sea::new(&g, dp)
-            .run(q, &params, &mut rng)
+        let sea = engine
+            .run(
+                &CommunityQuery::new(Method::Sea, q)
+                    .with_k(k)
+                    .with_error_bound(e)
+                    .with_seed(1),
+            )
             .expect("3-core exists");
+        let cert = sea.certificate.expect("SEA reports its accuracy");
         println!(
-            "SEA e = {:>4.0}% (δ* = {:.4}, CI {}): {}",
+            "SEA e = {:>4.0}% (δ* = {:.4}, ε = {:.4e}): {}",
             e * 100.0,
-            sea.delta_star,
-            sea.ci,
+            sea.delta,
+            cert.moe,
             names(&sea.community)
         );
     }

@@ -1,17 +1,14 @@
-//! Quickstart: build a small attributed graph, then ask for the community
-//! of a query node — exactly (k-core enumeration) and approximately with
-//! an accuracy guarantee (SEA).
+//! Quickstart: build a small attributed graph, wrap it in the unified
+//! query [`Engine`], then ask for the community of a query node — exactly
+//! (k-core enumeration) and approximately with an accuracy guarantee
+//! (SEA) — through the same `CommunityQuery` builder.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use csag::core::distance::DistanceParams;
-use csag::core::exact::{Exact, ExactParams};
-use csag::core::sea::{Sea, SeaParams};
+use csag::engine::{CommunityQuery, Engine, Method};
 use csag::graph::GraphBuilder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     // A toy movie graph: two genres, each a dense block; the query is a
@@ -41,35 +38,49 @@ fn main() {
     let g = b.build().expect("consistent attribute dimensions");
     let q = nodes[0];
 
-    println!("graph: {} nodes, {} edges; query = node {q}", g.n(), g.m());
+    // One engine per graph: it caches the core decomposition and the
+    // per-query distance tables, so the second query below reuses the
+    // f(·,q) evaluations of the first.
+    let engine = Engine::new(g);
+    println!(
+        "graph: {} nodes, {} edges; query = node {q}",
+        engine.graph().n(),
+        engine.graph().m()
+    );
 
     // Exact CS-AG: the connected 3-core containing q with minimal δ.
-    let exact = Exact::new(&g, DistanceParams::default())
-        .run(q, &ExactParams::default().with_k(3))
+    let exact = engine
+        .run(&CommunityQuery::new(Method::Exact, q).with_k(3))
         .expect("q sits in a 3-core");
     println!(
         "exact:  |H| = {:2}  δ = {:.4}  ({} states explored)",
         exact.community.len(),
         exact.delta,
-        exact.states_explored
+        exact.provenance.states_explored
     );
 
     // SEA: sampling + estimation with a runtime accuracy guarantee.
-    let params = SeaParams::default().with_k(3).with_error_bound(0.02);
-    let mut rng = StdRng::seed_from_u64(42);
-    let sea = Sea::new(&g, DistanceParams::default())
-        .run(q, &params, &mut rng)
+    let sea = engine
+        .run(
+            &CommunityQuery::new(Method::Sea, q)
+                .with_k(3)
+                .with_error_bound(0.02)
+                .with_seed(42),
+        )
         .expect("q sits in a 3-core");
+    let cert = sea.certificate.expect("SEA reports its accuracy");
     println!(
-        "SEA:    |H| = {:2}  δ* = {:.4}  CI = {}  certified = {}",
+        "SEA:    |H| = {:2}  δ* = {:.4}  ε = {:.4e} at {:.0}%  certified = {}",
         sea.community.len(),
-        sea.delta_star,
-        sea.ci,
-        sea.certified
+        sea.delta,
+        cert.moe,
+        cert.confidence * 100.0,
+        cert.certified
     );
     println!(
         "relative gap vs exact: {:.2}%",
-        (sea.delta_star - exact.delta).abs() / exact.delta * 100.0
+        (sea.delta - exact.delta).abs() / exact.delta * 100.0
     );
     assert!(sea.community.contains(&q));
+    assert!(exact.community.contains(&q));
 }

@@ -1,29 +1,27 @@
 //! `csag` — command-line community search on attributed graphs.
 //!
+//! Every search command routes through the unified [`csag::engine`]: one
+//! `Engine` per loaded graph, one `CommunityQuery` per run, typed errors
+//! on stderr, and `--json` for machine-readable results.
+//!
 //! ```text
 //! csag stats    <graph.txt>
-//! csag exact    <graph.txt> --query <id> --k <k> [--gamma G] [--truss] [--budget-ms MS]
+//! csag exact    <graph.txt> --query <id> --k <k> [--gamma G] [--truss] [--budget-ms MS] [--json]
 //! csag sea      <graph.txt> --query <id> --k <k> [--gamma G] [--truss] [--error E]
-//!                           [--confidence C] [--lambda L] [--seed S] [--size L H]
-//! csag baseline <graph.txt> --method acq|atc|vac --query <id> --k <k> [--gamma G]
+//!                           [--confidence C] [--lambda L] [--seed S] [--size L H] [--json]
+//! csag baseline <graph.txt> --method acq|atc|vac|evac --query <id> --k <k> [--gamma G] [--json]
 //! csag generate --nodes N --communities C --seed S --out <graph.txt>
-//! csag demo
+//! csag demo     [--json]
 //! ```
 //!
 //! Graph files use the `csag-graph v1` text format (see `csag::graph::io`).
 
-use csag::baselines;
-use csag::core::distance::DistanceParams;
-use csag::core::exact::{Exact, ExactParams, ExactStatus};
-use csag::core::sea::{Sea, SeaParams};
-use csag::core::CommunityModel;
 use csag::datasets::generator::{generate, SyntheticConfig};
 use csag::datasets::paper_examples::{figure1_imdb, FIGURE1_TITLES};
+use csag::engine::{error_to_json, CommunityQuery, CommunityResult, CsagError, Engine, Method};
 use csag::graph::io::{load_graph, save_graph};
 use csag::graph::stats::graph_stats;
 use csag::graph::AttributedGraph;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::HashMap;
 use std::process::exit;
 use std::time::Duration;
@@ -36,11 +34,11 @@ fn main() {
     };
     let result = match cmd.as_str() {
         "stats" => cmd_stats(&args[1..]),
-        "exact" => cmd_exact(&args[1..]),
-        "sea" => cmd_sea(&args[1..]),
+        "exact" => cmd_search(&args[1..], Method::Exact),
+        "sea" => cmd_search(&args[1..], Method::Sea),
         "baseline" => cmd_baseline(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
-        "demo" => cmd_demo(),
+        "demo" => cmd_demo(&args[1..]),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -61,11 +59,11 @@ fn usage() {
          \x20 stats    <graph.txt>                      graph statistics\n\
          \x20 exact    <graph.txt> --query Q --k K      exact CS-AG (δ-optimal community)\n\
          \x20 sea      <graph.txt> --query Q --k K      approximate CS-AG with accuracy guarantee\n\
-         \x20 baseline <graph.txt> --method M ...       run acq | atc | vac\n\
+         \x20 baseline <graph.txt> --method M ...       run acq | atc | vac | evac\n\
          \x20 generate --nodes N --communities C ...    write a synthetic attributed graph\n\
          \x20 demo                                       the paper's Figure-1 IMDB example\n\
          \n\
-         common flags: --gamma G (0..1, default 0.5)  --truss  --seed S\n\
+         common flags: --gamma G (0..1, default 0.5)  --truss  --seed S  --json\n\
          exact flags:  --budget-ms MS (stop early, report best found; unbounded by default)\n\
          sea flags:    --error E (default 0.02)  --confidence C (default 0.95)\n\
          \x20             --lambda L (default 0.2)  --size L H (size-bounded search)"
@@ -140,6 +138,7 @@ fn common_arity() -> HashMap<&'static str, usize> {
         ("nodes", 1),
         ("communities", 1),
         ("out", 1),
+        ("json", 0),
     ])
 }
 
@@ -151,18 +150,48 @@ fn load(flags: &Flags) -> Result<AttributedGraph, String> {
     load_graph(path).map_err(|e| format!("loading {path}: {e}"))
 }
 
-fn model_of(flags: &Flags) -> CommunityModel {
+/// Builds the query shared by `exact` / `sea` / `baseline` from flags.
+fn query_of(flags: &Flags, method: Method) -> Result<CommunityQuery, String> {
+    let q: u32 = flags.require("query")?;
+    let k: u32 = flags.require("k")?;
+    let mut query = CommunityQuery::new(method, q).with_k(k);
     if flags.has("truss") {
-        CommunityModel::KTruss
-    } else {
-        CommunityModel::KCore
+        query = query.with_model(csag::decomp::CommunityModel::KTruss);
     }
-}
-
-fn dparams_of(flags: &Flags) -> Result<DistanceParams, String> {
-    Ok(match flags.get::<f64>("gamma")? {
-        Some(g) => DistanceParams::with_gamma(g),
-        None => DistanceParams::default(),
+    if let Some(g) = flags.get::<f64>("gamma")? {
+        query = query.with_gamma(g);
+    }
+    if let Some(ms) = flags.get::<u64>("budget-ms")? {
+        query = query.with_time_budget(Duration::from_millis(ms));
+    }
+    if let Some(e) = flags.get::<f64>("error")? {
+        query = query.with_error_bound(e);
+    }
+    if let Some(c) = flags.get::<f64>("confidence")? {
+        query = query.with_confidence(c);
+    }
+    if let Some(l) = flags.get::<f64>("lambda")? {
+        query = query.with_lambda(l);
+    }
+    if let Some(s) = flags.get::<u64>("seed")? {
+        query = query.with_seed(s);
+    }
+    if let Some(vals) = flags.named.get("size") {
+        let l: usize = vals[0].parse().map_err(|_| "bad --size lower bound")?;
+        let h: usize = vals[1].parse().map_err(|_| "bad --size upper bound")?;
+        query = query.with_size_bound(l, h);
+        if query.method == Method::Sea {
+            query = query.with_method(Method::SeaSizeBounded);
+        }
+    }
+    // Build-time validation: degenerate parameters die here with a
+    // precise message (and, in `--json` mode, an error object on stdout),
+    // before the graph is even touched.
+    query.build().map_err(|e| {
+        if flags.has("json") {
+            println!("{}", error_to_json(&e));
+        }
+        e.to_string()
     })
 }
 
@@ -181,11 +210,95 @@ fn print_community(g: &AttributedGraph, comm: &[u32]) {
     }
 }
 
+fn print_result(g: &AttributedGraph, res: &CommunityResult) {
+    print!(
+        "{}: community of {} nodes, δ = {:.6}",
+        res.provenance.method,
+        res.community.len(),
+        res.delta
+    );
+    match &res.certificate {
+        Some(c) if c.moe > 0.0 => print!(
+            ", CI ± {:.4e} at {:.0}% (certified = {})",
+            c.moe,
+            c.confidence * 100.0,
+            c.certified
+        ),
+        Some(_) => print!(" (δ-optimal)"),
+        None => {
+            if let Some(obj) = res.provenance.objective {
+                print!(" (own objective {obj:.4})");
+            }
+        }
+    }
+    println!(
+        "  [{:.1} ms: prepare {:.1} + search {:.1}]",
+        res.timings.total.as_secs_f64() * 1000.0,
+        res.timings.prepare.as_secs_f64() * 1000.0,
+        res.timings.search.as_secs_f64() * 1000.0,
+    );
+    if res.provenance.rounds > 0 {
+        println!(
+            "  {} SEA round(s), {} candidate(s), sample {}/{}",
+            res.provenance.rounds,
+            res.provenance.candidates_examined,
+            res.provenance.sample_size,
+            res.provenance.population_size
+        );
+    }
+    if res.provenance.states_explored > 0 {
+        println!("  {} states explored", res.provenance.states_explored);
+    }
+    print_community(g, &res.community);
+}
+
+/// Runs a built query and renders the outcome (text or `--json`).
+/// Exit status is consistent across both modes: success and budget
+/// exhaustion *with* a best-effort partial exit 0; every other engine
+/// error exits non-zero (in `--json` mode the error object still goes to
+/// stdout, with the human-readable message on stderr).
+fn run_and_render(g: AttributedGraph, query: &CommunityQuery, json: bool) -> Result<(), String> {
+    let engine = Engine::new(g);
+    let g = engine.graph();
+    match engine.run(query) {
+        Ok(res) => {
+            if json {
+                println!("{}", res.to_json());
+            } else {
+                print_result(g, &res);
+            }
+            Ok(())
+        }
+        Err(CsagError::BudgetExhausted { partial: Some(p) }) => {
+            if json {
+                let err = CsagError::BudgetExhausted { partial: Some(p) };
+                println!("{}", error_to_json(&err));
+                return Ok(());
+            }
+            println!(
+                "budget exhausted after {} states — best found so far: {} nodes, δ = {:.6}",
+                p.states_explored,
+                p.community.len(),
+                p.delta
+            );
+            print_community(g, &p.community);
+            Ok(())
+        }
+        Err(err) => {
+            if json {
+                println!("{}", error_to_json(&err));
+            }
+            Err(err.to_string())
+        }
+    }
+}
+
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &common_arity())?;
     let g = load(&flags)?;
     let s = graph_stats(&g);
-    let coreness = csag::decomp::core_decomposition(&g);
+    let engine = Engine::new(g);
+    let coreness = engine.coreness();
     let kmax = coreness.iter().copied().max().unwrap_or(0);
     let kavg = coreness.iter().map(|&c| c as f64).sum::<f64>() / coreness.len().max(1) as f64;
     println!("nodes      {}", s.nodes);
@@ -194,133 +307,32 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("d_avg      {:.2}", s.avg_degree);
     println!("k_max      {kmax}");
     println!("k_avg      {kavg:.2}");
-    println!("numeric dims {}", g.attrs().dims());
+    println!("numeric dims {}", engine.graph().attrs().dims());
     Ok(())
 }
 
-fn cmd_exact(args: &[String]) -> Result<(), String> {
+fn cmd_search(args: &[String], method: Method) -> Result<(), String> {
     let flags = parse_flags(args, &common_arity())?;
     let g = load(&flags)?;
-    let q: u32 = flags.require("query")?;
-    let k: u32 = flags.require("k")?;
-    if q as usize >= g.n() {
-        return Err(format!(
-            "query {q} out of range (graph has {} nodes)",
-            g.n()
-        ));
-    }
-    let mut params = ExactParams::default()
-        .with_k(k)
-        .with_model(model_of(&flags));
-    if let Some(ms) = flags.get::<u64>("budget-ms")? {
-        params = params.with_time_budget(Duration::from_millis(ms));
-    }
-    let dp = dparams_of(&flags)?;
-    match Exact::new(&g, dp).run(q, &params) {
-        Some(res) => {
-            println!(
-                "community of {} nodes, δ = {:.6} ({} states explored{})",
-                res.community.len(),
-                res.delta,
-                res.states_explored,
-                if res.status == ExactStatus::BudgetExhausted {
-                    ", budget exhausted — best found so far"
-                } else {
-                    ""
-                }
-            );
-            print_community(&g, &res.community);
-            Ok(())
-        }
-        None => Err(format!("node {q} has no {} at k={k}", model_of(&flags))),
-    }
-}
-
-fn cmd_sea(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &common_arity())?;
-    let g = load(&flags)?;
-    let q: u32 = flags.require("query")?;
-    let k: u32 = flags.require("k")?;
-    if q as usize >= g.n() {
-        return Err(format!(
-            "query {q} out of range (graph has {} nodes)",
-            g.n()
-        ));
-    }
-    let mut params = SeaParams::default().with_k(k).with_model(model_of(&flags));
-    if let Some(e) = flags.get::<f64>("error")? {
-        params = params.with_error_bound(e);
-    }
-    if let Some(c) = flags.get::<f64>("confidence")? {
-        params = params.with_confidence(c);
-    }
-    if let Some(l) = flags.get::<f64>("lambda")? {
-        params = params.with_lambda(l);
-    }
-    if let Some(vals) = flags.named.get("size") {
-        let l: usize = vals[0].parse().map_err(|_| "bad --size lower bound")?;
-        let h: usize = vals[1].parse().map_err(|_| "bad --size upper bound")?;
-        params = params.with_size_bound(l, h);
-    }
-    let seed = flags.get::<u64>("seed")?.unwrap_or(42);
-    let dp = dparams_of(&flags)?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let t = std::time::Instant::now();
-    match Sea::new(&g, dp).run(q, &params, &mut rng) {
-        Some(res) => {
-            println!(
-                "community of {} nodes in {:.1} ms, δ* = {:.6}, CI = {}, certified = {}",
-                res.community.len(),
-                t.elapsed().as_secs_f64() * 1000.0,
-                res.delta_star,
-                res.ci,
-                res.certified
-            );
-            for (i, round) in res.rounds.iter().enumerate() {
-                println!(
-                    "  round {}: δ* = {:.4e}, ε = {:.4e}, ΔS = {}, candidates = {}",
-                    i + 1,
-                    round.delta_star,
-                    round.moe,
-                    round.added_samples,
-                    round.candidates_examined
-                );
-            }
-            print_community(&g, &res.community);
-            Ok(())
-        }
-        None => Err(format!("node {q} has no {} at k={k}", model_of(&flags))),
-    }
+    let query = query_of(&flags, method)?;
+    run_and_render(g, &query, flags.has("json"))
 }
 
 fn cmd_baseline(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &common_arity())?;
     let g = load(&flags)?;
-    let q: u32 = flags.require("query")?;
-    let k: u32 = flags.require("k")?;
     let method: String = flags.require("method")?;
-    let model = model_of(&flags);
-    let dp = dparams_of(&flags)?;
-    let res = match method.as_str() {
-        "acq" => baselines::acq(&g, q, k, model),
-        "atc" => baselines::loc_atc(&g, q, k, model),
-        "vac" => baselines::vac(&g, q, k, model, dp, Some(5_000)),
-        other => return Err(format!("unknown method `{other}` (use acq|atc|vac)")),
-    };
-    match res {
-        Some(r) => {
-            println!(
-                "{} community of {} nodes (objective {:.4}) in {:.1} ms",
-                method,
-                r.community.len(),
-                r.objective,
-                r.elapsed.as_secs_f64() * 1000.0
-            );
-            print_community(&g, &r.community);
-            Ok(())
-        }
-        None => Err(format!("node {q} has no community at k={k}")),
+    let method: Method = method.parse().map_err(|e: CsagError| e.to_string())?;
+    if !matches!(
+        method,
+        Method::Acq | Method::Atc | Method::Vac | Method::EVac
+    ) {
+        return Err(format!(
+            "`{method}` is not a baseline; use the `exact` / `sea` commands"
+        ));
     }
+    let query = query_of(&flags, method)?;
+    run_and_render(g, &query, flags.has("json"))
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
@@ -345,17 +357,23 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_demo() -> Result<(), String> {
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &common_arity())?;
     let (g, q) = figure1_imdb();
+    let engine = Engine::new(g);
+    let res = engine
+        .run(&CommunityQuery::new(Method::Exact, q).with_k(3))
+        .map_err(|e| e.to_string())?;
+    if flags.has("json") {
+        println!("{}", res.to_json());
+        return Ok(());
+    }
     println!(
         "Figure 1: IMDB snapshot, query = {}",
         FIGURE1_TITLES[q as usize]
     );
-    let exact = Exact::new(&g, DistanceParams::default())
-        .run(q, &ExactParams::default().with_k(3))
-        .expect("3-core exists");
-    println!("δ-optimal 3-core community (δ = {:.4}):", exact.delta);
-    for &v in &exact.community {
+    println!("δ-optimal 3-core community (δ = {:.4}):", res.delta);
+    for &v in &res.community {
         println!("  {}", FIGURE1_TITLES[v as usize]);
     }
     Ok(())

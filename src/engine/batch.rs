@@ -1,0 +1,106 @@
+//! Batch execution: the generalized parallel executor (promoted out of
+//! the bench harness's `runner::parallel_map`) plus
+//! [`Engine::run_batch`], so the same code path serves experiment tables
+//! and concurrent production callers.
+
+use super::error::CsagError;
+use super::query::CommunityQuery;
+use super::result::CommunityResult;
+use super::Engine;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Evaluates `f` over all `items` in parallel (one `std::thread::scope`,
+/// `threads` workers pulling from a shared work queue), preserving item
+/// order in the output. With `threads <= 1` or a single item the call
+/// degenerates to a plain sequential map.
+///
+/// This is the workspace's one parallel executor: the bench harness maps
+/// query workloads through it and [`Engine::run_batch`] builds on it.
+pub fn parallel_map<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Default worker count for [`Engine::run_batch`].
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+impl Engine {
+    /// Runs a batch of queries in parallel over the shared per-graph
+    /// state, one result per query in input order. Worker count defaults
+    /// to the machine's available parallelism; see
+    /// [`Engine::run_batch_with_threads`] to pin it.
+    pub fn run_batch(&self, queries: &[CommunityQuery]) -> Vec<Result<CommunityResult, CsagError>> {
+        self.run_batch_with_threads(queries, available_threads())
+    }
+
+    /// [`Engine::run_batch`] with an explicit worker count.
+    pub fn run_batch_with_threads(
+        &self,
+        queries: &[CommunityQuery],
+        threads: usize,
+    ) -> Vec<Result<CommunityResult, CsagError>> {
+        parallel_map(queries, threads, |q| self.run(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u32> = (0..37).collect();
+        let out = parallel_map(&items, 4, |&q| q * 2);
+        assert_eq!(out, (0..37).map(|q| q * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_degenerate_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 8, |&q| q).is_empty());
+        assert_eq!(parallel_map(&[5u32], 8, |&q| q + 1), vec![6]);
+        assert_eq!(parallel_map(&[1u32, 2], 0, |&q| q), vec![1, 2]);
+    }
+
+    #[test]
+    fn parallel_map_takes_non_copy_items() {
+        let items = vec![vec![1u32, 2], vec![3], vec![]];
+        let lens = parallel_map(&items, 2, |v| v.len());
+        assert_eq!(lens, vec![2, 1, 0]);
+    }
+}

@@ -1,0 +1,17 @@
+//! The engine's error type.
+//!
+//! [`CsagError`] is defined in `csag-core` (the lowest crate whose run
+//! APIs return it) and re-exported here so `csag::engine` is a complete,
+//! self-contained surface: every fallible engine call returns
+//! `Result<_, CsagError>`.
+//!
+//! The four variants separate what `Option`-based APIs used to conflate:
+//!
+//! | Variant | Meaning | Typical reaction |
+//! |---|---|---|
+//! | [`CsagError::InvalidParams`] | the query could never run | fix the builder call |
+//! | [`CsagError::QueryNodeNotFound`] | the node id is out of range | fix the id |
+//! | [`CsagError::NoCommunity`] | a definitive, correct "no" | report the empty answer |
+//! | [`CsagError::BudgetExhausted`] | resources ran out mid-search | use the [`PartialSearch`] best-so-far, or retry with a bigger budget |
+
+pub use csag_core::error::{CsagError, PartialSearch};

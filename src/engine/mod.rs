@@ -1,0 +1,435 @@
+//! # The unified query engine — one entry point for every method
+//!
+//! [`Engine`] owns a shared graph (`Arc<AttributedGraph>`) plus the
+//! reusable per-graph state every query needs:
+//!
+//! * the **core-number decomposition** (computed lazily, exactly once,
+//!   via `csag-decomp`) — used to answer "no community" queries in O(1)
+//!   before any peeling happens;
+//! * a bounded cache of **per-query-node distance tables**
+//!   ([`csag_core::distance::QueryDistances`]) — repeated or multi-method
+//!   queries against the same node reuse every `f(·, q)` evaluation.
+//!
+//! The engine is `Send + Sync`: queries borrow only immutable cached
+//! state (interior mutability is a `Mutex` around the distance cache and
+//! a `OnceLock` around the decomposition), so one `Engine` can serve
+//! concurrent callers and [`Engine::run_batch`] can fan a workload out
+//! across threads on the same executor the bench harness uses.
+//!
+//! ```
+//! use csag::engine::{CommunityQuery, Engine, Method};
+//! use csag::datasets::paper_examples::figure1_imdb;
+//!
+//! let (graph, q) = figure1_imdb();
+//! let engine = Engine::new(graph);
+//! let exact = engine
+//!     .run(&CommunityQuery::new(Method::Exact, q).with_k(3))
+//!     .expect("The Godfather sits in a 3-core");
+//! let sea = engine
+//!     .run(&CommunityQuery::new(Method::Sea, q).with_k(3).with_error_bound(0.05))
+//!     .expect("same 3-core, sampled");
+//! assert!(exact.community.contains(&q));
+//! assert!(sea.community.contains(&q));
+//! assert!(sea.delta >= exact.delta - 1e-9); // exact is δ-optimal
+//! ```
+
+pub mod batch;
+pub mod error;
+pub mod query;
+pub mod result;
+
+pub use batch::parallel_map;
+pub use error::{CsagError, PartialSearch};
+pub use query::{CommunityQuery, Method};
+pub use result::{error_to_json, AccuracyCertificate, CommunityResult, PhaseTimings, Provenance};
+
+use csag_baselines as baselines;
+use csag_core::distance::QueryDistances;
+use csag_core::error::check_query_node;
+use csag_core::exact::Exact;
+use csag_core::sea::Sea;
+use csag_decomp::CommunityModel;
+use csag_graph::{AttributedGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Upper bound on cached per-query-node distance tables. Each table is
+/// `O(|V|)` floats, so the cache is capped rather than unbounded: at
+/// capacity an arbitrary entry is evicted per insertion (random
+/// replacement), which keeps a hot working set mostly resident without
+/// LRU bookkeeping; cold nodes are simply recomputed.
+const MAX_CACHED_QUERY_NODES: usize = 64;
+
+/// The reusable per-graph query engine. See the [module docs](self).
+pub struct Engine {
+    graph: Arc<AttributedGraph>,
+    /// Core numbers of every node, computed once on first use.
+    coreness: OnceLock<Vec<u32>>,
+    /// How many times the decomposition actually ran (observable evidence
+    /// that batches share it; see the engine integration tests).
+    decomp_runs: AtomicUsize,
+    /// `(q, γ bits) →` memoized `f(·, q)` table.
+    distances: Mutex<HashMap<(NodeId, u64), QueryDistances>>,
+}
+
+impl Engine {
+    /// Builds an engine owning `graph`.
+    pub fn new(graph: AttributedGraph) -> Self {
+        Engine::from_arc(Arc::new(graph))
+    }
+
+    /// Builds an engine sharing an already-`Arc`ed graph (no copy).
+    pub fn from_arc(graph: Arc<AttributedGraph>) -> Self {
+        Engine {
+            graph,
+            coreness: OnceLock::new(),
+            decomp_runs: AtomicUsize::new(0),
+            distances: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &AttributedGraph {
+        &self.graph
+    }
+
+    /// A shared handle to the underlying graph.
+    pub fn graph_arc(&self) -> Arc<AttributedGraph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// Core numbers of every node (Batagelj–Zaversnik), computed lazily
+    /// exactly once and shared by all queries and threads.
+    pub fn coreness(&self) -> &[u32] {
+        self.coreness.get_or_init(|| {
+            self.decomp_runs.fetch_add(1, Ordering::Relaxed);
+            csag_decomp::core_decomposition(&self.graph)
+        })
+    }
+
+    /// How many times the core decomposition has actually been computed
+    /// (0 before the first structural query, 1 ever after).
+    pub fn decomp_computations(&self) -> usize {
+        self.decomp_runs.load(Ordering::Relaxed)
+    }
+
+    /// Number of query nodes with a resident distance table.
+    pub fn cached_query_nodes(&self) -> usize {
+        self.distances
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Runs one query. This is the single entry point every CLI command,
+    /// example, bench experiment, and concurrent caller goes through.
+    ///
+    /// # Errors
+    /// * [`CsagError::InvalidParams`] — the query fails
+    ///   [`CommunityQuery::validate`].
+    /// * [`CsagError::QueryNodeNotFound`] — `query.q` is outside the
+    ///   graph.
+    /// * [`CsagError::NoCommunity`] — no community satisfies the model; a
+    ///   definitive negative (answered from the cached decomposition when
+    ///   the query node's core number is already too small).
+    /// * [`CsagError::BudgetExhausted`] — a state/time budget ran out;
+    ///   the best-so-far community rides along as the partial.
+    pub fn run(&self, query: &CommunityQuery) -> Result<CommunityResult, CsagError> {
+        let t_total = Instant::now();
+        query.validate()?;
+        check_query_node(query.q, self.graph.n())?;
+
+        // Prepare phase: reusable per-graph state.
+        let t_prepare = Instant::now();
+        // The maximal connected k-core containing q exists iff q's core
+        // number is ≥ k, and a k-truss member needs ≥ k−1 in-community
+        // neighbors, so the cached decomposition settles impossible
+        // queries without touching the graph again.
+        let needed_core = match query.model {
+            CommunityModel::KCore => query.k,
+            CommunityModel::KTruss => query.k.saturating_sub(1),
+        };
+        if self.coreness()[query.q as usize] < needed_core {
+            return Err(CsagError::no_community(format!(
+                "node {} has core number {} < {needed_core}; no connected {} at k = {} can contain it",
+                query.q, self.coreness()[query.q as usize], query.model, query.k
+            )));
+        }
+        let mut dist = self.checkout_distances(query);
+        let prepare = t_prepare.elapsed();
+
+        // Search phase: dispatch to the method.
+        let t_search = Instant::now();
+        let outcome = self.dispatch(query, &mut dist);
+        let search = t_search.elapsed();
+
+        // Return the (possibly further warmed) distance table to the
+        // cache whether or not the method succeeded.
+        self.checkin_distances(dist);
+
+        let mut res = outcome?;
+        res.timings.prepare = prepare;
+        res.timings.search = search;
+        res.timings.total = t_total.elapsed();
+        Ok(res)
+    }
+
+    fn dispatch(
+        &self,
+        query: &CommunityQuery,
+        dist: &mut QueryDistances,
+    ) -> Result<CommunityResult, CsagError> {
+        let g = self.graph.as_ref();
+        let dp = query.distance_params();
+        let mut prov = Provenance::new(query.method, query.k, query.model, query.seed);
+        match query.method {
+            Method::Exact => {
+                let r =
+                    Exact::new(g, dp).run_with_distances(query.q, &query.exact_params(), dist)?;
+                prov.states_explored = r.states_explored;
+                Ok(CommunityResult {
+                    q: query.q,
+                    delta: r.delta,
+                    community: r.community,
+                    // A completed exact run is the strongest certificate:
+                    // zero error at full confidence.
+                    certificate: Some(AccuracyCertificate {
+                        certified: true,
+                        error_bound: 0.0,
+                        confidence: 1.0,
+                        moe: 0.0,
+                    }),
+                    timings: PhaseTimings::default(),
+                    provenance: prov,
+                })
+            }
+            Method::Sea | Method::SeaSizeBounded => {
+                let mut rng = StdRng::seed_from_u64(query.seed);
+                let r = Sea::new(g, dp).run_with_distances(
+                    query.q,
+                    &query.sea_params(),
+                    &mut rng,
+                    dist,
+                )?;
+                prov.rounds = r.rounds.len();
+                prov.candidates_examined = r.rounds.iter().map(|x| x.candidates_examined).sum();
+                prov.population_size = r.population_size;
+                prov.sample_size = r.sample_size;
+                // The bound actually achieved, by inverting Theorem 11:
+                // ε ≤ δ⋆·e/(1+e)  ⇔  e ≥ ε/(δ⋆ − ε). A zero-width
+                // interval is a perfect estimate (bound 0) even at δ⋆ = 0.
+                let achieved = if r.ci.moe == 0.0 {
+                    0.0
+                } else if r.ci.moe < r.delta_star {
+                    r.ci.moe / (r.delta_star - r.ci.moe)
+                } else {
+                    f64::INFINITY
+                };
+                Ok(CommunityResult {
+                    q: query.q,
+                    delta: r.delta_star,
+                    community: r.community,
+                    certificate: Some(AccuracyCertificate {
+                        certified: r.certified,
+                        error_bound: achieved,
+                        confidence: query.confidence,
+                        moe: r.ci.moe,
+                    }),
+                    timings: PhaseTimings {
+                        sampling: r.timing.sampling,
+                        estimation: r.timing.estimation,
+                        incremental: r.timing.incremental,
+                        ..PhaseTimings::default()
+                    },
+                    provenance: prov,
+                })
+            }
+            Method::Acq | Method::Atc | Method::Vac | Method::EVac => {
+                let r = match query.method {
+                    Method::Acq => baselines::acq(g, query.q, query.k, query.model)?,
+                    Method::Atc => baselines::loc_atc(g, query.q, query.k, query.model)?,
+                    Method::Vac => baselines::vac(
+                        g,
+                        query.q,
+                        query.k,
+                        query.model,
+                        dp,
+                        query.vac_iteration_cap,
+                    )?,
+                    Method::EVac => {
+                        let limits = baselines::EVacLimits {
+                            state_budget: query.state_budget,
+                            max_root: query.evac_max_root,
+                            time_budget: query.time_budget,
+                        };
+                        baselines::e_vac(g, query.q, query.k, query.model, dp, &limits)?
+                    }
+                    _ => unreachable!("outer match covers the baseline methods"),
+                };
+                prov.objective = Some(r.objective);
+                // Score every baseline under the same δ metric so results
+                // are comparable across methods (the Table II protocol).
+                let delta = dist.delta(g, &r.community);
+                Ok(CommunityResult {
+                    q: query.q,
+                    community: r.community,
+                    delta,
+                    certificate: None,
+                    timings: PhaseTimings::default(),
+                    provenance: prov,
+                })
+            }
+        }
+    }
+
+    /// Clones the cached distance table for `(q, γ)` or starts a fresh
+    /// one. Cloning keeps the critical section tiny: the search runs on a
+    /// private copy and merges back afterwards.
+    fn checkout_distances(&self, query: &CommunityQuery) -> QueryDistances {
+        let dp = query.distance_params();
+        let key = (query.q, dp.gamma.to_bits());
+        let map = self
+            .distances
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match map.get(&key) {
+            Some(d) => d.clone(),
+            None => QueryDistances::new(query.q, self.graph.n(), dp),
+        }
+    }
+
+    /// Stores a (further warmed) distance table back into the cache.
+    /// Concurrent same-node queries race benignly: last writer wins, and
+    /// every version is correct (the table is append-only memoization).
+    /// At capacity an arbitrary resident entry is evicted for the
+    /// newcomer, so a shifting hot set converges onto residency instead
+    /// of being locked out by whichever keys arrived first.
+    fn checkin_distances(&self, dist: QueryDistances) {
+        let key = (dist.q(), dist.params().gamma.to_bits());
+        let mut map = self
+            .distances
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if !map.contains_key(&key) && map.len() >= MAX_CACHED_QUERY_NODES {
+            if let Some(victim) = map.keys().next().copied() {
+                map.remove(&victim);
+            }
+        }
+        map.insert(key, dist);
+    }
+}
+
+// One engine serves concurrent callers: all interior mutability is
+// thread-safe, so the compiler derives `Send + Sync`. This assertion
+// turns an accidental regression (e.g. an `Rc` or `RefCell` slipping in)
+// into a compile error.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csag_graph::GraphBuilder;
+
+    /// A 4-clique where node 3 is attribute-far from node 0.
+    fn clique() -> AttributedGraph {
+        let mut b = GraphBuilder::new(1);
+        for value in [0.0, 0.1, 0.2, 1.0] {
+            b.add_node(&["t"], &[value]);
+        }
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exact_query_through_engine() {
+        let engine = Engine::new(clique());
+        let res = engine
+            .run(&CommunityQuery::new(Method::Exact, 0).with_k(2))
+            .unwrap();
+        assert_eq!(res.community, vec![0, 1, 2]);
+        let cert = res.certificate.unwrap();
+        assert!(cert.certified);
+        assert_eq!(cert.error_bound, 0.0);
+        assert_eq!(cert.confidence, 1.0);
+        assert!(res.provenance.states_explored >= 1);
+        assert!(res.timings.total >= res.timings.search);
+    }
+
+    #[test]
+    fn decomposition_answers_impossible_queries() {
+        let engine = Engine::new(clique());
+        assert_eq!(engine.decomp_computations(), 0);
+        let err = engine
+            .run(&CommunityQuery::new(Method::Exact, 0).with_k(7))
+            .unwrap_err();
+        assert!(err.is_no_community());
+        assert_eq!(engine.decomp_computations(), 1);
+        // A second impossible query reuses the cached decomposition.
+        let _ = engine.run(&CommunityQuery::new(Method::Sea, 1).with_k(9));
+        assert_eq!(engine.decomp_computations(), 1);
+    }
+
+    #[test]
+    fn distance_cache_persists_across_methods() {
+        let engine = Engine::new(clique());
+        assert_eq!(engine.cached_query_nodes(), 0);
+        let exact = engine
+            .run(&CommunityQuery::new(Method::Exact, 0).with_k(2))
+            .unwrap();
+        assert_eq!(engine.cached_query_nodes(), 1);
+        let vac = engine
+            .run(&CommunityQuery::new(Method::Vac, 0).with_k(2))
+            .unwrap();
+        assert_eq!(engine.cached_query_nodes(), 1);
+        assert!(vac.certificate.is_none());
+        assert!(vac.provenance.objective.is_some());
+        assert!(vac.delta >= exact.delta - 1e-12, "exact is δ-optimal");
+        // A different γ is a different table.
+        let _ = engine
+            .run(
+                &CommunityQuery::new(Method::Exact, 0)
+                    .with_k(2)
+                    .with_gamma(0.0),
+            )
+            .unwrap();
+        assert_eq!(engine.cached_query_nodes(), 2);
+    }
+
+    #[test]
+    fn invalid_queries_never_reach_the_graph() {
+        let engine = Engine::new(clique());
+        assert!(matches!(
+            engine.run(&CommunityQuery::new(Method::Sea, 0).with_k(1)),
+            Err(CsagError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            engine.run(&CommunityQuery::new(Method::Exact, 11)),
+            Err(CsagError::QueryNodeNotFound { q: 11, .. })
+        ));
+        assert_eq!(engine.decomp_computations(), 0, "rejected before prepare");
+    }
+
+    #[test]
+    fn evac_root_guard_surfaces_budget_error() {
+        let engine = Engine::new(clique());
+        let err = engine
+            .run(
+                &CommunityQuery::new(Method::EVac, 0)
+                    .with_k(2)
+                    .with_evac_max_root(Some(2)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CsagError::BudgetExhausted { partial: None }));
+    }
+}

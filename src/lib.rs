@@ -2,13 +2,17 @@
 //!
 //! A from-scratch Rust reproduction of *"Scalable Community Search with
 //! Accuracy Guarantee on Attributed Graphs"* (ICDE 2024). The facade crate
-//! re-exports the whole workspace:
+//! ships the unified query engine and re-exports the whole workspace:
 //!
+//! * [`engine`] — **the public entry point**: a reusable, `Send + Sync`
+//!   [`engine::Engine`] per graph, the unified [`engine::CommunityQuery`]
+//!   builder covering every method, typed [`engine::CsagError`] failures,
+//!   and parallel batch execution,
 //! * [`graph`] — attributed homogeneous & heterogeneous graph storage,
 //! * [`decomp`] — k-core / k-truss decomposition and maintenance,
 //! * [`stats`] — Hoeffding bounds, bootstrap, Bag of Little Bootstraps,
-//! * [`core`] — the paper's contribution: the q-centric metric, the exact
-//!   algorithm with three pruning strategies, and the SEA
+//! * [`core`] — the paper's algorithms: the q-centric metric, the exact
+//!   enumeration with three pruning strategies, and the SEA
 //!   sampling-estimation pipeline with its extensions,
 //! * [`baselines`] — ACQ / ATC(LocATC) / VAC / E-VAC comparators,
 //! * [`datasets`] — seeded synthetic stand-ins for the paper's datasets,
@@ -16,20 +20,40 @@
 //!
 //! ## Quick start
 //!
+//! Build an [`engine::Engine`] once per graph, then run any number of
+//! queries — exact, SEA (with its accuracy certificate), or a baseline —
+//! through the same builder:
+//!
 //! ```
 //! use csag::datasets::paper_examples::figure1_imdb;
-//! use csag::core::distance::DistanceParams;
-//! use csag::core::sea::{Sea, SeaParams};
-//! use rand::SeedableRng;
+//! use csag::engine::{CommunityQuery, Engine, Method};
 //!
 //! let (graph, q) = figure1_imdb();
-//! let params = SeaParams::default().with_k(3);
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-//! let result = Sea::new(&graph, DistanceParams::default())
-//!     .run(q, &params, &mut rng)
+//! let engine = Engine::new(graph);
+//!
+//! let result = engine
+//!     .run(&CommunityQuery::new(Method::Sea, q).with_k(3).with_seed(42))
 //!     .expect("a 3-core containing The Godfather exists");
 //! assert!(result.community.contains(&q));
+//! let cert = result.certificate.expect("SEA always reports its accuracy");
+//! assert!(cert.moe >= 0.0);
+//!
+//! // The same engine serves batches (and concurrent callers):
+//! let queries: Vec<_> = result.community[..2]
+//!     .iter()
+//!     .map(|&v| CommunityQuery::new(Method::Exact, v).with_k(3))
+//!     .collect();
+//! for outcome in engine.run_batch(&queries) {
+//!     assert!(outcome.is_ok());
+//! }
 //! ```
+//!
+//! Failures are typed ([`engine::CsagError`]): invalid parameters,
+//! unknown query nodes, a definitive "no community exists", and budget
+//! exhaustion (which carries the best community found so far) are four
+//! distinct cases instead of one `None`.
+
+pub mod engine;
 
 pub use csag_baselines as baselines;
 pub use csag_core as core;

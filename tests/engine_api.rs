@@ -1,0 +1,268 @@
+//! Engine-level integration tests: the unified `csag::engine` entry
+//! point across methods, under concurrency, and over batches.
+
+use csag::datasets::generator::{generate, SyntheticConfig};
+use csag::datasets::paper_examples::figure1_imdb;
+use csag::datasets::random_queries;
+use csag::engine::{CommunityQuery, CsagError, Engine, Method};
+use csag::graph::GraphBuilder;
+
+/// The Figure 2(c)/Figure 3 example from the paper: a connected 2-core on
+/// six nodes with known composite distances (γ = 0).
+fn figure3_engine() -> (Engine, u32) {
+    let mut b = GraphBuilder::new(1);
+    let values = [1.0, 0.7, 0.6, 0.6, 0.5, 0.0, 0.3];
+    for &x in &values {
+        b.add_node(&[], &[x]);
+    }
+    for (u, v) in [
+        (1, 2),
+        (1, 3),
+        (2, 3),
+        (2, 4),
+        (3, 6),
+        (4, 5),
+        (5, 6),
+        (4, 6),
+        (1, 5),
+    ] {
+        b.add_edge(u, v).unwrap();
+    }
+    (Engine::new(b.build().unwrap()), 5)
+}
+
+/// Satellite (a): exact and SEA agree on the paper's small examples when
+/// asked through the *same* `CommunityQuery`, only the method differing.
+#[test]
+fn exact_and_sea_agree_on_paper_examples() {
+    // Figure 1 (IMDB): both methods around The Godfather at k = 3.
+    let (g, q) = figure1_imdb();
+    let engine = Engine::new(g);
+    let template = CommunityQuery::new(Method::Exact, q)
+        .with_k(3)
+        .with_error_bound(0.05)
+        .with_seed(7);
+    let exact = engine.run(&template.clone()).expect("3-core exists");
+    let sea = engine
+        .run(&template.clone().with_method(Method::Sea))
+        .expect("3-core exists");
+    assert!(exact.community.contains(&q));
+    assert!(sea.community.contains(&q));
+    assert!(
+        sea.delta >= exact.delta - 1e-9,
+        "SEA cannot beat the δ-optimum: {} vs {}",
+        sea.delta,
+        exact.delta
+    );
+    // The IMDB snapshot is tiny: SEA samples the whole neighborhood and
+    // lands on the same community.
+    assert_eq!(sea.community, exact.community, "paper example must agree");
+
+    // Figure 3: γ = 0, k = 2; same protocol.
+    let (engine, q) = figure3_engine();
+    let template = CommunityQuery::new(Method::Exact, q)
+        .with_k(2)
+        .with_gamma(0.0)
+        .with_error_bound(0.05)
+        .with_seed(11);
+    let exact = engine.run(&template.clone()).expect("2-core exists");
+    let sea = engine
+        .run(&template.with_method(Method::Sea))
+        .expect("2-core exists");
+    assert_eq!(sea.community, exact.community);
+    assert!((sea.delta - exact.delta).abs() < 1e-9);
+}
+
+/// Satellite (b): one shared engine serves ≥ 8 genuinely concurrent
+/// queries, and every concurrent answer equals its serial twin.
+#[test]
+fn concurrent_queries_share_one_engine() {
+    let (g, _) = generate(
+        &SyntheticConfig {
+            nodes: 400,
+            communities: 6,
+            ..Default::default()
+        },
+        3,
+    );
+    let queries = random_queries(&g, 8, 3, 55);
+    assert!(queries.len() >= 8, "need at least 8 concurrent queries");
+    let engine = Engine::new(g);
+
+    // Serial reference answers first.
+    let make = |&q: &u32| {
+        CommunityQuery::new(Method::Sea, q)
+            .with_k(3)
+            .with_hoeffding(0.3, 0.95)
+            .with_seed(100 + q as u64)
+    };
+    let serial: Vec<_> = queries.iter().map(|q| engine.run(&make(q))).collect();
+
+    // Now the same workload, one thread per query, same shared engine.
+    let concurrent: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|q| scope.spawn(|| engine.run(&make(q))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    for (s, c) in serial.iter().zip(&concurrent) {
+        let s = s.as_ref().expect("serial run found a community");
+        let c = c.as_ref().expect("concurrent run found a community");
+        assert_eq!(s.community, c.community, "concurrency changed an answer");
+        assert_eq!(s.delta, c.delta);
+    }
+}
+
+/// Satellite (c): a batch computes the core decomposition exactly once,
+/// and `run_batch` preserves query order.
+#[test]
+fn batch_computes_decomposition_once() {
+    let (g, _) = generate(
+        &SyntheticConfig {
+            nodes: 300,
+            communities: 5,
+            ..Default::default()
+        },
+        4,
+    );
+    let nodes = random_queries(&g, 6, 3, 77);
+    let engine = Engine::new(g);
+    assert_eq!(engine.decomp_computations(), 0, "decomposition is lazy");
+
+    // Two queries per node (SEA + VAC — methods with polynomial debug-mode
+    // cost) to also exercise the shared distance cache.
+    let batch: Vec<CommunityQuery> = nodes
+        .iter()
+        .flat_map(|&q| {
+            [
+                CommunityQuery::new(Method::Sea, q)
+                    .with_k(3)
+                    .with_hoeffding(0.3, 0.95)
+                    .with_seed(q as u64),
+                CommunityQuery::new(Method::Vac, q).with_k(3),
+            ]
+        })
+        .collect();
+    let results = engine.run_batch_with_threads(&batch, 8);
+    assert_eq!(results.len(), batch.len());
+    assert_eq!(
+        engine.decomp_computations(),
+        1,
+        "the whole batch must share one decomposition"
+    );
+    assert!(
+        engine.cached_query_nodes() <= nodes.len(),
+        "one distance table per query node, not per query"
+    );
+    for (res, query) in results.iter().zip(&batch) {
+        let res = res.as_ref().expect("planted queries have 3-cores");
+        assert_eq!(res.q, query.q, "run_batch must preserve order");
+        assert!(res.community.binary_search(&query.q).is_ok());
+        assert_eq!(res.provenance.method, query.method);
+    }
+}
+
+/// Typed failures through the engine: each of the four error variants is
+/// reachable and distinguishable.
+#[test]
+fn engine_reports_typed_errors() {
+    let (engine, q) = figure3_engine();
+    // InvalidParams — rejected at build/validate time.
+    assert!(matches!(
+        CommunityQuery::new(Method::Sea, q).with_k(1).build(),
+        Err(CsagError::InvalidParams { .. })
+    ));
+    // QueryNodeNotFound.
+    assert!(matches!(
+        engine.run(&CommunityQuery::new(Method::Exact, 700)),
+        Err(CsagError::QueryNodeNotFound { q: 700, .. })
+    ));
+    // NoCommunity — settled from the cached decomposition.
+    assert!(matches!(
+        engine.run(&CommunityQuery::new(Method::Exact, q).with_k(40)),
+        Err(CsagError::NoCommunity { .. })
+    ));
+    // BudgetExhausted carries the best community found so far.
+    let err = engine
+        .run(
+            &CommunityQuery::new(Method::Exact, q)
+                .with_k(2)
+                .with_gamma(0.0)
+                .with_pruning(csag::core::exact::PruningConfig::NONE)
+                .with_state_budget(2),
+        )
+        .unwrap_err();
+    let CsagError::BudgetExhausted { partial: Some(p) } = err else {
+        panic!("expected a partial, got {err:?}");
+    };
+    assert!(p.community.contains(&q));
+    assert!(p.delta.is_finite());
+}
+
+/// The JSON serialization of a real engine run is structurally sound and
+/// carries the certificate.
+#[test]
+fn community_result_serializes_to_json() {
+    let (g, q) = figure1_imdb();
+    let engine = Engine::new(g);
+    let res = engine
+        .run(
+            &CommunityQuery::new(Method::Sea, q)
+                .with_k(3)
+                .with_seed(5)
+                .with_error_bound(0.1),
+        )
+        .unwrap();
+    let json = res.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    for key in [
+        "\"community\":[",
+        "\"delta\":",
+        "\"certificate\":{",
+        "\"method\":\"sea\"",
+        "\"timings_ms\":{",
+        "\"provenance\":{",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
+
+/// Replaying one template across every homogeneous method — the unified
+/// API contract: same query shape, any method, comparable δ.
+#[test]
+fn one_template_replays_across_methods() {
+    let (g, q) = figure1_imdb();
+    let engine = Engine::new(g);
+    let template = CommunityQuery::new(Method::Exact, q).with_k(3).with_seed(9);
+    let exact_delta = engine.run(&template.clone()).unwrap().delta;
+    for method in [
+        Method::Sea,
+        Method::Acq,
+        Method::Atc,
+        Method::Vac,
+        Method::EVac,
+    ] {
+        let res = engine
+            .run(&template.clone().with_method(method))
+            .unwrap_or_else(|e| panic!("{method} failed: {e}"));
+        assert!(res.community.contains(&q), "{method} lost q");
+        assert!(
+            res.delta >= exact_delta - 1e-9,
+            "{method} beat the δ-optimum: {} < {exact_delta}",
+            res.delta
+        );
+        if matches!(
+            method,
+            Method::Acq | Method::Atc | Method::Vac | Method::EVac
+        ) {
+            assert!(res.certificate.is_none(), "{method} promises no accuracy");
+            assert!(res.provenance.objective.is_some());
+        }
+    }
+}

@@ -240,7 +240,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Accepted sizes for [`vec`]: a fixed length or a half-open range.
+    /// Accepted sizes for [`fn@vec`]: a fixed length or a half-open range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
