@@ -98,7 +98,7 @@ pub fn vac(
     check_query_node(q, g.n())?;
     let start = Instant::now();
     let mut maintainer = Maintainer::new(g, model, k);
-    let mut dist = QueryDistances::new(q, g.n(), dparams);
+    let dist = QueryDistances::new(q, g.n(), dparams);
     let mut current = maintainer.maximal(q).ok_or_else(|| {
         CsagError::no_community(format!("node {q} is in no connected {model} at k = {k}"))
     })?;

@@ -22,8 +22,8 @@ fn bench_steps(c: &mut Criterion) {
     let mut group = c.benchmark_group("sea_steps");
     group.bench_function("s1_grow_neighborhood", |b| {
         b.iter(|| {
-            let mut dist = QueryDistances::new(q, d.graph.n(), dp);
-            black_box(grow_neighborhood(&d.graph, q, 800, &mut dist))
+            let dist = QueryDistances::new(q, d.graph.n(), dp);
+            black_box(grow_neighborhood(&d.graph, q, 800, &dist))
         })
     });
     group.bench_function("s2_blb_estimate_100", |b| {

@@ -38,7 +38,7 @@ fn bench_substrates(c: &mut Criterion) {
     group.bench_function("distance_cache_warm_1000", |b| {
         let nodes: Vec<u32> = (0..1000).collect();
         b.iter(|| {
-            let mut dist = QueryDistances::new(q, g.n(), DistanceParams::default());
+            let dist = QueryDistances::new(q, g.n(), DistanceParams::default());
             dist.warm(g, &nodes);
             black_box(dist.delta(g, &nodes))
         })

@@ -12,7 +12,14 @@
 
 use csag_bench::config::Scale;
 use csag_bench::{all_ids, run_experiment};
+use csag_graph::alloc_counter::CountingAllocator;
 use std::time::Instant;
+
+// The experiments binary counts heap allocations (one relaxed atomic
+// increment per alloc — below measurement noise) so the `perf` baseline
+// can report real allocations-per-query numbers.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -30,7 +30,7 @@ fn greedy_size_bounded_delta(
     dp: DistanceParams,
 ) -> Option<f64> {
     let mut maintainer = Maintainer::new(g, CommunityModel::KCore, k);
-    let mut dist = QueryDistances::new(q, g.n(), dp);
+    let dist = QueryDistances::new(q, g.n(), dp);
     let mut cur = maintainer.maximal(q)?;
     let mut best: Option<f64> = None;
     loop {

@@ -17,6 +17,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod perf;
 pub mod runner;
 pub mod tab1;
 pub mod tab2;
@@ -33,8 +34,9 @@ pub const EXPERIMENT_IDS: [&str; 10] = [
 ];
 
 /// Runs one experiment by id (`fig10` and `fig9` included although fig10
-/// is not in [`EXPERIMENT_IDS`]' paper-order list twice). Returns the
-/// rendered markdown, or `None` for an unknown id.
+/// is not in [`EXPERIMENT_IDS`]' paper-order list twice; `perf` is the
+/// engine performance baseline, which also writes `BENCH_perf.json`).
+/// Returns the rendered markdown, or `None` for an unknown id.
 pub fn run_experiment(id: &str, scale: &Scale) -> Option<String> {
     let out = match id {
         "tab1" => tab1::run(scale),
@@ -48,14 +50,16 @@ pub fn run_experiment(id: &str, scale: &Scale) -> Option<String> {
         "fig8" => fig8::run(scale),
         "fig9" => fig9::run(scale),
         "fig10" => fig10::run(scale),
+        "perf" => perf::run(scale),
         _ => return None,
     };
     Some(out)
 }
 
-/// Every experiment id, including fig10.
+/// Every experiment id, including fig10 and the perf baseline.
 pub fn all_ids() -> Vec<&'static str> {
     let mut ids = EXPERIMENT_IDS.to_vec();
     ids.push("fig10");
+    ids.push("perf");
     ids
 }

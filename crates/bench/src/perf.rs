@@ -1,0 +1,271 @@
+//! `perf`: the committed performance baseline.
+//!
+//! Unlike the paper-reproduction experiments, this subcommand measures the
+//! *engine itself* — cold vs. warm single-query latency, batch throughput
+//! across worker counts, and allocator traffic per steady-state query —
+//! and writes the numbers to a machine-readable `BENCH_perf.json` next to
+//! the rendered markdown. Every perf-focused PR reruns it so the
+//! repository carries a comparable trajectory of measurements
+//! (`schema: csag-perf-v1`; keep keys append-only).
+//!
+//! Definitions:
+//! * **cold** — first query against a freshly built engine: pays the core
+//!   decomposition, an empty distance cache, and cold scratch pools.
+//! * **warm** — the same query repeated on a long-lived engine with a
+//!   reused [`csag_graph::QueryWorkspace`]: the decomposition and distance
+//!   table are resident, the checkout is an `Arc` bump, and the hot-path
+//!   buffers come from pools.
+//! * **allocations/query** — counted by the opt-in global allocator the
+//!   `experiments` binary registers ([`csag_graph::alloc_counter`]);
+//!   reported as `null` when the running binary is not counting.
+
+use crate::config::Scale;
+use csag::engine::{CommunityQuery, Engine, Method};
+use csag_datasets::generator::{generate, SyntheticConfig};
+use csag_datasets::random_queries;
+use csag_graph::alloc_counter;
+use csag_graph::QueryWorkspace;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Worker counts the batch-throughput sweep measures.
+const THREAD_SWEEP: [usize; 3] = [1, 4, 8];
+
+/// File the machine-readable report is written to (workspace root when
+/// run via `cargo run --bin experiments`).
+pub const REPORT_PATH: &str = "BENCH_perf.json";
+
+fn mean_ms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Runs the perf baseline and returns the markdown summary; writes
+/// [`REPORT_PATH`] as a side effect.
+pub fn run(scale: &Scale) -> String {
+    let (nodes, communities, reps) = if scale.quick {
+        (1_500, 6, 3)
+    } else {
+        (6_000, 10, 10)
+    };
+    let k = 3u32;
+    let (graph, _) = generate(
+        &SyntheticConfig {
+            nodes,
+            communities,
+            ..Default::default()
+        },
+        0xBE9C,
+    );
+    let graph = Arc::new(graph);
+    let n = graph.n();
+    let m = graph.m();
+    let queries = random_queries(&graph, if scale.quick { 6 } else { 12 }, k, 0x5EA0F);
+    let template = |q: u32| {
+        CommunityQuery::new(Method::Sea, q)
+            .with_k(k)
+            .with_hoeffding(0.3, 0.95)
+            .with_error_bound(0.1)
+            .with_seed(7 + q as u64)
+    };
+
+    // Cold: each query against its own freshly built engine.
+    let mut cold_ms = Vec::new();
+    for &q in &queries {
+        let engine = Engine::from_arc(Arc::clone(&graph));
+        let t = Instant::now();
+        let res = engine.run(&template(q));
+        cold_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        assert!(res.is_ok(), "perf query {q} must answer");
+    }
+
+    // Warm: one engine + one workspace; one untimed warming pass, then
+    // `reps` timed repetitions of the whole query set.
+    let engine = Engine::from_arc(Arc::clone(&graph));
+    let mut ws = QueryWorkspace::new();
+    for &q in &queries {
+        let _ = engine.run_with_workspace(&template(q), &mut ws);
+    }
+    let counting = alloc_counter::counting_enabled();
+    let allocs_before = alloc_counter::allocation_count();
+    let mut warm_ms = Vec::new();
+    for _ in 0..reps {
+        for &q in &queries {
+            let t = Instant::now();
+            let res = engine.run_with_workspace(&template(q), &mut ws);
+            warm_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            assert!(res.is_ok());
+        }
+    }
+    let allocs_per_warm_query =
+        (alloc_counter::allocation_count() - allocs_before) as f64 / warm_ms.len() as f64;
+
+    // Batch throughput: the query set tiled 4×, swept over worker counts
+    // on the already-warm engine so every width runs on equal footing.
+    let batch: Vec<CommunityQuery> = queries
+        .iter()
+        .cycle()
+        .take(queries.len() * 4)
+        .map(|&q| template(q))
+        .collect();
+    let mut throughput: Vec<(usize, f64)> = Vec::new();
+    for &threads in &THREAD_SWEEP {
+        let t = Instant::now();
+        let results = engine.run_batch_with_threads(&batch, threads);
+        let secs = t.elapsed().as_secs_f64();
+        assert!(results.iter().all(Result::is_ok));
+        throughput.push((threads, batch.len() as f64 / secs));
+    }
+
+    let cold = mean_ms(&cold_ms);
+    let warm = mean_ms(&warm_ms);
+    let speedup = if warm > 0.0 {
+        cold / warm
+    } else {
+        f64::INFINITY
+    };
+    let base_qps = throughput[0].1;
+    let threads_available = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    // Machine-readable report (hand-rolled JSON; keys are the contract).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"csag-perf-v1\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if scale.quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"threads_available\": {threads_available},");
+    let _ = writeln!(
+        json,
+        "  \"dataset\": {{ \"nodes\": {n}, \"edges\": {m}, \"k\": {k} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"single_query\": {{ \"cold_ms\": {cold:.4}, \"warm_ms\": {warm:.4}, \
+         \"warm_speedup\": {speedup:.3}, \"queries\": {}, \"warm_reps\": {reps} }},",
+        queries.len()
+    );
+    json.push_str("  \"batch\": {\n    \"queries\": ");
+    let _ = write!(json, "{}", batch.len());
+    json.push_str(",\n    \"throughput_qps\": {");
+    for (i, (threads, qps)) in throughput.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}\"{threads}\": {qps:.3}",
+            if i == 0 { " " } else { ", " }
+        );
+    }
+    json.push_str(" },\n");
+    let _ = writeln!(
+        json,
+        "    \"speedup_8_over_1\": {:.3}",
+        throughput
+            .last()
+            .map(|&(_, qps)| qps / base_qps)
+            .unwrap_or(1.0)
+    );
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"allocations\": {{ \"counting_allocator\": {counting}, \"allocs_per_warm_query\": {} }},",
+        if counting {
+            format!("{allocs_per_warm_query:.1}")
+        } else {
+            "null".to_string()
+        }
+    );
+    let _ = writeln!(
+        json,
+        "  \"cache\": {{ \"distance_cache_hits\": {}, \"cached_query_nodes\": {} }}",
+        engine.distance_cache_hits(),
+        engine.cached_query_nodes()
+    );
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(REPORT_PATH, &json) {
+        eprintln!("[perf] could not write {REPORT_PATH}: {e}");
+    }
+
+    // Markdown summary for the experiment log.
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "Engine perf baseline on a generated medium dataset \
+         ({n} nodes, {m} edges, k = {k}; {} available threads).\n",
+        threads_available
+    );
+    md.push_str("| metric | value |\n|---|---|\n");
+    let _ = writeln!(md, "| cold query (fresh engine) | {cold:.3} ms |");
+    let _ = writeln!(
+        md,
+        "| warm query (resident cache + workspace) | {warm:.3} ms |"
+    );
+    let _ = writeln!(md, "| warm speedup | {speedup:.2}× |");
+    for (threads, qps) in &throughput {
+        let _ = writeln!(
+            md,
+            "| batch throughput, {threads} thread(s) | {qps:.1} q/s |"
+        );
+    }
+    let _ = writeln!(
+        md,
+        "| allocations per warm query | {} |",
+        if counting {
+            format!("{allocs_per_warm_query:.1}")
+        } else {
+            "not counted in this binary".to_string()
+        }
+    );
+    let _ = writeln!(
+        md,
+        "| distance-cache warm hits | {} |",
+        engine.distance_cache_hits()
+    );
+    let _ = writeln!(md, "\nMachine-readable report written to `{REPORT_PATH}`.");
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The quick perf report runs end to end and emits structurally sound
+    /// JSON with every contract key (CI's perf-smoke gate in miniature).
+    #[test]
+    fn quick_perf_report_is_well_formed() {
+        let md = run(&Scale {
+            quick: true,
+            threads: 2,
+        });
+        assert!(md.contains("| warm speedup |"));
+        let json = std::fs::read_to_string(REPORT_PATH).expect("report written");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "\"schema\": \"csag-perf-v1\"",
+            "\"single_query\"",
+            "\"cold_ms\"",
+            "\"warm_ms\"",
+            "\"warm_speedup\"",
+            "\"throughput_qps\"",
+            "\"1\":",
+            "\"4\":",
+            "\"8\":",
+            "\"speedup_8_over_1\"",
+            "\"allocs_per_warm_query\"",
+            "\"distance_cache_hits\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Unit tests run with the crate dir as CWD; don't leave a stray
+        // report next to the sources (the committed baseline lives at the
+        // workspace root, written by the `experiments` binary).
+        let _ = std::fs::remove_file(REPORT_PATH);
+    }
+}

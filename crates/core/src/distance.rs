@@ -14,6 +14,7 @@
 
 use csag_graph::attrs::NodeAttributes;
 use csag_graph::{AttributedGraph, NodeId};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Parameters of the composite attribute distance.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -97,13 +98,25 @@ pub fn composite_distance(
 
 /// Lazily memoized `f(·, q)` values for one query. Every algorithm in the
 /// workspace computes node-to-query distances through this cache so a
-/// node's distance is evaluated at most once per query.
-#[derive(Clone, Debug)]
+/// node's distance is evaluated at most once per query *node* — the table
+/// outlives individual queries inside the engine's distance cache.
+///
+/// The table is **lock-free and shared**: each slot is an atomic `f64`
+/// bit-pattern, NaN meaning "not computed yet". [`QueryDistances::get`]
+/// therefore takes `&self`, so one table behind an `Arc` can serve many
+/// concurrent queries on the same query node; racing writers store the
+/// *same* deterministic value, making the race benign, and a warm hit in
+/// the engine cache is an `Arc` clone instead of an `O(|V|)` table copy.
+#[derive(Debug)]
 pub struct QueryDistances {
     q: NodeId,
     params: DistanceParams,
-    vals: Vec<f64>,
+    vals: Vec<AtomicU64>,
 }
+
+/// NaN bit-pattern marking an uncomputed slot. Composite distances live in
+/// `[0, 1]`, so a stored value is never NaN.
+const UNSET: u64 = f64::NAN.to_bits();
 
 impl QueryDistances {
     /// Creates an empty cache for query node `q` over a graph with `n`
@@ -112,7 +125,7 @@ impl QueryDistances {
         QueryDistances {
             q,
             params,
-            vals: vec![f64::NAN; n],
+            vals: (0..n).map(|_| AtomicU64::new(UNSET)).collect(),
         }
     }
 
@@ -126,26 +139,39 @@ impl QueryDistances {
         self.params
     }
 
-    /// `f(v, q)`, computing and memoizing on first access.
+    /// `f(v, q)`, computing and memoizing on first access. Relaxed
+    /// ordering suffices: the computation is deterministic, so every
+    /// thread that writes a slot writes identical bits.
     #[inline]
-    pub fn get(&mut self, g: &AttributedGraph, v: NodeId) -> f64 {
-        let slot = &mut self.vals[v as usize];
-        if slot.is_nan() {
-            *slot = composite_distance_attrs(g.attrs(), v, self.q, self.params);
+    pub fn get(&self, g: &AttributedGraph, v: NodeId) -> f64 {
+        let slot = &self.vals[v as usize];
+        let cached = f64::from_bits(slot.load(Ordering::Relaxed));
+        if !cached.is_nan() {
+            return cached;
         }
-        *slot
+        let d = composite_distance_attrs(g.attrs(), v, self.q, self.params);
+        slot.store(d.to_bits(), Ordering::Relaxed);
+        d
     }
 
     /// Precomputes distances for all of `nodes`.
-    pub fn warm(&mut self, g: &AttributedGraph, nodes: &[NodeId]) {
+    pub fn warm(&self, g: &AttributedGraph, nodes: &[NodeId]) {
         for &v in nodes {
             self.get(g, v);
         }
     }
 
+    /// How many slots hold a computed distance (test/observability aid).
+    pub fn computed(&self) -> usize {
+        self.vals
+            .iter()
+            .filter(|s| !f64::from_bits(s.load(Ordering::Relaxed)).is_nan())
+            .count()
+    }
+
     /// Attribute distance δ of a community (Def. 4): the mean `f(·, q)`
     /// over its members excluding `q`. A community of just `{q}` has δ = 0.
-    pub fn delta(&mut self, g: &AttributedGraph, nodes: &[NodeId]) -> f64 {
+    pub fn delta(&self, g: &AttributedGraph, nodes: &[NodeId]) -> f64 {
         let mut sum = 0.0;
         let mut cnt = 0usize;
         for &v in nodes {
@@ -158,6 +184,20 @@ impl QueryDistances {
             0.0
         } else {
             sum / cnt as f64
+        }
+    }
+}
+
+impl Clone for QueryDistances {
+    fn clone(&self) -> Self {
+        QueryDistances {
+            q: self.q,
+            params: self.params,
+            vals: self
+                .vals
+                .iter()
+                .map(|s| AtomicU64::new(s.load(Ordering::Relaxed)))
+                .collect(),
         }
     }
 }
@@ -237,7 +277,7 @@ mod tests {
     #[test]
     fn query_cache_memoizes_and_computes_delta() {
         let g = movie_graph();
-        let mut dist = QueryDistances::new(0, g.n(), DistanceParams::default());
+        let dist = QueryDistances::new(0, g.n(), DistanceParams::default());
         assert_eq!(dist.get(&g, 0), 0.0, "f(q,q) = 0");
         let d1 = dist.get(&g, 1);
         let d2 = dist.get(&g, 2);
@@ -247,6 +287,29 @@ mod tests {
         // δ of {q} alone is 0.
         assert_eq!(dist.delta(&g, &[0]), 0.0);
         assert_eq!(dist.q(), 0);
+    }
+
+    /// The table memoizes through `&self`, so one instance can be shared
+    /// across threads; racing writers agree bit-for-bit.
+    #[test]
+    fn query_cache_is_shareable_across_threads() {
+        let g = movie_graph();
+        let dist = QueryDistances::new(0, g.n(), DistanceParams::default());
+        assert_eq!(dist.computed(), 0);
+        let serial: Vec<f64> = (0..3).map(|v| dist.get(&g, v)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for v in 0..3 {
+                        assert_eq!(dist.get(&g, v), serial[v as usize]);
+                    }
+                });
+            }
+        });
+        assert_eq!(dist.computed(), 3);
+        let copy = dist.clone();
+        assert_eq!(copy.computed(), 3);
+        assert_eq!(copy.get(&g, 2), serial[2]);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use crate::distance::{DistanceParams, QueryDistances};
 use crate::error::{check_query_node, CsagError, PartialSearch};
 use csag_decomp::{CommunityModel, Maintainer};
-use csag_graph::{AttributedGraph, NodeId};
+use csag_graph::{AttributedGraph, NodeId, QueryWorkspace};
 use std::time::{Duration, Instant};
 
 /// Which pruning strategies are active (Table IV ablation).
@@ -177,6 +177,24 @@ struct SearchCtx<'g> {
     state_budget: u64,
     deadline: Option<Instant>,
     out_of_budget: bool,
+    /// Free per-recursion-level buffer sets. Each `enumerate` level pops
+    /// one set on entry and pushes it back on exit, so the enumeration
+    /// allocates only up to its deepest-ever recursion and then reuses —
+    /// no per-expansion clones of candidate lists or substates.
+    free: Vec<LevelBufs>,
+}
+
+/// The scratch one recursion level of [`enumerate`] needs.
+#[derive(Default)]
+struct LevelBufs {
+    /// Candidate deletions `(f(v,q), v)` of the current state.
+    cands: Vec<(f64, NodeId)>,
+    /// The state minus the deleted node (peel input).
+    work: Vec<NodeId>,
+    /// The maximal community within `work` (peel output).
+    substate: Vec<NodeId>,
+    /// Smallest-distances buffer of the Theorem-6 lower bound.
+    lb: Vec<f64>,
 }
 
 impl<'g> Exact<'g> {
@@ -195,8 +213,8 @@ impl<'g> Exact<'g> {
     ///   out; the best community found so far rides along as the partial.
     pub fn run(&self, q: NodeId, params: &ExactParams) -> Result<ExactResult, CsagError> {
         check_query_node(q, self.g.n())?;
-        let mut dist = QueryDistances::new(q, self.g.n(), self.dparams);
-        self.run_with_distances(q, params, &mut dist)
+        let dist = QueryDistances::new(q, self.g.n(), self.dparams);
+        self.run_with_distances(q, params, &dist)
     }
 
     /// Like [`Exact::run`], but reuses a caller-provided per-query
@@ -211,7 +229,25 @@ impl<'g> Exact<'g> {
         &self,
         q: NodeId,
         params: &ExactParams,
-        dist: &mut QueryDistances,
+        dist: &QueryDistances,
+    ) -> Result<ExactResult, CsagError> {
+        let mut ws = QueryWorkspace::new();
+        self.run_in_workspace(q, params, dist, &mut ws)
+    }
+
+    /// Like [`Exact::run_with_distances`], but additionally reuses a
+    /// caller-provided [`QueryWorkspace`] for the warm-start scratch (the
+    /// batch-executor seam; the enumeration's per-level buffers pool
+    /// internally).
+    ///
+    /// # Errors
+    /// Same as [`Exact::run_with_distances`].
+    pub fn run_in_workspace(
+        &self,
+        q: NodeId,
+        params: &ExactParams,
+        dist: &QueryDistances,
+        ws: &mut QueryWorkspace,
     ) -> Result<ExactResult, CsagError> {
         check_query_node(q, self.g.n())?;
         if dist.q() != q || dist.params() != self.dparams {
@@ -242,25 +278,29 @@ impl<'g> Exact<'g> {
         let deadline = params.time_budget.map(|b| start + b);
         let mut incumbent = (root.clone(), root_delta);
         if params.warm_start {
-            let mut by_f: Vec<(f64, NodeId)> = root
-                .iter()
-                .filter(|&&v| v != q)
-                .map(|&v| (dist.get(self.g, v), v))
-                .collect();
+            let mut by_f = ws.take_scored();
+            let mut prefix = ws.take_nodes();
+            let mut cand = ws.take_nodes();
+            by_f.extend(
+                root.iter()
+                    .filter(|&&v| v != q)
+                    .map(|&v| (dist.get(self.g, v), v)),
+            );
             by_f.sort_unstable_by(|a, b| {
                 a.0.partial_cmp(&b.0).expect("no NaN").then(a.1.cmp(&b.1))
             });
             let min_others = params.model.min_size(params.k).saturating_sub(1).max(1);
             let mut size = min_others;
-            let mut prefix: Vec<NodeId> = Vec::with_capacity(root.len());
             while size < by_f.len() {
                 prefix.clear();
                 prefix.push(q);
                 prefix.extend(by_f[..size].iter().map(|&(_, v)| v));
-                if let Some(cand) = maintainer.maximal_within(q, &prefix) {
+                if maintainer.maximal_within_into(q, &prefix, &mut cand) {
                     let d = dist.delta(self.g, &cand);
                     if d < incumbent.1 {
-                        incumbent = (cand, d);
+                        incumbent.0.clear();
+                        incumbent.0.extend_from_slice(&cand);
+                        incumbent.1 = d;
                     }
                 }
                 size = (size * 5 / 4).max(size + 1);
@@ -269,7 +309,9 @@ impl<'g> Exact<'g> {
                 }
             }
 
-            let mut cur = incumbent.0.clone();
+            // Greedy descent: `prefix` doubles as the shrunk-state buffer.
+            let mut cur = ws.take_nodes();
+            cur.extend_from_slice(&incumbent.0);
             loop {
                 if deadline.is_some_and(|d| Instant::now() >= d) {
                     break;
@@ -282,18 +324,24 @@ impl<'g> Exact<'g> {
                 else {
                     break;
                 };
-                let shrunk: Vec<NodeId> = cur.iter().copied().filter(|&x| x != worst).collect();
-                match maintainer.maximal_within(q, &shrunk) {
-                    Some(next) => {
-                        let d = dist.delta(self.g, &next);
-                        if d < incumbent.1 {
-                            incumbent = (next.clone(), d);
-                        }
-                        cur = next;
+                prefix.clear();
+                prefix.extend(cur.iter().copied().filter(|&x| x != worst));
+                if maintainer.maximal_within_into(q, &prefix, &mut cand) {
+                    let d = dist.delta(self.g, &cand);
+                    if d < incumbent.1 {
+                        incumbent.0.clear();
+                        incumbent.0.extend_from_slice(&cand);
+                        incumbent.1 = d;
                     }
-                    None => break,
+                    std::mem::swap(&mut cur, &mut cand);
+                } else {
+                    break;
                 }
             }
+            ws.put_nodes(cur);
+            ws.put_scored(by_f);
+            ws.put_nodes(prefix);
+            ws.put_nodes(cand);
         }
 
         let mut ctx = SearchCtx {
@@ -307,6 +355,7 @@ impl<'g> Exact<'g> {
             state_budget: params.state_budget.unwrap_or(u64::MAX),
             deadline: params.time_budget.map(|b| start + b),
             out_of_budget: false,
+            free: Vec::new(),
         };
         enumerate(
             &mut ctx,
@@ -338,37 +387,40 @@ impl<'g> Exact<'g> {
 
 /// Lower bound on δ over all substates (Eqs. 3–4): the mean of the
 /// `need` smallest `f(·,q)` values among the state's members (q excluded,
-/// since δ never averages over q).
+/// since δ never averages over q). `buf` is reusable scratch.
 fn lower_bound(
-    ctx: &mut SearchCtx<'_>,
-    dist: &mut QueryDistances,
+    ctx: &SearchCtx<'_>,
+    dist: &QueryDistances,
     state: &[NodeId],
     need: usize,
+    buf: &mut Vec<f64>,
 ) -> f64 {
     if need == 0 {
         return 0.0;
     }
-    let mut smallest: Vec<f64> = state
-        .iter()
-        .filter(|&&v| v != ctx.q)
-        .map(|&v| dist.get(ctx.g, v))
-        .collect();
-    if smallest.len() <= need {
-        return if smallest.is_empty() {
+    buf.clear();
+    buf.extend(
+        state
+            .iter()
+            .filter(|&&v| v != ctx.q)
+            .map(|&v| dist.get(ctx.g, v)),
+    );
+    if buf.len() <= need {
+        return if buf.is_empty() {
             0.0
         } else {
-            smallest.iter().sum::<f64>() / smallest.len() as f64
+            buf.iter().sum::<f64>() / buf.len() as f64
         };
     }
-    smallest.select_nth_unstable_by(need - 1, |a, b| a.partial_cmp(b).expect("no NaN"));
-    let head = &smallest[..need];
+    buf.select_nth_unstable_by(need - 1, |a, b| a.partial_cmp(b).expect("no NaN"));
+    let head = &buf[..need];
     head.iter().sum::<f64>() / need as f64
 }
 
 fn enumerate(
     ctx: &mut SearchCtx<'_>,
     maintainer: &mut Maintainer<'_>,
-    dist: &mut QueryDistances,
+    dist: &QueryDistances,
     state: &[NodeId],
     state_delta: f64,
     f_u: f64,
@@ -379,37 +431,48 @@ fn enumerate(
         return;
     }
 
+    // This level's buffers: popped from the free pool, pushed back on
+    // every exit. Steady-state recursion therefore reuses the deepest
+    // prior level's allocations instead of cloning per expansion.
+    let mut level = ctx.free.pop().unwrap_or_default();
+
     // P3: prune unpromising states (Theorem 6).
     if ctx.pruning.unpromising {
-        let lb = lower_bound(ctx, dist, state, ctx.min_size - 1);
+        let lb = lower_bound(ctx, dist, state, ctx.min_size - 1, &mut level.lb);
         if lb >= ctx.best_delta {
+            ctx.free.push(level);
             return;
         }
     }
 
     // Candidate deletions: by Theorem 5 only nodes with f(·,q) > δ(state)
     // can improve δ (P2); otherwise every non-q node is a candidate.
-    let mut candidates: Vec<(f64, NodeId)> = state
-        .iter()
-        .filter(|&&v| v != ctx.q)
-        .map(|&v| (dist.get(ctx.g, v), v))
-        .filter(|&(f, _)| !ctx.pruning.unnecessary || f > state_delta)
-        .collect();
+    level.cands.clear();
+    level.cands.extend(
+        state
+            .iter()
+            .filter(|&&v| v != ctx.q)
+            .map(|&v| (dist.get(ctx.g, v), v))
+            .filter(|&(f, _)| !ctx.pruning.unnecessary || f > state_delta),
+    );
     // Priority enumeration: descending f(·,q) (Lemma 1). Ties broken by id
     // for determinism.
-    candidates.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN").then(a.1.cmp(&b.1)));
+    level
+        .cands
+        .sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN").then(a.1.cmp(&b.1)));
 
-    let mut scratch: Vec<NodeId> = Vec::with_capacity(state.len());
-    for (f_v, v) in candidates {
+    for idx in 0..level.cands.len() {
         if ctx.out_of_budget {
-            return;
+            break;
         }
-        scratch.clear();
-        scratch.extend(state.iter().copied().filter(|&x| x != v));
-        let Some(substate) = maintainer.maximal_within(ctx.q, &scratch) else {
+        let (f_v, v) = level.cands[idx];
+        level.work.clear();
+        level.work.extend(state.iter().copied().filter(|&x| x != v));
+        if !maintainer.maximal_within_into(ctx.q, &level.work, &mut level.substate) {
             // Deleting v collapses q's community; no substate to visit.
             continue;
-        };
+        }
+        let substate = &level.substate;
 
         // P1: duplicate-state pruning (Theorem 4). v_m is the deleted node
         // with the largest f(·,q) among everything the cascade removed.
@@ -434,13 +497,15 @@ fn enumerate(
             }
         }
 
-        let sub_delta = dist.delta(ctx.g, &substate);
+        let sub_delta = dist.delta(ctx.g, substate);
         if sub_delta < ctx.best_delta {
             ctx.best_delta = sub_delta;
-            ctx.best = substate.clone();
+            ctx.best.clear();
+            ctx.best.extend_from_slice(substate);
         }
-        enumerate(ctx, maintainer, dist, &substate, sub_delta, f_v);
+        enumerate(ctx, maintainer, dist, &level.substate, sub_delta, f_v);
     }
+    ctx.free.push(level);
 }
 
 #[cfg(test)]
@@ -491,7 +556,7 @@ mod tests {
     #[test]
     fn distances_match_figure3() {
         let (g, q) = figure3_graph();
-        let mut dist = QueryDistances::new(q, g.n(), DistanceParams::with_gamma(0.0));
+        let dist = QueryDistances::new(q, g.n(), DistanceParams::with_gamma(0.0));
         let expect = [(1, 0.7), (2, 0.6), (3, 0.6), (4, 0.5), (6, 0.3)];
         for (v, f) in expect {
             assert!((dist.get(&g, v) - f).abs() < 1e-12, "f(v{v},q)");
@@ -523,7 +588,7 @@ mod tests {
     /// Brute force over all subsets (graph is tiny).
     fn brute_force(g: &AttributedGraph, q: NodeId, k: u32) -> (f64, Vec<NodeId>) {
         let n = g.n();
-        let mut dist = QueryDistances::new(q, n, DistanceParams::with_gamma(0.0));
+        let dist = QueryDistances::new(q, n, DistanceParams::with_gamma(0.0));
         let mut best = (f64::INFINITY, Vec::new());
         for mask in 1u32..(1 << n) {
             if mask & (1 << q) == 0 {
@@ -639,14 +704,14 @@ mod tests {
     fn mismatched_distance_cache_is_rejected() {
         let (g, q) = figure3_graph();
         let exact = Exact::new(&g, DistanceParams::with_gamma(0.0));
-        let mut wrong_q = QueryDistances::new(1, g.n(), DistanceParams::with_gamma(0.0));
+        let wrong_q = QueryDistances::new(1, g.n(), DistanceParams::with_gamma(0.0));
         assert!(matches!(
-            exact.run_with_distances(q, &exact_params(), &mut wrong_q),
+            exact.run_with_distances(q, &exact_params(), &wrong_q),
             Err(CsagError::InvalidParams { .. })
         ));
-        let mut wrong_gamma = QueryDistances::new(q, g.n(), DistanceParams::with_gamma(0.7));
+        let wrong_gamma = QueryDistances::new(q, g.n(), DistanceParams::with_gamma(0.7));
         assert!(matches!(
-            exact.run_with_distances(q, &exact_params(), &mut wrong_gamma),
+            exact.run_with_distances(q, &exact_params(), &wrong_gamma),
             Err(CsagError::InvalidParams { .. })
         ));
     }

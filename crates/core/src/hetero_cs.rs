@@ -18,10 +18,9 @@
 use crate::distance::{composite_distance_attrs, DistanceParams};
 use crate::error::{check_query_node, CsagError};
 use crate::sea::{sea_on_population, SeaParams, SeaResult};
-use csag_graph::{FixedBitSet, HeteroGraph, MetaPath, NodeId};
+use csag_graph::{FixedBitSet, HeteroGraph, MetaPath, MinScored, NodeId};
 use csag_stats::min_population_size;
 use rand::Rng;
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
@@ -119,39 +118,17 @@ impl<'g> SeaHetero<'g> {
     /// until `min_size` target nodes are collected or the P-connected
     /// component is exhausted.
     fn grow_p_neighborhood(&self, q: NodeId, min_size: usize) -> Vec<NodeId> {
-        struct Item {
-            f: f64,
-            v: NodeId,
-        }
-        impl PartialEq for Item {
-            fn eq(&self, other: &Self) -> bool {
-                self.f == other.f && self.v == other.v
-            }
-        }
-        impl Eq for Item {}
-        impl PartialOrd for Item {
-            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl Ord for Item {
-            fn cmp(&self, other: &Self) -> Ordering {
-                other
-                    .f
-                    .partial_cmp(&self.f)
-                    .unwrap_or(Ordering::Equal)
-                    .then(other.v.cmp(&self.v))
-            }
-        }
-
         let attrs = self.g.attrs();
         let mut taken = FixedBitSet::new(self.g.n());
         let mut queued = FixedBitSet::new(self.g.n());
         let mut heap = BinaryHeap::new();
         queued.insert(q);
-        heap.push(Item { f: 0.0, v: q });
+        heap.push(MinScored {
+            score: 0.0,
+            node: q,
+        });
         let mut out = Vec::new();
-        while let Some(Item { v, .. }) = heap.pop() {
+        while let Some(MinScored { node: v, .. }) = heap.pop() {
             if !taken.insert(v) {
                 continue;
             }
@@ -162,7 +139,7 @@ impl<'g> SeaHetero<'g> {
             for w in self.g.p_neighbors(v, &self.path) {
                 if !taken.contains(w) && queued.insert(w) {
                     let f = composite_distance_attrs(attrs, w, q, self.dparams);
-                    heap.push(Item { f, v: w });
+                    heap.push(MinScored { score: f, node: w });
                 }
             }
         }

@@ -26,15 +26,13 @@
 
 use crate::distance::{DistanceParams, QueryDistances};
 use crate::error::{check_query_node, CsagError};
-use csag_decomp::{CommunityModel, Maintainer};
-use csag_graph::{AttributedGraph, FixedBitSet, NodeId};
+use csag_decomp::{CommunityModel, Maintainer, PrefixPeeler};
+use csag_graph::{AttributedGraph, FixedBitSet, MinScored, NodeId, QueryWorkspace};
 use csag_stats::{
     incremental_sample_size, min_population_size, satisfies_error_bound,
     weighted_sample_without_replacement, z_for_confidence, Blb, ConfidenceInterval,
 };
 use rand::Rng;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
 /// Parameters of a SEA query. Defaults match the paper's §VII-A setup.
@@ -276,8 +274,8 @@ impl<'g> Sea<'g> {
         rng: &mut R,
     ) -> Result<SeaResult, CsagError> {
         check_query_node(q, self.g.n())?;
-        let mut dist = QueryDistances::new(q, self.g.n(), self.dparams);
-        self.run_with_distances(q, params, rng, &mut dist)
+        let dist = QueryDistances::new(q, self.g.n(), self.dparams);
+        self.run_with_distances(q, params, rng, &dist)
     }
 
     /// Like [`Sea::run`], but reuses a caller-provided distance cache for
@@ -294,7 +292,26 @@ impl<'g> Sea<'g> {
         q: NodeId,
         params: &SeaParams,
         rng: &mut R,
-        dist: &mut QueryDistances,
+        dist: &QueryDistances,
+    ) -> Result<SeaResult, CsagError> {
+        let mut ws = QueryWorkspace::new();
+        self.run_in_workspace(q, params, rng, dist, &mut ws)
+    }
+
+    /// Like [`Sea::run_with_distances`], but additionally reuses a
+    /// caller-provided [`QueryWorkspace`] so repeated queries on one
+    /// thread recycle every bitset, heap and scratch buffer of the hot
+    /// path instead of reallocating them (the batch-executor seam).
+    ///
+    /// # Errors
+    /// Same as [`Sea::run_with_distances`].
+    pub fn run_in_workspace<R: Rng + ?Sized>(
+        &self,
+        q: NodeId,
+        params: &SeaParams,
+        rng: &mut R,
+        dist: &QueryDistances,
+        ws: &mut QueryWorkspace,
     ) -> Result<SeaResult, CsagError> {
         params.validate()?;
         check_query_node(q, self.g.n())?;
@@ -312,27 +329,30 @@ impl<'g> Sea<'g> {
             params.hoeffding_epsilon,
             1.0 - params.hoeffding_confidence,
         );
-        let gq_nodes = grow_neighborhood(self.g, q, min_gq, dist);
+        let mut gq_nodes = ws.take_nodes();
+        grow_neighborhood_into(self.g, q, min_gq, dist, ws, &mut gq_nodes);
         let population = self.g.induced(&gq_nodes);
+        ws.put_nodes(gq_nodes);
         let q_local = population.local(q).expect("q is in its own neighborhood");
         let sampling_setup = t0.elapsed();
 
         // `sea_on_population` speaks in population-local ids; restate its
         // definitive "no" in terms of the node the caller actually asked
         // about.
-        let mut result = sea_on_population(&population.graph, q_local, self.dparams, params, rng)
-            .map_err(|e| match e {
-            CsagError::NoCommunity { .. } => CsagError::no_community(format!(
-                "even the full sampled neighborhood holds no {} of node {q} at k = {}{}",
-                params.model,
-                params.k,
-                match params.size_bound {
-                    Some((l, h)) => format!(" within the size bound [{l}, {h}]"),
-                    None => String::new(),
-                }
-            )),
-            other => other,
-        })?;
+        let mut result =
+            sea_on_population_with(&population.graph, q_local, self.dparams, params, rng, ws)
+                .map_err(|e| match e {
+                    CsagError::NoCommunity { .. } => CsagError::no_community(format!(
+                        "even the full sampled neighborhood holds no {} of node {q} at k = {}{}",
+                        params.model,
+                        params.k,
+                        match params.size_bound {
+                            Some((l, h)) => format!(" within the size bound [{l}, {h}]"),
+                            None => String::new(),
+                        }
+                    )),
+                    other => other,
+                })?;
         result.timing.sampling += sampling_setup;
 
         // Map the community back to original ids.
@@ -348,41 +368,36 @@ pub fn grow_neighborhood(
     g: &AttributedGraph,
     q: NodeId,
     min_size: usize,
-    dist: &mut QueryDistances,
+    dist: &QueryDistances,
 ) -> Vec<NodeId> {
-    struct Item {
-        f: f64,
-        v: NodeId,
-    }
-    impl PartialEq for Item {
-        fn eq(&self, other: &Self) -> bool {
-            self.f == other.f && self.v == other.v
-        }
-    }
-    impl Eq for Item {}
-    impl PartialOrd for Item {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Item {
-        fn cmp(&self, other: &Self) -> Ordering {
-            // Min-heap on f: reverse, tie-break on id for determinism.
-            other
-                .f
-                .partial_cmp(&self.f)
-                .unwrap_or(Ordering::Equal)
-                .then(other.v.cmp(&self.v))
-        }
-    }
-
-    let mut taken = FixedBitSet::new(g.n());
-    let mut queued = FixedBitSet::new(g.n());
-    let mut heap = BinaryHeap::new();
-    queued.insert(q);
-    heap.push(Item { f: 0.0, v: q });
+    let mut ws = QueryWorkspace::new();
     let mut out = Vec::with_capacity(min_size.max(1));
-    while let Some(Item { v, .. }) = heap.pop() {
+    grow_neighborhood_into(g, q, min_size, dist, &mut ws, &mut out);
+    out
+}
+
+/// Allocation-free twin of [`grow_neighborhood`]: collects into `out`
+/// (cleared first) using pooled workspace state. With a warmed workspace
+/// and a capacious `out` this is the zero-allocation steady state the
+/// counting-allocator test asserts.
+pub fn grow_neighborhood_into(
+    g: &AttributedGraph,
+    q: NodeId,
+    min_size: usize,
+    dist: &QueryDistances,
+    ws: &mut QueryWorkspace,
+    out: &mut Vec<NodeId>,
+) {
+    let mut taken = ws.take_bitset(g.n());
+    let mut queued = ws.take_bitset(g.n());
+    let mut heap = ws.take_heap();
+    queued.insert(q);
+    heap.push(MinScored {
+        score: 0.0,
+        node: q,
+    });
+    out.clear();
+    while let Some(MinScored { node: v, .. }) = heap.pop() {
         if !taken.insert(v) {
             continue;
         }
@@ -392,15 +407,17 @@ pub fn grow_neighborhood(
         }
         for &w in g.neighbors(v) {
             if !taken.contains(w) && queued.insert(w) {
-                heap.push(Item {
-                    f: dist.get(g, w),
-                    v: w,
+                heap.push(MinScored {
+                    score: dist.get(g, w),
+                    node: w,
                 });
             }
         }
     }
     out.sort_unstable();
-    out
+    ws.put_heap(heap);
+    ws.put_bitset(queued);
+    ws.put_bitset(taken);
 }
 
 /// Runs sampling + estimation + incremental sampling on a *population
@@ -419,26 +436,104 @@ pub fn sea_on_population<R: Rng + ?Sized>(
     params: &SeaParams,
     rng: &mut R,
 ) -> Result<SeaResult, CsagError> {
+    let mut ws = QueryWorkspace::new();
+    sea_on_population_with(pop, q, dparams, params, rng, &mut ws)
+}
+
+/// Pooled scratch of one `sea_on_population_with` call, checked out of the
+/// caller's workspace up front so every exit path returns it.
+struct PopulationBufs {
+    weights: Vec<f64>,
+    in_sample: FixedBitSet,
+    sample_nodes: Vec<NodeId>,
+    root: Vec<NodeId>,
+    by_f: Vec<(f64, NodeId)>,
+    prefix: Vec<NodeId>,
+    cand: Vec<NodeId>,
+    data: Vec<f64>,
+    best_comm: Vec<NodeId>,
+}
+
+/// Like [`sea_on_population`], but recycles the caller's
+/// [`QueryWorkspace`] buffers, so the per-round candidate scan allocates
+/// nothing in the steady state (the engine/batch seam).
+///
+/// # Errors
+/// Same as [`sea_on_population`].
+pub fn sea_on_population_with<R: Rng + ?Sized>(
+    pop: &AttributedGraph,
+    q: NodeId,
+    dparams: DistanceParams,
+    params: &SeaParams,
+    rng: &mut R,
+    ws: &mut QueryWorkspace,
+) -> Result<SeaResult, CsagError> {
     params.validate()?;
     check_query_node(q, pop.n())?;
+    let mut bufs = PopulationBufs {
+        weights: ws.take_f64s(),
+        in_sample: ws.take_bitset(pop.n()),
+        sample_nodes: ws.take_nodes(),
+        root: ws.take_nodes(),
+        by_f: ws.take_scored(),
+        prefix: ws.take_nodes(),
+        cand: ws.take_nodes(),
+        data: ws.take_f64s(),
+        best_comm: ws.take_nodes(),
+    };
+    let res = sea_population_inner(pop, q, dparams, params, rng, &mut bufs);
+    ws.put_f64s(bufs.weights);
+    ws.put_bitset(bufs.in_sample);
+    ws.put_nodes(bufs.sample_nodes);
+    ws.put_nodes(bufs.root);
+    ws.put_scored(bufs.by_f);
+    ws.put_nodes(bufs.prefix);
+    ws.put_nodes(bufs.cand);
+    ws.put_f64s(bufs.data);
+    ws.put_nodes(bufs.best_comm);
+    res
+}
+
+fn sea_population_inner<R: Rng + ?Sized>(
+    pop: &AttributedGraph,
+    q: NodeId,
+    dparams: DistanceParams,
+    params: &SeaParams,
+    rng: &mut R,
+    bufs: &mut PopulationBufs,
+) -> Result<SeaResult, CsagError> {
     let n = pop.n();
-    let mut dist = QueryDistances::new(q, n, dparams);
+    let dist = QueryDistances::new(q, n, dparams);
     let mut maintainer = Maintainer::new(pop, params.model, params.k);
+    // The candidate ladder peels growing prefixes of one f-sorted member
+    // list; for the k-core model a [`PrefixPeeler`] maintains the
+    // restricted-degree counters incrementally across the whole scan
+    // instead of recomputing them per candidate. The truss model has no
+    // incremental twin and keeps the general maintainer peel.
+    let mut prefix_peeler = match params.model {
+        CommunityModel::KCore => Some(PrefixPeeler::new(pop, params.k)),
+        CommunityModel::KTruss => None,
+    };
     let z = z_for_confidence(params.confidence);
     let mut timing = SeaTiming::default();
     let mut rounds: Vec<SeaRound> = Vec::new();
 
     // Attribute-aware sampling weights Ps(v) ∝ 1 − f(v,q) (Eq. 5).
     let t_weights = Instant::now();
-    let weights: Vec<f64> = (0..n as NodeId).map(|v| 1.0 - dist.get(pop, v)).collect();
-    let mut in_sample = FixedBitSet::new(n);
-    in_sample.insert(q);
+    bufs.weights
+        .extend((0..n as NodeId).map(|v| 1.0 - dist.get(pop, v)));
+    bufs.in_sample.insert(q);
     let initial =
         ((params.lambda * n as f64).ceil() as usize).clamp(params.min_members().min(n), n);
-    add_samples(&weights, &mut in_sample, initial.saturating_sub(1), rng);
+    add_samples(
+        &bufs.weights,
+        &mut bufs.in_sample,
+        initial.saturating_sub(1),
+        rng,
+    );
     timing.sampling += t_weights.elapsed();
 
-    let mut best: Option<(Vec<NodeId>, f64, f64)> = None; // (community, δ⋆, ε)
+    let mut best: Option<(f64, f64)> = None; // (δ⋆, ε) of `bufs.best_comm`
     let mut certified = false;
     let mut added_this_round = 0usize;
 
@@ -447,22 +542,23 @@ pub fn sea_on_population<R: Rng + ?Sized>(
 
         // S1: peel the induced sample to the maximal community of q.
         let t1 = Instant::now();
-        let sample_nodes = in_sample.to_vec();
-        let candidate = maintainer.maximal_within(q, &sample_nodes);
+        bufs.sample_nodes.clear();
+        bufs.sample_nodes.extend(bufs.in_sample.iter());
+        let have_root = maintainer.maximal_within_into(q, &bufs.sample_nodes, &mut bufs.root);
         timing.sampling += t1.elapsed();
 
-        if candidate.is_none() {
+        if !have_root {
             // No community in the sample: enlarge (double) and retry, or
             // fail definitively once the whole population is sampled.
-            if in_sample.count() == n {
+            if bufs.in_sample.count() == n {
                 return Err(CsagError::no_community(format!(
                     "even the full population holds no connected {} containing node {q} at k = {}",
                     params.model, params.k
                 )));
             }
             let t3 = Instant::now();
-            let add = in_sample.count().max(1);
-            let added = add_samples(&weights, &mut in_sample, add, rng);
+            let add = bufs.in_sample.count().max(1);
+            let added = add_samples(&bufs.weights, &mut bufs.in_sample, add, rng);
             added_this_round += added;
             timing.incremental += t3.elapsed();
             continue;
@@ -484,84 +580,114 @@ pub fn sea_on_population<R: Rng + ?Sized>(
         let t2 = Instant::now();
         let mut candidates_examined = 0usize;
         let mut last_est: Option<(f64, f64, usize)> = None; // (δ⋆, ε, |S_blb|)
-        if let Some(root) = &candidate {
-            let mut by_f: Vec<(f64, NodeId)> = root
-                .iter()
-                .filter(|&&v| v != q)
-                .map(|&v| (dist.get(pop, v), v))
-                .collect();
+        {
+            let by_f = &mut bufs.by_f;
+            by_f.clear();
+            by_f.extend(
+                bufs.root
+                    .iter()
+                    .filter(|&&v| v != q)
+                    .map(|&v| (dist.get(pop, v), v)),
+            );
             by_f.sort_unstable_by(|a, b| {
                 a.0.partial_cmp(&b.0).expect("no NaN").then(a.1.cmp(&b.1))
             });
 
-            // Prefix sizes: every size inside a size-bound window, else a
-            // geometric ladder from the model minimum to the full root.
-            let mut sizes: Vec<usize> = Vec::new();
-            match params.size_bound {
-                Some((l, h)) => {
-                    let lo = l.saturating_sub(1).max(1);
-                    let hi = (2 * h).min(by_f.len());
-                    sizes.extend(lo..=hi);
-                }
-                None => {
-                    let mut sz = params.min_members().saturating_sub(1).max(1);
-                    while sz < by_f.len() {
-                        sizes.push(sz);
-                        sz = (sz * 5 / 4).max(sz + 1);
-                    }
-                    sizes.push(by_f.len());
-                }
+            // The incremental scan state: how many of `by_f` are already
+            // in the (grow-only) prefix.
+            let mut pushed = 0usize;
+            if let Some(p) = prefix_peeler.as_mut() {
+                p.clear();
+                p.push(q);
             }
 
-            let mut prefix: Vec<NodeId> = Vec::with_capacity(by_f.len() + 1);
+            // Prefix sizes: every size inside a size-bound window, else a
+            // geometric ladder from the model minimum to the full root.
+            let (first, hi, geometric) = match params.size_bound {
+                Some((l, h)) => (l.saturating_sub(1).max(1), (2 * h).min(by_f.len()), false),
+                None => (
+                    params.min_members().saturating_sub(1).max(1),
+                    by_f.len(),
+                    true,
+                ),
+            };
+            let mut size = first;
             let mut last_len = 0usize;
-            for size in sizes {
+            while size <= hi && size <= by_f.len() {
                 if candidates_examined >= params.max_candidates_per_round {
                     break;
                 }
-                if size > by_f.len() {
-                    break;
-                }
-                prefix.clear();
-                prefix.push(q);
-                prefix.extend(by_f[..size].iter().map(|&(_, v)| v));
-                let Some(cand) = maintainer.maximal_within(q, &prefix) else {
-                    continue;
+                // The ladder only grows, so the peeler's counters advance
+                // by exactly the nodes the prefix gained since last time.
+                let have_cand = match prefix_peeler.as_mut() {
+                    Some(p) => {
+                        while pushed < size {
+                            p.push(by_f[pushed].1);
+                            pushed += 1;
+                        }
+                        p.peel_into(q, &mut bufs.cand)
+                    }
+                    None => {
+                        bufs.prefix.clear();
+                        bufs.prefix.push(q);
+                        bufs.prefix.extend(by_f[..size].iter().map(|&(_, v)| v));
+                        maintainer.maximal_within_into(q, &bufs.prefix, &mut bufs.cand)
+                    }
                 };
-                if cand.len() == last_len {
-                    continue; // same fixed point as the previous prefix
-                }
-                last_len = cand.len();
-                let size_ok = match params.size_bound {
-                    Some((l, h)) => cand.len() >= l && cand.len() <= h,
-                    None => true,
+                let next_size = if geometric {
+                    if size >= by_f.len() {
+                        hi + 1 // final rung evaluated; terminate
+                    } else {
+                        (size * 5 / 4).max(size + 1).min(by_f.len())
+                    }
+                } else {
+                    size + 1
                 };
-                if !size_ok {
-                    continue;
+                if have_cand && bufs.cand.len() != last_len {
+                    // A new fixed point (not the previous prefix's).
+                    last_len = bufs.cand.len();
+                    let size_ok = match params.size_bound {
+                        Some((l, h)) => bufs.cand.len() >= l && bufs.cand.len() <= h,
+                        None => true,
+                    };
+                    if size_ok {
+                        candidates_examined += 1;
+                        bufs.data.clear();
+                        if bufs.cand.len() == size + 1 {
+                            // The peel kept the whole prefix (the output is
+                            // a subset, so equal size means equal set): the
+                            // δ numerator is over by_f[..size] verbatim — no
+                            // per-member lookups or membership filtering.
+                            bufs.data.extend(by_f[..size].iter().map(|&(f, _)| f));
+                        } else {
+                            bufs.data.extend(
+                                bufs.cand
+                                    .iter()
+                                    .filter(|&&v| v != q)
+                                    .map(|&v| dist.get(pop, v)),
+                            );
+                        }
+                        let est = params.blb.estimate(&bufs.data, z, rng);
+                        last_est = Some((est.point, est.moe, est.blb_sample_size));
+                        let pass = satisfies_error_bound(est.moe, est.point, params.error_bound);
+                        let better = best.is_none_or(|(d, _)| est.point < d);
+                        if better || pass {
+                            best = Some((est.point, est.moe));
+                            bufs.best_comm.clear();
+                            bufs.best_comm.extend_from_slice(&bufs.cand);
+                        }
+                        if pass {
+                            certified = true;
+                            break;
+                        }
+                    }
                 }
-                candidates_examined += 1;
-                let data: Vec<f64> = cand
-                    .iter()
-                    .filter(|&&v| v != q)
-                    .map(|v| dist.get(pop, *v))
-                    .collect();
-                let est = params.blb.estimate(&data, z, rng);
-                last_est = Some((est.point, est.moe, est.blb_sample_size));
-                let pass = satisfies_error_bound(est.moe, est.point, params.error_bound);
-                let better = best.as_ref().is_none_or(|(_, d, _)| est.point < *d);
-                if better {
-                    best = Some((cand.clone(), est.point, est.moe));
-                }
-                if pass {
-                    certified = true;
-                    best = Some((cand, est.point, est.moe));
-                    break;
-                }
+                size = next_size;
             }
         }
         timing.estimation += t2.elapsed();
 
-        let (ds, moe, sblb) = last_est.unwrap_or((0.0, f64::INFINITY, in_sample.count()));
+        let (ds, moe, sblb) = last_est.unwrap_or((0.0, f64::INFINITY, bufs.in_sample.count()));
         rounds.push(SeaRound {
             delta_star: ds,
             moe,
@@ -576,7 +702,7 @@ pub fn sea_on_population<R: Rng + ?Sized>(
         }
 
         // S3: error-based incremental sampling (Eq. 12).
-        if in_sample.count() == n {
+        if bufs.in_sample.count() == n {
             break; // Nothing left to add; return best effort.
         }
         let t3 = Instant::now();
@@ -588,7 +714,7 @@ pub fn sea_on_population<R: Rng + ?Sized>(
             params.blb.scale_exponent,
         )
         .max(1);
-        let added = add_samples(&weights, &mut in_sample, want, rng);
+        let added = add_samples(&bufs.weights, &mut bufs.in_sample, want, rng);
         added_this_round += added;
         timing.incremental += t3.elapsed();
         if added == 0 {
@@ -596,7 +722,7 @@ pub fn sea_on_population<R: Rng + ?Sized>(
         }
     }
 
-    let (community, delta_star, moe) = best.ok_or_else(|| {
+    let (delta_star, moe) = best.ok_or_else(|| {
         CsagError::no_community(match params.size_bound {
             Some((l, h)) => format!(
                 "no candidate community of node {q} fits the size bound [{l}, {h}] at k = {}",
@@ -619,8 +745,8 @@ pub fn sea_on_population<R: Rng + ?Sized>(
         rounds,
         timing,
         population_size: n,
-        sample_size: in_sample.count(),
-        community,
+        sample_size: bufs.in_sample.count(),
+        community: bufs.best_comm[..].to_vec(),
     })
 }
 
@@ -807,8 +933,8 @@ mod tests {
     #[test]
     fn grow_neighborhood_prefers_similar_nodes() {
         let g = planted(7);
-        let mut dist = QueryDistances::new(0, g.n(), DistanceParams::default());
-        let nb = grow_neighborhood(&g, 0, 12, &mut dist);
+        let dist = QueryDistances::new(0, g.n(), DistanceParams::default());
+        let nb = grow_neighborhood(&g, 0, 12, &dist);
         assert_eq!(nb.len(), 12);
         assert!(nb.contains(&0));
         // Most collected nodes should be from the similar block 0..12.
@@ -819,9 +945,23 @@ mod tests {
     #[test]
     fn grow_neighborhood_exhausts_component() {
         let g = planted(8);
-        let mut dist = QueryDistances::new(0, g.n(), DistanceParams::default());
-        let nb = grow_neighborhood(&g, 0, 10_000, &mut dist);
+        let dist = QueryDistances::new(0, g.n(), DistanceParams::default());
+        let nb = grow_neighborhood(&g, 0, 10_000, &dist);
         assert_eq!(nb.len(), 24, "whole connected component");
+    }
+
+    /// The `_into` twin must agree with the allocating wrapper while
+    /// reusing one workspace across many calls.
+    #[test]
+    fn grow_neighborhood_into_reuses_workspace() {
+        let g = planted(9);
+        let dist = QueryDistances::new(0, g.n(), DistanceParams::default());
+        let mut ws = QueryWorkspace::new();
+        let mut out = Vec::new();
+        for min_size in [1, 5, 12, 24, 100] {
+            grow_neighborhood_into(&g, 0, min_size, &dist, &mut ws, &mut out);
+            assert_eq!(out, grow_neighborhood(&g, 0, min_size, &dist));
+        }
     }
 
     #[test]

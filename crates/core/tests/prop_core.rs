@@ -35,7 +35,7 @@ fn arb_graph() -> impl Strategy<Value = (AttributedGraph, u32)> {
 /// Brute force optimal connected k-core by subset enumeration.
 fn brute_force(g: &AttributedGraph, q: u32, k: u32) -> Option<(f64, Vec<u32>)> {
     let n = g.n();
-    let mut dist = QueryDistances::new(q, n, DistanceParams::default());
+    let dist = QueryDistances::new(q, n, DistanceParams::default());
     let mut best: Option<(f64, Vec<u32>)> = None;
     for mask in 1u32..(1 << n) {
         if mask & (1 << q) == 0 {
@@ -127,7 +127,7 @@ proptest! {
             }
             prop_assert!(csag_graph::traversal::is_connected_subset(&g, &res.community));
             // δ⋆ is the true attribute distance of the returned community.
-            let mut dist = QueryDistances::new(q, g.n(), DistanceParams::default());
+            let dist = QueryDistances::new(q, g.n(), DistanceParams::default());
             let actual = dist.delta(&g, &res.community);
             prop_assert!((actual - res.delta_star).abs() < 1e-9);
             // And it cannot beat the optimum.

@@ -92,7 +92,7 @@ proptest! {
         b.add_node(&["q"], &[1.0]);
         let g = b.build().unwrap();
         let dp = DistanceParams::with_gamma(0.0);
-        let mut dist = QueryDistances::new(0, g.n(), dp);
+        let dist = QueryDistances::new(0, g.n(), dp);
         let members: Vec<u32> = (0..=vals.len() as u32).collect();
         let delta = dist.delta(&g, &members);
         let dmin = vals.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -101,7 +101,7 @@ proptest! {
         // Shuffled order gives the same δ.
         let mut rev = members.clone();
         rev.reverse();
-        let mut dist2 = QueryDistances::new(0, g.n(), dp);
+        let dist2 = QueryDistances::new(0, g.n(), dp);
         prop_assert!((dist2.delta(&g, &rev) - delta).abs() < 1e-12);
     }
 }

@@ -1,0 +1,126 @@
+//! The zero-allocation guarantee of the workspace-reused query hot loop.
+//!
+//! This binary registers the counting global allocator and drives the
+//! steady-state SEA inner loop — best-first neighborhood growth plus the
+//! incremental prefix-candidate peel — through a reused
+//! [`QueryWorkspace`] / [`PrefixPeeler`]. After a short warm-up (pools
+//! grow to their high-water mark), repeating the loop must perform
+//! **exactly zero** heap allocations.
+//!
+//! Keep this file at ONE `#[test]`: the allocation counter is
+//! process-wide, so a concurrently running sibling test would pollute the
+//! delta.
+
+use csag_core::distance::{DistanceParams, QueryDistances};
+use csag_core::sea::grow_neighborhood_into;
+use csag_decomp::PrefixPeeler;
+use csag_graph::alloc_counter::{allocation_count, counting_enabled, CountingAllocator};
+use csag_graph::{AttributedGraph, GraphBuilder, NodeId, QueryWorkspace};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Two planted 16-node communities bridged by a few edges; deterministic
+/// (no RNG — edge pattern from index arithmetic) so every loop iteration
+/// does identical work.
+fn planted() -> AttributedGraph {
+    let mut b = GraphBuilder::new(1);
+    for i in 0..32u32 {
+        let base = if i < 16 { 0.1 } else { 0.9 };
+        let topic = if i < 16 { "alpha" } else { "beta" };
+        b.add_node(&[topic], &[base + (i % 7) as f64 * 0.01]);
+    }
+    for block in [0u32, 16] {
+        for u in block..block + 16 {
+            for v in (u + 1)..block + 16 {
+                if (u + v) % 3 != 0 {
+                    b.add_edge(u, v).unwrap();
+                }
+            }
+        }
+    }
+    for i in 0..4u32 {
+        b.add_edge(i, 16 + i).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// One steady-state iteration: grow the neighborhood best-first, then walk
+/// the f-ordered prefix ladder with incrementally maintained degree
+/// counters, peeling each rung and accumulating its δ numerator.
+struct LoopBufs {
+    grown: Vec<NodeId>,
+    by_f: Vec<(f64, NodeId)>,
+    cand: Vec<NodeId>,
+}
+
+fn hot_loop(
+    g: &AttributedGraph,
+    q: NodeId,
+    dist: &QueryDistances,
+    ws: &mut QueryWorkspace,
+    peeler: &mut PrefixPeeler<'_>,
+    bufs: &mut LoopBufs,
+) -> f64 {
+    let LoopBufs { grown, by_f, cand } = bufs;
+    grow_neighborhood_into(g, q, 24, dist, ws, grown);
+    by_f.clear();
+    by_f.extend(
+        grown
+            .iter()
+            .filter(|&&v| v != q)
+            .map(|&v| (dist.get(g, v), v)),
+    );
+    by_f.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN").then(a.1.cmp(&b.1)));
+
+    peeler.clear();
+    peeler.push(q);
+    let mut checksum = 0.0;
+    let mut numerator = 0.0;
+    for &(f, v) in by_f.iter() {
+        peeler.push(v);
+        numerator += f;
+        if peeler.len() >= 4 && peeler.peel_into(q, cand) {
+            checksum += numerator / (cand.len() as f64);
+        }
+    }
+    checksum
+}
+
+#[test]
+fn steady_state_query_loop_allocates_nothing() {
+    assert!(
+        counting_enabled(),
+        "this binary must be counting allocations"
+    );
+    let g = planted();
+    let q: NodeId = 0;
+    let dist = QueryDistances::new(q, g.n(), DistanceParams::default());
+    let mut ws = QueryWorkspace::new();
+    let mut peeler = PrefixPeeler::new(&g, 3);
+    let mut bufs = LoopBufs {
+        grown: Vec::new(),
+        by_f: Vec::new(),
+        cand: Vec::new(),
+    };
+
+    // Warm-up: pools and the distance table reach their high-water mark.
+    let reference = hot_loop(&g, q, &dist, &mut ws, &mut peeler, &mut bufs);
+    assert!(reference.is_finite() && reference > 0.0);
+    for _ in 0..2 {
+        hot_loop(&g, q, &dist, &mut ws, &mut peeler, &mut bufs);
+    }
+
+    // Steady state: bit-identical work, zero allocator traffic.
+    let before = allocation_count();
+    let mut checksum = 0.0;
+    for _ in 0..64 {
+        checksum += hot_loop(&g, q, &dist, &mut ws, &mut peeler, &mut bufs);
+    }
+    let allocations = allocation_count() - before;
+    assert_eq!(
+        allocations, 0,
+        "workspace-reused hot loop must not allocate (saw {allocations})"
+    );
+    assert!((checksum - 64.0 * reference).abs() < 1e-9, "same answers");
+}

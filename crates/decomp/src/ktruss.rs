@@ -76,6 +76,12 @@ pub(crate) struct TrussScratch {
     edge_rm: Vec<u32>,
     /// Triangle support of each edge in the current peel.
     support: Vec<u32>,
+    /// Internal edges of the current subset (reused across peels).
+    edges: Vec<(NodeId, NodeId, u32)>,
+    /// Peel queue of subcritical edges (reused across peels).
+    queue: VecDeque<(NodeId, NodeId, u32)>,
+    /// Surviving-edge hit list of one removal step (reused across peels).
+    hits: Vec<(NodeId, NodeId, u32)>,
 }
 
 impl TrussScratch {
@@ -85,6 +91,9 @@ impl TrussScratch {
             edge_in: vec![0; m],
             edge_rm: vec![0; m],
             support: vec![0; m],
+            edges: Vec::new(),
+            queue: VecDeque::new(),
+            hits: Vec::new(),
         }
     }
 }
@@ -129,12 +138,30 @@ pub(crate) fn peel_to_ktruss_scratch(
     nodes: &[NodeId],
     scratch: &mut TrussScratch,
 ) -> Option<Vec<NodeId>> {
+    let mut out = Vec::new();
+    peel_to_ktruss_into(g, eidx, q, k, nodes, scratch, &mut out).then_some(out)
+}
+
+/// Allocation-free twin of [`peel_to_ktruss_scratch`]: writes the sorted
+/// member list into `out` (cleared first) and returns whether `q`
+/// survived with at least one incident truss edge. With a warmed
+/// `scratch` and a capacious `out` this performs zero heap allocations.
+pub(crate) fn peel_to_ktruss_into(
+    g: &AttributedGraph,
+    eidx: &EdgeIndex,
+    q: NodeId,
+    k: u32,
+    nodes: &[NodeId],
+    scratch: &mut TrussScratch,
+    out: &mut Vec<NodeId>,
+) -> bool {
+    out.clear();
     let e = scratch.node.next_epoch();
     for &v in nodes {
         scratch.node.in_epoch[v as usize] = e;
     }
     if scratch.node.in_epoch[q as usize] != e {
-        return None;
+        return false;
     }
     let need = k.saturating_sub(2);
 
@@ -144,12 +171,15 @@ pub(crate) fn peel_to_ktruss_scratch(
         edge_in,
         edge_rm,
         support,
+        edges,
+        queue,
+        hits,
     } = scratch;
     let in_epoch = &node.in_epoch;
     let vis = &mut node.vis_epoch;
 
     // Collect internal edges, stamp them in, and compute supports.
-    let mut edges: Vec<(NodeId, NodeId, u32)> = Vec::new();
+    edges.clear();
     for &u in nodes {
         for (i, &v) in g.neighbors(u).iter().enumerate() {
             if u < v && in_epoch[v as usize] == e {
@@ -159,7 +189,7 @@ pub(crate) fn peel_to_ktruss_scratch(
             }
         }
     }
-    for &(u, v, id) in &edges {
+    for &(u, v, id) in edges.iter() {
         let mut cnt = 0u32;
         for_common_neighbors(g, u, v, |w, _, _| {
             if in_epoch[w as usize] == e {
@@ -173,8 +203,8 @@ pub(crate) fn peel_to_ktruss_scratch(
     // processing time*, not at enqueue time: when one edge of a triangle is
     // processed, the other two must still count as alive so the triangle's
     // loss is charged to them exactly once.
-    let mut queue: VecDeque<(NodeId, NodeId, u32)> = VecDeque::new();
-    for &(u, v, id) in &edges {
+    queue.clear();
+    for &(u, v, id) in edges.iter() {
         if support[id as usize] < need {
             queue.push_back((u, v, id));
         }
@@ -186,7 +216,7 @@ pub(crate) fn peel_to_ktruss_scratch(
         edge_rm[id as usize] = e;
         // Every triangle (u, v, w) whose other two edges are still alive
         // dies with this edge; both survivors lose one unit of support.
-        let mut hits: Vec<(NodeId, NodeId, u32)> = Vec::new();
+        hits.clear();
         for_common_neighbors(g, u, v, |w, i, j| {
             if in_epoch[w as usize] != e {
                 return;
@@ -200,7 +230,7 @@ pub(crate) fn peel_to_ktruss_scratch(
                 hits.push((v, w, vw));
             }
         });
-        for (a, b, id2) in hits {
+        for &(a, b, id2) in hits.iter() {
             let s = &mut support[id2 as usize];
             *s -= 1;
             // Push exactly at the threshold crossing; the edge was above
@@ -211,14 +241,15 @@ pub(crate) fn peel_to_ktruss_scratch(
         }
     }
 
-    // BFS from q over surviving edges.
-    let mut comp = Vec::new();
-    let mut bfs = VecDeque::new();
+    // Traverse from q over surviving edges; `out` is sorted afterwards so
+    // the (stack-based) traversal order is immaterial.
+    let dfs = &mut node.stack;
+    dfs.clear();
     vis[q as usize] = e;
-    bfs.push_back(q);
+    dfs.push(q);
     let mut q_has_edge = false;
-    while let Some(u) = bfs.pop_front() {
-        comp.push(u);
+    while let Some(u) = dfs.pop() {
+        out.push(u);
         for (i, &v) in g.neighbors(u).iter().enumerate() {
             if in_epoch[v as usize] != e {
                 continue;
@@ -230,16 +261,37 @@ pub(crate) fn peel_to_ktruss_scratch(
                 }
                 if vis[v as usize] != e {
                     vis[v as usize] = e;
-                    bfs.push_back(v);
+                    dfs.push(v);
                 }
             }
         }
     }
     if !q_has_edge {
-        return None;
+        out.clear();
+        return false;
     }
-    comp.sort_unstable();
-    Some(comp)
+    out.sort_unstable();
+    true
+}
+
+/// Maximum trussness over each node's incident edges (0 for isolated
+/// nodes). A connected k-truss containing `q` exists **iff**
+/// `node_max_trussness[q] ≥ k`: the edges of trussness ≥ k form the
+/// k-truss of the graph, and the component of any such edge at `q` is a
+/// connected k-truss holding `q`. The engine caches this to settle truss
+/// "no" answers in O(1), exactly as coreness settles k-core ones.
+pub fn node_max_trussness(g: &AttributedGraph) -> Vec<u32> {
+    let (eidx, trussness) = truss_decomposition(g);
+    let mut out = vec![0u32; g.n()];
+    for u in 0..g.n() as NodeId {
+        for (i, _) in g.neighbors(u).iter().enumerate() {
+            let t = trussness[eidx.id_at(g, u, i) as usize];
+            if t > out[u as usize] {
+                out[u as usize] = t;
+            }
+        }
+    }
+    out
 }
 
 /// Maximal connected k-truss of the whole graph containing `q`, or `None`.
@@ -436,6 +488,29 @@ mod tests {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn node_trussness_answers_feasibility_exactly() {
+        let g = two_cliques();
+        let t = node_max_trussness(&g);
+        // Clique members sit in a 4-truss; path nodes only in 2-trusses.
+        for v in 0..=6u32 {
+            assert_eq!(t[v as usize], 4, "clique node {v}");
+        }
+        for v in 7..=9u32 {
+            assert_eq!(t[v as usize], 2, "path node {v}");
+        }
+        // Cross-check the iff against the actual peel for every (q, k).
+        for q in 0..g.n() as NodeId {
+            for k in 2..=6u32 {
+                assert_eq!(
+                    max_connected_ktruss(&g, q, k).is_some(),
+                    t[q as usize] >= k,
+                    "q = {q}, k = {k}"
+                );
             }
         }
     }

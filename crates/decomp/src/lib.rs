@@ -20,6 +20,6 @@ pub mod kcore;
 pub mod ktruss;
 pub mod maintainer;
 
-pub use kcore::{core_decomposition, max_connected_kcore};
-pub use ktruss::{max_connected_ktruss, truss_decomposition, EdgeIndex};
+pub use kcore::{core_decomposition, max_connected_kcore, PrefixPeeler};
+pub use ktruss::{max_connected_ktruss, node_max_trussness, truss_decomposition, EdgeIndex};
 pub use maintainer::{CommunityModel, Maintainer};

@@ -7,8 +7,8 @@
 //! and SEA pipeline call [`Maintainer::maximal_within`] without knowing
 //! which model is active.
 
-use crate::kcore::{peel_to_kcore_scratch, PeelScratch};
-use crate::ktruss::{peel_to_ktruss_scratch, EdgeIndex, TrussScratch};
+use crate::kcore::{peel_to_kcore_into, peel_to_kcore_scratch, PeelScratch};
+use crate::ktruss::{peel_to_ktruss_into, peel_to_ktruss_scratch, EdgeIndex, TrussScratch};
 use csag_graph::{AttributedGraph, NodeId};
 
 /// Structure cohesiveness model (paper §II-A and §VI-C).
@@ -106,6 +106,24 @@ impl<'g> Maintainer<'g> {
             Scratch::Core(s) => peel_to_kcore_scratch(self.g, q, self.k, nodes, s),
             Scratch::Truss(w) => {
                 peel_to_ktruss_scratch(self.g, &w.eidx, q, self.k, nodes, &mut w.scratch)
+            }
+        }
+    }
+
+    /// Allocation-free twin of [`Maintainer::maximal_within`]: writes the
+    /// sorted members into `out` (cleared first) and returns whether `q`
+    /// survived. The enumeration and SEA hot loops call this with pooled
+    /// buffers so steady-state peels never touch the allocator.
+    pub fn maximal_within_into(
+        &mut self,
+        q: NodeId,
+        nodes: &[NodeId],
+        out: &mut Vec<NodeId>,
+    ) -> bool {
+        match &mut self.scratch {
+            Scratch::Core(s) => peel_to_kcore_into(self.g, q, self.k, nodes, s, out),
+            Scratch::Truss(w) => {
+                peel_to_ktruss_into(self.g, &w.eidx, q, self.k, nodes, &mut w.scratch, out)
             }
         }
     }

@@ -106,6 +106,20 @@ impl FixedBitSet {
         self.ones = 0;
     }
 
+    /// Empties the set and re-targets it to the universe `0..len`,
+    /// reusing the existing backing buffer whenever its capacity allows —
+    /// the workspace-pooling primitive that keeps repeated queries
+    /// allocation-free.
+    pub fn reset(&mut self, len: usize) {
+        let words = len.div_ceil(64);
+        // `clear` + `resize` only touches the allocator when the pooled
+        // buffer is genuinely too small.
+        self.words.clear();
+        self.words.resize(words, 0);
+        self.len = len;
+        self.ones = 0;
+    }
+
     /// Iterates over the elements in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
         self.words.iter().enumerate().flat_map(|(i, &w)| {
@@ -203,6 +217,20 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.to_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn reset_retargets_and_empties() {
+        let mut s = FixedBitSet::full(130);
+        s.reset(64);
+        assert_eq!(s.capacity(), 64);
+        assert!(s.is_empty());
+        assert!(s.insert(63));
+        s.reset(300);
+        assert_eq!(s.capacity(), 300);
+        assert!(!s.contains(63), "stale bits must not survive a reset");
+        assert!(s.insert(299));
+        assert_eq!(s.to_vec(), vec![299]);
     }
 
     #[test]

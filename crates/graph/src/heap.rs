@@ -1,0 +1,93 @@
+//! The shared best-first heap item.
+//!
+//! Every best-first traversal in the workspace (SEA neighborhood growth,
+//! heterogeneous P-neighbor expansion, and any future frontier search)
+//! orders nodes by a floating-point score with the same two rules: the
+//! *smallest* score wins, and score ties break toward the *smallest* node
+//! id so traversals are deterministic. [`MinScored`] packages that
+//! ordering once, inverted for `std::collections::BinaryHeap` (a
+//! max-heap), instead of each call site hand-rolling the four trait impls.
+
+use crate::NodeId;
+use std::cmp::Ordering;
+
+/// A `(score, node)` pair ordered for min-heap use inside a
+/// [`std::collections::BinaryHeap`]: popping yields the smallest score
+/// first, ties resolved toward the smallest node id.
+///
+/// NaN scores compare as equal to everything (the traversals upstream
+/// never produce them; the ordering stays total either way).
+#[derive(Clone, Copy, Debug)]
+pub struct MinScored {
+    /// The priority; smaller pops first.
+    pub score: f64,
+    /// The payload node.
+    pub node: NodeId,
+}
+
+impl PartialEq for MinScored {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for MinScored {}
+
+impl PartialOrd for MinScored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MinScored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed on both fields: BinaryHeap pops its maximum, so the
+        // smallest (score, node) must compare greatest.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then(other.node.cmp(&self.node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn pops_smallest_score_first() {
+        let mut heap = BinaryHeap::new();
+        for (score, node) in [(0.9, 1), (0.1, 2), (0.5, 3)] {
+            heap.push(MinScored { score, node });
+        }
+        let order: Vec<NodeId> = std::iter::from_fn(|| heap.pop().map(|i| i.node)).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_id() {
+        let mut heap = BinaryHeap::new();
+        for node in [9, 4, 7] {
+            heap.push(MinScored { score: 0.25, node });
+        }
+        let order: Vec<NodeId> = std::iter::from_fn(|| heap.pop().map(|i| i.node)).collect();
+        assert_eq!(order, vec![4, 7, 9]);
+    }
+
+    #[test]
+    fn nan_scores_keep_the_order_total() {
+        let a = MinScored {
+            score: f64::NAN,
+            node: 1,
+        };
+        let b = MinScored {
+            score: 0.5,
+            node: 1,
+        };
+        // NaN compares equal on the score, so the id tiebreak decides.
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+        assert_eq!(a, a);
+    }
+}

@@ -13,6 +13,12 @@
 //! * [`FixedBitSet`] — a dense node-mask used pervasively by the
 //!   decomposition and search algorithms.
 //! * [`traversal`] — BFS / connectivity primitives restricted to node masks.
+//! * [`QueryWorkspace`] + [`MinScored`] — pooled per-thread query scratch
+//!   (bitsets, best-first heaps, buffers) keeping the steady-state hot
+//!   path allocation-free, and the shared min-heap ordering every
+//!   best-first traversal uses.
+//! * [`alloc_counter`] — an opt-in counting global allocator backing the
+//!   zero-allocation tests and the perf report.
 //!
 //! Node identifiers are plain `u32` values ([`NodeId`]), dense in
 //! `0..graph.n()`. The CSR layout keeps neighbor scans cache-friendly, which
@@ -31,20 +37,25 @@
 //! assert_eq!(g.neighbors(a), &[c]);
 //! ```
 
+pub mod alloc_counter;
 pub mod attrs;
 pub mod bitset;
 pub mod builder;
 pub mod graph;
+pub mod heap;
 pub mod hetero;
 pub mod io;
 pub mod stats;
 pub mod traversal;
+pub mod workspace;
 
 pub use attrs::TokenInterner;
 pub use bitset::FixedBitSet;
 pub use builder::{GraphBuilder, GraphError};
 pub use graph::{AttributedGraph, InducedSubgraph};
+pub use heap::MinScored;
 pub use hetero::{HeteroGraph, HeteroGraphBuilder, MetaPath, ProjectedGraph};
+pub use workspace::QueryWorkspace;
 
 /// Dense node identifier, valid in `0..graph.n()`.
 pub type NodeId = u32;

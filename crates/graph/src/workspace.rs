@@ -1,0 +1,175 @@
+//! Reusable per-query scratch state.
+//!
+//! The steady-state query hot path must not pay an allocator round-trip
+//! per query: bitsets, best-first heaps, and node/score buffers are the
+//! same shapes every time, so one [`QueryWorkspace`] owns a small pool of
+//! each and hands them out with `take_*` / `put_*` pairs. A workspace is
+//! thread-private (batch executors create one per worker); the pools grow
+//! to the high-water mark of whatever ran through them and then stop
+//! allocating entirely — the property the counting-allocator test in
+//! `csag-core` pins down.
+//!
+//! `take_*` returns a cleared (and, for bitsets, re-sized) object; `put_*`
+//! returns it to the pool. Dropping a taken object instead of returning it
+//! is safe — the pool simply refills lazily — but defeats the reuse.
+
+use crate::bitset::FixedBitSet;
+use crate::heap::MinScored;
+use crate::NodeId;
+use std::collections::BinaryHeap;
+
+/// Pooled scratch for one query-serving thread. See the [module
+/// docs](self).
+#[derive(Debug, Default)]
+pub struct QueryWorkspace {
+    bitsets: Vec<FixedBitSet>,
+    heaps: Vec<BinaryHeap<MinScored>>,
+    node_bufs: Vec<Vec<NodeId>>,
+    scored_bufs: Vec<Vec<(f64, NodeId)>>,
+    f64_bufs: Vec<Vec<f64>>,
+}
+
+impl QueryWorkspace {
+    /// An empty workspace; pools fill on first use.
+    pub fn new() -> Self {
+        QueryWorkspace::default()
+    }
+
+    /// A cleared bitset over the universe `0..len` (reuses a pooled
+    /// backing buffer when one with enough capacity is available).
+    pub fn take_bitset(&mut self, len: usize) -> FixedBitSet {
+        match self.bitsets.pop() {
+            Some(mut b) => {
+                b.reset(len);
+                b
+            }
+            None => FixedBitSet::new(len),
+        }
+    }
+
+    /// Returns a bitset to the pool.
+    pub fn put_bitset(&mut self, b: FixedBitSet) {
+        self.bitsets.push(b);
+    }
+
+    /// An empty best-first heap (capacity retained from prior use).
+    pub fn take_heap(&mut self) -> BinaryHeap<MinScored> {
+        match self.heaps.pop() {
+            Some(mut h) => {
+                h.clear();
+                h
+            }
+            None => BinaryHeap::new(),
+        }
+    }
+
+    /// Returns a heap to the pool.
+    pub fn put_heap(&mut self, h: BinaryHeap<MinScored>) {
+        self.heaps.push(h);
+    }
+
+    /// An empty node-id buffer (capacity retained from prior use).
+    pub fn take_nodes(&mut self) -> Vec<NodeId> {
+        match self.node_bufs.pop() {
+            Some(mut v) => {
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a node buffer to the pool.
+    pub fn put_nodes(&mut self, v: Vec<NodeId>) {
+        self.node_bufs.push(v);
+    }
+
+    /// An empty `(score, node)` buffer (capacity retained from prior use).
+    pub fn take_scored(&mut self) -> Vec<(f64, NodeId)> {
+        match self.scored_bufs.pop() {
+            Some(mut v) => {
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a scored buffer to the pool.
+    pub fn put_scored(&mut self, v: Vec<(f64, NodeId)>) {
+        self.scored_bufs.push(v);
+    }
+
+    /// An empty `f64` buffer (capacity retained from prior use).
+    pub fn take_f64s(&mut self) -> Vec<f64> {
+        match self.f64_bufs.pop() {
+            Some(mut v) => {
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns an `f64` buffer to the pool.
+    pub fn put_f64s(&mut self, v: Vec<f64>) {
+        self.f64_bufs.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_come_back_cleared_with_capacity() {
+        let mut ws = QueryWorkspace::new();
+        let mut v = ws.take_nodes();
+        v.extend(0..100);
+        let ptr = v.as_ptr();
+        ws.put_nodes(v);
+        let v = ws.take_nodes();
+        assert!(v.is_empty());
+        assert!(v.capacity() >= 100, "capacity must survive the pool");
+        assert_eq!(v.as_ptr(), ptr, "same backing buffer");
+    }
+
+    #[test]
+    fn bitsets_resize_and_clear() {
+        let mut ws = QueryWorkspace::new();
+        let mut b = ws.take_bitset(100);
+        b.insert(7);
+        ws.put_bitset(b);
+        // Smaller universe: reuses the backing words, comes back empty.
+        let b = ws.take_bitset(50);
+        assert_eq!(b.capacity(), 50);
+        assert!(b.is_empty());
+        ws.put_bitset(b);
+        // Larger universe still works.
+        let b = ws.take_bitset(1000);
+        assert_eq!(b.capacity(), 1000);
+        assert!(!b.contains(7));
+    }
+
+    #[test]
+    fn heaps_and_scored_and_f64_pools_round_trip() {
+        let mut ws = QueryWorkspace::new();
+        let mut h = ws.take_heap();
+        h.push(MinScored {
+            score: 0.5,
+            node: 1,
+        });
+        ws.put_heap(h);
+        assert!(ws.take_heap().is_empty());
+
+        let mut s = ws.take_scored();
+        s.push((0.1, 2));
+        ws.put_scored(s);
+        assert!(ws.take_scored().is_empty());
+
+        let mut f = ws.take_f64s();
+        f.push(1.0);
+        ws.put_f64s(f);
+        assert!(ws.take_f64s().is_empty());
+    }
+}

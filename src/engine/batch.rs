@@ -22,22 +22,39 @@ where
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
+    parallel_map_init(items, threads, || (), |(), item| f(item))
+}
+
+/// [`parallel_map`] with *per-worker state*: each worker thread calls
+/// `init()` once and threads the resulting value mutably through every
+/// item it processes. This is how [`Engine::run_batch`] gives each worker
+/// a private [`csag_graph::QueryWorkspace`] — queries on one thread reuse
+/// one set of scratch buffers instead of allocating per query.
+pub fn parallel_map_init<I, T, W, Init, F>(items: &[I], threads: usize, init: Init, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    Init: Fn() -> W + Sync,
+    F: Fn(&mut W, &I) -> T + Sync,
+{
     let threads = threads.max(1).min(items.len().max(1));
     if threads == 1 {
-        return items.iter().map(f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let next = AtomicUsize::new(0);
     let mut indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        local.push((i, f(&items[i])));
+                        local.push((i, f(&mut state, &items[i])));
                     }
                     local
                 })
@@ -68,13 +85,21 @@ impl Engine {
         self.run_batch_with_threads(queries, available_threads())
     }
 
-    /// [`Engine::run_batch`] with an explicit worker count.
+    /// [`Engine::run_batch`] with an explicit worker count. Each worker
+    /// owns one [`csag_graph::QueryWorkspace`] for its whole share of the
+    /// batch, so steady-state queries reuse scratch instead of
+    /// reallocating.
     pub fn run_batch_with_threads(
         &self,
         queries: &[CommunityQuery],
         threads: usize,
     ) -> Vec<Result<CommunityResult, CsagError>> {
-        parallel_map(queries, threads, |q| self.run(q))
+        parallel_map_init(
+            queries,
+            threads,
+            csag_graph::QueryWorkspace::new,
+            |ws, q| self.run_with_workspace(q, ws),
+        )
     }
 }
 

@@ -3,18 +3,24 @@
 //! [`Engine`] owns a shared graph (`Arc<AttributedGraph>`) plus the
 //! reusable per-graph state every query needs:
 //!
-//! * the **core-number decomposition** (computed lazily, exactly once,
-//!   via `csag-decomp`) — used to answer "no community" queries in O(1)
-//!   before any peeling happens;
-//! * a bounded cache of **per-query-node distance tables**
-//!   ([`csag_core::distance::QueryDistances`]) — repeated or multi-method
-//!   queries against the same node reuse every `f(·, q)` evaluation.
+//! * the **core-number decomposition** and, for truss-model queries, the
+//!   **edge-trussness decomposition** (each computed lazily, exactly
+//!   once, via `csag-decomp`) — used to answer "no community" queries in
+//!   O(1) before any peeling happens;
+//! * a **sharded cache of per-query-node distance tables**
+//!   ([`csag_core::distance::QueryDistances`]). Tables are handed out as
+//!   `Arc` clones — a warm hit costs a reference-count bump, never an
+//!   `O(|V|)` copy — and the tables themselves memoize lock-free through
+//!   `&self`, so concurrent queries on the same node *cooperatively* warm
+//!   one shared table with no merge-back step at all.
 //!
-//! The engine is `Send + Sync`: queries borrow only immutable cached
-//! state (interior mutability is a `Mutex` around the distance cache and
-//! a `OnceLock` around the decomposition), so one `Engine` can serve
-//! concurrent callers and [`Engine::run_batch`] can fan a workload out
-//! across threads on the same executor the bench harness uses.
+//! The engine is `Send + Sync`: interior mutability is N independent
+//! mutex shards around the distance-cache map (the critical section is a
+//! hash-map probe; actual distance computation happens outside any lock)
+//! and `OnceLock`s around the decompositions. One `Engine` therefore
+//! serves concurrent callers contention-free, and [`Engine::run_batch`]
+//! fans a workload out across workers that each reuse a private
+//! [`QueryWorkspace`] so the steady-state hot path allocates nothing.
 //!
 //! ```
 //! use csag::engine::{CommunityQuery, Engine, Method};
@@ -49,7 +55,7 @@ use csag_core::error::check_query_node;
 use csag_core::exact::Exact;
 use csag_core::sea::Sea;
 use csag_decomp::CommunityModel;
-use csag_graph::{AttributedGraph, NodeId};
+use csag_graph::{AttributedGraph, NodeId, QueryWorkspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -57,23 +63,51 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
-/// Upper bound on cached per-query-node distance tables. Each table is
-/// `O(|V|)` floats, so the cache is capped rather than unbounded: at
-/// capacity an arbitrary entry is evicted per insertion (random
-/// replacement), which keeps a hot working set mostly resident without
-/// LRU bookkeeping; cold nodes are simply recomputed.
+/// Number of independent distance-cache shards. Keys spread by a cheap
+/// multiplicative hash, so concurrent queries on different nodes almost
+/// never touch the same lock; 16 shards keep the worst case negligible
+/// even at high worker counts while staying cheap to scan for stats.
+const DISTANCE_SHARDS: usize = 16;
+
+/// Upper bound on cached per-query-node distance tables across all
+/// shards. Each table is `O(|V|)` floats, so the cache is capped rather
+/// than unbounded: once the global count reaches capacity, an insertion
+/// evicts an arbitrary resident entry of its own shard (random
+/// replacement — keeps a shifting hot set converging onto residency
+/// without LRU bookkeeping; cold nodes are simply recomputed). A hot set
+/// of up to this many keys stays fully resident regardless of how it
+/// hashes across shards; shards briefly exceeding their fair share only
+/// overshoot the global cap by at most one entry per shard.
 const MAX_CACHED_QUERY_NODES: usize = 64;
+
+/// One distance-cache shard: an independently locked map of shared
+/// distance tables keyed by `(query node, γ bits)`.
+type DistanceShard = Mutex<HashMap<(NodeId, u64), Arc<QueryDistances>>>;
 
 /// The reusable per-graph query engine. See the [module docs](self).
 pub struct Engine {
     graph: Arc<AttributedGraph>,
     /// Core numbers of every node, computed once on first use.
     coreness: OnceLock<Vec<u32>>,
-    /// How many times the decomposition actually ran (observable evidence
-    /// that batches share it; see the engine integration tests).
+    /// Per-node maximum incident-edge trussness, computed once on the
+    /// first truss-model query (k-core queries never pay for it).
+    trussness: OnceLock<Vec<u32>>,
+    /// How many times each decomposition actually ran (observable
+    /// evidence that batches share them; see the engine tests).
     decomp_runs: AtomicUsize,
-    /// `(q, γ bits) →` memoized `f(·, q)` table.
-    distances: Mutex<HashMap<(NodeId, u64), QueryDistances>>,
+    truss_runs: AtomicUsize,
+    /// Sharded `(q, γ bits) → Arc` map of memoized `f(·, q)` tables. The
+    /// `Arc` is the whole trick: checkout clones the handle (O(1)), the
+    /// table memoizes internally through `&self`, and there is no
+    /// check-in/merge-back step — every borrower warms the one shared
+    /// table in place.
+    distances: Vec<DistanceShard>,
+    /// Total resident tables across shards (the global capacity gate —
+    /// per-shard caps would evict a hot set that hashes unevenly).
+    distance_len: AtomicUsize,
+    /// Warm checkout count (a cache-effectiveness probe for tests and the
+    /// perf report).
+    distance_hits: AtomicUsize,
 }
 
 impl Engine {
@@ -87,8 +121,14 @@ impl Engine {
         Engine {
             graph,
             coreness: OnceLock::new(),
+            trussness: OnceLock::new(),
             decomp_runs: AtomicUsize::new(0),
-            distances: Mutex::new(HashMap::new()),
+            truss_runs: AtomicUsize::new(0),
+            distances: (0..DISTANCE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            distance_len: AtomicUsize::new(0),
+            distance_hits: AtomicUsize::new(0),
         }
     }
 
@@ -111,18 +151,52 @@ impl Engine {
         })
     }
 
+    /// Maximum trussness over each node's incident edges, computed lazily
+    /// exactly once (on the first truss-model query) and shared by all
+    /// queries and threads. `trussness[q] ≥ k` iff a connected k-truss
+    /// containing `q` exists, so truss-model "no" answers are O(1).
+    pub fn node_trussness(&self) -> &[u32] {
+        self.trussness.get_or_init(|| {
+            self.truss_runs.fetch_add(1, Ordering::Relaxed);
+            csag_decomp::node_max_trussness(&self.graph)
+        })
+    }
+
     /// How many times the core decomposition has actually been computed
     /// (0 before the first structural query, 1 ever after).
     pub fn decomp_computations(&self) -> usize {
         self.decomp_runs.load(Ordering::Relaxed)
     }
 
+    /// How many times the truss decomposition has actually been computed
+    /// (0 until the first truss-model query, 1 ever after).
+    pub fn truss_decomp_computations(&self) -> usize {
+        self.truss_runs.load(Ordering::Relaxed)
+    }
+
     /// Number of query nodes with a resident distance table.
     pub fn cached_query_nodes(&self) -> usize {
         self.distances
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// How many distance-table checkouts were warm cache hits.
+    pub fn distance_cache_hits(&self) -> usize {
+        self.distance_hits.load(Ordering::Relaxed)
+    }
+
+    /// The cached distance table of `(q, γ)`, if resident — a shared
+    /// handle to the *live* table (tests use this to prove warm hits
+    /// never deep-copy).
+    pub fn cached_distances(&self, q: NodeId, gamma: f64) -> Option<Arc<QueryDistances>> {
+        let key = (q, gamma.to_bits());
+        let map = self
+            .shard(key)
             .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .len()
+            .unwrap_or_else(PoisonError::into_inner);
+        map.get(&key).map(Arc::clone)
     }
 
     /// Runs one query. This is the single entry point every CLI command,
@@ -139,37 +213,74 @@ impl Engine {
     /// * [`CsagError::BudgetExhausted`] — a state/time budget ran out;
     ///   the best-so-far community rides along as the partial.
     pub fn run(&self, query: &CommunityQuery) -> Result<CommunityResult, CsagError> {
+        let mut ws = QueryWorkspace::new();
+        self.run_with_workspace(query, &mut ws)
+    }
+
+    /// [`Engine::run`] with a caller-owned [`QueryWorkspace`], so repeated
+    /// queries on one thread recycle every hot-path scratch buffer.
+    /// [`Engine::run_batch`] gives each worker thread its own workspace
+    /// through this entry point.
+    ///
+    /// # Errors
+    /// Same as [`Engine::run`].
+    pub fn run_with_workspace(
+        &self,
+        query: &CommunityQuery,
+        ws: &mut QueryWorkspace,
+    ) -> Result<CommunityResult, CsagError> {
         let t_total = Instant::now();
         query.validate()?;
         check_query_node(query.q, self.graph.n())?;
 
-        // Prepare phase: reusable per-graph state.
+        // Prepare phase: reusable per-graph state. The cached
+        // decompositions settle impossible queries without touching the
+        // graph again: the maximal connected k-core containing q exists
+        // iff q's core number is ≥ k, and a connected k-truss containing
+        // q exists iff some edge at q has trussness ≥ k.
         let t_prepare = Instant::now();
-        // The maximal connected k-core containing q exists iff q's core
-        // number is ≥ k, and a k-truss member needs ≥ k−1 in-community
-        // neighbors, so the cached decomposition settles impossible
-        // queries without touching the graph again.
-        let needed_core = match query.model {
-            CommunityModel::KCore => query.k,
-            CommunityModel::KTruss => query.k.saturating_sub(1),
-        };
-        if self.coreness()[query.q as usize] < needed_core {
-            return Err(CsagError::no_community(format!(
-                "node {} has core number {} < {needed_core}; no connected {} at k = {} can contain it",
-                query.q, self.coreness()[query.q as usize], query.model, query.k
-            )));
+        match query.model {
+            CommunityModel::KCore => {
+                let coreness = self.coreness()[query.q as usize];
+                if coreness < query.k {
+                    return Err(CsagError::no_community(format!(
+                        "node {} has core number {coreness} < {}; no connected {} at k = {} can contain it",
+                        query.q, query.k, query.model, query.k
+                    )));
+                }
+            }
+            CommunityModel::KTruss => {
+                // Cheap necessary-condition screen first: a k-truss member
+                // needs ≥ k−1 in-community neighbors, so coreness < k−1 is
+                // a definitive "no" from the (often already resident) core
+                // decomposition — without paying the full-graph triangle
+                // count that the exact trussness table costs once.
+                let needed_core = query.k.saturating_sub(1);
+                let coreness = self.coreness()[query.q as usize];
+                if coreness < needed_core {
+                    return Err(CsagError::no_community(format!(
+                        "node {} has core number {coreness} < {needed_core}; no connected {} at k = {} can contain it",
+                        query.q, query.model, query.k
+                    )));
+                }
+                let trussness = self.node_trussness()[query.q as usize];
+                if trussness < query.k {
+                    return Err(CsagError::no_community(format!(
+                        "node {} has maximum edge trussness {trussness} < {}; no connected {} at k = {} can contain it",
+                        query.q, query.k, query.model, query.k
+                    )));
+                }
+            }
         }
-        let mut dist = self.checkout_distances(query);
+        let dist = self.checkout_distances(query);
         let prepare = t_prepare.elapsed();
 
-        // Search phase: dispatch to the method.
+        // Search phase: dispatch to the method. The table needs no
+        // check-in afterwards — the Arc in the cache IS the table the
+        // search warmed.
         let t_search = Instant::now();
-        let outcome = self.dispatch(query, &mut dist);
+        let outcome = self.dispatch(query, &dist, ws);
         let search = t_search.elapsed();
-
-        // Return the (possibly further warmed) distance table to the
-        // cache whether or not the method succeeded.
-        self.checkin_distances(dist);
 
         let mut res = outcome?;
         res.timings.prepare = prepare;
@@ -181,7 +292,8 @@ impl Engine {
     fn dispatch(
         &self,
         query: &CommunityQuery,
-        dist: &mut QueryDistances,
+        dist: &QueryDistances,
+        ws: &mut QueryWorkspace,
     ) -> Result<CommunityResult, CsagError> {
         let g = self.graph.as_ref();
         let dp = query.distance_params();
@@ -189,7 +301,7 @@ impl Engine {
         match query.method {
             Method::Exact => {
                 let r =
-                    Exact::new(g, dp).run_with_distances(query.q, &query.exact_params(), dist)?;
+                    Exact::new(g, dp).run_in_workspace(query.q, &query.exact_params(), dist, ws)?;
                 prov.states_explored = r.states_explored;
                 Ok(CommunityResult {
                     q: query.q,
@@ -209,11 +321,12 @@ impl Engine {
             }
             Method::Sea | Method::SeaSizeBounded => {
                 let mut rng = StdRng::seed_from_u64(query.seed);
-                let r = Sea::new(g, dp).run_with_distances(
+                let r = Sea::new(g, dp).run_in_workspace(
                     query.q,
                     &query.sea_params(),
                     &mut rng,
                     dist,
+                    ws,
                 )?;
                 prov.rounds = r.rounds.len();
                 prov.candidates_examined = r.rounds.iter().map(|x| x.candidates_examined).sum();
@@ -286,40 +399,48 @@ impl Engine {
         }
     }
 
-    /// Clones the cached distance table for `(q, γ)` or starts a fresh
-    /// one. Cloning keeps the critical section tiny: the search runs on a
-    /// private copy and merges back afterwards.
-    fn checkout_distances(&self, query: &CommunityQuery) -> QueryDistances {
-        let dp = query.distance_params();
-        let key = (query.q, dp.gamma.to_bits());
-        let map = self
-            .distances
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        match map.get(&key) {
-            Some(d) => d.clone(),
-            None => QueryDistances::new(query.q, self.graph.n(), dp),
-        }
+    /// The shard owning `key` (multiplicative hash on the query node,
+    /// folded with the γ bits).
+    fn shard(&self, key: (NodeId, u64)) -> &DistanceShard {
+        let mix = (key.0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(key.1.rotate_left(17));
+        &self.distances[(mix >> 57) as usize % DISTANCE_SHARDS]
     }
 
-    /// Stores a (further warmed) distance table back into the cache.
-    /// Concurrent same-node queries race benignly: last writer wins, and
-    /// every version is correct (the table is append-only memoization).
-    /// At capacity an arbitrary resident entry is evicted for the
-    /// newcomer, so a shifting hot set converges onto residency instead
-    /// of being locked out by whichever keys arrived first.
-    fn checkin_distances(&self, dist: QueryDistances) {
-        let key = (dist.q(), dist.params().gamma.to_bits());
+    /// Hands out the shared distance table for `(q, γ)`: a warm hit is an
+    /// `Arc` clone of the resident table; a miss inserts a fresh table
+    /// *before* the search runs, so concurrent same-node queries share the
+    /// in-flight table and warm it cooperatively. There is no check-in —
+    /// the table memoizes in place through `&self`.
+    ///
+    /// At global capacity an arbitrary resident entry *of the same shard*
+    /// is evicted for the newcomer, so a shifting hot set converges onto
+    /// residency instead of being locked out by whichever keys arrived
+    /// first; when the full shard is elsewhere the insert briefly
+    /// overshoots the cap (bounded by one entry per shard) rather than
+    /// taking a second lock.
+    fn checkout_distances(&self, query: &CommunityQuery) -> Arc<QueryDistances> {
+        let dp = query.distance_params();
+        let key = (query.q, dp.gamma.to_bits());
         let mut map = self
-            .distances
+            .shard(key)
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        if !map.contains_key(&key) && map.len() >= MAX_CACHED_QUERY_NODES {
+        if let Some(d) = map.get(&key) {
+            self.distance_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(d);
+        }
+        if self.distance_len.load(Ordering::Relaxed) >= MAX_CACHED_QUERY_NODES {
             if let Some(victim) = map.keys().next().copied() {
                 map.remove(&victim);
+                self.distance_len.fetch_sub(1, Ordering::Relaxed);
             }
         }
-        map.insert(key, dist);
+        let fresh = Arc::new(QueryDistances::new(query.q, self.graph.n(), dp));
+        map.insert(key, Arc::clone(&fresh));
+        self.distance_len.fetch_add(1, Ordering::Relaxed);
+        fresh
     }
 }
 
@@ -378,6 +499,68 @@ mod tests {
         // A second impossible query reuses the cached decomposition.
         let _ = engine.run(&CommunityQuery::new(Method::Sea, 1).with_k(9));
         assert_eq!(engine.decomp_computations(), 1);
+    }
+
+    /// Truss-model infeasibility is answered in O(1) layers: the cheap
+    /// coreness screen rejects without ever computing trussness, and the
+    /// exact trussness decomposition (computed once, lazily) settles what
+    /// the screen cannot.
+    #[test]
+    fn truss_precheck_answers_from_cached_trussness() {
+        let engine = Engine::new(clique());
+        assert_eq!(engine.truss_decomp_computations(), 0);
+        let truss = |k: u32| {
+            CommunityQuery::new(Method::Exact, 0)
+                .with_k(k)
+                .with_model(CommunityModel::KTruss)
+        };
+        // Coreness 3 < k−1 = 4: the screen answers; trussness never runs.
+        let err = engine.run(&truss(5)).unwrap_err();
+        assert!(err.is_no_community());
+        assert_eq!(
+            engine.truss_decomp_computations(),
+            0,
+            "screened by coreness"
+        );
+        assert_eq!(engine.decomp_computations(), 1);
+        let _ = engine.run(&truss(6)).unwrap_err();
+        assert_eq!(engine.truss_decomp_computations(), 0);
+        // A feasible truss query passes the screen, pays the trussness
+        // decomposition exactly once, and searches.
+        let ok = engine.run(&truss(4)).unwrap();
+        assert_eq!(ok.community, vec![0, 1, 2, 3], "4-truss of the 4-clique");
+        assert_eq!(engine.truss_decomp_computations(), 1);
+        let _ = engine.run(&truss(4)).unwrap();
+        assert_eq!(engine.truss_decomp_computations(), 1, "cached thereafter");
+    }
+
+    /// The coreness screen is only a necessary condition — a triangle-free
+    /// cycle passes it at k = 3 yet holds no 3-truss; the exact trussness
+    /// table settles that in O(1) too.
+    #[test]
+    fn truss_precheck_rejects_past_the_coreness_screen() {
+        let mut b = GraphBuilder::new(1);
+        for value in [0.0, 0.3, 0.6, 1.0] {
+            b.add_node(&["t"], &[value]);
+        }
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            b.add_edge(u, v).unwrap();
+        }
+        let engine = Engine::new(b.build().unwrap());
+        // Coreness 2 ≥ k−1 = 2 passes the screen; trussness 2 < 3 rejects.
+        let err = engine
+            .run(
+                &CommunityQuery::new(Method::Exact, 0)
+                    .with_k(3)
+                    .with_model(CommunityModel::KTruss),
+            )
+            .unwrap_err();
+        assert!(err.is_no_community());
+        assert!(
+            err.to_string().contains("edge trussness"),
+            "rejection must come from the trussness table: {err}"
+        );
+        assert_eq!(engine.truss_decomp_computations(), 1);
     }
 
     #[test]

@@ -167,6 +167,86 @@ fn batch_computes_decomposition_once() {
     }
 }
 
+/// Warm cache hits hand out the *same* live distance table (an `Arc`
+/// clone), never a deep copy: the handle returned before and after a
+/// repeat query is pointer-identical, and the table keeps its warmed
+/// entries across borrowers.
+#[test]
+fn warm_cache_hits_share_one_table_without_copying() {
+    let (engine, q) = figure3_engine();
+    let query = CommunityQuery::new(Method::Exact, q)
+        .with_k(2)
+        .with_gamma(0.0);
+    assert!(engine.cached_distances(q, 0.0).is_none());
+    engine.run(&query).unwrap();
+    assert_eq!(engine.distance_cache_hits(), 0, "first run is a cold miss");
+    let first = engine.cached_distances(q, 0.0).expect("table is resident");
+    let warmed = first.computed();
+    assert!(warmed >= 6, "the search warmed the root's distances");
+
+    engine.run(&query).unwrap();
+    engine.run(&query.clone().with_method(Method::Vac)).unwrap();
+    assert_eq!(engine.distance_cache_hits(), 2, "repeats are warm hits");
+    let second = engine.cached_distances(q, 0.0).expect("still resident");
+    assert!(
+        std::sync::Arc::ptr_eq(&first, &second),
+        "warm hits must reuse the identical table, not a copy"
+    );
+    assert!(second.computed() >= warmed, "warmth only accumulates");
+    // Exactly the cache's reference plus our two probes are alive — no
+    // stray deep copies holding tables.
+    assert_eq!(std::sync::Arc::strong_count(&first), 3);
+}
+
+/// 8-thread `run_batch` over the sharded distance cache answers exactly
+/// like the single-threaded run of the same workload on a twin engine.
+#[test]
+fn eight_thread_batch_matches_serial_on_sharded_cache() {
+    let (g, _) = generate(
+        &SyntheticConfig {
+            nodes: 400,
+            communities: 6,
+            ..Default::default()
+        },
+        9,
+    );
+    let nodes = random_queries(&g, 8, 3, 91);
+    // Mixed methods and a repeated query node per method, so the batch
+    // exercises warm hits, cooperative warming, and multiple shards.
+    let batch: Vec<CommunityQuery> = nodes
+        .iter()
+        .flat_map(|&q| {
+            [
+                CommunityQuery::new(Method::Sea, q)
+                    .with_k(3)
+                    .with_hoeffding(0.3, 0.95)
+                    .with_seed(1000 + q as u64),
+                CommunityQuery::new(Method::Sea, q)
+                    .with_k(3)
+                    .with_hoeffding(0.3, 0.95)
+                    .with_seed(1000 + q as u64),
+                CommunityQuery::new(Method::Vac, q).with_k(3),
+            ]
+        })
+        .collect();
+
+    let serial_engine = Engine::from_arc(std::sync::Arc::new(g));
+    let parallel_engine = Engine::from_arc(serial_engine.graph_arc());
+    let serial = serial_engine.run_batch_with_threads(&batch, 1);
+    let parallel = parallel_engine.run_batch_with_threads(&batch, 8);
+    assert_eq!(serial.len(), parallel.len());
+    for ((s, p), query) in serial.iter().zip(&parallel).zip(&batch) {
+        let s = s.as_ref().expect("planted queries have 3-cores");
+        let p = p.as_ref().expect("planted queries have 3-cores");
+        assert_eq!(s.community, p.community, "query {} diverged", query.q);
+        assert_eq!(s.delta, p.delta);
+    }
+    assert!(
+        parallel_engine.distance_cache_hits() > 0,
+        "repeated query nodes must hit the sharded cache"
+    );
+}
+
 /// Typed failures through the engine: each of the four error variants is
 /// reachable and distinguishable.
 #[test]

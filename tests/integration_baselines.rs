@@ -50,7 +50,7 @@ fn each_method_wins_its_own_metric() {
     let vac_r = vac(&g, q, k, model, dp, Some(2_000)).unwrap();
 
     // δ: Exact is at least as good as every baseline.
-    let mut dist = QueryDistances::new(q, g.n(), dp);
+    let dist = QueryDistances::new(q, g.n(), dp);
     for (name, comm) in [
         ("ACQ", &acq_r.community),
         ("LocATC", &atc_r.community),

@@ -261,7 +261,7 @@ fn delta_star_is_exactly_the_returned_communitys_distance() {
     let params = SeaParams::default().with_k(4).with_hoeffding(0.3, 0.95);
     let mut rng = StdRng::seed_from_u64(6000);
     let res = Sea::new(&g, dp).run(q, &params, &mut rng).unwrap();
-    let mut dist = QueryDistances::new(q, g.n(), dp);
+    let dist = QueryDistances::new(q, g.n(), dp);
     let actual = dist.delta(&g, &res.community);
     assert!((actual - res.delta_star).abs() < 1e-9);
 }
