@@ -1,0 +1,200 @@
+//! `churn`: evolving-graph update latency and cache retention.
+//!
+//! Measures what the versioned `GraphStore` buys over rebuilding:
+//!
+//! * **apply latency** — wall-clock per update batch (mutable edit +
+//!   incremental coreness repair + snapshot publication + selective
+//!   cache carry-over), split by batch flavor (structural-only vs
+//!   attribute churn);
+//! * **rebuild latency** — the do-nothing alternative: build a fresh
+//!   `Engine` from the post-churn graph and pay the cold decomposition
+//!   on the next query;
+//! * **post-update warm-hit ratio** — fraction of the pinned query
+//!   workload that still checks its distance table out of the carried
+//!   cache right after a batch (structural batches should stay at 1.0;
+//!   attribute batches drop exactly the touched query nodes).
+//!
+//! Every batch is also *verified*: the evolving engine's answers are
+//! diffed against a fresh engine built from the same post-churn graph
+//! and must match bit-for-bit (the experiment asserts this).
+
+use crate::config::Scale;
+use csag::engine::{CommunityQuery, Engine, GraphStore, Method};
+use csag_datasets::generator::{generate, SyntheticConfig};
+use csag_datasets::{random_queries, random_updates, ChurnMix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Runs the churn experiment and returns the markdown summary.
+pub fn run(scale: &Scale) -> String {
+    let (nodes, communities, batches, batch_size) = if scale.quick {
+        (1_500, 6, 4, 8)
+    } else {
+        (6_000, 10, 10, 16)
+    };
+    let k = 3u32;
+    let (graph, _) = generate(
+        &SyntheticConfig {
+            nodes,
+            communities,
+            ..Default::default()
+        },
+        0xC4A6,
+    );
+    let n = graph.n();
+    let m = graph.m();
+    let queries = random_queries(&graph, if scale.quick { 6 } else { 12 }, k, 0xC4A61);
+    let template = |q: u32| {
+        CommunityQuery::new(Method::Sea, q)
+            .with_k(k)
+            .with_hoeffding(0.3, 0.95)
+            .with_error_bound(0.1)
+            .with_seed(13 + q as u64)
+    };
+
+    let store = GraphStore::new(graph);
+    // Warm every pinned query node's distance table once.
+    for &q in &queries {
+        let _ = store.run(&template(q));
+    }
+
+    let mut rng = StdRng::seed_from_u64(0xC4A62);
+    let mut structural_apply_ms = Vec::new();
+    let mut attr_apply_ms = Vec::new();
+    let mut serve_ms = Vec::new();
+    let mut rebuild_ms = Vec::new();
+    let mut structural_hit_ratio = Vec::new();
+    let mut attr_hit_ratio = Vec::new();
+    let mut verified = 0usize;
+
+    for batch_no in 0..batches {
+        // Alternate flavors so both invalidation paths are measured.
+        // Attribute rewrites resample inside the current min-max range,
+        // so normalization *usually* survives — when a touched node was a
+        // dimension's unique extreme holder it does not, the store drops
+        // every table for that epoch, and the measured ratio reports it.
+        let with_attrs = batch_no % 2 == 1;
+        let mix = if with_attrs {
+            ChurnMix::WITH_ATTRS
+        } else {
+            ChurnMix::STRUCTURAL
+        };
+        let batch = random_updates(store.snapshot().graph(), &mut rng, batch_size, mix);
+
+        let t = Instant::now();
+        let report = store.apply(&batch).expect("batch endpoints exist");
+        let apply_ms = t.elapsed().as_secs_f64() * 1e3;
+        if with_attrs {
+            attr_apply_ms.push(apply_ms);
+        } else {
+            structural_apply_ms.push(apply_ms);
+        }
+
+        // Serve the pinned workload twice: on the evolved engine (warm
+        // carried caches) and on the do-nothing alternative — a fresh
+        // engine that pays the cold decomposition and every cold
+        // distance table again.
+        let snap = store.snapshot();
+        let hits_before = snap.engine().distance_cache_hits();
+        let t = Instant::now();
+        let evolved: Vec<_> = queries
+            .iter()
+            .map(|&q| snap.engine().run(&template(q)))
+            .collect();
+        let evolved_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let fresh = Engine::new(snap.graph().clone());
+        let rebuilt: Vec<_> = queries.iter().map(|&q| fresh.run(&template(q))).collect();
+        rebuild_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        serve_ms.push(evolved_ms);
+
+        for ((a, b), &q) in evolved.iter().zip(&rebuilt).zip(&queries) {
+            let same = match (a, b) {
+                (Ok(a), Ok(b)) => a.community == b.community && a.delta == b.delta,
+                (Err(a), Err(b)) => a.to_string() == b.to_string(),
+                _ => false,
+            };
+            assert!(
+                same,
+                "epoch {} query {q}: evolving engine diverged from a fresh build",
+                report.epoch
+            );
+            verified += 1;
+        }
+        let ratio =
+            (snap.engine().distance_cache_hits() - hits_before) as f64 / queries.len() as f64;
+        if with_attrs {
+            attr_hit_ratio.push(ratio);
+        } else {
+            structural_hit_ratio.push(ratio);
+        }
+    }
+
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "Evolving-graph churn on a generated dataset ({n} nodes, {m} edges, k = {k}): \
+         {batches} batches × {batch_size} updates, {} pinned SEA queries re-answered and \
+         verified against a fresh engine after every batch ({verified} checks, all equal).\n",
+        queries.len()
+    );
+    md.push_str("| metric | structural batches | attribute batches |\n|---|---|---|\n");
+    let _ = writeln!(
+        md,
+        "| apply latency (update + incremental repair + publish) | {:.3} ms | {:.3} ms |",
+        mean(&structural_apply_ms),
+        mean(&attr_apply_ms)
+    );
+    let _ = writeln!(
+        md,
+        "| post-update warm-hit ratio | {:.2} | {:.2} |",
+        mean(&structural_hit_ratio),
+        mean(&attr_hit_ratio)
+    );
+    md.push('\n');
+    md.push_str("| post-churn workload ({} queries) | evolved store | rebuild from scratch |\n|---|---|---|\n".replace("{}", &queries.len().to_string()).as_str());
+    let _ = writeln!(
+        md,
+        "| serve latency | {:.3} ms (carried caches) | {:.3} ms (cold decomposition + cold tables) |",
+        mean(&serve_ms),
+        mean(&rebuild_ms)
+    );
+    let _ = writeln!(
+        md,
+        "\nStructural batches carry every distance table bit-for-bit (ratio 1.00 = all \
+         warm). Attribute batches drop the touched query nodes' tables and patch the \
+         rest — the ratio stays high unless a rewrite shifted a normalization range \
+         (possible when the touched node held a dimension's extreme), in which case \
+         the store correctly drops everything for that epoch. Staleness is impossible \
+         either way."
+    );
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The quick churn experiment runs end to end, verifies every answer,
+    /// and reports both batch flavors.
+    #[test]
+    fn quick_churn_report_is_well_formed() {
+        let md = run(&Scale {
+            quick: true,
+            threads: 2,
+        });
+        assert!(md.contains("| apply latency"));
+        assert!(md.contains("| post-update warm-hit ratio |"));
+        assert!(md.contains("all equal"));
+    }
+}

@@ -11,6 +11,7 @@
 //! Criterion micro-benchmarks live under `crates/bench/benches/` and
 //! exercise the same code paths per table/figure.
 
+pub mod churn;
 pub mod config;
 pub mod fig10;
 pub mod fig5;
@@ -35,8 +36,10 @@ pub const EXPERIMENT_IDS: [&str; 10] = [
 
 /// Runs one experiment by id (`fig10` and `fig9` included although fig10
 /// is not in [`EXPERIMENT_IDS`]' paper-order list twice; `perf` is the
-/// engine performance baseline, which also writes `BENCH_perf.json`).
-/// Returns the rendered markdown, or `None` for an unknown id.
+/// engine performance baseline, which also writes `BENCH_perf.json`;
+/// `churn` measures the evolving-graph store's update latency and cache
+/// retention). Returns the rendered markdown, or `None` for an unknown
+/// id.
 pub fn run_experiment(id: &str, scale: &Scale) -> Option<String> {
     let out = match id {
         "tab1" => tab1::run(scale),
@@ -51,15 +54,18 @@ pub fn run_experiment(id: &str, scale: &Scale) -> Option<String> {
         "fig9" => fig9::run(scale),
         "fig10" => fig10::run(scale),
         "perf" => perf::run(scale),
+        "churn" => churn::run(scale),
         _ => return None,
     };
     Some(out)
 }
 
-/// Every experiment id, including fig10 and the perf baseline.
+/// Every experiment id, including fig10, the perf baseline, and the
+/// evolving-graph churn experiment.
 pub fn all_ids() -> Vec<&'static str> {
     let mut ids = EXPERIMENT_IDS.to_vec();
     ids.push("fig10");
     ids.push("perf");
+    ids.push("churn");
     ids
 }

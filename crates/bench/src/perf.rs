@@ -6,7 +6,8 @@
 //! and writes the numbers to a machine-readable `BENCH_perf.json` next to
 //! the rendered markdown. Every perf-focused PR reruns it so the
 //! repository carries a comparable trajectory of measurements
-//! (`schema: csag-perf-v1`; keep keys append-only).
+//! (`schema: csag-perf-v2`; keep keys append-only within a schema
+//! version).
 //!
 //! Definitions:
 //! * **cold** — first query against a freshly built engine: pays the core
@@ -18,6 +19,13 @@
 //! * **allocations/query** — counted by the opt-in global allocator the
 //!   `experiments` binary registers ([`csag_graph::alloc_counter`]);
 //!   reported as `null` when the running binary is not counting.
+//!
+//! The batch sweep only *measures* worker counts the machine can
+//! actually run in parallel: on a host with fewer cores than a sweep
+//! point, that row is reported as `null` in the JSON and flagged as
+//! skipped in the markdown instead of committing a number that measures
+//! scheduling overhead rather than scaling (`schema: csag-perf-v2`;
+//! `threads_available` records the host so reports are comparable).
 
 use crate::config::Scale;
 use csag::engine::{CommunityQuery, Engine, Method};
@@ -106,19 +114,30 @@ pub fn run(scale: &Scale) -> String {
 
     // Batch throughput: the query set tiled 4×, swept over worker counts
     // on the already-warm engine so every width runs on equal footing.
+    // Widths beyond the host's parallelism are *skipped* (recorded as
+    // None), not measured — a 1-core container running "8 workers" only
+    // times the scheduler, and committing that as a scaling number is
+    // worse than committing nothing.
+    let threads_available = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let batch: Vec<CommunityQuery> = queries
         .iter()
         .cycle()
         .take(queries.len() * 4)
         .map(|&q| template(q))
         .collect();
-    let mut throughput: Vec<(usize, f64)> = Vec::new();
+    let mut throughput: Vec<(usize, Option<f64>)> = Vec::new();
     for &threads in &THREAD_SWEEP {
+        if threads > threads_available {
+            throughput.push((threads, None));
+            continue;
+        }
         let t = Instant::now();
         let results = engine.run_batch_with_threads(&batch, threads);
         let secs = t.elapsed().as_secs_f64();
         assert!(results.iter().all(Result::is_ok));
-        throughput.push((threads, batch.len() as f64 / secs));
+        throughput.push((threads, Some(batch.len() as f64 / secs)));
     }
 
     let cold = mean_ms(&cold_ms);
@@ -128,21 +147,30 @@ pub fn run(scale: &Scale) -> String {
     } else {
         f64::INFINITY
     };
-    let base_qps = throughput[0].1;
-    let threads_available = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let base_qps = throughput[0].1.expect("1 worker always runs");
 
-    // Machine-readable report (hand-rolled JSON; keys are the contract).
+    // Machine-readable report (hand-rolled JSON; keys are the contract —
+    // v2 over v1: sweep rows beyond `threads_available` are null, and
+    // `measured_thread_counts` lists what actually ran).
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"csag-perf-v1\",");
+    let _ = writeln!(json, "  \"schema\": \"csag-perf-v2\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
         if scale.quick { "quick" } else { "full" }
     );
     let _ = writeln!(json, "  \"threads_available\": {threads_available},");
+    let _ = writeln!(
+        json,
+        "  \"measured_thread_counts\": [{}],",
+        throughput
+            .iter()
+            .filter(|(_, qps)| qps.is_some())
+            .map(|(t, _)| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     let _ = writeln!(
         json,
         "  \"dataset\": {{ \"nodes\": {n}, \"edges\": {m}, \"k\": {k} }},"
@@ -157,20 +185,25 @@ pub fn run(scale: &Scale) -> String {
     let _ = write!(json, "{}", batch.len());
     json.push_str(",\n    \"throughput_qps\": {");
     for (i, (threads, qps)) in throughput.iter().enumerate() {
+        let rendered = match qps {
+            Some(qps) => format!("{qps:.3}"),
+            None => "null".to_string(),
+        };
         let _ = write!(
             json,
-            "{}\"{threads}\": {qps:.3}",
+            "{}\"{threads}\": {rendered}",
             if i == 0 { " " } else { ", " }
         );
     }
     json.push_str(" },\n");
     let _ = writeln!(
         json,
-        "    \"speedup_8_over_1\": {:.3}",
+        "    \"speedup_8_over_1\": {}",
         throughput
             .last()
-            .map(|&(_, qps)| qps / base_qps)
-            .unwrap_or(1.0)
+            .and_then(|&(_, qps)| qps)
+            .map(|qps| format!("{:.3}", qps / base_qps))
+            .unwrap_or_else(|| "null".to_string())
     );
     json.push_str("  },\n");
     let _ = writeln!(
@@ -193,15 +226,22 @@ pub fn run(scale: &Scale) -> String {
         eprintln!("[perf] could not write {REPORT_PATH}: {e}");
     }
 
-    // Markdown summary for the experiment log.
+    // Markdown summary for the experiment log. The host's parallelism
+    // leads the headline so a 1-core sweep can never masquerade as a
+    // scaling measurement.
     let mut md = String::new();
     let _ = writeln!(
         md,
         "Engine perf baseline on a generated medium dataset \
-         ({n} nodes, {m} edges, k = {k}; {} available threads).\n",
-        threads_available
+         ({n} nodes, {m} edges, k = {k}). **Host parallelism: \
+         {threads_available} thread(s)** — sweep rows beyond it are \
+         skipped, not measured.\n"
     );
     md.push_str("| metric | value |\n|---|---|\n");
+    let _ = writeln!(
+        md,
+        "| threads available on this host | {threads_available} |"
+    );
     let _ = writeln!(md, "| cold query (fresh engine) | {cold:.3} ms |");
     let _ = writeln!(
         md,
@@ -209,10 +249,21 @@ pub fn run(scale: &Scale) -> String {
     );
     let _ = writeln!(md, "| warm speedup | {speedup:.2}× |");
     for (threads, qps) in &throughput {
-        let _ = writeln!(
-            md,
-            "| batch throughput, {threads} thread(s) | {qps:.1} q/s |"
-        );
+        match qps {
+            Some(qps) => {
+                let _ = writeln!(
+                    md,
+                    "| batch throughput, {threads} thread(s) | {qps:.1} q/s |"
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    md,
+                    "| batch throughput, {threads} thread(s) | *skipped — only \
+                     {threads_available} thread(s) available* |"
+                );
+            }
+        }
     }
     let _ = writeln!(
         md,
@@ -245,10 +296,16 @@ mod tests {
             threads: 2,
         });
         assert!(md.contains("| warm speedup |"));
+        assert!(
+            md.contains("| threads available on this host |"),
+            "host parallelism must lead the report: {md}"
+        );
         let json = std::fs::read_to_string(REPORT_PATH).expect("report written");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         for key in [
-            "\"schema\": \"csag-perf-v1\"",
+            "\"schema\": \"csag-perf-v2\"",
+            "\"threads_available\"",
+            "\"measured_thread_counts\"",
             "\"single_query\"",
             "\"cold_ms\"",
             "\"warm_ms\"",
@@ -262,6 +319,18 @@ mod tests {
             "\"distance_cache_hits\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Sweep rows the host cannot run in parallel are null, never a
+        // misleading number.
+        let threads_available = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        if threads_available < 8 {
+            assert!(
+                json.contains("\"8\": null"),
+                "1-core rows must be null: {json}"
+            );
+            assert!(md.contains("skipped"), "markdown must flag skipped rows");
         }
         // Unit tests run with the crate dir as CWD; don't leave a stray
         // report next to the sources (the committed baseline lives at the

@@ -169,6 +169,23 @@ impl QueryDistances {
             .count()
     }
 
+    /// A private copy of the table with the slots of `stale` re-marked
+    /// "not computed". The evolving-graph engine uses this to carry a
+    /// warm table across an epoch whose update changed the attributes of
+    /// a few nodes: every other memoized distance survives, while the
+    /// stale slots lazily recompute against the *new* graph. (The shared
+    /// original is never mutated — queries still running on the old epoch
+    /// keep their values.)
+    pub fn clone_with_reset(&self, stale: &[NodeId]) -> Self {
+        let copy = self.clone();
+        for &v in stale {
+            if let Some(slot) = copy.vals.get(v as usize) {
+                slot.store(UNSET, Ordering::Relaxed);
+            }
+        }
+        copy
+    }
+
     /// Attribute distance δ of a community (Def. 4): the mean `f(·, q)`
     /// over its members excluding `q`. A community of just `{q}` has δ = 0.
     pub fn delta(&self, g: &AttributedGraph, nodes: &[NodeId]) -> f64 {
@@ -310,6 +327,18 @@ mod tests {
         let copy = dist.clone();
         assert_eq!(copy.computed(), 3);
         assert_eq!(copy.get(&g, 2), serial[2]);
+    }
+
+    #[test]
+    fn clone_with_reset_forgets_only_stale_slots() {
+        let g = movie_graph();
+        let dist = QueryDistances::new(0, g.n(), DistanceParams::default());
+        dist.warm(&g, &[0, 1, 2]);
+        assert_eq!(dist.computed(), 3);
+        let copy = dist.clone_with_reset(&[1, 99]); // out-of-range ids are ignored
+        assert_eq!(copy.computed(), 2, "only slot 1 was forgotten");
+        assert_eq!(dist.computed(), 3, "the original is untouched");
+        assert_eq!(copy.get(&g, 1), dist.get(&g, 1), "lazy recompute agrees");
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod standins;
 
 pub use generator::{generate, SyntheticConfig};
 pub use hetero_gen::{generate_hetero, HeteroConfig};
-pub use queries::{hetero_queries, random_queries};
+pub use queries::{hetero_queries, random_queries, random_updates, ChurnMix};
 pub use standins::{all_homogeneous, Dataset};
 
 pub use hetero_gen::HeteroDataset;

@@ -1,13 +1,15 @@
-//! Query-node generation (§VII-A).
+//! Query-node and churn-workload generation (§VII-A).
 //!
 //! Homogeneous queries follow the ACQ protocol: uniformly random nodes
 //! that actually have a k-core (so every method returns something).
 //! Heterogeneous queries follow the (k,P)-core protocol: random target
-//! nodes with at least `k` P-neighbors.
+//! nodes with at least `k` P-neighbors. [`random_updates`] generates the
+//! seeded evolving-graph batches shared by the churn experiment, the
+//! churn tests, and `csag serve-churn`.
 
 use crate::hetero_gen::HeteroDataset;
 use csag_decomp::core_decomposition;
-use csag_graph::{AttributedGraph, NodeId};
+use csag_graph::{AttributedGraph, GraphUpdate, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -42,6 +44,101 @@ pub fn hetero_queries(d: &HeteroDataset, count: usize, k: u32, seed: u64) -> Vec
     }
     picked.sort_unstable();
     picked
+}
+
+/// Relative weights of the three churn flavors [`random_updates`] mixes:
+/// edge toggles, attribute rewrites, new vertices. A zero weight disables
+/// the flavor entirely.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnMix {
+    /// Weight of edge toggles (add the edge if absent, else a coin flip
+    /// between re-adding — a no-op — and removing).
+    pub edges: u32,
+    /// Weight of attribute rewrites (numeric row resampled inside the
+    /// current per-dimension min-max range; occasionally tokens too).
+    pub attrs: u32,
+    /// Weight of appending a fresh isolated vertex.
+    pub vertices: u32,
+}
+
+impl ChurnMix {
+    /// Edge toggles only — the flavor whose updates can never touch a
+    /// distance table.
+    pub const STRUCTURAL: ChurnMix = ChurnMix {
+        edges: 1,
+        attrs: 0,
+        vertices: 0,
+    };
+    /// The default mixed workload: mostly edges, some attribute churn,
+    /// the occasional new vertex.
+    pub const MIXED: ChurnMix = ChurnMix {
+        edges: 7,
+        attrs: 2,
+        vertices: 1,
+    };
+    /// Edges + attribute rewrites, no growth (keeps `n` fixed so distance
+    /// tables can survive the batch).
+    pub const WITH_ATTRS: ChurnMix = ChurnMix {
+        edges: 7,
+        attrs: 3,
+        vertices: 0,
+    };
+}
+
+/// Generates one seeded churn batch of `count` updates against the
+/// *current* state of `g`, mixing flavors by [`ChurnMix`] weight.
+///
+/// Attribute rewrites resample each numeric value inside the current
+/// min-max range, so normalization usually survives — but not always: if
+/// the touched node was a dimension's unique extreme holder, the range
+/// shrinks and the evolving store correctly drops every distance table
+/// for that epoch. Callers measuring cache retention should treat the
+/// occasional wholesale drop as part of the workload, not a bug.
+pub fn random_updates(
+    g: &AttributedGraph,
+    rng: &mut StdRng,
+    count: usize,
+    mix: ChurnMix,
+) -> Vec<GraphUpdate> {
+    let total = mix.edges + mix.attrs + mix.vertices;
+    assert!(total > 0, "at least one churn flavor must have weight");
+    let n = g.n() as u32;
+    (0..count)
+        .map(|_| {
+            let roll = rng.gen_range(0..total);
+            if roll < mix.edges {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if g.has_edge(u, v) && rng.gen_bool(0.5) {
+                    GraphUpdate::RemoveEdge { u, v }
+                } else {
+                    GraphUpdate::AddEdge { u, v }
+                }
+            } else if roll < mix.edges + mix.attrs {
+                let v = rng.gen_range(0..n);
+                let numeric: Vec<f64> = (0..g.attrs().dims())
+                    .map(|d| {
+                        let (lo, hi) = g.attrs().dim_range(d);
+                        if hi > lo {
+                            rng.gen_range(lo..hi)
+                        } else {
+                            lo
+                        }
+                    })
+                    .collect();
+                GraphUpdate::SetAttributes {
+                    v,
+                    tokens: rng.gen_bool(0.25).then(|| vec!["churned".to_string()]),
+                    numeric: Some(numeric),
+                }
+            } else {
+                GraphUpdate::AddVertex {
+                    tokens: vec!["fresh".to_string()],
+                    numeric: vec![0.25; g.attrs().dims()],
+                }
+            }
+        })
+        .collect()
 }
 
 fn sample_distinct(pool: &[NodeId], count: usize, seed: u64) -> Vec<NodeId> {
@@ -109,6 +206,40 @@ mod tests {
             3,
         );
         assert!(random_queries(&g, 10, 200, 1).is_empty());
+    }
+
+    #[test]
+    fn churn_batches_respect_the_mix_and_apply_cleanly() {
+        let (g, _) = generate(
+            &SyntheticConfig {
+                nodes: 120,
+                communities: 4,
+                ..Default::default()
+            },
+            6,
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        let structural = random_updates(&g, &mut rng, 40, ChurnMix::STRUCTURAL);
+        assert!(structural.iter().all(|u| matches!(
+            u,
+            GraphUpdate::AddEdge { .. } | GraphUpdate::RemoveEdge { .. }
+        )));
+        let mixed = random_updates(&g, &mut rng, 60, ChurnMix::MIXED);
+        assert!(mixed
+            .iter()
+            .any(|u| matches!(u, GraphUpdate::SetAttributes { .. })));
+        // Every generated update applies without error to the live graph.
+        let mut m = csag_graph::MutableGraph::from_graph(&g);
+        for u in structural.iter().chain(&mixed) {
+            m.apply(u).expect("generated updates are always valid");
+        }
+        // Determinism per seed.
+        let mut a = StdRng::seed_from_u64(4);
+        let mut b = StdRng::seed_from_u64(4);
+        assert_eq!(
+            random_updates(&g, &mut a, 20, ChurnMix::WITH_ATTRS),
+            random_updates(&g, &mut b, 20, ChurnMix::WITH_ATTRS)
+        );
     }
 
     #[test]

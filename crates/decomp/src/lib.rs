@@ -16,10 +16,12 @@
 //! The [`CommunityModel`] enum abstracts over the two cohesion models so
 //! the search algorithms in `csag-core` are written once (paper §VI-C).
 
+pub mod incremental;
 pub mod kcore;
 pub mod ktruss;
 pub mod maintainer;
 
+pub use incremental::{patch_node_trussness, CoreMaintainer, NeighborAccess};
 pub use kcore::{core_decomposition, max_connected_kcore, PrefixPeeler};
 pub use ktruss::{max_connected_ktruss, node_max_trussness, truss_decomposition, EdgeIndex};
 pub use maintainer::{CommunityModel, Maintainer};

@@ -1,0 +1,117 @@
+//! Churn property tests: incrementally maintained core numbers and the
+//! targeted trussness patch must equal from-scratch recomputation after
+//! every update batch, for arbitrary random graphs and update streams.
+
+use csag_decomp::{core_decomposition, node_max_trussness, patch_node_trussness, CoreMaintainer};
+use csag_graph::{Applied, GraphBuilder, GraphUpdate, MutableGraph, NodeId};
+use proptest::prelude::*;
+
+fn build(n: usize, edges: &[(u32, u32)]) -> csag_graph::AttributedGraph {
+    let mut b = GraphBuilder::new(0);
+    for _ in 0..n {
+        b.add_node(&[], &[]);
+    }
+    for &(u, v) in edges {
+        b.add_edge(u, v).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// `(initial node count, initial edges, churn ops)`.
+type ChurnCase = (usize, Vec<(u32, u32)>, Vec<(u8, u32, u32)>);
+
+/// Raw op encoding: `(kind, a, b)` mapped onto the current node count at
+/// apply time, so every generated op is valid regardless of how many
+/// vertices earlier ops added. kind: 0/1 = add edge, 2 = remove edge,
+/// 3 = add vertex.
+fn arb_churn() -> impl Strategy<Value = ChurnCase> {
+    (2usize..24).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..60);
+        let ops = prop::collection::vec((0u8..4, 0u32..64, 0u32..64), 1..40);
+        (Just(n), edges, ops)
+    })
+}
+
+fn op_to_update(op: (u8, u32, u32), n: usize) -> GraphUpdate {
+    let (kind, a, b) = op;
+    let u = a % n as u32;
+    let v = b % n as u32;
+    match kind {
+        0 | 1 => GraphUpdate::AddEdge { u, v },
+        2 => GraphUpdate::RemoveEdge { u, v },
+        _ => GraphUpdate::AddVertex {
+            tokens: vec![],
+            numeric: vec![],
+        },
+    }
+}
+
+proptest! {
+    /// After every batch of random churn, the maintained coreness and the
+    /// patched node trussness equal their from-scratch twins.
+    #[test]
+    fn patched_decompositions_match_recompute(
+        (n, edges, ops) in arb_churn(),
+        batch_size in 1usize..6,
+    ) {
+        let initial = build(n, &edges);
+        let mut mutable = MutableGraph::from_graph(&initial);
+        let mut maint = CoreMaintainer::new(&initial);
+        let mut truss = node_max_trussness(&initial);
+
+        for batch in ops.chunks(batch_size) {
+            let mut seeds: Vec<NodeId> = Vec::new();
+            for &op in batch {
+                let update = op_to_update(op, mutable.n());
+                match mutable.apply(&update).unwrap() {
+                    Applied::EdgeAdded(u, v) => {
+                        maint.insert_edge(&mutable, u, v);
+                        seeds.extend([u, v]);
+                    }
+                    Applied::EdgeRemoved(u, v) => {
+                        maint.remove_edge(&mutable, u, v);
+                        seeds.extend([u, v]);
+                    }
+                    Applied::VertexAdded(_) => maint.add_vertex(),
+                    Applied::AttributesSet(_) | Applied::NoOp => {}
+                }
+            }
+            let snap = mutable.snapshot();
+            let fresh = core_decomposition(&snap);
+            prop_assert_eq!(
+                maint.coreness(),
+                fresh.as_slice(),
+                "maintained coreness diverged after batch {:?}",
+                batch
+            );
+            truss = patch_node_trussness(&snap, &truss, &seeds);
+            prop_assert_eq!(
+                &truss,
+                &node_max_trussness(&snap),
+                "patched trussness diverged after batch {:?}",
+                batch
+            );
+        }
+    }
+
+    /// The per-edge repair is order-insensitive: replaying the surviving
+    /// structural ops in one go from a fresh maintainer lands on the same
+    /// cores (sanity against hidden scratch-state leakage).
+    #[test]
+    fn maintainer_state_is_replayable((n, edges, ops) in arb_churn()) {
+        let initial = build(n, &edges);
+        let mut mutable = MutableGraph::from_graph(&initial);
+        let mut maint = CoreMaintainer::new(&initial);
+        for &op in &ops {
+            let update = op_to_update(op, mutable.n());
+            match mutable.apply(&update).unwrap() {
+                Applied::EdgeAdded(u, v) => maint.insert_edge(&mutable, u, v),
+                Applied::EdgeRemoved(u, v) => maint.remove_edge(&mutable, u, v),
+                Applied::VertexAdded(_) => maint.add_vertex(),
+                _ => {}
+            }
+        }
+        let replayed = CoreMaintainer::new(&mutable.snapshot());
+        prop_assert_eq!(maint.coreness(), replayed.coreness());
+    }
+}

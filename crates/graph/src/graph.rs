@@ -18,6 +18,21 @@ pub struct AttributedGraph {
 }
 
 impl AttributedGraph {
+    /// Assembles a graph from already-validated CSR parts (the builder and
+    /// the [`crate::update::MutableGraph`] snapshot path both end here).
+    pub(crate) fn from_csr_parts(
+        offsets: Vec<usize>,
+        targets: Vec<NodeId>,
+        attrs: NodeAttributes,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), attrs.n() + 1);
+        AttributedGraph {
+            offsets,
+            targets,
+            attrs,
+        }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn n(&self) -> usize {

@@ -47,6 +47,7 @@ pub mod hetero;
 pub mod io;
 pub mod stats;
 pub mod traversal;
+pub mod update;
 pub mod workspace;
 
 pub use attrs::TokenInterner;
@@ -55,6 +56,7 @@ pub use builder::{GraphBuilder, GraphError};
 pub use graph::{AttributedGraph, InducedSubgraph};
 pub use heap::MinScored;
 pub use hetero::{HeteroGraph, HeteroGraphBuilder, MetaPath, ProjectedGraph};
+pub use update::{Applied, GraphUpdate, MutableGraph};
 pub use workspace::QueryWorkspace;
 
 /// Dense node identifier, valid in `0..graph.n()`.

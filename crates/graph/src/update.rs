@@ -1,0 +1,561 @@
+//! Graph deltas: [`GraphUpdate`] descriptions and the [`MutableGraph`]
+//! working copy that applies them and publishes immutable CSR snapshots.
+//!
+//! The CSR layout of [`AttributedGraph`] is the right shape for querying
+//! but the wrong shape for editing, so evolving-graph support splits the
+//! two concerns: a [`MutableGraph`] keeps per-node adjacency vectors and
+//! raw attribute rows that each [`GraphUpdate`] edits in `O(degree)`, and
+//! [`MutableGraph::snapshot`] rebuilds an immutable [`AttributedGraph`]
+//! (fresh CSR, fresh min-max normalization — exactly what
+//! [`crate::GraphBuilder::build`] would produce from the same rows) for
+//! publication. The engine's `GraphStore` owns one working copy per
+//! store, applies update batches to it, and hands the snapshot of each
+//! epoch to queries.
+//!
+//! Updates are *forgiving* about redundancy — adding an edge that already
+//! exists, removing one that does not, and self-loops are no-ops, not
+//! errors (reported as [`Applied::NoOp`] so callers can count them) —
+//! but *strict* about referential integrity: out-of-range endpoints and
+//! numerical rows of the wrong dimensionality are [`GraphError`]s and
+//! leave the working copy untouched.
+
+use crate::attrs::{NodeAttributes, TokenInterner};
+use crate::builder::GraphError;
+use crate::graph::AttributedGraph;
+use crate::NodeId;
+
+/// One edit to an attributed graph.
+///
+/// A *batch* (`&[GraphUpdate]`) is applied in order; later updates see
+/// the effects of earlier ones (so `AddVertex` followed by `AddEdge` to
+/// the new id is valid within one batch).
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphUpdate {
+    /// Insert the undirected edge `{u, v}` (no-op if present or `u == v`).
+    AddEdge {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// Delete the undirected edge `{u, v}` (no-op if absent).
+    RemoveEdge {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// Append a new isolated node carrying the given attributes; its id is
+    /// the current node count.
+    AddVertex {
+        /// Textual attribute tokens of the new node.
+        tokens: Vec<String>,
+        /// Numerical attributes (must match the graph's dimensionality).
+        numeric: Vec<f64>,
+    },
+    /// Replace attributes of an existing node. `None` keeps that side
+    /// unchanged.
+    SetAttributes {
+        /// The node whose attributes change.
+        v: NodeId,
+        /// New textual tokens, or `None` to keep the current ones.
+        tokens: Option<Vec<String>>,
+        /// New numerical attributes (full row), or `None` to keep them.
+        numeric: Option<Vec<f64>>,
+    },
+}
+
+impl GraphUpdate {
+    /// Parses one line of the `csag-updates v1` text format:
+    ///
+    /// ```text
+    /// add-edge 3 17
+    /// remove-edge 3 17
+    /// add-vertex movie,crime 9.2 1600000
+    /// set-attrs 5 - 7.5 90000        # `-` keeps/means empty tokens
+    /// set-attrs 5 drama              # tokens only, numerics kept
+    /// ```
+    ///
+    /// For `add-vertex`, `-` means an empty token set. For `set-attrs`,
+    /// `-` as the token field keeps the node's current tokens, and an
+    /// absent numeric tail keeps the current numerics.
+    ///
+    /// # Errors
+    /// A human-readable message naming what failed to parse.
+    pub fn parse_line(line: &str) -> Result<GraphUpdate, String> {
+        let mut parts = line.split_whitespace();
+        let op = parts.next().ok_or("empty update line")?;
+        let parse_node = |s: Option<&str>, what: &str| -> Result<NodeId, String> {
+            s.ok_or(format!("{op}: missing {what}"))?
+                .parse()
+                .map_err(|_| format!("{op}: bad {what}"))
+        };
+        match op {
+            "add-edge" | "remove-edge" => {
+                let u = parse_node(parts.next(), "endpoint u")?;
+                let v = parse_node(parts.next(), "endpoint v")?;
+                if parts.next().is_some() {
+                    return Err(format!("{op}: trailing fields"));
+                }
+                Ok(if op == "add-edge" {
+                    GraphUpdate::AddEdge { u, v }
+                } else {
+                    GraphUpdate::RemoveEdge { u, v }
+                })
+            }
+            "add-vertex" => {
+                let token_field = parts.next().ok_or("add-vertex: missing token field")?;
+                let tokens = parse_tokens(token_field);
+                let numeric = parse_floats(parts, op)?;
+                Ok(GraphUpdate::AddVertex {
+                    tokens: tokens.unwrap_or_default(),
+                    numeric,
+                })
+            }
+            "set-attrs" => {
+                let v = parse_node(parts.next(), "node id")?;
+                let token_field = parts.next().ok_or("set-attrs: missing token field")?;
+                let tokens = parse_tokens(token_field);
+                let floats = parse_floats(parts, op)?;
+                let numeric = if floats.is_empty() {
+                    None
+                } else {
+                    Some(floats)
+                };
+                Ok(GraphUpdate::SetAttributes { v, tokens, numeric })
+            }
+            other => Err(format!(
+                "unknown update `{other}` (expected add-edge, remove-edge, add-vertex, set-attrs)"
+            )),
+        }
+    }
+
+    /// Parses a whole update script: one update per line, blank lines and
+    /// `#` comments skipped.
+    ///
+    /// # Errors
+    /// The first offending line, with its 1-based line number.
+    pub fn parse_script(text: &str) -> Result<Vec<GraphUpdate>, String> {
+        let mut updates = Vec::new();
+        for (no, line) in text.lines().enumerate() {
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            updates.push(Self::parse_line(t).map_err(|e| format!("line {}: {e}", no + 1))?);
+        }
+        Ok(updates)
+    }
+}
+
+/// `-` means "no tokens / keep tokens"; otherwise a comma-separated list.
+fn parse_tokens(field: &str) -> Option<Vec<String>> {
+    if field == "-" {
+        None
+    } else {
+        Some(field.split(',').map(str::to_owned).collect())
+    }
+}
+
+fn parse_floats<'a>(parts: impl Iterator<Item = &'a str>, op: &str) -> Result<Vec<f64>, String> {
+    parts
+        .map(|p| {
+            p.parse()
+                .map_err(|_| format!("{op}: bad numeric attribute `{p}`"))
+        })
+        .collect()
+}
+
+/// What applying one [`GraphUpdate`] actually did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Applied {
+    /// The edge `{u, v}` was inserted.
+    EdgeAdded(NodeId, NodeId),
+    /// The edge `{u, v}` was deleted.
+    EdgeRemoved(NodeId, NodeId),
+    /// A node with this id was appended.
+    VertexAdded(NodeId),
+    /// This node's attributes were replaced.
+    AttributesSet(NodeId),
+    /// The update was redundant (edge already present/absent, self-loop).
+    NoOp,
+}
+
+/// An editable working copy of an [`AttributedGraph`].
+///
+/// Holds per-node sorted adjacency vectors plus the raw attribute rows,
+/// so edits are local: an edge toggle costs `O(deg(u) + deg(v))`, an
+/// attribute replacement `O(|row|)`. [`MutableGraph::snapshot`]
+/// rematerializes the immutable CSR graph in `O(n + m)`.
+#[derive(Clone, Debug)]
+pub struct MutableGraph {
+    adj: Vec<Vec<NodeId>>,
+    interner: TokenInterner,
+    token_rows: Vec<Vec<u32>>,
+    dims: usize,
+    numeric: Vec<f64>,
+    m: usize,
+}
+
+impl MutableGraph {
+    /// Decomposes `g` into an editable working copy.
+    pub fn from_graph(g: &AttributedGraph) -> Self {
+        let n = g.n();
+        let adj: Vec<Vec<NodeId>> = (0..n as NodeId).map(|v| g.neighbors(v).to_vec()).collect();
+        let token_rows: Vec<Vec<u32>> = (0..n as NodeId).map(|v| g.tokens(v).to_vec()).collect();
+        MutableGraph {
+            adj,
+            interner: g.interner().clone(),
+            token_rows,
+            dims: g.attrs().dims(),
+            numeric: (0..n as NodeId)
+                .flat_map(|v| g.numeric_raw(v).iter().copied())
+                .collect(),
+            m: g.m(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Numerical dimensionality every node row must match.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Sorted neighbor list of `v`.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v as usize]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+        if (node as usize) < self.n() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange { node, n: self.n() })
+        }
+    }
+
+    fn check_dims(&self, node: NodeId, row: &[f64]) -> Result<(), GraphError> {
+        if row.len() == self.dims {
+            Ok(())
+        } else {
+            Err(GraphError::DimMismatch {
+                node,
+                expected: self.dims,
+                got: row.len(),
+            })
+        }
+    }
+
+    /// Applies one update, reporting what changed.
+    ///
+    /// # Errors
+    /// [`GraphError::NodeOutOfRange`] for unknown endpoints/nodes,
+    /// [`GraphError::DimMismatch`] for numerical rows of the wrong width.
+    /// On error the working copy is unchanged.
+    pub fn apply(&mut self, update: &GraphUpdate) -> Result<Applied, GraphError> {
+        match update {
+            GraphUpdate::AddEdge { u, v } => {
+                self.check_node(*u)?;
+                self.check_node(*v)?;
+                if u == v || self.has_edge(*u, *v) {
+                    return Ok(Applied::NoOp);
+                }
+                for (a, b) in [(*u, *v), (*v, *u)] {
+                    let row = &mut self.adj[a as usize];
+                    let pos = row.binary_search(&b).unwrap_err();
+                    row.insert(pos, b);
+                }
+                self.m += 1;
+                Ok(Applied::EdgeAdded(*u, *v))
+            }
+            GraphUpdate::RemoveEdge { u, v } => {
+                self.check_node(*u)?;
+                self.check_node(*v)?;
+                if u == v || !self.has_edge(*u, *v) {
+                    return Ok(Applied::NoOp);
+                }
+                for (a, b) in [(*u, *v), (*v, *u)] {
+                    let row = &mut self.adj[a as usize];
+                    let pos = row.binary_search(&b).expect("edge exists");
+                    row.remove(pos);
+                }
+                self.m -= 1;
+                Ok(Applied::EdgeRemoved(*u, *v))
+            }
+            GraphUpdate::AddVertex { tokens, numeric } => {
+                let id = self.n() as NodeId;
+                self.check_dims(id, numeric)?;
+                let mut row: Vec<u32> = tokens.iter().map(|t| self.interner.intern(t)).collect();
+                row.sort_unstable();
+                row.dedup();
+                self.adj.push(Vec::new());
+                self.token_rows.push(row);
+                self.numeric.extend_from_slice(numeric);
+                Ok(Applied::VertexAdded(id))
+            }
+            GraphUpdate::SetAttributes { v, tokens, numeric } => {
+                self.check_node(*v)?;
+                if let Some(row) = numeric {
+                    self.check_dims(*v, row)?;
+                }
+                if let Some(tokens) = tokens {
+                    let mut row: Vec<u32> =
+                        tokens.iter().map(|t| self.interner.intern(t)).collect();
+                    row.sort_unstable();
+                    row.dedup();
+                    self.token_rows[*v as usize] = row;
+                }
+                if let Some(row) = numeric {
+                    let base = *v as usize * self.dims;
+                    self.numeric[base..base + self.dims].copy_from_slice(row);
+                }
+                Ok(Applied::AttributesSet(*v))
+            }
+        }
+    }
+
+    /// Rebuilds the immutable CSR snapshot: identical to what
+    /// [`crate::GraphBuilder`] would produce from the current rows, with
+    /// min-max normalization recomputed over the *current* attribute
+    /// values (so distances in the snapshot match a from-scratch build of
+    /// the updated graph bit-for-bit).
+    pub fn snapshot(&self) -> AttributedGraph {
+        let n = self.n();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut targets = Vec::with_capacity(2 * self.m);
+        for row in &self.adj {
+            targets.extend_from_slice(row);
+            offsets.push(targets.len());
+        }
+        let attrs = NodeAttributes::from_rows(
+            self.interner.clone(),
+            self.token_rows.clone(),
+            self.dims,
+            self.numeric.clone(),
+        );
+        AttributedGraph::from_csr_parts(offsets, targets, attrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> AttributedGraph {
+        let mut b = GraphBuilder::new(1);
+        b.add_node(&["movie"], &[1.0]);
+        b.add_node(&["movie", "crime"], &[2.0]);
+        b.add_node(&["tv"], &[3.0]);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn edge_toggles_round_trip() {
+        let g = sample();
+        let mut m = MutableGraph::from_graph(&g);
+        assert_eq!(m.n(), 3);
+        assert_eq!(m.m(), 2);
+        assert_eq!(
+            m.apply(&GraphUpdate::AddEdge { u: 0, v: 2 }).unwrap(),
+            Applied::EdgeAdded(0, 2)
+        );
+        assert_eq!(
+            m.apply(&GraphUpdate::AddEdge { u: 2, v: 0 }).unwrap(),
+            Applied::NoOp,
+            "already present"
+        );
+        assert_eq!(
+            m.apply(&GraphUpdate::AddEdge { u: 1, v: 1 }).unwrap(),
+            Applied::NoOp,
+            "self-loop"
+        );
+        assert!(m.has_edge(0, 2) && m.has_edge(2, 0));
+        assert_eq!(m.m(), 3);
+        assert_eq!(
+            m.apply(&GraphUpdate::RemoveEdge { u: 1, v: 0 }).unwrap(),
+            Applied::EdgeRemoved(1, 0)
+        );
+        assert_eq!(
+            m.apply(&GraphUpdate::RemoveEdge { u: 1, v: 0 }).unwrap(),
+            Applied::NoOp,
+            "already absent"
+        );
+        let snap = m.snapshot();
+        assert_eq!(snap.m(), 2);
+        assert!(snap.has_edge(0, 2));
+        assert!(!snap.has_edge(0, 1));
+        assert!(snap.has_edge(1, 2));
+    }
+
+    /// Snapshot equals a from-scratch `GraphBuilder` build of the same
+    /// rows: structure, tokens, raw and *normalized* numerics.
+    #[test]
+    fn snapshot_matches_from_scratch_build() {
+        let g = sample();
+        let mut m = MutableGraph::from_graph(&g);
+        m.apply(&GraphUpdate::AddVertex {
+            tokens: vec!["movie".into(), "drama".into()],
+            numeric: vec![9.0],
+        })
+        .unwrap();
+        m.apply(&GraphUpdate::AddEdge { u: 3, v: 0 }).unwrap();
+        m.apply(&GraphUpdate::SetAttributes {
+            v: 2,
+            tokens: Some(vec!["tv".into(), "crime".into()]),
+            numeric: Some(vec![-5.0]),
+        })
+        .unwrap();
+        let snap = m.snapshot();
+
+        let mut b = GraphBuilder::new(1);
+        b.add_node(&["movie"], &[1.0]);
+        b.add_node(&["movie", "crime"], &[2.0]);
+        b.add_node(&["tv", "crime"], &[-5.0]);
+        b.add_node(&["movie", "drama"], &[9.0]);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(3, 0).unwrap();
+        let fresh = b.build().unwrap();
+
+        assert_eq!(snap.n(), fresh.n());
+        assert_eq!(snap.m(), fresh.m());
+        for v in 0..snap.n() as NodeId {
+            assert_eq!(snap.neighbors(v), fresh.neighbors(v), "adjacency of {v}");
+            assert_eq!(snap.numeric_raw(v), fresh.numeric_raw(v));
+            // Normalization recomputed over the updated value range.
+            assert_eq!(snap.numeric(v), fresh.numeric(v), "normalized row of {v}");
+            fn names(g: &AttributedGraph, v: NodeId) -> Vec<&str> {
+                let mut ns: Vec<&str> = g
+                    .tokens(v)
+                    .iter()
+                    .filter_map(|&t| g.interner().name(t))
+                    .collect();
+                ns.sort_unstable();
+                ns
+            }
+            assert_eq!(names(&snap, v), names(&fresh, v), "tokens of {v}");
+        }
+    }
+
+    #[test]
+    fn errors_leave_the_copy_untouched() {
+        let g = sample();
+        let mut m = MutableGraph::from_graph(&g);
+        assert_eq!(
+            m.apply(&GraphUpdate::AddEdge { u: 0, v: 9 }),
+            Err(GraphError::NodeOutOfRange { node: 9, n: 3 })
+        );
+        assert_eq!(
+            m.apply(&GraphUpdate::AddVertex {
+                tokens: vec![],
+                numeric: vec![1.0, 2.0],
+            }),
+            Err(GraphError::DimMismatch {
+                node: 3,
+                expected: 1,
+                got: 2
+            })
+        );
+        assert_eq!(
+            m.apply(&GraphUpdate::SetAttributes {
+                v: 1,
+                tokens: None,
+                numeric: Some(vec![]),
+            }),
+            Err(GraphError::DimMismatch {
+                node: 1,
+                expected: 1,
+                got: 0
+            })
+        );
+        assert_eq!(m.n(), 3);
+        assert_eq!(m.m(), 2);
+        assert_eq!(m.snapshot().numeric_raw(1), &[2.0]);
+    }
+
+    #[test]
+    fn script_parsing_round_trips() {
+        let script = "\
+# churn fixture
+add-edge 0 2
+
+remove-edge 1 2
+add-vertex movie,drama 9.0
+add-vertex - 0.5
+set-attrs 2 tv,crime -5
+set-attrs 0 -
+set-attrs 0 drama
+";
+        let updates = GraphUpdate::parse_script(script).unwrap();
+        assert_eq!(updates.len(), 7);
+        assert_eq!(updates[0], GraphUpdate::AddEdge { u: 0, v: 2 });
+        assert_eq!(updates[1], GraphUpdate::RemoveEdge { u: 1, v: 2 });
+        assert_eq!(
+            updates[2],
+            GraphUpdate::AddVertex {
+                tokens: vec!["movie".into(), "drama".into()],
+                numeric: vec![9.0],
+            }
+        );
+        assert_eq!(
+            updates[3],
+            GraphUpdate::AddVertex {
+                tokens: vec![],
+                numeric: vec![0.5],
+            }
+        );
+        assert_eq!(
+            updates[4],
+            GraphUpdate::SetAttributes {
+                v: 2,
+                tokens: Some(vec!["tv".into(), "crime".into()]),
+                numeric: Some(vec![-5.0]),
+            }
+        );
+        assert_eq!(
+            updates[5],
+            GraphUpdate::SetAttributes {
+                v: 0,
+                tokens: None,
+                numeric: None,
+            }
+        );
+        assert_eq!(
+            updates[6],
+            GraphUpdate::SetAttributes {
+                v: 0,
+                tokens: Some(vec!["drama".into()]),
+                numeric: None,
+            }
+        );
+        for bad in [
+            "add-edge 0",
+            "add-edge 0 x",
+            "add-edge 0 1 2",
+            "add-vertex",
+            "set-attrs 0 a b",
+            "frobnicate 1 2",
+        ] {
+            assert!(GraphUpdate::parse_line(bad).is_err(), "{bad} must fail");
+        }
+        assert!(GraphUpdate::parse_script("add-edge 0\n").is_err());
+    }
+}

@@ -3,11 +3,14 @@
 //! of a DBLP-like graph, served by the unified query engine.
 //!
 //! A (k,P)-core of the heterogeneous graph is exactly a k-core of the
-//! meta-path projection, so the engine serves expert queries from the
-//! projected author graph: project once (the reusable per-graph
-//! preparation), then answer every query through `Engine::run` — here as
-//! one parallel batch. (`csag::core::hetero_cs::SeaHetero` remains the
-//! native index-free pipeline that samples *before* projecting.)
+//! meta-path projection, so the engine serves expert queries through the
+//! facade's projection seam: `HeteroEngine::project` builds the
+//! projection once (the reusable per-graph preparation) and translates
+//! ids both ways, so this example speaks original heterogeneous node
+//! ids end to end — no hand-rolled `projection.local(..)` /
+//! `projection.original(..)` plumbing. (`csag::core::hetero_cs::SeaHetero`
+//! remains the native index-free pipeline that samples *before*
+//! projecting.)
 //!
 //! ```text
 //! cargo run --release --example expert_finding
@@ -15,7 +18,7 @@
 
 use csag::datasets::hetero_queries;
 use csag::datasets::standins::dblp_like;
-use csag::engine::{CommunityQuery, Engine, Method};
+use csag::engine::{CommunityQuery, HeteroEngine, Method};
 
 fn main() {
     let d = dblp_like();
@@ -29,15 +32,14 @@ fn main() {
 
     let k = d.default_k;
     let queries = hetero_queries(&d, 3, k, 7);
-    // Reusable per-graph preparation: one projection, one engine.
-    let projection = d.graph.project(&d.meta_path);
-    let engine = Engine::new(projection.graph.clone());
+    // Reusable per-graph preparation: one projection, one engine — behind
+    // one facade call.
+    let engine = HeteroEngine::project(&d.graph, &d.meta_path);
 
     let batch: Vec<CommunityQuery> = queries
         .iter()
         .map(|&q| {
-            let local = projection.local(q).expect("authors project");
-            CommunityQuery::new(Method::Sea, local)
+            CommunityQuery::new(Method::Sea, q)
                 .with_k(k)
                 .with_hoeffding(0.18, 0.95) // |Gq| regime matched to the 8k-author scale
                 .with_error_bound(0.02)
@@ -47,12 +49,8 @@ fn main() {
 
     for (res, &q) in engine.run_batch(&batch).iter().zip(&queries) {
         let res = res.as_ref().expect("author has a (k,P)-core");
-        // Back to heterogeneous node ids.
-        let experts: Vec<u32> = res
-            .community
-            .iter()
-            .map(|&l| projection.original(l))
-            .collect();
+        // The community already carries heterogeneous node ids.
+        let experts = &res.community;
 
         // How much of the community shares the query's research area?
         let area_tokens = d.graph.attrs().tokens(q);
@@ -76,8 +74,9 @@ fn main() {
             on_topic,
             experts.len()
         );
+        assert_eq!(res.q, q);
         assert!(experts.contains(&q));
-        for &v in &experts {
+        for &v in experts {
             assert_eq!(
                 d.graph.node_type(v),
                 author_ty,

@@ -11,20 +11,30 @@
 //!                           [--confidence C] [--lambda L] [--seed S] [--size L H] [--json]
 //! csag baseline <graph.txt> --method acq|atc|vac|evac --query <id> --k <k> [--gamma G] [--json]
 //! csag generate --nodes N --communities C --seed S --out <graph.txt>
+//! csag update   <graph.txt> --script <updates.txt> [--out <new.txt>] [--json]
+//! csag serve-churn [--batches N] [--seed S] [--json]
 //! csag demo     [--json]
 //! ```
 //!
-//! Graph files use the `csag-graph v1` text format (see `csag::graph::io`).
+//! Graph files use the `csag-graph v1` text format (see `csag::graph::io`);
+//! update scripts use the `csag-updates v1` line format (see
+//! `csag::graph::update::GraphUpdate::parse_line`).
 
 use csag::datasets::generator::{generate, SyntheticConfig};
 use csag::datasets::paper_examples::{figure1_imdb, FIGURE1_TITLES};
-use csag::engine::{error_to_json, CommunityQuery, CommunityResult, CsagError, Engine, Method};
+use csag::datasets::{random_updates, ChurnMix};
+use csag::engine::{
+    error_to_json, CommunityQuery, CommunityResult, CsagError, Engine, GraphStore, GraphUpdate,
+    Method, UpdateReport,
+};
 use csag::graph::io::{load_graph, save_graph};
 use csag::graph::stats::graph_stats;
-use csag::graph::AttributedGraph;
+use csag::graph::{AttributedGraph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::HashMap;
 use std::process::exit;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +48,8 @@ fn main() {
         "sea" => cmd_search(&args[1..], Method::Sea),
         "baseline" => cmd_baseline(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
+        "update" => cmd_update(&args[1..]),
+        "serve-churn" => cmd_serve_churn(&args[1..]),
         "demo" => cmd_demo(&args[1..]),
         "help" | "--help" | "-h" => {
             usage();
@@ -61,12 +73,15 @@ fn usage() {
          \x20 sea      <graph.txt> --query Q --k K      approximate CS-AG with accuracy guarantee\n\
          \x20 baseline <graph.txt> --method M ...       run acq | atc | vac | evac\n\
          \x20 generate --nodes N --communities C ...    write a synthetic attributed graph\n\
+         \x20 update   <graph.txt> --script <u.txt>      apply a GraphUpdate batch via GraphStore\n\
+         \x20 serve-churn [--batches N]                  churn the paper's examples, verify vs fresh engines\n\
          \x20 demo                                       the paper's Figure-1 IMDB example\n\
          \n\
          common flags: --gamma G (0..1, default 0.5)  --truss  --seed S  --json\n\
          exact flags:  --budget-ms MS (stop early, report best found; unbounded by default)\n\
          sea flags:    --error E (default 0.02)  --confidence C (default 0.95)\n\
-         \x20             --lambda L (default 0.2)  --size L H (size-bounded search)"
+         \x20             --lambda L (default 0.2)  --size L H (size-bounded search)\n\
+         update flags: --script <updates.txt> (csag-updates v1)  --out <new-graph.txt>"
     );
 }
 
@@ -139,6 +154,8 @@ fn common_arity() -> HashMap<&'static str, usize> {
         ("communities", 1),
         ("out", 1),
         ("json", 0),
+        ("script", 1),
+        ("batches", 1),
     ])
 }
 
@@ -354,6 +371,206 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         g.m(),
         truth.len()
     );
+    Ok(())
+}
+
+fn report_to_json(r: &UpdateReport) -> String {
+    format!(
+        "{{\"epoch\":{},\"edges_added\":{},\"edges_removed\":{},\"vertices_added\":{},\
+         \"attributes_set\":{},\"noops\":{},\"coreness_changed\":{},\
+         \"distance_tables_retained\":{},\"distance_tables_invalidated\":{}}}",
+        r.epoch,
+        r.edges_added,
+        r.edges_removed,
+        r.vertices_added,
+        r.attributes_set,
+        r.noops,
+        r.coreness_changed,
+        r.distance_tables_retained,
+        r.distance_tables_invalidated
+    )
+}
+
+/// `csag update`: apply a `csag-updates v1` script to a graph through the
+/// evolving-graph store, report what changed, optionally save the new
+/// snapshot.
+fn cmd_update(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &common_arity())?;
+    let g = load(&flags)?;
+    let script_path: String = flags.require("script")?;
+    let script =
+        std::fs::read_to_string(&script_path).map_err(|e| format!("reading {script_path}: {e}"))?;
+    let updates = GraphUpdate::parse_script(&script).map_err(|e| format!("{script_path}: {e}"))?;
+
+    let store = GraphStore::new(g);
+    let t = Instant::now();
+    let report = store
+        .apply(&updates)
+        .map_err(|e| format!("applying updates: {e}"))?;
+    let elapsed_ms = t.elapsed().as_secs_f64() * 1000.0;
+    let snap = store.snapshot();
+    if flags.has("json") {
+        println!(
+            "{{\"applied\":{},\"elapsed_ms\":{elapsed_ms:.3},\"nodes\":{},\"edges\":{},\
+             \"report\":{}}}",
+            updates.len(),
+            snap.graph().n(),
+            snap.graph().m(),
+            report_to_json(&report)
+        );
+    } else {
+        println!(
+            "applied {} update(s) in {elapsed_ms:.2} ms → epoch {}: \
+             +{} / -{} edges, +{} vertices, {} attribute change(s), {} no-op(s)",
+            updates.len(),
+            report.epoch,
+            report.edges_added,
+            report.edges_removed,
+            report.vertices_added,
+            report.attributes_set,
+            report.noops
+        );
+        println!(
+            "now {} nodes / {} edges; {} node(s) changed core number",
+            snap.graph().n(),
+            snap.graph().m(),
+            report.coreness_changed
+        );
+    }
+    if let Some(out) = flags.get::<String>("out")? {
+        save_graph(snap.graph(), &out).map_err(|e| format!("writing {out}: {e}"))?;
+        if !flags.has("json") {
+            println!("updated graph written to {out}");
+        }
+    }
+    Ok(())
+}
+
+/// The Figure 2(c)/Figure 3 example graph (γ = 0 queries, q = 5).
+fn figure3_graph() -> (AttributedGraph, u32) {
+    let mut b = GraphBuilder::new(1);
+    for &x in &[1.0, 0.7, 0.6, 0.6, 0.5, 0.0, 0.3] {
+        b.add_node(&[], &[x]);
+    }
+    for (u, v) in [
+        (1, 2),
+        (1, 3),
+        (2, 3),
+        (2, 4),
+        (3, 6),
+        (4, 5),
+        (5, 6),
+        (4, 6),
+        (1, 5),
+    ] {
+        b.add_edge(u, v).unwrap();
+    }
+    (b.build().unwrap(), 5)
+}
+
+/// The pinned query set replayed after every churn batch (node ids are
+/// clamped into the graph at run time, so late epochs stay covered).
+fn churn_queries(q: u32) -> Vec<CommunityQuery> {
+    vec![
+        CommunityQuery::new(Method::Exact, q).with_k(3),
+        CommunityQuery::new(Method::Sea, q)
+            .with_k(3)
+            .with_error_bound(0.05)
+            .with_seed(11),
+        CommunityQuery::new(Method::Exact, q)
+            .with_k(2)
+            .with_gamma(0.0),
+        CommunityQuery::new(Method::Exact, q)
+            .with_k(3)
+            .with_model(csag::decomp::CommunityModel::KTruss),
+    ]
+}
+
+/// Renders an engine outcome into a comparable fingerprint: community +
+/// exact δ bits on success, the full message on failure.
+fn outcome_fingerprint(r: &Result<CommunityResult, CsagError>) -> String {
+    match r {
+        Ok(res) => format!("ok:{:?}:{:x}", res.community, res.delta.to_bits()),
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+/// `csag serve-churn`: apply N random update batches to the paper's
+/// pinned examples (Figure 1 IMDB, Figure 3) and, after every batch,
+/// re-answer the pinned queries on the evolving store *and* on a fresh
+/// engine built from the post-churn graph. Any divergence is a bug; the
+/// command exits non-zero (this is CI's churn-smoke gate).
+fn cmd_serve_churn(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &common_arity())?;
+    let batches: usize = flags.get("batches")?.unwrap_or(6);
+    let seed: u64 = flags.get("seed")?.unwrap_or(0xC0FFEE);
+    let json = flags.has("json");
+
+    let (fig1, q1) = figure1_imdb();
+    let (fig3, q3) = figure3_graph();
+    let mut total_checks = 0usize;
+    let mut mismatches = 0usize;
+    let mut retained = 0usize;
+    let mut invalidated = 0usize;
+    let mut apply_ms = Vec::new();
+
+    for (name, graph, q) in [("fig1", fig1, q1), ("fig3", fig3, q3)] {
+        let store = GraphStore::new(graph);
+        let mut rng = StdRng::seed_from_u64(seed ^ q as u64);
+        // Warm the store's caches so carry-over is actually exercised.
+        for query in churn_queries(q) {
+            let _ = store.run(&query);
+        }
+        for batch_no in 0..batches {
+            let batch = random_updates(store.snapshot().graph(), &mut rng, 5, ChurnMix::MIXED);
+            let t = Instant::now();
+            let report = store
+                .apply(&batch)
+                .map_err(|e| format!("{name} batch {batch_no}: {e}"))?;
+            apply_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+            retained += report.distance_tables_retained;
+            invalidated += report.distance_tables_invalidated;
+
+            let snap = store.snapshot();
+            let fresh = Engine::new(snap.graph().clone());
+            for query in churn_queries(q) {
+                let evolved = snap.engine().run(&query);
+                let rebuilt = fresh.run(&query);
+                total_checks += 1;
+                let (a, b) = (outcome_fingerprint(&evolved), outcome_fingerprint(&rebuilt));
+                if a != b {
+                    mismatches += 1;
+                    eprintln!(
+                        "MISMATCH {name} epoch {} ({:?}): evolved {a} vs fresh {b}",
+                        report.epoch, query.method
+                    );
+                }
+            }
+        }
+    }
+
+    let mean_apply = apply_ms.iter().sum::<f64>() / apply_ms.len().max(1) as f64;
+    if json {
+        println!(
+            "{{\"batches\":{batches},\"checks\":{total_checks},\"mismatches\":{mismatches},\
+             \"mean_apply_ms\":{mean_apply:.3},\"distance_tables_retained\":{retained},\
+             \"distance_tables_invalidated\":{invalidated}}}"
+        );
+    } else {
+        println!(
+            "serve-churn: {batches} batch(es) × 2 graphs, {total_checks} answers diffed \
+             against fresh engines → {mismatches} mismatch(es)"
+        );
+        println!(
+            "mean apply latency {mean_apply:.2} ms; distance tables retained {retained}, \
+             invalidated {invalidated}"
+        );
+    }
+    if mismatches > 0 {
+        return Err(format!(
+            "{mismatches} of {total_checks} answers diverged from a fresh engine"
+        ));
+    }
     Ok(())
 }
 

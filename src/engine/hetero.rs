@@ -1,0 +1,247 @@
+//! Heterogeneous community search through the engine facade.
+//!
+//! A `(k, P)-core` of a heterogeneous graph is exactly a k-core of the
+//! meta-path projection (paper §VI-A), so the engine can serve hetero
+//! queries by projecting once and reusing everything the homogeneous
+//! [`Engine`] already has — cached decompositions, the sharded distance
+//! cache, batch execution. [`HeteroEngine`] packages that seam: it owns
+//! the projection *and* the id mappings, so callers speak original
+//! heterogeneous node ids end to end and never hand-roll
+//! `projection.local(..)` / `projection.original(..)` translations.
+//!
+//! (`csag::core::hetero_cs::SeaHetero` remains the native index-free
+//! pipeline that samples *before* projecting — the right tool when the
+//! full projection is too expensive to materialize.)
+
+use super::error::CsagError;
+use super::query::CommunityQuery;
+use super::result::CommunityResult;
+use super::Engine;
+use csag_graph::{HeteroGraph, MetaPath, NodeId};
+use std::collections::HashMap;
+
+/// An [`Engine`] over a meta-path projection, addressed by *original*
+/// heterogeneous node ids.
+///
+/// ```
+/// use csag::engine::{CommunityQuery, HeteroEngine, Method};
+/// use csag::graph::{HeteroGraphBuilder, MetaPath};
+///
+/// // Three authors co-writing pairwise through three papers.
+/// let mut b = HeteroGraphBuilder::new(0);
+/// let (author, paper) = (b.node_type("author"), b.node_type("paper"));
+/// let writes = b.edge_type("writes");
+/// let a: Vec<u32> = (0..3).map(|_| b.add_node(author, &["ml"], &[])).collect();
+/// let p: Vec<u32> = (0..3).map(|_| b.add_node(paper, &[], &[])).collect();
+/// for (i, j) in [(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (0, 2)] {
+///     b.add_edge(a[i], p[j], writes).unwrap();
+/// }
+/// let engine = HeteroEngine::project(&b.build(), &MetaPath::new(
+///     vec![author, paper, author],
+///     vec![writes, writes],
+/// ));
+/// let res = engine
+///     .run(&CommunityQuery::new(Method::Exact, a[0]).with_k(2))
+///     .expect("the co-author triangle is a (2,P)-core");
+/// assert_eq!(res.community, a);
+/// ```
+pub struct HeteroEngine {
+    engine: Engine,
+    to_original: Vec<NodeId>,
+    from_original: HashMap<NodeId, NodeId>,
+}
+
+impl HeteroEngine {
+    /// Projects `g` under the symmetric meta-path `path` and builds the
+    /// engine over the projection (the reusable per-graph preparation —
+    /// do it once, query many times).
+    ///
+    /// # Panics
+    /// If the meta-path is not symmetric-typed (source type ≠ end type),
+    /// like [`HeteroGraph::project`].
+    pub fn project(g: &HeteroGraph, path: &MetaPath) -> Self {
+        let projection = g.project(path);
+        HeteroEngine {
+            engine: Engine::new(projection.graph),
+            to_original: projection.to_original,
+            from_original: projection.from_original,
+        }
+    }
+
+    /// The underlying engine over the projected graph (projection-local
+    /// ids; for cache probes and advanced use).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Original ids of every target-type node, ascending — the valid
+    /// query nodes of this engine.
+    pub fn target_nodes(&self) -> &[NodeId] {
+        &self.to_original
+    }
+
+    /// Maps an original node id to its projection-local id, if it is a
+    /// target-type node.
+    pub fn local(&self, original: NodeId) -> Option<NodeId> {
+        self.from_original.get(&original).copied()
+    }
+
+    /// Maps a projection-local id back to the original graph.
+    pub fn original(&self, local: NodeId) -> NodeId {
+        self.to_original[local as usize]
+    }
+
+    /// Runs one query whose `q` (and resulting community) are original
+    /// heterogeneous node ids.
+    ///
+    /// # Errors
+    /// [`CsagError::QueryNodeNotFound`] if `query.q` is not a target-type
+    /// node of the projection; otherwise the same errors as
+    /// [`Engine::run`].
+    pub fn run(&self, query: &CommunityQuery) -> Result<CommunityResult, CsagError> {
+        let local = self.localized(query)?;
+        self.engine.run(&local).map(|res| self.globalize(res))
+    }
+
+    /// [`HeteroEngine::run`] over a batch, in parallel, preserving order;
+    /// original ids in, original ids out.
+    pub fn run_batch(&self, queries: &[CommunityQuery]) -> Vec<Result<CommunityResult, CsagError>> {
+        // Translate up front so the engine batch stays homogeneous; a
+        // non-target query node yields its error in place.
+        let localized: Vec<Result<CommunityQuery, CsagError>> =
+            queries.iter().map(|q| self.localized(q)).collect();
+        let valid: Vec<CommunityQuery> = localized
+            .iter()
+            .filter_map(|r| r.as_ref().ok().cloned())
+            .collect();
+        let mut answers = self.engine.run_batch(&valid).into_iter();
+        localized
+            .into_iter()
+            .map(|r| match r {
+                Ok(_) => answers
+                    .next()
+                    .expect("one engine answer per valid query")
+                    .map(|res| self.globalize(res)),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+
+    fn localized(&self, query: &CommunityQuery) -> Result<CommunityQuery, CsagError> {
+        match self.local(query.q) {
+            Some(local) => Ok(query.clone().with_query(local)),
+            None => Err(CsagError::QueryNodeNotFound {
+                q: query.q,
+                nodes: self.to_original.len(),
+            }),
+        }
+    }
+
+    /// Rewrites a projection-local result back into original ids.
+    fn globalize(&self, mut res: CommunityResult) -> CommunityResult {
+        res.q = self.original(res.q);
+        for v in &mut res.community {
+            *v = self.original(*v);
+        }
+        res.community.sort_unstable();
+        res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Method;
+    use csag_graph::HeteroGraphBuilder;
+
+    /// Authors a0..a3 (+ one paper-only node) where a0,a1,a2 co-author
+    /// pairwise and a3 is tied in through one shared paper with a2.
+    fn toy() -> (HeteroGraph, MetaPath, Vec<NodeId>) {
+        let mut b = HeteroGraphBuilder::new(1);
+        let author = b.node_type("author");
+        let paper = b.node_type("paper");
+        let writes = b.edge_type("writes");
+        let authors: Vec<NodeId> = (0..4)
+            .map(|i| b.add_node(author, &["ml"], &[i as f64]))
+            .collect();
+        let papers: Vec<NodeId> = (0..4)
+            .map(|i| b.add_node(paper, &[], &[i as f64]))
+            .collect();
+        // p0: a0+a1, p1: a1+a2, p2: a0+a2, p3: a2+a3.
+        for (a, p) in [
+            (0, 0),
+            (1, 0),
+            (1, 1),
+            (2, 1),
+            (0, 2),
+            (2, 2),
+            (2, 3),
+            (3, 3),
+        ] {
+            b.add_edge(authors[a], papers[p], writes).unwrap();
+        }
+        let g = b.build();
+        let apa = MetaPath::new(vec![author, paper, author], vec![writes, writes]);
+        (g, apa, authors)
+    }
+
+    #[test]
+    fn hetero_engine_speaks_original_ids() {
+        let (g, apa, authors) = toy();
+        let engine = HeteroEngine::project(&g, &apa);
+        assert_eq!(engine.target_nodes(), authors.as_slice());
+        let res = engine
+            .run(&CommunityQuery::new(Method::Exact, authors[0]).with_k(2))
+            .unwrap();
+        assert_eq!(res.q, authors[0]);
+        assert_eq!(res.community, vec![authors[0], authors[1], authors[2]]);
+        // Round-trip maps agree.
+        let local = engine.local(authors[2]).unwrap();
+        assert_eq!(engine.original(local), authors[2]);
+    }
+
+    #[test]
+    fn hetero_engine_matches_hand_rolled_projection() {
+        let (g, apa, authors) = toy();
+        let hetero = HeteroEngine::project(&g, &apa);
+        let projection = g.project(&apa);
+        let hand = Engine::new(projection.graph.clone());
+        for &a in &authors {
+            let through = hetero.run(&CommunityQuery::new(Method::Exact, a).with_k(2));
+            let local = projection.local(a).unwrap();
+            let manual = hand
+                .run(&CommunityQuery::new(Method::Exact, local).with_k(2))
+                .map(|r| {
+                    let mut originals: Vec<NodeId> = r
+                        .community
+                        .iter()
+                        .map(|&l| projection.original(l))
+                        .collect();
+                    originals.sort_unstable();
+                    originals
+                });
+            assert_eq!(through.map(|r| r.community), manual, "author {a}");
+        }
+    }
+
+    #[test]
+    fn batch_interleaves_errors_in_order() {
+        let (g, apa, authors) = toy();
+        let engine = HeteroEngine::project(&g, &apa);
+        let paper_node = 4; // first paper id — not a target-type node
+        let queries = vec![
+            CommunityQuery::new(Method::Exact, authors[1]).with_k(2),
+            CommunityQuery::new(Method::Exact, paper_node).with_k(2),
+            CommunityQuery::new(Method::Exact, authors[3]).with_k(2),
+        ];
+        let out = engine.run_batch(&queries);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].as_ref().unwrap().q, authors[1]);
+        assert!(matches!(
+            out[1],
+            Err(CsagError::QueryNodeNotFound { q: 4, .. })
+        ));
+        // a3's only co-author is a2: no 2-core, a definitive no.
+        assert!(out[2].as_ref().unwrap_err().is_no_community());
+    }
+}

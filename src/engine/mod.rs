@@ -41,13 +41,17 @@
 
 pub mod batch;
 pub mod error;
+pub mod hetero;
 pub mod query;
 pub mod result;
+pub mod store;
 
 pub use batch::parallel_map;
 pub use error::{CsagError, PartialSearch};
+pub use hetero::HeteroEngine;
 pub use query::{CommunityQuery, Method};
 pub use result::{error_to_json, AccuracyCertificate, CommunityResult, PhaseTimings, Provenance};
+pub use store::{GraphStore, GraphUpdate, Snapshot, UpdateReport};
 
 use csag_baselines as baselines;
 use csag_core::distance::QueryDistances;
@@ -87,6 +91,10 @@ type DistanceShard = Mutex<HashMap<(NodeId, u64), Arc<QueryDistances>>>;
 /// The reusable per-graph query engine. See the [module docs](self).
 pub struct Engine {
     graph: Arc<AttributedGraph>,
+    /// Which [`store::GraphStore`] epoch this engine serves (0 for
+    /// standalone engines). Every query against this engine sees exactly
+    /// this immutable snapshot, no matter how the store evolves.
+    epoch: u64,
     /// Core numbers of every node, computed once on first use.
     coreness: OnceLock<Vec<u32>>,
     /// Per-node maximum incident-edge trussness, computed once on the
@@ -120,6 +128,7 @@ impl Engine {
     pub fn from_arc(graph: Arc<AttributedGraph>) -> Self {
         Engine {
             graph,
+            epoch: 0,
             coreness: OnceLock::new(),
             trussness: OnceLock::new(),
             decomp_runs: AtomicUsize::new(0),
@@ -130,6 +139,66 @@ impl Engine {
             distance_len: AtomicUsize::new(0),
             distance_hits: AtomicUsize::new(0),
         }
+    }
+
+    /// Builds an epoch's engine from state the [`store::GraphStore`]
+    /// maintained incrementally: pre-patched decompositions (seeded
+    /// without counting as recomputations — [`Engine::decomp_computations`]
+    /// keeps reporting how often the *full* peel actually ran) and the
+    /// distance tables that survived invalidation.
+    pub(crate) fn from_store_parts(
+        graph: Arc<AttributedGraph>,
+        epoch: u64,
+        coreness: Vec<u32>,
+        trussness: Option<Vec<u32>>,
+        carried: Vec<((NodeId, u64), Arc<QueryDistances>)>,
+    ) -> Self {
+        let engine = Engine::from_arc(graph);
+        let engine = Engine { epoch, ..engine };
+        debug_assert_eq!(coreness.len(), engine.graph.n());
+        engine.coreness.set(coreness).expect("fresh OnceLock");
+        if let Some(t) = trussness {
+            debug_assert_eq!(t.len(), engine.graph.n());
+            engine.trussness.set(t).expect("fresh OnceLock");
+        }
+        let carried_len = carried.len();
+        for (key, table) in carried {
+            engine
+                .shard(key)
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(key, table);
+        }
+        engine.distance_len.store(carried_len, Ordering::Relaxed);
+        engine
+    }
+
+    /// The store epoch this engine snapshots (0 for standalone engines).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The trussness table, only if some query already paid for it —
+    /// lets the store patch it across epochs without ever forcing the
+    /// computation early.
+    pub(crate) fn trussness_if_computed(&self) -> Option<&Vec<u32>> {
+        self.trussness.get()
+    }
+
+    /// Every resident distance-cache entry, as shared handles (the
+    /// store's raw material for selective carry-over into the next
+    /// epoch's engine).
+    pub(crate) fn export_distances(&self) -> Vec<((NodeId, u64), Arc<QueryDistances>)> {
+        self.distances
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .iter()
+                    .map(|(k, v)| (*k, Arc::clone(v)))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
     }
 
     /// The underlying graph.

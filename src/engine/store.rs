@@ -1,0 +1,532 @@
+//! The evolving-graph store: epoch-stamped snapshots over a mutable
+//! attributed graph.
+//!
+//! A [`GraphStore`] owns the one *mutable* copy of a graph and publishes
+//! an immutable [`Engine`] per **epoch**. [`GraphStore::apply`] takes a
+//! batch of [`GraphUpdate`]s, edits the working copy, repairs the cached
+//! decompositions *incrementally*, and atomically swaps in the next
+//! epoch's engine — queries already running keep reading their epoch's
+//! snapshot untouched, while every query started after the swap sees the
+//! updated graph. [`GraphStore::snapshot`] is how readers pin an epoch.
+//!
+//! # What survives an epoch bump
+//!
+//! The expensive per-graph state is carried forward instead of rebuilt:
+//!
+//! * **Core numbers** are maintained by [`csag_decomp::CoreMaintainer`]
+//!   (per-edge subcore repair) and pre-seeded into every epoch's engine —
+//!   the full `O(n + m)` peel runs once at store construction, never per
+//!   batch.
+//! * **Node trussness** is patched by component-targeted recompute
+//!   ([`csag_decomp::patch_node_trussness`]) — but only if some query
+//!   already paid for the truss decomposition; otherwise it stays lazy.
+//! * **Distance tables** (`Arc<QueryDistances>`) are invalidated
+//!   *selectively*. The composite distance `f(v, q)` depends on
+//!   attributes only, so:
+//!
+//!   | update batch contains | tables dropped |
+//!   |---|---|
+//!   | edge adds/removes only | none — every `Arc` carries over bit-for-bit |
+//!   | `SetAttributes { v, .. }` (normalization ranges unchanged) | `v`'s own tables; all others carry over warm with only slot `v` forgotten |
+//!   | `SetAttributes` that shifts a min-max normalization range | all (every normalized coordinate may have moved) |
+//!   | `AddVertex` | all (tables are sized to `n`) |
+//!
+//! The [`UpdateReport`] returned by [`GraphStore::apply`] counts exactly
+//! what was retained and invalidated, and the churn tests pin the
+//! "carried bit-for-bit" case with `Arc::ptr_eq`.
+//!
+//! ```
+//! use csag::engine::{CommunityQuery, GraphStore, GraphUpdate, Method};
+//! use csag::datasets::paper_examples::figure1_imdb;
+//!
+//! let (graph, q) = figure1_imdb();
+//! let store = GraphStore::new(graph);
+//! let before = store.snapshot();
+//! let report = store
+//!     .apply(&[GraphUpdate::AddEdge { u: q, v: 0 }])
+//!     .expect("endpoints exist");
+//! assert_eq!(report.epoch, 1);
+//! let after = store.snapshot();
+//! assert_eq!(before.epoch(), 0, "pinned snapshots keep their epoch");
+//! assert_eq!(after.epoch(), 1);
+//! // Both epochs answer queries — against their own graph version.
+//! let query = CommunityQuery::new(Method::Exact, q).with_k(3);
+//! assert!(before.engine().run(&query).is_ok());
+//! assert!(after.engine().run(&query).is_ok());
+//! ```
+
+use super::Engine;
+use csag_core::distance::QueryDistances;
+use csag_decomp::{patch_node_trussness, CoreMaintainer};
+use csag_graph::{Applied, AttributedGraph, GraphError, MutableGraph, NodeId};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+pub use csag_graph::GraphUpdate;
+
+/// What one [`GraphStore::apply`] batch did, per category, plus how the
+/// epoch's caches fared.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// The epoch the batch produced (first batch produces epoch 1).
+    pub epoch: u64,
+    /// Edges actually inserted (duplicates/self-loops excluded).
+    pub edges_added: usize,
+    /// Edges actually deleted.
+    pub edges_removed: usize,
+    /// Vertices appended.
+    pub vertices_added: usize,
+    /// Nodes whose attributes were replaced.
+    pub attributes_set: usize,
+    /// Redundant updates (edge already present/absent, self-loops).
+    pub noops: usize,
+    /// Nodes whose core number changed in this batch.
+    pub coreness_changed: usize,
+    /// Distance tables carried into the new epoch (warm, by `Arc` or by
+    /// slot-patched copy).
+    pub distance_tables_retained: usize,
+    /// Distance tables dropped by selective invalidation.
+    pub distance_tables_invalidated: usize,
+}
+
+/// A pinned, immutable view of one store epoch.
+///
+/// Dereferences to the epoch's [`Engine`], so `snapshot.run(&query)`
+/// works directly; hold it (or [`Snapshot::engine`]'s `Arc`) for as long
+/// as the epoch must stay readable.
+#[derive(Clone)]
+pub struct Snapshot {
+    engine: Arc<Engine>,
+}
+
+impl Snapshot {
+    /// The epoch this snapshot pins.
+    pub fn epoch(&self) -> u64 {
+        self.engine.epoch()
+    }
+
+    /// The epoch's query engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// A shared handle to the epoch's engine (for spawning workers).
+    pub fn engine_arc(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
+    }
+}
+
+impl std::ops::Deref for Snapshot {
+    type Target = Engine;
+
+    fn deref(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+/// State guarded by the store's update lock (one writer at a time;
+/// readers never touch it).
+struct StoreState {
+    mutable: MutableGraph,
+    core: CoreMaintainer,
+    epoch: u64,
+}
+
+/// The evolving-graph engine handle. See the [module docs](self).
+pub struct GraphStore {
+    state: Mutex<StoreState>,
+    current: RwLock<Arc<Engine>>,
+}
+
+impl GraphStore {
+    /// Builds a store over `graph`, computing the initial core
+    /// decomposition once (every epoch's engine is pre-seeded from the
+    /// maintained copy).
+    pub fn new(graph: AttributedGraph) -> Self {
+        GraphStore::from_arc(Arc::new(graph))
+    }
+
+    /// [`GraphStore::new`] over an already-shared graph (no copy).
+    pub fn from_arc(graph: Arc<AttributedGraph>) -> Self {
+        let mutable = MutableGraph::from_graph(&graph);
+        let core = CoreMaintainer::new(&graph);
+        let engine = Engine::from_store_parts(graph, 0, core.coreness().to_vec(), None, Vec::new());
+        GraphStore {
+            state: Mutex::new(StoreState {
+                mutable,
+                core,
+                epoch: 0,
+            }),
+            current: RwLock::new(Arc::new(engine)),
+        }
+    }
+
+    /// Pins the current epoch for reading. Queries on the returned
+    /// [`Snapshot`] are unaffected by later [`GraphStore::apply`] calls.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            engine: Arc::clone(&self.current.read().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// Runs one query against the current epoch (convenience for callers
+    /// that do not need to pin a snapshot across calls).
+    ///
+    /// # Errors
+    /// Same as [`Engine::run`].
+    pub fn run(
+        &self,
+        query: &super::CommunityQuery,
+    ) -> Result<super::CommunityResult, super::CsagError> {
+        self.snapshot().engine().run(query)
+    }
+
+    /// Applies a batch of updates and publishes the next epoch.
+    ///
+    /// The batch is applied in order (later updates see earlier ones);
+    /// redundant updates are counted as no-ops. On the first erroneous
+    /// update the batch stops: updates before it remain applied and are
+    /// published as a new epoch — the store never exposes a half-applied
+    /// *update*, but a prefix of a failed *batch* is still a consistent
+    /// graph. Concurrent `apply` calls serialize; readers are never
+    /// blocked and keep their pinned epochs.
+    ///
+    /// # Errors
+    /// [`GraphError::NodeOutOfRange`] / [`GraphError::DimMismatch`] from
+    /// the offending update.
+    pub fn apply(&self, updates: &[GraphUpdate]) -> Result<UpdateReport, GraphError> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let old_engine = self.snapshot().engine_arc();
+        let old_core: Vec<u32> = state.core.coreness().to_vec();
+
+        let mut report = UpdateReport::default();
+        let mut structural_seeds: Vec<NodeId> = Vec::new();
+        let mut attrs_changed: Vec<NodeId> = Vec::new();
+        let mut n_changed = false;
+        let mut first_error: Option<GraphError> = None;
+
+        for update in updates {
+            let StoreState { mutable, core, .. } = &mut *state;
+            match mutable.apply(update) {
+                Ok(Applied::EdgeAdded(u, v)) => {
+                    core.insert_edge(mutable, u, v);
+                    structural_seeds.extend([u, v]);
+                    report.edges_added += 1;
+                }
+                Ok(Applied::EdgeRemoved(u, v)) => {
+                    core.remove_edge(mutable, u, v);
+                    structural_seeds.extend([u, v]);
+                    report.edges_removed += 1;
+                }
+                Ok(Applied::VertexAdded(_)) => {
+                    core.add_vertex();
+                    n_changed = true;
+                    report.vertices_added += 1;
+                }
+                Ok(Applied::AttributesSet(v)) => {
+                    attrs_changed.push(v);
+                    report.attributes_set += 1;
+                }
+                Ok(Applied::NoOp) => report.noops += 1,
+                Err(e) => {
+                    first_error = Some(e);
+                    break;
+                }
+            }
+        }
+        attrs_changed.sort_unstable();
+        attrs_changed.dedup();
+
+        // Publish the applied prefix as the next epoch (no-op batches
+        // still bump the epoch — an epoch is "apply happened", which
+        // keeps report numbering simple and observable).
+        let new_graph = Arc::new(state.mutable.snapshot());
+
+        // Trussness: patch only what a previous query already paid for.
+        let trussness = old_engine
+            .trussness_if_computed()
+            .map(|old| patch_node_trussness(&new_graph, old, &structural_seeds));
+
+        // Selective distance-table invalidation (see the module docs).
+        let ranges_changed = n_changed
+            || !attrs_changed.is_empty() && {
+                let dims = new_graph.attrs().dims();
+                let old_attrs = old_engine.graph().attrs();
+                (0..dims).any(|d| old_attrs.dim_range(d) != new_graph.attrs().dim_range(d))
+            };
+        let mut carried: Vec<((NodeId, u64), Arc<QueryDistances>)> = Vec::new();
+        for (key, table) in old_engine.export_distances() {
+            if ranges_changed {
+                report.distance_tables_invalidated += 1;
+            } else if attrs_changed.binary_search(&key.0).is_ok() {
+                // The query node's own attributes moved: every slot of
+                // its table is stale.
+                report.distance_tables_invalidated += 1;
+            } else if !attrs_changed.is_empty() {
+                // Warm carry-over with just the changed slots forgotten.
+                carried.push((key, Arc::new(table.clone_with_reset(&attrs_changed))));
+                report.distance_tables_retained += 1;
+            } else {
+                // Structural-only batch: distances cannot change at all.
+                carried.push((key, table));
+                report.distance_tables_retained += 1;
+            }
+        }
+
+        state.epoch += 1;
+        report.epoch = state.epoch;
+        let new_core = state.core.coreness();
+        report.coreness_changed = new_core
+            .iter()
+            .zip(old_core.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+            + new_core.len().saturating_sub(old_core.len());
+
+        let engine = Arc::new(Engine::from_store_parts(
+            new_graph,
+            state.epoch,
+            new_core.to_vec(),
+            trussness,
+            carried,
+        ));
+        *self.current.write().unwrap_or_else(PoisonError::into_inner) = engine;
+
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+}
+
+// The store serves concurrent updaters and readers: updates serialize on
+// the state mutex, snapshots are an `Arc` clone under a read lock.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GraphStore>();
+    assert_send_sync::<Snapshot>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CommunityQuery, Method};
+    use csag_decomp::CommunityModel;
+    use csag_graph::GraphBuilder;
+
+    /// A 4-clique plus a pendant node 4.
+    fn clique_plus_tail() -> AttributedGraph {
+        let mut b = GraphBuilder::new(1);
+        for value in [0.0, 0.1, 0.2, 0.3, 1.0] {
+            b.add_node(&["t"], &[value]);
+        }
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        b.add_edge(3, 4).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn epochs_isolate_readers_from_updates() {
+        let store = GraphStore::new(clique_plus_tail());
+        let old = store.snapshot();
+        let q3 = CommunityQuery::new(Method::Exact, 4).with_k(3);
+        assert!(old.run(&q3).is_err(), "node 4 has core 1 before the update");
+
+        // Wire node 4 into the clique: now it sits in a 4-core... of k=3.
+        let report = store
+            .apply(&[
+                GraphUpdate::AddEdge { u: 4, v: 0 },
+                GraphUpdate::AddEdge { u: 4, v: 1 },
+                GraphUpdate::AddEdge { u: 4, v: 2 },
+            ])
+            .unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.edges_added, 3);
+        assert!(report.coreness_changed >= 1);
+
+        let new = store.snapshot();
+        assert_eq!(new.epoch(), 1);
+        assert!(new.run(&q3).is_ok(), "new epoch sees the edges");
+        // The pinned old snapshot still answers from its own graph.
+        assert!(old.run(&q3).is_err(), "old epoch is immutable");
+        assert_eq!(old.graph().m(), 7);
+        assert_eq!(new.graph().m(), 10);
+    }
+
+    #[test]
+    fn structural_updates_keep_distance_tables_bit_for_bit() {
+        let store = GraphStore::new(clique_plus_tail());
+        let snap = store.snapshot();
+        let gamma = CommunityQuery::new(Method::Exact, 0).with_k(2).gamma;
+        snap.run(&CommunityQuery::new(Method::Exact, 0).with_k(2))
+            .unwrap();
+        let table = snap.engine().cached_distances(0, gamma).unwrap();
+
+        let report = store.apply(&[GraphUpdate::AddEdge { u: 4, v: 0 }]).unwrap();
+        assert_eq!(report.distance_tables_retained, 1);
+        assert_eq!(report.distance_tables_invalidated, 0);
+        let carried = store
+            .snapshot()
+            .engine()
+            .cached_distances(0, gamma)
+            .expect("table carried across the epoch");
+        assert!(
+            Arc::ptr_eq(&table, &carried),
+            "structural churn must not copy distance tables"
+        );
+    }
+
+    #[test]
+    fn attribute_updates_invalidate_selectively() {
+        let store = GraphStore::new(clique_plus_tail());
+        let snap = store.snapshot();
+        let gamma = CommunityQuery::new(Method::Exact, 0).with_k(2).gamma;
+        for q in [0u32, 1] {
+            snap.run(&CommunityQuery::new(Method::Exact, q).with_k(2))
+                .unwrap();
+        }
+        let table0 = snap.engine().cached_distances(0, gamma).unwrap();
+
+        // Change node 1's tokens only (numeric untouched ⇒ normalization
+        // ranges cannot move): q = 1's table dies, q = 0's is carried
+        // warm with slot 1 forgotten.
+        let report = store
+            .apply(&[GraphUpdate::SetAttributes {
+                v: 1,
+                tokens: Some(vec!["other".into()]),
+                numeric: None,
+            }])
+            .unwrap();
+        assert_eq!(report.distance_tables_retained, 1);
+        assert_eq!(report.distance_tables_invalidated, 1);
+        let new = store.snapshot();
+        assert!(new.engine().cached_distances(1, gamma).is_none());
+        let patched = new.engine().cached_distances(0, gamma).unwrap();
+        assert!(!Arc::ptr_eq(&table0, &patched), "slot-patched copy");
+        assert_eq!(
+            patched.computed(),
+            table0.computed() - 1,
+            "exactly the changed node's slot was forgotten"
+        );
+
+        // An update that shifts a normalization range drops everything.
+        let report = store
+            .apply(&[GraphUpdate::SetAttributes {
+                v: 4,
+                tokens: None,
+                numeric: Some(vec![50.0]),
+            }])
+            .unwrap();
+        assert_eq!(report.distance_tables_retained, 0);
+        assert!(report.distance_tables_invalidated >= 1);
+        assert_eq!(store.snapshot().engine().cached_query_nodes(), 0);
+    }
+
+    #[test]
+    fn adding_vertices_resizes_every_epoch_structure() {
+        let store = GraphStore::new(clique_plus_tail());
+        store
+            .snapshot()
+            .run(&CommunityQuery::new(Method::Exact, 0).with_k(2))
+            .unwrap();
+        let report = store
+            .apply(&[
+                GraphUpdate::AddVertex {
+                    tokens: vec!["t".into()],
+                    numeric: vec![0.5],
+                },
+                GraphUpdate::AddEdge { u: 5, v: 0 },
+                GraphUpdate::AddEdge { u: 5, v: 1 },
+            ])
+            .unwrap();
+        assert_eq!(report.vertices_added, 1);
+        assert_eq!(report.distance_tables_retained, 0, "n changed: drop all");
+        let snap = store.snapshot();
+        assert_eq!(snap.graph().n(), 6);
+        // Queries on the new vertex work immediately.
+        let res = snap
+            .run(&CommunityQuery::new(Method::Exact, 5).with_k(2))
+            .unwrap();
+        assert!(res.community.contains(&5));
+        // The pre-seeded coreness matches a fresh decomposition.
+        assert_eq!(
+            snap.engine().coreness(),
+            csag_decomp::core_decomposition(snap.graph()).as_slice()
+        );
+        assert_eq!(snap.engine().decomp_computations(), 0, "seeded, not rerun");
+    }
+
+    #[test]
+    fn trussness_is_patched_only_once_paid_for() {
+        let store = GraphStore::new(clique_plus_tail());
+        // No truss query yet: updates must not force the decomposition.
+        store.apply(&[GraphUpdate::AddEdge { u: 4, v: 0 }]).unwrap();
+        assert_eq!(store.snapshot().engine().truss_decomp_computations(), 0);
+
+        // Pay for it on epoch 1, then churn: epoch 2's table is patched,
+        // not recomputed, and matches from scratch.
+        let truss_query = CommunityQuery::new(Method::Exact, 0)
+            .with_k(3)
+            .with_model(CommunityModel::KTruss);
+        store.snapshot().run(&truss_query).unwrap();
+        store
+            .apply(&[
+                GraphUpdate::AddEdge { u: 4, v: 1 },
+                GraphUpdate::AddEdge { u: 4, v: 2 },
+            ])
+            .unwrap();
+        let snap = store.snapshot();
+        assert_eq!(
+            snap.engine().node_trussness(),
+            csag_decomp::node_max_trussness(snap.graph()).as_slice()
+        );
+        assert_eq!(
+            snap.engine().truss_decomp_computations(),
+            0,
+            "the epoch inherited a patched table"
+        );
+        assert!(snap.run(&truss_query).is_ok());
+    }
+
+    #[test]
+    fn erroneous_updates_stop_the_batch_and_surface() {
+        let store = GraphStore::new(clique_plus_tail());
+        let err = store
+            .apply(&[
+                GraphUpdate::AddEdge { u: 0, v: 4 },
+                GraphUpdate::AddEdge { u: 0, v: 99 },
+                GraphUpdate::AddEdge { u: 1, v: 4 },
+            ])
+            .unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 99, n: 5 });
+        // The valid prefix was applied and published.
+        let snap = store.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        assert!(snap.graph().has_edge(0, 4));
+        assert!(!snap.graph().has_edge(1, 4), "update after the error halts");
+    }
+
+    #[test]
+    fn store_run_serves_the_latest_epoch() {
+        let store = GraphStore::new(clique_plus_tail());
+        let q = CommunityQuery::new(Method::Exact, 4).with_k(3);
+        assert!(store.run(&q).is_err());
+        store
+            .apply(&[
+                GraphUpdate::AddEdge { u: 4, v: 0 },
+                GraphUpdate::AddEdge { u: 4, v: 1 },
+                GraphUpdate::AddEdge { u: 4, v: 2 },
+            ])
+            .unwrap();
+        assert!(store.run(&q).is_ok());
+        assert_eq!(store.epoch(), 1);
+    }
+}

@@ -7,7 +7,11 @@
 //! * [`engine`] — **the public entry point**: a reusable, `Send + Sync`
 //!   [`engine::Engine`] per graph, the unified [`engine::CommunityQuery`]
 //!   builder covering every method, typed [`engine::CsagError`] failures,
-//!   and parallel batch execution,
+//!   parallel batch execution, the evolving-graph
+//!   [`engine::GraphStore`] (epoch-stamped snapshots over
+//!   [`engine::GraphUpdate`] batches, with incremental decomposition
+//!   maintenance and selective cache invalidation), and the
+//!   [`engine::HeteroEngine`] meta-path projection seam,
 //! * [`graph`] — attributed homogeneous & heterogeneous graph storage,
 //! * [`decomp`] — k-core / k-truss decomposition and maintenance,
 //! * [`stats`] — Hoeffding bounds, bootstrap, Bag of Little Bootstraps,
