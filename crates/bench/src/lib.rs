@@ -18,6 +18,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod load;
 pub mod perf;
 pub mod runner;
 pub mod tab1;
@@ -38,8 +39,9 @@ pub const EXPERIMENT_IDS: [&str; 10] = [
 /// is not in [`EXPERIMENT_IDS`]' paper-order list twice; `perf` is the
 /// engine performance baseline, which also writes `BENCH_perf.json`;
 /// `churn` measures the evolving-graph store's update latency and cache
-/// retention). Returns the rendered markdown, or `None` for an unknown
-/// id.
+/// retention; `load` drives the admission-controlled service with an
+/// open-loop generator and writes `BENCH_serve.json`). Returns the
+/// rendered markdown, or `None` for an unknown id.
 pub fn run_experiment(id: &str, scale: &Scale) -> Option<String> {
     let out = match id {
         "tab1" => tab1::run(scale),
@@ -55,17 +57,20 @@ pub fn run_experiment(id: &str, scale: &Scale) -> Option<String> {
         "fig10" => fig10::run(scale),
         "perf" => perf::run(scale),
         "churn" => churn::run(scale),
+        "load" => load::run(scale),
         _ => return None,
     };
     Some(out)
 }
 
-/// Every experiment id, including fig10, the perf baseline, and the
-/// evolving-graph churn experiment.
+/// Every experiment id, including fig10, the perf baseline, the
+/// evolving-graph churn experiment, and the serving-layer load
+/// baseline.
 pub fn all_ids() -> Vec<&'static str> {
     let mut ids = EXPERIMENT_IDS.to_vec();
     ids.push("fig10");
     ids.push("perf");
     ids.push("churn");
+    ids.push("load");
     ids
 }

@@ -10,7 +10,9 @@
 //!   ([`CsagError::NoCommunity`]),
 //! * the search ran out of state/time budget before it could finish —
 //!   the best community found so far rides along in
-//!   [`CsagError::BudgetExhausted`] as a [`PartialSearch`].
+//!   [`CsagError::BudgetExhausted`] as a [`PartialSearch`],
+//! * a serving layer shed the request before it ran at all
+//!   ([`CsagError::Overloaded`], carrying a suggested back-off).
 
 use csag_graph::NodeId;
 use std::fmt;
@@ -60,6 +62,16 @@ pub enum CsagError {
         /// the budget ran out.
         partial: Option<PartialSearch>,
     },
+    /// A serving layer refused to queue the request: admission capacity
+    /// is exhausted, so the request was shed instead of waiting
+    /// unboundedly. Unlike [`CsagError::BudgetExhausted`] nothing ran —
+    /// retrying after `retry_after` is expected to succeed once the
+    /// queue drains.
+    Overloaded {
+        /// Suggested back-off before retrying (derived from the
+        /// service's observed drain rate).
+        retry_after: Duration,
+    },
 }
 
 impl fmt::Display for CsagError {
@@ -80,6 +92,11 @@ impl fmt::Display for CsagError {
             CsagError::BudgetExhausted { partial: None } => {
                 write!(f, "budget exhausted before any community was found")
             }
+            CsagError::Overloaded { retry_after } => write!(
+                f,
+                "service overloaded: request shed, retry after {:.0} ms",
+                retry_after.as_secs_f64() * 1000.0
+            ),
         }
     }
 }
@@ -144,6 +161,11 @@ mod tests {
         assert!(!e.is_no_community());
         let e = CsagError::BudgetExhausted { partial: None };
         assert!(e.to_string().contains("before any community"));
+        let e = CsagError::Overloaded {
+            retry_after: Duration::from_millis(25),
+        };
+        assert!(e.to_string().contains("retry after 25 ms"));
+        assert!(!e.is_no_community());
     }
 
     #[test]

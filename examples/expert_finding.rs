@@ -2,15 +2,15 @@
 //! (k,P)-core community search over the `author-paper-author` meta-path
 //! of a DBLP-like graph, served by the unified query engine.
 //!
-//! A (k,P)-core of the heterogeneous graph is exactly a k-core of the
-//! meta-path projection, so the engine serves expert queries through the
-//! facade's projection seam: `HeteroEngine::project` builds the
-//! projection once (the reusable per-graph preparation) and translates
-//! ids both ways, so this example speaks original heterogeneous node
-//! ids end to end — no hand-rolled `projection.local(..)` /
-//! `projection.original(..)` plumbing. (`csag::core::hetero_cs::SeaHetero`
-//! remains the native index-free pipeline that samples *before*
-//! projecting.)
+//! This example uses the facade's **sample-then-project** variant:
+//! `Method::SeaHetero` grows the P-neighborhood on the heterogeneous
+//! graph and projects only the sampled subset, so the full meta-path
+//! projection — quadratic in co-author density — is *never
+//! materialized* (`projection_computed()` stays `false` throughout).
+//! The engine still speaks original heterogeneous node ids end to end.
+//! For the project-then-query strategy (exact, baselines, plain SEA on
+//! the full projection) the same `HeteroEngine` lazily builds the
+//! projection on first use.
 //!
 //! ```text
 //! cargo run --release --example expert_finding
@@ -32,14 +32,15 @@ fn main() {
 
     let k = d.default_k;
     let queries = hetero_queries(&d, 3, k, 7);
-    // Reusable per-graph preparation: one projection, one engine — behind
-    // one facade call.
-    let engine = HeteroEngine::project(&d.graph, &d.meta_path);
+    // Reusable per-graph preparation — but *lazy*: nothing is projected
+    // until a query actually needs the full projection, and the
+    // sample-then-project method below never does.
+    let engine = HeteroEngine::new(d.graph.clone(), d.meta_path.clone());
 
     let batch: Vec<CommunityQuery> = queries
         .iter()
         .map(|&q| {
-            CommunityQuery::new(Method::Sea, q)
+            CommunityQuery::new(Method::SeaHetero, q)
                 .with_k(k)
                 .with_hoeffding(0.18, 0.95) // |Gq| regime matched to the 8k-author scale
                 .with_error_bound(0.02)
@@ -84,4 +85,9 @@ fn main() {
             );
         }
     }
+    assert!(
+        !engine.projection_computed(),
+        "sampling before projection: the full projection was never built"
+    );
+    println!("full meta-path projection materialized: no (sampled before projecting)");
 }

@@ -6,19 +6,25 @@
 //!
 //! ```text
 //! csag stats    <graph.txt>
+//! csag query    <graph.txt> --method M --query <id> --k <k> [shared flags] [--json]
 //! csag exact    <graph.txt> --query <id> --k <k> [--gamma G] [--truss] [--budget-ms MS] [--json]
 //! csag sea      <graph.txt> --query <id> --k <k> [--gamma G] [--truss] [--error E]
 //!                           [--confidence C] [--lambda L] [--seed S] [--size L H] [--json]
 //! csag baseline <graph.txt> --method acq|atc|vac|evac --query <id> --k <k> [--gamma G] [--json]
 //! csag generate --nodes N --communities C --seed S --out <graph.txt>
 //! csag update   <graph.txt> --script <updates.txt> [--out <new.txt>] [--json]
+//! csag serve    <graph.txt> [--workers N] [--capacity N] [--metrics]
 //! csag serve-churn [--batches N] [--seed S] [--json]
 //! csag demo     [--json]
 //! ```
 //!
 //! Graph files use the `csag-graph v1` text format (see `csag::graph::io`);
 //! update scripts use the `csag-updates v1` line format (see
-//! `csag::graph::update::GraphUpdate::parse_line`).
+//! `csag::graph::update::GraphUpdate::parse_line`). `csag serve` reads
+//! `csag-wire v1` request lines on stdin and writes one response line
+//! per request on stdout (see `csag::service::wire`) — the `"result"`
+//! object of a response is produced by the same serializer as
+//! `csag query --json`.
 
 use csag::datasets::generator::{generate, SyntheticConfig};
 use csag::datasets::paper_examples::{figure1_imdb, FIGURE1_TITLES};
@@ -44,11 +50,13 @@ fn main() {
     };
     let result = match cmd.as_str() {
         "stats" => cmd_stats(&args[1..]),
+        "query" => cmd_query(&args[1..]),
         "exact" => cmd_search(&args[1..], Method::Exact),
         "sea" => cmd_search(&args[1..], Method::Sea),
         "baseline" => cmd_baseline(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "update" => cmd_update(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "serve-churn" => cmd_serve_churn(&args[1..]),
         "demo" => cmd_demo(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -69,11 +77,13 @@ fn usage() {
          \n\
          commands:\n\
          \x20 stats    <graph.txt>                      graph statistics\n\
+         \x20 query    <graph.txt> --method M --query Q --k K   any method through one command\n\
          \x20 exact    <graph.txt> --query Q --k K      exact CS-AG (δ-optimal community)\n\
          \x20 sea      <graph.txt> --query Q --k K      approximate CS-AG with accuracy guarantee\n\
          \x20 baseline <graph.txt> --method M ...       run acq | atc | vac | evac\n\
          \x20 generate --nodes N --communities C ...    write a synthetic attributed graph\n\
          \x20 update   <graph.txt> --script <u.txt>      apply a GraphUpdate batch via GraphStore\n\
+         \x20 serve    <graph.txt>                       csag-wire v1 service on stdin/stdout\n\
          \x20 serve-churn [--batches N]                  churn the paper's examples, verify vs fresh engines\n\
          \x20 demo                                       the paper's Figure-1 IMDB example\n\
          \n\
@@ -81,7 +91,8 @@ fn usage() {
          exact flags:  --budget-ms MS (stop early, report best found; unbounded by default)\n\
          sea flags:    --error E (default 0.02)  --confidence C (default 0.95)\n\
          \x20             --lambda L (default 0.2)  --size L H (size-bounded search)\n\
-         update flags: --script <updates.txt> (csag-updates v1)  --out <new-graph.txt>"
+         update flags: --script <updates.txt> (csag-updates v1)  --out <new-graph.txt>\n\
+         serve flags:  --workers N  --capacity N (admission bound)  --metrics (snapshot on exit)"
     );
 }
 
@@ -156,6 +167,9 @@ fn common_arity() -> HashMap<&'static str, usize> {
         ("json", 0),
         ("script", 1),
         ("batches", 1),
+        ("workers", 1),
+        ("capacity", 1),
+        ("metrics", 0),
     ])
 }
 
@@ -335,6 +349,78 @@ fn cmd_search(args: &[String], method: Method) -> Result<(), String> {
     run_and_render(g, &query, flags.has("json"))
 }
 
+/// `csag query`: the unified search command — any method via `--method`
+/// (the `exact` / `sea` / `baseline` commands are conveniences over
+/// this). `--json` output is the one `CommunityResult` serializer, so
+/// it byte-matches the `"result"` object of a `csag serve` response for
+/// the same query (timings aside).
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &common_arity())?;
+    let g = load(&flags)?;
+    let method: String = flags.require("method")?;
+    let method: Method = method.parse().map_err(|e: CsagError| e.to_string())?;
+    let query = query_of(&flags, method)?;
+    run_and_render(g, &query, flags.has("json"))
+}
+
+/// `csag serve`: the admission-controlled service speaking `csag-wire
+/// v1` over stdin/stdout. One request line in, one response line out
+/// (submitted through the full `csag::service` path: admission,
+/// priorities, deadlines, coalescing); malformed or shed lines answer
+/// with an `"error"` envelope instead of killing the session. With
+/// `--metrics`, a `csag-service-metrics-v1` snapshot is printed to
+/// stdout after EOF (stderr always gets a one-line summary).
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use csag::service::{parse_wire_request, rejection_to_json, response_to_json};
+    use csag::service::{Service, ServiceConfig};
+    use std::io::{BufRead, Write};
+
+    let flags = parse_flags(args, &common_arity())?;
+    let g = load(&flags)?;
+    let mut config = ServiceConfig::default();
+    if let Some(w) = flags.get::<usize>("workers")? {
+        config = config.with_workers(w);
+    }
+    if let Some(c) = flags.get::<usize>("capacity")? {
+        config = config.with_capacity(c);
+    }
+    let service = Service::over_graph(g, config);
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut lines = 0usize;
+    for (line_no, line) in stdin.lock().lines().enumerate() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let rendered = match parse_wire_request(&line, line_no) {
+            Err(msg) => rejection_to_json(&line_no.to_string(), &CsagError::invalid(msg)),
+            Ok(wire) => match service.submit(wire.request) {
+                Err(err) => rejection_to_json(&wire.id, &err),
+                Ok(ticket) => response_to_json(&wire.id, &ticket.wait()),
+            },
+        };
+        writeln!(out, "{rendered}").map_err(|e| format!("writing stdout: {e}"))?;
+    }
+    let snapshot = service.metrics();
+    if flags.has("metrics") {
+        writeln!(out, "{}", snapshot.to_json()).map_err(|e| format!("writing stdout: {e}"))?;
+    }
+    eprintln!(
+        "serve: {lines} request line(s) — admitted {}, shed {}, coalesced {}, \
+         {} computation(s), warm-hit ratio {:.2}",
+        snapshot.admitted,
+        snapshot.shed,
+        snapshot.coalesced,
+        snapshot.executed,
+        snapshot.warm_hit_ratio
+    );
+    Ok(())
+}
+
 fn cmd_baseline(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &common_arity())?;
     let g = load(&flags)?;
@@ -488,7 +574,7 @@ fn churn_queries(q: u32) -> Vec<CommunityQuery> {
 
 /// Renders an engine outcome into a comparable fingerprint: community +
 /// exact δ bits on success, the full message on failure.
-fn outcome_fingerprint(r: &Result<CommunityResult, CsagError>) -> String {
+fn outcome_fingerprint(r: Result<&CommunityResult, &CsagError>) -> String {
     match r {
         Ok(res) => format!("ok:{:?}:{:x}", res.community, res.delta.to_bits()),
         Err(e) => format!("err:{e}"),
@@ -497,10 +583,14 @@ fn outcome_fingerprint(r: &Result<CommunityResult, CsagError>) -> String {
 
 /// `csag serve-churn`: apply N random update batches to the paper's
 /// pinned examples (Figure 1 IMDB, Figure 3) and, after every batch,
-/// re-answer the pinned queries on the evolving store *and* on a fresh
-/// engine built from the post-churn graph. Any divergence is a bug; the
+/// re-answer the pinned queries *through the serving layer* (a
+/// `csag::service::Service` over the evolving store — the same
+/// admission/scheduler path `csag serve` uses) and on a fresh engine
+/// built from the post-churn graph. Any divergence is a bug; the
 /// command exits non-zero (this is CI's churn-smoke gate).
 fn cmd_serve_churn(args: &[String]) -> Result<(), String> {
+    use csag::service::{Request, Service, ServiceConfig};
+
     let flags = parse_flags(args, &common_arity())?;
     let batches: usize = flags.get("batches")?.unwrap_or(6);
     let seed: u64 = flags.get("seed")?.unwrap_or(0xC0FFEE);
@@ -510,16 +600,22 @@ fn cmd_serve_churn(args: &[String]) -> Result<(), String> {
     let (fig3, q3) = figure3_graph();
     let mut total_checks = 0usize;
     let mut mismatches = 0usize;
+    let mut epoch_mismatches = 0usize;
     let mut retained = 0usize;
     let mut invalidated = 0usize;
+    let mut served = 0u64;
     let mut apply_ms = Vec::new();
 
     for (name, graph, q) in [("fig1", fig1, q1), ("fig3", fig3, q3)] {
-        let store = GraphStore::new(graph);
+        let store = std::sync::Arc::new(GraphStore::new(graph));
+        let service = Service::new(
+            std::sync::Arc::clone(&store),
+            ServiceConfig::default().with_workers(2),
+        );
         let mut rng = StdRng::seed_from_u64(seed ^ q as u64);
         // Warm the store's caches so carry-over is actually exercised.
         for query in churn_queries(q) {
-            let _ = store.run(&query);
+            let _ = service.run(Request::new(query));
         }
         for batch_no in 0..batches {
             let batch = random_updates(store.snapshot().graph(), &mut rng, 5, ChurnMix::MIXED);
@@ -534,41 +630,57 @@ fn cmd_serve_churn(args: &[String]) -> Result<(), String> {
             let snap = store.snapshot();
             let fresh = Engine::new(snap.graph().clone());
             for query in churn_queries(q) {
-                let evolved = snap.engine().run(&query);
+                let response = service
+                    .run(Request::new(query.clone()))
+                    .map_err(|e| format!("{name} epoch {}: submit failed: {e}", report.epoch))?;
                 let rebuilt = fresh.run(&query);
                 total_checks += 1;
-                let (a, b) = (outcome_fingerprint(&evolved), outcome_fingerprint(&rebuilt));
+                // The service must answer from the freshly published
+                // epoch — pinned-at-admission, not a stale snapshot.
+                if response.epoch != report.epoch {
+                    epoch_mismatches += 1;
+                    eprintln!(
+                        "EPOCH MISMATCH {name}: served {} but store is at {}",
+                        response.epoch, report.epoch
+                    );
+                }
+                let a = outcome_fingerprint(response.outcome.as_ref().map(|arc| arc.as_ref()));
+                let b = outcome_fingerprint(rebuilt.as_ref());
                 if a != b {
                     mismatches += 1;
                     eprintln!(
-                        "MISMATCH {name} epoch {} ({:?}): evolved {a} vs fresh {b}",
+                        "MISMATCH {name} epoch {} ({:?}): served {a} vs fresh {b}",
                         report.epoch, query.method
                     );
                 }
             }
         }
+        served += service.metrics().completed;
     }
 
     let mean_apply = apply_ms.iter().sum::<f64>() / apply_ms.len().max(1) as f64;
     if json {
         println!(
             "{{\"batches\":{batches},\"checks\":{total_checks},\"mismatches\":{mismatches},\
+             \"epoch_mismatches\":{epoch_mismatches},\"served\":{served},\
              \"mean_apply_ms\":{mean_apply:.3},\"distance_tables_retained\":{retained},\
              \"distance_tables_invalidated\":{invalidated}}}"
         );
     } else {
         println!(
-            "serve-churn: {batches} batch(es) × 2 graphs, {total_checks} answers diffed \
-             against fresh engines → {mismatches} mismatch(es)"
+            "serve-churn: {batches} batch(es) × 2 graphs, {total_checks} service answers \
+             diffed against fresh engines → {mismatches} mismatch(es), \
+             {epoch_mismatches} epoch mismatch(es)"
         );
         println!(
             "mean apply latency {mean_apply:.2} ms; distance tables retained {retained}, \
-             invalidated {invalidated}"
+             invalidated {invalidated}; {served} request(s) served"
         );
     }
-    if mismatches > 0 {
+    if mismatches + epoch_mismatches > 0 {
         return Err(format!(
-            "{mismatches} of {total_checks} answers diverged from a fresh engine"
+            "{} of {total_checks} service answers diverged from a fresh engine",
+            mismatches + epoch_mismatches
         ));
     }
     Ok(())

@@ -5,7 +5,7 @@
 //! self-contained surface: every fallible engine call returns
 //! `Result<_, CsagError>`.
 //!
-//! The four variants separate what `Option`-based APIs used to conflate:
+//! The variants separate what `Option`-based APIs used to conflate:
 //!
 //! | Variant | Meaning | Typical reaction |
 //! |---|---|---|
@@ -13,5 +13,6 @@
 //! | [`CsagError::QueryNodeNotFound`] | the node id is out of range | fix the id |
 //! | [`CsagError::NoCommunity`] | a definitive, correct "no" | report the empty answer |
 //! | [`CsagError::BudgetExhausted`] | resources ran out mid-search | use the [`PartialSearch`] best-so-far, or retry with a bigger budget |
+//! | [`CsagError::Overloaded`] | the service shed the request before it ran | back off for `retry_after`, then resubmit |
 
 pub use csag_core::error::{CsagError, PartialSearch};

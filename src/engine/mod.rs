@@ -352,6 +352,7 @@ impl Engine {
         let search = t_search.elapsed();
 
         let mut res = outcome?;
+        res.epoch = self.epoch;
         res.timings.prepare = prepare;
         res.timings.search = search;
         res.timings.total = t_total.elapsed();
@@ -368,12 +369,17 @@ impl Engine {
         let dp = query.distance_params();
         let mut prov = Provenance::new(query.method, query.k, query.model, query.seed);
         match query.method {
+            Method::SeaHetero => Err(CsagError::invalid(
+                "method sea-hetero samples before projecting and needs the original \
+                 heterogeneous graph; run it through HeteroEngine",
+            )),
             Method::Exact => {
                 let r =
                     Exact::new(g, dp).run_in_workspace(query.q, &query.exact_params(), dist, ws)?;
                 prov.states_explored = r.states_explored;
                 Ok(CommunityResult {
                     q: query.q,
+                    epoch: 0,
                     delta: r.delta,
                     community: r.community,
                     // A completed exact run is the strongest certificate:
@@ -397,38 +403,7 @@ impl Engine {
                     dist,
                     ws,
                 )?;
-                prov.rounds = r.rounds.len();
-                prov.candidates_examined = r.rounds.iter().map(|x| x.candidates_examined).sum();
-                prov.population_size = r.population_size;
-                prov.sample_size = r.sample_size;
-                // The bound actually achieved, by inverting Theorem 11:
-                // ε ≤ δ⋆·e/(1+e)  ⇔  e ≥ ε/(δ⋆ − ε). A zero-width
-                // interval is a perfect estimate (bound 0) even at δ⋆ = 0.
-                let achieved = if r.ci.moe == 0.0 {
-                    0.0
-                } else if r.ci.moe < r.delta_star {
-                    r.ci.moe / (r.delta_star - r.ci.moe)
-                } else {
-                    f64::INFINITY
-                };
-                Ok(CommunityResult {
-                    q: query.q,
-                    delta: r.delta_star,
-                    community: r.community,
-                    certificate: Some(AccuracyCertificate {
-                        certified: r.certified,
-                        error_bound: achieved,
-                        confidence: query.confidence,
-                        moe: r.ci.moe,
-                    }),
-                    timings: PhaseTimings {
-                        sampling: r.timing.sampling,
-                        estimation: r.timing.estimation,
-                        incremental: r.timing.incremental,
-                        ..PhaseTimings::default()
-                    },
-                    provenance: prov,
-                })
+                Ok(sea_community_result(query, r))
             }
             Method::Acq | Method::Atc | Method::Vac | Method::EVac => {
                 let r = match query.method {
@@ -458,6 +433,7 @@ impl Engine {
                 let delta = dist.delta(g, &r.community);
                 Ok(CommunityResult {
                     q: query.q,
+                    epoch: 0,
                     community: r.community,
                     delta,
                     certificate: None,
@@ -510,6 +486,51 @@ impl Engine {
         map.insert(key, Arc::clone(&fresh));
         self.distance_len.fetch_add(1, Ordering::Relaxed);
         fresh
+    }
+}
+
+/// Maps a raw SEA outcome onto the unified result shape — the accuracy
+/// certificate (the Theorem-11 bound actually achieved), SEA's phase
+/// timings, and the sampling provenance. Shared by the homogeneous
+/// dispatch and [`HeteroEngine`]'s native sampling-before-projection
+/// path so both report identically. The epoch is stamped by the caller.
+pub(crate) fn sea_community_result(
+    query: &CommunityQuery,
+    r: csag_core::sea::SeaResult,
+) -> CommunityResult {
+    let mut prov = Provenance::new(query.method, query.k, query.model, query.seed);
+    prov.rounds = r.rounds.len();
+    prov.candidates_examined = r.rounds.iter().map(|x| x.candidates_examined).sum();
+    prov.population_size = r.population_size;
+    prov.sample_size = r.sample_size;
+    // The bound actually achieved, by inverting Theorem 11:
+    // ε ≤ δ⋆·e/(1+e)  ⇔  e ≥ ε/(δ⋆ − ε). A zero-width interval is a
+    // perfect estimate (bound 0) even at δ⋆ = 0.
+    let achieved = if r.ci.moe == 0.0 {
+        0.0
+    } else if r.ci.moe < r.delta_star {
+        r.ci.moe / (r.delta_star - r.ci.moe)
+    } else {
+        f64::INFINITY
+    };
+    CommunityResult {
+        q: query.q,
+        epoch: 0,
+        delta: r.delta_star,
+        community: r.community,
+        certificate: Some(AccuracyCertificate {
+            certified: r.certified,
+            error_bound: achieved,
+            confidence: query.confidence,
+            moe: r.ci.moe,
+        }),
+        timings: PhaseTimings {
+            sampling: r.timing.sampling,
+            estimation: r.timing.estimation,
+            incremental: r.timing.incremental,
+            ..PhaseTimings::default()
+        },
+        provenance: prov,
     }
 }
 

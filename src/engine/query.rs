@@ -34,6 +34,12 @@ pub enum Method {
     /// SEA restricted to a size window `[l, h]` (§VI-B). Requires
     /// [`CommunityQuery::with_size_bound`].
     SeaSizeBounded,
+    /// SEA on a heterogeneous graph (§VI-A): samples the (k,P)-core
+    /// neighborhood *before* projecting, so the full meta-path
+    /// projection is never materialized. Only a
+    /// [`super::HeteroEngine`] can answer it — a homogeneous
+    /// [`super::Engine`] rejects it with [`CsagError::InvalidParams`].
+    SeaHetero,
     /// ACQ baseline (Fang et al., PVLDB'16): shared-attribute
     /// maximization.
     Acq,
@@ -54,6 +60,7 @@ impl Method {
             Method::Exact => "exact",
             Method::Sea => "sea",
             Method::SeaSizeBounded => "sea-size-bounded",
+            Method::SeaHetero => "sea-hetero",
             Method::Acq => "acq",
             Method::Atc => "atc",
             Method::Vac => "vac",
@@ -62,10 +69,11 @@ impl Method {
     }
 
     /// Every method, in the order the paper's tables list them.
-    pub const ALL: [Method; 7] = [
+    pub const ALL: [Method; 8] = [
         Method::Exact,
         Method::Sea,
         Method::SeaSizeBounded,
+        Method::SeaHetero,
         Method::Acq,
         Method::Atc,
         Method::Vac,
@@ -89,7 +97,7 @@ impl FromStr for Method {
             .ok_or_else(|| {
                 CsagError::invalid(format!(
                     "unknown method `{s}` (expected one of: exact, sea, sea-size-bounded, \
-                     acq, atc, vac, evac)"
+                     sea-hetero, acq, atc, vac, evac)"
                 ))
             })
     }
@@ -332,6 +340,89 @@ impl CommunityQuery {
         Ok(())
     }
 
+    /// Derives a query that fits the remaining wall-clock budget — the
+    /// serving layer's accuracy-for-latency seam (the paper's whole
+    /// trade-off, applied per request).
+    ///
+    /// With `remaining ≥ full_effort` the query runs untouched apart
+    /// from clamping any wall-clock budget to the deadline. Below that,
+    /// effort scales with `r = remaining / full_effort` and the second
+    /// element of the return value is `true`:
+    ///
+    /// * **SEA variants** — fewer sampling/estimation rounds
+    ///   (`⌈max_rounds·r⌉`, at least 1), a smaller initial sampling
+    ///   fraction, and a proportionally looser requested error bound
+    ///   `e/r` (capped below 1). The result's certificate still reports
+    ///   the bound *actually achieved*, so degradation is observable,
+    ///   never silent.
+    /// * **Exact / E-VAC** — a state budget derived from the remaining
+    ///   milliseconds (a coarse states-per-millisecond calibration;
+    ///   the exact wall-clock budget backstops it), so a late request
+    ///   returns a [`CsagError::BudgetExhausted`] best-so-far instead
+    ///   of blowing through the deadline.
+    /// * **VAC** — a proportionally smaller peeling-iteration cap.
+    /// * **ACQ / ATC** — unchanged (already cheap local heuristics).
+    ///
+    /// The derived query always still passes
+    /// [`CommunityQuery::validate`].
+    pub fn fit_to_deadline(&self, remaining: Duration, full_effort: Duration) -> (Self, bool) {
+        /// Floor effort tier: even an already-expired deadline gets 5%
+        /// of the full-effort envelope — degrading to a small bounded
+        /// slice, never to nothing.
+        const MIN_RATIO: f64 = 0.05;
+        let mut q = self.clone();
+        if remaining >= full_effort || full_effort.is_zero() {
+            // Roomy deadline: full effort, with the deadline as a hard
+            // wall-clock backstop for the methods that understand one
+            // (others ignore it, harmlessly).
+            q.time_budget = Some(match self.time_budget {
+                Some(t) => t.min(remaining),
+                None => remaining,
+            });
+            return (q, false);
+        }
+        let granted = remaining.max(full_effort.mul_f64(MIN_RATIO));
+        q.time_budget = Some(match self.time_budget {
+            Some(t) => t.min(granted),
+            None => granted,
+        });
+        let r = (granted.as_secs_f64() / full_effort.as_secs_f64()).clamp(MIN_RATIO, 1.0);
+        match q.method {
+            Method::Sea | Method::SeaSizeBounded | Method::SeaHetero => {
+                // Rounds are the latency lever (each incremental round
+                // re-samples and re-estimates); the initial sampling
+                // fraction stays intact and at least one incremental
+                // recovery round survives (a sample that misses the
+                // community entirely can still grow once), so a
+                // degraded answer is still an answer — just with a
+                // proportionally looser bound.
+                let floor = 2.min(q.max_rounds).max(1);
+                q.max_rounds = ((q.max_rounds as f64 * r).ceil() as usize).max(floor);
+                q.error_bound = (q.error_bound / r).min(0.95);
+            }
+            Method::Exact | Method::EVac => {
+                // Calibration: roughly how many search-tree states a
+                // millisecond buys on commodity hardware; the wall-clock
+                // budget above backstops machines that run slower.
+                const STATES_PER_MS: u64 = 2_000;
+                let derived = (granted.as_millis() as u64)
+                    .saturating_mul(STATES_PER_MS)
+                    .max(256);
+                q.state_budget = Some(q.state_budget.map_or(derived, |b| b.min(derived)));
+            }
+            Method::Vac => {
+                if let Some(cap) = q.vac_iteration_cap {
+                    // Scale down with a floor, but never past the
+                    // caller's own cap — degradation must not do MORE
+                    // work than the undegraded query.
+                    q.vac_iteration_cap = Some(((cap as f64 * r) as usize).max(64).min(cap));
+                }
+            }
+            Method::Acq | Method::Atc => {}
+        }
+        (q, true)
+    }
+
     /// The distance parameters implied by `gamma`.
     pub fn distance_params(&self) -> DistanceParams {
         DistanceParams::with_gamma(self.gamma)
@@ -403,6 +494,44 @@ mod tests {
                 "{shown} should fail validation"
             );
         }
+    }
+
+    #[test]
+    fn deadline_fit_degrades_but_stays_valid() {
+        let full = Duration::from_millis(200);
+        // A roomy deadline only clamps the wall-clock budget.
+        let q = CommunityQuery::new(Method::Sea, 0);
+        let (fitted, degraded) = q.fit_to_deadline(Duration::from_secs(1), full);
+        assert!(!degraded);
+        assert_eq!(fitted.max_rounds, q.max_rounds);
+        assert_eq!(fitted.time_budget, Some(Duration::from_secs(1)));
+
+        // A tight deadline cheapens SEA: fewer rounds, looser bound.
+        let (fitted, degraded) = q.fit_to_deadline(Duration::from_millis(20), full);
+        assert!(degraded);
+        assert!(fitted.max_rounds < q.max_rounds && fitted.max_rounds >= 1);
+        assert!(fitted.error_bound > q.error_bound && fitted.error_bound < 1.0);
+        fitted.validate().expect("derived query must stay runnable");
+
+        // Exact gains a state budget derived from the remaining time,
+        // never looser than one the caller already set.
+        let q = CommunityQuery::new(Method::Exact, 0).with_state_budget(500);
+        let (fitted, degraded) = q.fit_to_deadline(Duration::from_millis(10), full);
+        assert!(degraded);
+        assert_eq!(fitted.state_budget, Some(500), "caller budget was tighter");
+        let q = CommunityQuery::new(Method::Exact, 0);
+        let (fitted, _) = q.fit_to_deadline(Duration::from_millis(10), full);
+        assert!(fitted.state_budget.unwrap() >= 256);
+        fitted.validate().unwrap();
+
+        // An already-expired deadline still yields a runnable floor
+        // tier, keeping one incremental recovery round.
+        let (fitted, degraded) =
+            CommunityQuery::new(Method::Sea, 0).fit_to_deadline(Duration::ZERO, full);
+        assert!(degraded);
+        assert_eq!(fitted.max_rounds, 2);
+        assert!(fitted.time_budget.unwrap() > Duration::ZERO, "floor grant");
+        fitted.validate().unwrap();
     }
 
     #[test]

@@ -103,6 +103,10 @@ impl Provenance {
 pub struct CommunityResult {
     /// The query node the community was built around.
     pub q: NodeId,
+    /// The [`super::store::GraphStore`] epoch the answering engine
+    /// snapshots (0 for standalone engines) — which graph version this
+    /// answer is about.
+    pub epoch: u64,
     /// The community (sorted node ids, contains `q`).
     pub community: Vec<NodeId>,
     /// Its q-centric attribute distance δ — evaluated with the same
@@ -124,6 +128,8 @@ impl CommunityResult {
         let mut s = String::with_capacity(256 + 12 * self.community.len());
         s.push('{');
         push_kv(&mut s, "q", &self.q.to_string());
+        s.push(',');
+        push_kv(&mut s, "epoch", &self.epoch.to_string());
         s.push(',');
         push_key(&mut s, "community");
         s.push('[');
@@ -249,10 +255,19 @@ pub fn error_to_json(err: &super::error::CsagError) -> String {
         CsagError::QueryNodeNotFound { .. } => "query_node_not_found",
         CsagError::NoCommunity { .. } => "no_community",
         CsagError::BudgetExhausted { .. } => "budget_exhausted",
+        CsagError::Overloaded { .. } => "overloaded",
     };
     push_kv(&mut s, "error", &json_string(kind));
     s.push(',');
     push_kv(&mut s, "message", &json_string(&err.to_string()));
+    if let CsagError::Overloaded { retry_after } = err {
+        s.push(',');
+        push_kv(
+            &mut s,
+            "retry_after_ms",
+            &json_f64(retry_after.as_secs_f64() * 1000.0),
+        );
+    }
     if let CsagError::BudgetExhausted { partial: Some(p) } = err {
         s.push(',');
         push_key(&mut s, "partial");
@@ -282,19 +297,19 @@ pub fn error_to_json(err: &super::error::CsagError) -> String {
     s
 }
 
-fn push_key(s: &mut String, key: &str) {
+pub(crate) fn push_key(s: &mut String, key: &str) {
     s.push('"');
     s.push_str(key);
     s.push_str("\":");
 }
 
-fn push_kv(s: &mut String, key: &str, value: &str) {
+pub(crate) fn push_kv(s: &mut String, key: &str, value: &str) {
     push_key(s, key);
     s.push_str(value);
 }
 
 /// A JSON number literal, or `null` for non-finite values.
-fn json_f64(x: f64) -> String {
+pub(crate) fn json_f64(x: f64) -> String {
     if x.is_finite() {
         // `{:?}` prints a round-trippable float (always with a decimal
         // point or exponent), which is valid JSON.
@@ -306,7 +321,7 @@ fn json_f64(x: f64) -> String {
 
 /// A JSON string literal with minimal escaping (quotes, backslashes,
 /// control characters).
-fn json_string(raw: &str) -> String {
+pub(crate) fn json_string(raw: &str) -> String {
     let mut out = String::with_capacity(raw.len() + 2);
     out.push('"');
     for c in raw.chars() {
@@ -331,6 +346,7 @@ mod tests {
     fn sample() -> CommunityResult {
         CommunityResult {
             q: 3,
+            epoch: 2,
             community: vec![1, 3, 5],
             delta: 0.25,
             certificate: Some(AccuracyCertificate {
@@ -349,6 +365,7 @@ mod tests {
         let j = sample().to_json();
         for key in [
             "\"q\":3",
+            "\"epoch\":2",
             "\"community\":[1,3,5]",
             "\"size\":3",
             "\"delta\":0.25",
@@ -399,5 +416,10 @@ mod tests {
         let j = error_to_json(&CsagError::invalid("k too small"));
         assert!(j.contains("\"error\":\"invalid_params\""));
         assert!(j.contains("k too small"));
+        let j = error_to_json(&CsagError::Overloaded {
+            retry_after: Duration::from_millis(40),
+        });
+        assert!(j.contains("\"error\":\"overloaded\""));
+        assert!(j.contains("\"retry_after_ms\":40.0"));
     }
 }

@@ -12,6 +12,12 @@
 //!   [`engine::GraphUpdate`] batches, with incremental decomposition
 //!   maintenance and selective cache invalidation), and the
 //!   [`engine::HeteroEngine`] meta-path projection seam,
+//! * [`service`] — **the serving layer over the engine**: an
+//!   admission-controlled [`service::Service`] with bounded queueing
+//!   (overload sheds with typed `Overloaded` errors), priorities,
+//!   per-request deadlines that *degrade* accuracy instead of timing
+//!   out, coalescing of identical in-flight queries, serving metrics,
+//!   and the `csag-wire v1` JSON-lines protocol behind `csag serve`,
 //! * [`graph`] — attributed homogeneous & heterogeneous graph storage,
 //! * [`decomp`] — k-core / k-truss decomposition and maintenance,
 //! * [`stats`] — Hoeffding bounds, bootstrap, Bag of Little Bootstraps,
@@ -58,6 +64,7 @@
 //! distinct cases instead of one `None`.
 
 pub mod engine;
+pub mod service;
 
 pub use csag_baselines as baselines;
 pub use csag_core as core;

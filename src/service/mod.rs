@@ -1,0 +1,277 @@
+//! # `csag::service` — admission-controlled community search under load
+//!
+//! The engine ([`crate::engine::Engine`]) answers one query; the
+//! [`Service`] answers *traffic*. It wraps an evolving
+//! [`GraphStore`] behind a request/response API built for sustained
+//! concurrent load: a [`Request`] carries a
+//! [`CommunityQuery`](crate::engine::CommunityQuery) plus the caller's
+//! serving intent — a [`Priority`], an optional deadline, and a tenant
+//! [`QueryClass`] — and [`Service::submit`] returns a [`Ticket`] whose
+//! [`Response`] wraps the engine's answer in its serving envelope
+//! (epoch, queue wait, deadline slack, coalescing/degradation flags).
+//!
+//! ## Invariants
+//!
+//! The service holds five invariants, in roughly the order they matter
+//! when the graph is on fire:
+//!
+//! 1. **Bounded admission.** At most `capacity` requests (and
+//!    optionally `per_class_capacity` per tenant class) are admitted
+//!    but unanswered at any instant. Beyond that, [`Service::submit`]
+//!    sheds *immediately* with
+//!    [`crate::engine::CsagError::Overloaded`]
+//!    carrying a `retry_after` derived from the observed drain rate —
+//!    the queue never grows without bound, and latency of admitted
+//!    work stays predictable.
+//! 2. **Every admitted request is answered.** A ticket's
+//!    [`Ticket::wait`] always returns: workers drain the queue even
+//!    through shutdown, and invalid queries are rejected *before*
+//!    admission so they never occupy a slot.
+//! 3. **Identical in-flight queries coalesce.** Two admitted requests
+//!    whose queries fingerprint identically (same knobs, same seed,
+//!    *same store epoch*, and the same deadline *presence* — a
+//!    deadline-free request asked for full effort and never rides a
+//!    potentially degraded computation) share one engine computation;
+//!    every waiter receives the same `Arc<CommunityResult>`
+//!    (observable via `Arc::ptr_eq`). Coalesced requests still consume
+//!    admission slots — coalescing dedups *work*, not *load
+//!    accounting* — and a higher-priority duplicate escalates the
+//!    queued job.
+//! 4. **Deadlines degrade, they don't kill.** At dispatch the
+//!    remaining wall time of the job's tightest deadline is mapped
+//!    onto the method's effort knobs
+//!    ([`CommunityQuery::fit_to_deadline`](crate::engine::CommunityQuery::fit_to_deadline)):
+//!    SEA runs fewer rounds against a proportionally looser requested
+//!    bound, exact search gets a derived state budget. The response's
+//!    `degraded` flag and the result's accuracy certificate make the
+//!    cheaper answer observable — the paper's accuracy-for-latency
+//!    trade-off, applied per request.
+//! 5. **Epoch isolation.** Each job pins a store [`Snapshot`] at
+//!    admission; queries never coalesce across epochs, and the
+//!    response names the epoch it answered from.
+//!
+//! ```
+//! use csag::datasets::paper_examples::figure1_imdb;
+//! use csag::engine::{CommunityQuery, Method};
+//! use csag::service::{Priority, Request, Service, ServiceConfig};
+//! use std::time::Duration;
+//!
+//! let (graph, q) = figure1_imdb();
+//! let service = Service::over_graph(graph, ServiceConfig::default());
+//! let response = service
+//!     .run(
+//!         Request::new(CommunityQuery::new(Method::Sea, q).with_k(3))
+//!             .with_priority(Priority::Interactive)
+//!             .with_deadline(Duration::from_millis(250)),
+//!     )
+//!     .expect("admitted");
+//! let result = response.outcome.expect("a 3-core exists");
+//! assert!(result.community.contains(&q));
+//! assert_eq!(response.epoch, 0);
+//! assert!(service.metrics().admitted >= 1);
+//! ```
+//!
+//! On the wire, the same API speaks the `csag-wire v1` JSON-lines
+//! protocol (see [`wire`] and the `csag serve` CLI command).
+
+pub mod admission;
+pub mod metrics;
+pub mod request;
+pub mod scheduler;
+pub mod wire;
+
+pub use metrics::{HistogramSnapshot, MetricsSnapshot, ServiceMetrics};
+pub use request::{Priority, QueryClass, Request, Response, Ticket};
+pub use wire::{parse_wire_request, rejection_to_json, response_to_json, WireRequest};
+
+use crate::engine::{CsagError, GraphStore, Snapshot};
+use csag_graph::AttributedGraph;
+use scheduler::Shared;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs of a [`Service`]. The defaults suit an interactive
+/// deployment on commodity hardware; every knob has a `with_*` setter.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads executing queries (each owns a private
+    /// [`csag_graph::QueryWorkspace`], so the steady-state hot path
+    /// stays allocation-free per worker).
+    pub workers: usize,
+    /// Bound on admitted-but-unanswered requests (invariant 1).
+    pub capacity: usize,
+    /// Optional per-[`QueryClass`] admission bound (tenant isolation).
+    pub per_class_capacity: Option<usize>,
+    /// Wall-time under which deadline pressure starts degrading effort
+    /// (invariant 4): a request with at least this much deadline left
+    /// runs at full effort.
+    pub full_effort_latency: Duration,
+    /// Start with dequeuing paused (submissions are still admitted and
+    /// queued). A deterministic seam for tests and staged rollouts;
+    /// call [`Service::resume`] to open the floodgates.
+    pub start_paused: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: crate::engine::batch::available_threads(),
+            capacity: 256,
+            per_class_capacity: None,
+            full_effort_latency: Duration::from_millis(200),
+            start_paused: false,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the worker-thread count (at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the global admission bound (at least 1).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets (or clears) the per-class admission bound.
+    pub fn with_per_class_capacity(mut self, cap: Option<usize>) -> Self {
+        self.per_class_capacity = cap;
+        self
+    }
+
+    /// Sets the full-effort latency threshold.
+    pub fn with_full_effort_latency(mut self, d: Duration) -> Self {
+        self.full_effort_latency = d;
+        self
+    }
+
+    /// Starts the service with dequeuing paused.
+    pub fn paused(mut self) -> Self {
+        self.start_paused = true;
+        self
+    }
+}
+
+/// The admission-controlled serving front of a [`GraphStore`]. See the
+/// [module docs](self) for the invariants it holds.
+pub struct Service {
+    store: Arc<GraphStore>,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts a service (and its worker pool) over an existing store.
+    /// The store stays shared: callers keep applying
+    /// [`GraphStore::apply`] batches while the service runs, and new
+    /// submissions pin the newest epoch.
+    pub fn new(store: Arc<GraphStore>, config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared::new(
+            config.capacity,
+            config.per_class_capacity,
+            workers,
+            config.full_effort_latency,
+            config.start_paused,
+        ));
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("csag-service-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service {
+            store,
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// [`Service::new`] over a fresh single-epoch store built from
+    /// `graph` (the static-graph convenience).
+    pub fn over_graph(graph: AttributedGraph, config: ServiceConfig) -> Self {
+        Service::new(Arc::new(GraphStore::new(graph)), config)
+    }
+
+    /// Submits one request: admit-or-shed, then queue or coalesce.
+    ///
+    /// # Errors
+    /// * [`CsagError::InvalidParams`] — the query fails validation
+    ///   (rejected before admission; costs no slot).
+    /// * [`CsagError::Overloaded`] — admission capacity (global or
+    ///   per-class) is exhausted; retry after the carried back-off.
+    pub fn submit(&self, request: Request) -> Result<Ticket, CsagError> {
+        self.shared.submit(&self.store, request)
+    }
+
+    /// Submit + wait: the blocking convenience for callers without
+    /// their own ticket bookkeeping.
+    ///
+    /// # Errors
+    /// Same as [`Service::submit`].
+    pub fn run(&self, request: Request) -> Result<Response, CsagError> {
+        Ok(self.submit(request)?.wait())
+    }
+
+    /// The underlying evolving store (apply updates through this; new
+    /// submissions see the new epoch).
+    pub fn store(&self) -> &GraphStore {
+        &self.store
+    }
+
+    /// A shared handle to the store.
+    pub fn store_arc(&self) -> Arc<GraphStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Pins the store's current epoch (a read-side convenience).
+    pub fn snapshot(&self) -> Snapshot {
+        self.store.snapshot()
+    }
+
+    /// Point-in-time serving metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Admitted-but-unanswered request count.
+    pub fn pending(&self) -> usize {
+        self.shared.pending()
+    }
+
+    /// Holds queued work back (running computations finish; submissions
+    /// keep being admitted and queued).
+    pub fn pause(&self) {
+        self.shared.pause();
+    }
+
+    /// Releases held-back work.
+    pub fn resume(&self) {
+        self.shared.resume();
+    }
+}
+
+impl Drop for Service {
+    /// Graceful teardown: the queue drains (every admitted request is
+    /// answered — invariant 2 survives shutdown), then the pool joins.
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// The service is the thing callers share across their own threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Service>();
+};

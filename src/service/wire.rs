@@ -1,0 +1,548 @@
+//! `csag-wire v1`: the service's JSON-lines protocol.
+//!
+//! One request per line in, one response per line out — the natural
+//! shape for piping through `csag serve`, load generators, and sidecar
+//! processes without pulling in a serialization framework.
+//!
+//! # Grammar
+//!
+//! A request line is a flat JSON object (no nesting; values are
+//! strings, numbers, booleans, or `null`; unknown keys are rejected so
+//! typos fail loudly):
+//!
+//! ```text
+//! request      = "{" pair ("," pair)* "}"
+//! pair         = "q": uint                   ; REQUIRED: the query node
+//!              | "id": string | number       ; echoed verbatim (default: line number)
+//!              | "method": string            ; exact|sea|sea-size-bounded|acq|atc|vac|evac (default exact)
+//!              | "k": uint                   ; cohesion parameter (default 4)
+//!              | "model": "k-core"|"k-truss" ; community model (default k-core)
+//!              | "gamma": number             ; distance balance factor
+//!              | "error": number             ; SEA error bound e
+//!              | "confidence": number        ; SEA confidence 1-α
+//!              | "lambda": number            ; SEA initial sampling fraction
+//!              | "seed": uint                ; sampling determinism handle
+//!              | "size_l": uint              ; size window lower bound (with size_h)
+//!              | "size_h": uint              ; size window upper bound
+//!              | "budget_ms": number         ; wall-clock budget (exact / e-vac)
+//!              | "budget_states": uint       ; search-tree state budget
+//!              | "priority": "interactive"|"standard"|"batch"   ; default standard
+//!              | "deadline_ms": number       ; latency budget from submission
+//!              | "class": string             ; tenant class (default "default")
+//! ```
+//!
+//! A response line is the serving envelope around the engine's one
+//! result serializer
+//! ([`CommunityResult::to_json`](crate::engine::CommunityResult::to_json)) —
+//! the `"result"`
+//! object is byte-identical to what `csag query --json` prints for the
+//! same query (modulo wall-clock `timings_ms`):
+//!
+//! ```text
+//! response = "{" '"id":' echoed ","
+//!                '"epoch":' uint ","
+//!                '"priority":' string ","
+//!                '"class":' string ","
+//!                '"coalesced":' bool ","
+//!                '"degraded":' bool ","
+//!                '"queue_ms":' number ","
+//!                '"deadline_slack_ms":' number | "null" ","
+//!                ( '"result":' CommunityResult | '"error":' ErrorObject ) "}"
+//! ```
+//!
+//! Shed and invalid requests answer with the same envelope carrying an
+//! `"error"` object ([`error_to_json`]), so a client parses exactly one
+//! shape.
+
+use crate::engine::result::{json_f64, json_string, push_key, push_kv};
+use crate::engine::{error_to_json, CommunityQuery, CsagError, Method};
+use crate::service::request::{Priority, Request, Response};
+use csag_decomp::CommunityModel;
+use std::time::Duration;
+
+/// One scalar value of a flat `csag-wire` JSON object.
+#[derive(Clone, Debug, PartialEq)]
+enum Scalar {
+    String(String),
+    Number(f64),
+    Bool(bool),
+    Null,
+}
+
+/// A parsed wire request: the service [`Request`] plus the client's id
+/// token, echoed verbatim into the response (so string ids stay
+/// strings and numeric ids stay numbers).
+#[derive(Clone, Debug)]
+pub struct WireRequest {
+    /// The id to echo, as a raw JSON token (already quoted if it was a
+    /// string).
+    pub id: String,
+    /// The service request the line described.
+    pub request: Request,
+}
+
+/// Parses one `csag-wire v1` request line.
+///
+/// `line_no` provides the default id for lines that carry none.
+///
+/// # Errors
+/// A human-readable description of the first syntax or vocabulary
+/// problem (unknown key, wrong type, missing `q`, malformed JSON).
+pub fn parse_wire_request(line: &str, line_no: usize) -> Result<WireRequest, String> {
+    let fields = parse_flat_object(line)?;
+    let mut id = line_no.to_string();
+    let mut q: Option<u32> = None;
+    let mut method = Method::Exact;
+    let mut query_mods: Vec<Box<dyn FnOnce(CommunityQuery) -> CommunityQuery>> = Vec::new();
+    let mut size_l: Option<usize> = None;
+    let mut size_h: Option<usize> = None;
+    let mut priority = Priority::Standard;
+    let mut deadline: Option<Duration> = None;
+    let mut class: Option<String> = None;
+
+    for (key, value) in fields {
+        match key.as_str() {
+            "id" => {
+                id = match value {
+                    Scalar::String(s) => json_string(&s),
+                    // Integral ids echo as integers, like they arrived.
+                    Scalar::Number(n) if n.fract() == 0.0 && n.abs() < 9e15 => {
+                        format!("{}", n as i64)
+                    }
+                    Scalar::Number(n) => json_f64(n),
+                    other => {
+                        return Err(format!("\"id\" must be a string or number, got {other:?}"))
+                    }
+                }
+            }
+            "q" => q = Some(u32_field(&key, &value)?),
+            "method" => {
+                method = str_field(&key, &value)?
+                    .parse()
+                    .map_err(|e: CsagError| e.to_string())?
+            }
+            "k" => {
+                let k = u32_field(&key, &value)?;
+                query_mods.push(Box::new(move |c| c.with_k(k)));
+            }
+            "model" => {
+                let model = match str_field(&key, &value)?.as_str() {
+                    "k-core" => CommunityModel::KCore,
+                    "k-truss" => CommunityModel::KTruss,
+                    other => return Err(format!("unknown model `{other}` (k-core | k-truss)")),
+                };
+                query_mods.push(Box::new(move |c| c.with_model(model)));
+            }
+            "gamma" => {
+                let g = num_field(&key, &value)?;
+                query_mods.push(Box::new(move |c| c.with_gamma(g)));
+            }
+            "error" => {
+                let e = num_field(&key, &value)?;
+                query_mods.push(Box::new(move |c| c.with_error_bound(e)));
+            }
+            "confidence" => {
+                let c0 = num_field(&key, &value)?;
+                query_mods.push(Box::new(move |c| c.with_confidence(c0)));
+            }
+            "lambda" => {
+                let l = num_field(&key, &value)?;
+                query_mods.push(Box::new(move |c| c.with_lambda(l)));
+            }
+            "seed" => {
+                let s = uint_field(&key, &value)?;
+                query_mods.push(Box::new(move |c| c.with_seed(s)));
+            }
+            "size_l" => size_l = Some(uint_field(&key, &value)? as usize),
+            "size_h" => size_h = Some(uint_field(&key, &value)? as usize),
+            "budget_ms" => {
+                let ms = num_field(&key, &value)?;
+                if !ms.is_finite() || ms < 0.0 {
+                    return Err("\"budget_ms\" must be non-negative".to_string());
+                }
+                query_mods.push(Box::new(move |c| {
+                    c.with_time_budget(Duration::from_secs_f64(ms / 1e3))
+                }));
+            }
+            "budget_states" => {
+                let b = uint_field(&key, &value)?;
+                query_mods.push(Box::new(move |c| c.with_state_budget(b)));
+            }
+            "priority" => {
+                priority = str_field(&key, &value)?
+                    .parse()
+                    .map_err(|e: CsagError| e.to_string())?
+            }
+            "deadline_ms" => {
+                let ms = num_field(&key, &value)?;
+                if !ms.is_finite() || ms < 0.0 {
+                    return Err("\"deadline_ms\" must be non-negative".to_string());
+                }
+                deadline = Some(Duration::from_secs_f64(ms / 1e3));
+            }
+            "class" => class = Some(str_field(&key, &value)?),
+            other => return Err(format!("unknown csag-wire key \"{other}\"")),
+        }
+    }
+    let q = q.ok_or("missing required key \"q\"")?;
+    let mut query = CommunityQuery::new(method, q);
+    for m in query_mods {
+        query = m(query);
+    }
+    match (size_l, size_h) {
+        (Some(l), Some(h)) => {
+            query = query.with_size_bound(l, h);
+            if query.method == Method::Sea {
+                query = query.with_method(Method::SeaSizeBounded);
+            }
+        }
+        (None, None) => {}
+        _ => return Err("\"size_l\" and \"size_h\" must be given together".to_string()),
+    }
+    let mut request = Request::new(query).with_priority(priority);
+    if let Some(d) = deadline {
+        request = request.with_deadline(d);
+    }
+    if let Some(c) = class {
+        request = request.with_class(c);
+    }
+    Ok(WireRequest { id, request })
+}
+
+/// Serializes one answered request as a `csag-wire v1` response line.
+/// The `"result"` object is produced by [`CommunityResult::to_json`] —
+/// the exact serializer behind `csag query --json` — and errors by
+/// [`error_to_json`].
+///
+/// [`CommunityResult::to_json`]: crate::engine::CommunityResult::to_json
+pub fn response_to_json(id: &str, resp: &Response) -> String {
+    let mut s = String::with_capacity(256);
+    s.push('{');
+    push_kv(&mut s, "id", id);
+    s.push(',');
+    push_kv(&mut s, "epoch", &resp.epoch.to_string());
+    s.push(',');
+    push_kv(&mut s, "priority", &json_string(resp.priority.name()));
+    s.push(',');
+    push_kv(&mut s, "class", &json_string(resp.class.label()));
+    s.push(',');
+    push_kv(&mut s, "coalesced", bool_lit(resp.coalesced));
+    s.push(',');
+    push_kv(&mut s, "degraded", bool_lit(resp.degraded));
+    s.push(',');
+    push_kv(
+        &mut s,
+        "queue_ms",
+        &json_f64(resp.queue_wait.as_secs_f64() * 1e3),
+    );
+    s.push(',');
+    push_kv(
+        &mut s,
+        "deadline_slack_ms",
+        &resp
+            .deadline_slack_ms
+            .map(json_f64)
+            .unwrap_or_else(|| "null".into()),
+    );
+    s.push(',');
+    match &resp.outcome {
+        Ok(result) => {
+            push_key(&mut s, "result");
+            s.push_str(&result.to_json());
+        }
+        Err(err) => {
+            push_key(&mut s, "error");
+            s.push_str(&error_to_json(err));
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Serializes a request that never produced a [`Response`] (shed at
+/// admission, or malformed) in the same envelope shape, so clients
+/// parse exactly one schema.
+pub fn rejection_to_json(id: &str, err: &CsagError) -> String {
+    let mut s = String::with_capacity(128);
+    s.push('{');
+    push_kv(&mut s, "id", id);
+    s.push(',');
+    push_key(&mut s, "error");
+    s.push_str(&error_to_json(err));
+    s.push('}');
+    s
+}
+
+fn bool_lit(b: bool) -> &'static str {
+    if b {
+        "true"
+    } else {
+        "false"
+    }
+}
+
+fn str_field(key: &str, v: &Scalar) -> Result<String, String> {
+    match v {
+        Scalar::String(s) => Ok(s.clone()),
+        other => Err(format!("\"{key}\" must be a string, got {other:?}")),
+    }
+}
+
+fn num_field(key: &str, v: &Scalar) -> Result<f64, String> {
+    match v {
+        Scalar::Number(n) => Ok(*n),
+        other => Err(format!("\"{key}\" must be a number, got {other:?}")),
+    }
+}
+
+fn uint_field(key: &str, v: &Scalar) -> Result<u64, String> {
+    let n = num_field(key, v)?;
+    if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+        return Err(format!("\"{key}\" must be a non-negative integer, got {n}"));
+    }
+    Ok(n as u64)
+}
+
+/// [`uint_field`] bounded to node-id/k range — out-of-range values are
+/// rejected loudly, never silently wrapped to a different node.
+fn u32_field(key: &str, v: &Scalar) -> Result<u32, String> {
+    let n = uint_field(key, v)?;
+    u32::try_from(n).map_err(|_| format!("\"{key}\" must fit in 32 bits, got {n}"))
+}
+
+/// Parses a flat JSON object of scalars — the whole grammar `csag-wire`
+/// requests need, in ~100 lines instead of a serde dependency.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, String> {
+    let mut chars = line.char_indices().peekable();
+    let mut fields = Vec::new();
+    skip_ws(&mut chars);
+    expect(&mut chars, '{')?;
+    skip_ws(&mut chars);
+    if matches!(chars.peek(), Some((_, '}'))) {
+        chars.next();
+        return finish(chars, fields);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        expect(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        let value = parse_scalar(&mut chars)?;
+        fields.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => return finish(chars, fields),
+            Some((i, c)) => return Err(format!("expected `,` or `}}` at byte {i}, got `{c}`")),
+            None => return Err("unterminated object".to_string()),
+        }
+    }
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn finish(
+    mut chars: Chars<'_>,
+    fields: Vec<(String, Scalar)>,
+) -> Result<Vec<(String, Scalar)>, String> {
+    skip_ws(&mut chars);
+    match chars.next() {
+        None => Ok(fields),
+        Some((i, c)) => Err(format!("trailing content at byte {i}: `{c}`")),
+    }
+}
+
+fn skip_ws(chars: &mut Chars<'_>) {
+    while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn expect(chars: &mut Chars<'_>, want: char) -> Result<(), String> {
+    match chars.next() {
+        Some((_, c)) if c == want => Ok(()),
+        Some((i, c)) => Err(format!("expected `{want}` at byte {i}, got `{c}`")),
+        None => Err(format!("expected `{want}`, got end of line")),
+    }
+}
+
+fn parse_string(chars: &mut Chars<'_>) -> Result<String, String> {
+    expect(chars, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some((_, '"')) => return Ok(out),
+            Some((_, '\\')) => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                        code = code * 16 + h.to_digit(16).ok_or("bad \\u escape")?;
+                    }
+                    out.push(char::from_u32(code).ok_or("non-scalar \\u escape")?);
+                }
+                Some((i, c)) => return Err(format!("bad escape `\\{c}` at byte {i}")),
+                None => return Err("unterminated string".to_string()),
+            },
+            Some((_, c)) => out.push(c),
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+fn parse_scalar(chars: &mut Chars<'_>) -> Result<Scalar, String> {
+    match chars.peek().copied() {
+        Some((_, '"')) => Ok(Scalar::String(parse_string(chars)?)),
+        Some((_, 't')) => take_lit(chars, "true").map(|()| Scalar::Bool(true)),
+        Some((_, 'f')) => take_lit(chars, "false").map(|()| Scalar::Bool(false)),
+        Some((_, 'n')) => take_lit(chars, "null").map(|()| Scalar::Null),
+        Some((i, c)) if c == '-' || c.is_ascii_digit() => {
+            let mut lit = String::new();
+            while let Some(&(_, c)) = chars.peek() {
+                if c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' || c.is_ascii_digit() {
+                    lit.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            lit.parse::<f64>()
+                .map(Scalar::Number)
+                .map_err(|_| format!("bad number `{lit}` at byte {i}"))
+        }
+        Some((i, c)) => Err(format!(
+            "csag-wire values are scalars; unexpected `{c}` at byte {i}"
+        )),
+        None => Err("expected a value, got end of line".to_string()),
+    }
+}
+
+fn take_lit(chars: &mut Chars<'_>, lit: &str) -> Result<(), String> {
+    for want in lit.chars() {
+        match chars.next() {
+            Some((_, c)) if c == want => {}
+            _ => return Err(format!("expected literal `{lit}`")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_request_round_trips_every_field() {
+        let line = r#"{"id": "req-1", "method": "sea", "q": 5, "k": 3, "model": "k-truss",
+            "gamma": 0.25, "error": 0.1, "confidence": 0.9, "lambda": 0.5, "seed": 7,
+            "priority": "interactive", "deadline_ms": 50, "class": "tenant-a"}"#;
+        let wire = parse_wire_request(line, 0).unwrap();
+        assert_eq!(wire.id, "\"req-1\"");
+        let q = &wire.request.query;
+        assert_eq!(q.method, Method::Sea);
+        assert_eq!((q.q, q.k), (5, 3));
+        assert_eq!(q.model, CommunityModel::KTruss);
+        assert_eq!((q.gamma, q.error_bound), (0.25, 0.1));
+        assert_eq!((q.confidence, q.lambda, q.seed), (0.9, 0.5, 7));
+        assert_eq!(wire.request.priority, Priority::Interactive);
+        assert_eq!(wire.request.deadline, Some(Duration::from_millis(50)));
+        assert_eq!(wire.request.class.label(), "tenant-a");
+    }
+
+    #[test]
+    fn defaults_and_numeric_ids() {
+        let wire = parse_wire_request(r#"{"q": 9}"#, 4).unwrap();
+        assert_eq!(wire.id, "4", "line number is the default id");
+        assert_eq!(wire.request.query.method, Method::Exact);
+        assert_eq!(wire.request.priority, Priority::Standard);
+        let wire = parse_wire_request(r#"{"q": 9, "id": 12}"#, 0).unwrap();
+        assert_eq!(wire.id, "12", "numeric ids echo as numbers");
+    }
+
+    #[test]
+    fn size_window_switches_sea_to_size_bounded() {
+        let wire = parse_wire_request(r#"{"q": 1, "method": "sea", "size_l": 3, "size_h": 9}"#, 0)
+            .unwrap();
+        assert_eq!(wire.request.query.method, Method::SeaSizeBounded);
+        assert_eq!(wire.request.query.size_bound, Some((3, 9)));
+        assert!(parse_wire_request(r#"{"q": 1, "size_l": 3}"#, 0).is_err());
+    }
+
+    #[test]
+    fn vocabulary_is_strict() {
+        for (line, needle) in [
+            (r#"{"k": 3}"#, "missing required key"),
+            (r#"{"q": 1, "mehtod": "sea"}"#, "unknown csag-wire key"),
+            (r#"{"q": 1, "method": "bogus"}"#, "unknown method"),
+            (r#"{"q": 1.5}"#, "non-negative integer"),
+            (r#"{"q": -1}"#, "non-negative integer"),
+            (r#"{"q": 4294967301}"#, "32 bits"),
+            (r#"{"q": 1, "k": 4294967298}"#, "32 bits"),
+            (r#"{"q": 1"#, "unterminated"),
+            (r#"{"q": [1]}"#, "scalars"),
+            (r#"{"q": 1} trailing"#, "trailing"),
+            (r#"{"q": 1, "deadline_ms": -5}"#, "non-negative"),
+            (r#"{"q": 1, "priority": "urgent"}"#, "unknown priority"),
+        ] {
+            let err = parse_wire_request(line, 0).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "`{line}` → `{err}` (wanted `{needle}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn response_envelope_embeds_the_one_result_serializer() {
+        use crate::engine::result::{CommunityResult, PhaseTimings, Provenance};
+        let result = Arc::new(CommunityResult {
+            q: 2,
+            epoch: 3,
+            community: vec![1, 2],
+            delta: 0.5,
+            certificate: None,
+            timings: PhaseTimings::default(),
+            provenance: Provenance::new(Method::Exact, 3, CommunityModel::KCore, 0),
+        });
+        let resp = Response {
+            request_id: 9,
+            epoch: 3,
+            priority: Priority::Interactive,
+            class: crate::service::QueryClass::new("t"),
+            coalesced: true,
+            degraded: false,
+            queue_wait: Duration::from_millis(2),
+            deadline_slack_ms: Some(-1.5),
+            sequence: 1,
+            outcome: Ok(Arc::clone(&result)),
+        };
+        let j = response_to_json("\"req\"", &resp);
+        assert!(j.starts_with("{\"id\":\"req\",\"epoch\":3,"));
+        assert!(j.contains("\"coalesced\":true"));
+        assert!(j.contains("\"deadline_slack_ms\":-1.5"));
+        assert!(
+            j.contains(&format!("\"result\":{}", result.to_json())),
+            "envelope must embed to_json verbatim: {j}"
+        );
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+
+        let resp = Response {
+            outcome: Err(CsagError::Overloaded {
+                retry_after: Duration::from_millis(3),
+            }),
+            ..resp
+        };
+        let j = response_to_json("1", &resp);
+        assert!(j.contains("\"error\":{\"error\":\"overloaded\""));
+        let j = rejection_to_json("1", &CsagError::invalid("nope"));
+        assert!(j.starts_with("{\"id\":1,\"error\":"));
+    }
+}

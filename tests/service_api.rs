@@ -1,0 +1,317 @@
+//! Integration tests for `csag::service`: the admission, coalescing,
+//! priority, deadline-degradation, and epoch-pinning invariants the
+//! module docs promise — exercised deterministically through the
+//! `start_paused` seam (submissions queue while dequeuing is held, so
+//! overload and ordering are not racy).
+
+use csag::datasets::paper_examples::figure1_imdb;
+use csag::engine::{CommunityQuery, CsagError, GraphStore, GraphUpdate, Method};
+use csag::service::{Priority, Request, Response, Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn sea_query(q: u32) -> CommunityQuery {
+    CommunityQuery::new(Method::Sea, q)
+        .with_k(3)
+        .with_error_bound(0.1)
+        .with_seed(11)
+}
+
+/// The acceptance scenario: flood a 1-worker service past its admission
+/// bound with *identical* queries. The service must admit up to
+/// capacity, shed the rest with `Overloaded`, compute the community
+/// exactly once, and answer every admitted waiter with the same `Arc`.
+#[test]
+fn overload_sheds_and_identical_queries_coalesce_onto_one_computation() {
+    let (graph, q) = figure1_imdb();
+    let capacity = 4;
+    let service = Service::over_graph(
+        graph,
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_capacity(capacity)
+            .paused(),
+    );
+
+    // Flood: 3 × capacity identical requests against the held queue.
+    let mut tickets = Vec::new();
+    let mut sheds = 0usize;
+    for _ in 0..capacity * 3 {
+        match service.submit(Request::new(sea_query(q))) {
+            Ok(t) => tickets.push(t),
+            Err(err) => {
+                assert!(
+                    matches!(err, CsagError::Overloaded { retry_after } if retry_after > Duration::ZERO),
+                    "sheds must be typed Overloaded with a back-off, got {err:?}"
+                );
+                sheds += 1;
+            }
+        }
+    }
+    assert_eq!(tickets.len(), capacity, "admission bound is exact");
+    assert_eq!(sheds, capacity * 2, "everything past the bound sheds");
+    let m = service.metrics();
+    assert_eq!((m.admitted, m.shed), (capacity as u64, 2 * capacity as u64));
+    assert_eq!(
+        m.coalesced,
+        capacity as u64 - 1,
+        "every admitted duplicate coalesces onto the first job"
+    );
+    assert_eq!(service.pending(), capacity);
+
+    service.resume();
+    let responses: Vec<Response> = tickets.into_iter().map(|t| t.wait()).collect();
+
+    // Engine probe counters: the engine computed one distance table and
+    // the service executed one job — the flood cost one computation.
+    let snap = service.snapshot();
+    assert_eq!(snap.engine().cached_query_nodes(), 1);
+    assert_eq!(
+        snap.engine().distance_cache_hits(),
+        0,
+        "no second computation ever checked the table out again"
+    );
+    let m = service.metrics();
+    assert_eq!(m.executed, 1, "one engine run answered the whole flood");
+    assert_eq!(m.completed, capacity as u64);
+    assert_eq!(service.pending(), 0);
+
+    // Every waiter got the same Arc (fan-out, not recomputation), and
+    // exactly the first response is the non-coalesced one.
+    let first = responses[0].outcome.as_ref().expect("community exists");
+    assert!(first.community.contains(&q));
+    for resp in &responses[1..] {
+        let shared = resp.outcome.as_ref().expect("same outcome");
+        assert!(
+            Arc::ptr_eq(first, shared),
+            "coalesced waiters must share one result allocation"
+        );
+    }
+    assert_eq!(
+        responses.iter().filter(|r| !r.coalesced).count(),
+        1,
+        "exactly one waiter owned the computation"
+    );
+    let sequence = responses[0].sequence;
+    assert!(responses.iter().all(|r| r.sequence == sequence));
+}
+
+/// Distinct queries past the bound: admitted ones all complete (in
+/// priority order), the overflow sheds, and nothing coalesces.
+#[test]
+fn distinct_queries_complete_in_priority_order_under_overload() {
+    let (graph, q) = figure1_imdb();
+    let service = Service::over_graph(
+        graph,
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_capacity(4)
+            .paused(),
+    );
+
+    // Four distinct queries (different seeds ⇒ different fingerprints),
+    // submitted lowest-priority first.
+    let priorities = [
+        Priority::Batch,
+        Priority::Standard,
+        Priority::Interactive,
+        Priority::Interactive,
+    ];
+    let tickets: Vec<_> = priorities
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            service
+                .submit(Request::new(sea_query(q).with_seed(100 + i as u64)).with_priority(p))
+                .expect("under the bound")
+        })
+        .collect();
+    // The bound is shared: a fifth distinct query sheds.
+    assert!(matches!(
+        service.submit(Request::new(sea_query(q).with_seed(999))),
+        Err(CsagError::Overloaded { .. })
+    ));
+
+    service.resume();
+    let responses: Vec<Response> = tickets.into_iter().map(|t| t.wait()).collect();
+    for r in &responses {
+        assert!(r.outcome.is_ok(), "admitted requests all complete");
+        assert!(!r.coalesced, "distinct queries never coalesce");
+    }
+    // Completion sequence follows priority, FIFO within a priority:
+    // the two interactive jobs first (in submission order), then
+    // standard, then batch.
+    let by_sequence: Vec<Priority> = {
+        let mut s: Vec<&Response> = responses.iter().collect();
+        s.sort_by_key(|r| r.sequence);
+        s.iter().map(|r| r.priority).collect()
+    };
+    assert_eq!(
+        by_sequence,
+        vec![
+            Priority::Interactive,
+            Priority::Interactive,
+            Priority::Standard,
+            Priority::Batch
+        ]
+    );
+    assert!(
+        responses[2].sequence < responses[3].sequence,
+        "FIFO within the interactive tier"
+    );
+    assert_eq!(service.metrics().coalesced, 0);
+    assert_eq!(service.metrics().executed, 4);
+}
+
+/// A request whose deadline cannot fit full effort is degraded to a
+/// cheaper configuration — and still answered, never timed out.
+#[test]
+fn tight_deadlines_degrade_instead_of_timing_out() {
+    let (graph, q) = figure1_imdb();
+    let service = Service::over_graph(graph, ServiceConfig::default().with_workers(1).paused());
+    // The tight request is exact: deadline pressure degrades it to a
+    // derived state budget (the demo graph fits comfortably inside the
+    // floor tier, so the answer stays exact and complete).
+    let tight = service
+        .submit(
+            Request::new(CommunityQuery::new(Method::Exact, q).with_k(3))
+                .with_priority(Priority::Interactive)
+                .with_deadline(Duration::from_millis(1)),
+        )
+        .expect("admitted");
+    let roomy = service
+        .submit(Request::new(sea_query(q).with_seed(77)).with_deadline(Duration::from_secs(60)))
+        .expect("admitted");
+    // Let the tight deadline lapse while the queue is held.
+    std::thread::sleep(Duration::from_millis(5));
+    service.resume();
+
+    let tight = tight.wait();
+    assert!(tight.degraded, "expired deadline ⇒ floor-effort tier");
+    let result = tight.outcome.expect("degraded requests still answer");
+    assert!(result.community.contains(&q));
+    assert!(
+        tight.deadline_slack_ms.expect("deadline was set") < 0.0,
+        "the miss is reported as negative slack"
+    );
+
+    let roomy = roomy.wait();
+    assert!(!roomy.degraded, "a roomy deadline runs at full effort");
+    assert!(roomy.deadline_slack_ms.expect("deadline was set") > 0.0);
+    assert!(roomy.outcome.is_ok());
+    assert_eq!(service.metrics().degraded, 1);
+}
+
+/// Per-class admission caps isolate tenants: one class's flood cannot
+/// evict another's traffic.
+#[test]
+fn per_class_capacity_isolates_tenants() {
+    let (graph, q) = figure1_imdb();
+    let service = Service::over_graph(
+        graph,
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_capacity(8)
+            .with_per_class_capacity(Some(2))
+            .paused(),
+    );
+    let mut noisy = Vec::new();
+    for i in 0..4 {
+        match service.submit(Request::new(sea_query(q).with_seed(200 + i)).with_class("noisy")) {
+            Ok(t) => noisy.push(t),
+            Err(e) => assert!(matches!(e, CsagError::Overloaded { .. })),
+        }
+    }
+    assert_eq!(noisy.len(), 2, "the noisy tenant is capped at 2");
+    // The quiet tenant still gets in.
+    let quiet = service
+        .submit(Request::new(sea_query(q).with_seed(300)).with_class("quiet"))
+        .expect("quiet tenant unaffected by the noisy flood");
+    service.resume();
+    for t in noisy {
+        assert!(t.wait().outcome.is_ok());
+    }
+    let quiet = quiet.wait();
+    assert_eq!(quiet.class.label(), "quiet");
+}
+
+/// Service answers equal direct engine answers, and the epoch rides
+/// along: after a store update, new submissions answer from the new
+/// epoch while queries never coalesce across epochs.
+#[test]
+fn service_matches_engine_and_pins_fresh_epochs() {
+    let (graph, q) = figure1_imdb();
+    let store = Arc::new(GraphStore::new(graph));
+    let service = Service::new(Arc::clone(&store), ServiceConfig::default().with_workers(2));
+
+    let query = sea_query(q);
+    let direct = store.snapshot().engine().run(&query).expect("answers");
+    let served = service.run(Request::new(query.clone())).expect("admitted");
+    assert_eq!(served.epoch, 0);
+    let served_result = served.outcome.expect("answers");
+    assert_eq!(served_result.community, direct.community);
+    assert_eq!(served_result.delta, direct.delta);
+    assert_eq!(served_result.epoch, 0, "the result itself names its epoch");
+
+    // Bump the epoch; the same query now answers from epoch 1.
+    store
+        .apply(&[GraphUpdate::AddEdge { u: q, v: 0 }])
+        .expect("endpoints exist");
+    let served = service.run(Request::new(query.clone())).expect("admitted");
+    assert_eq!(served.epoch, 1, "new submissions pin the new epoch");
+    assert_eq!(served.outcome.expect("answers").epoch, 1);
+
+    // And it matches a fresh engine over the post-update graph.
+    let fresh = csag::engine::Engine::new(store.snapshot().graph().clone());
+    let rebuilt = fresh.run(&query).expect("answers");
+    let served = service.run(Request::new(query)).expect("admitted");
+    assert_eq!(
+        served.outcome.expect("answers").community,
+        rebuilt.community
+    );
+}
+
+/// Invalid queries are rejected before admission — typed, and without
+/// costing a queue slot.
+#[test]
+fn invalid_queries_never_occupy_admission_slots() {
+    let (graph, _) = figure1_imdb();
+    let service = Service::over_graph(
+        graph,
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_capacity(1)
+            .paused(),
+    );
+    assert!(matches!(
+        service.submit(Request::new(CommunityQuery::new(Method::Sea, 0).with_k(1))),
+        Err(CsagError::InvalidParams { .. })
+    ));
+    // sea-hetero can never run on a homogeneous store: rejected up
+    // front instead of burning a slot on a guaranteed dispatch failure.
+    let err = service
+        .submit(Request::new(
+            CommunityQuery::new(Method::SeaHetero, 0).with_k(3),
+        ))
+        .unwrap_err();
+    assert!(matches!(err, CsagError::InvalidParams { .. }));
+    assert!(err.to_string().contains("HeteroEngine"), "{err}");
+    let m = service.metrics();
+    assert_eq!((m.admitted, m.shed), (0, 0), "rejected pre-admission");
+    assert_eq!(m.rejected, 2, "both rejections are accounted");
+    assert_eq!(
+        m.submitted,
+        m.admitted + m.shed + m.rejected,
+        "conservation"
+    );
+    assert_eq!(service.pending(), 0);
+    // The slot is still free for a valid request.
+    let t = service
+        .submit(Request::new(sea_query(0)))
+        .expect("slot free");
+    service.resume();
+    assert!(matches!(
+        t.wait().outcome,
+        Ok(_) | Err(CsagError::NoCommunity { .. })
+    ));
+}
