@@ -4,11 +4,17 @@
 //!
 //! ```text
 //! experiments [--quick] [--threads N] <id>... | all | list
+//! experiments [--quick] load --socket <addr>
 //! ```
 //!
 //! Ids: fig5 tab2 tab3 fig6 tab4 tab5 fig7 fig8 fig9 fig10.
 //! Output is github-flavored markdown on stdout (tee it into
 //! EXPERIMENTS.md sections).
+//!
+//! `load --socket <addr>` skips the in-process harness and instead
+//! drives an already-running `csag serve --listen` server over TCP with
+//! the sequential-vs-pipelined closed-loop comparison (CI's transport
+//! smoke).
 
 use csag_bench::config::Scale;
 use csag_bench::{all_ids, run_experiment};
@@ -25,6 +31,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::full();
     let mut ids: Vec<String> = Vec::new();
+    let mut socket: Option<String> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -33,6 +40,13 @@ fn main() {
                 return;
             }
             "--quick" => scale.quick = true,
+            "--socket" => {
+                socket = Some(
+                    iter.next()
+                        .unwrap_or_else(|| die("--socket needs an address (host:port)"))
+                        .clone(),
+                );
+            }
             "--threads" => {
                 let n = iter
                     .next()
@@ -50,6 +64,18 @@ fn main() {
             other if other.starts_with('-') => die(&format!("unknown flag {other}")),
             other => ids.push(other.to_string()),
         }
+    }
+    if let Some(addr) = socket {
+        if !ids.is_empty() && ids != ["load"] {
+            die("--socket only applies to the `load` experiment");
+        }
+        println!(
+            "# SEA serving-layer socket drive ({} mode)\n",
+            if scale.quick { "quick" } else { "full" }
+        );
+        println!("## load --socket\n");
+        println!("{}", csag_bench::load::drive_socket(&addr, &scale));
+        return;
     }
     if ids.is_empty() {
         die("no experiments requested; try `experiments list` or `experiments all`");
@@ -82,11 +108,15 @@ fn print_help() {
     println!("experiments — regenerate the paper's tables and figures");
     println!();
     println!("Usage: experiments [--quick] [--threads N] <id>... | all | list");
+    println!("       experiments [--quick] load --socket <addr>");
     println!();
-    println!("  --quick      smaller query sets / budgets (CI-friendly)");
-    println!("  --threads N  worker threads for per-query parallelism");
-    println!("  list         print every experiment id and exit");
-    println!("  all          run every experiment");
+    println!("  --quick        smaller query sets / budgets (CI-friendly)");
+    println!("  --threads N    worker threads for per-query parallelism");
+    println!("  --socket ADDR  drive a running `csag serve --listen` server at");
+    println!("                 ADDR (host:port) closed-loop instead of the");
+    println!("                 in-process load harness (only with `load`)");
+    println!("  list           print every experiment id and exit");
+    println!("  all            run every experiment");
     println!();
     println!("Ids:");
     for id in all_ids() {

@@ -5,7 +5,7 @@
 //! queueing (and, past the admission bound, shedding) emerges exactly
 //! as it would under real traffic — then snapshots the service metrics
 //! into a machine-readable `BENCH_serve.json`
-//! (`schema: csag-serve-v1`; keep keys append-only within a version).
+//! (`schema: csag-serve-v2`; keep keys append-only within a version).
 //!
 //! The workload has three deliberate ingredients:
 //!
@@ -20,19 +20,177 @@
 //!   rest shed with `Overloaded`, and one engine computation answers
 //!   every admitted waiter on resume;
 //! * a final **wait-for-all**, so every number in the report describes
-//!   answered traffic, not in-flight noise.
+//!   answered traffic, not in-flight noise;
+//! * a **socket phase** over a real TCP loopback connection speaking
+//!   csag-wire v2: the same workload driven **closed-loop** twice —
+//!   window 1 (sequential: each request waits for its response, the v1
+//!   stdin discipline) and window W (pipelined: W requests outstanding)
+//!   — so the report carries a pipelined-vs-sequential throughput
+//!   comparison on identical queries. The workload reuses the steady
+//!   phase's coalescing fodder (consecutive pairs share a fingerprint):
+//!   with one request in flight the sequential discipline executes every
+//!   duplicate, while pipelining lets in-flight duplicates coalesce onto
+//!   one computation — the structural throughput win the report's
+//!   `speedup` row measures, with the coalesced count alongside it.
+//!
+//! `drive_socket` is the externally-pointed flavor of the socket phase:
+//! it drives an already-running `csag serve --listen` server (CI's
+//! transport smoke uses it).
 
 use crate::config::Scale;
 use csag::engine::{CommunityQuery, CsagError, Method};
-use csag::service::{Priority, Request, Service, ServiceConfig, Ticket};
+use csag::service::{Priority, Request, Service, ServiceConfig, Ticket, Transport};
 use csag_datasets::generator::{generate, SyntheticConfig};
 use csag_datasets::random_queries;
 use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// File the machine-readable report is written to (workspace root when
 /// run via `cargo run --bin experiments`).
 pub const REPORT_PATH: &str = "BENCH_serve.json";
+
+/// Outstanding-request window for the pipelined closed-loop run. Kept
+/// below every capacity this module configures so the comparison
+/// measures pipelining, not shedding.
+const PIPELINE_WINDOW: usize = 8;
+
+/// What one closed-loop run over a socket measured.
+struct LoopStats {
+    elapsed: Duration,
+    /// Responses whose envelope carried a `"result"` object.
+    results: usize,
+    /// Responses carrying an `"error"` object instead.
+    errors: usize,
+}
+
+impl LoopStats {
+    fn qps(&self, requests: usize) -> f64 {
+        requests as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Drives `lines` (rendered csag-wire v2 request lines, `\n`-terminated)
+/// through one TCP connection, keeping at most `window` requests
+/// outstanding. `window == 1` is the sequential (v1-style) discipline;
+/// larger windows pipeline. A reader thread acknowledges each response
+/// so the sender's window bookkeeping never blocks the socket.
+fn closed_loop(addr: &str, lines: &[String], window: usize) -> std::io::Result<LoopStats> {
+    let mut sock = TcpStream::connect(addr)?;
+    sock.set_nodelay(true)?;
+    let read_half = sock.try_clone()?;
+    let n = lines.len();
+    let (done_tx, done_rx) = mpsc::channel::<bool>();
+    let reader = std::thread::spawn(move || -> std::io::Result<()> {
+        let mut r = BufReader::new(read_half);
+        let mut line = String::new();
+        for _ in 0..n {
+            line.clear();
+            if r.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-session",
+                ));
+            }
+            // Receiver gone ⇒ the sender already failed; just exit.
+            if done_tx.send(line.contains("\"result\":{")).is_err() {
+                return Ok(());
+            }
+        }
+        Ok(())
+    });
+
+    let start = Instant::now();
+    let mut outstanding = 0usize;
+    let mut results = 0usize;
+    let mut errors = 0usize;
+    let mut tally = |is_result: bool| {
+        if is_result {
+            results += 1;
+        } else {
+            errors += 1;
+        }
+    };
+    for line in lines {
+        while outstanding >= window {
+            tally(done_rx.recv().expect("reader alive while sending"));
+            outstanding -= 1;
+        }
+        sock.write_all(line.as_bytes())?;
+        outstanding += 1;
+    }
+    while outstanding > 0 {
+        tally(done_rx.recv().expect("reader alive while draining"));
+        outstanding -= 1;
+    }
+    let elapsed = start.elapsed();
+    reader.join().expect("reader thread")?;
+    Ok(LoopStats {
+        elapsed,
+        results,
+        errors,
+    })
+}
+
+/// Renders a csag-wire v2 SEA request line.
+fn wire_line(id: &str, q: u32, k: u32, seed: u64) -> String {
+    format!("{{\"id\":\"{id}\",\"method\":\"sea\",\"q\":{q},\"k\":{k},\"error\":0.1,\"seed\":{seed}}}\n")
+}
+
+/// Drives an external `csag serve --listen` server at `addr` with the
+/// sequential-vs-pipelined closed-loop comparison and returns the
+/// markdown summary. Does not write [`REPORT_PATH`] — the server's
+/// metrics belong to the server. Queries hit node 5 (present in any
+/// generated graph); responses may legitimately be typed `NoCommunity`
+/// errors for some seeds, so both kinds count as answered traffic.
+/// Consecutive pairs share a seed (the coalescing-fodder convention),
+/// so the pipelined run shows the server coalescing in-flight
+/// duplicates that the sequential discipline must execute one by one.
+pub fn drive_socket(addr: &str, scale: &Scale) -> String {
+    let requests = if scale.quick { 24 } else { 96 };
+    let (q, k) = (5u32, 3u32);
+    let render = |tag: &str, base: u64| -> Vec<String> {
+        (0..requests)
+            .map(|i| wire_line(&format!("{tag}{i}"), q, k, base + (i / 2) as u64))
+            .collect()
+    };
+    // Warm the server's distance cache so both measured runs see the
+    // same residency.
+    closed_loop(addr, &render("w", 10), 1).expect("warmup run");
+    let seq = closed_loop(addr, &render("s", 1_000), 1).expect("sequential run");
+    let pipe = closed_loop(addr, &render("p", 2_000), PIPELINE_WINDOW).expect("pipelined run");
+
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "Closed-loop csag-wire v2 drive of `{addr}`: {requests} SEA requests \
+         (q = {q}, k = {k}, distinct seeds) per run, sequential (window 1) \
+         vs pipelined (window {PIPELINE_WINDOW}).\n"
+    );
+    md.push_str("| discipline | answered (results / errors) | throughput |\n|---|---|---|\n");
+    let _ = writeln!(
+        md,
+        "| sequential | {} / {} | {:.1} q/s |",
+        seq.results,
+        seq.errors,
+        seq.qps(requests)
+    );
+    let _ = writeln!(
+        md,
+        "| pipelined | {} / {} | {:.1} q/s |",
+        pipe.results,
+        pipe.errors,
+        pipe.qps(requests)
+    );
+    let _ = writeln!(
+        md,
+        "\nPipelining speedup: {:.2}x.",
+        pipe.qps(requests) / seq.qps(requests).max(1e-9)
+    );
+    md
+}
 
 /// Runs the serving baseline and returns the markdown summary; writes
 /// [`REPORT_PATH`] as a side effect.
@@ -75,6 +233,7 @@ pub fn run(scale: &Scale) -> String {
     drop(probe);
 
     let workers = scale.threads.max(1);
+    let socket_graph = graph.clone();
     let service = Service::over_graph(
         graph,
         ServiceConfig::default()
@@ -175,10 +334,66 @@ pub fn run(scale: &Scale) -> String {
     };
     let throughput = snap.completed as f64 / elapsed.max(1e-9);
 
+    // Socket phase: a fresh service behind a real TCP transport, the
+    // same pool of validated query nodes, distinct seeds (no
+    // coalescing), driven closed-loop twice — sequential (window 1,
+    // the v1 stdin discipline) vs pipelined (window W). A fresh
+    // service keeps its metrics attributable to socket traffic alone.
+    let socket_requests = if scale.quick { 32 } else { 96 };
+    let socket_service = Arc::new(Service::over_graph(
+        socket_graph,
+        ServiceConfig::default()
+            .with_workers(workers)
+            .with_capacity(capacity),
+    ));
+    let transport =
+        Transport::bind_tcp(Arc::clone(&socket_service), "127.0.0.1:0").expect("bind loopback");
+    let addr = transport
+        .local_addr()
+        .tcp()
+        .expect("tcp transport")
+        .to_string();
+    let render = |tag: &str, base: u64| -> Vec<String> {
+        (0..socket_requests)
+            .map(|i| {
+                // Consecutive pairs share (node, seed) — the steady
+                // phase's coalescing-fodder convention. Only the
+                // pipelined run can overlap a pair in flight.
+                wire_line(
+                    &format!("{tag}{i}"),
+                    pool[(i / 2) % pool.len()],
+                    k,
+                    base + (i / 2) as u64,
+                )
+            })
+            .collect()
+    };
+    // Warm the distance cache (one request per pool node) so both
+    // measured runs compare pipelining, not cache residency.
+    closed_loop(&addr, &render("w", 50_000), 1).expect("socket warmup");
+    let seq = closed_loop(&addr, &render("s", 60_000), 1).expect("sequential socket run");
+    let before_pipe = socket_service.metrics();
+    let pipe =
+        closed_loop(&addr, &render("p", 70_000), PIPELINE_WINDOW).expect("pipelined socket run");
+    let after_pipe = socket_service.metrics();
+    transport.shutdown();
+    assert_eq!(
+        seq.results + pipe.results,
+        2 * socket_requests,
+        "validated pool nodes always answer with a community ({} errors)",
+        seq.errors + pipe.errors
+    );
+    let pipelined_admitted = after_pipe.admitted - before_pipe.admitted;
+    let pipelined_wakes = after_pipe.wakes - before_pipe.wakes;
+    let pipelined_coalesced = after_pipe.coalesced - before_pipe.coalesced;
+    let sequential_qps = seq.qps(socket_requests);
+    let pipelined_qps = pipe.qps(socket_requests);
+    let speedup = pipelined_qps / sequential_qps.max(1e-9);
+
     // Machine-readable report (hand-rolled JSON; keys are the contract).
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"csag-serve-v1\",");
+    let _ = writeln!(json, "  \"schema\": \"csag-serve-v2\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -215,6 +430,15 @@ pub fn run(scale: &Scale) -> String {
         snap.coalesced,
         snap.degraded,
         snap.warm_hit_ratio
+    );
+    let _ = writeln!(
+        json,
+        "  \"socket\": {{ \"requests\": {socket_requests}, \"window\": {PIPELINE_WINDOW}, \
+         \"connections\": 1, \"sequential_qps\": {sequential_qps:.3}, \
+         \"pipelined_qps\": {pipelined_qps:.3}, \"speedup\": {speedup:.3}, \
+         \"pipelined_admitted\": {pipelined_admitted}, \
+         \"pipelined_wakes\": {pipelined_wakes}, \
+         \"pipelined_coalesced\": {pipelined_coalesced} }},"
     );
     json.push_str("  \"per_priority\": {");
     for (i, p) in Priority::ALL.into_iter().enumerate() {
@@ -277,6 +501,19 @@ pub fn run(scale: &Scale) -> String {
     let _ = writeln!(md, "| warm-hit ratio | {:.2} |", snap.warm_hit_ratio);
     let _ = writeln!(md, "| mean queue wait | {mean_queue:.3} ms |");
     let _ = writeln!(md, "| end-to-end throughput | {throughput:.1} q/s |");
+    let _ = writeln!(
+        md,
+        "| socket sequential (window 1) | {sequential_qps:.1} q/s |"
+    );
+    let _ = writeln!(
+        md,
+        "| socket pipelined (window {PIPELINE_WINDOW}) | {pipelined_qps:.1} q/s ({speedup:.2}x) |"
+    );
+    let _ = writeln!(
+        md,
+        "| pipelined wakes / coalesced / admitted | \
+         {pipelined_wakes} / {pipelined_coalesced} / {pipelined_admitted} |"
+    );
     for (i, p) in Priority::ALL.into_iter().enumerate() {
         let h = &snap.per_priority[i];
         let _ = writeln!(
@@ -310,7 +547,7 @@ mod tests {
         let json = std::fs::read_to_string(REPORT_PATH).expect("report written");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         for key in [
-            "\"schema\": \"csag-serve-v1\"",
+            "\"schema\": \"csag-serve-v2\"",
             "\"workers\"",
             "\"capacity\"",
             "\"offered\"",
@@ -321,6 +558,12 @@ mod tests {
             "\"coalesced\"",
             "\"degraded\"",
             "\"warm_hit_ratio\"",
+            "\"socket\"",
+            "\"sequential_qps\"",
+            "\"pipelined_qps\"",
+            "\"speedup\"",
+            "\"pipelined_wakes\"",
+            "\"pipelined_coalesced\"",
             "\"per_priority\"",
             "\"interactive\"",
             "\"batch\"",

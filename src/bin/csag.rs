@@ -14,17 +14,23 @@
 //! csag generate --nodes N --communities C --seed S --out <graph.txt>
 //! csag update   <graph.txt> --script <updates.txt> [--out <new.txt>] [--json]
 //! csag serve    <graph.txt> [--workers N] [--capacity N] [--metrics]
+//!                           [--listen <addr>] [--uds <path>]
 //! csag serve-churn [--batches N] [--seed S] [--json]
 //! csag demo     [--json]
 //! ```
 //!
 //! Graph files use the `csag-graph v1` text format (see `csag::graph::io`);
 //! update scripts use the `csag-updates v1` line format (see
-//! `csag::graph::update::GraphUpdate::parse_line`). `csag serve` reads
-//! `csag-wire v1` request lines on stdin and writes one response line
-//! per request on stdout (see `csag::service::wire`) — the `"result"`
-//! object of a response is produced by the same serializer as
-//! `csag query --json`.
+//! `csag::graph::update::GraphUpdate::parse_line`). Without a socket
+//! flag, `csag serve` reads `csag-wire v1` request lines on stdin and
+//! writes one response line per request, in order, on stdout. With
+//! `--listen <addr>` (TCP, port 0 for ephemeral) and/or `--uds <path>`
+//! (unix-domain socket) it serves the pipelined `csag-wire v2` instead:
+//! many concurrent connections, out-of-order responses matched by the
+//! client-assigned `id`. Both versions share one request grammar and
+//! response envelope (normative spec: `docs/wire-protocol.md`), and the
+//! `"result"` object of a response is produced by the same serializer
+//! as `csag query --json`.
 
 use csag::datasets::generator::{generate, SyntheticConfig};
 use csag::datasets::paper_examples::{figure1_imdb, FIGURE1_TITLES};
@@ -83,7 +89,8 @@ fn usage() {
          \x20 baseline <graph.txt> --method M ...       run acq | atc | vac | evac\n\
          \x20 generate --nodes N --communities C ...    write a synthetic attributed graph\n\
          \x20 update   <graph.txt> --script <u.txt>      apply a GraphUpdate batch via GraphStore\n\
-         \x20 serve    <graph.txt>                       csag-wire v1 service on stdin/stdout\n\
+         \x20 serve    <graph.txt>                       csag-wire service: v1 on stdin/stdout, or\n\
+         \x20                                            pipelined v2 sockets via --listen / --uds\n\
          \x20 serve-churn [--batches N]                  churn the paper's examples, verify vs fresh engines\n\
          \x20 demo                                       the paper's Figure-1 IMDB example\n\
          \n\
@@ -92,7 +99,9 @@ fn usage() {
          sea flags:    --error E (default 0.02)  --confidence C (default 0.95)\n\
          \x20             --lambda L (default 0.2)  --size L H (size-bounded search)\n\
          update flags: --script <updates.txt> (csag-updates v1)  --out <new-graph.txt>\n\
-         serve flags:  --workers N  --capacity N (admission bound)  --metrics (snapshot on exit)"
+         serve flags:  --workers N  --capacity N (admission bound)  --metrics (snapshot on exit)\n\
+         \x20             --listen <ip:port> (TCP csag-wire v2; port 0 = ephemeral, bound address\n\
+         \x20             is printed as `listening tcp://...`)  --uds <path> (unix-domain socket)"
     );
 }
 
@@ -170,6 +179,8 @@ fn common_arity() -> HashMap<&'static str, usize> {
         ("workers", 1),
         ("capacity", 1),
         ("metrics", 0),
+        ("listen", 1),
+        ("uds", 1),
     ])
 }
 
@@ -363,17 +374,23 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     run_and_render(g, &query, flags.has("json"))
 }
 
-/// `csag serve`: the admission-controlled service speaking `csag-wire
-/// v1` over stdin/stdout. One request line in, one response line out
-/// (submitted through the full `csag::service` path: admission,
-/// priorities, deadlines, coalescing); malformed or shed lines answer
-/// with an `"error"` envelope instead of killing the session. With
-/// `--metrics`, a `csag-service-metrics-v1` snapshot is printed to
+/// `csag serve`: the admission-controlled service on the wire. The
+/// default mode speaks `csag-wire v1` over stdin/stdout — one request
+/// line in, one response line out, strictly in order. With `--listen
+/// <addr>` and/or `--uds <path>` it speaks the pipelined `csag-wire v2`
+/// over real sockets instead: many concurrent connections, batched
+/// admission, responses written out of order as computations finish and
+/// matched by the client-assigned `id`. Either way every request goes
+/// through the full `csag::service` path (admission, priorities,
+/// deadlines, coalescing); malformed or shed lines answer with an
+/// `"error"` envelope instead of killing the session. With `--metrics`
+/// (stdin mode), a `csag-service-metrics-v1` snapshot is printed to
 /// stdout after EOF (stderr always gets a one-line summary).
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use csag::service::{parse_wire_request, rejection_to_json, response_to_json};
-    use csag::service::{Service, ServiceConfig};
+    use csag::service::{Service, ServiceConfig, Transport};
     use std::io::{BufRead, Write};
+    use std::sync::Arc;
 
     let flags = parse_flags(args, &common_arity())?;
     let g = load(&flags)?;
@@ -385,6 +402,47 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         config = config.with_capacity(c);
     }
     let service = Service::over_graph(g, config);
+
+    // Socket mode: bind the requested transports, announce the bound
+    // addresses on stdout (scripts read the ephemeral port from the
+    // `listening tcp://...` line), and serve until killed.
+    let listen = flags.get::<String>("listen")?;
+    let uds = flags.get::<String>("uds")?;
+    if listen.is_some() || uds.is_some() {
+        let service = Arc::new(service);
+        let mut transports = Vec::new();
+        if let Some(addr) = listen {
+            let t = Transport::bind_tcp(Arc::clone(&service), addr.as_str())
+                .map_err(|e| format!("binding tcp {addr}: {e}"))?;
+            println!("listening {}", t.local_addr());
+            transports.push(t);
+        }
+        if let Some(path) = uds {
+            #[cfg(unix)]
+            {
+                let t = Transport::bind_uds(Arc::clone(&service), &path)
+                    .map_err(|e| format!("binding uds {path}: {e}"))?;
+                println!("listening {}", t.local_addr());
+                transports.push(t);
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err("--uds needs a unix platform".to_string());
+            }
+        }
+        std::io::stdout()
+            .flush()
+            .map_err(|e| format!("writing stdout: {e}"))?;
+        eprintln!(
+            "serve: csag-wire v2 on {} transport(s) — pipelined, responses matched by id; \
+             kill the process to stop",
+            transports.len()
+        );
+        loop {
+            std::thread::park();
+        }
+    }
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();

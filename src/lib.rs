@@ -17,7 +17,9 @@
 //!   (overload sheds with typed `Overloaded` errors), priorities,
 //!   per-request deadlines that *degrade* accuracy instead of timing
 //!   out, coalescing of identical in-flight queries, serving metrics,
-//!   and the `csag-wire v1` JSON-lines protocol behind `csag serve`,
+//!   the `csag-wire` JSON-lines protocol behind `csag serve`, and the
+//!   pipelined socket transport ([`service::Transport`], csag-wire v2
+//!   over TCP / unix-domain sockets — see `docs/wire-protocol.md`),
 //! * [`graph`] — attributed homogeneous & heterogeneous graph storage,
 //! * [`decomp`] — k-core / k-truss decomposition and maintenance,
 //! * [`stats`] — Hoeffding bounds, bootstrap, Bag of Little Bootstraps,
@@ -62,6 +64,11 @@
 //! unknown query nodes, a definitive "no community exists", and budget
 //! exhaustion (which carries the best community found so far) are four
 //! distinct cases instead of one `None`.
+
+// Every public item of the facade crate must carry docs; CI promotes
+// this (and every other rustdoc warning) to an error via
+// RUSTDOCFLAGS="-D warnings".
+#![warn(missing_docs)]
 
 pub mod engine;
 pub mod service;

@@ -115,6 +115,10 @@ pub struct ServiceMetrics {
     /// Computations whose distance table was already resident when the
     /// worker picked them up.
     pub(crate) warm_hits: AtomicU64,
+    /// Worker wake-ups issued by the submit path. Batched submission
+    /// (one wake per batch, however many requests it carries) keeps
+    /// this far below `admitted` under pipelined load.
+    pub(crate) wakes: AtomicU64,
     pub(crate) per_priority: [LatencyHistogram; 3],
 }
 
@@ -140,6 +144,7 @@ impl ServiceMetrics {
             degraded: self.degraded.load(Ordering::Relaxed),
             executed,
             warm_hits,
+            wakes: self.wakes.load(Ordering::Relaxed),
             warm_hit_ratio: if executed == 0 {
                 0.0
             } else {
@@ -178,6 +183,10 @@ pub struct MetricsSnapshot {
     pub executed: u64,
     /// Computations that found their distance table resident.
     pub warm_hits: u64,
+    /// Worker wake-ups issued by the submit path — with batched
+    /// submission ([`super::Service::submit_batch`] and the socket
+    /// transport) this stays far below `admitted` under pipelined load.
+    pub wakes: u64,
     /// `warm_hits / executed` (0 when nothing executed).
     pub warm_hit_ratio: f64,
     /// Per-priority end-to-end latency histograms, indexed like
@@ -203,6 +212,7 @@ impl MetricsSnapshot {
             ("degraded", self.degraded),
             ("executed", self.executed),
             ("warm_hits", self.warm_hits),
+            ("wakes", self.wakes),
         ] {
             s.push(',');
             push_kv(&mut s, key, &v.to_string());

@@ -71,23 +71,31 @@
 //! assert!(service.metrics().admitted >= 1);
 //! ```
 //!
-//! On the wire, the same API speaks the `csag-wire v1` JSON-lines
-//! protocol (see [`wire`] and the `csag serve` CLI command).
+//! On the wire, the same API speaks the `csag-wire` JSON-lines
+//! protocol (normative spec: `docs/wire-protocol.md`): **v1** is the
+//! strictly-ordered stdin/stdout mode of `csag serve`, and **v2** is
+//! the pipelined socket mode served by [`Transport`] over TCP and
+//! unix-domain sockets — many concurrent connections, each submitting
+//! bursts of requests in one batched admission
+//! ([`Service::submit_batch`]) and receiving responses out of order,
+//! matched by client-assigned `id`.
 
 pub mod admission;
 pub mod metrics;
 pub mod request;
 pub mod scheduler;
+pub mod transport;
 pub mod wire;
 
 pub use metrics::{HistogramSnapshot, MetricsSnapshot, ServiceMetrics};
 pub use request::{Priority, QueryClass, Request, Response, Ticket};
+pub use transport::{BoundAddr, Transport};
 pub use wire::{parse_wire_request, rejection_to_json, response_to_json, WireRequest};
 
 use crate::engine::{CsagError, GraphStore, Snapshot};
 use csag_graph::AttributedGraph;
-use scheduler::Shared;
-use std::sync::Arc;
+use scheduler::{ReplyTo, Shared};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -210,6 +218,65 @@ impl Service {
     ///   per-class) is exhausted; retry after the carried back-off.
     pub fn submit(&self, request: Request) -> Result<Ticket, CsagError> {
         self.shared.submit(&self.store, request)
+    }
+
+    /// Submits a burst of requests as **one batch**: every request is
+    /// validated, admitted-or-shed, and queued/coalesced under a single
+    /// scheduler lock acquisition, and the worker pool is woken at most
+    /// once for the whole batch (observable via
+    /// [`MetricsSnapshot::wakes`]). This is the amortized path the
+    /// pipelined socket transport rides; in-process callers with bursty
+    /// workloads get the same economics here.
+    ///
+    /// Outcomes are positionally aligned with `requests`; each entry
+    /// fails or succeeds independently with the same error cases as
+    /// [`Service::submit`]. The whole batch pins one store epoch.
+    pub fn submit_batch(&self, requests: Vec<Request>) -> Vec<Result<Ticket, CsagError>> {
+        let mut receivers = Vec::with_capacity(requests.len());
+        let entries = requests
+            .into_iter()
+            .map(|req| {
+                let (tx, rx) = mpsc::channel();
+                receivers.push(rx);
+                (req, ReplyTo::Ticket(tx))
+            })
+            .collect();
+        self.shared
+            .submit_many(&self.store, entries)
+            .into_iter()
+            .zip(receivers)
+            .map(|(outcome, rx)| outcome.map(|id| Ticket { id, rx }))
+            .collect()
+    }
+
+    /// The transport's submission seam: one parsed wire batch in, every
+    /// admitted request's eventual [`Response`] delivered to `tx` (the
+    /// connection's completion channel), and every rejected or shed
+    /// entry answered immediately on the same channel — so the writer
+    /// thread is the single place a connection's lines come from.
+    pub(crate) fn submit_wire_batch(
+        &self,
+        batch: Vec<(Arc<str>, Request)>,
+        tx: &mpsc::Sender<transport::Outgoing>,
+    ) {
+        let mut ids = Vec::with_capacity(batch.len());
+        let entries = batch
+            .into_iter()
+            .map(|(id, req)| {
+                ids.push(Arc::clone(&id));
+                (req, ReplyTo::Connection { tx: tx.clone(), id })
+            })
+            .collect();
+        for (outcome, id) in self
+            .shared
+            .submit_many(&self.store, entries)
+            .into_iter()
+            .zip(ids)
+        {
+            if let Err(error) = outcome {
+                let _ = tx.send(transport::Outgoing::Reject { id, error });
+            }
+        }
     }
 
     /// Submit + wait: the blocking convenience for callers without

@@ -12,6 +12,7 @@ use crate::engine::{CommunityQuery, CsagError, GraphStore, Snapshot};
 use crate::service::admission::Admission;
 use crate::service::metrics::ServiceMetrics;
 use crate::service::request::{Priority, QueryClass, Request, Response, Ticket};
+use crate::service::transport::Outgoing;
 use csag_graph::QueryWorkspace;
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, HashMap};
@@ -19,6 +20,35 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Where one admitted waiter's [`Response`] is delivered.
+pub(crate) enum ReplyTo {
+    /// An in-process caller blocked on a [`Ticket`].
+    Ticket(mpsc::Sender<Response>),
+    /// A transport connection's completion channel; `id` is the
+    /// client-assigned wire id token, carried along so the connection's
+    /// writer can emit the response line out of order.
+    Connection {
+        tx: mpsc::Sender<Outgoing>,
+        id: Arc<str>,
+    },
+}
+
+impl ReplyTo {
+    /// Delivers the response. A dropped receiver (caller gave up, or
+    /// the connection closed) just means nobody is listening; the
+    /// computation and its metrics still counted.
+    fn deliver(self, response: Response) {
+        match self {
+            ReplyTo::Ticket(tx) => {
+                let _ = tx.send(response);
+            }
+            ReplyTo::Connection { tx, id } => {
+                let _ = tx.send(Outgoing::Done { id, response });
+            }
+        }
+    }
+}
 
 /// One admitted request waiting on a job's outcome.
 struct Waiter {
@@ -28,7 +58,7 @@ struct Waiter {
     submitted: Instant,
     deadline_at: Option<Instant>,
     coalesced: bool,
-    tx: mpsc::Sender<Response>,
+    reply: ReplyTo,
 }
 
 /// One distinct in-flight computation and everyone waiting on it.
@@ -127,66 +157,136 @@ impl Shared {
     /// becomes a new queued job or coalesces onto the identical
     /// in-flight one.
     pub(crate) fn submit(&self, store: &GraphStore, req: Request) -> Result<Ticket, CsagError> {
-        self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let mut outcomes = self.submit_many(store, vec![(req, ReplyTo::Ticket(tx))]);
+        outcomes
+            .pop()
+            .expect("one entry in, one outcome out")
+            .map(|id| Ticket { id, rx })
+    }
+
+    /// Batched admission, the pipelined-transport fast path: every
+    /// entry is validated, admitted-or-shed, and queued/coalesced under
+    /// **one** lock acquisition, and at most **one** worker wake-up is
+    /// issued for the whole batch (`notify_one` when a single job was
+    /// queued, `notify_all` otherwise) — a connection submitting N
+    /// requests back-to-back costs one scheduler wake, not N.
+    ///
+    /// Outcomes are positionally aligned with `entries`: `Ok(request
+    /// id)` for admitted entries (the reply sink will receive exactly
+    /// one [`Response`]), `Err` for entries rejected before admission
+    /// or shed by it (the reply sink will receive nothing — the caller
+    /// owns the rejection).
+    ///
+    /// The whole batch pins one store snapshot: entries that arrived
+    /// together answer from the same epoch.
+    pub(crate) fn submit_many(
+        &self,
+        store: &GraphStore,
+        entries: Vec<(Request, ReplyTo)>,
+    ) -> Vec<Result<u64, CsagError>> {
+        let snapshot = store.snapshot();
+        let epoch = snapshot.epoch();
+        // Pre-lock, per entry: counting, validation, fingerprinting.
         // Degenerate queries are a caller bug, not load: reject before
         // admission so they never occupy a queue slot (counted as
         // `rejected`, so submitted == admitted + shed + rejected always
         // balances). That includes the one method the homogeneous
         // engine can never answer — admitting it would burn a slot and
         // a dispatch on a guaranteed InvalidParams.
-        req.query.validate().inspect_err(|_| {
-            self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-        })?;
-        if req.query.method == crate::engine::Method::SeaHetero {
-            self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(CsagError::invalid(
-                "method sea-hetero needs the original heterogeneous graph; \
-                 the service fronts a homogeneous GraphStore — run it through HeteroEngine",
-            ));
+        let mut outcomes: Vec<Option<Result<u64, CsagError>>> = Vec::with_capacity(entries.len());
+        let mut admissible: Vec<(usize, Request, ReplyTo, String)> =
+            Vec::with_capacity(entries.len());
+        for (req, reply) in entries {
+            self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = req.query.validate() {
+                self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                outcomes.push(Some(Err(e)));
+                continue;
+            }
+            if req.query.method == crate::engine::Method::SeaHetero {
+                self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                outcomes.push(Some(Err(CsagError::invalid(
+                    "method sea-hetero needs the original heterogeneous graph; \
+                     the service fronts a homogeneous GraphStore — run it through HeteroEngine",
+                ))));
+                continue;
+            }
+            let key = fingerprint(&req.query, epoch, req.deadline.is_some());
+            admissible.push((outcomes.len(), req, reply, key));
+            outcomes.push(None);
         }
-        let snapshot = store.snapshot();
-        let key = fingerprint(&req.query, snapshot.epoch(), req.deadline.is_some());
+
+        let mut newly_ready = 0usize;
         let mut st = self.lock();
-        if st.shutdown {
-            self.metrics.shed.fetch_add(1, Ordering::Relaxed);
-            return Err(CsagError::Overloaded {
-                retry_after: Duration::from_millis(1),
-            });
-        }
-        st.admission.try_admit(&req.class).inspect_err(|_| {
-            self.metrics.shed.fetch_add(1, Ordering::Relaxed);
-        })?;
-        let request_id = st.next_request_id;
-        st.next_request_id += 1;
-        let (tx, rx) = mpsc::channel();
-        let now = Instant::now();
-        let mut waiter = Waiter {
-            request_id,
-            priority: req.priority,
-            class: req.class,
-            submitted: now,
-            deadline_at: req.deadline.map(|d| now + d),
-            coalesced: false,
-            tx,
-        };
-        match st.by_key.get(&key).copied() {
-            Some(job_id) => {
-                // Identical query already queued or running: ride it.
-                waiter.coalesced = true;
-                self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
-                let escalate = {
-                    let job = st.jobs.get_mut(&job_id).expect("indexed job exists");
-                    job.waiters.push(waiter);
-                    if req.priority > job.priority {
-                        job.priority = req.priority;
-                        !job.running
-                    } else {
-                        false
+        for (ix, req, reply, key) in admissible {
+            if st.shutdown {
+                self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                outcomes[ix] = Some(Err(CsagError::Overloaded {
+                    retry_after: Duration::from_millis(1),
+                }));
+                continue;
+            }
+            if let Err(e) = st.admission.try_admit(&req.class) {
+                self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                outcomes[ix] = Some(Err(e));
+                continue;
+            }
+            let request_id = st.next_request_id;
+            st.next_request_id += 1;
+            let now = Instant::now();
+            let mut waiter = Waiter {
+                request_id,
+                priority: req.priority,
+                class: req.class,
+                submitted: now,
+                deadline_at: req.deadline.map(|d| now + d),
+                coalesced: false,
+                reply,
+            };
+            match st.by_key.get(&key).copied() {
+                Some(job_id) => {
+                    // Identical query already queued or running: ride it.
+                    waiter.coalesced = true;
+                    self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                    let escalate = {
+                        let job = st.jobs.get_mut(&job_id).expect("indexed job exists");
+                        job.waiters.push(waiter);
+                        if req.priority > job.priority {
+                            job.priority = req.priority;
+                            !job.running
+                        } else {
+                            false
+                        }
+                    };
+                    if escalate {
+                        // Requeue at the higher priority; the old entry
+                        // goes stale and is discarded on pop.
+                        let arrival = st.next_arrival;
+                        st.next_arrival += 1;
+                        st.ready.push(ReadyEntry {
+                            priority: req.priority,
+                            arrival,
+                            job_id,
+                        });
+                        newly_ready += 1;
                     }
-                };
-                if escalate {
-                    // Requeue at the higher priority; the old entry goes
-                    // stale and is discarded on pop.
+                }
+                None => {
+                    let job_id = st.next_job_id;
+                    st.next_job_id += 1;
+                    st.jobs.insert(
+                        job_id,
+                        Job {
+                            query: req.query,
+                            snapshot: snapshot.clone(),
+                            key: key.clone(),
+                            priority: req.priority,
+                            running: false,
+                            waiters: vec![waiter],
+                        },
+                    );
+                    st.by_key.insert(key, job_id);
                     let arrival = st.next_arrival;
                     st.next_arrival += 1;
                     st.ready.push(ReadyEntry {
@@ -194,36 +294,29 @@ impl Shared {
                         arrival,
                         job_id,
                     });
-                    self.work.notify_one();
+                    newly_ready += 1;
                 }
             }
-            None => {
-                let job_id = st.next_job_id;
-                st.next_job_id += 1;
-                st.jobs.insert(
-                    job_id,
-                    Job {
-                        query: req.query,
-                        snapshot,
-                        key: key.clone(),
-                        priority: req.priority,
-                        running: false,
-                        waiters: vec![waiter],
-                    },
-                );
-                st.by_key.insert(key, job_id);
-                let arrival = st.next_arrival;
-                st.next_arrival += 1;
-                st.ready.push(ReadyEntry {
-                    priority: req.priority,
-                    arrival,
-                    job_id,
-                });
+            self.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+            outcomes[ix] = Some(Ok(request_id));
+        }
+        // Wake amortization: one notification for the whole batch.
+        match newly_ready {
+            0 => {}
+            1 => {
                 self.work.notify_one();
+                self.metrics.wakes.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                self.work.notify_all();
+                self.metrics.wakes.fetch_add(1, Ordering::Relaxed);
             }
         }
-        self.metrics.admitted.fetch_add(1, Ordering::Relaxed);
-        Ok(Ticket { id: request_id, rx })
+        drop(st);
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every entry resolved"))
+            .collect()
     }
 
     /// Stops dequeuing (already-running computations finish).
@@ -371,16 +464,23 @@ impl Shared {
                         -(done.duration_since(at).as_secs_f64() * 1e3)
                     }
                 });
-                // A dropped ticket just means nobody is listening;
-                // the computation and its metrics still counted.
-                let _ = w.tx.send(Response {
-                    request_id: w.request_id,
+                let queue_wait = dispatched.saturating_duration_since(w.submitted);
+                let Waiter {
+                    request_id,
+                    priority,
+                    class,
+                    coalesced,
+                    reply,
+                    ..
+                } = w;
+                reply.deliver(Response {
+                    request_id,
                     epoch,
-                    priority: w.priority,
-                    class: w.class,
-                    coalesced: w.coalesced,
+                    priority,
+                    class,
+                    coalesced,
                     degraded,
-                    queue_wait: dispatched.saturating_duration_since(w.submitted),
+                    queue_wait,
                     deadline_slack_ms,
                     sequence,
                     outcome: outcome.clone(),

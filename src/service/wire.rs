@@ -1,58 +1,18 @@
-//! `csag-wire v1`: the service's JSON-lines protocol.
+//! `csag-wire` parsing and rendering: the service's JSON-lines
+//! protocol, shared by the sequential stdin/stdout flavor (v1) and the
+//! pipelined socket transport (v2, [`super::transport`]).
 //!
-//! One request per line in, one response per line out — the natural
-//! shape for piping through `csag serve`, load generators, and sidecar
-//! processes without pulling in a serialization framework.
-//!
-//! # Grammar
-//!
-//! A request line is a flat JSON object (no nesting; values are
-//! strings, numbers, booleans, or `null`; unknown keys are rejected so
-//! typos fail loudly):
-//!
-//! ```text
-//! request      = "{" pair ("," pair)* "}"
-//! pair         = "q": uint                   ; REQUIRED: the query node
-//!              | "id": string | number       ; echoed verbatim (default: line number)
-//!              | "method": string            ; exact|sea|sea-size-bounded|acq|atc|vac|evac (default exact)
-//!              | "k": uint                   ; cohesion parameter (default 4)
-//!              | "model": "k-core"|"k-truss" ; community model (default k-core)
-//!              | "gamma": number             ; distance balance factor
-//!              | "error": number             ; SEA error bound e
-//!              | "confidence": number        ; SEA confidence 1-α
-//!              | "lambda": number            ; SEA initial sampling fraction
-//!              | "seed": uint                ; sampling determinism handle
-//!              | "size_l": uint              ; size window lower bound (with size_h)
-//!              | "size_h": uint              ; size window upper bound
-//!              | "budget_ms": number         ; wall-clock budget (exact / e-vac)
-//!              | "budget_states": uint       ; search-tree state budget
-//!              | "priority": "interactive"|"standard"|"batch"   ; default standard
-//!              | "deadline_ms": number       ; latency budget from submission
-//!              | "class": string             ; tenant class (default "default")
-//! ```
-//!
-//! A response line is the serving envelope around the engine's one
-//! result serializer
-//! ([`CommunityResult::to_json`](crate::engine::CommunityResult::to_json)) —
-//! the `"result"`
-//! object is byte-identical to what `csag query --json` prints for the
-//! same query (modulo wall-clock `timings_ms`):
-//!
-//! ```text
-//! response = "{" '"id":' echoed ","
-//!                '"epoch":' uint ","
-//!                '"priority":' string ","
-//!                '"class":' string ","
-//!                '"coalesced":' bool ","
-//!                '"degraded":' bool ","
-//!                '"queue_ms":' number ","
-//!                '"deadline_slack_ms":' number | "null" ","
-//!                ( '"result":' CommunityResult | '"error":' ErrorObject ) "}"
-//! ```
-//!
-//! Shed and invalid requests answer with the same envelope carrying an
-//! `"error"` object ([`error_to_json`]), so a client parses exactly one
-//! shape.
+//! **The normative grammar lives in `docs/wire-protocol.md`** —
+//! request vocabulary, response envelope, id semantics, and the
+//! per-flavor ordering guarantees. The short version: a request is one
+//! flat JSON object per line (unknown keys rejected), and a response is
+//! the serving envelope around the engine's one result serializer
+//! ([`CommunityResult::to_json`](crate::engine::CommunityResult::to_json)),
+//! so the `"result"` object is byte-identical to `csag query --json`
+//! for the same query (modulo wall-clock `timings_ms`). Shed and
+//! invalid requests answer with the same envelope carrying an
+//! `"error"` object ([`error_to_json`]), so a client parses exactly
+//! one shape.
 
 use crate::engine::result::{json_f64, json_string, push_key, push_kv};
 use crate::engine::{error_to_json, CommunityQuery, CsagError, Method};
