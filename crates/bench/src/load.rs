@@ -5,7 +5,7 @@
 //! queueing (and, past the admission bound, shedding) emerges exactly
 //! as it would under real traffic — then snapshots the service metrics
 //! into a machine-readable `BENCH_serve.json`
-//! (`schema: csag-serve-v2`; keep keys append-only within a version).
+//! (`schema: csag-serve-v3`; keep keys append-only within a version).
 //!
 //! The workload has three deliberate ingredients:
 //!
@@ -31,20 +31,31 @@
 //!   with one request in flight the sequential discipline executes every
 //!   duplicate, while pipelining lets in-flight duplicates coalesce onto
 //!   one computation — the structural throughput win the report's
-//!   `speedup` row measures, with the coalesced count alongside it.
+//!   `speedup` row measures, with the coalesced count alongside it;
+//! * a **cluster phase** against the `csag::cluster` router: read
+//!   throughput with the primary alone vs primary + N replicas,
+//!   unpinned vs epoch-pinned read latency under live churn, and an
+//!   induced replica failure timed through its degrade → reseed →
+//!   caught-up cycle — with the hard assertion that no routed read
+//!   ever fails, including during the failure window.
 //!
 //! `drive_socket` is the externally-pointed flavor of the socket phase:
 //! it drives an already-running `csag serve --listen` server (CI's
-//! transport smoke uses it).
+//! transport and cluster smokes use it); its pinned run threads the
+//! `"epoch"` wire key through the load generator.
 
 use crate::config::Scale;
+use csag::cluster::{ReadSource, ReplicaHealth, Router};
 use csag::engine::{CommunityQuery, CsagError, Method};
 use csag::service::{Priority, Request, Service, ServiceConfig, Ticket, Transport};
 use csag_datasets::generator::{generate, SyntheticConfig};
-use csag_datasets::random_queries;
+use csag_datasets::{random_queries, random_updates, ChurnMix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -134,9 +145,13 @@ fn closed_loop(addr: &str, lines: &[String], window: usize) -> std::io::Result<L
     })
 }
 
-/// Renders a csag-wire v2 SEA request line.
-fn wire_line(id: &str, q: u32, k: u32, seed: u64) -> String {
-    format!("{{\"id\":\"{id}\",\"method\":\"sea\",\"q\":{q},\"k\":{k},\"error\":0.1,\"seed\":{seed}}}\n")
+/// Renders a csag-wire v2 SEA request line; `pin` adds the `"epoch"`
+/// key (the read must answer from a store epoch `>=` the pin).
+fn wire_line(id: &str, q: u32, k: u32, seed: u64, pin: Option<u64>) -> String {
+    let epoch = pin.map(|e| format!(",\"epoch\":{e}")).unwrap_or_default();
+    format!(
+        "{{\"id\":\"{id}\",\"method\":\"sea\",\"q\":{q},\"k\":{k},\"error\":0.1,\"seed\":{seed}{epoch}}}\n"
+    )
 }
 
 /// Drives an external `csag serve --listen` server at `addr` with the
@@ -148,19 +163,31 @@ fn wire_line(id: &str, q: u32, k: u32, seed: u64) -> String {
 /// Consecutive pairs share a seed (the coalescing-fodder convention),
 /// so the pipelined run shows the server coalescing in-flight
 /// duplicates that the sequential discipline must execute one by one.
+///
+/// A third pipelined run pins every request to epoch 0 via the
+/// `"epoch"` wire key — always published, so a correct server (replicas
+/// or not) answers all of them; it exercises the pinned routing path
+/// end to end over the wire.
 pub fn drive_socket(addr: &str, scale: &Scale) -> String {
     let requests = if scale.quick { 24 } else { 96 };
     let (q, k) = (5u32, 3u32);
-    let render = |tag: &str, base: u64| -> Vec<String> {
+    let render = |tag: &str, base: u64, pin: Option<u64>| -> Vec<String> {
         (0..requests)
-            .map(|i| wire_line(&format!("{tag}{i}"), q, k, base + (i / 2) as u64))
+            .map(|i| wire_line(&format!("{tag}{i}"), q, k, base + (i / 2) as u64, pin))
             .collect()
     };
     // Warm the server's distance cache so both measured runs see the
     // same residency.
-    closed_loop(addr, &render("w", 10), 1).expect("warmup run");
-    let seq = closed_loop(addr, &render("s", 1_000), 1).expect("sequential run");
-    let pipe = closed_loop(addr, &render("p", 2_000), PIPELINE_WINDOW).expect("pipelined run");
+    closed_loop(addr, &render("w", 10, None), 1).expect("warmup run");
+    let seq = closed_loop(addr, &render("s", 1_000, None), 1).expect("sequential run");
+    let pipe =
+        closed_loop(addr, &render("p", 2_000, None), PIPELINE_WINDOW).expect("pipelined run");
+    let pinned =
+        closed_loop(addr, &render("e", 3_000, Some(0)), PIPELINE_WINDOW).expect("pinned run");
+    assert_eq!(
+        pinned.errors, 0,
+        "epoch-0 pins are always satisfiable; a rejection is a routing bug"
+    );
 
     let mut md = String::new();
     let _ = writeln!(
@@ -183,6 +210,13 @@ pub fn drive_socket(addr: &str, scale: &Scale) -> String {
         pipe.results,
         pipe.errors,
         pipe.qps(requests)
+    );
+    let _ = writeln!(
+        md,
+        "| pipelined + epoch pin 0 | {} / {} | {:.1} q/s |",
+        pinned.results,
+        pinned.errors,
+        pinned.qps(requests)
     );
     let _ = writeln!(
         md,
@@ -234,6 +268,7 @@ pub fn run(scale: &Scale) -> String {
 
     let workers = scale.threads.max(1);
     let socket_graph = graph.clone();
+    let cluster_graph = graph.clone();
     let service = Service::over_graph(
         graph,
         ServiceConfig::default()
@@ -364,6 +399,7 @@ pub fn run(scale: &Scale) -> String {
                     pool[(i / 2) % pool.len()],
                     k,
                     base + (i / 2) as u64,
+                    None,
                 )
             })
             .collect()
@@ -390,10 +426,129 @@ pub fn run(scale: &Scale) -> String {
     let pipelined_qps = pipe.qps(socket_requests);
     let speedup = pipelined_qps / sequential_qps.max(1e-9);
 
+    // Cluster phase: the same validated query pool against the
+    // `csag::cluster` router. `read_storm` routes every read through
+    // `route_read` (so leases, watermark checks, and pin semantics are
+    // all on the measured path) and runs it on the routed snapshot's
+    // engine from `workers` concurrent threads.
+    let cluster_replicas = if scale.quick { 2 } else { 3 };
+    let cluster_reads = if scale.quick { 32 } else { 160 };
+    let read_storm = |router: &Arc<Router>, reads: usize, pin: Option<u64>| -> (f64, f64, usize) {
+        let failed = AtomicUsize::new(0);
+        let lat_us = AtomicU64::new(0);
+        let per_thread = reads.div_ceil(workers);
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..workers {
+                let (failed, lat_us, router, pool, template) =
+                    (&failed, &lat_us, router, &pool, &template);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let q = pool[(t + i) % pool.len()];
+                        let t0 = Instant::now();
+                        let outcome =
+                            router
+                                .route_read(pin, Duration::from_secs(5))
+                                .and_then(|r| {
+                                    r.snapshot()
+                                        .engine()
+                                        .run(&template(q, 90_000 + (t * per_thread + i) as u64))
+                                });
+                        lat_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                        match outcome {
+                            Ok(_) | Err(CsagError::NoCommunity { .. }) => {}
+                            Err(_) => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let n = per_thread * workers;
+        let elapsed = start.elapsed().as_secs_f64();
+        (
+            n as f64 / elapsed.max(1e-9),
+            lat_us.load(Ordering::Relaxed) as f64 / 1e3 / n as f64,
+            failed.load(Ordering::Relaxed),
+        )
+    };
+
+    // Baseline: router with zero replicas — every read lands on the
+    // primary. Then the replicated router, with churn applied through
+    // it so pinned reads have real epochs to pin.
+    let solo = Arc::new(Router::over_graph(cluster_graph.clone(), 0));
+    let (solo_qps, _, solo_failed) = read_storm(&solo, cluster_reads, None);
+    drop(solo);
+
+    let router = Arc::new(Router::over_graph(cluster_graph, cluster_replicas));
+    let mut churn_rng = StdRng::seed_from_u64(0xC1A5);
+    let churn_batch = |router: &Router, rng: &mut StdRng| {
+        let snap = router.primary().snapshot();
+        let batch = random_updates(snap.engine().graph(), rng, 6, ChurnMix::STRUCTURAL);
+        router.apply(&batch).expect("structural churn applies");
+    };
+    for _ in 0..3 {
+        churn_batch(&router, &mut churn_rng);
+    }
+    assert!(
+        router.wait_replicas_caught_up(Duration::from_secs(30)),
+        "replicas catch up with the churned primary"
+    );
+    let (replicated_qps, unpinned_mean_ms, unpinned_failed) =
+        read_storm(&router, cluster_reads, None);
+    let pinned_epoch = router.epoch();
+    let (_, pinned_mean_ms, pinned_failed) = read_storm(&router, cluster_reads, Some(pinned_epoch));
+
+    // Induced failure: replica 0 fails its next apply, degrades, and
+    // leaves the rotation; reads keep answering throughout; the next
+    // write reseeds it from the primary snapshot. `catchup_ms` times
+    // the whole degrade → reseed → caught-up cycle.
+    router.induce_failure(0);
+    let fail_start = Instant::now();
+    churn_batch(&router, &mut churn_rng);
+    let degrade_deadline = Instant::now() + Duration::from_secs(10);
+    while router.replica_health(0) == ReplicaHealth::Healthy && Instant::now() < degrade_deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_ne!(
+        router.replica_health(0),
+        ReplicaHealth::Healthy,
+        "induced apply failure must degrade the replica"
+    );
+    let (_, _, failure_window_failed) = read_storm(&router, cluster_reads / 2, Some(pinned_epoch));
+    churn_batch(&router, &mut churn_rng); // write path reseeds the degraded replica
+    let heal_deadline = Instant::now() + Duration::from_secs(30);
+    while router.replica_health(0) != ReplicaHealth::Healthy && Instant::now() < heal_deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(
+        router.replica_health(0),
+        ReplicaHealth::Healthy,
+        "reseed returns the failed replica to rotation"
+    );
+    assert!(
+        router.wait_replicas_caught_up(Duration::from_secs(30)),
+        "reseeded replica catches up"
+    );
+    let catchup_ms = fail_start.elapsed().as_secs_f64() * 1e3;
+    let cluster_failed = solo_failed + unpinned_failed + pinned_failed + failure_window_failed;
+    assert_eq!(
+        cluster_failed, 0,
+        "no routed read may fail, including during the failure window"
+    );
+    let cm = router.metrics();
+    let (degraded_marks, reseeds): (u64, u64) = cm
+        .replicas
+        .iter()
+        .fold((0, 0), |(d, r), m| (d + m.degraded, r + m.reseeded));
+    let replica_reads: u64 = cm.replicas.iter().map(|m| m.routed_reads).sum();
+    drop(router);
+
     // Machine-readable report (hand-rolled JSON; keys are the contract).
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"csag-serve-v2\",");
+    let _ = writeln!(json, "  \"schema\": \"csag-serve-v3\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -439,6 +594,17 @@ pub fn run(scale: &Scale) -> String {
          \"pipelined_admitted\": {pipelined_admitted}, \
          \"pipelined_wakes\": {pipelined_wakes}, \
          \"pipelined_coalesced\": {pipelined_coalesced} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"cluster\": {{ \"replicas\": {cluster_replicas}, \"reads_per_storm\": {cluster_reads}, \
+         \"solo_qps\": {solo_qps:.3}, \"replicated_qps\": {replicated_qps:.3}, \
+         \"unpinned_mean_ms\": {unpinned_mean_ms:.4}, \"pinned_mean_ms\": {pinned_mean_ms:.4}, \
+         \"pinned_epoch\": {pinned_epoch}, \"replica_reads\": {replica_reads}, \
+         \"primary_reads\": {}, \"pinned_waits\": {}, \"pinned_rejects\": {}, \
+         \"degraded\": {degraded_marks}, \"reseeded\": {reseeds}, \
+         \"catchup_ms\": {catchup_ms:.3}, \"failed_reads\": {cluster_failed} }},",
+        cm.primary_reads, cm.pinned_waits, cm.pinned_rejects
     );
     json.push_str("  \"per_priority\": {");
     for (i, p) in Priority::ALL.into_iter().enumerate() {
@@ -514,6 +680,22 @@ pub fn run(scale: &Scale) -> String {
         "| pipelined wakes / coalesced / admitted | \
          {pipelined_wakes} / {pipelined_coalesced} / {pipelined_admitted} |"
     );
+    let _ = writeln!(
+        md,
+        "| cluster read qps: primary alone / + {cluster_replicas} replicas | \
+         {solo_qps:.1} / {replicated_qps:.1} q/s |"
+    );
+    let _ = writeln!(
+        md,
+        "| cluster mean latency: unpinned / pinned (epoch {pinned_epoch}) | \
+         {unpinned_mean_ms:.2} / {pinned_mean_ms:.2} ms |"
+    );
+    let _ = writeln!(
+        md,
+        "| induced failure: degrade → reseed → caught up | \
+         {catchup_ms:.0} ms ({degraded_marks} degraded, {reseeds} reseeded, \
+         {cluster_failed} failed reads) |"
+    );
     for (i, p) in Priority::ALL.into_iter().enumerate() {
         let h = &snap.per_priority[i];
         let _ = writeln!(
@@ -547,7 +729,7 @@ mod tests {
         let json = std::fs::read_to_string(REPORT_PATH).expect("report written");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         for key in [
-            "\"schema\": \"csag-serve-v2\"",
+            "\"schema\": \"csag-serve-v3\"",
             "\"workers\"",
             "\"capacity\"",
             "\"offered\"",
@@ -564,6 +746,11 @@ mod tests {
             "\"speedup\"",
             "\"pipelined_wakes\"",
             "\"pipelined_coalesced\"",
+            "\"cluster\"",
+            "\"replicated_qps\"",
+            "\"pinned_mean_ms\"",
+            "\"catchup_ms\"",
+            "\"failed_reads\": 0",
             "\"per_priority\"",
             "\"interactive\"",
             "\"batch\"",

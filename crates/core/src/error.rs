@@ -72,6 +72,16 @@ pub enum CsagError {
         /// service's observed drain rate).
         retry_after: Duration,
     },
+    /// A read pinned to a store epoch that no reachable replica (nor
+    /// the primary) had published within the caller's wait budget.
+    /// Nothing ran; retrying once writes catch up — or without the pin
+    /// — is expected to succeed.
+    EpochUnavailable {
+        /// The epoch the read was pinned to.
+        requested: u64,
+        /// The highest epoch published when the wait gave up.
+        published: u64,
+    },
 }
 
 impl fmt::Display for CsagError {
@@ -96,6 +106,13 @@ impl fmt::Display for CsagError {
                 f,
                 "service overloaded: request shed, retry after {:.0} ms",
                 retry_after.as_secs_f64() * 1000.0
+            ),
+            CsagError::EpochUnavailable {
+                requested,
+                published,
+            } => write!(
+                f,
+                "epoch {requested} not yet published (latest published epoch is {published})"
             ),
         }
     }
@@ -165,6 +182,13 @@ mod tests {
             retry_after: Duration::from_millis(25),
         };
         assert!(e.to_string().contains("retry after 25 ms"));
+        assert!(!e.is_no_community());
+        let e = CsagError::EpochUnavailable {
+            requested: 9,
+            published: 4,
+        };
+        assert!(e.to_string().contains("epoch 9"));
+        assert!(e.to_string().contains("4"));
         assert!(!e.is_no_community());
     }
 

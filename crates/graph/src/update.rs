@@ -130,6 +130,52 @@ impl GraphUpdate {
         }
     }
 
+    /// Renders the update as one `csag-updates v1` line — the inverse of
+    /// [`GraphUpdate::parse_line`], used by the cluster replication log's
+    /// wire framing.
+    ///
+    /// Numerics render in shortest round-trip form, so `parse_line ∘
+    /// to_line` is the identity for every update the text format can
+    /// express. The one lossy corner: the format spells "no tokens" and
+    /// "keep tokens" both as `-`, so `SetAttributes` with
+    /// `tokens: Some(vec![])` (clear to empty) parses back as `None`
+    /// (keep) — token lists themselves cannot contain whitespace or
+    /// commas, by construction of the format.
+    pub fn to_line(&self) -> String {
+        fn tokens_field(tokens: &[String]) -> String {
+            if tokens.is_empty() {
+                "-".to_string()
+            } else {
+                tokens.join(",")
+            }
+        }
+        fn push_floats(s: &mut String, floats: &[f64]) {
+            for f in floats {
+                s.push(' ');
+                s.push_str(&format!("{f:?}"));
+            }
+        }
+        match self {
+            GraphUpdate::AddEdge { u, v } => format!("add-edge {u} {v}"),
+            GraphUpdate::RemoveEdge { u, v } => format!("remove-edge {u} {v}"),
+            GraphUpdate::AddVertex { tokens, numeric } => {
+                let mut s = format!("add-vertex {}", tokens_field(tokens));
+                push_floats(&mut s, numeric);
+                s
+            }
+            GraphUpdate::SetAttributes { v, tokens, numeric } => {
+                let mut s = format!(
+                    "set-attrs {v} {}",
+                    tokens.as_deref().map_or("-".to_string(), tokens_field)
+                );
+                if let Some(numeric) = numeric {
+                    push_floats(&mut s, numeric);
+                }
+                s
+            }
+        }
+    }
+
     /// Parses a whole update script: one update per line, blank lines and
     /// `#` comments skipped.
     ///
@@ -557,5 +603,44 @@ set-attrs 0 drama
             assert!(GraphUpdate::parse_line(bad).is_err(), "{bad} must fail");
         }
         assert!(GraphUpdate::parse_script("add-edge 0\n").is_err());
+    }
+
+    #[test]
+    fn to_line_inverts_parse_line() {
+        let updates = [
+            GraphUpdate::AddEdge { u: 0, v: 2 },
+            GraphUpdate::RemoveEdge { u: 1, v: 2 },
+            GraphUpdate::AddVertex {
+                tokens: vec!["movie".into(), "drama".into()],
+                numeric: vec![9.0, 0.1 + 0.2],
+            },
+            GraphUpdate::AddVertex {
+                tokens: vec![],
+                numeric: vec![0.5],
+            },
+            GraphUpdate::SetAttributes {
+                v: 2,
+                tokens: Some(vec!["tv".into(), "crime".into()]),
+                numeric: Some(vec![-5.0]),
+            },
+            GraphUpdate::SetAttributes {
+                v: 0,
+                tokens: None,
+                numeric: None,
+            },
+            GraphUpdate::SetAttributes {
+                v: 0,
+                tokens: Some(vec!["drama".into()]),
+                numeric: None,
+            },
+        ];
+        for u in &updates {
+            let line = u.to_line();
+            assert_eq!(
+                &GraphUpdate::parse_line(&line).unwrap(),
+                u,
+                "`{line}` must round-trip (floats included, bit-for-bit)"
+            );
+        }
     }
 }

@@ -13,8 +13,8 @@
 //! csag baseline <graph.txt> --method acq|atc|vac|evac --query <id> --k <k> [--gamma G] [--json]
 //! csag generate --nodes N --communities C --seed S --out <graph.txt>
 //! csag update   <graph.txt> --script <updates.txt> [--out <new.txt>] [--json]
-//! csag serve    <graph.txt> [--workers N] [--capacity N] [--metrics]
-//!                           [--listen <addr>] [--uds <path>]
+//! csag serve    <graph.txt> [--workers N] [--capacity N] [--replicas N]
+//!                           [--metrics] [--listen <addr>] [--uds <path>]
 //! csag serve-churn [--batches N] [--seed S] [--json]
 //! csag demo     [--json]
 //! ```
@@ -100,6 +100,8 @@ fn usage() {
          \x20             --lambda L (default 0.2)  --size L H (size-bounded search)\n\
          update flags: --script <updates.txt> (csag-updates v1)  --out <new-graph.txt>\n\
          serve flags:  --workers N  --capacity N (admission bound)  --metrics (snapshot on exit)\n\
+         \x20             --replicas N (replicated stores behind the epoch-consistent csag::cluster\n\
+         \x20             router; reads balance, `\"epoch\"`-pinned reads stay consistent)\n\
          \x20             --listen <ip:port> (TCP csag-wire v2; port 0 = ephemeral, bound address\n\
          \x20             is printed as `listening tcp://...`)  --uds <path> (unix-domain socket)"
     );
@@ -178,6 +180,7 @@ fn common_arity() -> HashMap<&'static str, usize> {
         ("batches", 1),
         ("workers", 1),
         ("capacity", 1),
+        ("replicas", 1),
         ("metrics", 0),
         ("listen", 1),
         ("uds", 1),
@@ -385,8 +388,16 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 /// deadlines, coalescing); malformed or shed lines answer with an
 /// `"error"` envelope instead of killing the session. With `--metrics`
 /// (stdin mode), a `csag-service-metrics-v1` snapshot is printed to
-/// stdout after EOF (stderr always gets a one-line summary).
+/// stdout after EOF (plus a `csag-cluster-metrics-v1` line when
+/// `--replicas` is on; stderr always gets a one-line summary).
+///
+/// `--replicas N` fronts the store with the `csag::cluster` router: N
+/// replica stores consume the primary's replication log, unpinned reads
+/// balance across whichever are caught up, and a request carrying the
+/// `"epoch"` wire key is only answered by a store that has published
+/// that epoch.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use csag::cluster::Router;
     use csag::service::{parse_wire_request, rejection_to_json, response_to_json};
     use csag::service::{Service, ServiceConfig, Transport};
     use std::io::{BufRead, Write};
@@ -401,7 +412,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(c) = flags.get::<usize>("capacity")? {
         config = config.with_capacity(c);
     }
-    let service = Service::over_graph(g, config);
+    let replicas = flags.get::<usize>("replicas")?.unwrap_or(0);
+    let service = if replicas > 0 {
+        Service::over_cluster(Arc::new(Router::over_graph(g, replicas)), config)
+    } else {
+        Service::over_graph(g, config)
+    };
 
     // Socket mode: bind the requested transports, announce the bound
     // addresses on stdout (scripts read the ephemeral port from the
@@ -466,6 +482,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let snapshot = service.metrics();
     if flags.has("metrics") {
         writeln!(out, "{}", snapshot.to_json()).map_err(|e| format!("writing stdout: {e}"))?;
+        if let Some(router) = service.cluster() {
+            writeln!(out, "{}", router.metrics().to_json())
+                .map_err(|e| format!("writing stdout: {e}"))?;
+        }
     }
     eprintln!(
         "serve: {lines} request line(s) — admitted {}, shed {}, coalesced {}, \

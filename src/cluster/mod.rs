@@ -1,0 +1,75 @@
+//! # `csag::cluster` — replicated stores behind an epoch-consistent router
+//!
+//! One [`crate::engine::GraphStore`] is one writer lock and one
+//! machine's worth of read throughput. This module scales the read
+//! path out: a [`Router`] owns the write path — it applies
+//! [`GraphUpdate`](crate::engine::GraphUpdate) batches to a **primary**
+//! store and fans each batch out as a [`LogRecord`] to N in-process
+//! **replica** stores — and load-balances reads across the replicas
+//! with epoch-consistency guarantees.
+//!
+//! ## The guarantees
+//!
+//! * **Epoch lockstep.** The replication log format is `csag-updates
+//!   v1`, one [`LogRecord`] per published epoch; every store bumps its
+//!   epoch exactly once per batch (no-op and erroneous batches
+//!   included), so primary and replicas that consumed the same records
+//!   agree on epoch numbering — and, because
+//!   [`GraphStore::apply`](crate::engine::GraphStore::apply) is
+//!   deterministic, on every answer at equal epochs, byte for byte.
+//! * **Pinned reads never read backward.** A read pinned to epoch `E`
+//!   (wire key `"epoch"`, [`Request::with_epoch`](crate::service::Request::with_epoch))
+//!   is only routed to a store whose published high-watermark is
+//!   `>= E`: a caught-up replica, else the primary, else a bounded
+//!   condvar wait for the publish — else the typed
+//!   [`CsagError::EpochUnavailable`](crate::engine::CsagError) rejection.
+//! * **Unpinned reads balance.** They go to the least-loaded healthy
+//!   replica that has caught up to the primary's current epoch
+//!   (outstanding-lease counting; the primary is the fallback, and the
+//!   only store when `--replicas 0`).
+//! * **Failure degrades, then heals.** A replica that fails an apply
+//!   (or goes silent past [`Router::health_check`]'s budget) is marked
+//!   [`ReplicaHealth::Degraded`], leaves the read rotation with its
+//!   watermark frozen (so no pinned read can land on stale state), and
+//!   is reseeded from the primary's current snapshot on the next write
+//!   (or [`Router::heal`]) — clients never see a failed response from
+//!   the transition.
+//!
+//! The replica seam is shaped for distribution: a replica consumes an
+//! ordered stream of [`LogRecord`]s and publishes a watermark, nothing
+//! more, and [`LogRecord::to_wire`] frames exactly that stream for a
+//! future csag-wire v2 socket hop.
+//!
+//! ```
+//! use csag::cluster::{ReadSource, Router};
+//! use csag::datasets::paper_examples::figure1_imdb;
+//! use csag::engine::{CommunityQuery, GraphUpdate, Method};
+//! use std::time::Duration;
+//!
+//! let (graph, q) = figure1_imdb();
+//! let router = Router::over_graph(graph, 2);
+//! router.apply(&[GraphUpdate::AddEdge { u: q, v: 0 }]).unwrap();
+//! router.wait_replicas_caught_up(Duration::from_secs(5));
+//!
+//! // A read pinned to epoch 1 is never served by a store that has not
+//! // published epoch 1.
+//! let routed = router
+//!     .route_read(Some(1), Duration::from_millis(100))
+//!     .unwrap();
+//! assert!(routed.epoch() >= 1);
+//! let result = routed
+//!     .snapshot()
+//!     .engine()
+//!     .run(&CommunityQuery::new(Method::Exact, q).with_k(3))
+//!     .unwrap();
+//! assert!(result.community.contains(&q));
+//! ```
+
+pub mod health;
+pub mod replica;
+pub mod replication;
+pub mod router;
+
+pub use health::ReplicaHealth;
+pub use replication::LogRecord;
+pub use router::{ClusterMetrics, ReadOrigin, ReadSource, ReplicaMetrics, RoutedSnapshot, Router};

@@ -1,0 +1,614 @@
+//! The epoch-consistent router: owns the write path (primary apply +
+//! log fan-out) and load-balances reads across caught-up replicas.
+//!
+//! See the [module docs](super) for the guarantees; the short version:
+//!
+//! * **Writes** go through [`Router::apply`]: the primary applies the
+//!   batch, then one [`LogRecord`] per published epoch fans out to
+//!   every replica channel — both under one write lock, so each
+//!   channel receives records in epoch order.
+//! * **Reads** go through [`ReadSource::route_read`]: an unpinned read
+//!   picks the least-loaded healthy caught-up replica (primary as
+//!   fallback); a read pinned to epoch `E` is only ever served by a
+//!   store whose published watermark is `>= E` — a lagging replica is
+//!   skipped, the primary steps in, and a not-yet-published epoch
+//!   waits (condvar, no polling) up to the caller's budget before
+//!   failing with the typed
+//!   [`CsagError::EpochUnavailable`](crate::engine::CsagError).
+
+use crate::cluster::health::ReplicaHealth;
+use crate::cluster::replica::{replica_loop, ReplicaMsg, ReplicaState};
+use crate::cluster::replication::LogRecord;
+use crate::engine::result::{json_string, push_key, push_kv};
+use crate::engine::{CsagError, GraphStore, GraphUpdate, Snapshot, UpdateReport};
+use csag_graph::{AttributedGraph, GraphError};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Which store answered a routed read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadOrigin {
+    /// The primary store (the write path's own copy).
+    Primary,
+    /// Replica `i` (0-based).
+    Replica(usize),
+}
+
+/// A claim on a replica's read capacity; dropping it (with the last
+/// clone of its routed snapshot) releases the replica's `outstanding`
+/// slot, which is the router's least-loaded signal.
+pub(crate) struct ReadLease {
+    outstanding: Arc<AtomicU64>,
+}
+
+impl ReadLease {
+    fn acquire(outstanding: &Arc<AtomicU64>) -> Arc<ReadLease> {
+        outstanding.fetch_add(1, Ordering::Relaxed);
+        Arc::new(ReadLease {
+            outstanding: Arc::clone(outstanding),
+        })
+    }
+}
+
+impl Drop for ReadLease {
+    fn drop(&mut self) {
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A routed read: the pinned [`Snapshot`] that will answer, where it
+/// came from, and (for replica reads) the load-accounting lease that
+/// lives as long as any clone of this value.
+#[derive(Clone)]
+pub struct RoutedSnapshot {
+    snapshot: Snapshot,
+    origin: ReadOrigin,
+    _lease: Option<Arc<ReadLease>>,
+}
+
+impl std::fmt::Debug for RoutedSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoutedSnapshot")
+            .field("epoch", &self.epoch())
+            .field("origin", &self.origin)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RoutedSnapshot {
+    /// Wraps a primary-store snapshot (no lease to account).
+    pub(crate) fn primary(snapshot: Snapshot) -> Self {
+        RoutedSnapshot {
+            snapshot,
+            origin: ReadOrigin::Primary,
+            _lease: None,
+        }
+    }
+
+    /// The snapshot that will answer the read.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// The epoch the read will answer from (for a read pinned to `E`,
+    /// always `>= E`).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// Which store the read was routed to.
+    pub fn origin(&self) -> ReadOrigin {
+        self.origin
+    }
+}
+
+/// Where a scheduler gets its read snapshots: either a bare
+/// [`GraphStore`] (single-store serving, the pre-cluster behavior) or a
+/// [`Router`] fronting N replicas. The contract both uphold: the
+/// returned snapshot's epoch is `>= pin` whenever a pin is given, and
+/// a pin no store can satisfy within `wait` fails with
+/// [`CsagError::EpochUnavailable`] instead of serving stale state.
+pub trait ReadSource: Send + Sync {
+    /// Routes one read: `pin` is the minimum epoch the answer may come
+    /// from (`None`: any current epoch), `wait` bounds how long the
+    /// router may block for a not-yet-published pinned epoch.
+    ///
+    /// # Errors
+    /// [`CsagError::EpochUnavailable`] when `pin` exceeds every
+    /// reachable store's published epoch for the whole `wait` budget.
+    fn route_read(&self, pin: Option<u64>, wait: Duration) -> Result<RoutedSnapshot, CsagError>;
+}
+
+impl ReadSource for GraphStore {
+    /// Single-store routing: the current snapshot, or — for a pinned
+    /// read — a condvar wait on the store's own publish watermark.
+    fn route_read(&self, pin: Option<u64>, wait: Duration) -> Result<RoutedSnapshot, CsagError> {
+        match pin {
+            None => Ok(RoutedSnapshot::primary(self.snapshot())),
+            Some(epoch) => {
+                let snap = self.snapshot();
+                if snap.epoch() >= epoch {
+                    return Ok(RoutedSnapshot::primary(snap));
+                }
+                if self.subscribe().wait_for(epoch, wait) {
+                    Ok(RoutedSnapshot::primary(self.snapshot()))
+                } else {
+                    Err(CsagError::EpochUnavailable {
+                        requested: epoch,
+                        published: self.published_epoch(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// One replica as the router holds it: shared state + channel + thread.
+struct ReplicaHandle {
+    state: Arc<ReplicaState>,
+    tx: mpsc::Sender<ReplicaMsg>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ReplicaHandle {
+    fn spawn(id: usize, seed: &Snapshot) -> Self {
+        let store = Arc::new(GraphStore::from_arc_at(
+            seed.engine().graph_arc(),
+            seed.epoch(),
+        ));
+        let state = Arc::new(ReplicaState::new(id, store));
+        let (tx, rx) = mpsc::channel();
+        let join = std::thread::Builder::new()
+            .name(format!("csag-replica-{id}"))
+            .spawn({
+                let state = Arc::clone(&state);
+                move || replica_loop(state, rx)
+            })
+            .expect("spawn replica thread");
+        ReplicaHandle {
+            state,
+            tx,
+            join: Some(join),
+        }
+    }
+}
+
+/// The cluster front-end: primary store + N in-process replicas behind
+/// an epoch-consistent read router. See the [module docs](super).
+pub struct Router {
+    primary: Arc<GraphStore>,
+    replicas: Vec<ReplicaHandle>,
+    /// Serializes primary-apply + fan-out so every replica channel
+    /// receives log records in epoch order.
+    write: Mutex<()>,
+    /// Rotation offset for least-loaded ties.
+    rotate: AtomicUsize,
+    records: AtomicU64,
+    pinned_reads: AtomicU64,
+    unpinned_reads: AtomicU64,
+    primary_reads: AtomicU64,
+    pinned_waits: AtomicU64,
+    pinned_rejects: AtomicU64,
+}
+
+impl Router {
+    /// Fronts an existing primary store with `replicas` in-process
+    /// replica stores, each seeded from the primary's current snapshot.
+    pub fn new(primary: Arc<GraphStore>, replicas: usize) -> Self {
+        let seed = primary.snapshot();
+        let replicas = (0..replicas)
+            .map(|id| ReplicaHandle::spawn(id, &seed))
+            .collect();
+        Router {
+            primary,
+            replicas,
+            write: Mutex::new(()),
+            rotate: AtomicUsize::new(0),
+            records: AtomicU64::new(0),
+            pinned_reads: AtomicU64::new(0),
+            unpinned_reads: AtomicU64::new(0),
+            primary_reads: AtomicU64::new(0),
+            pinned_waits: AtomicU64::new(0),
+            pinned_rejects: AtomicU64::new(0),
+        }
+    }
+
+    /// [`Router::new`] over a fresh store built from `graph`.
+    pub fn over_graph(graph: AttributedGraph, replicas: usize) -> Self {
+        Router::new(Arc::new(GraphStore::new(graph)), replicas)
+    }
+
+    /// The primary store (reads through it bypass the rotation; apply
+    /// through [`Router::apply`], never directly, or replicas will
+    /// permanently lag).
+    pub fn primary(&self) -> &Arc<GraphStore> {
+        &self.primary
+    }
+
+    /// Number of replicas behind this router.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The primary's published epoch (the cluster-wide high-watermark).
+    pub fn epoch(&self) -> u64 {
+        self.primary.published_epoch()
+    }
+
+    /// The cluster write path: applies `updates` to the primary and
+    /// fans the resulting [`LogRecord`] out to every replica channel.
+    /// A degraded replica instead receives a reseed from the post-batch
+    /// primary snapshot (it rejoins the rotation once rebuilt).
+    ///
+    /// # Errors
+    /// Exactly [`GraphStore::apply`]'s errors. An erroneous batch still
+    /// publishes (and replicates) its applied prefix — the epoch bumps
+    /// on every outcome, keeping primary and replicas in lockstep.
+    pub fn apply(&self, updates: &[GraphUpdate]) -> Result<UpdateReport, GraphError> {
+        let _guard = self.write.lock().unwrap_or_else(PoisonError::into_inner);
+        let outcome = self.primary.apply(updates);
+        let snap = self.primary.snapshot();
+        let record = LogRecord::new(snap.epoch(), updates.to_vec());
+        self.records.fetch_add(1, Ordering::Relaxed);
+        for replica in &self.replicas {
+            if replica.state.status.health() == ReplicaHealth::Degraded {
+                replica.state.status.set_health(ReplicaHealth::Reseeding);
+                let _ = replica.tx.send(ReplicaMsg::Reseed {
+                    graph: snap.engine().graph_arc(),
+                    epoch: snap.epoch(),
+                });
+            } else {
+                let _ = replica.tx.send(ReplicaMsg::Apply(record.clone()));
+            }
+        }
+        outcome
+    }
+
+    /// Queues a reseed for every currently degraded replica (the write
+    /// path does this lazily on the next batch; `heal` forces it now).
+    /// Returns how many reseeds were queued.
+    pub fn heal(&self) -> usize {
+        let _guard = self.write.lock().unwrap_or_else(PoisonError::into_inner);
+        let snap = self.primary.snapshot();
+        let mut queued = 0;
+        for replica in &self.replicas {
+            if replica.state.status.health() == ReplicaHealth::Degraded {
+                replica.state.status.set_health(ReplicaHealth::Reseeding);
+                let _ = replica.tx.send(ReplicaMsg::Reseed {
+                    graph: snap.engine().graph_arc(),
+                    epoch: snap.epoch(),
+                });
+                queued += 1;
+            }
+        }
+        queued
+    }
+
+    /// Degrades every healthy replica that has not heartbeat within
+    /// `max_silence` (reseeding replicas are busy rebuilding and exempt
+    /// by design). Returns how many were newly degraded; follow with
+    /// [`Router::heal`] (or the next [`Router::apply`]) to reseed them.
+    pub fn health_check(&self, max_silence: Duration) -> usize {
+        let mut degraded = 0;
+        for replica in &self.replicas {
+            if replica.state.status.health() == ReplicaHealth::Healthy
+                && replica.state.status.silence() > max_silence
+            {
+                replica.state.status.set_health(ReplicaHealth::Degraded);
+                degraded += 1;
+            }
+        }
+        degraded
+    }
+
+    /// Current health of replica `i`.
+    pub fn replica_health(&self, i: usize) -> ReplicaHealth {
+        self.replicas[i].state.status.health()
+    }
+
+    /// Replica `i`'s published high-watermark.
+    pub fn replica_watermark(&self, i: usize) -> u64 {
+        self.replicas[i].state.watermark.current()
+    }
+
+    /// Blocks until every healthy replica's watermark reaches the
+    /// primary's current epoch, or `timeout` elapses. `true` when all
+    /// caught up (vacuously, when no replica is healthy).
+    pub fn wait_replicas_caught_up(&self, timeout: Duration) -> bool {
+        let target = self.primary.published_epoch();
+        let deadline = std::time::Instant::now() + timeout;
+        self.replicas
+            .iter()
+            .filter(|r| r.state.status.health() == ReplicaHealth::Healthy)
+            .all(|r| {
+                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                r.state.watermark.wait_for(target, left)
+            })
+    }
+
+    /// Test/bench seam: stop replica `i` consuming its channel (records
+    /// queue up — simulated replication lag). It keeps heartbeating.
+    pub fn pause_replica(&self, i: usize) {
+        self.replicas[i].state.paused.store(true, Ordering::Relaxed);
+    }
+
+    /// Undoes [`Router::pause_replica`]; the replica drains its backlog.
+    pub fn resume_replica(&self, i: usize) {
+        self.replicas[i]
+            .state
+            .paused
+            .store(false, Ordering::Relaxed);
+        self.replicas[i]
+            .state
+            .silenced
+            .store(false, Ordering::Relaxed);
+    }
+
+    /// Test/bench seam: pause replica `i` *and* stop its heartbeat, so
+    /// [`Router::health_check`] observes a silent replica.
+    pub fn silence_replica(&self, i: usize) {
+        self.replicas[i]
+            .state
+            .silenced
+            .store(true, Ordering::Relaxed);
+        self.replicas[i].state.paused.store(true, Ordering::Relaxed);
+    }
+
+    /// Test/bench seam: replica `i` fails its next apply (an induced
+    /// replica failure: it degrades and leaves the read rotation until
+    /// reseeded).
+    pub fn induce_failure(&self, i: usize) {
+        self.replicas[i]
+            .state
+            .fail_next
+            .store(true, Ordering::Relaxed);
+    }
+
+    /// Picks the least-loaded healthy replica whose watermark has
+    /// reached `min_epoch` (rotating ties).
+    fn pick_replica(&self, min_epoch: u64) -> Option<&ReplicaHandle> {
+        let n = self.replicas.len();
+        if n == 0 {
+            return None;
+        }
+        let start = self.rotate.fetch_add(1, Ordering::Relaxed);
+        let mut best: Option<(&ReplicaHandle, u64)> = None;
+        for i in 0..n {
+            let replica = &self.replicas[(start + i) % n];
+            if replica.state.status.health() != ReplicaHealth::Healthy
+                || replica.state.watermark.current() < min_epoch
+            {
+                continue;
+            }
+            let load = replica.state.outstanding.load(Ordering::Relaxed);
+            if best.is_none_or(|(_, b)| load < b) {
+                best = Some((replica, load));
+            }
+        }
+        best.map(|(replica, _)| replica)
+    }
+
+    fn lease_read(&self, replica: &ReplicaHandle) -> RoutedSnapshot {
+        replica.state.routed_reads.fetch_add(1, Ordering::Relaxed);
+        let lease = ReadLease::acquire(&replica.state.outstanding);
+        // Order matters: snapshot *after* the watermark check that got
+        // us here — stores only move forward, so the snapshot's epoch
+        // is at least the watermark the pick saw.
+        RoutedSnapshot {
+            snapshot: replica.state.snapshot(),
+            origin: ReadOrigin::Replica(replica.state.id),
+            _lease: Some(lease),
+        }
+    }
+
+    fn primary_read(&self) -> RoutedSnapshot {
+        self.primary_reads.fetch_add(1, Ordering::Relaxed);
+        RoutedSnapshot::primary(self.primary.snapshot())
+    }
+
+    /// Point-in-time cluster metrics (schema `csag-cluster-metrics-v1`
+    /// via [`ClusterMetrics::to_json`]).
+    pub fn metrics(&self) -> ClusterMetrics {
+        let primary_epoch = self.primary.published_epoch();
+        ClusterMetrics {
+            primary_epoch,
+            records: self.records.load(Ordering::Relaxed),
+            pinned_reads: self.pinned_reads.load(Ordering::Relaxed),
+            unpinned_reads: self.unpinned_reads.load(Ordering::Relaxed),
+            primary_reads: self.primary_reads.load(Ordering::Relaxed),
+            pinned_waits: self.pinned_waits.load(Ordering::Relaxed),
+            pinned_rejects: self.pinned_rejects.load(Ordering::Relaxed),
+            replicas: self
+                .replicas
+                .iter()
+                .map(|r| {
+                    let watermark = r.state.watermark.current();
+                    ReplicaMetrics {
+                        id: r.state.id,
+                        health: r.state.status.health(),
+                        watermark,
+                        lag: primary_epoch.saturating_sub(watermark),
+                        routed_reads: r.state.routed_reads.load(Ordering::Relaxed),
+                        outstanding: r.state.outstanding.load(Ordering::Relaxed),
+                        applied: r.state.applied.load(Ordering::Relaxed),
+                        apply_errors: r.state.apply_errors.load(Ordering::Relaxed),
+                        degraded: r.state.status.degraded_marks(),
+                        reseeded: r.state.reseeds.load(Ordering::Relaxed),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+impl ReadSource for Router {
+    /// Cluster routing. Unpinned: least-loaded healthy replica that has
+    /// caught up to the primary's current epoch, else the primary.
+    /// Pinned to `E`: any healthy replica with watermark `>= E`, else
+    /// the primary if it has published `E`, else a condvar wait on the
+    /// primary's publish watch (a replica can never be ahead of the
+    /// primary) bounded by `wait` — and only then the typed rejection.
+    fn route_read(&self, pin: Option<u64>, wait: Duration) -> Result<RoutedSnapshot, CsagError> {
+        match pin {
+            None => {
+                self.unpinned_reads.fetch_add(1, Ordering::Relaxed);
+                let target = self.primary.published_epoch();
+                match self.pick_replica(target) {
+                    Some(replica) => Ok(self.lease_read(replica)),
+                    None => Ok(self.primary_read()),
+                }
+            }
+            Some(epoch) => {
+                self.pinned_reads.fetch_add(1, Ordering::Relaxed);
+                if let Some(replica) = self.pick_replica(epoch) {
+                    return Ok(self.lease_read(replica));
+                }
+                // No caught-up replica: the primary serves any epoch it
+                // has published; a future epoch waits for the publish.
+                if self.primary.published_epoch() >= epoch {
+                    return Ok(self.primary_read());
+                }
+                self.pinned_waits.fetch_add(1, Ordering::Relaxed);
+                if self.primary.subscribe().wait_for(epoch, wait) {
+                    // Published while we waited — replicas may have
+                    // caught up too; prefer them to keep the primary free.
+                    match self.pick_replica(epoch) {
+                        Some(replica) => Ok(self.lease_read(replica)),
+                        None => Ok(self.primary_read()),
+                    }
+                } else {
+                    self.pinned_rejects.fetch_add(1, Ordering::Relaxed);
+                    Err(CsagError::EpochUnavailable {
+                        requested: epoch,
+                        published: self.primary.published_epoch(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Router {
+    /// Shuts every replica down and joins its thread.
+    fn drop(&mut self) {
+        for replica in &self.replicas {
+            replica.state.paused.store(false, Ordering::Relaxed);
+            let _ = replica.tx.send(ReplicaMsg::Shutdown);
+        }
+        for replica in &mut self.replicas {
+            if let Some(join) = replica.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+/// Point-in-time view of one replica, inside [`ClusterMetrics`].
+#[derive(Clone, Debug)]
+pub struct ReplicaMetrics {
+    /// Replica index (0-based).
+    pub id: usize,
+    /// Current lifecycle state.
+    pub health: ReplicaHealth,
+    /// Highest epoch this replica has published.
+    pub watermark: u64,
+    /// Fan-out lag: primary epoch minus this watermark.
+    pub lag: u64,
+    /// Reads the router has routed here.
+    pub routed_reads: u64,
+    /// Reads currently leased against this replica.
+    pub outstanding: u64,
+    /// Log records applied.
+    pub applied: u64,
+    /// Apply failures (induced or gap-detected).
+    pub apply_errors: u64,
+    /// Times this replica was marked degraded.
+    pub degraded: u64,
+    /// Times this replica was reseeded from the primary.
+    pub reseeded: u64,
+}
+
+/// Point-in-time cluster metrics ([`Router::metrics`]).
+#[derive(Clone, Debug)]
+pub struct ClusterMetrics {
+    /// The primary's published epoch.
+    pub primary_epoch: u64,
+    /// Replication log records fanned out.
+    pub records: u64,
+    /// Reads that arrived with an epoch pin.
+    pub pinned_reads: u64,
+    /// Reads without a pin.
+    pub unpinned_reads: u64,
+    /// Reads the primary served (no caught-up replica, or no replicas).
+    pub primary_reads: u64,
+    /// Pinned reads that had to wait for a publish.
+    pub pinned_waits: u64,
+    /// Pinned reads rejected as [`CsagError::EpochUnavailable`].
+    pub pinned_rejects: u64,
+    /// Per-replica detail.
+    pub replicas: Vec<ReplicaMetrics>,
+}
+
+impl ClusterMetrics {
+    /// Serializes as one JSON object, schema `csag-cluster-metrics-v1`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        push_kv(&mut s, "schema", &json_string("csag-cluster-metrics-v1"));
+        s.push(',');
+        push_kv(&mut s, "primary_epoch", &self.primary_epoch.to_string());
+        s.push(',');
+        push_kv(&mut s, "records", &self.records.to_string());
+        s.push(',');
+        push_kv(&mut s, "pinned_reads", &self.pinned_reads.to_string());
+        s.push(',');
+        push_kv(&mut s, "unpinned_reads", &self.unpinned_reads.to_string());
+        s.push(',');
+        push_kv(&mut s, "primary_reads", &self.primary_reads.to_string());
+        s.push(',');
+        push_kv(&mut s, "pinned_waits", &self.pinned_waits.to_string());
+        s.push(',');
+        push_kv(&mut s, "pinned_rejects", &self.pinned_rejects.to_string());
+        s.push(',');
+        push_key(&mut s, "replicas");
+        s.push('[');
+        for (i, r) in self.replicas.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('{');
+            push_kv(&mut s, "id", &r.id.to_string());
+            s.push(',');
+            push_kv(&mut s, "health", &json_string(r.health.name()));
+            s.push(',');
+            push_kv(&mut s, "watermark", &r.watermark.to_string());
+            s.push(',');
+            push_kv(&mut s, "lag", &r.lag.to_string());
+            s.push(',');
+            push_kv(&mut s, "routed_reads", &r.routed_reads.to_string());
+            s.push(',');
+            push_kv(&mut s, "outstanding", &r.outstanding.to_string());
+            s.push(',');
+            push_kv(&mut s, "applied", &r.applied.to_string());
+            s.push(',');
+            push_kv(&mut s, "apply_errors", &r.apply_errors.to_string());
+            s.push(',');
+            push_kv(&mut s, "degraded", &r.degraded.to_string());
+            s.push(',');
+            push_kv(&mut s, "reseeded", &r.reseeded.to_string());
+            s.push('}');
+        }
+        s.push(']');
+        s.push('}');
+        s
+    }
+}
+
+// The router is shared across transport connections and writer threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Router>();
+    assert_send_sync::<RoutedSnapshot>();
+};

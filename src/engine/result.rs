@@ -256,6 +256,7 @@ pub fn error_to_json(err: &super::error::CsagError) -> String {
         CsagError::NoCommunity { .. } => "no_community",
         CsagError::BudgetExhausted { .. } => "budget_exhausted",
         CsagError::Overloaded { .. } => "overloaded",
+        CsagError::EpochUnavailable { .. } => "epoch_unavailable",
     };
     push_kv(&mut s, "error", &json_string(kind));
     s.push(',');
@@ -267,6 +268,16 @@ pub fn error_to_json(err: &super::error::CsagError) -> String {
             "retry_after_ms",
             &json_f64(retry_after.as_secs_f64() * 1000.0),
         );
+    }
+    if let CsagError::EpochUnavailable {
+        requested,
+        published,
+    } = err
+    {
+        s.push(',');
+        push_kv(&mut s, "requested", &requested.to_string());
+        s.push(',');
+        push_kv(&mut s, "published", &published.to_string());
     }
     if let CsagError::BudgetExhausted { partial: Some(p) } = err {
         s.push(',');

@@ -59,7 +59,8 @@ use super::Engine;
 use csag_core::distance::QueryDistances;
 use csag_decomp::{patch_node_trussness, CoreMaintainer};
 use csag_graph::{Applied, AttributedGraph, GraphError, MutableGraph, NodeId};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
 
 pub use csag_graph::GraphUpdate;
 
@@ -93,6 +94,20 @@ pub struct UpdateReport {
 /// Dereferences to the epoch's [`Engine`], so `snapshot.run(&query)`
 /// works directly; hold it (or [`Snapshot::engine`]'s `Arc`) for as long
 /// as the epoch must stay readable.
+///
+/// # The epoch-pinning contract
+///
+/// A `Snapshot` pins **exactly one** epoch: every query it answers runs
+/// against the graph, decompositions, and caches of
+/// [`Snapshot::epoch`], bit-for-bit, no matter how many
+/// [`GraphStore::apply`] batches publish after it was taken. Two stores
+/// that applied the identical batch sequence produce snapshots whose
+/// answers are byte-identical at the same epoch — the guarantee the
+/// cluster router ([`crate::cluster::Router`]) relies on when it serves
+/// an epoch-pinned read from a replica instead of the primary: a read
+/// pinned to epoch `E` may be answered by *any* store whose published
+/// watermark is at least `E`, and the response names the snapshot's
+/// actual epoch (always `>= E`).
 #[derive(Clone)]
 pub struct Snapshot {
     engine: Arc<Engine>,
@@ -131,10 +146,66 @@ struct StoreState {
     epoch: u64,
 }
 
+/// The condvar-backed publish watermark behind
+/// [`GraphStore::subscribe`]: updated (and broadcast) immediately after
+/// each epoch's engine swaps in.
+struct EpochCell {
+    epoch: Mutex<u64>,
+    published: Condvar,
+}
+
+/// A subscription to a store's epoch publishes ([`GraphStore::subscribe`]).
+///
+/// The watch observes the publish watermark without polling: a waiter
+/// blocks on a condvar that [`GraphStore::apply`] signals right after it
+/// swaps the new epoch's engine in. This is how the cluster router (and
+/// any single-store epoch-pinned read) waits for a write to land
+/// instead of spinning on [`GraphStore::epoch`].
+#[derive(Clone)]
+pub struct EpochWatch {
+    cell: Arc<EpochCell>,
+}
+
+impl EpochWatch {
+    /// The highest epoch published so far.
+    pub fn current(&self) -> u64 {
+        *self
+            .cell
+            .epoch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks until the store publishes `epoch` (or later), or `timeout`
+    /// elapses. Returns `true` when the epoch was reached.
+    pub fn wait_for(&self, epoch: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut current = self
+            .cell
+            .epoch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while *current < epoch {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (guard, _timed_out) = self
+                .cell
+                .published
+                .wait_timeout(current, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            current = guard;
+        }
+        true
+    }
+}
+
 /// The evolving-graph engine handle. See the [module docs](self).
 pub struct GraphStore {
     state: Mutex<StoreState>,
     current: RwLock<Arc<Engine>>,
+    watch: Arc<EpochCell>,
 }
 
 impl GraphStore {
@@ -147,16 +218,49 @@ impl GraphStore {
 
     /// [`GraphStore::new`] over an already-shared graph (no copy).
     pub fn from_arc(graph: Arc<AttributedGraph>) -> Self {
+        GraphStore::from_arc_at(graph, 0)
+    }
+
+    /// [`GraphStore::from_arc`], but numbering epochs from `epoch`
+    /// instead of 0. This is the replica-reseed seam: a store rebuilt
+    /// from a primary's epoch-`E` snapshot graph must keep publishing
+    /// `E + 1, E + 2, …` so replication log records line up with the
+    /// primary's numbering.
+    pub fn from_arc_at(graph: Arc<AttributedGraph>, epoch: u64) -> Self {
         let mutable = MutableGraph::from_graph(&graph);
         let core = CoreMaintainer::new(&graph);
-        let engine = Engine::from_store_parts(graph, 0, core.coreness().to_vec(), None, Vec::new());
+        let engine =
+            Engine::from_store_parts(graph, epoch, core.coreness().to_vec(), None, Vec::new());
         GraphStore {
             state: Mutex::new(StoreState {
                 mutable,
                 core,
-                epoch: 0,
+                epoch,
             }),
             current: RwLock::new(Arc::new(engine)),
+            watch: Arc::new(EpochCell {
+                epoch: Mutex::new(epoch),
+                published: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The highest epoch this store has published, without pinning a
+    /// snapshot (the router's high-watermark probe).
+    pub fn published_epoch(&self) -> u64 {
+        *self
+            .watch
+            .epoch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Subscribes to this store's epoch publishes: the returned
+    /// [`EpochWatch`] can block until a given epoch lands instead of
+    /// polling [`GraphStore::epoch`].
+    pub fn subscribe(&self) -> EpochWatch {
+        EpochWatch {
+            cell: Arc::clone(&self.watch),
         }
     }
 
@@ -295,6 +399,18 @@ impl GraphStore {
             carried,
         ));
         *self.current.write().unwrap_or_else(PoisonError::into_inner) = engine;
+
+        // Signal subscribers only after the engine swap: a woken waiter
+        // snapshotting immediately must see (at least) this epoch.
+        {
+            let mut published = self
+                .watch
+                .epoch
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *published = state.epoch;
+            self.watch.published.notify_all();
+        }
 
         match first_error {
             Some(e) => Err(e),
@@ -512,6 +628,53 @@ mod tests {
         assert_eq!(snap.epoch(), 1);
         assert!(snap.graph().has_edge(0, 4));
         assert!(!snap.graph().has_edge(1, 4), "update after the error halts");
+    }
+
+    #[test]
+    fn subscribers_observe_publishes_without_polling() {
+        let store = GraphStore::new(clique_plus_tail());
+        assert_eq!(store.published_epoch(), 0);
+        let watch = store.subscribe();
+        assert_eq!(watch.current(), 0);
+        assert!(watch.wait_for(0, Duration::ZERO), "already published");
+        assert!(!watch.wait_for(1, Duration::from_millis(5)), "not yet");
+
+        // A blocked waiter is woken by the publish itself.
+        let waiter = std::thread::spawn({
+            let watch = watch.clone();
+            move || watch.wait_for(1, Duration::from_secs(10))
+        });
+        store.apply(&[GraphUpdate::AddEdge { u: 4, v: 0 }]).unwrap();
+        assert!(waiter.join().unwrap());
+        assert_eq!(store.published_epoch(), 1);
+
+        // Erroneous batches still publish (the applied prefix) and wake.
+        let _ = store
+            .apply(&[GraphUpdate::AddEdge { u: 0, v: 99 }])
+            .unwrap_err();
+        assert_eq!(store.published_epoch(), 2);
+    }
+
+    #[test]
+    fn from_arc_at_renumbers_epochs_for_reseed() {
+        let primary = GraphStore::new(clique_plus_tail());
+        primary
+            .apply(&[GraphUpdate::AddEdge { u: 4, v: 0 }])
+            .unwrap();
+        let snap = primary.snapshot();
+        let replica = GraphStore::from_arc_at(snap.engine().graph_arc(), snap.epoch());
+        assert_eq!(replica.published_epoch(), 1);
+        assert_eq!(replica.snapshot().epoch(), 1);
+        let report = replica
+            .apply(&[GraphUpdate::AddEdge { u: 4, v: 1 }])
+            .unwrap();
+        assert_eq!(report.epoch, 2, "continues the primary's numbering");
+        // The reseeded store's decompositions match a fresh peel.
+        let s = replica.snapshot();
+        assert_eq!(
+            s.engine().coreness(),
+            csag_decomp::core_decomposition(s.graph()).as_slice()
+        );
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //!   the `csag-wire` JSON-lines protocol behind `csag serve`, and the
 //!   pipelined socket transport ([`service::Transport`], csag-wire v2
 //!   over TCP / unix-domain sockets — see `docs/wire-protocol.md`),
+//! * [`cluster`] — **scale-out**: a [`cluster::Router`] that applies
+//!   update batches to a primary [`engine::GraphStore`] and fans them
+//!   out to N replica stores over a `csag-updates v1` replication log,
+//!   load-balancing reads with epoch-consistency guarantees (a client
+//!   may pin an epoch; pinned reads are only served by a store that has
+//!   published it), plus replica health tracking with automatic
+//!   reseed-from-primary recovery (`csag serve --replicas N`),
 //! * [`graph`] — attributed homogeneous & heterogeneous graph storage,
 //! * [`decomp`] — k-core / k-truss decomposition and maintenance,
 //! * [`stats`] — Hoeffding bounds, bootstrap, Bag of Little Bootstraps,
@@ -70,6 +77,7 @@
 // RUSTDOCFLAGS="-D warnings".
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod engine;
 pub mod service;
 

@@ -92,12 +92,42 @@ pub use request::{Priority, QueryClass, Request, Response, Ticket};
 pub use transport::{BoundAddr, Transport};
 pub use wire::{parse_wire_request, rejection_to_json, response_to_json, WireRequest};
 
+use crate::cluster::{ReadSource, Router};
 use crate::engine::{CsagError, GraphStore, Snapshot};
 use csag_graph::AttributedGraph;
 use scheduler::{ReplyTo, Shared};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// What the service reads from: a single [`GraphStore`], or a
+/// [`Router`]-fronted replica cluster. Both implement [`ReadSource`];
+/// the scheduler only ever sees the trait.
+enum Backend {
+    /// One store, one machine: every read pins its newest snapshot.
+    Store(Arc<GraphStore>),
+    /// A primary plus N replicas behind the epoch-consistent router:
+    /// unpinned reads balance across caught-up replicas, pinned reads
+    /// route to a store that published the pinned epoch.
+    Cluster(Arc<Router>),
+}
+
+impl Backend {
+    fn source(&self) -> &dyn ReadSource {
+        match self {
+            Backend::Store(store) => store.as_ref(),
+            Backend::Cluster(router) => router.as_ref(),
+        }
+    }
+
+    /// The store writes go to (the only store, or the cluster primary).
+    fn primary(&self) -> &Arc<GraphStore> {
+        match self {
+            Backend::Store(store) => store,
+            Backend::Cluster(router) => router.primary(),
+        }
+    }
+}
 
 /// Tuning knobs of a [`Service`]. The defaults suit an interactive
 /// deployment on commodity hardware; every knob has a `with_*` setter.
@@ -115,6 +145,12 @@ pub struct ServiceConfig {
     /// (invariant 4): a request with at least this much deadline left
     /// runs at full effort.
     pub full_effort_latency: Duration,
+    /// How long an epoch-pinned request *without* a deadline may wait
+    /// for its pinned epoch to publish before the typed
+    /// [`CsagError::EpochUnavailable`](crate::engine::CsagError)
+    /// rejection (a request with a deadline waits at most that deadline
+    /// instead).
+    pub epoch_wait: Duration,
     /// Start with dequeuing paused (submissions are still admitted and
     /// queued). A deterministic seam for tests and staged rollouts;
     /// call [`Service::resume`] to open the floodgates.
@@ -128,6 +164,7 @@ impl Default for ServiceConfig {
             capacity: 256,
             per_class_capacity: None,
             full_effort_latency: Duration::from_millis(200),
+            epoch_wait: Duration::from_millis(250),
             start_paused: false,
         }
     }
@@ -158,6 +195,12 @@ impl ServiceConfig {
         self
     }
 
+    /// Sets the deadline-free epoch-pin wait budget.
+    pub fn with_epoch_wait(mut self, d: Duration) -> Self {
+        self.epoch_wait = d;
+        self
+    }
+
     /// Starts the service with dequeuing paused.
     pub fn paused(mut self) -> Self {
         self.start_paused = true;
@@ -165,10 +208,11 @@ impl ServiceConfig {
     }
 }
 
-/// The admission-controlled serving front of a [`GraphStore`]. See the
-/// [module docs](self) for the invariants it holds.
+/// The admission-controlled serving front of a [`GraphStore`] (or a
+/// [`Router`]-fronted replica cluster — [`Service::over_cluster`]). See
+/// the [module docs](self) for the invariants it holds.
 pub struct Service {
-    store: Arc<GraphStore>,
+    backend: Backend,
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -179,12 +223,31 @@ impl Service {
     /// [`GraphStore::apply`] batches while the service runs, and new
     /// submissions pin the newest epoch.
     pub fn new(store: Arc<GraphStore>, config: ServiceConfig) -> Self {
+        Service::with_backend(Backend::Store(store), config)
+    }
+
+    /// [`Service::new`] over a fresh single-epoch store built from
+    /// `graph` (the static-graph convenience).
+    pub fn over_graph(graph: AttributedGraph, config: ServiceConfig) -> Self {
+        Service::new(Arc::new(GraphStore::new(graph)), config)
+    }
+
+    /// Starts a service over a replica cluster: reads are routed by the
+    /// [`Router`] (unpinned reads balance across caught-up replicas;
+    /// epoch-pinned reads only land on a store that published the
+    /// epoch), writes keep going through [`Router::apply`].
+    pub fn over_cluster(router: Arc<Router>, config: ServiceConfig) -> Self {
+        Service::with_backend(Backend::Cluster(router), config)
+    }
+
+    fn with_backend(backend: Backend, config: ServiceConfig) -> Self {
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared::new(
             config.capacity,
             config.per_class_capacity,
             workers,
             config.full_effort_latency,
+            config.epoch_wait,
             config.start_paused,
         ));
         let handles = (0..workers)
@@ -197,16 +260,10 @@ impl Service {
             })
             .collect();
         Service {
-            store,
+            backend,
             shared,
             workers: handles,
         }
-    }
-
-    /// [`Service::new`] over a fresh single-epoch store built from
-    /// `graph` (the static-graph convenience).
-    pub fn over_graph(graph: AttributedGraph, config: ServiceConfig) -> Self {
-        Service::new(Arc::new(GraphStore::new(graph)), config)
     }
 
     /// Submits one request: admit-or-shed, then queue or coalesce.
@@ -217,7 +274,7 @@ impl Service {
     /// * [`CsagError::Overloaded`] — admission capacity (global or
     ///   per-class) is exhausted; retry after the carried back-off.
     pub fn submit(&self, request: Request) -> Result<Ticket, CsagError> {
-        self.shared.submit(&self.store, request)
+        self.shared.submit(self.backend.source(), request)
     }
 
     /// Submits a burst of requests as **one batch**: every request is
@@ -242,7 +299,7 @@ impl Service {
             })
             .collect();
         self.shared
-            .submit_many(&self.store, entries)
+            .submit_many(self.backend.source(), entries)
             .into_iter()
             .zip(receivers)
             .map(|(outcome, rx)| outcome.map(|id| Ticket { id, rx }))
@@ -269,7 +326,7 @@ impl Service {
             .collect();
         for (outcome, id) in self
             .shared
-            .submit_many(&self.store, entries)
+            .submit_many(self.backend.source(), entries)
             .into_iter()
             .zip(ids)
         {
@@ -288,20 +345,34 @@ impl Service {
         Ok(self.submit(request)?.wait())
     }
 
-    /// The underlying evolving store (apply updates through this; new
-    /// submissions see the new epoch).
+    /// The underlying evolving store — the only store, or the cluster
+    /// primary. **Single-store services** apply updates through this;
+    /// cluster-backed services must write through
+    /// [`Service::cluster`]'s [`Router::apply`] instead (writing the
+    /// primary directly would desynchronize the replicas).
     pub fn store(&self) -> &GraphStore {
-        &self.store
+        self.backend.primary()
     }
 
-    /// A shared handle to the store.
+    /// A shared handle to the store (the cluster primary, if any).
     pub fn store_arc(&self) -> Arc<GraphStore> {
-        Arc::clone(&self.store)
+        Arc::clone(self.backend.primary())
     }
 
-    /// Pins the store's current epoch (a read-side convenience).
+    /// The replica cluster behind this service, if it was started with
+    /// [`Service::over_cluster`]. Writes to a cluster-backed service go
+    /// through [`Router::apply`] on this handle.
+    pub fn cluster(&self) -> Option<&Arc<Router>> {
+        match &self.backend {
+            Backend::Store(_) => None,
+            Backend::Cluster(router) => Some(router),
+        }
+    }
+
+    /// Pins the primary store's current epoch (a read-side
+    /// convenience).
     pub fn snapshot(&self) -> Snapshot {
-        self.store.snapshot()
+        self.backend.primary().snapshot()
     }
 
     /// Point-in-time serving metrics.

@@ -124,6 +124,13 @@ pub struct Request {
     pub deadline: Option<Duration>,
     /// Tenant/workload class for admission accounting.
     pub class: QueryClass,
+    /// Epoch pin: the answer must come from store epoch `>=` this (wire
+    /// key `"epoch"`). Routing waits a bounded time for the epoch to
+    /// publish — the request's deadline if it has one, the service's
+    /// `epoch_wait` otherwise — then rejects with the typed
+    /// [`CsagError::EpochUnavailable`](crate::engine::CsagError).
+    /// `None` (the default) reads from any current epoch.
+    pub pin_epoch: Option<u64>,
 }
 
 impl Request {
@@ -134,6 +141,7 @@ impl Request {
             priority: Priority::Standard,
             deadline: None,
             class: QueryClass::default(),
+            pin_epoch: None,
         }
     }
 
@@ -152,6 +160,13 @@ impl Request {
     /// Sets the tenant/workload class.
     pub fn with_class(mut self, class: impl Into<String>) -> Self {
         self.class = QueryClass::new(class);
+        self
+    }
+
+    /// Pins the read to store epoch `epoch` or later (see
+    /// [`Request::pin_epoch`]).
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.pin_epoch = Some(epoch);
         self
     }
 }
@@ -255,12 +270,15 @@ mod tests {
         assert_eq!(req.priority, Priority::Standard);
         assert!(req.deadline.is_none());
         assert_eq!(req.class.label(), "default");
+        assert!(req.pin_epoch.is_none());
         let req = req
             .with_priority(Priority::Batch)
             .with_deadline(Duration::from_millis(10))
-            .with_class("t");
+            .with_class("t")
+            .with_epoch(3);
         assert_eq!(req.priority, Priority::Batch);
         assert_eq!(req.deadline, Some(Duration::from_millis(10)));
         assert_eq!(req.class.label(), "t");
+        assert_eq!(req.pin_epoch, Some(3));
     }
 }

@@ -8,7 +8,8 @@
 //! only. Query execution — the expensive part — always happens outside
 //! the lock, on a worker's private [`QueryWorkspace`].
 
-use crate::engine::{CommunityQuery, CsagError, GraphStore, Snapshot};
+use crate::cluster::{ReadSource, RoutedSnapshot};
+use crate::engine::{CommunityQuery, CsagError};
 use crate::service::admission::Admission;
 use crate::service::metrics::ServiceMetrics;
 use crate::service::request::{Priority, QueryClass, Request, Response, Ticket};
@@ -64,7 +65,9 @@ struct Waiter {
 /// One distinct in-flight computation and everyone waiting on it.
 struct Job {
     query: CommunityQuery,
-    snapshot: Snapshot,
+    /// The routed read the job answers from: pins both the snapshot
+    /// and (for replica reads) the replica's load-accounting lease.
+    routed: RoutedSnapshot,
     key: String,
     /// Highest priority among the job's waiters (coalescing escalates).
     priority: Priority,
@@ -118,6 +121,9 @@ pub(crate) struct Shared {
     pub(crate) metrics: ServiceMetrics,
     /// Wall-time under which deadline-driven degradation kicks in.
     full_effort: Duration,
+    /// How long an epoch-pinned read without a deadline may wait for
+    /// its epoch to publish before the typed rejection.
+    epoch_wait: Duration,
     /// Global completion sequence (coalesced waiters share a number).
     finish_seq: AtomicU64,
 }
@@ -128,6 +134,7 @@ impl Shared {
         per_class_capacity: Option<usize>,
         workers: usize,
         full_effort: Duration,
+        epoch_wait: Duration,
         start_paused: bool,
     ) -> Self {
         Shared {
@@ -145,6 +152,7 @@ impl Shared {
             work: Condvar::new(),
             metrics: ServiceMetrics::default(),
             full_effort,
+            epoch_wait,
             finish_seq: AtomicU64::new(0),
         }
     }
@@ -156,9 +164,13 @@ impl Shared {
     /// Admits or sheds one request. On admission the request either
     /// becomes a new queued job or coalesces onto the identical
     /// in-flight one.
-    pub(crate) fn submit(&self, store: &GraphStore, req: Request) -> Result<Ticket, CsagError> {
+    pub(crate) fn submit(
+        &self,
+        source: &dyn ReadSource,
+        req: Request,
+    ) -> Result<Ticket, CsagError> {
         let (tx, rx) = mpsc::channel();
-        let mut outcomes = self.submit_many(store, vec![(req, ReplyTo::Ticket(tx))]);
+        let mut outcomes = self.submit_many(source, vec![(req, ReplyTo::Ticket(tx))]);
         outcomes
             .pop()
             .expect("one entry in, one outcome out")
@@ -178,24 +190,27 @@ impl Shared {
     /// or shed by it (the reply sink will receive nothing — the caller
     /// owns the rejection).
     ///
-    /// The whole batch pins one store snapshot: entries that arrived
-    /// together answer from the same epoch.
+    /// Unpinned entries share **one** routed snapshot: entries that
+    /// arrived together answer from the same epoch. Epoch-pinned
+    /// entries route individually (their pin may demand a newer epoch,
+    /// or a bounded wait for one); a pin no store satisfies in time is
+    /// rejected pre-admission with the typed `EpochUnavailable`.
     pub(crate) fn submit_many(
         &self,
-        store: &GraphStore,
+        source: &dyn ReadSource,
         entries: Vec<(Request, ReplyTo)>,
     ) -> Vec<Result<u64, CsagError>> {
-        let snapshot = store.snapshot();
-        let epoch = snapshot.epoch();
-        // Pre-lock, per entry: counting, validation, fingerprinting.
-        // Degenerate queries are a caller bug, not load: reject before
-        // admission so they never occupy a queue slot (counted as
-        // `rejected`, so submitted == admitted + shed + rejected always
-        // balances). That includes the one method the homogeneous
-        // engine can never answer — admitting it would burn a slot and
-        // a dispatch on a guaranteed InvalidParams.
+        // Pre-lock, per entry: counting, validation, routing,
+        // fingerprinting. Degenerate queries are a caller bug, not
+        // load: reject before admission so they never occupy a queue
+        // slot (counted as `rejected`, so submitted == admitted + shed
+        // + rejected always balances). That includes the one method the
+        // homogeneous engine can never answer — admitting it would burn
+        // a slot and a dispatch on a guaranteed InvalidParams — and
+        // unroutable epoch pins.
+        let mut batch_route: Option<RoutedSnapshot> = None;
         let mut outcomes: Vec<Option<Result<u64, CsagError>>> = Vec::with_capacity(entries.len());
-        let mut admissible: Vec<(usize, Request, ReplyTo, String)> =
+        let mut admissible: Vec<(usize, Request, ReplyTo, String, RoutedSnapshot)> =
             Vec::with_capacity(entries.len());
         for (req, reply) in entries {
             self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
@@ -212,14 +227,40 @@ impl Shared {
                 ))));
                 continue;
             }
-            let key = fingerprint(&req.query, epoch, req.deadline.is_some());
-            admissible.push((outcomes.len(), req, reply, key));
+            let routed = match req.pin_epoch {
+                None => {
+                    if batch_route.is_none() {
+                        match source.route_read(None, Duration::ZERO) {
+                            Ok(r) => batch_route = Some(r),
+                            Err(e) => {
+                                self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                                outcomes.push(Some(Err(e)));
+                                continue;
+                            }
+                        }
+                    }
+                    batch_route.clone().expect("just routed")
+                }
+                Some(epoch) => {
+                    let wait = req.deadline.unwrap_or(self.epoch_wait);
+                    match source.route_read(Some(epoch), wait) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                            outcomes.push(Some(Err(e)));
+                            continue;
+                        }
+                    }
+                }
+            };
+            let key = fingerprint(&req.query, routed.epoch(), req.deadline.is_some());
+            admissible.push((outcomes.len(), req, reply, key, routed));
             outcomes.push(None);
         }
 
         let mut newly_ready = 0usize;
         let mut st = self.lock();
-        for (ix, req, reply, key) in admissible {
+        for (ix, req, reply, key, routed) in admissible {
             if st.shutdown {
                 self.metrics.shed.fetch_add(1, Ordering::Relaxed);
                 outcomes[ix] = Some(Err(CsagError::Overloaded {
@@ -279,7 +320,7 @@ impl Shared {
                         job_id,
                         Job {
                             query: req.query,
-                            snapshot: snapshot.clone(),
+                            routed,
                             key: key.clone(),
                             priority: req.priority,
                             running: false,
@@ -349,7 +390,7 @@ impl Shared {
         let mut ws = QueryWorkspace::new();
         loop {
             // Pick a job (or exit once shut down and drained).
-            let (job_id, query, snapshot, earliest_deadline) = {
+            let (job_id, query, routed, earliest_deadline) = {
                 let mut st = self.lock();
                 let picked = loop {
                     if st.shutdown && st.ready.is_empty() {
@@ -384,7 +425,7 @@ impl Shared {
                 (
                     picked,
                     job.query.clone(),
-                    job.snapshot.clone(),
+                    job.routed.clone(),
                     job.waiters.iter().filter_map(|w| w.deadline_at).min(),
                 )
             };
@@ -406,7 +447,7 @@ impl Shared {
             // coalesce onto the corpse): catch the unwind, answer the
             // waiters with a typed error, and retire the worker's
             // workspace (its pooled state may be mid-mutation).
-            let engine = snapshot.engine();
+            let engine = routed.snapshot().engine();
             let warm = engine.cached_distances(derived.q, derived.gamma).is_some();
             let t = Instant::now();
             let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -445,7 +486,7 @@ impl Shared {
                 }
                 job.waiters
             };
-            let epoch = snapshot.epoch();
+            let epoch = routed.epoch();
             let done = Instant::now();
             for w in waiters {
                 self.metrics.completed.fetch_add(1, Ordering::Relaxed);

@@ -59,6 +59,7 @@ pub fn parse_wire_request(line: &str, line_no: usize) -> Result<WireRequest, Str
     let mut priority = Priority::Standard;
     let mut deadline: Option<Duration> = None;
     let mut class: Option<String> = None;
+    let mut pin_epoch: Option<u64> = None;
 
     for (key, value) in fields {
         match key.as_str() {
@@ -141,6 +142,7 @@ pub fn parse_wire_request(line: &str, line_no: usize) -> Result<WireRequest, Str
                 deadline = Some(Duration::from_secs_f64(ms / 1e3));
             }
             "class" => class = Some(str_field(&key, &value)?),
+            "epoch" => pin_epoch = Some(uint_field(&key, &value)?),
             other => return Err(format!("unknown csag-wire key \"{other}\"")),
         }
     }
@@ -165,6 +167,9 @@ pub fn parse_wire_request(line: &str, line_no: usize) -> Result<WireRequest, Str
     }
     if let Some(c) = class {
         request = request.with_class(c);
+    }
+    if let Some(e) = pin_epoch {
+        request = request.with_epoch(e);
     }
     Ok(WireRequest { id, request })
 }
@@ -403,7 +408,7 @@ mod tests {
     fn full_request_round_trips_every_field() {
         let line = r#"{"id": "req-1", "method": "sea", "q": 5, "k": 3, "model": "k-truss",
             "gamma": 0.25, "error": 0.1, "confidence": 0.9, "lambda": 0.5, "seed": 7,
-            "priority": "interactive", "deadline_ms": 50, "class": "tenant-a"}"#;
+            "priority": "interactive", "deadline_ms": 50, "class": "tenant-a", "epoch": 2}"#;
         let wire = parse_wire_request(line, 0).unwrap();
         assert_eq!(wire.id, "\"req-1\"");
         let q = &wire.request.query;
@@ -415,6 +420,7 @@ mod tests {
         assert_eq!(wire.request.priority, Priority::Interactive);
         assert_eq!(wire.request.deadline, Some(Duration::from_millis(50)));
         assert_eq!(wire.request.class.label(), "tenant-a");
+        assert_eq!(wire.request.pin_epoch, Some(2));
     }
 
     #[test]
@@ -450,6 +456,8 @@ mod tests {
             (r#"{"q": [1]}"#, "scalars"),
             (r#"{"q": 1} trailing"#, "trailing"),
             (r#"{"q": 1, "deadline_ms": -5}"#, "non-negative"),
+            (r#"{"q": 1, "epoch": -2}"#, "non-negative integer"),
+            (r#"{"q": 1, "epoch": 1.5}"#, "non-negative integer"),
             (r#"{"q": 1, "priority": "urgent"}"#, "unknown priority"),
         ] {
             let err = parse_wire_request(line, 0).unwrap_err();

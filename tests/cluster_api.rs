@@ -1,0 +1,400 @@
+//! `csag::cluster` integration tests: replication byte-identity under
+//! churn, pinned-read routing (a pinned read is never served by a store
+//! that has not published the pin), failure → reseed recovery with zero
+//! failed client responses, and the typed `EpochUnavailable` rejection.
+
+use csag::cluster::{ReadOrigin, ReadSource, ReplicaHealth, Router};
+use csag::datasets::generator::{generate, SyntheticConfig};
+use csag::datasets::{random_queries, random_updates, ChurnMix};
+use csag::engine::{CommunityQuery, CsagError, Engine, Method};
+use csag::service::{Request, Service, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn small_graph(seed: u64) -> (csag::graph::AttributedGraph, Vec<u32>) {
+    let (g, _) = generate(
+        &SyntheticConfig {
+            nodes: 200,
+            communities: 5,
+            ..Default::default()
+        },
+        seed,
+    );
+    let queries = random_queries(&g, 4, 3, 0xC1);
+    assert!(!queries.is_empty(), "generated graph must offer 3-cores");
+    (g, queries)
+}
+
+fn answer_fingerprint(r: &Result<csag::engine::CommunityResult, CsagError>) -> String {
+    match r {
+        Ok(res) => format!("ok:{:?}:{:x}", res.community, res.delta.to_bits()),
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+/// The replication contract: after arbitrary churn through the router,
+/// every replica that caught up answers every query byte-for-byte like
+/// the primary at the same epoch — and like a fresh engine built from
+/// the primary's post-churn graph.
+#[test]
+fn replicas_answer_byte_identically_to_the_primary_after_churn() {
+    let (g, query_nodes) = small_graph(31);
+    let router = Router::over_graph(g, 2);
+    let mut rng = StdRng::seed_from_u64(0xB17E);
+
+    let queries_for = |q: u32| {
+        vec![
+            CommunityQuery::new(Method::Exact, q)
+                .with_k(3)
+                .with_state_budget(2_000),
+            CommunityQuery::new(Method::Sea, q)
+                .with_k(3)
+                .with_hoeffding(0.3, 0.95)
+                .with_seed(q as u64),
+        ]
+    };
+
+    for round in 0..6 {
+        let snap = router.primary().snapshot();
+        let batch = random_updates(snap.engine().graph(), &mut rng, 5, ChurnMix::MIXED);
+        drop(snap);
+        router.apply(&batch).expect("churn batch applies");
+        assert!(
+            router.wait_replicas_caught_up(Duration::from_secs(30)),
+            "replicas catch up after round {round}"
+        );
+        let primary = router.primary().snapshot();
+        let fresh = Engine::new(primary.engine().graph().clone());
+        for i in 0..router.replica_count() {
+            assert_eq!(
+                router.replica_watermark(i),
+                primary.epoch(),
+                "caught-up replica {i} sits at the primary epoch"
+            );
+            // A read pinned to the current epoch routed until it lands
+            // on replica i (rotation guarantees it gets picked
+            // eventually; assert against whatever store answered).
+            let routed = router
+                .route_read(Some(primary.epoch()), Duration::from_secs(1))
+                .expect("current epoch is published");
+            assert!(routed.epoch() >= primary.epoch());
+            for &q in &query_nodes {
+                for query in queries_for(q) {
+                    let via_router = routed.snapshot().engine().run(&query);
+                    let via_primary = primary.engine().run(&query);
+                    let via_fresh = fresh.run(&query);
+                    assert_eq!(
+                        answer_fingerprint(&via_router),
+                        answer_fingerprint(&via_primary),
+                        "round {round}: routed read disagrees with primary on {query:?}"
+                    );
+                    assert_eq!(
+                        answer_fingerprint(&via_primary),
+                        answer_fingerprint(&via_fresh),
+                        "round {round}: primary disagrees with a fresh engine on {query:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The pinned-routing guarantee, deterministically: with one replica
+/// paused (lagging), a read pinned past its watermark must never be
+/// served by it — and the response's epoch is always `>=` the pin.
+#[test]
+fn pinned_reads_skip_lagging_replicas() {
+    let (g, query_nodes) = small_graph(32);
+    let router = Router::over_graph(g, 2);
+    let mut rng = StdRng::seed_from_u64(0xA11);
+
+    // Replica 0 stops consuming its log; replica 1 keeps up.
+    router.pause_replica(0);
+    for _ in 0..3 {
+        let snap = router.primary().snapshot();
+        let batch = random_updates(snap.engine().graph(), &mut rng, 4, ChurnMix::STRUCTURAL);
+        drop(snap);
+        router.apply(&batch).expect("churn batch applies");
+    }
+    let pin = router.epoch();
+    assert_eq!(pin, 3);
+    // `wait_replicas_caught_up` would block on the paused-but-healthy
+    // replica 0; wait for replica 1's watermark directly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while router.replica_watermark(1) < pin && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(router.replica_watermark(1), pin, "replica 1 catches up");
+    assert!(
+        router.replica_watermark(0) < pin,
+        "paused replica must lag for this test to bite"
+    );
+
+    for _ in 0..64 {
+        let routed = router
+            .route_read(Some(pin), Duration::from_millis(100))
+            .expect("published pin always routes");
+        assert!(
+            routed.epoch() >= pin,
+            "pinned read answered from epoch >= pin"
+        );
+        assert_ne!(
+            routed.origin(),
+            ReadOrigin::Replica(0),
+            "a pinned read must never land on the lagging replica"
+        );
+    }
+
+    // Unpinned reads also avoid the laggard: they require catch-up to
+    // the primary's current epoch.
+    for _ in 0..16 {
+        let routed = router
+            .route_read(None, Duration::ZERO)
+            .expect("unpinned reads always route");
+        assert_ne!(routed.origin(), ReadOrigin::Replica(0));
+    }
+
+    // Once resumed and drained, the replica serves pinned reads again.
+    router.resume_replica(0);
+    assert!(router.wait_replicas_caught_up(Duration::from_secs(30)));
+    let mut saw_replica0 = false;
+    for _ in 0..64 {
+        let routed = router
+            .route_read(Some(pin), Duration::from_millis(100))
+            .expect("published pin always routes");
+        saw_replica0 |= routed.origin() == ReadOrigin::Replica(0);
+    }
+    assert!(
+        saw_replica0,
+        "a drained replica rejoins the pinned-read rotation"
+    );
+    let _ = query_nodes;
+}
+
+/// The same guarantee through the full service stack under concurrent
+/// churn: every epoch-pinned response reports an epoch `>=` its pin
+/// while a writer thread keeps the cluster churning.
+#[test]
+fn pinned_service_reads_stay_consistent_under_concurrent_churn() {
+    let (g, query_nodes) = small_graph(33);
+    let router = Arc::new(Router::over_graph(g, 2));
+    let service = Service::over_cluster(
+        Arc::clone(&router),
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_epoch_wait(Duration::from_secs(1)),
+    );
+
+    let writer = {
+        let router = Arc::clone(&router);
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+            for _ in 0..12 {
+                let snap = router.primary().snapshot();
+                let batch =
+                    random_updates(snap.engine().graph(), &mut rng, 3, ChurnMix::STRUCTURAL);
+                drop(snap);
+                router.apply(&batch).expect("churn batch applies");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    let mut answered = 0;
+    for i in 0..60u64 {
+        // Pin at (or, while churn is still running, slightly ahead of)
+        // the epoch observed at submit time; the router may have to
+        // wait for a publish, never answer from before the pin.
+        let ahead = if writer.is_finished() { 0 } else { i % 2 };
+        let pin = router.epoch() + ahead;
+        let q = query_nodes[(i as usize) % query_nodes.len()];
+        let req = Request::new(
+            CommunityQuery::new(Method::Sea, q)
+                .with_k(3)
+                .with_hoeffding(0.3, 0.95)
+                .with_seed(i),
+        )
+        .with_epoch(pin);
+        match service.submit(req) {
+            Ok(ticket) => {
+                let resp = ticket.wait();
+                assert!(
+                    resp.epoch >= pin,
+                    "response epoch {} < pin {pin}",
+                    resp.epoch
+                );
+                answered += 1;
+            }
+            Err(CsagError::EpochUnavailable { requested, .. }) => {
+                // Legal only for the future pins once churn has ended.
+                assert_eq!(requested, pin);
+            }
+            Err(e) => panic!("unexpected submit failure: {e}"),
+        }
+    }
+    writer.join().expect("writer thread");
+    assert!(answered > 0, "pinned reads were answered under churn");
+}
+
+/// Induced replica failure end to end: the replica degrades, leaves the
+/// rotation, reads keep answering with zero failures, `heal` reseeds
+/// it, and its post-reseed answers match the primary.
+#[test]
+fn induced_failure_degrades_then_heals_with_zero_failed_reads() {
+    let (g, query_nodes) = small_graph(34);
+    let router = Router::over_graph(g, 2);
+    let mut rng = StdRng::seed_from_u64(0xDEAD);
+    let churn = |router: &Router, rng: &mut StdRng| {
+        let snap = router.primary().snapshot();
+        let batch = random_updates(snap.engine().graph(), rng, 4, ChurnMix::STRUCTURAL);
+        drop(snap);
+        router.apply(&batch).expect("churn batch applies");
+    };
+
+    churn(&router, &mut rng);
+    router.induce_failure(0);
+    churn(&router, &mut rng); // replica 0 fails this apply and degrades
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while router.replica_health(0) == ReplicaHealth::Healthy && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(router.replica_health(0), ReplicaHealth::Degraded);
+
+    // Reads keep answering while the replica is out — and never from it.
+    let pin = router.epoch();
+    for i in 0..32u64 {
+        let routed = router
+            .route_read(Some(pin), Duration::from_secs(1))
+            .expect("reads never fail during a replica outage");
+        assert!(routed.epoch() >= pin);
+        assert_ne!(routed.origin(), ReadOrigin::Replica(0));
+        let q = query_nodes[(i as usize) % query_nodes.len()];
+        let outcome = routed.snapshot().engine().run(
+            &CommunityQuery::new(Method::Exact, q)
+                .with_k(3)
+                .with_state_budget(2_000),
+        );
+        assert!(
+            matches!(
+                outcome,
+                Ok(_) | Err(CsagError::NoCommunity { .. }) | Err(CsagError::BudgetExhausted { .. })
+            ),
+            "query through a degraded cluster failed: {outcome:?}"
+        );
+    }
+
+    // Heal: reseed from the primary snapshot, rejoin, agree.
+    assert_eq!(router.heal(), 1, "exactly the failed replica reseeds");
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while router.replica_health(0) != ReplicaHealth::Healthy && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(router.replica_health(0), ReplicaHealth::Healthy);
+    assert!(router.wait_replicas_caught_up(Duration::from_secs(30)));
+    assert_eq!(router.replica_watermark(0), router.epoch());
+
+    churn(&router, &mut rng); // a reseeded replica consumes new records
+    assert!(router.wait_replicas_caught_up(Duration::from_secs(30)));
+    let primary = router.primary().snapshot();
+    let query = CommunityQuery::new(Method::Exact, query_nodes[0])
+        .with_k(3)
+        .with_state_budget(2_000);
+    let mut saw_replica0 = false;
+    for _ in 0..64 {
+        let routed = router
+            .route_read(Some(router.epoch()), Duration::from_secs(1))
+            .expect("current epoch routes");
+        if routed.origin() == ReadOrigin::Replica(0) {
+            saw_replica0 = true;
+            assert_eq!(
+                answer_fingerprint(&routed.snapshot().engine().run(&query)),
+                answer_fingerprint(&primary.engine().run(&query)),
+                "reseeded replica must agree with the primary"
+            );
+        }
+    }
+    assert!(saw_replica0, "healed replica rejoins the rotation");
+
+    let metrics = router.metrics();
+    assert_eq!(metrics.replicas[0].degraded, 1);
+    assert_eq!(metrics.replicas[0].reseeded, 1);
+    assert!(metrics.replicas[0].apply_errors >= 1);
+}
+
+/// A pin beyond every published epoch fails with the typed error (and
+/// its `requested`/`published` payload), both through the router and
+/// through the service wire envelope.
+#[test]
+fn unpublishable_pins_reject_with_the_typed_error() {
+    let (g, query_nodes) = small_graph(35);
+    let router = Arc::new(Router::over_graph(g, 1));
+    let future = router.epoch() + 100;
+    match router.route_read(Some(future), Duration::from_millis(20)) {
+        Err(CsagError::EpochUnavailable {
+            requested,
+            published,
+        }) => {
+            assert_eq!(requested, future);
+            assert!(published < future);
+        }
+        other => panic!("expected EpochUnavailable, got {other:?}"),
+    }
+
+    // Through the service: the rejection costs no admission slot and
+    // surfaces as `epoch_unavailable` on the wire.
+    let service = Service::over_cluster(
+        Arc::clone(&router),
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_epoch_wait(Duration::from_millis(20)),
+    );
+    let req = Request::new(CommunityQuery::new(Method::Exact, query_nodes[0]).with_k(3))
+        .with_epoch(future);
+    match service.submit(req) {
+        Err(e @ CsagError::EpochUnavailable { .. }) => {
+            let json = csag::engine::error_to_json(&e);
+            assert!(json.contains("\"error\":\"epoch_unavailable\""), "{json}");
+            assert!(json.contains(&format!("\"requested\":{future}")), "{json}");
+            assert!(json.contains("\"published\":"), "{json}");
+        }
+        other => panic!("expected EpochUnavailable, got {other:?}"),
+    }
+    let snap = service.metrics();
+    assert_eq!(snap.admitted, 0, "a rejected pin never occupies a slot");
+    assert_eq!(snap.rejected, 1);
+
+    // The metrics counted the rejection.
+    assert!(router.metrics().pinned_rejects >= 1);
+}
+
+/// Silent-replica detection: a silenced replica fails `health_check`'s
+/// heartbeat budget, degrades, and `heal` brings it back.
+#[test]
+fn health_check_degrades_silent_replicas() {
+    let (g, _) = small_graph(36);
+    let router = Router::over_graph(g, 2);
+    // Let both replicas heartbeat at least once.
+    std::thread::sleep(Duration::from_millis(60));
+    router.silence_replica(1);
+    std::thread::sleep(Duration::from_millis(80));
+    assert_eq!(router.health_check(Duration::from_millis(50)), 1);
+    assert_eq!(router.replica_health(1), ReplicaHealth::Degraded);
+    assert_eq!(
+        router.health_check(Duration::from_millis(50)),
+        0,
+        "idempotent"
+    );
+
+    router.resume_replica(1); // clears the silence along with the pause
+    assert_eq!(router.heal(), 1);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while router.replica_health(1) != ReplicaHealth::Healthy && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(router.replica_health(1), ReplicaHealth::Healthy);
+}
