@@ -17,6 +17,12 @@
 //! Every batch is also *verified*: the evolving engine's answers are
 //! diffed against a fresh engine built from the same post-churn graph
 //! and must match bit-for-bit (the experiment asserts this).
+//!
+//! A final **durability phase** re-runs the churn against a WAL-backed
+//! store (`csag::durability`, fsync on every batch) to price the
+//! write-ahead append, then drops the store and times a full crash
+//! recovery — checkpoint load plus record replay to the exact pre-drop
+//! epoch (asserted).
 
 use crate::config::Scale;
 use csag::engine::{CommunityQuery, Engine, GraphStore, Method};
@@ -62,6 +68,7 @@ pub fn run(scale: &Scale) -> String {
             .with_seed(13 + q as u64)
     };
 
+    let wal_graph = graph.clone();
     let store = GraphStore::new(graph);
     // Warm every pinned query node's distance table once.
     for &q in &queries {
@@ -140,6 +147,37 @@ pub fn run(scale: &Scale) -> String {
         }
     }
 
+    // Durability phase: the same flavor of churn against a WAL-backed
+    // store prices the write-ahead append; dropping the store and
+    // recovering times checkpoint-load + replay back to the same epoch.
+    let wal_dir = std::env::temp_dir().join(format!("csag-churn-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let wal_store = GraphStore::with_wal(wal_graph, &wal_dir).expect("wal init");
+    let mut wal_rng = StdRng::seed_from_u64(0xC4A62);
+    let mut wal_apply_ms = Vec::new();
+    for _ in 0..batches {
+        let batch = random_updates(
+            wal_store.snapshot().graph(),
+            &mut wal_rng,
+            batch_size,
+            ChurnMix::STRUCTURAL,
+        );
+        let t = Instant::now();
+        wal_store.apply(&batch).expect("wal batch applies");
+        wal_apply_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let wal_epoch = wal_store.published_epoch();
+    drop(wal_store);
+    let t = Instant::now();
+    let (recovered, recovery) = GraphStore::recover(&wal_dir).expect("recovery");
+    let recovery_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        recovery.epoch, wal_epoch,
+        "recovery must land on the pre-drop epoch"
+    );
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
     let mut md = String::new();
     let _ = writeln!(
         md,
@@ -169,6 +207,20 @@ pub fn run(scale: &Scale) -> String {
         mean(&serve_ms),
         mean(&rebuild_ms)
     );
+    md.push('\n');
+    md.push_str("| durability (same churn, WAL on) | value |\n|---|---|\n");
+    let _ = writeln!(
+        md,
+        "| apply latency with write-ahead log (fsync per batch) | {:.3} ms \
+         (in-memory structural: {:.3} ms) |",
+        mean(&wal_apply_ms),
+        mean(&structural_apply_ms)
+    );
+    let _ = writeln!(
+        md,
+        "| crash recovery: checkpoint + replay of {} record(s) to epoch {} | {recovery_ms:.3} ms |",
+        recovery.records_replayed, recovery.epoch
+    );
     let _ = writeln!(
         md,
         "\nStructural batches carry every distance table bit-for-bit (ratio 1.00 = all \
@@ -195,6 +247,8 @@ mod tests {
         });
         assert!(md.contains("| apply latency"));
         assert!(md.contains("| post-update warm-hit ratio |"));
+        assert!(md.contains("| apply latency with write-ahead log"));
+        assert!(md.contains("| crash recovery: checkpoint + replay"));
         assert!(md.contains("all equal"));
     }
 }

@@ -5,7 +5,7 @@
 //! queueing (and, past the admission bound, shedding) emerges exactly
 //! as it would under real traffic — then snapshots the service metrics
 //! into a machine-readable `BENCH_serve.json`
-//! (`schema: csag-serve-v3`; keep keys append-only within a version).
+//! (`schema: csag-serve-v4`; keep keys append-only within a version).
 //!
 //! The workload has three deliberate ingredients:
 //!
@@ -31,7 +31,12 @@
 //!   with one request in flight the sequential discipline executes every
 //!   duplicate, while pipelining lets in-flight duplicates coalesce onto
 //!   one computation — the structural throughput win the report's
-//!   `speedup` row measures, with the coalesced count alongside it;
+//!   `speedup` row measures, with the coalesced count alongside it.
+//!   The driver is **resilient**: `overloaded` rejections are retried
+//!   after a jittered exponential backoff floored at the server's
+//!   `retry_after_ms` hint, and a dropped connection is redialed with
+//!   every unanswered (idempotent) read resubmitted — the report's
+//!   `retries` / `reconnects` keys count both;
 //! * a **cluster phase** against the `csag::cluster` router: read
 //!   throughput with the primary alone vs primary + N replicas,
 //!   unpinned vs epoch-pinned read latency under live churn, and an
@@ -51,7 +56,8 @@ use csag::service::{Priority, Request, Service, ServiceConfig, Ticket, Transport
 use csag_datasets::generator::{generate, SyntheticConfig};
 use csag_datasets::{random_queries, random_updates, ChurnMix};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::TcpStream;
@@ -73,8 +79,14 @@ struct LoopStats {
     elapsed: Duration,
     /// Responses whose envelope carried a `"result"` object.
     results: usize,
-    /// Responses carrying an `"error"` object instead.
+    /// Responses carrying an `"error"` object instead (typed answers
+    /// like `no_community`; never `overloaded`, which is retried).
     errors: usize,
+    /// Resubmissions: `overloaded` backoff retries plus in-flight
+    /// requests resubmitted after a mid-pipeline connection drop.
+    retries: u64,
+    /// Fresh connections dialed after the first (drops survived).
+    reconnects: u64,
 }
 
 impl LoopStats {
@@ -83,66 +95,174 @@ impl LoopStats {
     }
 }
 
+/// The `"id"` value of a rendered request or response line. The driver
+/// only renders string ids, and csag-wire echoes the id first.
+fn wire_id(line: &str) -> Option<&str> {
+    line.split("\"id\":\"").nth(1)?.split('"').next()
+}
+
+/// The `retry_after_ms` hint of an `overloaded` rejection (the server's
+/// own estimate of when the queue will have room).
+fn retry_after_hint_ms(line: &str) -> f64 {
+    line.split("\"retry_after_ms\":")
+        .nth(1)
+        .and_then(|rest| rest.split([',', '}']).next())
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .unwrap_or(5.0)
+}
+
+/// Give up on a request after this many `overloaded` rejections (keeps
+/// a wedged server from hanging the driver forever).
+const MAX_OVERLOAD_RETRIES: u32 = 32;
+
+/// Abandon the run after this many failed reconnect attempts.
+const MAX_RECONNECTS: u64 = 8;
+
 /// Drives `lines` (rendered csag-wire v2 request lines, `\n`-terminated)
-/// through one TCP connection, keeping at most `window` requests
+/// through a TCP connection, keeping at most `window` requests
 /// outstanding. `window == 1` is the sequential (v1-style) discipline;
-/// larger windows pipeline. A reader thread acknowledges each response
-/// so the sender's window bookkeeping never blocks the socket.
+/// larger windows pipeline. A reader thread forwards response lines so
+/// the sender's window bookkeeping never blocks the socket.
+///
+/// The loop is **resilient**, mirroring what a production client of the
+/// wire protocol must do:
+///
+/// * an `overloaded` rejection is not an answer — the request is
+///   resubmitted after a jittered exponential backoff whose floor is
+///   the server's `retry_after_ms` hint;
+/// * a mid-pipeline connection drop (reset, EOF, stall) dials a fresh
+///   connection and resubmits every unanswered request — sound because
+///   every request the driver sends is an idempotent read;
+/// * duplicate answers (a request resubmitted just before its original
+///   answer arrived) are counted once.
+///
+/// Every resubmission increments `retries`; `reconnects` counts the
+/// re-dials. Both land in `BENCH_serve.json`'s socket section.
 fn closed_loop(addr: &str, lines: &[String], window: usize) -> std::io::Result<LoopStats> {
-    let mut sock = TcpStream::connect(addr)?;
-    sock.set_nodelay(true)?;
-    let read_half = sock.try_clone()?;
-    let n = lines.len();
-    let (done_tx, done_rx) = mpsc::channel::<bool>();
-    let reader = std::thread::spawn(move || -> std::io::Result<()> {
-        let mut r = BufReader::new(read_half);
-        let mut line = String::new();
-        for _ in 0..n {
-            line.clear();
-            if r.read_line(&mut line)? == 0 {
+    let start = Instant::now();
+    let mut stats = LoopStats {
+        elapsed: Duration::ZERO,
+        results: 0,
+        errors: 0,
+        retries: 0,
+        reconnects: 0,
+    };
+    let index_of: HashMap<String, usize> = lines
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| wire_id(l).map(|id| (id.to_string(), i)))
+        .collect();
+    let mut answered = vec![false; lines.len()];
+    let mut attempts = vec![0u32; lines.len()];
+    let mut pending: VecDeque<usize> = (0..lines.len()).collect();
+    let mut rng = StdRng::seed_from_u64(0xB0FF ^ lines.len() as u64);
+    // Jittered exponential backoff: attempt k sleeps ~2·2^k ms (+ up to
+    // 50% jitter so synchronized clients spread out), capped at 200 ms,
+    // floored by any server-provided hint.
+    let backoff = |attempt: u32, floor_ms: f64, rng: &mut StdRng| {
+        let exp_ms = (2u64 << attempt.min(6)) as f64;
+        let ms = exp_ms.min(200.0).max(floor_ms) * (1.0 + rng.gen_range(0.0f64..0.5));
+        std::thread::sleep(Duration::from_secs_f64(ms / 1e3));
+    };
+
+    while stats.results + stats.errors < lines.len() {
+        let mut sock = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                if stats.reconnects >= MAX_RECONNECTS {
+                    return Err(e);
+                }
+                stats.reconnects += 1;
+                backoff(stats.reconnects as u32, 0.0, &mut rng);
+                continue;
+            }
+        };
+        sock.set_nodelay(true)?;
+        let read_half = sock.try_clone()?;
+        let (tx, rx) = mpsc::channel::<String>();
+        let reader = std::thread::spawn(move || {
+            let mut r = BufReader::new(read_half);
+            loop {
+                let mut line = String::new();
+                match r.read_line(&mut line) {
+                    Ok(0) | Err(_) => return,
+                    Ok(_) => {
+                        if tx.send(line).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        });
+
+        let mut in_flight: Vec<usize> = Vec::new();
+        let died = loop {
+            while in_flight.len() < window {
+                match pending.pop_front() {
+                    Some(i) => {
+                        if sock.write_all(lines[i].as_bytes()).is_err() {
+                            in_flight.push(i); // unanswered: resubmit it too
+                            break;
+                        }
+                        in_flight.push(i);
+                    }
+                    None => break,
+                }
+            }
+            if in_flight.is_empty() {
+                break false; // everything sent and answered
+            }
+            match rx.recv_timeout(Duration::from_secs(20)) {
+                Ok(line) => {
+                    let Some(i) = wire_id(&line).and_then(|id| index_of.get(id)).copied() else {
+                        continue; // unparseable line: ignore, the id map is the truth
+                    };
+                    if answered[i] {
+                        continue; // late duplicate from a pre-drop submission
+                    }
+                    in_flight.retain(|&j| j != i);
+                    if line.contains("\"error\":\"overloaded\"")
+                        && attempts[i] < MAX_OVERLOAD_RETRIES
+                    {
+                        attempts[i] += 1;
+                        stats.retries += 1;
+                        backoff(attempts[i], retry_after_hint_ms(&line), &mut rng);
+                        pending.push_back(i);
+                    } else {
+                        answered[i] = true;
+                        if line.contains("\"result\":{") {
+                            stats.results += 1;
+                        } else {
+                            stats.errors += 1;
+                        }
+                    }
+                }
+                // EOF, reset, or a 20 s stall: the connection is dead.
+                Err(_) => break true,
+            }
+        };
+        let _ = sock.shutdown(std::net::Shutdown::Both);
+        drop(rx);
+        let _ = reader.join();
+        if died {
+            if stats.reconnects >= MAX_RECONNECTS {
                 return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed mid-session",
+                    std::io::ErrorKind::ConnectionAborted,
+                    format!("gave up after {MAX_RECONNECTS} reconnects"),
                 ));
             }
-            // Receiver gone ⇒ the sender already failed; just exit.
-            if done_tx.send(line.contains("\"result\":{")).is_err() {
-                return Ok(());
+            // Reconnect and resubmit the unanswered in-flight reads, in
+            // their original order, ahead of the still-pending tail.
+            stats.reconnects += 1;
+            stats.retries += in_flight.len() as u64;
+            for i in in_flight.into_iter().rev() {
+                pending.push_front(i);
             }
+            backoff(stats.reconnects as u32, 0.0, &mut rng);
         }
-        Ok(())
-    });
-
-    let start = Instant::now();
-    let mut outstanding = 0usize;
-    let mut results = 0usize;
-    let mut errors = 0usize;
-    let mut tally = |is_result: bool| {
-        if is_result {
-            results += 1;
-        } else {
-            errors += 1;
-        }
-    };
-    for line in lines {
-        while outstanding >= window {
-            tally(done_rx.recv().expect("reader alive while sending"));
-            outstanding -= 1;
-        }
-        sock.write_all(line.as_bytes())?;
-        outstanding += 1;
     }
-    while outstanding > 0 {
-        tally(done_rx.recv().expect("reader alive while draining"));
-        outstanding -= 1;
-    }
-    let elapsed = start.elapsed();
-    reader.join().expect("reader thread")?;
-    Ok(LoopStats {
-        elapsed,
-        results,
-        errors,
-    })
+    stats.elapsed = start.elapsed();
+    Ok(stats)
 }
 
 /// Renders a csag-wire v2 SEA request line; `pin` adds the `"epoch"`
@@ -422,6 +542,8 @@ pub fn run(scale: &Scale) -> String {
     let pipelined_admitted = after_pipe.admitted - before_pipe.admitted;
     let pipelined_wakes = after_pipe.wakes - before_pipe.wakes;
     let pipelined_coalesced = after_pipe.coalesced - before_pipe.coalesced;
+    let socket_retries = seq.retries + pipe.retries;
+    let socket_reconnects = seq.reconnects + pipe.reconnects;
     let sequential_qps = seq.qps(socket_requests);
     let pipelined_qps = pipe.qps(socket_requests);
     let speedup = pipelined_qps / sequential_qps.max(1e-9);
@@ -548,7 +670,7 @@ pub fn run(scale: &Scale) -> String {
     // Machine-readable report (hand-rolled JSON; keys are the contract).
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"csag-serve-v3\",");
+    let _ = writeln!(json, "  \"schema\": \"csag-serve-v4\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -593,7 +715,8 @@ pub fn run(scale: &Scale) -> String {
          \"pipelined_qps\": {pipelined_qps:.3}, \"speedup\": {speedup:.3}, \
          \"pipelined_admitted\": {pipelined_admitted}, \
          \"pipelined_wakes\": {pipelined_wakes}, \
-         \"pipelined_coalesced\": {pipelined_coalesced} }},"
+         \"pipelined_coalesced\": {pipelined_coalesced}, \
+         \"retries\": {socket_retries}, \"reconnects\": {socket_reconnects} }},"
     );
     let _ = writeln!(
         json,
@@ -682,6 +805,10 @@ pub fn run(scale: &Scale) -> String {
     );
     let _ = writeln!(
         md,
+        "| socket retries / reconnects | {socket_retries} / {socket_reconnects} |"
+    );
+    let _ = writeln!(
+        md,
         "| cluster read qps: primary alone / + {cluster_replicas} replicas | \
          {solo_qps:.1} / {replicated_qps:.1} q/s |"
     );
@@ -729,7 +856,7 @@ mod tests {
         let json = std::fs::read_to_string(REPORT_PATH).expect("report written");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         for key in [
-            "\"schema\": \"csag-serve-v3\"",
+            "\"schema\": \"csag-serve-v4\"",
             "\"workers\"",
             "\"capacity\"",
             "\"offered\"",
@@ -746,6 +873,8 @@ mod tests {
             "\"speedup\"",
             "\"pipelined_wakes\"",
             "\"pipelined_coalesced\"",
+            "\"retries\"",
+            "\"reconnects\"",
             "\"cluster\"",
             "\"replicated_qps\"",
             "\"pinned_mean_ms\"",
@@ -768,5 +897,91 @@ mod tests {
         // Unit tests run with the crate dir as CWD; don't leave a stray
         // report next to the sources.
         let _ = std::fs::remove_file(REPORT_PATH);
+    }
+
+    fn tiny_service(capacity: usize) -> Arc<Service> {
+        let (graph, _) = generate(
+            &SyntheticConfig {
+                nodes: 400,
+                communities: 3,
+                ..Default::default()
+            },
+            0xBE9C,
+        );
+        Arc::new(Service::over_graph(
+            graph,
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_capacity(capacity),
+        ))
+    }
+
+    /// A scripted mid-pipeline connection drop: the driver reconnects,
+    /// resubmits the unanswered reads, and every request is still
+    /// answered exactly once — with the retry accounting to prove it.
+    #[test]
+    fn closed_loop_survives_a_scripted_connection_drop() {
+        use csag::durability::FaultPlan;
+
+        let service = tiny_service(64);
+        let plan = FaultPlan::none().drop_connection_at_request(3);
+        let transport = Transport::bind_tcp_with(Arc::clone(&service), "127.0.0.1:0", plan.clone())
+            .expect("bind");
+        let addr = transport.local_addr().tcp().expect("tcp").to_string();
+        let lines: Vec<String> = (0..8)
+            .map(|i| wire_line(&format!("r{i}"), 5, 3, 100 + i, None))
+            .collect();
+
+        let stats = closed_loop(&addr, &lines, 4).expect("drop survived");
+        transport.shutdown();
+        assert_eq!(plan.injected(), 1, "the scripted drop fired");
+        assert_eq!(
+            stats.results + stats.errors,
+            lines.len(),
+            "every request answered exactly once"
+        );
+        assert!(stats.reconnects >= 1, "the driver redialed");
+        assert!(
+            stats.retries >= 1,
+            "the dropped in-flight reads were resubmitted"
+        );
+    }
+
+    /// `overloaded` rejections are retried, not tallied: a paused
+    /// service sheds most of a burst, the driver backs off per the
+    /// server's `retry_after_ms` hint, and once the scheduler resumes
+    /// every request lands.
+    #[test]
+    fn closed_loop_retries_overloaded_until_admitted() {
+        let service = tiny_service(2);
+        service.pause();
+        let transport = Transport::bind_tcp(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let addr = transport.local_addr().tcp().expect("tcp").to_string();
+        // Distinct seeds: no two requests share a fingerprint, so the
+        // paused queue really fills at its admission bound of 2.
+        let lines: Vec<String> = (0..6)
+            .map(|i| wire_line(&format!("o{i}"), 5, 3, 500 + i, None))
+            .collect();
+
+        let resumer = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(150));
+                service.resume();
+            })
+        };
+        let stats = closed_loop(&addr, &lines, lines.len()).expect("burst survived");
+        resumer.join().unwrap();
+        transport.shutdown();
+        assert_eq!(
+            stats.results + stats.errors,
+            lines.len(),
+            "every request eventually answered"
+        );
+        assert!(
+            stats.retries >= 1,
+            "the paused queue must have shed and the driver retried"
+        );
+        assert_eq!(stats.reconnects, 0, "overload never drops the connection");
     }
 }

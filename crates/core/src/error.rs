@@ -12,7 +12,12 @@
 //!   the best community found so far rides along in
 //!   [`CsagError::BudgetExhausted`] as a [`PartialSearch`],
 //! * a serving layer shed the request before it ran at all
-//!   ([`CsagError::Overloaded`], carrying a suggested back-off).
+//!   ([`CsagError::Overloaded`], carrying a suggested back-off),
+//! * a pinned epoch nobody had published yet
+//!   ([`CsagError::EpochUnavailable`]),
+//! * the write-ahead log stopped accepting appends, so the store is
+//!   serving reads but rejecting writes
+//!   ([`CsagError::DurabilityUnavailable`]).
 
 use csag_graph::NodeId;
 use std::fmt;
@@ -82,6 +87,14 @@ pub enum CsagError {
         /// The highest epoch published when the wait gave up.
         published: u64,
     },
+    /// The store's write-ahead log could not durably record a write
+    /// (disk full, I/O error, failed fsync), so the write was rejected
+    /// *before* touching the graph. Reads keep being served from the
+    /// last durable epoch; nothing was lost and nothing half-applied.
+    DurabilityUnavailable {
+        /// Why the log rejected the append.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CsagError {
@@ -113,6 +126,10 @@ impl fmt::Display for CsagError {
             } => write!(
                 f,
                 "epoch {requested} not yet published (latest published epoch is {published})"
+            ),
+            CsagError::DurabilityUnavailable { reason } => write!(
+                f,
+                "durability unavailable: write rejected, reads still served ({reason})"
             ),
         }
     }
@@ -189,6 +206,12 @@ mod tests {
         };
         assert!(e.to_string().contains("epoch 9"));
         assert!(e.to_string().contains("4"));
+        assert!(!e.is_no_community());
+        let e = CsagError::DurabilityUnavailable {
+            reason: "fsync failed: No space left on device".into(),
+        };
+        assert!(e.to_string().contains("write rejected"));
+        assert!(e.to_string().contains("No space left"));
         assert!(!e.is_no_community());
     }
 

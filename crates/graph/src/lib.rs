@@ -13,6 +13,9 @@
 //! * [`FixedBitSet`] — a dense node-mask used pervasively by the
 //!   decomposition and search algorithms.
 //! * [`traversal`] — BFS / connectivity primitives restricted to node masks.
+//! * [`wal`] — checksummed byte framing for write-ahead-log segments,
+//!   with torn-tail vs. corruption classification (the byte layer under
+//!   the facade crate's durable update log).
 //! * [`QueryWorkspace`] + [`MinScored`] — pooled per-thread query scratch
 //!   (bitsets, best-first heaps, buffers) keeping the steady-state hot
 //!   path allocation-free, and the shared min-heap ordering every
@@ -48,6 +51,7 @@ pub mod io;
 pub mod stats;
 pub mod traversal;
 pub mod update;
+pub mod wal;
 pub mod workspace;
 
 pub use attrs::TokenInterner;

@@ -12,10 +12,12 @@
 //!                           [--confidence C] [--lambda L] [--seed S] [--size L H] [--json]
 //! csag baseline <graph.txt> --method acq|atc|vac|evac --query <id> --k <k> [--gamma G] [--json]
 //! csag generate --nodes N --communities C --seed S --out <graph.txt>
-//! csag update   <graph.txt> --script <updates.txt> [--out <new.txt>] [--json]
-//! csag serve    <graph.txt> [--workers N] [--capacity N] [--replicas N]
+//! csag update   <graph.txt> --script <updates.txt> [--out <new.txt>] [--wal <dir>] [--json]
+//! csag serve    <graph.txt> [--workers N] [--capacity N] [--replicas N] [--wal <dir>]
 //!                           [--metrics] [--listen <addr>] [--uds <path>]
 //! csag serve-churn [--batches N] [--seed S] [--json]
+//! csag wal-churn <graph.txt> --wal <dir> [--plan-out <plan.txt>] [--batches N]
+//!                           [--seed S] [--sleep-ms MS]
 //! csag demo     [--json]
 //! ```
 //!
@@ -64,6 +66,7 @@ fn main() {
         "update" => cmd_update(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "serve-churn" => cmd_serve_churn(&args[1..]),
+        "wal-churn" => cmd_wal_churn(&args[1..]),
         "demo" => cmd_demo(&args[1..]),
         "help" | "--help" | "-h" => {
             usage();
@@ -92,6 +95,7 @@ fn usage() {
          \x20 serve    <graph.txt>                       csag-wire service: v1 on stdin/stdout, or\n\
          \x20                                            pipelined v2 sockets via --listen / --uds\n\
          \x20 serve-churn [--batches N]                  churn the paper's examples, verify vs fresh engines\n\
+         \x20 wal-churn <graph.txt> --wal <dir>          churn a WAL-backed store (crash-recovery smoke driver)\n\
          \x20 demo                                       the paper's Figure-1 IMDB example\n\
          \n\
          common flags: --gamma G (0..1, default 0.5)  --truss  --seed S  --json\n\
@@ -99,11 +103,18 @@ fn usage() {
          sea flags:    --error E (default 0.02)  --confidence C (default 0.95)\n\
          \x20             --lambda L (default 0.2)  --size L H (size-bounded search)\n\
          update flags: --script <updates.txt> (csag-updates v1)  --out <new-graph.txt>\n\
+         \x20             --wal <dir> (durably log the batch; recovers the dir first if initialized)\n\
          serve flags:  --workers N  --capacity N (admission bound)  --metrics (snapshot on exit)\n\
          \x20             --replicas N (replicated stores behind the epoch-consistent csag::cluster\n\
          \x20             router; reads balance, `\"epoch\"`-pinned reads stay consistent)\n\
+         \x20             --wal <dir> (write-ahead log + checkpoints; an initialized dir is\n\
+         \x20             recovered to the exact pre-crash epoch and announced as `recovered {{...}}`\n\
+         \x20             before any `listening` line)\n\
          \x20             --listen <ip:port> (TCP csag-wire v2; port 0 = ephemeral, bound address\n\
-         \x20             is printed as `listening tcp://...`)  --uds <path> (unix-domain socket)"
+         \x20             is printed as `listening tcp://...`)  --uds <path> (unix-domain socket)\n\
+         wal-churn flags: --wal <dir>  --plan-out <plan.txt> (every batch written+synced *before*\n\
+         \x20             it is applied, so the plan covers the durable prefix after a crash)\n\
+         \x20             --batches N  --seed S  --sleep-ms MS (pacing, so a killer lands mid-run)"
     );
 }
 
@@ -184,6 +195,9 @@ fn common_arity() -> HashMap<&'static str, usize> {
         ("metrics", 0),
         ("listen", 1),
         ("uds", 1),
+        ("wal", 1),
+        ("plan-out", 1),
+        ("sleep-ms", 1),
     ])
 }
 
@@ -413,10 +427,40 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         config = config.with_capacity(c);
     }
     let replicas = flags.get::<usize>("replicas")?.unwrap_or(0);
-    let service = if replicas > 0 {
-        Service::over_cluster(Arc::new(Router::over_graph(g, replicas)), config)
-    } else {
-        Service::over_graph(g, config)
+    let wal = flags.get::<String>("wal")?;
+    // With --wal, an already-initialized directory wins over the
+    // positional graph: the server recovers to the exact pre-crash
+    // epoch and announces it (`recovered {...}`) before any `listening`
+    // line, so restart scripts can read the epoch they came back to.
+    let service = match (&wal, replicas) {
+        (None, 0) => Service::over_graph(g, config),
+        (None, r) => Service::over_cluster(Arc::new(Router::over_graph(g, r)), config),
+        (Some(dir), r) => {
+            let recovering = csag::durability::wal_dir_initialized(dir);
+            if r > 0 {
+                let router = if recovering {
+                    let (router, report) = Router::recover(dir, r)
+                        .map_err(|e| format!("recovering wal {dir}: {e}"))?;
+                    println!("recovered {}", report.to_json());
+                    router
+                } else {
+                    Router::with_wal(g, r, dir)
+                        .map_err(|e| format!("initializing wal {dir}: {e}"))?
+                };
+                Service::over_cluster(Arc::new(router), config)
+            } else {
+                let store = if recovering {
+                    let (store, report) = GraphStore::recover(dir)
+                        .map_err(|e| format!("recovering wal {dir}: {e}"))?;
+                    println!("recovered {}", report.to_json());
+                    store
+                } else {
+                    GraphStore::with_wal(g, dir)
+                        .map_err(|e| format!("initializing wal {dir}: {e}"))?
+                };
+                Service::new(Arc::new(store), config)
+            }
+        }
     };
 
     // Socket mode: bind the requested transports, announce the bound
@@ -557,7 +601,9 @@ fn report_to_json(r: &UpdateReport) -> String {
 
 /// `csag update`: apply a `csag-updates v1` script to a graph through the
 /// evolving-graph store, report what changed, optionally save the new
-/// snapshot.
+/// snapshot. With `--wal <dir>` the batch is durably logged first (an
+/// initialized directory is recovered before the batch applies; the
+/// recovery report goes to stderr so `--json` stdout stays one object).
 fn cmd_update(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &common_arity())?;
     let g = load(&flags)?;
@@ -566,7 +612,7 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
         std::fs::read_to_string(&script_path).map_err(|e| format!("reading {script_path}: {e}"))?;
     let updates = GraphUpdate::parse_script(&script).map_err(|e| format!("{script_path}: {e}"))?;
 
-    let store = GraphStore::new(g);
+    let store = wal_backed_store(g, flags.get::<String>("wal")?.as_deref())?;
     let t = Instant::now();
     let report = store
         .apply(&updates)
@@ -607,6 +653,83 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
             println!("updated graph written to {out}");
         }
     }
+    Ok(())
+}
+
+/// A store for a write command: plain when `wal` is `None`; otherwise
+/// WAL-backed — recovering the directory (report on stderr, so JSON
+/// stdout stays clean) when it is already initialized, creating it
+/// seeded from `g` when not.
+fn wal_backed_store(g: AttributedGraph, wal: Option<&str>) -> Result<GraphStore, String> {
+    match wal {
+        None => Ok(GraphStore::new(g)),
+        Some(dir) => {
+            if csag::durability::wal_dir_initialized(dir) {
+                let (store, report) =
+                    GraphStore::recover(dir).map_err(|e| format!("recovering wal {dir}: {e}"))?;
+                eprintln!("recovered {}", report.to_json());
+                Ok(store)
+            } else {
+                GraphStore::with_wal(g, dir).map_err(|e| format!("initializing wal {dir}: {e}"))
+            }
+        }
+    }
+}
+
+/// `csag wal-churn`: churn a WAL-backed store with seeded random update
+/// batches. With `--plan-out` every batch is written (and fsynced) to
+/// the plan file *before* it is applied, so after a `kill -9` the plan
+/// covers at least every batch the log made durable — CI's crash-smoke
+/// gate kills this mid-run, restarts with `csag serve --wal`, and
+/// byte-diffs the recovered server's answers against a fresh engine fed
+/// the plan's first `epoch` batches.
+fn cmd_wal_churn(args: &[String]) -> Result<(), String> {
+    use std::io::Write;
+
+    let flags = parse_flags(args, &common_arity())?;
+    let batches: usize = flags.get("batches")?.unwrap_or(64);
+    let seed: u64 = flags.get("seed")?.unwrap_or(0xC0FFEE);
+    let sleep_ms: u64 = flags.get("sleep-ms")?.unwrap_or(0);
+    let dir: String = flags.require("wal")?;
+    let g = load(&flags)?;
+    let store = wal_backed_store(g, Some(&dir))?;
+
+    let mut plan = match flags.get::<String>("plan-out")? {
+        Some(p) => {
+            let file = std::fs::File::create(&p).map_err(|e| format!("creating {p}: {e}"))?;
+            Some(std::io::BufWriter::new(file))
+        }
+        None => None,
+    };
+    let start_epoch = store.published_epoch();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for batch_no in 0..batches {
+        let batch = random_updates(store.snapshot().graph(), &mut rng, 5, ChurnMix::MIXED);
+        if let Some(out) = &mut plan {
+            // Plan-before-apply: the `# batch` header and the batch's
+            // csag-updates v1 lines hit the disk before the store (and
+            // therefore the WAL) sees them.
+            writeln!(out, "# batch {}", start_epoch + batch_no as u64 + 1)
+                .map_err(|e| format!("writing plan: {e}"))?;
+            for u in &batch {
+                writeln!(out, "{}", u.to_line()).map_err(|e| format!("writing plan: {e}"))?;
+            }
+            out.flush().map_err(|e| format!("flushing plan: {e}"))?;
+            out.get_ref()
+                .sync_data()
+                .map_err(|e| format!("syncing plan: {e}"))?;
+        }
+        store
+            .apply(&batch)
+            .map_err(|e| format!("batch {batch_no}: {e}"))?;
+        if sleep_ms > 0 {
+            std::thread::sleep(Duration::from_millis(sleep_ms));
+        }
+    }
+    println!(
+        "wal-churn: {batches} batch(es) applied → epoch {}",
+        store.published_epoch()
+    );
     Ok(())
 }
 

@@ -19,9 +19,11 @@
 use crate::cluster::health::ReplicaHealth;
 use crate::cluster::replica::{replica_loop, ReplicaMsg, ReplicaState};
 use crate::cluster::replication::LogRecord;
+use crate::durability::WalError;
 use crate::engine::result::{json_string, push_key, push_kv};
-use crate::engine::{CsagError, GraphStore, GraphUpdate, Snapshot, UpdateReport};
-use csag_graph::{AttributedGraph, GraphError};
+use crate::engine::{ApplyError, CsagError, GraphStore, GraphUpdate, Snapshot, UpdateReport};
+use csag_graph::AttributedGraph;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -220,6 +222,38 @@ impl Router {
         Router::new(Arc::new(GraphStore::new(graph)), replicas)
     }
 
+    /// [`Router::new`] over a fresh WAL-backed primary
+    /// ([`GraphStore::with_wal`]): every batch routed through
+    /// [`Router::apply`] is durably logged before it publishes or fans
+    /// out. Replicas stay in-memory — they are rebuilt from the
+    /// recovered primary, not from their own logs.
+    ///
+    /// # Errors
+    /// [`WalError`] when the log directory cannot be initialized.
+    pub fn with_wal(
+        graph: AttributedGraph,
+        replicas: usize,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, WalError> {
+        let store = GraphStore::with_wal(graph, dir)?;
+        Ok(Router::new(Arc::new(store), replicas))
+    }
+
+    /// Rebuilds the primary from a WAL directory
+    /// ([`GraphStore::recover`]) and fronts it with `replicas` fresh
+    /// replicas seeded from the recovered snapshot.
+    ///
+    /// # Errors
+    /// [`WalError`] when the directory is uninitialized or corrupt
+    /// beyond what a crash can explain.
+    pub fn recover(
+        dir: impl AsRef<Path>,
+        replicas: usize,
+    ) -> Result<(Self, crate::durability::RecoveryReport), WalError> {
+        let (store, report) = GraphStore::recover(dir)?;
+        Ok((Router::new(Arc::new(store), replicas), report))
+    }
+
     /// The primary store (reads through it bypass the rotation; apply
     /// through [`Router::apply`], never directly, or replicas will
     /// permanently lag).
@@ -243,12 +277,20 @@ impl Router {
     /// primary snapshot (it rejoins the rotation once rebuilt).
     ///
     /// # Errors
-    /// Exactly [`GraphStore::apply`]'s errors. An erroneous batch still
-    /// publishes (and replicates) its applied prefix — the epoch bumps
-    /// on every outcome, keeping primary and replicas in lockstep.
-    pub fn apply(&self, updates: &[GraphUpdate]) -> Result<UpdateReport, GraphError> {
+    /// Exactly [`GraphStore::apply`]'s errors. An erroneous batch
+    /// ([`ApplyError::Graph`]) still publishes (and replicates) its
+    /// applied prefix — the epoch bumps on every outcome, keeping
+    /// primary and replicas in lockstep. A durability rejection
+    /// ([`ApplyError::DurabilityUnavailable`]) applied *nothing* — no
+    /// epoch bump — so no record fans out either.
+    pub fn apply(&self, updates: &[GraphUpdate]) -> Result<UpdateReport, ApplyError> {
         let _guard = self.write.lock().unwrap_or_else(PoisonError::into_inner);
         let outcome = self.primary.apply(updates);
+        if matches!(outcome, Err(ApplyError::DurabilityUnavailable { .. })) {
+            // The primary is byte-for-byte unchanged: replicating would
+            // fan out a record for an epoch that never happened.
+            return outcome;
+        }
         let snap = self.primary.snapshot();
         let record = LogRecord::new(snap.epoch(), updates.to_vec());
         self.records.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,205 @@
+//! Deterministic fault injection for the durability and transport
+//! layers.
+//!
+//! A [`FaultPlan`] is a *script*: "fail the 3rd append", "tear the 5th
+//! record after 17 bytes", "drop the connection serving the 40th
+//! request". The WAL writer and the socket transport consult the plan
+//! at well-defined points, each with its own monotone counter, so a
+//! test exercises exactly the crash it wrote down — no timing, no
+//! signals, no luck. The default plan ([`FaultPlan::none`]) injects
+//! nothing and costs one atomic load per hook.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// What to do to one WAL append.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AppendFault {
+    /// Fail the append with an I/O error before any byte is written
+    /// (disk full, EIO). The write is rejected; the log stays clean.
+    IoError,
+    /// Write only the first `keep_bytes` bytes of the frame, then stop
+    /// — a simulated crash mid-append. The log is left with a torn
+    /// tail and marked degraded, exactly as if the process had died.
+    Torn {
+        /// How many bytes of the frame land on disk before the "crash".
+        keep_bytes: usize,
+    },
+}
+
+#[derive(Default)]
+struct Plan {
+    appends_seen: u64,
+    fsyncs_seen: u64,
+    requests_seen: u64,
+    append_faults: HashMap<u64, AppendFault>,
+    fsync_failures: HashSet<u64>,
+    connection_drops: HashSet<u64>,
+    injected: u64,
+}
+
+/// A shared, cloneable fault script: "fail the 3rd append", "tear the
+/// 5th record after 17 bytes", "drop the connection serving the 40th
+/// request" — consulted by the WAL writer and the socket transport at
+/// well-defined points.
+///
+/// Indices are 0-based over each hook's own counter: append faults
+/// count WAL append *attempts*, fsync failures count fsync *attempts*
+/// (so they compose with [`super::FsyncPolicy::EveryN`]), connection
+/// drops count requests parsed off sockets across all connections of
+/// one transport.
+#[derive(Clone, Default)]
+pub struct FaultPlan {
+    inner: Arc<Mutex<Plan>>,
+    /// Fast path: hooks on hot paths skip the lock entirely when the
+    /// plan is empty (the common production case).
+    scripted: Arc<AtomicBool>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    fn script(self, f: impl FnOnce(&mut Plan)) -> Self {
+        f(&mut self.inner.lock().unwrap_or_else(PoisonError::into_inner));
+        self.scripted.store(true, Ordering::Release);
+        self
+    }
+
+    /// Scripts an I/O error on the `index`-th WAL append attempt.
+    pub fn fail_append_at(self, index: u64) -> Self {
+        self.script(|p| {
+            p.append_faults.insert(index, AppendFault::IoError);
+        })
+    }
+
+    /// Scripts a torn write on the `index`-th WAL append attempt: only
+    /// `keep_bytes` of the frame reach the file before the simulated
+    /// crash.
+    pub fn tear_append_at(self, index: u64, keep_bytes: usize) -> Self {
+        self.script(|p| {
+            p.append_faults
+                .insert(index, AppendFault::Torn { keep_bytes });
+        })
+    }
+
+    /// Scripts a failure of the `index`-th fsync attempt.
+    pub fn fail_fsync_at(self, index: u64) -> Self {
+        self.script(|p| {
+            p.fsync_failures.insert(index);
+        })
+    }
+
+    /// Scripts an abrupt connection drop when the transport has parsed
+    /// its `index`-th request (0-based, counted across all connections).
+    pub fn drop_connection_at_request(self, index: u64) -> Self {
+        self.script(|p| {
+            p.connection_drops.insert(index);
+        })
+    }
+
+    /// WAL hook: the fault (if any) scripted for this append attempt.
+    /// Advances the append counter.
+    pub fn next_append(&self) -> Option<AppendFault> {
+        if !self.scripted.load(Ordering::Acquire) {
+            return None;
+        }
+        let mut p = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let i = p.appends_seen;
+        p.appends_seen += 1;
+        let fault = p.append_faults.remove(&i);
+        if fault.is_some() {
+            p.injected += 1;
+        }
+        fault
+    }
+
+    /// WAL hook: `true` when this fsync attempt is scripted to fail.
+    /// Advances the fsync counter.
+    pub fn next_fsync_fails(&self) -> bool {
+        if !self.scripted.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut p = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let i = p.fsyncs_seen;
+        p.fsyncs_seen += 1;
+        let hit = p.fsync_failures.remove(&i);
+        if hit {
+            p.injected += 1;
+        }
+        hit
+    }
+
+    /// Transport hook: `true` when the connection serving this request
+    /// is scripted to drop. Advances the request counter.
+    pub fn next_request_drops(&self) -> bool {
+        if !self.scripted.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut p = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let i = p.requests_seen;
+        p.requests_seen += 1;
+        let hit = p.connection_drops.remove(&i);
+        if hit {
+            p.injected += 1;
+        }
+        hit
+    }
+
+    /// How many faults have actually fired (tests assert the script
+    /// ran, not just that nothing crashed).
+    pub fn injected(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .injected
+    }
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let p = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        f.debug_struct("FaultPlan")
+            .field("append_faults", &p.append_faults.len())
+            .field("fsync_failures", &p.fsync_failures.len())
+            .field("connection_drops", &p.connection_drops.len())
+            .field("injected", &p.injected)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_fire_exactly_at_scripted_indices() {
+        let plan = FaultPlan::none()
+            .fail_append_at(1)
+            .tear_append_at(3, 5)
+            .fail_fsync_at(0)
+            .drop_connection_at_request(2);
+        assert_eq!(plan.next_append(), None);
+        assert_eq!(plan.next_append(), Some(AppendFault::IoError));
+        assert_eq!(plan.next_append(), None);
+        assert_eq!(
+            plan.next_append(),
+            Some(AppendFault::Torn { keep_bytes: 5 })
+        );
+        assert!(plan.next_fsync_fails());
+        assert!(!plan.next_fsync_fails());
+        assert!(!plan.next_request_drops());
+        assert!(!plan.next_request_drops());
+        assert!(plan.next_request_drops());
+        assert_eq!(plan.injected(), 4);
+
+        // The empty plan never fires and shares counters across clones.
+        let none = FaultPlan::none();
+        assert_eq!(none.clone().next_append(), None);
+        assert!(!none.next_fsync_fails());
+        assert_eq!(none.injected(), 0);
+    }
+}

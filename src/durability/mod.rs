@@ -1,0 +1,82 @@
+//! # Durability — the segmented write-ahead log and crash recovery
+//!
+//! Every epoch a [`crate::engine::GraphStore`] publishes used to live
+//! only in process memory. This module makes the update history outlive
+//! the process: a **write-ahead log** of the same
+//! [`crate::cluster::LogRecord`]s the replication channel carries
+//! (`csag-updates v1` scripts framed per epoch), persisted *before* the
+//! batch publishes, plus **checkpoint** snapshots of the graph so
+//! replay is bounded by the delta since the last checkpoint.
+//!
+//! The moving parts:
+//!
+//! * [`Wal`] — the append-side: segmented files of checksummed frames
+//!   (byte layer in [`csag_graph::wal`]), a configurable
+//!   [`FsyncPolicy`] (`always` / `every_n` / `never`), size-triggered
+//!   segment rotation, and periodic checkpoints that prune fully
+//!   covered segments.
+//! * [`GraphStore::recover`](crate::engine::GraphStore::recover) /
+//!   [`RecoveryReport`] — the replay side: load the newest loadable
+//!   checkpoint, re-apply every logged batch through the ordinary
+//!   `apply` path (so the **epoch = batches applied** invariant makes
+//!   the recovered store byte-identical to the pre-crash one at the
+//!   recovered epoch), truncate a torn tail instead of failing, and
+//!   refuse — with a typed error — anything a crash could not have
+//!   produced.
+//! * [`FaultPlan`] — a deterministic fault-injection seam threaded
+//!   through the WAL writer and the socket
+//!   [`crate::service::Transport`]: scripted append I/O errors, torn
+//!   final records, fsync failures, and connection drops at chosen
+//!   request indices, so the crash paths run under plain `cargo test`.
+//!
+//! # Degradation contract
+//!
+//! When an append cannot be made durable the write is rejected *before*
+//! the graph is touched — the store keeps serving reads at the last
+//! durable epoch and surfaces
+//! [`CsagError::DurabilityUnavailable`](crate::engine::CsagError::DurabilityUnavailable)
+//! (wire kind `durability_unavailable`) to writers. A failed fsync or
+//! an injected torn write additionally marks the log **degraded**
+//! (sticky until recovery re-opens it), because the kernel page cache
+//! is unknowable after a failed fsync.
+//!
+//! See `docs/durability.md` for the on-disk grammar and the full
+//! recovery contract.
+//!
+//! ```
+//! use csag::engine::{GraphStore, GraphUpdate};
+//! use csag::datasets::paper_examples::figure1_imdb;
+//!
+//! let dir = std::env::temp_dir().join(format!("csag-wal-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let (graph, q) = figure1_imdb();
+//! let store = GraphStore::with_wal(graph, &dir).unwrap();
+//! store.apply(&[GraphUpdate::AddEdge { u: q, v: 0 }]).unwrap();
+//! drop(store); // "crash"
+//!
+//! let (recovered, report) = GraphStore::recover(&dir).unwrap();
+//! assert_eq!(report.epoch, 1);
+//! assert_eq!(recovered.published_epoch(), 1);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+mod fault;
+mod recover;
+mod wal;
+
+pub use fault::{AppendFault, FaultPlan};
+pub use recover::RecoveryReport;
+pub use wal::{DurabilityStatus, FsyncPolicy, Wal, WalConfig, WalError};
+
+pub(crate) use recover::recover_store;
+
+use std::path::Path;
+
+/// `true` when `dir` already holds WAL state (at least one checkpoint),
+/// i.e. [`crate::engine::GraphStore::recover`] will find something and
+/// [`crate::engine::GraphStore::with_wal`] would refuse to clobber it.
+pub fn wal_dir_initialized(dir: impl AsRef<Path>) -> bool {
+    wal::list_checkpoints(dir.as_ref())
+        .map(|c| !c.is_empty())
+        .unwrap_or(false)
+}

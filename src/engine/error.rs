@@ -14,5 +14,7 @@
 //! | [`CsagError::NoCommunity`] | a definitive, correct "no" | report the empty answer |
 //! | [`CsagError::BudgetExhausted`] | resources ran out mid-search | use the [`PartialSearch`] best-so-far, or retry with a bigger budget |
 //! | [`CsagError::Overloaded`] | the service shed the request before it ran | back off for `retry_after`, then resubmit |
+//! | [`CsagError::EpochUnavailable`] | a pinned epoch nobody has published | retry once writes land, or drop the pin |
+//! | [`CsagError::DurabilityUnavailable`] | the WAL rejected an append; the store is read-only | keep reading; retry writes after the disk recovers |
 
 pub use csag_core::error::{CsagError, PartialSearch};

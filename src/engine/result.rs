@@ -257,6 +257,7 @@ pub fn error_to_json(err: &super::error::CsagError) -> String {
         CsagError::BudgetExhausted { .. } => "budget_exhausted",
         CsagError::Overloaded { .. } => "overloaded",
         CsagError::EpochUnavailable { .. } => "epoch_unavailable",
+        CsagError::DurabilityUnavailable { .. } => "durability_unavailable",
     };
     push_kv(&mut s, "error", &json_string(kind));
     s.push(',');

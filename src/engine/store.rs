@@ -56,13 +56,71 @@
 //! ```
 
 use super::Engine;
+use crate::cluster::LogRecord;
+use crate::durability::{DurabilityStatus, RecoveryReport, Wal, WalConfig, WalError};
 use csag_core::distance::QueryDistances;
 use csag_decomp::{patch_node_trussness, CoreMaintainer};
 use csag_graph::{Applied, AttributedGraph, GraphError, MutableGraph, NodeId};
+use std::fmt;
+use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 pub use csag_graph::GraphUpdate;
+
+/// Why [`GraphStore::apply`] rejected or halted a batch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ApplyError {
+    /// An update in the batch was invalid
+    /// ([`GraphError::NodeOutOfRange`] / [`GraphError::DimMismatch`]).
+    /// The preceding prefix was applied and **published** — the epoch
+    /// still bumped.
+    Graph(GraphError),
+    /// The write-ahead log could not durably record the batch (disk
+    /// full, I/O error, failed fsync). The write was rejected *before*
+    /// touching the graph: no epoch bump, nothing half-applied, and
+    /// reads keep being served from the last durable epoch.
+    DurabilityUnavailable {
+        /// Why the log refused the append.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::Graph(e) => e.fmt(f),
+            ApplyError::DurabilityUnavailable { reason } => {
+                write!(f, "durability unavailable: write rejected ({reason})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+impl From<GraphError> for ApplyError {
+    fn from(e: GraphError) -> Self {
+        ApplyError::Graph(e)
+    }
+}
+
+impl ApplyError {
+    /// The serving-layer ([`super::CsagError`]) form of this rejection:
+    /// `Some` for [`ApplyError::DurabilityUnavailable`] (wire kind
+    /// `durability_unavailable`), `None` for graph errors, which are
+    /// caller mistakes reported as-is.
+    pub fn as_csag_error(&self) -> Option<super::CsagError> {
+        match self {
+            ApplyError::Graph(_) => None,
+            ApplyError::DurabilityUnavailable { reason } => {
+                Some(super::CsagError::DurabilityUnavailable {
+                    reason: reason.clone(),
+                })
+            }
+        }
+    }
+}
 
 /// What one [`GraphStore::apply`] batch did, per category, plus how the
 /// epoch's caches fared.
@@ -206,6 +264,11 @@ pub struct GraphStore {
     state: Mutex<StoreState>,
     current: RwLock<Arc<Engine>>,
     watch: Arc<EpochCell>,
+    /// The durable update log, when this store was built through
+    /// [`GraphStore::with_wal`] / [`GraphStore::recover`]. Appended to
+    /// *before* a batch is applied; an append failure rejects the write
+    /// with [`ApplyError::DurabilityUnavailable`].
+    wal: Option<Wal>,
 }
 
 impl GraphStore {
@@ -242,7 +305,92 @@ impl GraphStore {
                 epoch: Mutex::new(epoch),
                 published: Condvar::new(),
             }),
+            wal: None,
         }
+    }
+
+    /// Builds a store over `graph` whose every batch is durably logged
+    /// to a fresh write-ahead log in `dir` (created if missing) before
+    /// it publishes. The seed graph is checkpointed immediately, so
+    /// [`GraphStore::recover`] always has a base to replay from.
+    ///
+    /// # Errors
+    /// [`WalError::AlreadyInitialized`] when `dir` already holds WAL
+    /// state (recover it instead); [`WalError::Io`] when the directory
+    /// or the epoch-0 checkpoint cannot be written.
+    pub fn with_wal(graph: AttributedGraph, dir: impl AsRef<Path>) -> Result<Self, WalError> {
+        GraphStore::with_wal_config(graph, dir, WalConfig::default())
+    }
+
+    /// [`GraphStore::with_wal`] with explicit durability tuning (fsync
+    /// policy, segment size, checkpoint cadence, fault script).
+    ///
+    /// # Errors
+    /// Same as [`GraphStore::with_wal`].
+    pub fn with_wal_config(
+        graph: AttributedGraph,
+        dir: impl AsRef<Path>,
+        config: WalConfig,
+    ) -> Result<Self, WalError> {
+        let wal = Wal::create(dir.as_ref(), config, &graph, 0)?;
+        let mut store = GraphStore::new(graph);
+        store.wal = Some(wal);
+        Ok(store)
+    }
+
+    /// Rebuilds a store from the WAL in `dir` to the exact pre-crash
+    /// epoch: newest loadable checkpoint + replay of every logged batch
+    /// through the ordinary apply path (byte-identical answers at the
+    /// recovered epoch), with a torn final record detected by checksum
+    /// and truncated — not fatal. The returned store has a writable WAL
+    /// re-attached at the tail.
+    ///
+    /// # Errors
+    /// [`WalError::NotInitialized`] when `dir` holds no WAL state;
+    /// [`WalError::Corrupt`] for damage a crash could not have caused
+    /// (mid-stream checksum failures, epoch gaps); [`WalError::Io`] for
+    /// filesystem failures during replay.
+    pub fn recover(dir: impl AsRef<Path>) -> Result<(Self, RecoveryReport), WalError> {
+        GraphStore::recover_with(dir, WalConfig::default())
+    }
+
+    /// [`GraphStore::recover`] with explicit durability tuning for the
+    /// re-attached WAL.
+    ///
+    /// # Errors
+    /// Same as [`GraphStore::recover`].
+    pub fn recover_with(
+        dir: impl AsRef<Path>,
+        config: WalConfig,
+    ) -> Result<(Self, RecoveryReport), WalError> {
+        crate::durability::recover_store(dir.as_ref(), config)
+    }
+
+    /// Attaches a (re-)opened WAL. Recovery replays *without* a log
+    /// attached, then bolts the writer on before handing the store out.
+    pub(crate) fn attach_wal(&mut self, wal: Wal) {
+        self.wal = Some(wal);
+    }
+
+    /// The WAL's observable counters, or `None` for an in-memory store.
+    /// [`DurabilityStatus::degraded`] reports read-only mode.
+    pub fn wal_status(&self) -> Option<DurabilityStatus> {
+        self.wal.as_ref().map(Wal::status)
+    }
+
+    /// Forces a checkpoint of the current epoch's graph, pruning
+    /// segments it fully covers. No-op without a WAL.
+    ///
+    /// # Errors
+    /// [`WalError::Io`] when the snapshot cannot be written durably
+    /// (tolerated by the store: appends continue, replay is longer).
+    pub fn checkpoint_now(&self) -> Result<(), WalError> {
+        let Some(wal) = &self.wal else { return Ok(()) };
+        // Hold the state lock so the checkpoint epoch and graph agree
+        // even under concurrent appliers.
+        let _state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let snap = self.snapshot();
+        wal.checkpoint(snap.graph(), snap.epoch())
     }
 
     /// The highest epoch this store has published, without pinning a
@@ -299,11 +447,30 @@ impl GraphStore {
     /// graph. Concurrent `apply` calls serialize; readers are never
     /// blocked and keep their pinned epochs.
     ///
+    /// With a WAL attached ([`GraphStore::with_wal`]), the *requested*
+    /// batch is durably logged under the epoch it will produce before a
+    /// single update touches the graph — replaying the log re-runs this
+    /// method and reproduces every outcome, erroneous prefixes
+    /// included. If the log cannot record the batch, the write is
+    /// rejected wholesale: no epoch bump, reads unaffected.
+    ///
     /// # Errors
-    /// [`GraphError::NodeOutOfRange`] / [`GraphError::DimMismatch`] from
-    /// the offending update.
-    pub fn apply(&self, updates: &[GraphUpdate]) -> Result<UpdateReport, GraphError> {
+    /// * [`ApplyError::Graph`] — [`GraphError::NodeOutOfRange`] /
+    ///   [`GraphError::DimMismatch`] from the offending update (the
+    ///   valid prefix published).
+    /// * [`ApplyError::DurabilityUnavailable`] — the WAL append failed;
+    ///   nothing was applied.
+    pub fn apply(&self, updates: &[GraphUpdate]) -> Result<UpdateReport, ApplyError> {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(wal) = &self.wal {
+            // Write-ahead: the batch must be durable before any effect
+            // becomes visible. A refusal leaves the store byte-for-byte
+            // at the previous epoch.
+            wal.append(&LogRecord::new(state.epoch + 1, updates.to_vec()))
+                .map_err(|e| ApplyError::DurabilityUnavailable {
+                    reason: e.to_string(),
+                })?;
+        }
         let old_engine = self.snapshot().engine_arc();
         let old_core: Vec<u32> = state.core.coreness().to_vec();
 
@@ -391,6 +558,13 @@ impl GraphStore {
             .count()
             + new_core.len().saturating_sub(old_core.len());
 
+        if let Some(wal) = &self.wal {
+            // Periodic checkpoint so replay is bounded by the delta
+            // since the last snapshot. Failure is tolerated (counted in
+            // the status; the log keeps the full history).
+            wal.maybe_checkpoint(&new_graph, state.epoch);
+        }
+
         let engine = Arc::new(Engine::from_store_parts(
             new_graph,
             state.epoch,
@@ -413,7 +587,7 @@ impl GraphStore {
         }
 
         match first_error {
-            Some(e) => Err(e),
+            Some(e) => Err(ApplyError::Graph(e)),
             None => Ok(report),
         }
     }
@@ -622,7 +796,10 @@ mod tests {
                 GraphUpdate::AddEdge { u: 1, v: 4 },
             ])
             .unwrap_err();
-        assert_eq!(err, GraphError::NodeOutOfRange { node: 99, n: 5 });
+        assert_eq!(
+            err,
+            ApplyError::Graph(GraphError::NodeOutOfRange { node: 99, n: 5 })
+        );
         // The valid prefix was applied and published.
         let snap = store.snapshot();
         assert_eq!(snap.epoch(), 1);

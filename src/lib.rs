@@ -20,6 +20,14 @@
 //!   the `csag-wire` JSON-lines protocol behind `csag serve`, and the
 //!   pipelined socket transport ([`service::Transport`], csag-wire v2
 //!   over TCP / unix-domain sockets — see `docs/wire-protocol.md`),
+//! * [`durability`] — **crash safety**: a segmented, checksummed
+//!   write-ahead log of update batches with configurable fsync policy,
+//!   periodic checkpoints bounding replay, torn-tail tolerant recovery
+//!   to the exact pre-crash epoch
+//!   (`GraphStore::with_wal` / `GraphStore::recover`,
+//!   `csag serve --wal <dir>`), graceful read-only degradation when the
+//!   disk fails, and a deterministic fault-injection harness
+//!   ([`durability::FaultPlan`]) — see `docs/durability.md`,
 //! * [`cluster`] — **scale-out**: a [`cluster::Router`] that applies
 //!   update batches to a primary [`engine::GraphStore`] and fans them
 //!   out to N replica stores over a `csag-updates v1` replication log,
@@ -78,6 +86,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod durability;
 pub mod engine;
 pub mod service;
 

@@ -42,6 +42,7 @@
 //!
 //! [`docs/wire-protocol.md`]: https://github.com/csag/csag/blob/main/docs/wire-protocol.md
 
+use crate::durability::FaultPlan;
 use crate::engine::CsagError;
 use crate::service::request::{Request, Response};
 use crate::service::wire::{parse_wire_request, rejection_to_json, response_to_json};
@@ -131,6 +132,9 @@ impl fmt::Display for BoundAddr {
 trait WireSocket: Read + Write + Send + Sized + 'static {
     fn split_off_writer(&self) -> io::Result<Self>;
     fn close_read(&self) -> io::Result<()>;
+    /// Severs both directions at once — the injected-fault "connection
+    /// drop": the client sees a reset mid-pipeline, nothing is drained.
+    fn abort(&self) -> io::Result<()>;
 }
 
 impl WireSocket for TcpStream {
@@ -139,6 +143,9 @@ impl WireSocket for TcpStream {
     }
     fn close_read(&self) -> io::Result<()> {
         self.shutdown(Shutdown::Read)
+    }
+    fn abort(&self) -> io::Result<()> {
+        self.shutdown(Shutdown::Both)
     }
 }
 
@@ -149,6 +156,9 @@ impl WireSocket for UnixStream {
     }
     fn close_read(&self) -> io::Result<()> {
         self.shutdown(Shutdown::Read)
+    }
+    fn abort(&self) -> io::Result<()> {
+        self.shutdown(Shutdown::Both)
     }
 }
 
@@ -192,6 +202,10 @@ struct TransportShared {
     shutdown: AtomicBool,
     conns: Mutex<Vec<Conn>>,
     accepted: AtomicU64,
+    /// Deterministic fault script ([`FaultPlan::none`] in production):
+    /// connection drops are indexed by requests parsed across all
+    /// connections of this transport.
+    faults: FaultPlan,
 }
 
 impl TransportShared {
@@ -213,9 +227,10 @@ impl TransportShared {
             Err(_) => Box::new(|| {}),
         };
         let service = Arc::clone(&self.service);
+        let faults = self.faults.clone();
         let spawned = std::thread::Builder::new()
             .name("csag-wire-conn".into())
-            .spawn(move || connection_loop(&service, stream));
+            .spawn(move || connection_loop(&service, stream, &faults));
         let Ok(handle) = spawned else { return };
         let mut conns = self.conns();
         let mut i = 0;
@@ -275,35 +290,85 @@ impl Transport {
     /// # Errors
     /// Any [`io::Error`] from binding or inspecting the listener.
     pub fn bind_tcp(service: Arc<Service>, addr: impl ToSocketAddrs) -> io::Result<Transport> {
+        Transport::bind_tcp_with(service, addr, FaultPlan::none())
+    }
+
+    /// [`Transport::bind_tcp`] with a fault script: requests parsed
+    /// across this transport's connections are counted, and a scripted
+    /// index ([`FaultPlan::drop_connection_at_request`]) severs that
+    /// request's connection abruptly — both directions, nothing
+    /// drained — exactly as if the peer or network had died.
+    ///
+    /// # Errors
+    /// Any [`io::Error`] from binding or inspecting the listener.
+    pub fn bind_tcp_with(
+        service: Arc<Service>,
+        addr: impl ToSocketAddrs,
+        faults: FaultPlan,
+    ) -> io::Result<Transport> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        Transport::start(service, listener, BoundAddr::Tcp(local))
+        Transport::start(service, listener, BoundAddr::Tcp(local), faults)
     }
 
     /// Binds a unix-domain socket listener and starts the accept loop.
-    /// Any stale socket file at `path` is replaced; the file is removed
-    /// again on shutdown.
+    ///
+    /// A socket file already at `path` is probed first: if a server
+    /// still answers on it, binding fails with
+    /// [`io::ErrorKind::AddrInUse`] instead of silently stealing the
+    /// path; if nothing answers (a previous process crashed without
+    /// unlinking), the stale file is removed and the bind proceeds.
+    /// The file is removed again on shutdown.
     ///
     /// # Errors
-    /// Any [`io::Error`] from binding the listener.
+    /// [`io::ErrorKind::AddrInUse`] when a live server already serves
+    /// `path`; otherwise any [`io::Error`] from binding the listener.
     #[cfg(unix)]
     pub fn bind_uds(service: Arc<Service>, path: impl AsRef<Path>) -> io::Result<Transport> {
+        Transport::bind_uds_with(service, path, FaultPlan::none())
+    }
+
+    /// [`Transport::bind_uds`] with a fault script (see
+    /// [`Transport::bind_tcp_with`]).
+    ///
+    /// # Errors
+    /// Same as [`Transport::bind_uds`].
+    #[cfg(unix)]
+    pub fn bind_uds_with(
+        service: Arc<Service>,
+        path: impl AsRef<Path>,
+        faults: FaultPlan,
+    ) -> io::Result<Transport> {
         let path = path.as_ref().to_path_buf();
-        let _ = std::fs::remove_file(&path);
+        if path.exists() {
+            match UnixStream::connect(&path) {
+                Ok(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!("{} is already served by a live process", path.display()),
+                    ));
+                }
+                // Connection refused: the socket file outlived its
+                // server (crash without unlink). Reclaim it.
+                Err(_) => std::fs::remove_file(&path)?,
+            }
+        }
         let listener = UnixListener::bind(&path)?;
-        Transport::start(service, listener, BoundAddr::Unix(path))
+        Transport::start(service, listener, BoundAddr::Unix(path), faults)
     }
 
     fn start<L: WireListener>(
         service: Arc<Service>,
         listener: L,
         addr: BoundAddr,
+        faults: FaultPlan,
     ) -> io::Result<Transport> {
         let shared = Arc::new(TransportShared {
             service,
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             accepted: AtomicU64::new(0),
+            faults,
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -388,7 +453,7 @@ impl Drop for Transport {
 /// half-closed the read side); the writer is then joined, which
 /// finishes only after the scheduler has answered every in-flight
 /// request submitted here.
-fn connection_loop<S: WireSocket>(service: &Arc<Service>, stream: S) {
+fn connection_loop<S: WireSocket>(service: &Arc<Service>, stream: S, faults: &FaultPlan) {
     let Ok(write_half) = stream.split_off_writer() else {
         return;
     };
@@ -409,6 +474,15 @@ fn connection_loop<S: WireSocket>(service: &Arc<Service>, stream: S) {
             Ok(_) => {}
         }
         if !line.trim().is_empty() {
+            if faults.next_request_drops() {
+                // Scripted connection drop: sever both directions right
+                // now — this request and everything pipelined behind it
+                // (answered or not) is lost, exactly like a real reset.
+                let _ = reader.get_ref().abort();
+                drop(tx);
+                let _ = writer.join();
+                return;
+            }
             match parse_wire_request(&line, line_no) {
                 Err(msg) => {
                     let _ = tx.send(Outgoing::Reject {

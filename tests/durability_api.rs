@@ -1,0 +1,437 @@
+//! Crash-recovery contract of `csag::durability`: deterministic
+//! kill-and-recover scenarios driven by the fault-injection harness.
+//!
+//! Every test builds a WAL-backed [`GraphStore`], drives it through a
+//! scripted failure ([`FaultPlan`]), and proves the two halves of the
+//! durability contract:
+//!
+//! * **recovery** — `GraphStore::recover` reaches the exact pre-crash
+//!   epoch with a byte-identical graph (torn tails truncated, never
+//!   fatal), and
+//! * **degradation** — while the log cannot accept writes, reads keep
+//!   flowing and writes fail with the *typed*
+//!   [`CsagError::DurabilityUnavailable`] (wire kind
+//!   `durability_unavailable`), never a panic or a silent drop.
+
+use csag::cluster::Router;
+use csag::durability::{FaultPlan, FsyncPolicy, WalConfig};
+use csag::engine::{
+    error_to_json, ApplyError, CommunityQuery, CsagError, GraphStore, GraphUpdate, Method,
+};
+use csag::graph::{AttributedGraph, GraphBuilder};
+use csag::service::{Request, Service, ServiceConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A per-test scratch directory, removed on drop (and pre-cleaned, so a
+/// crashed earlier run never poisons this one).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!("csag-dur-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        TempDir(path)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Two triangles bridged by a path, one numeric dimension.
+fn base_graph() -> AttributedGraph {
+    let mut b = GraphBuilder::new(1);
+    for i in 0..8 {
+        b.add_node(&["t"], &[i as f64 / 8.0]);
+    }
+    for (u, v) in [
+        (0, 1),
+        (1, 2),
+        (2, 0),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (5, 6),
+        (6, 4),
+        (6, 7),
+    ] {
+        b.add_edge(u, v).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A deterministic churn: edges in and out, attribute moves, a vertex
+/// birth — and one *erroneous* batch (node 99) whose valid prefix still
+/// publishes, so recovery must reproduce partial-batch semantics too.
+fn batches() -> Vec<Vec<GraphUpdate>> {
+    vec![
+        vec![
+            GraphUpdate::AddEdge { u: 0, v: 3 },
+            GraphUpdate::AddEdge { u: 1, v: 4 },
+        ],
+        vec![
+            GraphUpdate::SetAttributes {
+                v: 5,
+                tokens: None,
+                numeric: Some(vec![0.9]),
+            },
+            GraphUpdate::AddEdge { u: 5, v: 7 },
+        ],
+        vec![
+            GraphUpdate::AddVertex {
+                tokens: vec!["t".into()],
+                numeric: vec![0.5],
+            },
+            GraphUpdate::AddEdge { u: 8, v: 0 },
+        ],
+        vec![
+            GraphUpdate::RemoveEdge { u: 2, v: 3 },
+            GraphUpdate::AddEdge { u: 99, v: 0 }, // halts the batch; prefix publishes
+            GraphUpdate::AddEdge { u: 3, v: 7 },
+        ],
+        vec![
+            GraphUpdate::AddEdge { u: 2, v: 5 },
+            GraphUpdate::AddEdge { u: 0, v: 7 },
+        ],
+    ]
+}
+
+fn graph_bytes(g: &AttributedGraph) -> Vec<u8> {
+    let mut out = Vec::new();
+    csag::graph::io::write_graph(g, &mut out).unwrap();
+    out
+}
+
+/// The ground truth: the same batches applied to a plain in-memory
+/// store (byte-compared against every recovery below).
+fn expected_after(prefix: usize) -> (Vec<u8>, u64) {
+    let store = GraphStore::new(base_graph());
+    for batch in batches().iter().take(prefix) {
+        let _ = store.apply(batch);
+    }
+    let snap = store.snapshot();
+    (graph_bytes(snap.graph()), snap.epoch())
+}
+
+#[test]
+fn clean_shutdown_recovers_byte_identical_at_the_same_epoch() {
+    let dir = TempDir::new("clean");
+    let store = GraphStore::with_wal(base_graph(), dir.path()).unwrap();
+    for batch in &batches() {
+        let _ = store.apply(batch); // the erroneous batch still publishes its prefix
+    }
+    let snap = store.snapshot();
+    assert_eq!(snap.epoch(), 5);
+    let written = graph_bytes(snap.graph());
+    drop(snap);
+    drop(store);
+
+    let (recovered, report) = GraphStore::recover(dir.path()).unwrap();
+    assert_eq!(report.epoch, 5);
+    assert_eq!(report.records_replayed, 5);
+    assert!(!report.torn_tail_truncated);
+    let snap = recovered.snapshot();
+    assert_eq!(snap.epoch(), 5);
+    assert_eq!(graph_bytes(snap.graph()), written, "byte-identical graph");
+    let (expected, expected_epoch) = expected_after(5);
+    assert_eq!(graph_bytes(snap.graph()), expected);
+    assert_eq!(snap.epoch(), expected_epoch);
+
+    // Identical answers, not just identical bytes: the same pinned
+    // query gives the same community and the same δ bits.
+    let query = CommunityQuery::new(Method::Exact, 0).with_k(2);
+    let a = snap.engine().run(&query).unwrap();
+    let b = csag::engine::Engine::new(base_graph_after_all())
+        .run(&query)
+        .unwrap();
+    assert_eq!(a.community, b.community);
+    assert_eq!(a.delta.to_bits(), b.delta.to_bits());
+}
+
+/// The post-churn graph rebuilt without any store machinery at all.
+fn base_graph_after_all() -> AttributedGraph {
+    let store = GraphStore::new(base_graph());
+    for batch in &batches() {
+        let _ = store.apply(batch);
+    }
+    let snap = store.snapshot();
+    snap.graph().clone()
+}
+
+#[test]
+fn torn_append_degrades_and_recovery_truncates_the_tail() {
+    let dir = TempDir::new("torn");
+    let config = WalConfig {
+        faults: FaultPlan::none().tear_append_at(3, 9),
+        ..WalConfig::default()
+    };
+    let store = GraphStore::with_wal_config(base_graph(), dir.path(), config.clone()).unwrap();
+    let all = batches();
+    for batch in &all[..3] {
+        let _ = store.apply(batch);
+    }
+    // The 4th append tears mid-frame: a simulated crash. The write is
+    // refused, the epoch does not move, and the log is now degraded.
+    let err = store.apply(&all[3]).unwrap_err();
+    assert!(
+        matches!(err, ApplyError::DurabilityUnavailable { .. }),
+        "torn append must reject the write: {err}"
+    );
+    assert_eq!(
+        store.published_epoch(),
+        3,
+        "no epoch bump on a refused write"
+    );
+    let status = store.wal_status().unwrap();
+    assert!(status.degraded.is_some(), "torn write is sticky-degraded");
+    assert_eq!(config.faults.injected(), 1, "the script actually fired");
+
+    // Writes stay refused (sticky), reads keep working.
+    let err = store.apply(&all[4]).unwrap_err();
+    assert!(matches!(err, ApplyError::DurabilityUnavailable { .. }));
+    assert!(store
+        .snapshot()
+        .engine()
+        .run(&CommunityQuery::new(Method::Exact, 0).with_k(2))
+        .is_ok());
+    drop(store);
+
+    // Recovery detects the torn tail by checksum, truncates it, and
+    // lands exactly on the pre-crash epoch.
+    let (recovered, report) = GraphStore::recover(dir.path()).unwrap();
+    assert!(report.torn_tail_truncated);
+    assert!(report.truncated_bytes > 0);
+    assert_eq!(report.epoch, 3);
+    let (expected, _) = expected_after(3);
+    assert_eq!(graph_bytes(recovered.snapshot().graph()), expected);
+
+    // The recovered store accepts writes again — on a fresh segment.
+    recovered.apply(&all[3]).unwrap_err(); // the erroneous batch: graph error, not durability
+    assert_eq!(recovered.published_epoch(), 4);
+    recovered.apply(&all[4]).unwrap();
+    assert_eq!(recovered.published_epoch(), 5);
+    drop(recovered);
+    let (again, report) = GraphStore::recover(dir.path()).unwrap();
+    assert_eq!(report.epoch, 5);
+    let (expected, _) = expected_after(5);
+    assert_eq!(graph_bytes(again.snapshot().graph()), expected);
+}
+
+#[test]
+fn fsync_failure_means_read_only_mode_with_zero_failed_reads() {
+    let dir = TempDir::new("fsync");
+    let config = WalConfig {
+        faults: FaultPlan::none().fail_fsync_at(2),
+        ..WalConfig::default()
+    };
+    let store = Arc::new(GraphStore::with_wal_config(base_graph(), dir.path(), config).unwrap());
+    let service = Service::new(Arc::clone(&store), ServiceConfig::default().with_workers(2));
+    let all = batches();
+    store.apply(&all[0]).unwrap();
+    store.apply(&all[1]).unwrap();
+
+    // The 3rd append's fsync fails: after a failed fsync the page cache
+    // is unknowable, so the write is rejected AND the log goes sticky
+    // read-only until recovery re-reads what actually landed.
+    let err = store.apply(&all[2]).unwrap_err();
+    let csag_err = err
+        .as_csag_error()
+        .expect("durability rejections map to CsagError");
+    assert!(matches!(csag_err, CsagError::DurabilityUnavailable { .. }));
+    let rendered = error_to_json(&csag_err);
+    assert!(
+        rendered.contains("\"durability_unavailable\""),
+        "wire kind must be durability_unavailable: {rendered}"
+    );
+    assert!(store.wal_status().unwrap().degraded.is_some());
+
+    // Zero failed reads while degraded: the serving layer keeps
+    // answering from the last durable epoch.
+    for _ in 0..8 {
+        let response = service
+            .run(Request::new(
+                CommunityQuery::new(Method::Exact, 0).with_k(2),
+            ))
+            .expect("admission must not be affected by WAL degradation");
+        assert!(
+            response.outcome.is_ok(),
+            "reads never fail in degraded mode"
+        );
+        assert_eq!(response.epoch, 2, "served from the last durable epoch");
+    }
+    drop(service);
+    drop(store);
+
+    let (recovered, report) = GraphStore::recover(dir.path()).unwrap();
+    assert_eq!(report.epoch, 2, "the unacknowledged batch is not replayed");
+    let (expected, _) = expected_after(2);
+    assert_eq!(graph_bytes(recovered.snapshot().graph()), expected);
+}
+
+#[test]
+fn plain_append_io_error_is_rejected_but_not_sticky() {
+    let dir = TempDir::new("ioerr");
+    let config = WalConfig {
+        faults: FaultPlan::none().fail_append_at(1),
+        ..WalConfig::default()
+    };
+    let store = GraphStore::with_wal_config(base_graph(), dir.path(), config).unwrap();
+    let all = batches();
+    store.apply(&all[0]).unwrap();
+    // Injected EIO/ENOSPC: rejected before any byte is written…
+    let err = store.apply(&all[1]).unwrap_err();
+    assert!(matches!(err, ApplyError::DurabilityUnavailable { .. }));
+    assert_eq!(store.published_epoch(), 1);
+    // …but NOT sticky — disk-full clears, the next attempt succeeds.
+    assert!(store.wal_status().unwrap().degraded.is_none());
+    store.apply(&all[1]).unwrap();
+    assert_eq!(store.published_epoch(), 2);
+    drop(store);
+
+    let (recovered, report) = GraphStore::recover(dir.path()).unwrap();
+    assert_eq!(report.epoch, 2);
+    let (expected, _) = expected_after(2);
+    assert_eq!(graph_bytes(recovered.snapshot().graph()), expected);
+}
+
+#[test]
+fn checkpoints_bound_replay_and_prune_segments() {
+    let dir = TempDir::new("ckpt");
+    let config = WalConfig {
+        checkpoint_every: 2,
+        segment_bytes: 1, // rotate on every append: one record per segment
+        ..WalConfig::default()
+    };
+    let store = GraphStore::with_wal_config(base_graph(), dir.path(), config.clone()).unwrap();
+    for batch in &batches() {
+        let _ = store.apply(batch);
+    }
+    let status = store.wal_status().unwrap();
+    assert!(
+        status.rotations >= 3,
+        "tiny segments must rotate: {status:?}"
+    );
+    assert!(
+        status.last_checkpoint_epoch >= 4,
+        "periodic checkpoints must advance: {status:?}"
+    );
+    drop(store);
+
+    // Segments fully covered by the newest checkpoint were pruned.
+    let segments: Vec<_> = std::fs::read_dir(dir.path())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("wal-"))
+        .collect();
+    assert!(
+        segments.len() <= 2,
+        "pruning must drop checkpoint-covered segments, found {}",
+        segments.len()
+    );
+
+    let (recovered, report) = GraphStore::recover_with(dir.path(), config).unwrap();
+    assert!(report.checkpoint_epoch >= 4);
+    assert!(
+        report.records_replayed <= 1,
+        "replay is bounded by the checkpoint delta: {report:?}"
+    );
+    assert_eq!(report.epoch, 5);
+    let (expected, _) = expected_after(5);
+    assert_eq!(graph_bytes(recovered.snapshot().graph()), expected);
+}
+
+#[test]
+fn checkpoint_now_cuts_replay_to_zero() {
+    let dir = TempDir::new("ckptnow");
+    let store = GraphStore::with_wal(base_graph(), dir.path()).unwrap();
+    for batch in &batches() {
+        let _ = store.apply(batch);
+    }
+    store.checkpoint_now().unwrap();
+    drop(store);
+    let (_, report) = GraphStore::recover(dir.path()).unwrap();
+    assert_eq!(report.checkpoint_epoch, 5);
+    assert_eq!(report.records_replayed, 0);
+    assert_eq!(report.epoch, 5);
+}
+
+#[test]
+fn every_fsync_policy_recovers_the_full_epoch_after_clean_shutdown() {
+    for (name, fsync) in [
+        ("always", FsyncPolicy::Always),
+        ("everyn", FsyncPolicy::EveryN(3)),
+        ("never", FsyncPolicy::Never),
+    ] {
+        let dir = TempDir::new(&format!("policy-{name}"));
+        let config = WalConfig {
+            fsync,
+            ..WalConfig::default()
+        };
+        let store = GraphStore::with_wal_config(base_graph(), dir.path(), config).unwrap();
+        for batch in &batches() {
+            let _ = store.apply(batch);
+        }
+        drop(store); // clean shutdown syncs the open segment
+        let (recovered, report) = GraphStore::recover(dir.path()).unwrap();
+        assert_eq!(report.epoch, 5, "policy {name} lost a clean shutdown");
+        let (expected, _) = expected_after(5);
+        assert_eq!(graph_bytes(recovered.snapshot().graph()), expected);
+    }
+}
+
+#[test]
+fn initialization_is_explicit_create_xor_recover() {
+    let dir = TempDir::new("init");
+    assert!(!csag::durability::wal_dir_initialized(dir.path()));
+    assert!(
+        GraphStore::recover(dir.path()).is_err(),
+        "nothing to recover"
+    );
+    let store = GraphStore::with_wal(base_graph(), dir.path()).unwrap();
+    drop(store);
+    assert!(csag::durability::wal_dir_initialized(dir.path()));
+    match GraphStore::with_wal(base_graph(), dir.path()) {
+        Ok(_) => panic!("re-initializing an existing wal dir must be refused"),
+        Err(err) => assert!(
+            err.to_string().contains("already holds wal state"),
+            "re-init must be refused with AlreadyInitialized: {err}"
+        ),
+    }
+    GraphStore::recover(dir.path()).unwrap();
+}
+
+#[test]
+fn router_skips_fanout_on_durability_rejection_and_keeps_reading() {
+    use csag::cluster::ReadSource;
+
+    let dir = TempDir::new("router");
+    let config = WalConfig {
+        faults: FaultPlan::none().fail_fsync_at(1),
+        ..WalConfig::default()
+    };
+    let primary = Arc::new(GraphStore::with_wal_config(base_graph(), dir.path(), config).unwrap());
+    let router = Router::new(primary, 2);
+    let all = batches();
+    router.apply(&all[0]).unwrap();
+    assert!(router.wait_replicas_caught_up(Duration::from_secs(5)));
+
+    let err = router.apply(&all[1]).unwrap_err();
+    assert!(matches!(err, ApplyError::DurabilityUnavailable { .. }));
+    // No record fanned out for the epoch that never happened…
+    assert_eq!(router.metrics().records, 1);
+    assert_eq!(router.epoch(), 1);
+    for i in 0..router.replica_count() {
+        assert_eq!(router.replica_watermark(i), 1);
+    }
+    // …and routed reads keep being served, epoch-consistently.
+    let routed = router.route_read(Some(1), Duration::from_secs(1)).unwrap();
+    assert!(routed.epoch() >= 1);
+}

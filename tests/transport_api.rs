@@ -331,3 +331,132 @@ fn submit_batch_wakes_workers_once() {
         assert!(resp.outcome.is_ok());
     }
 }
+
+/// A socket file left behind by a crashed server (`kill -9` never runs
+/// the unlink in `Transport::shutdown`) must not wedge the restart:
+/// bind probes the path, finds nobody home, reclaims it, and serves.
+#[cfg(unix)]
+#[test]
+fn stale_uds_socket_from_a_crash_is_reclaimed_on_bind() {
+    use std::os::unix::net::{UnixListener, UnixStream};
+
+    let (graph, q) = figure1_imdb();
+    let path = std::env::temp_dir().join(format!("csag-uds-stale-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // Simulate the crash: a listener binds the path and dies without
+    // unlinking. The file stays; nothing accepts on it.
+    drop(UnixListener::bind(&path).expect("stale bind"));
+    assert!(path.exists(), "a dead listener leaves its socket file");
+
+    let service = Arc::new(Service::over_graph(
+        graph,
+        ServiceConfig::default().with_workers(1),
+    ));
+    let transport =
+        Transport::bind_uds(Arc::clone(&service), &path).expect("reclaims the dead socket");
+
+    let mut sock = UnixStream::connect(&path).expect("connect after reclaim");
+    sock.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    sock.write_all(sea_line("s0", q, 7, None).as_bytes())
+        .unwrap();
+    let mut line = String::new();
+    BufReader::new(sock).read_line(&mut line).expect("response");
+    assert!(line.starts_with("{\"id\":\"s0\""), "{line}");
+
+    transport.shutdown();
+}
+
+/// The reclaim is NOT a steal: when a live process is still accepting
+/// on the path, a second bind fails with `AddrInUse` and the incumbent
+/// keeps serving untouched.
+#[cfg(unix)]
+#[test]
+fn live_uds_socket_refuses_a_second_bind() {
+    use std::os::unix::net::UnixStream;
+
+    let (graph, q) = figure1_imdb();
+    let service = Arc::new(Service::over_graph(
+        graph,
+        ServiceConfig::default().with_workers(1),
+    ));
+    let path = std::env::temp_dir().join(format!("csag-uds-live-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let incumbent = Transport::bind_uds(Arc::clone(&service), &path).expect("first bind");
+
+    match Transport::bind_uds(Arc::clone(&service), &path) {
+        Ok(_) => panic!("a live socket must not be stolen"),
+        Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse, "{err}"),
+    }
+    assert!(path.exists(), "the incumbent's socket file survives");
+
+    // The incumbent is unharmed by the probe connection.
+    let mut sock = UnixStream::connect(&path).expect("incumbent still accepts");
+    sock.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    sock.write_all(sea_line("l0", q, 7, None).as_bytes())
+        .unwrap();
+    let mut line = String::new();
+    BufReader::new(sock).read_line(&mut line).expect("response");
+    assert!(line.starts_with("{\"id\":\"l0\""), "{line}");
+
+    incumbent.shutdown();
+}
+
+/// The transport's fault seam: a scripted
+/// [`FaultPlan::drop_connection_at_request`] severs the connection at
+/// an exact request index — the request before it is answered, the
+/// scripted one (and everything after) sees a dead socket. This is the
+/// deterministic stand-in for mid-pipeline connection loss that the
+/// bench driver's retry path is tested against.
+#[test]
+fn scripted_connection_drop_severs_the_pipeline_at_the_exact_request() {
+    use csag::durability::FaultPlan;
+
+    let (graph, q) = figure1_imdb();
+    let service = Arc::new(Service::over_graph(
+        graph,
+        ServiceConfig::default().with_workers(1),
+    ));
+    let plan = FaultPlan::none().drop_connection_at_request(1);
+    let transport =
+        Transport::bind_tcp_with(Arc::clone(&service), "127.0.0.1:0", plan.clone()).expect("bind");
+
+    let mut sock = connect(&transport);
+    sock.write_all(sea_line("d0", q, 7, None).as_bytes())
+        .unwrap();
+    let mut reader = BufReader::new(sock.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("request 0 is answered");
+    assert!(line.starts_with("{\"id\":\"d0\""), "{line}");
+
+    // Request index 1 trips the script: the server aborts the socket.
+    sock.write_all(sea_line("d1", q, 8, None).as_bytes())
+        .unwrap();
+    line.clear();
+    let severed = match reader.read_line(&mut line) {
+        Ok(0) => true,  // clean EOF from the abort
+        Ok(_) => false, // a response would be a bug
+        Err(_) => true, // ECONNRESET is equally fine
+    };
+    assert!(
+        severed,
+        "the scripted request must never be answered: {line}"
+    );
+    assert_eq!(plan.injected(), 1, "exactly one fault fired");
+
+    // The transport itself survives: a NEW connection is served (the
+    // script is exhausted, so index 2+ passes).
+    let mut sock2 = connect(&transport);
+    sock2
+        .write_all(sea_line("d2", q, 9, None).as_bytes())
+        .unwrap();
+    line.clear();
+    BufReader::new(sock2)
+        .read_line(&mut line)
+        .expect("fresh connection answered");
+    assert!(line.starts_with("{\"id\":\"d2\""), "{line}");
+
+    transport.shutdown();
+}
