@@ -29,6 +29,15 @@ static ALLOC: CountingAllocator = CountingAllocator;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden re-exec hook: the load experiment's remote-cluster phase
+    // spawns this same binary as the follower *process* (replication
+    // genuinely crosses an OS process boundary in the measurements).
+    if args.first().map(String::as_str) == Some("__follower") {
+        let addr = args
+            .get(1)
+            .unwrap_or_else(|| die("__follower needs a replication address"));
+        csag_bench::load::follower_child(addr);
+    }
     let mut scale = Scale::full();
     let mut ids: Vec<String> = Vec::new();
     let mut socket: Option<String> = None;

@@ -5,7 +5,7 @@
 //! queueing (and, past the admission bound, shedding) emerges exactly
 //! as it would under real traffic — then snapshots the service metrics
 //! into a machine-readable `BENCH_serve.json`
-//! (`schema: csag-serve-v4`; keep keys append-only within a version).
+//! (`schema: csag-serve-v5`; keep keys append-only within a version).
 //!
 //! The workload has three deliberate ingredients:
 //!
@@ -42,7 +42,17 @@
 //!   unpinned vs epoch-pinned read latency under live churn, and an
 //!   induced replica failure timed through its degrade → reseed →
 //!   caught-up cycle — with the hard assertion that no routed read
-//!   ever fails, including during the failure window.
+//!   ever fails, including during the failure window;
+//! * a **remote phase** across a real OS process boundary: the primary
+//!   offers `csag-repl v1` on a unix-domain socket and this binary
+//!   re-execs itself (hidden `__follower` argument → [`follower_child`])
+//!   as a follower process that snapshot-seeds, follows the live
+//!   stream, and serves `csag-wire v2` from its own store. The phase
+//!   measures solo vs primary+follower read throughput over real
+//!   sockets, times a scripted mid-stream replication drop through its
+//!   reconnect → reseed → caught-up cycle, and asserts zero failed
+//!   reads — including an epoch-pinned run against the follower after
+//!   the reseed.
 //!
 //! `drive_socket` is the externally-pointed flavor of the socket phase:
 //! it drives an already-running `csag serve --listen` server (CI's
@@ -50,7 +60,8 @@
 //! `"epoch"` wire key through the load generator.
 
 use crate::config::Scale;
-use csag::cluster::{ReadSource, ReplicaHealth, Router};
+use csag::cluster::{Follower, FollowerConfig, ReadSource, ReplListener, ReplicaHealth, Router};
+use csag::durability::FaultPlan;
 use csag::engine::{CommunityQuery, CsagError, Method};
 use csag::service::{Priority, Request, Service, ServiceConfig, Ticket, Transport};
 use csag_datasets::generator::{generate, SyntheticConfig};
@@ -346,6 +357,90 @@ pub fn drive_socket(addr: &str, scale: &Scale) -> String {
     md
 }
 
+/// The follower half of the remote-cluster phase, running in its own
+/// OS process: the `experiments` binary re-execs itself with a hidden
+/// `__follower <addr>` argument that lands here. Follows `repl_addr`
+/// over `csag-repl v1` (an unseeded hello, so the primary ships a
+/// snapshot), waits until synced, then serves `csag-wire v2` from its
+/// own store on an ephemeral loopback port, announced on stdout as
+/// `listening tcp://...` — the line [`run`]'s spawn helper waits for.
+/// Never returns; the parent kills the process when the phase ends.
+pub fn follower_child(repl_addr: &str) -> ! {
+    let follower = Follower::start(
+        repl_addr,
+        FollowerConfig {
+            name: "bench-follower".into(),
+            ..FollowerConfig::default()
+        },
+    )
+    .expect("follower connects to the replication listener");
+    while !(follower.synced() && follower.connected()) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Long epoch waits: a pinned read arriving while the follower is
+    // mid-reseed should park on the watermark, not fail.
+    let service = Arc::new(Service::new(
+        Arc::clone(follower.store()),
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_epoch_wait(Duration::from_secs(30)),
+    ));
+    let transport = Transport::bind_tcp(Arc::clone(&service), "127.0.0.1:0")
+        .expect("bind follower serving socket");
+    println!("listening {}", transport.local_addr());
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Spawns this binary's hidden `__follower` mode as a real OS process
+/// following `repl_addr` and waits for its `listening tcp://...`
+/// announcement. Returns `None` when the re-exec is unavailable — unit
+/// tests run under the libtest harness, whose argument parser treats
+/// `__follower` as a test filter — so the caller can fall back to an
+/// in-process follower.
+fn spawn_follower_process(repl_addr: &str) -> Option<(std::process::Child, String)> {
+    let exe = std::env::current_exe().ok()?;
+    let mut child = std::process::Command::new(exe)
+        .arg("__follower")
+        .arg(repl_addr)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .ok()?;
+    let stdout = child.stdout.take()?;
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            match line {
+                Ok(line) => {
+                    if tx.send(line).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+    });
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let budget = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(budget) {
+            Ok(line) => {
+                if let Some(addr) = line.trim().strip_prefix("listening tcp://") {
+                    return Some((child, addr.to_string()));
+                }
+            }
+            Err(_) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return None;
+            }
+        }
+    }
+}
+
 /// Runs the serving baseline and returns the markdown summary; writes
 /// [`REPORT_PATH`] as a side effect.
 pub fn run(scale: &Scale) -> String {
@@ -389,6 +484,7 @@ pub fn run(scale: &Scale) -> String {
     let workers = scale.threads.max(1);
     let socket_graph = graph.clone();
     let cluster_graph = graph.clone();
+    let remote_graph = graph.clone();
     let service = Service::over_graph(
         graph,
         ServiceConfig::default()
@@ -667,10 +763,229 @@ pub fn run(scale: &Scale) -> String {
     let replica_reads: u64 = cm.replicas.iter().map(|m| m.routed_reads).sum();
     drop(router);
 
+    // Remote phase: replication across a real OS process boundary. A
+    // zero-replica router (the primary) offers csag-repl v1 on a
+    // unix-domain socket; a follower *process* (this binary re-exec'd
+    // via the hidden `__follower` hook) is seeded by a snapshot ship,
+    // follows the live stream, and serves csag-wire v2 from its own
+    // store. Reads run closed-loop over real sockets — the primary
+    // alone, then primary + follower concurrently. A scripted
+    // mid-stream connection drop on the replication link is timed
+    // through its reconnect → reseed → caught-up cycle, and a final
+    // epoch-pinned run against the follower must not fail a single
+    // read.
+    let remote_requests = if scale.quick { 16 } else { 64 };
+    let remote_router = Arc::new(Router::over_graph(remote_graph, 0));
+    // Records shipped so far when the scripted drop fires: the initial
+    // snapshot carries no tail (pre-spawn churn precedes the attach),
+    // so live records count from 0 and index 1 severs the stream on
+    // the second post-catch-up churn batch below.
+    let remote_faults = FaultPlan::none().drop_connection_at_request(1);
+    #[cfg(unix)]
+    let (remote_listener, repl_addr, repl_transport, repl_sock_path) = {
+        let path =
+            std::env::temp_dir().join(format!("csag-bench-repl-{}.sock", std::process::id()));
+        let listener =
+            ReplListener::bind_uds_with(Arc::clone(&remote_router), &path, remote_faults.clone())
+                .expect("bind replication uds");
+        let addr = format!("unix://{}", path.display());
+        (listener, addr, "uds", Some(path))
+    };
+    #[cfg(not(unix))]
+    let (remote_listener, repl_addr, repl_transport, repl_sock_path) = {
+        let listener = ReplListener::bind_tcp_with(
+            Arc::clone(&remote_router),
+            "127.0.0.1:0",
+            remote_faults.clone(),
+        )
+        .expect("bind replication tcp");
+        let addr = listener.local_addr().to_string();
+        (listener, addr, "tcp", None::<std::path::PathBuf>)
+    };
+    let primary_remote_service = Arc::new(Service::over_cluster(
+        Arc::clone(&remote_router),
+        ServiceConfig::default()
+            .with_workers(workers)
+            .with_capacity(capacity),
+    ));
+    let primary_remote_transport =
+        Transport::bind_tcp(Arc::clone(&primary_remote_service), "127.0.0.1:0")
+            .expect("bind remote-phase primary transport");
+    let primary_remote_addr = primary_remote_transport
+        .local_addr()
+        .tcp()
+        .expect("tcp transport")
+        .to_string();
+    // Churn before the follower exists, so its `epoch none` hello is
+    // genuinely behind and the handshake must ship a snapshot.
+    let mut remote_rng = StdRng::seed_from_u64(0x9E40);
+    for _ in 0..2 {
+        churn_batch(&remote_router, &mut remote_rng);
+    }
+    let follower_name = "bench-follower";
+    let (mut follower_proc, follower_fallback, follower_addr, process_isolated) =
+        match spawn_follower_process(&repl_addr) {
+            Some((child, addr)) => (Some(child), None, addr, true),
+            None => {
+                // In-process fallback for the libtest harness (the CI
+                // validator asserts the real binary isolates).
+                let follower = Follower::start(
+                    &repl_addr,
+                    FollowerConfig {
+                        name: follower_name.into(),
+                        ..FollowerConfig::default()
+                    },
+                )
+                .expect("in-process follower connects");
+                while !(follower.synced() && follower.connected()) {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                let service = Arc::new(Service::new(
+                    Arc::clone(follower.store()),
+                    ServiceConfig::default()
+                        .with_workers(2)
+                        .with_epoch_wait(Duration::from_secs(30)),
+                ));
+                let transport = Transport::bind_tcp(Arc::clone(&service), "127.0.0.1:0")
+                    .expect("bind fallback follower transport");
+                let addr = transport
+                    .local_addr()
+                    .tcp()
+                    .expect("tcp transport")
+                    .to_string();
+                (None, Some((follower, service, transport)), addr, false)
+            }
+        };
+    let wait_remote = |timeout: Duration| -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if remote_router.wait_remote_caught_up(follower_name, Duration::from_millis(100)) {
+                return true;
+            }
+            if Instant::now() > deadline {
+                return false;
+            }
+        }
+    };
+    assert!(
+        wait_remote(Duration::from_secs(60)),
+        "remote follower catches up with the churned primary"
+    );
+    let render_remote = |tag: &str, base: u64, count: usize, pin: Option<u64>| -> Vec<String> {
+        (0..count)
+            .map(|i| {
+                wire_line(
+                    &format!("{tag}{i}"),
+                    pool[i % pool.len()],
+                    k,
+                    base + i as u64,
+                    pin,
+                )
+            })
+            .collect()
+    };
+    // Warm both serving paths, then measure: primary alone vs the same
+    // total split across primary + follower driven concurrently.
+    closed_loop(
+        &primary_remote_addr,
+        &render_remote("mw", 80_000, pool.len(), None),
+        1,
+    )
+    .expect("remote-phase primary warmup");
+    closed_loop(
+        &follower_addr,
+        &render_remote("fw", 80_000, pool.len(), None),
+        1,
+    )
+    .expect("remote-phase follower warmup");
+    let remote_solo = closed_loop(
+        &primary_remote_addr,
+        &render_remote("ms", 81_000, remote_requests, None),
+        PIPELINE_WINDOW,
+    )
+    .expect("remote-phase solo run");
+    let remote_solo_qps = remote_solo.qps(remote_requests);
+    let half = remote_requests / 2;
+    let primary_half = render_remote("mp", 82_000, half, None);
+    let follower_half = render_remote("fp", 83_000, remote_requests - half, None);
+    let scaled_start = Instant::now();
+    let (primary_stats, follower_stats) = std::thread::scope(|s| {
+        let handle = s.spawn(|| {
+            closed_loop(&primary_remote_addr, &primary_half, PIPELINE_WINDOW)
+                .expect("remote-phase replicated primary half")
+        });
+        let follower_stats = closed_loop(&follower_addr, &follower_half, PIPELINE_WINDOW)
+            .expect("remote-phase replicated follower half");
+        (handle.join().expect("primary half joins"), follower_stats)
+    });
+    let remote_replicated_qps =
+        remote_requests as f64 / scaled_start.elapsed().as_secs_f64().max(1e-9);
+
+    // Scripted disconnect: the next two churn batches ship records 0
+    // and 1; the fault plan severs the stream on the second. Timed
+    // from the first post-measurement write to caught-up-again.
+    let drop_start = Instant::now();
+    churn_batch(&remote_router, &mut remote_rng);
+    churn_batch(&remote_router, &mut remote_rng);
+    assert!(
+        wait_remote(Duration::from_secs(60)),
+        "follower reconnects, reseeds, and catches up after the scripted drop"
+    );
+    let remote_catchup_ms = drop_start.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        remote_faults.injected() >= 1,
+        "the scripted replication drop fired"
+    );
+
+    // Epoch-pinned run against the follower after the reseed: the pin
+    // is the primary's live epoch, so every answer proves the follower
+    // is current — and not one read may fail.
+    let remote_pinned_epoch = remote_router.epoch();
+    let pinned_stats = closed_loop(
+        &follower_addr,
+        &render_remote("mz", 84_000, remote_requests, Some(remote_pinned_epoch)),
+        PIPELINE_WINDOW,
+    )
+    .expect("remote-phase pinned follower run");
+    let remote_failed =
+        remote_solo.errors + primary_stats.errors + follower_stats.errors + pinned_stats.errors;
+    assert_eq!(
+        remote_failed, 0,
+        "no read through the remote cluster may fail, including pinned reads across the reseed"
+    );
+    let rm = remote_router.metrics();
+    let remote_member = rm
+        .remotes
+        .iter()
+        .find(|m| m.name == follower_name)
+        .expect("remote member registered in router metrics");
+    let (remote_records, remote_bytes, remote_snapshots, remote_degraded) = (
+        remote_member.records_sent,
+        remote_member.bytes_shipped,
+        remote_member.reseeds,
+        remote_member.degraded,
+    );
+    assert!(
+        remote_snapshots >= 1,
+        "the unseeded follower was seeded by at least one snapshot ship"
+    );
+    let remote_disconnects = remote_listener.connections_accepted().saturating_sub(1);
+    if let Some(mut child) = follower_proc.take() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    drop(follower_fallback);
+    primary_remote_transport.shutdown();
+    remote_listener.shutdown();
+    if let Some(path) = repl_sock_path {
+        let _ = std::fs::remove_file(path);
+    }
+    drop(remote_router);
+
     // Machine-readable report (hand-rolled JSON; keys are the contract).
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"csag-serve-v4\",");
+    let _ = writeln!(json, "  \"schema\": \"csag-serve-v5\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -728,6 +1043,16 @@ pub fn run(scale: &Scale) -> String {
          \"degraded\": {degraded_marks}, \"reseeded\": {reseeds}, \
          \"catchup_ms\": {catchup_ms:.3}, \"failed_reads\": {cluster_failed} }},",
         cm.primary_reads, cm.pinned_waits, cm.pinned_rejects
+    );
+    let _ = writeln!(
+        json,
+        "  \"remote\": {{ \"transport\": \"{repl_transport}\", \
+         \"process_isolated\": {process_isolated}, \"requests\": {remote_requests}, \
+         \"solo_qps\": {remote_solo_qps:.3}, \"replicated_qps\": {remote_replicated_qps:.3}, \
+         \"records_shipped\": {remote_records}, \"bytes_shipped\": {remote_bytes}, \
+         \"snapshots_shipped\": {remote_snapshots}, \"degraded\": {remote_degraded}, \
+         \"disconnects\": {remote_disconnects}, \"catchup_ms\": {remote_catchup_ms:.3}, \
+         \"pinned_epoch\": {remote_pinned_epoch}, \"failed_reads\": {remote_failed} }},"
     );
     json.push_str("  \"per_priority\": {");
     for (i, p) in Priority::ALL.into_iter().enumerate() {
@@ -823,6 +1148,27 @@ pub fn run(scale: &Scale) -> String {
          {catchup_ms:.0} ms ({degraded_marks} degraded, {reseeds} reseeded, \
          {cluster_failed} failed reads) |"
     );
+    let _ = writeln!(
+        md,
+        "| remote ({repl_transport}, {}) read qps: primary alone / + follower | \
+         {remote_solo_qps:.1} / {remote_replicated_qps:.1} q/s |",
+        if process_isolated {
+            "own OS process"
+        } else {
+            "in-process fallback"
+        }
+    );
+    let _ = writeln!(
+        md,
+        "| remote replication shipped | {remote_records} records / {remote_bytes} bytes / \
+         {remote_snapshots} snapshots |"
+    );
+    let _ = writeln!(
+        md,
+        "| remote scripted drop: reconnect → reseed → caught up | \
+         {remote_catchup_ms:.0} ms ({remote_disconnects} disconnects, \
+         {remote_failed} failed reads at pinned epoch {remote_pinned_epoch}) |"
+    );
     for (i, p) in Priority::ALL.into_iter().enumerate() {
         let h = &snap.per_priority[i];
         let _ = writeln!(
@@ -856,7 +1202,7 @@ mod tests {
         let json = std::fs::read_to_string(REPORT_PATH).expect("report written");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         for key in [
-            "\"schema\": \"csag-serve-v4\"",
+            "\"schema\": \"csag-serve-v5\"",
             "\"workers\"",
             "\"capacity\"",
             "\"offered\"",
@@ -880,6 +1226,11 @@ mod tests {
             "\"pinned_mean_ms\"",
             "\"catchup_ms\"",
             "\"failed_reads\": 0",
+            "\"remote\"",
+            "\"process_isolated\"",
+            "\"records_shipped\"",
+            "\"snapshots_shipped\"",
+            "\"disconnects\"",
             "\"per_priority\"",
             "\"interactive\"",
             "\"batch\"",
@@ -921,8 +1272,6 @@ mod tests {
     /// answered exactly once — with the retry accounting to prove it.
     #[test]
     fn closed_loop_survives_a_scripted_connection_drop() {
-        use csag::durability::FaultPlan;
-
         let service = tiny_service(64);
         let plan = FaultPlan::none().drop_connection_at_request(3);
         let transport = Transport::bind_tcp_with(Arc::clone(&service), "127.0.0.1:0", plan.clone())

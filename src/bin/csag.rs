@@ -15,6 +15,8 @@
 //! csag update   <graph.txt> --script <updates.txt> [--out <new.txt>] [--wal <dir>] [--json]
 //! csag serve    <graph.txt> [--workers N] [--capacity N] [--replicas N] [--wal <dir>]
 //!                           [--metrics] [--listen <addr>] [--uds <path>]
+//!                           [--repl-listen <addr>] [--repl-uds <path>]
+//! csag replica  [seed-graph.txt] --follow <addr> [--name N] [--listen <addr>] [--uds <path>]
 //! csag serve-churn [--batches N] [--seed S] [--json]
 //! csag wal-churn <graph.txt> --wal <dir> [--plan-out <plan.txt>] [--batches N]
 //!                           [--seed S] [--sleep-ms MS]
@@ -33,6 +35,14 @@
 //! response envelope (normative spec: `docs/wire-protocol.md`), and the
 //! `"result"` object of a response is produced by the same serializer
 //! as `csag query --json`.
+//!
+//! `--repl-listen` / `--repl-uds` additionally serve the `csag-repl v1`
+//! replication protocol (normative spec: `docs/replication.md`): a
+//! `csag replica` process in another OS process (or on another host)
+//! follows the stream through `--follow <addr>`, stays in epoch
+//! lockstep, and serves byte-identical answers from its own sockets.
+//! In socket mode the primary's stdin doubles as a write feed — one
+//! `csag-updates v1` line per batch, `applied <epoch>` echoed back.
 
 use csag::datasets::generator::{generate, SyntheticConfig};
 use csag::datasets::paper_examples::{figure1_imdb, FIGURE1_TITLES};
@@ -65,6 +75,7 @@ fn main() {
         "generate" => cmd_generate(&args[1..]),
         "update" => cmd_update(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "replica" => cmd_replica(&args[1..]),
         "serve-churn" => cmd_serve_churn(&args[1..]),
         "wal-churn" => cmd_wal_churn(&args[1..]),
         "demo" => cmd_demo(&args[1..]),
@@ -94,6 +105,8 @@ fn usage() {
          \x20 update   <graph.txt> --script <u.txt>      apply a GraphUpdate batch via GraphStore\n\
          \x20 serve    <graph.txt>                       csag-wire service: v1 on stdin/stdout, or\n\
          \x20                                            pipelined v2 sockets via --listen / --uds\n\
+         \x20 replica  [seed.txt] --follow <addr>        remote replica: follow a primary's --repl-listen\n\
+         \x20                                            stream, serve byte-identical reads via --listen/--uds\n\
          \x20 serve-churn [--batches N]                  churn the paper's examples, verify vs fresh engines\n\
          \x20 wal-churn <graph.txt> --wal <dir>          churn a WAL-backed store (crash-recovery smoke driver)\n\
          \x20 demo                                       the paper's Figure-1 IMDB example\n\
@@ -112,6 +125,13 @@ fn usage() {
          \x20             before any `listening` line)\n\
          \x20             --listen <ip:port> (TCP csag-wire v2; port 0 = ephemeral, bound address\n\
          \x20             is printed as `listening tcp://...`)  --uds <path> (unix-domain socket)\n\
+         \x20             --repl-listen <ip:port> / --repl-uds <path> (csag-repl v1 replication\n\
+         \x20             endpoint for `csag replica` followers, printed as `repl-listening ...`;\n\
+         \x20             in socket mode stdin becomes a csag-updates v1 write feed)\n\
+         replica flags: --follow <addr> (tcp://host:port or a socket path; required)\n\
+         \x20             --name N (member name on the primary)  --listen / --uds (serving sockets)\n\
+         \x20             [seed-graph.txt] (skip the initial snapshot ship when you have the\n\
+         \x20             primary's epoch-0 graph)\n\
          wal-churn flags: --wal <dir>  --plan-out <plan.txt> (every batch written+synced *before*\n\
          \x20             it is applied, so the plan covers the durable prefix after a crash)\n\
          \x20             --batches N  --seed S  --sleep-ms MS (pacing, so a killer lands mid-run)"
@@ -195,6 +215,10 @@ fn common_arity() -> HashMap<&'static str, usize> {
         ("metrics", 0),
         ("listen", 1),
         ("uds", 1),
+        ("follow", 1),
+        ("name", 1),
+        ("repl-listen", 1),
+        ("repl-uds", 1),
         ("wal", 1),
         ("plan-out", 1),
         ("sleep-ms", 1),
@@ -411,13 +435,19 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 /// `"epoch"` wire key is only answered by a store that has published
 /// that epoch.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use csag::cluster::Router;
+    use csag::cluster::{ReplListener, Router};
     use csag::service::{parse_wire_request, rejection_to_json, response_to_json};
     use csag::service::{Service, ServiceConfig, Transport};
     use std::io::{BufRead, Write};
     use std::sync::Arc;
 
     let flags = parse_flags(args, &common_arity())?;
+    // `--follow` turns this invocation into a replica: same flags, but
+    // the store is fed by a primary's replication stream instead of
+    // local writes.
+    if flags.has("follow") {
+        return cmd_replica(args);
+    }
     let g = load(&flags)?;
     let mut config = ServiceConfig::default();
     if let Some(w) = flags.get::<usize>("workers")? {
@@ -428,28 +458,62 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     let replicas = flags.get::<usize>("replicas")?.unwrap_or(0);
     let wal = flags.get::<String>("wal")?;
+    let repl_listen = flags.get::<String>("repl-listen")?;
+    let repl_uds = flags.get::<String>("repl-uds")?;
+    // Offering replication requires the router's write path (remote
+    // members hang off it), even with zero in-process replicas.
+    let want_repl = repl_listen.is_some() || repl_uds.is_some();
     // With --wal, an already-initialized directory wins over the
     // positional graph: the server recovers to the exact pre-crash
     // epoch and announces it (`recovered {...}`) before any `listening`
     // line, so restart scripts can read the epoch they came back to.
-    let service = match (&wal, replicas) {
-        (None, 0) => Service::over_graph(g, config),
-        (None, r) => Service::over_cluster(Arc::new(Router::over_graph(g, r)), config),
-        (Some(dir), r) => {
-            let recovering = csag::durability::wal_dir_initialized(dir);
-            if r > 0 {
-                let router = if recovering {
-                    let (router, report) = Router::recover(dir, r)
+    let mut repl_listeners = Vec::new();
+    let service = if replicas > 0 || want_repl {
+        let router = match &wal {
+            None => Arc::new(Router::over_graph(g, replicas)),
+            Some(dir) => {
+                if csag::durability::wal_dir_initialized(dir) {
+                    let (router, report) = Router::recover(dir, replicas)
                         .map_err(|e| format!("recovering wal {dir}: {e}"))?;
                     println!("recovered {}", report.to_json());
-                    router
+                    Arc::new(router)
                 } else {
-                    Router::with_wal(g, r, dir)
-                        .map_err(|e| format!("initializing wal {dir}: {e}"))?
-                };
-                Service::over_cluster(Arc::new(router), config)
-            } else {
-                let store = if recovering {
+                    Arc::new(
+                        Router::with_wal(g, replicas, dir)
+                            .map_err(|e| format!("initializing wal {dir}: {e}"))?,
+                    )
+                }
+            }
+        };
+        // Replication endpoints announce themselves before the serving
+        // `listening` lines, so scripts can hand followers the address
+        // first.
+        if let Some(addr) = &repl_listen {
+            let l = ReplListener::bind_tcp(Arc::clone(&router), addr.as_str())
+                .map_err(|e| format!("binding repl tcp {addr}: {e}"))?;
+            println!("repl-listening {}", l.local_addr());
+            repl_listeners.push(l);
+        }
+        if let Some(path) = &repl_uds {
+            #[cfg(unix)]
+            {
+                let l = ReplListener::bind_uds(Arc::clone(&router), path)
+                    .map_err(|e| format!("binding repl uds {path}: {e}"))?;
+                println!("repl-listening {}", l.local_addr());
+                repl_listeners.push(l);
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err("--repl-uds needs a unix platform".to_string());
+            }
+        }
+        Service::over_cluster(router, config)
+    } else {
+        match &wal {
+            None => Service::over_graph(g, config),
+            Some(dir) => {
+                let store = if csag::durability::wal_dir_initialized(dir) {
                     let (store, report) = GraphStore::recover(dir)
                         .map_err(|e| format!("recovering wal {dir}: {e}"))?;
                     println!("recovered {}", report.to_json());
@@ -499,6 +563,48 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
              kill the process to stop",
             transports.len()
         );
+        // Socket mode keeps stdin as a write feed: each `csag-updates
+        // v1` line applies as a one-update batch through the serving
+        // store (the router, when replicated — so remote followers see
+        // it too), echoing `applied <epoch>` so drivers can pin reads
+        // to what they just wrote. EOF closes the feed but the server
+        // keeps serving until killed.
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+            let text = line.trim();
+            if text.is_empty() || text.starts_with('#') {
+                continue;
+            }
+            let update = match GraphUpdate::parse_line(text) {
+                Ok(u) => u,
+                Err(e) => {
+                    eprintln!("serve: ignoring malformed update line: {e}");
+                    continue;
+                }
+            };
+            let applied = match service.cluster() {
+                Some(router) => router.apply(std::slice::from_ref(&update)),
+                None => service.store().apply(std::slice::from_ref(&update)),
+            };
+            match applied {
+                Ok(report) => println!("applied {}", report.epoch),
+                Err(e) => eprintln!("serve: update feed batch failed: {e}"),
+            }
+            std::io::stdout()
+                .flush()
+                .map_err(|e| format!("writing stdout: {e}"))?;
+        }
+        if flags.has("metrics") {
+            println!("{}", service.metrics().to_json());
+            if let Some(router) = service.cluster() {
+                println!("{}", router.metrics().to_json());
+            }
+            std::io::stdout()
+                .flush()
+                .map_err(|e| format!("writing stdout: {e}"))?;
+        }
+        eprintln!("serve: stdin feed closed; still serving — kill the process to stop");
         loop {
             std::thread::park();
         }
@@ -541,6 +647,86 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         snapshot.warm_hit_ratio
     );
     Ok(())
+}
+
+/// `csag replica`: a remote replica process. Follows a primary's
+/// `--repl-listen` / `--repl-uds` endpoint over `csag-repl v1` (an
+/// optional positional graph seeds the store so the first handshake
+/// can stream instead of shipping a snapshot), keeps its store in
+/// epoch lockstep by applying the record stream, and serves reads over
+/// its own `csag-wire v2` sockets — answers at epoch `E` are
+/// byte-identical to the primary's at `E`. Prints `following <addr>
+/// epoch <E>` once synced, then the usual `listening ...` lines.
+/// Dropped connections reconnect (and reseed) forever; kill the
+/// process to stop.
+fn cmd_replica(args: &[String]) -> Result<(), String> {
+    use csag::cluster::{Follower, FollowerConfig};
+    use csag::service::{Service, ServiceConfig, Transport};
+    use std::io::Write;
+    use std::sync::Arc;
+
+    let flags = parse_flags(args, &common_arity())?;
+    let addr: String = flags.require("follow")?;
+    let mut config = FollowerConfig::default();
+    if let Some(name) = flags.get::<String>("name")? {
+        config.name = name;
+    }
+    if let Some(path) = flags.positional.first() {
+        let g = load_graph(path).map_err(|e| format!("loading {path}: {e}"))?;
+        config.seed = Some(Arc::new(g));
+    }
+    let follower = Follower::start(&addr, config).map_err(|e| format!("following {addr}: {e}"))?;
+    // Block until the first session syncs: clients connecting after the
+    // `following` line never see the pre-replication empty store.
+    while !(follower.synced() && follower.connected()) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!("following {addr} epoch {}", follower.epoch());
+
+    let mut sconfig = ServiceConfig::default().with_epoch_wait(Duration::from_secs(5));
+    if let Some(w) = flags.get::<usize>("workers")? {
+        sconfig = sconfig.with_workers(w);
+    }
+    if let Some(c) = flags.get::<usize>("capacity")? {
+        sconfig = sconfig.with_capacity(c);
+    }
+    let service = Arc::new(Service::new(Arc::clone(follower.store()), sconfig));
+
+    let mut transports = Vec::new();
+    if let Some(listen) = flags.get::<String>("listen")? {
+        let t = Transport::bind_tcp(Arc::clone(&service), listen.as_str())
+            .map_err(|e| format!("binding tcp {listen}: {e}"))?;
+        println!("listening {}", t.local_addr());
+        transports.push(t);
+    }
+    if let Some(path) = flags.get::<String>("uds")? {
+        #[cfg(unix)]
+        {
+            let t = Transport::bind_uds(Arc::clone(&service), &path)
+                .map_err(|e| format!("binding uds {path}: {e}"))?;
+            println!("listening {}", t.local_addr());
+            transports.push(t);
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            return Err("--uds needs a unix platform".to_string());
+        }
+    }
+    if transports.is_empty() {
+        return Err("a replica serves csag-wire v2 sockets; pass --listen and/or --uds".into());
+    }
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("writing stdout: {e}"))?;
+    eprintln!(
+        "replica: following {addr}, serving csag-wire v2 on {} transport(s); \
+         kill the process to stop",
+        transports.len()
+    );
+    loop {
+        std::thread::park();
+    }
 }
 
 fn cmd_baseline(args: &[String]) -> Result<(), String> {

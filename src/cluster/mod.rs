@@ -35,10 +35,15 @@
 //!   (or [`Router::heal`]) — clients never see a failed response from
 //!   the transition.
 //!
-//! The replica seam is shaped for distribution: a replica consumes an
+//! The replica seam is distribution-shaped — a replica consumes an
 //! ordered stream of [`LogRecord`]s and publishes a watermark, nothing
-//! more, and [`LogRecord::to_wire`] frames exactly that stream for a
-//! future csag-wire v2 socket hop.
+//! more — and [`remote`] takes it across the process boundary: a
+//! [`ReplListener`] on the primary speaks `csag-repl v1` over TCP/UDS
+//! (handshake on the follower's epoch, WAL-tail replay or checkpoint
+//! snapshot shipping to catch up, then the framed live stream), and a
+//! [`Follower`] in another process applies it through the ordinary
+//! store, acking its watermark back. Remote members live in the same
+//! lifecycle: drops and ack silence degrade, reconnects reseed.
 //!
 //! ```
 //! use csag::cluster::{ReadSource, Router};
@@ -66,10 +71,15 @@
 //! ```
 
 pub mod health;
+pub mod remote;
 pub mod replica;
 pub mod replication;
 pub mod router;
 
 pub use health::ReplicaHealth;
+pub use remote::{Follower, FollowerConfig, ReplListener};
 pub use replication::LogRecord;
-pub use router::{ClusterMetrics, ReadOrigin, ReadSource, ReplicaMetrics, RoutedSnapshot, Router};
+pub use router::{
+    ClusterMetrics, ReadOrigin, ReadSource, RemoteReplicaMetrics, ReplicaMetrics, RoutedSnapshot,
+    Router,
+};

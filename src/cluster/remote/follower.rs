@@ -1,0 +1,511 @@
+//! The follower runtime: a [`GraphStore`] in *this* process kept in
+//! epoch lockstep with a primary in *another* process over `csag-repl
+//! v1`.
+//!
+//! [`Follower::start`] spawns one session thread that loops forever:
+//! connect → hello (carrying the follower's current epoch, or `none`
+//! before any state exists) → swallow the catch-up (a shipped snapshot
+//! resets the store via [`GraphStore::reset_to`]; a tail replay is just
+//! early log frames) → apply each framed [`LogRecord`] through the
+//! ordinary [`GraphStore::apply`] path, acking every applied epoch —
+//! plus periodic heartbeat acks so an idle follower never looks silent.
+//! Any failure (connection reset, checksum mismatch, epoch gap) tears
+//! the session down and reconnects after a backoff; the handshake then
+//! resynchronizes from whatever epoch the store actually reached, so a
+//! gap is *detected* here but *repaired* by the listener (tail replay
+//! or snapshot reseed).
+//!
+//! Because **epoch = batches applied** and the stream is gapless and
+//! in-order, the follower's answers at epoch `E` are byte-identical to
+//! the primary's at `E` — serve them with an ordinary
+//! [`crate::service::Service`] + [`crate::service::Transport`] over the
+//! follower's store and clients cannot tell the processes apart.
+
+use crate::cluster::replication::LogRecord;
+use crate::engine::GraphStore;
+use csag_graph::builder::GraphBuilder;
+use csag_graph::AttributedGraph;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use super::{parse_header, Header, ACK_PREFIX, HELLO_PREFIX, PROTOCOL};
+
+/// Tuning for a [`Follower`].
+#[derive(Clone, Debug)]
+pub struct FollowerConfig {
+    /// The name this follower registers under on the primary (the
+    /// router's registry key; reconnects with the same name re-attach
+    /// to the same member).
+    pub name: String,
+    /// Optional seed graph: a follower seeded with the primary's
+    /// epoch-0 graph skips the initial snapshot ship. Without one the
+    /// follower starts empty and hellos with `epoch none`, forcing a
+    /// snapshot.
+    pub seed: Option<Arc<AttributedGraph>>,
+    /// Delay between reconnect attempts after a failed or dropped
+    /// session.
+    pub reconnect_backoff: Duration,
+    /// Heartbeat cadence: an idle session still acks its current epoch
+    /// this often, so ack-silence health checks see a live follower.
+    pub ack_interval: Duration,
+}
+
+impl Default for FollowerConfig {
+    fn default() -> Self {
+        FollowerConfig {
+            name: "follower".into(),
+            seed: None,
+            reconnect_backoff: Duration::from_millis(50),
+            ack_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Where a follower connects: `tcp://host:port`, `unix:///path`, a bare
+/// `host:port`, or a bare filesystem path (anything containing `/`).
+enum ReplTarget {
+    Tcp(String),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl ReplTarget {
+    fn parse(addr: &str) -> io::Result<ReplTarget> {
+        if let Some(rest) = addr.strip_prefix("tcp://") {
+            return Ok(ReplTarget::Tcp(rest.to_string()));
+        }
+        #[cfg(unix)]
+        if let Some(rest) = addr.strip_prefix("unix://") {
+            return Ok(ReplTarget::Unix(PathBuf::from(rest)));
+        }
+        #[cfg(unix)]
+        if addr.contains('/') {
+            return Ok(ReplTarget::Unix(PathBuf::from(addr)));
+        }
+        if addr.contains(':') {
+            return Ok(ReplTarget::Tcp(addr.to_string()));
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("unrecognized replication address `{addr}`"),
+        ))
+    }
+
+    fn connect(&self) -> io::Result<ReplStream> {
+        match self {
+            ReplTarget::Tcp(addr) => {
+                let s = TcpStream::connect(addr.as_str())?;
+                // Acks are tiny writes racing the incoming stream;
+                // Nagle would hold them back for the delayed ACK.
+                s.set_nodelay(true)?;
+                Ok(ReplStream::Tcp(s))
+            }
+            #[cfg(unix)]
+            ReplTarget::Unix(path) => Ok(ReplStream::Unix(UnixStream::connect(path)?)),
+        }
+    }
+}
+
+/// The follower side of one replication socket (TCP or unix-domain).
+enum ReplStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl ReplStream {
+    fn try_clone(&self) -> io::Result<ReplStream> {
+        match self {
+            ReplStream::Tcp(s) => s.try_clone().map(ReplStream::Tcp),
+            #[cfg(unix)]
+            ReplStream::Unix(s) => s.try_clone().map(ReplStream::Unix),
+        }
+    }
+
+    fn abort(&self) {
+        match self {
+            ReplStream::Tcp(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            #[cfg(unix)]
+            ReplStream::Unix(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for ReplStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ReplStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ReplStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ReplStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ReplStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            ReplStream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ReplStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            ReplStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Counters and control state shared with the session thread.
+struct FollowerShared {
+    store: Arc<GraphStore>,
+    stop: AtomicBool,
+    /// `true` once the store holds real state (seeded at start, or a
+    /// snapshot landed); until then hellos carry `epoch none`.
+    synced: AtomicBool,
+    connected: AtomicBool,
+    records_applied: AtomicU64,
+    snapshots_received: AtomicU64,
+    /// Sessions opened after the first (each one is a reconnect).
+    reconnects: AtomicU64,
+    /// The live session's socket, for severing on [`Follower::stop`].
+    live: Mutex<Option<ReplStream>>,
+}
+
+/// A remote replica runtime: owns the follower store and the session
+/// thread that keeps it in lockstep with the primary. See the
+/// [module docs](super).
+pub struct Follower {
+    shared: Arc<FollowerShared>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl Follower {
+    /// Starts following the primary's replication listener at `addr`
+    /// (`tcp://host:port`, `unix:///path`, bare `host:port`, or a bare
+    /// socket path). Returns immediately; the session thread connects
+    /// (and reconnects) in the background.
+    ///
+    /// # Errors
+    /// [`io::ErrorKind::InvalidInput`] for an unparseable address (a
+    /// *reachable* but dead address is retried forever, not an error).
+    pub fn start(addr: &str, config: FollowerConfig) -> io::Result<Follower> {
+        let target = ReplTarget::parse(addr)?;
+        let (store, synced) = match &config.seed {
+            Some(graph) => (GraphStore::from_arc(Arc::clone(graph)), true),
+            None => {
+                let empty = GraphBuilder::new(0)
+                    .build()
+                    .expect("empty graph always builds");
+                (GraphStore::new(empty), false)
+            }
+        };
+        let shared = Arc::new(FollowerShared {
+            store: Arc::new(store),
+            stop: AtomicBool::new(false),
+            synced: AtomicBool::new(synced),
+            connected: AtomicBool::new(false),
+            records_applied: AtomicU64::new(0),
+            snapshots_received: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            live: Mutex::new(None),
+        });
+        let session_shared = Arc::clone(&shared);
+        let join = std::thread::Builder::new()
+            .name("csag-repl-follower".into())
+            .spawn(move || session_loop(&session_shared, &target, &config))?;
+        Ok(Follower {
+            shared,
+            join: Some(join),
+        })
+    }
+
+    /// The follower's store: epoch-pinned reads against it uphold the
+    /// same guarantees as against the primary (a pin above the applied
+    /// watermark waits on the store's own publish watch, never serving
+    /// stale state). Front it with a [`crate::service::Service`] to
+    /// serve clients.
+    pub fn store(&self) -> &Arc<GraphStore> {
+        &self.shared.store
+    }
+
+    /// The highest epoch this follower has applied and published.
+    pub fn epoch(&self) -> u64 {
+        self.shared.store.published_epoch()
+    }
+
+    /// `true` while a replication session is live.
+    pub fn connected(&self) -> bool {
+        self.shared.connected.load(Ordering::Acquire)
+    }
+
+    /// `true` once the store holds real state (seed or snapshot).
+    pub fn synced(&self) -> bool {
+        self.shared.synced.load(Ordering::Acquire)
+    }
+
+    /// Log records applied across all sessions.
+    pub fn records_applied(&self) -> u64 {
+        self.shared.records_applied.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots swallowed (initial seed-over-the-wire + reseeds).
+    pub fn snapshots_received(&self) -> u64 {
+        self.shared.snapshots_received.load(Ordering::Relaxed)
+    }
+
+    /// Sessions opened after the first.
+    pub fn reconnects(&self) -> u64 {
+        self.shared.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the follower publishes `epoch` (or later), or
+    /// `timeout` elapses; `true` when reached.
+    pub fn wait_for_epoch(&self, epoch: u64, timeout: Duration) -> bool {
+        self.shared.store.subscribe().wait_for(epoch, timeout)
+    }
+
+    /// Stops the session thread (severing any live connection) and
+    /// joins it. The store stays usable at its last published epoch.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(live) = self
+            .shared
+            .live
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+        {
+            live.abort();
+        }
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for Follower {
+    /// Same as [`Follower::stop`].
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Connect–follow–reconnect forever (until stopped).
+fn session_loop(shared: &Arc<FollowerShared>, target: &ReplTarget, config: &FollowerConfig) {
+    let mut sessions = 0u64;
+    while !shared.stop.load(Ordering::Acquire) {
+        if let Ok(stream) = target.connect() {
+            if sessions > 0 {
+                shared.reconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            sessions += 1;
+            if let Ok(keeper) = stream.try_clone() {
+                *shared.live.lock().unwrap_or_else(PoisonError::into_inner) = Some(keeper);
+            }
+            let _ = run_session(shared, stream, config);
+            shared.connected.store(false, Ordering::Release);
+            *shared.live.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        std::thread::sleep(config.reconnect_backoff);
+    }
+}
+
+/// One replication session: hello → catch-up → frame loop. Returns
+/// `Err` on any anomaly; the caller reconnects.
+fn run_session(
+    shared: &Arc<FollowerShared>,
+    stream: ReplStream,
+    config: &FollowerConfig,
+) -> Result<(), String> {
+    let write_half = stream.try_clone().map_err(|e| e.to_string())?;
+    let writer = Arc::new(Mutex::new(write_half));
+    let mut reader = BufReader::new(stream);
+
+    let epoch_token = if shared.synced.load(Ordering::Acquire) {
+        shared.store.published_epoch().to_string()
+    } else {
+        "none".to_string()
+    };
+    {
+        let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+        writeln!(
+            w,
+            "{HELLO_PREFIX} {PROTOCOL} epoch {epoch_token} name {}",
+            config.name
+        )
+        .map_err(|e| e.to_string())?;
+        w.flush().map_err(|e| e.to_string())?;
+    }
+
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    match parse_header(line.trim_end())? {
+        Header::Stream { from } => {
+            // The stream header echoes the epoch the primary accepted;
+            // anything else means the handshake raced a different
+            // history and the frames to come would not line up.
+            if from != shared.store.published_epoch() {
+                return Err(format!(
+                    "primary resumed at epoch {from}, we are at {}",
+                    shared.store.published_epoch()
+                ));
+            }
+        }
+        Header::Snapshot { epoch, len } => {
+            let mut bytes = vec![0u8; len];
+            reader.read_exact(&mut bytes).map_err(|e| e.to_string())?;
+            // A snapshot at or below our own epoch carries state we
+            // already have (epoch lockstep makes it identical); resets
+            // only ever move the published epoch forward.
+            if epoch > shared.store.published_epoch() || !shared.synced.load(Ordering::Acquire) {
+                let graph = csag_graph::io::read_graph(&bytes[..])
+                    .map_err(|e| format!("unreadable snapshot: {e}"))?;
+                shared.store.reset_to(Arc::new(graph), epoch);
+                shared.synced.store(true, Ordering::Release);
+                shared.snapshots_received.fetch_add(1, Ordering::Relaxed);
+            }
+            send_ack(&writer, shared.store.published_epoch())?;
+        }
+        Header::Error { message } => return Err(format!("primary refused: {message}")),
+    }
+    shared.connected.store(true, Ordering::Release);
+
+    // Heartbeat acks: an idle follower still proves liveness (and its
+    // watermark) every `ack_interval`.
+    let beat_done = Arc::new(AtomicBool::new(false));
+    let beat = {
+        let writer = Arc::clone(&writer);
+        let store = Arc::clone(&shared.store);
+        let done = Arc::clone(&beat_done);
+        let interval = config.ack_interval;
+        std::thread::Builder::new()
+            .name("csag-repl-beat".into())
+            .spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    std::thread::sleep(interval);
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if send_ack(&writer, store.published_epoch()).is_err() {
+                        break;
+                    }
+                }
+            })
+            .map_err(|e| e.to_string())?
+    };
+
+    let outcome = frame_loop(shared, &mut reader, &writer);
+    beat_done.store(true, Ordering::Release);
+    reader.get_ref().abort();
+    let _ = beat.join();
+    outcome
+}
+
+/// Applies framed records until EOF or an anomaly.
+fn frame_loop(
+    shared: &Arc<FollowerShared>,
+    reader: &mut BufReader<ReplStream>,
+    writer: &Arc<Mutex<ReplStream>>,
+) -> Result<(), String> {
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let Some(body) = read_frame(reader)? else {
+            return Ok(()); // clean EOF: primary shut down
+        };
+        let text = std::str::from_utf8(&body).map_err(|_| "frame body is not UTF-8")?;
+        let record = LogRecord::parse_wire(text)?;
+        let published = shared.store.published_epoch();
+        if record.epoch <= published {
+            // Overlap below a snapshot / our proven epoch: already
+            // reflected in our state.
+            continue;
+        }
+        if record.epoch != published + 1 {
+            // A gap the stream contract forbids: tear the session down;
+            // the reconnect handshake reseeds us from `published`.
+            return Err(format!(
+                "epoch gap: at {published}, stream sent {}",
+                record.epoch
+            ));
+        }
+        // Replaying an erroneous batch reproduces the same published
+        // prefix the primary saw — replication semantics, not a
+        // failure.
+        let _ = shared.store.apply(&record.updates);
+        if shared.store.published_epoch() != record.epoch {
+            return Err(format!(
+                "applying record {} left the store at epoch {}",
+                record.epoch,
+                shared.store.published_epoch()
+            ));
+        }
+        shared.records_applied.fetch_add(1, Ordering::Relaxed);
+        send_ack(writer, record.epoch)?;
+    }
+}
+
+fn send_ack(writer: &Arc<Mutex<ReplStream>>, epoch: u64) -> Result<(), String> {
+    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+    writeln!(w, "{ACK_PREFIX}{epoch}").map_err(|e| e.to_string())?;
+    w.flush().map_err(|e| e.to_string())
+}
+
+/// Reads one checksummed frame (the WAL's on-disk framing, reused as
+/// socket framing): `!rec <len> <16-hex-fnv64>\n` then `len` body
+/// bytes. `Ok(None)` on clean EOF at a frame boundary; `Err` on damage
+/// (the session reconnects rather than guess).
+fn read_frame(reader: &mut BufReader<ReplStream>) -> Result<Option<Vec<u8>>, String> {
+    let mut header = String::new();
+    match reader.read_line(&mut header) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(e.to_string()),
+    }
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some(csag_graph::wal::FRAME_MAGIC) {
+        return Err(format!("bad frame header `{}`", header.trim_end()));
+    }
+    let len = parts
+        .next()
+        .and_then(|t| t.parse::<usize>().ok())
+        .ok_or_else(|| format!("bad frame length in `{}`", header.trim_end()))?;
+    let sum = parts
+        .next()
+        .and_then(|t| u64::from_str_radix(t, 16).ok())
+        .ok_or_else(|| format!("bad frame checksum in `{}`", header.trim_end()))?;
+    if parts.next().is_some() {
+        return Err(format!(
+            "trailing tokens in frame header `{}`",
+            header.trim_end()
+        ));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    if csag_graph::wal::checksum(&body) != sum {
+        return Err("frame checksum mismatch".into());
+    }
+    Ok(Some(body))
+}

@@ -17,6 +17,7 @@
 //!   [`CsagError::EpochUnavailable`](crate::engine::CsagError).
 
 use crate::cluster::health::ReplicaHealth;
+use crate::cluster::remote::feed::{CatchUp, RemoteAttach, RemoteMember};
 use crate::cluster::replica::{replica_loop, ReplicaMsg, ReplicaState};
 use crate::cluster::replication::LogRecord;
 use crate::durability::WalError;
@@ -182,6 +183,10 @@ impl ReplicaHandle {
 pub struct Router {
     primary: Arc<GraphStore>,
     replicas: Vec<ReplicaHandle>,
+    /// Remote replicas (followers in other processes), registered by
+    /// the replication listener as their connections handshake. Keyed
+    /// by follower name; entries survive disconnects.
+    remotes: Mutex<Vec<Arc<RemoteMember>>>,
     /// Serializes primary-apply + fan-out so every replica channel
     /// receives log records in epoch order.
     write: Mutex<()>,
@@ -206,6 +211,7 @@ impl Router {
         Router {
             primary,
             replicas,
+            remotes: Mutex::new(Vec::new()),
             write: Mutex::new(()),
             rotate: AtomicUsize::new(0),
             records: AtomicU64::new(0),
@@ -305,7 +311,135 @@ impl Router {
                 let _ = replica.tx.send(ReplicaMsg::Apply(record.clone()));
             }
         }
+        for remote in self.remotes().iter() {
+            remote.send(&record);
+        }
         outcome
+    }
+
+    fn remotes(&self) -> std::sync::MutexGuard<'_, Vec<Arc<RemoteMember>>> {
+        self.remotes.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers (or re-attaches) the remote replica `name` under the
+    /// write lock and decides its catch-up path against the primary's
+    /// epoch *at attach time*: every record fanned out after this call
+    /// has a higher epoch, so the connection that executes the returned
+    /// [`CatchUp`] and then forwards the feed delivers a gapless,
+    /// in-order stream.
+    ///
+    /// # Errors
+    /// A message for the `error` handshake response — today only a
+    /// follower claiming an epoch *above* the primary's (it followed a
+    /// different history; applying our records to it would corrupt it).
+    pub(crate) fn attach_remote(
+        &self,
+        name: &str,
+        follower_epoch: Option<u64>,
+    ) -> Result<RemoteAttach, String> {
+        let _guard = self.write.lock().unwrap_or_else(PoisonError::into_inner);
+        let pinned = self.primary.published_epoch();
+        if follower_epoch.is_some_and(|e| e > pinned) {
+            return Err(format!(
+                "follower epoch {} is ahead of primary epoch {pinned}",
+                follower_epoch.unwrap_or(0)
+            ));
+        }
+        let member = {
+            let mut remotes = self.remotes();
+            match remotes.iter().find(|m| m.name == name) {
+                Some(m) => Arc::clone(m),
+                None => {
+                    let m = Arc::new(RemoteMember::new(name));
+                    remotes.push(Arc::clone(&m));
+                    m
+                }
+            }
+        };
+        let catch_up = match follower_epoch {
+            Some(e) if e == pinned => CatchUp::Stream { from: e },
+            Some(e) => match self
+                .primary
+                .wal()
+                .and_then(|w| crate::durability::read_tail_records(w.dir(), e, pinned))
+            {
+                Some(records) => CatchUp::Tail { from: e, records },
+                None => self.snapshot_catch_up(pinned)?,
+            },
+            None => self.snapshot_catch_up(pinned)?,
+        };
+        if matches!(catch_up, CatchUp::Snapshot { .. }) {
+            member.status.set_health(ReplicaHealth::Reseeding);
+        }
+        let (tx, rx) = mpsc::channel();
+        let generation = member.attach(tx);
+        Ok(RemoteAttach {
+            member,
+            feed: rx,
+            generation,
+            catch_up,
+        })
+    }
+
+    /// Builds the snapshot-shipping payload for a follower that must be
+    /// reseeded: the newest WAL checkpoint's raw bytes plus the log
+    /// tail up to `pinned` when the primary is durable (no re-encoding
+    /// — the `csag::durability` checkpoint file *is* the payload), else
+    /// a fresh in-memory serialization of the current snapshot.
+    fn snapshot_catch_up(&self, pinned: u64) -> Result<CatchUp, String> {
+        if let Some(wal) = self.primary.wal() {
+            if let Ok((epoch, bytes)) = wal.checkpoint_bytes() {
+                if let Some(tail) = crate::durability::read_tail_records(wal.dir(), epoch, pinned) {
+                    return Ok(CatchUp::Snapshot { epoch, bytes, tail });
+                }
+            }
+        }
+        let snap = self.primary.snapshot();
+        let mut bytes = Vec::new();
+        csag_graph::io::write_graph(snap.engine().graph(), &mut bytes)
+            .map_err(|e| format!("serializing snapshot: {e}"))?;
+        Ok(CatchUp::Snapshot {
+            epoch: snap.epoch(),
+            bytes,
+            tail: Vec::new(),
+        })
+    }
+
+    /// Number of remote replicas ever registered (connected or not).
+    pub fn remote_count(&self) -> usize {
+        self.remotes().len()
+    }
+
+    /// Current health of the remote replica `name`, if registered.
+    pub fn remote_health(&self, name: &str) -> Option<ReplicaHealth> {
+        self.remotes()
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.status.health())
+    }
+
+    /// The highest epoch remote replica `name` has acked, if registered.
+    pub fn remote_watermark(&self, name: &str) -> Option<u64> {
+        self.remotes()
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.watermark.current())
+    }
+
+    /// Blocks until remote replica `name`'s acked watermark reaches the
+    /// primary's current epoch, or `timeout` elapses. `false` when the
+    /// member is unknown or the wait times out.
+    pub fn wait_remote_caught_up(&self, name: &str, timeout: Duration) -> bool {
+        let target = self.primary.published_epoch();
+        let member = self
+            .remotes()
+            .iter()
+            .find(|m| m.name == name)
+            .map(Arc::clone);
+        match member {
+            Some(m) => m.watermark.wait_for(target, timeout),
+            None => false,
+        }
     }
 
     /// Queues a reseed for every currently degraded replica (the write
@@ -328,10 +462,12 @@ impl Router {
         queued
     }
 
-    /// Degrades every healthy replica that has not heartbeat within
-    /// `max_silence` (reseeding replicas are busy rebuilding and exempt
-    /// by design). Returns how many were newly degraded; follow with
-    /// [`Router::heal`] (or the next [`Router::apply`]) to reseed them.
+    /// Degrades every healthy replica — in-process or remote — that has
+    /// not heartbeat (for remotes: acked) within `max_silence`
+    /// (reseeding replicas are busy rebuilding and exempt by design).
+    /// Returns how many were newly degraded; local replicas reseed on
+    /// the next [`Router::heal`] / [`Router::apply`], remote ones on
+    /// their next reconnect handshake.
     pub fn health_check(&self, max_silence: Duration) -> usize {
         let mut degraded = 0;
         for replica in &self.replicas {
@@ -339,6 +475,14 @@ impl Router {
                 && replica.state.status.silence() > max_silence
             {
                 replica.state.status.set_health(ReplicaHealth::Degraded);
+                degraded += 1;
+            }
+        }
+        for remote in self.remotes().iter() {
+            if remote.status.health() == ReplicaHealth::Healthy
+                && remote.status.silence() > max_silence
+            {
+                remote.status.set_health(ReplicaHealth::Degraded);
                 degraded += 1;
             }
         }
@@ -481,6 +625,25 @@ impl Router {
                     }
                 })
                 .collect(),
+            remotes: self
+                .remotes()
+                .iter()
+                .map(|m| {
+                    let watermark = m.watermark.current();
+                    RemoteReplicaMetrics {
+                        name: m.name.clone(),
+                        health: m.status.health(),
+                        connected: m.connected.load(Ordering::Acquire),
+                        watermark,
+                        lag: primary_epoch.saturating_sub(watermark),
+                        records_sent: m.records_sent.load(Ordering::Relaxed),
+                        bytes_shipped: m.bytes_shipped.load(Ordering::Relaxed),
+                        reseeds: m.snapshots_shipped.load(Ordering::Relaxed),
+                        acks: m.acks.load(Ordering::Relaxed),
+                        degraded: m.status.degraded_marks(),
+                    }
+                })
+                .collect(),
         }
     }
 }
@@ -572,6 +735,33 @@ pub struct ReplicaMetrics {
     pub reseeded: u64,
 }
 
+/// Point-in-time view of one *remote* replica (a follower process fed
+/// over `csag-repl v1`), inside [`ClusterMetrics`].
+#[derive(Clone, Debug)]
+pub struct RemoteReplicaMetrics {
+    /// The follower's self-declared name (the registry key).
+    pub name: String,
+    /// Current lifecycle state (acks drive healthy; drops and ack
+    /// silence drive degraded; a snapshot in flight is reseeding).
+    pub health: ReplicaHealth,
+    /// `true` while a replication connection is attached.
+    pub connected: bool,
+    /// Highest epoch the follower has acked.
+    pub watermark: u64,
+    /// Replication lag: primary epoch minus the acked watermark.
+    pub lag: u64,
+    /// Live log records shipped over the current and past connections.
+    pub records_sent: u64,
+    /// Payload bytes shipped (snapshots + framed records).
+    pub bytes_shipped: u64,
+    /// Full snapshots shipped (each one is a reseed).
+    pub reseeds: u64,
+    /// Acks received.
+    pub acks: u64,
+    /// Times this member was marked degraded.
+    pub degraded: u64,
+}
+
 /// Point-in-time cluster metrics ([`Router::metrics`]).
 #[derive(Clone, Debug)]
 pub struct ClusterMetrics {
@@ -591,6 +781,8 @@ pub struct ClusterMetrics {
     pub pinned_rejects: u64,
     /// Per-replica detail.
     pub replicas: Vec<ReplicaMetrics>,
+    /// Per-remote-replica detail (followers in other processes).
+    pub remotes: Vec<RemoteReplicaMetrics>,
 }
 
 impl ClusterMetrics {
@@ -640,6 +832,40 @@ impl ClusterMetrics {
             push_kv(&mut s, "degraded", &r.degraded.to_string());
             s.push(',');
             push_kv(&mut s, "reseeded", &r.reseeded.to_string());
+            s.push('}');
+        }
+        s.push(']');
+        s.push(',');
+        push_key(&mut s, "remotes");
+        s.push('[');
+        for (i, m) in self.remotes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('{');
+            push_kv(&mut s, "name", &json_string(&m.name));
+            s.push(',');
+            push_kv(&mut s, "health", &json_string(m.health.name()));
+            s.push(',');
+            push_kv(
+                &mut s,
+                "connected",
+                if m.connected { "true" } else { "false" },
+            );
+            s.push(',');
+            push_kv(&mut s, "watermark", &m.watermark.to_string());
+            s.push(',');
+            push_kv(&mut s, "lag", &m.lag.to_string());
+            s.push(',');
+            push_kv(&mut s, "records_sent", &m.records_sent.to_string());
+            s.push(',');
+            push_kv(&mut s, "bytes_shipped", &m.bytes_shipped.to_string());
+            s.push(',');
+            push_kv(&mut s, "reseeds", &m.reseeds.to_string());
+            s.push(',');
+            push_kv(&mut s, "acks", &m.acks.to_string());
+            s.push(',');
+            push_kv(&mut s, "degraded", &m.degraded.to_string());
             s.push('}');
         }
         s.push(']');

@@ -69,6 +69,7 @@ pub use recover::RecoveryReport;
 pub use wal::{DurabilityStatus, FsyncPolicy, Wal, WalConfig, WalError};
 
 pub(crate) use recover::recover_store;
+pub(crate) use wal::read_tail_records;
 
 use std::path::Path;
 

@@ -459,6 +459,26 @@ impl Wal {
         Ok(())
     }
 
+    /// Raw bytes of the newest durable checkpoint, with its epoch — the
+    /// snapshot-shipping payload for `csag-repl v1`. The file on disk is
+    /// already the `csag-graph v1` encoding, so replication streams it
+    /// verbatim instead of re-serializing the engine.
+    ///
+    /// # Errors
+    /// [`WalError::NotInitialized`] when no checkpoint exists;
+    /// [`WalError::Io`] when the file cannot be read.
+    pub fn checkpoint_bytes(&self) -> Result<(u64, Vec<u8>), WalError> {
+        let checkpoints = list_checkpoints(&self.dir)?;
+        let Some((epoch, path)) = checkpoints.last() else {
+            return Err(WalError::NotInitialized {
+                dir: self.dir.clone(),
+            });
+        };
+        let bytes = std::fs::read(path)
+            .map_err(|e| io_err(format!("reading checkpoint {}", path.display()), e))?;
+        Ok((*epoch, bytes))
+    }
+
     /// Writes a checkpoint of `graph` at `epoch` if the configured
     /// interval has elapsed, pruning segments the checkpoint fully
     /// covers. A checkpoint failure is *tolerated* (counted, nothing
@@ -512,6 +532,52 @@ impl Wal {
             }
         }
         Ok(())
+    }
+}
+
+/// Read-only tail read for replication catch-up: the contiguous run of
+/// records with epochs in `(after, upto]`, or `None` when the segments
+/// on disk cannot prove that run (pruned below `after`, torn mid-run,
+/// unparsable, gapped). Unlike recovery this never truncates anything —
+/// the primary is alive and still appending; the caller falls back to
+/// snapshot shipping on `None`.
+///
+/// Reading concurrently with the writer is safe up to `upto`: every
+/// frame with epoch ≤ `upto` was fully written before `upto` was
+/// published, and appends go straight through `write_all` (no
+/// user-space buffering). A trailing partial frame from an in-flight
+/// append only affects epochs > `upto`, which the contiguity check
+/// ignores.
+pub(crate) fn read_tail_records(dir: &Path, after: u64, upto: u64) -> Option<Vec<LogRecord>> {
+    if upto <= after {
+        return Some(Vec::new());
+    }
+    let segments = list_segments(dir).ok()?;
+    let mut out = Vec::new();
+    let mut expected = after + 1;
+    'segments: for (_, path) in &segments {
+        let bytes = std::fs::read(path).ok()?;
+        let scanned = csag_graph::wal::scan(&bytes).ok()?;
+        for (_, body) in scanned.frames {
+            let text = std::str::from_utf8(body).ok()?;
+            let record = LogRecord::parse_wire(text).ok()?;
+            if record.epoch <= after {
+                continue;
+            }
+            if record.epoch != expected {
+                return None;
+            }
+            out.push(record);
+            expected += 1;
+            if expected > upto {
+                break 'segments;
+            }
+        }
+    }
+    if expected > upto {
+        Some(out)
+    } else {
+        None
     }
 }
 

@@ -378,6 +378,52 @@ impl GraphStore {
         self.wal.as_ref().map(Wal::status)
     }
 
+    /// The attached WAL writer, if any — the replication listener reads
+    /// checkpoint bytes and log tails through this.
+    pub(crate) fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Replaces this store's entire state with `graph` at `epoch` — the
+    /// follower half of snapshot reseeding: a remote replica that fell
+    /// behind the primary's pruned log horizon swallows a shipped
+    /// checkpoint and resumes applying records at `epoch + 1`.
+    ///
+    /// The publish watermark only moves forward: callers must not reset
+    /// to an epoch below the published one (pinned readers would
+    /// otherwise see time move backwards), and the follower runtime
+    /// guards this by discarding snapshots at or below its own epoch.
+    ///
+    /// # Panics
+    /// When the store is WAL-backed — resetting would silently
+    /// desynchronize the store from its own log; durable stores must go
+    /// through [`GraphStore::recover`] instead.
+    pub fn reset_to(&self, graph: Arc<AttributedGraph>, epoch: u64) {
+        assert!(
+            self.wal.is_none(),
+            "reset_to on a WAL-backed store would desynchronize it from its log"
+        );
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.mutable = MutableGraph::from_graph(&graph);
+        state.core = CoreMaintainer::new(&graph);
+        state.epoch = epoch;
+        let engine = Engine::from_store_parts(
+            Arc::clone(&graph),
+            epoch,
+            state.core.coreness().to_vec(),
+            None,
+            Vec::new(),
+        );
+        *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(engine);
+        let mut published = self
+            .watch
+            .epoch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *published = (*published).max(epoch);
+        self.watch.published.notify_all();
+    }
+
     /// Forces a checkpoint of the current epoch's graph, pruning
     /// segments it fully covers. No-op without a WAL.
     ///

@@ -129,7 +129,7 @@ impl fmt::Display for BoundAddr {
 /// [`TcpStream`] and [`UnixStream`]: splitting into a read and a write
 /// half, and half-closing the read side (the graceful-shutdown signal —
 /// the blocked reader sees EOF, in-flight responses still flow out).
-trait WireSocket: Read + Write + Send + Sized + 'static {
+pub(crate) trait WireSocket: Read + Write + Send + Sized + 'static {
     fn split_off_writer(&self) -> io::Result<Self>;
     fn close_read(&self) -> io::Result<()>;
     /// Severs both directions at once — the injected-fault "connection
@@ -163,7 +163,7 @@ impl WireSocket for UnixStream {
 }
 
 /// A listener the accept loop can run on (TCP or unix-domain).
-trait WireListener: Send + 'static {
+pub(crate) trait WireListener: Send + 'static {
     type Stream: WireSocket;
     fn accept_stream(&self) -> io::Result<Self::Stream>;
 }
@@ -340,19 +340,7 @@ impl Transport {
         faults: FaultPlan,
     ) -> io::Result<Transport> {
         let path = path.as_ref().to_path_buf();
-        if path.exists() {
-            match UnixStream::connect(&path) {
-                Ok(_) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::AddrInUse,
-                        format!("{} is already served by a live process", path.display()),
-                    ));
-                }
-                // Connection refused: the socket file outlived its
-                // server (crash without unlink). Reclaim it.
-                Err(_) => std::fs::remove_file(&path)?,
-            }
-        }
+        reclaim_stale_uds(&path)?;
         let listener = UnixListener::bind(&path)?;
         Transport::start(service, listener, BoundAddr::Unix(path), faults)
     }
@@ -445,6 +433,29 @@ impl Drop for Transport {
     fn drop(&mut self) {
         self.shutdown_inner();
     }
+}
+
+/// Probes a possibly-stale unix socket file before binding over it: a
+/// live server answering on `path` is an [`io::ErrorKind::AddrInUse`]
+/// error; a dead socket file (previous process crashed without
+/// unlinking) is removed so the caller's bind proceeds. Shared by the
+/// query transport and the replication listener.
+#[cfg(unix)]
+pub(crate) fn reclaim_stale_uds(path: &Path) -> io::Result<()> {
+    if path.exists() {
+        match UnixStream::connect(path) {
+            Ok(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("{} is already served by a live process", path.display()),
+                ));
+            }
+            // Connection refused: the socket file outlived its server
+            // (crash without unlink). Reclaim it.
+            Err(_) => std::fs::remove_file(path)?,
+        }
+    }
+    Ok(())
 }
 
 /// The per-connection reader: parse lines, batch every burst of
