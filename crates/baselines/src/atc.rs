@@ -35,9 +35,16 @@ const MAX_STEPS: usize = 120;
 /// Size cap of the local BFS neighborhood the search starts from.
 const LOCAL_LIMIT: usize = 1_500;
 
-/// Collects up to [`LOCAL_LIMIT`] nodes around `q` by BFS, preferring
+/// Collects up to `LOCAL_LIMIT` nodes around `q` by BFS, preferring
 /// nodes that match many of `q`'s attributes (ties by discovery order).
-fn local_seed(g: &AttributedGraph, q: NodeId) -> Vec<NodeId> {
+///
+/// Public because it doubles as [`loc_atc`]'s *read footprint*: the BFS
+/// only ever scans the adjacency of nodes it returns, and the search
+/// then stays inside the seed-induced subgraph — so a caller that can
+/// prove every returned node's adjacency is exact on some subgraph
+/// (the sharded cluster's coverage check) knows `loc_atc` answers
+/// identically there.
+pub fn local_seed(g: &AttributedGraph, q: NodeId) -> Vec<NodeId> {
     let mut seen = FixedBitSet::new(g.n());
     let mut queue = VecDeque::new();
     let mut out = Vec::with_capacity(LOCAL_LIMIT);

@@ -28,7 +28,7 @@ use csag_graph::NodeId;
 use std::time::Duration;
 
 pub use acq::acq;
-pub use atc::loc_atc;
+pub use atc::{loc_atc, local_seed};
 pub use vac::{e_vac, vac, EVacLimits};
 
 // Every baseline returns `Result<BaselineResult, CsagError>`; re-export

@@ -60,7 +60,9 @@
 //! `"epoch"` wire key through the load generator.
 
 use crate::config::Scale;
-use csag::cluster::{Follower, FollowerConfig, ReadSource, ReplListener, ReplicaHealth, Router};
+use csag::cluster::{
+    Follower, FollowerConfig, ReadSource, ReplListener, ReplicaHealth, Router, ShardedRouter,
+};
 use csag::durability::FaultPlan;
 use csag::engine::{CommunityQuery, CsagError, Method};
 use csag::service::{Priority, Request, Service, ServiceConfig, Ticket, Transport};
@@ -483,6 +485,7 @@ pub fn run(scale: &Scale) -> String {
 
     let workers = scale.threads.max(1);
     let socket_graph = graph.clone();
+    let shard_graph = graph.clone();
     let cluster_graph = graph.clone();
     let remote_graph = graph.clone();
     let service = Service::over_graph(
@@ -982,10 +985,117 @@ pub fn run(scale: &Scale) -> String {
     }
     drop(remote_router);
 
+    // Shard phase: the same validated pool against the partitioned
+    // cluster. Reads route through the shard planner (local-hit vs
+    // scatter-gather is the measured split); structural churn applies
+    // through the fan-out write path, timed against a shadow
+    // single-store apply of the very same batches so the difference is
+    // the cluster-epoch publish lag (route + fan-out + view swap).
+    let shard_count = if scale.quick { 3 } else { 4 };
+    let shard_reads: usize = if scale.quick { 32 } else { 160 };
+    let sharded = Arc::new(ShardedRouter::over_graph(
+        shard_graph.clone(),
+        shard_count,
+        1,
+        0,
+    ));
+    let shard_solo = csag::engine::Engine::new(shard_graph.clone());
+    let shard_per_thread = shard_reads.div_ceil(workers);
+    let shard_total = shard_per_thread * workers;
+    let mut shard_failed = 0usize;
+    let solo_start = Instant::now();
+    for i in 0..shard_total {
+        match shard_solo.run(&template(pool[i % pool.len()], 95_000 + i as u64)) {
+            Ok(_) | Err(CsagError::NoCommunity { .. }) => {}
+            Err(_) => shard_failed += 1,
+        }
+    }
+    let shard_solo_elapsed = solo_start.elapsed().as_secs_f64();
+    let shard_solo_qps = shard_total as f64 / shard_solo_elapsed.max(1e-9);
+    drop(shard_solo);
+    let sharded_failed = AtomicUsize::new(0);
+    let sharded_start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..workers {
+            let (sharded_failed, sharded, pool, template) =
+                (&sharded_failed, &sharded, &pool, &template);
+            s.spawn(move || {
+                let mut ws = csag::graph::QueryWorkspace::new();
+                for i in 0..shard_per_thread {
+                    let q = pool[(t + i) % pool.len()];
+                    let outcome = sharded
+                        .route_read(None, Duration::from_secs(5))
+                        .and_then(|r| {
+                            r.run_with_workspace(
+                                &template(q, 95_000 + (t * shard_per_thread + i) as u64),
+                                &mut ws,
+                            )
+                        });
+                    match outcome {
+                        Ok(_) | Err(CsagError::NoCommunity { .. }) => {}
+                        Err(_) => {
+                            sharded_failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let sharded_elapsed = sharded_start.elapsed().as_secs_f64();
+    let sharded_qps = shard_total as f64 / sharded_elapsed.max(1e-9);
+    let shard_failed = shard_failed + sharded_failed.load(Ordering::Relaxed);
+
+    // Churn through the fan-out write path, a shadow store timing the
+    // journal-only cost of the identical batches.
+    let shadow = csag::engine::GraphStore::new(shard_graph);
+    let mut shard_rng = StdRng::seed_from_u64(0x54A2);
+    let mut publish_lag_ms = 0.0f64;
+    let shard_churn_batches = 3;
+    for _ in 0..shard_churn_batches {
+        let snap = shadow.snapshot();
+        let batch = random_updates(
+            snap.engine().graph(),
+            &mut shard_rng,
+            6,
+            ChurnMix::STRUCTURAL,
+        );
+        drop(snap);
+        let t0 = Instant::now();
+        shadow.apply(&batch).expect("shadow churn applies");
+        let solo_apply = t0.elapsed();
+        let t1 = Instant::now();
+        sharded.apply(&batch).expect("sharded churn applies");
+        let fanned_apply = t1.elapsed();
+        publish_lag_ms += (fanned_apply.as_secs_f64() - solo_apply.as_secs_f64()).max(0.0) * 1e3;
+    }
+    publish_lag_ms /= shard_churn_batches as f64;
+    assert_eq!(
+        sharded.epoch(),
+        shadow.snapshot().epoch(),
+        "cluster epoch keeps pace with the journal"
+    );
+    let shard_cluster_epoch = sharded.epoch();
+    let sm = sharded.metrics();
+    let shard_local_hits: u64 = sm.shards.iter().map(|s| s.local_hits).sum();
+    let shard_gathers: u64 = sm.shards.iter().map(|s| s.gathers).sum();
+    assert_eq!(
+        (shard_local_hits + shard_gathers) as usize,
+        shard_total,
+        "every sharded read is either a local hit or a gather"
+    );
+    let local_hit_ratio = shard_local_hits as f64 / shard_total.max(1) as f64;
+    let gather_mean_ms = if shard_gathers > 0 {
+        sm.shards.iter().map(|s| s.merge_ms).sum::<f64>() / shard_gathers as f64
+    } else {
+        0.0
+    };
+    assert_eq!(shard_failed, 0, "no sharded read may fail");
+    drop(sharded);
+
     // Machine-readable report (hand-rolled JSON; keys are the contract).
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"csag-serve-v5\",");
+    let _ = writeln!(json, "  \"schema\": \"csag-serve-v6\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -1053,6 +1163,15 @@ pub fn run(scale: &Scale) -> String {
          \"snapshots_shipped\": {remote_snapshots}, \"degraded\": {remote_degraded}, \
          \"disconnects\": {remote_disconnects}, \"catchup_ms\": {remote_catchup_ms:.3}, \
          \"pinned_epoch\": {remote_pinned_epoch}, \"failed_reads\": {remote_failed} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"shards\": {{ \"count\": {shard_count}, \"halo\": 1, \"reads\": {shard_total}, \
+         \"solo_qps\": {shard_solo_qps:.3}, \"sharded_qps\": {sharded_qps:.3}, \
+         \"local_hits\": {shard_local_hits}, \"gathers\": {shard_gathers}, \
+         \"local_hit_ratio\": {local_hit_ratio:.4}, \"gather_mean_ms\": {gather_mean_ms:.4}, \
+         \"publish_lag_ms\": {publish_lag_ms:.4}, \"cluster_epoch\": {shard_cluster_epoch}, \
+         \"failed_reads\": {shard_failed} }},"
     );
     json.push_str("  \"per_priority\": {");
     for (i, p) in Priority::ALL.into_iter().enumerate() {
@@ -1169,6 +1288,21 @@ pub fn run(scale: &Scale) -> String {
          {remote_catchup_ms:.0} ms ({remote_disconnects} disconnects, \
          {remote_failed} failed reads at pinned epoch {remote_pinned_epoch}) |"
     );
+    let _ = writeln!(
+        md,
+        "| sharded ({shard_count} shards, halo 1) read qps: one store / sharded | \
+         {shard_solo_qps:.1} / {sharded_qps:.1} q/s |"
+    );
+    let _ = writeln!(
+        md,
+        "| shard split: local hits / gathers (hit ratio) | \
+         {shard_local_hits} / {shard_gathers} ({local_hit_ratio:.2}) |"
+    );
+    let _ = writeln!(
+        md,
+        "| scatter-gather mean / cluster-epoch publish lag | \
+         {gather_mean_ms:.2} ms / {publish_lag_ms:.2} ms |"
+    );
     for (i, p) in Priority::ALL.into_iter().enumerate() {
         let h = &snap.per_priority[i];
         let _ = writeln!(
@@ -1202,7 +1336,7 @@ mod tests {
         let json = std::fs::read_to_string(REPORT_PATH).expect("report written");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         for key in [
-            "\"schema\": \"csag-serve-v5\"",
+            "\"schema\": \"csag-serve-v6\"",
             "\"workers\"",
             "\"capacity\"",
             "\"offered\"",
@@ -1231,6 +1365,11 @@ mod tests {
             "\"records_shipped\"",
             "\"snapshots_shipped\"",
             "\"disconnects\"",
+            "\"shards\"",
+            "\"local_hit_ratio\"",
+            "\"gather_mean_ms\"",
+            "\"publish_lag_ms\"",
+            "\"cluster_epoch\"",
             "\"per_priority\"",
             "\"interactive\"",
             "\"batch\"",

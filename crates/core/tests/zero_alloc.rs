@@ -111,16 +111,28 @@ fn steady_state_query_loop_allocates_nothing() {
         hot_loop(&g, q, &dist, &mut ws, &mut peeler, &mut bufs);
     }
 
-    // Steady state: bit-identical work, zero allocator traffic.
-    let before = allocation_count();
-    let mut checksum = 0.0;
-    for _ in 0..64 {
-        checksum += hot_loop(&g, q, &dist, &mut ws, &mut peeler, &mut bufs);
+    // Steady state: bit-identical work, zero allocator traffic. The
+    // counter is process-wide and the libtest harness keeps a thread of
+    // its own, so a stray background allocation can land inside the
+    // measured window; the guarantee under test is that the *loop* is
+    // allocation-free, so take the minimum over a few windows — noise is
+    // transient, a leak in the loop shows up in every window.
+    let mut min_allocations = u64::MAX;
+    for _ in 0..5 {
+        let before = allocation_count();
+        let mut checksum = 0.0;
+        for _ in 0..64 {
+            checksum += hot_loop(&g, q, &dist, &mut ws, &mut peeler, &mut bufs);
+        }
+        let allocations = allocation_count() - before;
+        assert!((checksum - 64.0 * reference).abs() < 1e-9, "same answers");
+        min_allocations = min_allocations.min(allocations);
+        if min_allocations == 0 {
+            break;
+        }
     }
-    let allocations = allocation_count() - before;
     assert_eq!(
-        allocations, 0,
-        "workspace-reused hot loop must not allocate (saw {allocations})"
+        min_allocations, 0,
+        "workspace-reused hot loop must not allocate (saw {min_allocations} in its quietest window)"
     );
-    assert!((checksum - 64.0 * reference).abs() < 1e-9, "same answers");
 }

@@ -183,6 +183,32 @@ pub fn scan(bytes: &[u8]) -> Result<Scan<'_>, ScanError> {
     })
 }
 
+/// Reads one frame from a buffered stream — the incremental twin of
+/// [`scan`], for consumers that see bytes arrive over time (the repl
+/// socket feed, shard fan-out logs) instead of a whole segment at once.
+/// Returns `Ok(None)` on clean EOF at a frame boundary; a short read
+/// mid-frame or a checksum mismatch is an `Err` — a stream, unlike a
+/// crashed segment, cannot be "torn", only wrong.
+///
+/// # Errors
+/// A human-readable message naming the malformed header, short body, or
+/// checksum mismatch.
+pub fn read_frame<R: std::io::BufRead>(reader: &mut R) -> Result<Option<Vec<u8>>, String> {
+    let mut header = String::new();
+    match reader.read_line(&mut header) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(e.to_string()),
+    }
+    let (len, crc) = parse_header(header.trim_end_matches('\n').as_bytes())?;
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    if checksum(&body) != crc {
+        return Err("frame checksum mismatch".into());
+    }
+    Ok(Some(body))
+}
+
 /// Parses `!rec <len> <crc>` (without the newline). A complete header
 /// that does not parse is corruption — truncation always cuts the
 /// newline first.
@@ -286,6 +312,37 @@ mod tests {
         let scan = scan(&stream).unwrap();
         assert!(scan.frames.is_empty());
         assert!(matches!(scan.end, ScanEnd::Torn { offset: 0, .. }));
+    }
+
+    #[test]
+    fn read_frame_is_the_incremental_scan() {
+        let bodies: [&[u8]; 3] = [b"# epoch 1\nadd-edge 0 1\n", b"", b"# epoch 2\n"];
+        let mut stream = Vec::new();
+        for b in bodies {
+            stream.extend_from_slice(&frame(b));
+        }
+        let mut reader = std::io::Cursor::new(&stream);
+        for b in bodies {
+            assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some(b));
+        }
+        assert_eq!(read_frame(&mut reader).unwrap(), None, "clean EOF");
+
+        // A stream cut mid-frame is an error, not a torn tail.
+        let mut short = std::io::Cursor::new(&stream[..stream.len() - 1]);
+        for b in &bodies[..2] {
+            assert_eq!(read_frame(&mut short).unwrap().as_deref(), Some(*b));
+        }
+        assert!(read_frame(&mut short).is_err());
+
+        // So is a flipped body byte.
+        let mut flipped = stream.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        let mut reader = std::io::Cursor::new(&flipped);
+        for b in &bodies[..2] {
+            assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some(*b));
+        }
+        assert!(read_frame(&mut reader).unwrap_err().contains("checksum"));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! csag generate --nodes N --communities C --seed S --out <graph.txt>
 //! csag update   <graph.txt> --script <updates.txt> [--out <new.txt>] [--wal <dir>] [--json]
 //! csag serve    <graph.txt> [--workers N] [--capacity N] [--replicas N] [--wal <dir>]
+//!                           [--shards N [--shard-halo R]]
 //!                           [--metrics] [--listen <addr>] [--uds <path>]
 //!                           [--repl-listen <addr>] [--repl-uds <path>]
 //! csag replica  [seed-graph.txt] --follow <addr> [--name N] [--listen <addr>] [--uds <path>]
@@ -118,6 +119,9 @@ fn usage() {
          update flags: --script <updates.txt> (csag-updates v1)  --out <new-graph.txt>\n\
          \x20             --wal <dir> (durably log the batch; recovers the dir first if initialized)\n\
          serve flags:  --workers N  --capacity N (admission bound)  --metrics (snapshot on exit)\n\
+         \x20             --shards N (partition the graph into N shard stores behind the\n\
+         \x20               scatter-gather router; --shard-halo R sets the ghost radius, default 1;\n\
+         \x20               composes with --replicas, which then replicates per shard, and --wal)\n\
          \x20             --replicas N (replicated stores behind the epoch-consistent csag::cluster\n\
          \x20             router; reads balance, `\"epoch\"`-pinned reads stay consistent)\n\
          \x20             --wal <dir> (write-ahead log + checkpoints; an initialized dir is\n\
@@ -212,6 +216,8 @@ fn common_arity() -> HashMap<&'static str, usize> {
         ("workers", 1),
         ("capacity", 1),
         ("replicas", 1),
+        ("shards", 1),
+        ("shard-halo", 1),
         ("metrics", 0),
         ("listen", 1),
         ("uds", 1),
@@ -434,8 +440,16 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 /// balance across whichever are caught up, and a request carrying the
 /// `"epoch"` wire key is only answered by a store that has published
 /// that epoch.
+///
+/// `--shards N` partitions the graph into N shard stores behind the
+/// `csag::cluster::shard` scatter-gather router (`--shard-halo R` sets
+/// the ghost-vertex radius, default 1). Answers stay byte-identical to
+/// a single store; pinned reads gate on the *cluster* epoch (published
+/// only once every shard applied the batch). Composes with
+/// `--replicas` (each shard gets its own replica set) and `--wal` (the
+/// journal logs globally, the partition is recomputed at boot).
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use csag::cluster::{ReplListener, Router};
+    use csag::cluster::{ReplListener, Router, ShardedRouter};
     use csag::service::{parse_wire_request, rejection_to_json, response_to_json};
     use csag::service::{Service, ServiceConfig, Transport};
     use std::io::{BufRead, Write};
@@ -467,8 +481,34 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // positional graph: the server recovers to the exact pre-crash
     // epoch and announces it (`recovered {...}`) before any `listening`
     // line, so restart scripts can read the epoch they came back to.
+    let shards = flags.get::<usize>("shards")?.unwrap_or(0);
+    let shard_halo = flags.get::<u32>("shard-halo")?.unwrap_or(1);
     let mut repl_listeners = Vec::new();
-    let service = if replicas > 0 || want_repl {
+    let service = if shards > 0 {
+        if want_repl {
+            return Err("--repl-listen/--repl-uds cannot front a sharded cluster; \
+                 use --replicas N for per-shard replication"
+                .to_string());
+        }
+        let sharded = match &wal {
+            None => Arc::new(ShardedRouter::over_graph(g, shards, shard_halo, replicas)),
+            Some(dir) => {
+                if csag::durability::wal_dir_initialized(dir) {
+                    let (router, report) =
+                        ShardedRouter::recover(dir, shards, shard_halo, replicas)
+                            .map_err(|e| format!("recovering wal {dir}: {e}"))?;
+                    println!("recovered {}", report.to_json());
+                    Arc::new(router)
+                } else {
+                    Arc::new(
+                        ShardedRouter::with_wal(g, shards, shard_halo, replicas, dir)
+                            .map_err(|e| format!("initializing wal {dir}: {e}"))?,
+                    )
+                }
+            }
+        };
+        Service::over_shards(sharded, config)
+    } else if replicas > 0 || want_repl {
         let router = match &wal {
             None => Arc::new(Router::over_graph(g, replicas)),
             Some(dir) => {
@@ -583,9 +623,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     continue;
                 }
             };
-            let applied = match service.cluster() {
-                Some(router) => router.apply(std::slice::from_ref(&update)),
-                None => service.store().apply(std::slice::from_ref(&update)),
+            let applied = if let Some(sharded) = service.shards() {
+                sharded.apply(std::slice::from_ref(&update))
+            } else if let Some(router) = service.cluster() {
+                router.apply(std::slice::from_ref(&update))
+            } else {
+                service.store().apply(std::slice::from_ref(&update))
             };
             match applied {
                 Ok(report) => println!("applied {}", report.epoch),
@@ -599,6 +642,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             println!("{}", service.metrics().to_json());
             if let Some(router) = service.cluster() {
                 println!("{}", router.metrics().to_json());
+            } else if let Some(sharded) = service.shards() {
+                println!("{}", sharded.metrics().to_json());
             }
             std::io::stdout()
                 .flush()
@@ -634,6 +679,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         writeln!(out, "{}", snapshot.to_json()).map_err(|e| format!("writing stdout: {e}"))?;
         if let Some(router) = service.cluster() {
             writeln!(out, "{}", router.metrics().to_json())
+                .map_err(|e| format!("writing stdout: {e}"))?;
+        } else if let Some(sharded) = service.shards() {
+            writeln!(out, "{}", sharded.metrics().to_json())
                 .map_err(|e| format!("writing stdout: {e}"))?;
         }
     }

@@ -75,11 +75,13 @@ pub mod remote;
 pub mod replica;
 pub mod replication;
 pub mod router;
+pub mod shard;
 
 pub use health::ReplicaHealth;
 pub use remote::{Follower, FollowerConfig, ReplListener};
 pub use replication::LogRecord;
 pub use router::{
     ClusterMetrics, ReadOrigin, ReadSource, RemoteReplicaMetrics, ReplicaMetrics, RoutedSnapshot,
-    Router,
+    Router, ShardSectionMetrics,
 };
+pub use shard::{ClusterView, ShardPlan, ShardedRouter};

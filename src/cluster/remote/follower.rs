@@ -432,7 +432,7 @@ fn frame_loop(
         if shared.stop.load(Ordering::Acquire) {
             return Ok(());
         }
-        let Some(body) = read_frame(reader)? else {
+        let Some(body) = csag_graph::wal::read_frame(reader)? else {
             return Ok(()); // clean EOF: primary shut down
         };
         let text = std::str::from_utf8(&body).map_err(|_| "frame body is not UTF-8")?;
@@ -471,41 +471,4 @@ fn send_ack(writer: &Arc<Mutex<ReplStream>>, epoch: u64) -> Result<(), String> {
     let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
     writeln!(w, "{ACK_PREFIX}{epoch}").map_err(|e| e.to_string())?;
     w.flush().map_err(|e| e.to_string())
-}
-
-/// Reads one checksummed frame (the WAL's on-disk framing, reused as
-/// socket framing): `!rec <len> <16-hex-fnv64>\n` then `len` body
-/// bytes. `Ok(None)` on clean EOF at a frame boundary; `Err` on damage
-/// (the session reconnects rather than guess).
-fn read_frame(reader: &mut BufReader<ReplStream>) -> Result<Option<Vec<u8>>, String> {
-    let mut header = String::new();
-    match reader.read_line(&mut header) {
-        Ok(0) => return Ok(None),
-        Ok(_) => {}
-        Err(e) => return Err(e.to_string()),
-    }
-    let mut parts = header.split_whitespace();
-    if parts.next() != Some(csag_graph::wal::FRAME_MAGIC) {
-        return Err(format!("bad frame header `{}`", header.trim_end()));
-    }
-    let len = parts
-        .next()
-        .and_then(|t| t.parse::<usize>().ok())
-        .ok_or_else(|| format!("bad frame length in `{}`", header.trim_end()))?;
-    let sum = parts
-        .next()
-        .and_then(|t| u64::from_str_radix(t, 16).ok())
-        .ok_or_else(|| format!("bad frame checksum in `{}`", header.trim_end()))?;
-    if parts.next().is_some() {
-        return Err(format!(
-            "trailing tokens in frame header `{}`",
-            header.trim_end()
-        ));
-    }
-    let mut body = vec![0u8; len];
-    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
-    if csag_graph::wal::checksum(&body) != sum {
-        return Err("frame checksum mismatch".into());
-    }
-    Ok(Some(body))
 }

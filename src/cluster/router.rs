@@ -20,10 +20,14 @@ use crate::cluster::health::ReplicaHealth;
 use crate::cluster::remote::feed::{CatchUp, RemoteAttach, RemoteMember};
 use crate::cluster::replica::{replica_loop, ReplicaMsg, ReplicaState};
 use crate::cluster::replication::LogRecord;
+use crate::cluster::shard::{planner, ClusterView, ShardStats};
 use crate::durability::WalError;
-use crate::engine::result::{json_string, push_key, push_kv};
-use crate::engine::{ApplyError, CsagError, GraphStore, GraphUpdate, Snapshot, UpdateReport};
-use csag_graph::AttributedGraph;
+use crate::engine::query::CommunityQuery;
+use crate::engine::result::{json_f64, json_string, push_key, push_kv};
+use crate::engine::{
+    ApplyError, CommunityResult, CsagError, GraphStore, GraphUpdate, Snapshot, UpdateReport,
+};
+use csag_graph::{AttributedGraph, NodeId, QueryWorkspace};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
@@ -37,6 +41,9 @@ pub enum ReadOrigin {
     Primary,
     /// Replica `i` (0-based).
     Replica(usize),
+    /// A sharded cluster view ([`crate::cluster::shard::ShardedRouter`]):
+    /// the answering store is decided per query by the shard planner.
+    Sharded,
 }
 
 /// A claim on a replica's read capacity; dropping it (with the last
@@ -61,12 +68,24 @@ impl Drop for ReadLease {
     }
 }
 
-/// A routed read: the pinned [`Snapshot`] that will answer, where it
-/// came from, and (for replica reads) the load-accounting lease that
-/// lives as long as any clone of this value.
+/// What a routed read resolves to: one pinned engine snapshot (the
+/// single-store and replica cases), or a whole pinned [`ClusterView`]
+/// whose per-query store is decided by the shard planner.
+#[derive(Clone)]
+enum RouteTarget {
+    Engine(Snapshot),
+    Shards {
+        view: Arc<ClusterView>,
+        stats: Arc<ShardStats>,
+    },
+}
+
+/// A routed read: the pinned [`Snapshot`] (or sharded [`ClusterView`])
+/// that will answer, where it came from, and (for replica reads) the
+/// load-accounting lease that lives as long as any clone of this value.
 #[derive(Clone)]
 pub struct RoutedSnapshot {
-    snapshot: Snapshot,
+    target: RouteTarget,
     origin: ReadOrigin,
     _lease: Option<Arc<ReadLease>>,
 }
@@ -84,26 +103,80 @@ impl RoutedSnapshot {
     /// Wraps a primary-store snapshot (no lease to account).
     pub(crate) fn primary(snapshot: Snapshot) -> Self {
         RoutedSnapshot {
-            snapshot,
+            target: RouteTarget::Engine(snapshot),
             origin: ReadOrigin::Primary,
             _lease: None,
         }
     }
 
-    /// The snapshot that will answer the read.
+    /// Wraps a pinned cluster view from a sharded router.
+    pub(crate) fn sharded(view: Arc<ClusterView>, stats: Arc<ShardStats>) -> Self {
+        RoutedSnapshot {
+            target: RouteTarget::Shards { view, stats },
+            origin: ReadOrigin::Sharded,
+            _lease: None,
+        }
+    }
+
+    /// The snapshot that will answer the read. For a sharded read this
+    /// is the view's whole-graph assembly (built lazily, at most once
+    /// per cluster epoch) — per-query work should go through
+    /// [`RoutedSnapshot::run_with_workspace`] instead, which routes to
+    /// individual shards.
     pub fn snapshot(&self) -> &Snapshot {
-        &self.snapshot
+        match &self.target {
+            RouteTarget::Engine(snapshot) => snapshot,
+            RouteTarget::Shards { view, .. } => view.assembly(),
+        }
     }
 
     /// The epoch the read will answer from (for a read pinned to `E`,
     /// always `>= E`).
     pub fn epoch(&self) -> u64 {
-        self.snapshot.epoch()
+        match &self.target {
+            RouteTarget::Engine(snapshot) => snapshot.epoch(),
+            RouteTarget::Shards { view, .. } => view.epoch(),
+        }
     }
 
     /// Which store the read was routed to.
     pub fn origin(&self) -> ReadOrigin {
         self.origin
+    }
+
+    /// Whether the distance table for `(q, γ)` is already resident on
+    /// the store that would answer — the scheduler's warm-start signal.
+    /// For a sharded read, the home shard's cache is consulted.
+    pub fn warm_hit(&self, q: NodeId, gamma: f64) -> bool {
+        match &self.target {
+            RouteTarget::Engine(snapshot) => snapshot.engine().cached_distances(q, gamma).is_some(),
+            RouteTarget::Shards { view, .. } => {
+                (q as usize) < view.journal().engine().graph().n()
+                    && view
+                        .shard(view.owner(q))
+                        .engine()
+                        .cached_distances(q, gamma)
+                        .is_some()
+            }
+        }
+    }
+
+    /// Runs one query against the routed target: directly on the
+    /// pinned engine, or — for a sharded read — through the shard
+    /// planner (shard-local under a coverage certificate,
+    /// scatter-gather otherwise). Byte-identical either way.
+    ///
+    /// # Errors
+    /// Same as [`crate::engine::Engine::run`].
+    pub fn run_with_workspace(
+        &self,
+        query: &CommunityQuery,
+        ws: &mut QueryWorkspace,
+    ) -> Result<CommunityResult, CsagError> {
+        match &self.target {
+            RouteTarget::Engine(snapshot) => snapshot.engine().run_with_workspace(query, ws),
+            RouteTarget::Shards { view, stats } => planner::execute(view, stats, query, ws),
+        }
     }
 }
 
@@ -583,7 +656,7 @@ impl Router {
         // us here — stores only move forward, so the snapshot's epoch
         // is at least the watermark the pick saw.
         RoutedSnapshot {
-            snapshot: replica.state.snapshot(),
+            target: RouteTarget::Engine(replica.state.snapshot()),
             origin: ReadOrigin::Replica(replica.state.id),
             _lease: Some(lease),
         }
@@ -644,6 +717,7 @@ impl Router {
                     }
                 })
                 .collect(),
+            shards: Vec::new(),
         }
     }
 }
@@ -783,6 +857,31 @@ pub struct ClusterMetrics {
     pub replicas: Vec<ReplicaMetrics>,
     /// Per-remote-replica detail (followers in other processes).
     pub remotes: Vec<RemoteReplicaMetrics>,
+    /// Per-shard detail (populated by
+    /// [`crate::cluster::shard::ShardedRouter::metrics`]; empty for a
+    /// plain replicated router).
+    pub shards: Vec<ShardSectionMetrics>,
+}
+
+/// Point-in-time view of one shard, inside [`ClusterMetrics`].
+#[derive(Clone, Debug)]
+pub struct ShardSectionMetrics {
+    /// Shard index (0-based).
+    pub id: usize,
+    /// Vertices this shard owns.
+    pub owned: u64,
+    /// Ghost vertices covered beyond the owned block (the halo).
+    pub halo: u64,
+    /// The shard primary's published epoch (lockstep with the journal).
+    pub watermark: u64,
+    /// Queries answered entirely by this shard (coverage certificate).
+    pub local_hits: u64,
+    /// Queries homed here whose candidate region crossed shards
+    /// (scatter-gather + union re-peel).
+    pub gathers: u64,
+    /// Total wall-clock spent gathering and merging those queries,
+    /// in milliseconds.
+    pub merge_ms: f64,
 }
 
 impl ClusterMetrics {
@@ -866,6 +965,30 @@ impl ClusterMetrics {
             push_kv(&mut s, "acks", &m.acks.to_string());
             s.push(',');
             push_kv(&mut s, "degraded", &m.degraded.to_string());
+            s.push('}');
+        }
+        s.push(']');
+        s.push(',');
+        push_key(&mut s, "shards");
+        s.push('[');
+        for (i, sh) in self.shards.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('{');
+            push_kv(&mut s, "id", &sh.id.to_string());
+            s.push(',');
+            push_kv(&mut s, "owned", &sh.owned.to_string());
+            s.push(',');
+            push_kv(&mut s, "halo", &sh.halo.to_string());
+            s.push(',');
+            push_kv(&mut s, "watermark", &sh.watermark.to_string());
+            s.push(',');
+            push_kv(&mut s, "local_hits", &sh.local_hits.to_string());
+            s.push(',');
+            push_kv(&mut s, "gathers", &sh.gathers.to_string());
+            s.push(',');
+            push_kv(&mut s, "merge_ms", &json_f64(sh.merge_ms));
             s.push('}');
         }
         s.push(']');

@@ -1,0 +1,121 @@
+//! Conservative certificate combination for scatter-gathered answers.
+//!
+//! When a candidate region spills across shards, the gather path
+//! re-peels the union and each contributing fragment arrives with its
+//! own [`AccuracyCertificate`] (or none — heuristic baselines certify
+//! nothing). The merged certificate may **never overclaim**: a client
+//! reading it must be able to trust it no matter how many shards the
+//! answer crossed. So every field combines in its pessimistic
+//! direction:
+//!
+//! * `certified` — AND: the union is certified only if every fragment
+//!   was.
+//! * `error_bound` — max: the union's error is at best the worst
+//!   fragment's.
+//! * `confidence` — min: a conjunction of guarantees holds with at
+//!   most the weakest one's confidence.
+//! * `moe` — max: interval half-widths do not shrink by union.
+//!
+//! A missing fragment certificate poisons the merge to `None` (an
+//! uncertified fragment cannot be laundered into a certified union),
+//! and folding a **single** fragment is the identity — the common
+//! gather case (one re-peeled union result) keeps its certificate
+//! byte-identical to the single-store run.
+
+use crate::engine::AccuracyCertificate;
+
+/// Conservatively combines two certificates (see the module docs for
+/// the per-field directions).
+pub fn combine(a: AccuracyCertificate, b: AccuracyCertificate) -> AccuracyCertificate {
+    AccuracyCertificate {
+        certified: a.certified && b.certified,
+        error_bound: a.error_bound.max(b.error_bound),
+        confidence: a.confidence.min(b.confidence),
+        moe: a.moe.max(b.moe),
+    }
+}
+
+/// Folds fragment certificates into the union's certificate. Empty
+/// input and any `None` fragment yield `None`; a single `Some`
+/// fragment is returned unchanged (identity — the certificate a lone
+/// re-peeled union earned is exactly the certificate reported).
+pub fn merge_certificates(
+    fragments: &[Option<AccuracyCertificate>],
+) -> Option<AccuracyCertificate> {
+    let mut merged: Option<AccuracyCertificate> = None;
+    for fragment in fragments {
+        let cert = (*fragment)?;
+        merged = Some(match merged {
+            None => cert,
+            Some(acc) => combine(acc, cert),
+        });
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cert(certified: bool, error_bound: f64, confidence: f64, moe: f64) -> AccuracyCertificate {
+        AccuracyCertificate {
+            certified,
+            error_bound,
+            confidence,
+            moe,
+        }
+    }
+
+    #[test]
+    fn single_fragment_is_the_identity() {
+        let c = cert(true, 0.05, 0.95, 0.01);
+        let merged = merge_certificates(&[Some(c)]).expect("one certified fragment");
+        assert_eq!(merged.certified, c.certified);
+        assert_eq!(merged.error_bound, c.error_bound);
+        assert_eq!(merged.confidence, c.confidence);
+        assert_eq!(merged.moe, c.moe);
+    }
+
+    #[test]
+    fn merge_never_overclaims() {
+        let tight = cert(true, 0.01, 0.99, 0.001);
+        let loose = cert(true, 0.20, 0.90, 0.080);
+        for pair in [[tight, loose], [loose, tight]] {
+            let m = combine(pair[0], pair[1]);
+            assert!(m.certified);
+            assert_eq!(m.error_bound, 0.20, "error bound is the worst fragment's");
+            assert_eq!(m.confidence, 0.90, "confidence is the weakest fragment's");
+            assert_eq!(m.moe, 0.080, "interval half-width never shrinks");
+        }
+    }
+
+    #[test]
+    fn uncertified_fragment_poisons_certified_to_false() {
+        let yes = cert(true, 0.05, 0.95, 0.01);
+        let no = cert(false, 0.05, 0.95, 0.01);
+        assert!(!combine(yes, no).certified);
+        assert!(!combine(no, yes).certified);
+    }
+
+    #[test]
+    fn missing_fragment_certificate_yields_none() {
+        let c = cert(true, 0.05, 0.95, 0.01);
+        assert!(merge_certificates(&[]).is_none());
+        assert!(merge_certificates(&[None]).is_none());
+        assert!(merge_certificates(&[Some(c), None]).is_none());
+        assert!(merge_certificates(&[None, Some(c)]).is_none());
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let a = cert(true, 0.02, 0.97, 0.004);
+        let b = cert(true, 0.10, 0.93, 0.020);
+        let c = cert(false, 0.05, 0.99, 0.001);
+        let abc = merge_certificates(&[Some(a), Some(b), Some(c)]).unwrap();
+        let cba = merge_certificates(&[Some(c), Some(b), Some(a)]).unwrap();
+        assert_eq!(abc.certified, cba.certified);
+        assert_eq!(abc.error_bound, cba.error_bound);
+        assert_eq!(abc.confidence, cba.confidence);
+        assert_eq!(abc.moe, cba.moe);
+    }
+}

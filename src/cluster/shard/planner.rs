@@ -1,0 +1,219 @@
+//! The query planner: decides, per [`CommunityQuery`], whether the
+//! owning shard can answer alone or the candidate region crosses a
+//! shard boundary and must be scatter-gathered.
+//!
+//! The contract is absolute: a sharded cluster answers **byte-identical
+//! to a single store** for every query — results, certificates, and
+//! error messages alike. Routing is therefore proof-driven, never
+//! heuristic: a query runs shard-local only when the planner has
+//! *certified* that the method's entire read footprint lies inside the
+//! home shard's coverage (where shard adjacency equals global
+//! adjacency). Anything short of a proof takes the gather path, which
+//! is always correct and merely slower.
+//!
+//! Three certificates are in play, matched to how the methods read the
+//! graph:
+//!
+//! * **Pessimistic peel** (exact and the deterministic baselines):
+//!   peel the home shard to the `k`-core, but treat uncovered vertices
+//!   as unpeelable — their shard degree is a lower bound, so removing
+//!   them could be wrong, while *keeping* them only enlarges the
+//!   result. The surviving superset contains the true global `k`-core;
+//!   if `q`'s component in it is fully covered, that component *is*
+//!   the global maximal community region, entirely resident.
+//! * **Growth replay** (SEA): re-run the best-first neighborhood
+//!   growth on the shard. The growth reads only collected nodes'
+//!   adjacency, so if every collected node is covered the sampled
+//!   population `G_q` is exact.
+//! * **Seed replay** (LocATC): re-run the bounded BFS seed; the search
+//!   never leaves the seed-induced subgraph.
+//!
+//! Screens come first: the engine's precheck rejections quote *global*
+//! core/trussness numbers, so a query the global screen rejects may
+//! run locally only when the shard's screen fires with the very same
+//! numbers — otherwise it gathers just to reproduce the right error
+//! bytes. Never overclaim extends to error messages.
+
+use super::{gather, ClusterView, ShardStats};
+use crate::engine::query::CommunityQuery;
+use crate::engine::{CommunityResult, CsagError, Method};
+use csag_core::distance::QueryDistances;
+use csag_core::sea::grow_neighborhood;
+use csag_decomp::CommunityModel;
+use csag_graph::{AttributedGraph, NodeId, QueryWorkspace};
+use std::time::Instant;
+
+/// Where one query runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Decision {
+    /// Fully covered by the home shard: runs there, touching one store.
+    Local { shard: usize },
+    /// Crosses coverage: scatter-gather the region and re-peel the
+    /// union (`home` is the shard charged with the merge).
+    Gather { home: usize },
+}
+
+/// Plans and runs one query against a published cluster view.
+pub(crate) fn execute(
+    view: &ClusterView,
+    stats: &ShardStats,
+    query: &CommunityQuery,
+    ws: &mut QueryWorkspace,
+) -> Result<CommunityResult, CsagError> {
+    match decide(view, query) {
+        Decision::Local { shard } => {
+            stats.record_local(shard);
+            view.shard(shard).engine().run_with_workspace(query, ws)
+        }
+        Decision::Gather { home } => {
+            let t = Instant::now();
+            let result = gather::run(view, query, ws);
+            stats.record_gather(home, t.elapsed());
+            result
+        }
+    }
+}
+
+/// The routing decision (see the module docs for the certificates).
+pub(crate) fn decide(view: &ClusterView, query: &CommunityQuery) -> Decision {
+    let journal = view.journal().engine();
+    let n = journal.graph().n();
+    let q = query.q;
+    // Out-of-range query nodes and malformed parameters are rejected
+    // before any adjacency is read — every engine produces the same
+    // bytes, so the cheapest shard answers.
+    if (q as usize) >= n {
+        return Decision::Local { shard: 0 };
+    }
+    let home = view.owner(q);
+    if query.validate().is_err() {
+        return Decision::Local { shard: home };
+    }
+    let local = Decision::Local { shard: home };
+    let spill = Decision::Gather { home };
+    let sh = view.shard(home).engine();
+    let g_core = journal.coreness()[q as usize];
+    let s_core = sh.coreness()[q as usize];
+    match query.model {
+        CommunityModel::KCore => {
+            if g_core < query.k {
+                // Globally impossible: the rejection quotes the global
+                // core number, so local only if the shard agrees on it.
+                return if s_core == g_core { local } else { spill };
+            }
+            if s_core < query.k {
+                // Globally answerable but the shard's screen would
+                // fire: the carve split the community.
+                return spill;
+            }
+        }
+        CommunityModel::KTruss => {
+            let needed_core = query.k.saturating_sub(1);
+            if g_core < needed_core {
+                return if s_core == g_core { local } else { spill };
+            }
+            let g_truss = journal.node_trussness()[q as usize];
+            if g_truss < query.k {
+                // The global trussness screen fires; the shard must
+                // clear the core screen and quote the same trussness.
+                return if s_core >= needed_core && sh.node_trussness()[q as usize] == g_truss {
+                    local
+                } else {
+                    spill
+                };
+            }
+            if s_core < needed_core || sh.node_trussness()[q as usize] < query.k {
+                return spill;
+            }
+        }
+    }
+    let covered = view.coverage(home);
+    let confined = match query.method {
+        // Rejected at dispatch, after the screens, before any graph
+        // read — identical bytes from any screen-passing engine.
+        Method::SeaHetero => true,
+        Method::Exact | Method::Acq | Method::Vac | Method::EVac => {
+            let peel_k = match query.model {
+                CommunityModel::KCore => query.k,
+                CommunityModel::KTruss => query.k.saturating_sub(1),
+            };
+            peel_confined(sh.graph(), covered, q, peel_k)
+        }
+        Method::Atc => csag_baselines::local_seed(sh.graph(), q)
+            .iter()
+            .all(|&v| covered[v as usize]),
+        Method::Sea | Method::SeaSizeBounded => grow_confined(sh.graph(), covered, query, n),
+    };
+    if confined {
+        local
+    } else {
+        spill
+    }
+}
+
+/// The pessimistic-peel certificate: `true` iff `q`'s component in the
+/// only-covered-vertices-peelable `k`-core of the home shard is fully
+/// covered (and therefore equals the global region, see module docs).
+fn peel_confined(g: &AttributedGraph, covered: &[bool], q: NodeId, k: u32) -> bool {
+    let n = g.n();
+    let mut deg: Vec<u32> = (0..n as NodeId)
+        .map(|v| g.neighbors(v).len() as u32)
+        .collect();
+    let mut removed = vec![false; n];
+    let mut stack: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| covered[v as usize] && deg[v as usize] < k)
+        .collect();
+    for &v in &stack {
+        removed[v as usize] = true;
+    }
+    while let Some(v) = stack.pop() {
+        for &w in g.neighbors(v) {
+            if removed[w as usize] {
+                continue;
+            }
+            deg[w as usize] -= 1;
+            // `+ 1 == k` fires exactly once, at the crossing.
+            if covered[w as usize] && deg[w as usize] + 1 == k {
+                removed[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    if removed[q as usize] {
+        return false;
+    }
+    // Walk q's surviving component; any uncovered member means the
+    // region (or our knowledge of it) crosses the shard boundary.
+    let mut seen = vec![false; n];
+    seen[q as usize] = true;
+    let mut frontier = vec![q];
+    while let Some(v) = frontier.pop() {
+        if !covered[v as usize] {
+            return false;
+        }
+        for &w in g.neighbors(v) {
+            if !removed[w as usize] && !seen[w as usize] {
+                seen[w as usize] = true;
+                frontier.push(w);
+            }
+        }
+    }
+    true
+}
+
+/// The SEA growth-replay certificate: `true` iff the best-first
+/// neighborhood growth, replayed on the home shard, collects only
+/// covered nodes — making the sampled population `G_q` exact.
+fn grow_confined(g: &AttributedGraph, covered: &[bool], query: &CommunityQuery, n: usize) -> bool {
+    let params = query.sea_params();
+    let dist = QueryDistances::new(query.q, n, query.distance_params());
+    let min_gq = csag_stats::min_population_size(
+        params.min_members(),
+        n,
+        params.hoeffding_epsilon,
+        1.0 - params.hoeffding_confidence,
+    );
+    grow_neighborhood(g, query.q, min_gq, &dist)
+        .iter()
+        .all(|&v| covered[v as usize])
+}

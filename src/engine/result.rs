@@ -279,6 +279,14 @@ pub fn error_to_json(err: &super::error::CsagError) -> String {
         push_kv(&mut s, "requested", &requested.to_string());
         s.push(',');
         push_kv(&mut s, "published", &published.to_string());
+        // Mirror the `overloaded` envelope so pinned-read clients can
+        // back off instead of hot-retrying. The hint scales with the
+        // epoch gap (each missing epoch is one write the cluster still
+        // has to publish), derived purely from the two epochs so serve
+        // and `csag query --json` render the identical rejection.
+        let gap = requested.saturating_sub(*published).clamp(1, 50);
+        s.push(',');
+        push_kv(&mut s, "retry_after_ms", &json_f64((5 * gap) as f64));
     }
     if let CsagError::BudgetExhausted { partial: Some(p) } = err {
         s.push(',');
@@ -433,5 +441,21 @@ mod tests {
         });
         assert!(j.contains("\"error\":\"overloaded\""));
         assert!(j.contains("\"retry_after_ms\":40.0"));
+        // The pinned-read rejection carries the same back-off key,
+        // derived from the epoch gap alone (5 ms per missing epoch,
+        // clamped to [5, 250]).
+        let j = error_to_json(&CsagError::EpochUnavailable {
+            requested: 9,
+            published: 6,
+        });
+        assert!(j.contains("\"error\":\"epoch_unavailable\""));
+        assert!(j.contains("\"requested\":9"));
+        assert!(j.contains("\"published\":6"));
+        assert!(j.contains("\"retry_after_ms\":15.0"), "{j}");
+        let j = error_to_json(&CsagError::EpochUnavailable {
+            requested: 1000,
+            published: 0,
+        });
+        assert!(j.contains("\"retry_after_ms\":250.0"), "{j}");
     }
 }

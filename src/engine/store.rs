@@ -186,6 +186,12 @@ impl Snapshot {
     pub fn engine_arc(&self) -> Arc<Engine> {
         Arc::clone(&self.engine)
     }
+
+    /// Wraps an engine assembled outside any store (the shard layer's
+    /// gather path builds union engines for cross-shard merges).
+    pub(crate) fn from_engine(engine: Arc<Engine>) -> Self {
+        Snapshot { engine }
+    }
 }
 
 impl std::ops::Deref for Snapshot {
@@ -207,9 +213,38 @@ struct StoreState {
 /// The condvar-backed publish watermark behind
 /// [`GraphStore::subscribe`]: updated (and broadcast) immediately after
 /// each epoch's engine swaps in.
-struct EpochCell {
+pub(crate) struct EpochCell {
     epoch: Mutex<u64>,
     published: Condvar,
+}
+
+impl EpochCell {
+    /// A fresh cell at `epoch` (the shard layer's cluster watermark
+    /// reuses the store's publish/subscribe machinery).
+    pub(crate) fn new(epoch: u64) -> Arc<EpochCell> {
+        Arc::new(EpochCell {
+            epoch: Mutex::new(epoch),
+            published: Condvar::new(),
+        })
+    }
+
+    /// Publishes `epoch` (monotone: lower values are ignored) and wakes
+    /// every waiter.
+    pub(crate) fn publish(&self, epoch: u64) {
+        let mut current = self.epoch.lock().unwrap_or_else(PoisonError::into_inner);
+        if epoch > *current {
+            *current = epoch;
+        }
+        drop(current);
+        self.published.notify_all();
+    }
+
+    /// A watch over this cell.
+    pub(crate) fn watch(self: &Arc<Self>) -> EpochWatch {
+        EpochWatch {
+            cell: Arc::clone(self),
+        }
+    }
 }
 
 /// A subscription to a store's epoch publishes ([`GraphStore::subscribe`]).

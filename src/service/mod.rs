@@ -92,7 +92,7 @@ pub use request::{Priority, QueryClass, Request, Response, Ticket};
 pub use transport::{BoundAddr, Transport};
 pub use wire::{parse_wire_request, rejection_to_json, response_to_json, WireRequest};
 
-use crate::cluster::{ReadSource, Router};
+use crate::cluster::{ReadSource, Router, ShardedRouter};
 use crate::engine::{CsagError, GraphStore, Snapshot};
 use csag_graph::AttributedGraph;
 use scheduler::{ReplyTo, Shared};
@@ -110,6 +110,10 @@ enum Backend {
     /// unpinned reads balance across caught-up replicas, pinned reads
     /// route to a store that published the pinned epoch.
     Cluster(Arc<Router>),
+    /// N partitioned shard stores behind the scatter-gather router:
+    /// reads get a pinned cluster view and the shard planner decides,
+    /// per query, between a shard-local run and a gathered union.
+    Shards(Arc<ShardedRouter>),
 }
 
 impl Backend {
@@ -117,14 +121,19 @@ impl Backend {
         match self {
             Backend::Store(store) => store.as_ref(),
             Backend::Cluster(router) => router.as_ref(),
+            Backend::Shards(router) => router.as_ref(),
         }
     }
 
-    /// The store writes go to (the only store, or the cluster primary).
+    /// The store writes go to (the only store, the cluster primary, or
+    /// the sharded cluster's journal — but sharded writes must be
+    /// *applied* through [`ShardedRouter::apply`], never through this
+    /// handle, or the shards will permanently lag).
     fn primary(&self) -> &Arc<GraphStore> {
         match self {
             Backend::Store(store) => store,
             Backend::Cluster(router) => router.primary(),
+            Backend::Shards(router) => router.journal(),
         }
     }
 }
@@ -238,6 +247,14 @@ impl Service {
     /// epoch), writes keep going through [`Router::apply`].
     pub fn over_cluster(router: Arc<Router>, config: ServiceConfig) -> Self {
         Service::with_backend(Backend::Cluster(router), config)
+    }
+
+    /// Starts a service over a sharded cluster: every read receives an
+    /// epoch-pinned [`crate::cluster::ClusterView`] and runs through
+    /// the shard planner; writes keep going through
+    /// [`ShardedRouter::apply`].
+    pub fn over_shards(router: Arc<ShardedRouter>, config: ServiceConfig) -> Self {
+        Service::with_backend(Backend::Shards(router), config)
     }
 
     fn with_backend(backend: Backend, config: ServiceConfig) -> Self {
@@ -364,8 +381,18 @@ impl Service {
     /// through [`Router::apply`] on this handle.
     pub fn cluster(&self) -> Option<&Arc<Router>> {
         match &self.backend {
-            Backend::Store(_) => None,
             Backend::Cluster(router) => Some(router),
+            Backend::Store(_) | Backend::Shards(_) => None,
+        }
+    }
+
+    /// The sharded cluster behind this service, when it was built with
+    /// [`Service::over_shards`]. Writes to a sharded service go through
+    /// [`ShardedRouter::apply`] on this handle.
+    pub fn shards(&self) -> Option<&Arc<ShardedRouter>> {
+        match &self.backend {
+            Backend::Shards(router) => Some(router),
+            Backend::Store(_) | Backend::Cluster(_) => None,
         }
     }
 

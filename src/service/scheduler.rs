@@ -447,11 +447,10 @@ impl Shared {
             // coalesce onto the corpse): catch the unwind, answer the
             // waiters with a typed error, and retire the worker's
             // workspace (its pooled state may be mid-mutation).
-            let engine = routed.snapshot().engine();
-            let warm = engine.cached_distances(derived.q, derived.gamma).is_some();
+            let warm = routed.warm_hit(derived.q, derived.gamma);
             let t = Instant::now();
             let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                engine.run_with_workspace(&derived, &mut ws)
+                routed.run_with_workspace(&derived, &mut ws)
             })) {
                 Ok(outcome) => outcome.map(Arc::new),
                 Err(panic) => {
